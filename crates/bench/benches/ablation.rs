@@ -1,0 +1,101 @@
+//! Ablations A1 and A5:
+//!
+//! - **A1 buffer size** — NebulaStream's buffer-batched execution is a
+//!   core design point; sweep the batch size and measure throughput.
+//! - **A5 out-of-order slack** — sweep the watermark slack against a
+//!   jittered stream and measure the pipeline cost of reordering in the
+//!   imputation operator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nebula::prelude::*;
+use nebulameos::ImputationFactory;
+use nebulameos_bench::Workload;
+use std::sync::Arc;
+
+fn bench_buffer_size(c: &mut Criterion) {
+    let workload = Workload::small();
+    let events = workload.records.len() as u64;
+    let q = nebulameos::q3_dynamic_speed_limit();
+
+    let mut group = c.benchmark_group("ablation_buffer_size");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    for buffer_size in [16usize, 128, 1024, 8192] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(buffer_size),
+            &buffer_size,
+            |b, &size| {
+                b.iter(|| {
+                    let mut env = StreamEnvironment::with_config(EnvConfig {
+                        buffer_size: size,
+                        ..EnvConfig::default()
+                    });
+                    env.load_plugin(&nebulameos::MeosPlugin).unwrap();
+                    env.load_plugin(&nebulameos::DemoContext::new(
+                        sncb::demo_zones(&workload.net),
+                    ))
+                    .unwrap();
+                    env.add_source(
+                        "fleet",
+                        Box::new(VecSource::new(
+                            sncb::fleet_schema(),
+                            workload.records.clone(),
+                        )),
+                        WatermarkStrategy::None,
+                    );
+                    let (mut sink, _) = CountingSink::new();
+                    env.run(&q, &mut sink).expect("runs").records_out
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_out_of_order(c: &mut Criterion) {
+    let workload = Workload::small();
+    let events = workload.records.len() as u64;
+
+    let mut group = c.benchmark_group("ablation_out_of_order");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    for jitter_window in [1usize, 16, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(jitter_window),
+            &jitter_window,
+            |b, &window| {
+                let q = Query::from("fleet").apply(Arc::new(ImputationFactory {
+                    tick_us: MICROS_PER_SEC,
+                    max_fill_us: 10 * MICROS_PER_SEC,
+                    ..ImputationFactory::standard()
+                }));
+                b.iter(|| {
+                    let mut env = StreamEnvironment::new();
+                    env.load_plugin(&nebulameos::MeosPlugin).unwrap();
+                    let src = JitterSource::new(
+                        VecSource::new(
+                            sncb::fleet_schema(),
+                            workload.records.clone(),
+                        ),
+                        window,
+                        42,
+                    );
+                    env.add_source(
+                        "fleet",
+                        Box::new(src),
+                        WatermarkStrategy::BoundedOutOfOrder {
+                            ts_field: "ts".into(),
+                            slack: (window as i64 + 2) * MICROS_PER_SEC,
+                        },
+                    );
+                    let (mut sink, _) = CountingSink::new();
+                    env.run(&q, &mut sink).expect("runs").records_out
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffer_size, bench_out_of_order);
+criterion_main!(benches);

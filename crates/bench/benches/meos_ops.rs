@@ -1,0 +1,100 @@
+//! MEOS operation microbenchmarks, including ablation A4: bbox-pruned
+//! sequence operations versus naive per-point scans for the hot
+//! predicates (`edwithin`, `at_stbox`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use meos::agg::SequenceBuilder;
+use meos::boxes::STBox;
+use meos::geo::{Geometry, Metric, Point};
+use meos::temporal::{Interp, TInstant, TSequence};
+use meos::time::{TimeDelta, TimestampTz};
+use meos::tpoint;
+
+/// A winding trajectory with `n` points.
+fn trajectory(n: usize) -> TSequence<Point> {
+    let instants: Vec<TInstant<Point>> = (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            TInstant::new(
+                Point::new(
+                    4.3 + 0.3 * t + 0.01 * (20.0 * t).sin(),
+                    50.8 + 0.2 * t + 0.01 * (17.0 * t).cos(),
+                ),
+                TimestampTz::from_unix_secs(i as i64),
+            )
+        })
+        .collect();
+    TSequence::new(instants, true, true, Interp::Linear).expect("valid")
+}
+
+fn bench_meos_ops(c: &mut Criterion) {
+    let seq = trajectory(10_000);
+    let target = Geometry::Point(Point::new(4.45, 50.9));
+    let bx = STBox::from_coords(4.4, 4.5, 50.85, 50.95, None).unwrap();
+
+    let mut group = c.benchmark_group("meos_ops");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(seq.num_instants() as u64));
+
+    group.bench_function("edwithin_segment_exact", |b| {
+        b.iter(|| tpoint::edwithin(&seq, &target, 500.0, Metric::Haversine))
+    });
+
+    // Ablation A4 baseline: the naive "check every stored point"
+    // implementation a system without MEOS segment geometry would use.
+    group.bench_function("edwithin_naive_pointscan", |b| {
+        b.iter(|| {
+            seq.values()
+                .any(|p| p.haversine(&Point::new(4.45, 50.9)) <= 500.0)
+        })
+    });
+
+    group.bench_function("at_stbox_liang_barsky", |b| {
+        b.iter(|| tpoint::at_stbox(&seq, &bx).len())
+    });
+
+    // Naive at_stbox: filter instants by containment (loses the exact
+    // entry/exit interpolation MEOS provides).
+    group.bench_function("at_stbox_naive_filter", |b| {
+        b.iter(|| seq.values().filter(|p| bx.contains_point(p)).count())
+    });
+
+    group.bench_function("speed_sequence", |b| {
+        b.iter(|| tpoint::speed(&seq, Metric::Haversine).map(|s| s.num_instants()))
+    });
+
+    group.bench_function("simplify_dp_50m", |b| {
+        b.iter(|| tpoint::simplify_dp(&seq, 50.0, Metric::Haversine).num_instants())
+    });
+
+    group.bench_function("sequence_builder_append", |b| {
+        b.iter(|| {
+            let mut builder = SequenceBuilder::<Point>::new(Interp::Linear)
+                .with_max_gap(TimeDelta::from_secs(60));
+            let mut emitted = 0usize;
+            for i in 0..10_000i64 {
+                let p = Point::new(4.3 + i as f64 * 1e-5, 50.8);
+                if let meos::agg::PushResult::Emitted(_) =
+                    builder.push(p, TimestampTz::from_unix_secs(i))
+                {
+                    emitted += 1;
+                }
+            }
+            emitted
+        })
+    });
+
+    group.bench_function("at_period_restriction", |b| {
+        let p = meos::time::Period::inclusive(
+            TimestampTz::from_unix_secs(2_000),
+            TimestampTz::from_unix_secs(7_000),
+        )
+        .unwrap();
+        b.iter(|| seq.at_period(&p).map(|s| s.num_instants()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_meos_ops);
+criterion_main!(benches);

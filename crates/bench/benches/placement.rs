@@ -1,0 +1,80 @@
+//! Ablation A3: edge-first versus cloud-only operator placement — the
+//! quantified version of the paper's "process at the edge" claim. The
+//! benchmark times the placement + cost evaluation pipeline; the byte
+//! comparison itself is asserted (edge must beat cloud on uplink bytes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nebula::prelude::*;
+use nebulameos_bench::{demo_queries, Workload};
+
+fn bench_placement(c: &mut Criterion) {
+    let workload = Workload::small();
+    let (topo, sensors) = Topology::train_fleet(6);
+    let q1 = demo_queries().remove(0);
+
+    // Stage bytes measured once per iteration set (the expensive part).
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(10);
+
+    group.bench_function("measure_stage_bytes_q1", |b| {
+        b.iter(|| {
+            let env = workload.environment();
+            let src = Box::new(VecSource::new(
+                sncb::fleet_schema(),
+                workload.records.clone(),
+            ));
+            measure_stage_bytes(src, &q1, env.registry(), 1024)
+                .expect("measures")
+                .stage_bytes
+                .len()
+        })
+    });
+
+    group.bench_function("place_and_cost_both_strategies", |b| {
+        let env = workload.environment();
+        let src = Box::new(VecSource::new(
+            sncb::fleet_schema(),
+            workload.records.clone(),
+        ));
+        let stages =
+            measure_stage_bytes(src, &q1, env.registry(), 1024).expect("measures");
+        b.iter(|| {
+            let edge =
+                place(&q1, &topo, sensors[0], PlacementStrategy::EdgeFirst).unwrap();
+            let cloud =
+                place(&q1, &topo, sensors[0], PlacementStrategy::CloudOnly).unwrap();
+            let ce = network_cost(&topo, &edge, &stages).unwrap();
+            let cc = network_cost(&topo, &cloud, &stages).unwrap();
+            assert!(
+                ce.cloud_uplink_bytes < cc.cloud_uplink_bytes,
+                "edge placement must reduce uplink bytes: {} vs {}",
+                ce.cloud_uplink_bytes,
+                cc.cloud_uplink_bytes
+            );
+            (ce.total_bytes, cc.total_bytes)
+        })
+    });
+
+    group.bench_function("failure_replan", |b| {
+        // Q2 has a window stage that edge-first placement pins to the
+        // onboard edge box, so failing that box forces migrations.
+        let q2 = nebulameos::q2_noise_monitoring(75.0);
+        let edge_pl =
+            place(&q2, &topo, sensors[0], PlacementStrategy::EdgeFirst).unwrap();
+        let edge_node = topo
+            .first_ancestor_of_kind(sensors[0], NodeKind::Edge)
+            .unwrap();
+        let cloud = topo.cloud().unwrap();
+        b.iter(|| {
+            let (pl, migrated) =
+                replace_after_failure(&topo, &edge_pl, edge_node, cloud);
+            assert!(migrated > 0);
+            pl.stages.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Per-query throughput benchmarks — the criterion companion of the
+//! `paper_table` binary (Table 1). Throughput is reported in events/s
+//! so the shape comparison against the paper's 8–32K e/s is direct.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nebulameos_bench::{demo_queries, Workload, PAPER_RESULTS};
+
+fn bench_queries(c: &mut Criterion) {
+    let workload = Workload::small();
+    let events = workload.records.len() as u64;
+    let mut group = c.benchmark_group("queries");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    for (row, query) in PAPER_RESULTS.iter().zip(demo_queries()) {
+        group.bench_function(format!("q{}_{}", row.id, slug(row.name)), |b| {
+            b.iter(|| {
+                let m = workload.run(&query);
+                assert_eq!(m.records_in, events);
+                m.records_out
+            })
+        });
+    }
+    group.finish();
+}
+
+fn slug(name: &str) -> String {
+    name.split_whitespace()
+        .skip(1)
+        .collect::<Vec<_>>()
+        .join("_")
+        .to_lowercase()
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

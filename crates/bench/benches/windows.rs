@@ -1,0 +1,110 @@
+//! Ablation A2: the cost of the three window kinds the paper's
+//! integration extends (tumbling, sliding, threshold), plus the
+//! spatiotemporal trajectory-assembling window.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nebula::prelude::*;
+use nebulameos::TrajectoryAgg;
+use std::sync::Arc;
+
+fn schema() -> SchemaRef {
+    Schema::of(&[
+        ("ts", DataType::Timestamp),
+        ("train", DataType::Int),
+        ("pos", DataType::Point),
+        ("v", DataType::Float),
+    ])
+}
+
+fn records(n: i64) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            Record::new(vec![
+                Value::Timestamp(i * MICROS_PER_SEC),
+                Value::Int(i % 6),
+                Value::Point { x: 4.3 + (i as f64) * 1e-5, y: 50.8 },
+                Value::Float((i % 600) as f64),
+            ])
+        })
+        .collect()
+}
+
+fn run(query: &Query, recs: Vec<Record>) -> u64 {
+    let mut env = StreamEnvironment::new();
+    env.add_source(
+        "s",
+        Box::new(VecSource::new(schema(), recs)),
+        WatermarkStrategy::BoundedOutOfOrder {
+            ts_field: "ts".into(),
+            slack: 5 * MICROS_PER_SEC,
+        },
+    );
+    let (mut sink, _) = CountingSink::new();
+    env.run(query, &mut sink).expect("runs").records_out
+}
+
+fn bench_windows(c: &mut Criterion) {
+    const N: i64 = 60_000;
+    let base = records(N);
+    let mut group = c.benchmark_group("windows");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+
+    let keys = || vec![("train", col("train"))];
+    let aggs = || {
+        vec![
+            WindowAgg::new("n", AggSpec::Count),
+            WindowAgg::new("avg_v", AggSpec::Avg(col("v"))),
+        ]
+    };
+
+    group.bench_function("tumbling_60s", |b| {
+        let q = Query::from("s").window(
+            keys(),
+            WindowSpec::Tumbling { size: 60 * MICROS_PER_SEC },
+            aggs(),
+        );
+        b.iter(|| run(&q, base.clone()))
+    });
+
+    group.bench_function("sliding_60s_slide_15s", |b| {
+        let q = Query::from("s").window(
+            keys(),
+            WindowSpec::Sliding {
+                size: 60 * MICROS_PER_SEC,
+                slide: 15 * MICROS_PER_SEC,
+            },
+            aggs(),
+        );
+        b.iter(|| run(&q, base.clone()))
+    });
+
+    group.bench_function("threshold_v_over_300", |b| {
+        let q = Query::from("s").window(
+            keys(),
+            WindowSpec::Threshold {
+                predicate: col("v").gt(lit(300.0)),
+                min_count: 10,
+            },
+            aggs(),
+        );
+        b.iter(|| run(&q, base.clone()))
+    });
+
+    group.bench_function("tumbling_trajectory_agg", |b| {
+        let q = Query::from("s").window(
+            keys(),
+            WindowSpec::Tumbling { size: 60 * MICROS_PER_SEC },
+            vec![WindowAgg::new(
+                "traj",
+                AggSpec::Custom(Arc::new(TrajectoryAgg::new("pos", "ts"))),
+            )],
+        );
+        b.iter(|| run(&q, base.clone()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_windows);
+criterion_main!(benches);

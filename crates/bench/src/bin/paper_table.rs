@@ -1,0 +1,93 @@
+//! Regenerates "Table 1": the per-query ingestion rate and throughput
+//! the paper reports in §3.1–§3.2, next to the rates measured on this
+//! machine over the simulated SNCB workload.
+//!
+//! ```text
+//! cargo run --release -p nebulameos-bench --bin paper_table
+//! ```
+//!
+//! Absolute numbers differ from the paper (their substrate is an Intel
+//! Atom edge box; ours is a development machine) — the comparison the
+//! table supports is *shape*: every query sustains the paper's reported
+//! ingest rate, per-event payloads sit in the same 76–118 B band, and
+//! the relative per-query cost ordering matches.
+
+use nebulameos_bench::{measure_all, Workload};
+
+fn main() {
+    let release = cfg!(debug_assertions);
+    if release {
+        eprintln!(
+            "note: running a debug build; use --release for meaningful rates"
+        );
+    }
+
+    eprintln!("generating workload (6 trains, 1 demo hour, 250 ms ticks)...");
+    let workload = Workload::standard();
+    let events = workload.records.len();
+    let bytes: usize = workload.records.iter().map(|r| r.est_bytes()).sum();
+    eprintln!(
+        "workload: {events} events, {:.2} MB ({:.0} B/event)\n",
+        bytes as f64 / 1e6,
+        bytes as f64 / events as f64
+    );
+
+    let rows = measure_all(&workload);
+
+    println!(
+        "{:<26} | {:>16} | {:>22} | {:>7} | {:>8} | {:>12}",
+        "Query (paper §3)", "paper throughput", "measured throughput", "B/event", "outputs",
+        "p99 lat (ms)"
+    );
+    println!("{}", "-".repeat(110));
+    let mut all_sustained = true;
+    let mut rows = rows;
+    for row in &mut rows {
+        let p99_ms = row
+            .metrics
+            .latency_us(99.0)
+            .map(|us| us / 1_000.0)
+            .unwrap_or(0.0);
+        let m = &row.metrics;
+        println!(
+            "{:<26} | {:>6.2} MB @ {:>3.0}K e/s | {:>8.2} MB/s @ {:>6.1}K e/s | {:>7.1} | {:>8} | {:>12.3}",
+            row.paper.name,
+            row.paper.paper_mb,
+            row.paper.paper_keps,
+            m.mb_per_sec(),
+            m.events_per_sec() / 1_000.0,
+            m.bytes_per_event(),
+            m.records_out,
+            p99_ms,
+        );
+        all_sustained &= row.sustains_paper_rate();
+    }
+    println!("{}", "-".repeat(110));
+    println!(
+        "sustains paper ingest rates on this machine: {}",
+        if all_sustained { "yes" } else { "NO" }
+    );
+
+    // Machine-readable companion for EXPERIMENTS.md.
+    let json = serde_json::json!({
+        "workload_events": events,
+        "workload_bytes": bytes,
+        "rows": rows.iter().map(|r| serde_json::json!({
+            "id": r.paper.id,
+            "name": r.paper.name,
+            "paper_mb": r.paper.paper_mb,
+            "paper_keps": r.paper.paper_keps,
+            "measured_mb_per_sec": r.metrics.mb_per_sec(),
+            "measured_keps": r.metrics.events_per_sec() / 1e3,
+            "bytes_per_event": r.metrics.bytes_per_event(),
+            "records_out": r.metrics.records_out,
+            "sustains_paper_rate": r.sustains_paper_rate(),
+        })).collect::<Vec<_>>(),
+    });
+    let out = std::path::Path::new("bench_results");
+    std::fs::create_dir_all(out).expect("create bench_results/");
+    let path = out.join("paper_table.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap())
+        .expect("write results");
+    eprintln!("\nwrote {}", path.display());
+}

@@ -1,0 +1,148 @@
+//! Shared benchmark harness: the paper's reported numbers, the workload
+//! builder, and the measurement loop used by `paper_table`, `figures`
+//! and the criterion benches.
+
+use nebula::prelude::*;
+use sncb::{FleetConfig, FleetSimulator, RailNetwork, WeatherField};
+
+/// One row of the paper's evaluation (§3.1–§3.2): reported throughput in
+/// MB and thousands of events per second.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// Query id (1–8).
+    pub id: u8,
+    /// Query name as in the paper.
+    pub name: &'static str,
+    /// Reported MB (per second of ingest).
+    pub paper_mb: f64,
+    /// Reported thousands of events per second.
+    pub paper_keps: f64,
+}
+
+/// The paper's reported per-query throughput ("Table 1").
+pub const PAPER_RESULTS: [PaperRow; 8] = [
+    PaperRow { id: 1, name: "Q1 Alert Filtering", paper_mb: 2.24, paper_keps: 20.0 },
+    PaperRow { id: 2, name: "Q2 Noise Monitoring", paper_mb: 2.24, paper_keps: 20.0 },
+    PaperRow { id: 3, name: "Q3 Dynamic Speed Limit", paper_mb: 2.24, paper_keps: 20.0 },
+    PaperRow { id: 4, name: "Q4 Weather Speed Zones", paper_mb: 2.24, paper_keps: 20.0 },
+    PaperRow { id: 5, name: "Q5 Battery Monitoring", paper_mb: 0.61, paper_keps: 8.0 },
+    PaperRow { id: 6, name: "Q6 Heavy Passenger Load", paper_mb: 3.68, paper_keps: 32.0 },
+    PaperRow { id: 7, name: "Q7 Unscheduled Stops", paper_mb: 0.40, paper_keps: 10.0 },
+    PaperRow { id: 8, name: "Q8 Monitoring Brakes", paper_mb: 2.24, paper_keps: 20.0 },
+];
+
+/// The demo queries in paper order with the standard parameterization.
+pub fn demo_queries() -> Vec<Query> {
+    nebulameos::all_demo_queries().into_iter().map(|(_, q)| q).collect()
+}
+
+/// A materialized benchmark workload: one fleet dataset plus everything
+/// needed to rebuild environments cheaply.
+pub struct Workload {
+    /// The network behind the dataset.
+    pub net: std::sync::Arc<RailNetwork>,
+    /// The weather field used during generation.
+    pub weather: WeatherField,
+    /// The records.
+    pub records: Vec<Record>,
+}
+
+impl Workload {
+    /// Generates `minutes` of fleet data at the given sensor tick.
+    pub fn generate(minutes: i64, tick_ms: i64) -> Workload {
+        let cfg = FleetConfig {
+            tick: meos::time::TimeDelta::from_millis(tick_ms),
+            duration: meos::time::TimeDelta::from_minutes(minutes),
+            ..FleetConfig::demo_hour()
+        };
+        let sim = FleetSimulator::new(cfg);
+        let net = sim.network();
+        let weather = sim.weather().clone();
+        let records = sim.into_records();
+        Workload { net, weather, records }
+    }
+
+    /// The standard measurement workload (~86k events: one demo hour at
+    /// 250 ms ticks).
+    pub fn standard() -> Workload {
+        Workload::generate(60, 250)
+    }
+
+    /// A small workload for fast criterion iterations.
+    pub fn small() -> Workload {
+        Workload::generate(10, 1_000)
+    }
+
+    /// Builds an environment replaying this workload.
+    pub fn environment(&self) -> StreamEnvironment {
+        sncb::demo::demo_environment_with(
+            &self.net,
+            self.weather.clone(),
+            self.records.clone(),
+        )
+    }
+
+    /// Runs a query over the workload, discarding results into a
+    /// counting sink; returns the metrics.
+    pub fn run(&self, query: &Query) -> QueryMetrics {
+        let mut env = self.environment();
+        let (mut sink, _) = CountingSink::new();
+        env.run(query, &mut sink).expect("query runs")
+    }
+}
+
+/// A measured row next to the paper's reported numbers.
+#[derive(Debug, Clone)]
+pub struct MeasuredRow {
+    /// The paper row.
+    pub paper: PaperRow,
+    /// Our metrics.
+    pub metrics: QueryMetrics,
+}
+
+impl MeasuredRow {
+    /// True iff this machine sustains at least the paper's reported
+    /// ingest rate for the query.
+    pub fn sustains_paper_rate(&self) -> bool {
+        self.metrics.events_per_sec() >= self.paper.paper_keps * 1_000.0
+    }
+}
+
+/// Runs all eight queries over one workload.
+pub fn measure_all(workload: &Workload) -> Vec<MeasuredRow> {
+    PAPER_RESULTS
+        .iter()
+        .zip(demo_queries())
+        .map(|(paper, query)| MeasuredRow {
+            paper: *paper,
+            metrics: workload.run(&query),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_generates() {
+        let w = Workload::generate(2, 1_000);
+        assert_eq!(w.records.len(), 720);
+        let m = w.run(&demo_queries()[2]);
+        assert_eq!(m.records_in, 720);
+    }
+
+    #[test]
+    fn paper_rows_ratio_sane() {
+        // The paper's implied per-event payloads range from 40 B (Q7's
+        // narrow stop records) to ~115 B (full sensor tuples).
+        for r in PAPER_RESULTS {
+            let bytes_per_event = r.paper_mb * 1e6 / (r.paper_keps * 1e3);
+            assert!(
+                (35.0..125.0).contains(&bytes_per_event),
+                "{}: {bytes_per_event}",
+                r.name
+            );
+        }
+    }
+}

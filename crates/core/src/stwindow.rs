@@ -1,0 +1,301 @@
+//! Spatiotemporal window aggregation.
+//!
+//! The paper extends NebulaStream's "tumbling, sliding, and threshold
+//! windows over spatiotemporal data streams" (§2.3): a window's records
+//! are assembled into MEOS temporal values instead of scalar aggregates.
+//! [`TrajectoryAgg`] produces a `tgeompoint` per window, [`TFloatSeqAgg`]
+//! a `tfloat` — both plug into any [`nebula::window::WindowSpec`] via the
+//! engine's custom-aggregator extension point.
+
+use crate::values::{tfloat_value, tpoint_value};
+use meos::geo::Point;
+use meos::temporal::{Interp, TInstant, TSequence, Temporal};
+use meos::time::TimestampTz;
+use nebula::prelude::{
+    Aggregator, AggregatorFactory, BoundExpr, DataType, Expr, FunctionRegistry,
+    NebulaError, Record, Value,
+};
+
+/// Builds a `tgeompoint` sequence from the window's (ts, position)
+/// samples. Out-of-order samples inside the window are sorted at window
+/// close; duplicate timestamps keep the first sample.
+pub struct TrajectoryAgg {
+    /// Position column name.
+    pub pos_field: String,
+    /// Event-time column name.
+    pub ts_field: String,
+}
+
+impl TrajectoryAgg {
+    /// Standard fleet layout constructor.
+    pub fn new(pos_field: impl Into<String>, ts_field: impl Into<String>) -> Self {
+        TrajectoryAgg { pos_field: pos_field.into(), ts_field: ts_field.into() }
+    }
+}
+
+impl AggregatorFactory for TrajectoryAgg {
+    fn output_type(
+        &self,
+        input: &nebula::schema::Schema,
+        _registry: &FunctionRegistry,
+    ) -> nebula::Result<DataType> {
+        for f in [&self.pos_field, &self.ts_field] {
+            if input.index_of(f).is_none() {
+                return Err(NebulaError::Plan(format!(
+                    "trajectory aggregator: unknown field '{f}'"
+                )));
+            }
+        }
+        Ok(DataType::Opaque)
+    }
+
+    fn create(
+        &self,
+        input: &nebula::schema::Schema,
+        _registry: &FunctionRegistry,
+    ) -> nebula::Result<Box<dyn Aggregator>> {
+        let pos_col = input.index_of(&self.pos_field).ok_or_else(|| {
+            NebulaError::Plan(format!("unknown field '{}'", self.pos_field))
+        })?;
+        let ts_col = input.index_of(&self.ts_field).ok_or_else(|| {
+            NebulaError::Plan(format!("unknown field '{}'", self.ts_field))
+        })?;
+        Ok(Box::new(TrajectoryAccum { pos_col, ts_col, samples: Vec::new() }))
+    }
+}
+
+struct TrajectoryAccum {
+    pos_col: usize,
+    ts_col: usize,
+    samples: Vec<(i64, Point)>,
+}
+
+impl Aggregator for TrajectoryAccum {
+    fn update(&mut self, rec: &Record) -> nebula::Result<()> {
+        let ts = rec.get(self.ts_col).and_then(Value::as_timestamp);
+        let pos = rec.get(self.pos_col).and_then(Value::as_point);
+        if let (Some(ts), Some((x, y))) = (ts, pos) {
+            self.samples.push((ts, Point::new(x, y)));
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> nebula::Result<Value> {
+        if self.samples.is_empty() {
+            return Ok(Value::Null);
+        }
+        self.samples.sort_by_key(|(t, _)| *t);
+        self.samples.dedup_by_key(|(t, _)| *t);
+        let instants: Vec<TInstant<Point>> = self
+            .samples
+            .drain(..)
+            .map(|(t, p)| TInstant::new(p, TimestampTz::from_micros(t)))
+            .collect();
+        let seq = TSequence::new(instants, true, true, Interp::Linear)
+            .map_err(|e| NebulaError::Eval(e.to_string()))?;
+        Ok(tpoint_value(Temporal::Sequence(seq)))
+    }
+}
+
+/// Builds a `tfloat` sequence from an expression sampled at event time.
+pub struct TFloatSeqAgg {
+    /// The sampled expression.
+    pub expr: Expr,
+    /// Event-time column name.
+    pub ts_field: String,
+    /// Interpolation for the produced sequence.
+    pub interp: Interp,
+}
+
+impl TFloatSeqAgg {
+    /// Linear-interpolated sampling of `expr`.
+    pub fn linear(expr: Expr, ts_field: impl Into<String>) -> Self {
+        TFloatSeqAgg { expr, ts_field: ts_field.into(), interp: Interp::Linear }
+    }
+}
+
+impl AggregatorFactory for TFloatSeqAgg {
+    fn output_type(
+        &self,
+        input: &nebula::schema::Schema,
+        registry: &FunctionRegistry,
+    ) -> nebula::Result<DataType> {
+        self.expr.bind(input, registry)?;
+        if input.index_of(&self.ts_field).is_none() {
+            return Err(NebulaError::Plan(format!(
+                "tfloat aggregator: unknown ts field '{}'",
+                self.ts_field
+            )));
+        }
+        Ok(DataType::Opaque)
+    }
+
+    fn create(
+        &self,
+        input: &nebula::schema::Schema,
+        registry: &FunctionRegistry,
+    ) -> nebula::Result<Box<dyn Aggregator>> {
+        let (bound, _) = self.expr.bind(input, registry)?;
+        let ts_col = input.index_of(&self.ts_field).ok_or_else(|| {
+            NebulaError::Plan(format!("unknown ts field '{}'", self.ts_field))
+        })?;
+        Ok(Box::new(TFloatAccum {
+            expr: bound,
+            ts_col,
+            interp: self.interp,
+            samples: Vec::new(),
+        }))
+    }
+}
+
+struct TFloatAccum {
+    expr: BoundExpr,
+    ts_col: usize,
+    interp: Interp,
+    samples: Vec<(i64, f64)>,
+}
+
+impl Aggregator for TFloatAccum {
+    fn update(&mut self, rec: &Record) -> nebula::Result<()> {
+        let ts = rec.get(self.ts_col).and_then(Value::as_timestamp);
+        let v = self.expr.eval(rec)?;
+        if let (Some(ts), Some(v)) = (ts, v.as_float()) {
+            self.samples.push((ts, v));
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> nebula::Result<Value> {
+        if self.samples.is_empty() {
+            return Ok(Value::Null);
+        }
+        self.samples.sort_by_key(|(t, _)| *t);
+        self.samples.dedup_by_key(|(t, _)| *t);
+        let instants: Vec<TInstant<f64>> = self
+            .samples
+            .drain(..)
+            .map(|(t, v)| TInstant::new(v, TimestampTz::from_micros(t)))
+            .collect();
+        let seq = TSequence::new(instants, true, true, self.interp)
+            .map_err(|e| NebulaError::Eval(e.to_string()))?;
+        Ok(tfloat_value(Temporal::Sequence(seq)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::meos_registry;
+    use crate::values::{as_tfloat, as_tpoint};
+    use nebula::prelude::*;
+
+    fn schema() -> SchemaRef {
+        Schema::of(&[
+            ("ts", DataType::Timestamp),
+            ("train_id", DataType::Int),
+            ("pos", DataType::Point),
+            ("speed_kmh", DataType::Float),
+        ])
+    }
+
+    fn rec(ts_s: i64, id: i64, x: f64, speed: f64) -> Record {
+        Record::new(vec![
+            Value::Timestamp(ts_s * MICROS_PER_SEC),
+            Value::Int(id),
+            Value::Point { x, y: 50.85 },
+            Value::Float(speed),
+        ])
+    }
+
+    #[test]
+    fn trajectory_agg_builds_sequence() {
+        let reg = meos_registry();
+        let factory = TrajectoryAgg::new("pos", "ts");
+        let mut agg = factory.create(&schema(), &reg).unwrap();
+        for (i, x) in [(0, 4.30), (2, 4.32), (1, 4.31)] {
+            agg.update(&rec(i, 1, x, 0.0)).unwrap();
+        }
+        let v = agg.finish().unwrap();
+        let tp = as_tpoint(&v).unwrap();
+        assert_eq!(tp.num_instants(), 3, "out-of-order sample sorted in");
+        assert_eq!(tp.start_value().x, 4.30);
+        assert_eq!(tp.end_value().x, 4.32);
+    }
+
+    #[test]
+    fn trajectory_agg_empty_is_null() {
+        let reg = meos_registry();
+        let mut agg = TrajectoryAgg::new("pos", "ts")
+            .create(&schema(), &reg)
+            .unwrap();
+        assert!(agg.finish().unwrap().is_null());
+    }
+
+    #[test]
+    fn tfloat_agg_collects_expression() {
+        let reg = meos_registry();
+        let factory =
+            TFloatSeqAgg::linear(col("speed_kmh").div(lit(3.6)), "ts");
+        let mut agg = factory.create(&schema(), &reg).unwrap();
+        agg.update(&rec(0, 1, 4.3, 36.0)).unwrap();
+        agg.update(&rec(10, 1, 4.31, 72.0)).unwrap();
+        let v = agg.finish().unwrap();
+        let tf = as_tfloat(&v).unwrap();
+        assert_eq!(tf.start_value(), 10.0);
+        assert_eq!(tf.end_value(), 20.0);
+    }
+
+    #[test]
+    fn window_query_with_trajectory_agg_end_to_end() {
+        use std::sync::Arc;
+        let mut env = StreamEnvironment::new();
+        env.load_plugin(&crate::functions::MeosPlugin).unwrap();
+        let records: Vec<Record> = (0..120)
+            .map(|i| rec(i, i % 2, 4.30 + i as f64 * 0.001, 50.0))
+            .collect();
+        env.add_source(
+            "fleet",
+            Box::new(VecSource::new(schema(), records)),
+            WatermarkStrategy::BoundedOutOfOrder {
+                ts_field: "ts".into(),
+                slack: 2 * MICROS_PER_SEC,
+            },
+        );
+        let q = Query::from("fleet").window(
+            vec![("train", col("train_id"))],
+            WindowSpec::Tumbling { size: 60 * MICROS_PER_SEC },
+            vec![
+                WindowAgg::new(
+                    "traj",
+                    AggSpec::Custom(Arc::new(TrajectoryAgg::new("pos", "ts"))),
+                ),
+                WindowAgg::new("n", AggSpec::Count),
+            ],
+        );
+        let (mut sink, got) = CollectingSink::new();
+        env.run(&q, &mut sink).unwrap();
+        // 2 keys × 2 windows.
+        assert_eq!(got.len(), 4);
+        for r in got.records() {
+            let tp = as_tpoint(r.get(3).unwrap()).unwrap();
+            let n = r.get(4).unwrap().as_int().unwrap();
+            assert_eq!(tp.num_instants() as i64, n);
+            // Trajectory confined to its window.
+            let start = r.get(1).unwrap().as_timestamp().unwrap();
+            let end = r.get(2).unwrap().as_timestamp().unwrap();
+            assert!(tp.start_timestamp().micros() >= start);
+            assert!(tp.end_timestamp().micros() < end);
+        }
+    }
+
+    #[test]
+    fn factories_validate_fields() {
+        let reg = meos_registry();
+        assert!(TrajectoryAgg::new("nope", "ts")
+            .output_type(&schema(), &reg)
+            .is_err());
+        assert!(TFloatSeqAgg::linear(col("nope"), "ts")
+            .output_type(&schema(), &reg)
+            .is_err());
+    }
+}

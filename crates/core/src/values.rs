@@ -1,0 +1,217 @@
+//! The value bridge: MEOS types flowing through engine tuples.
+//!
+//! NebulaStream's tuples only know primitive field types; extensions move
+//! their own payloads through queries as opaque values. These wrappers
+//! implement [`OpaqueValue`] for the MEOS types the integration needs —
+//! temporal points, temporal floats, geometries and boxes — plus the
+//! conversions between engine and MEOS representations.
+
+use meos::boxes::STBox;
+use meos::geo::{Geometry, Point};
+use meos::temporal::Temporal;
+use meos::time::TimestampTz;
+use nebula::prelude::{NebulaError, OpaqueValue, Value};
+use std::any::Any;
+use std::sync::Arc;
+
+macro_rules! opaque_wrapper {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $tag:literal, $bytes:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq)]
+        pub struct $name(pub $inner);
+
+        impl OpaqueValue for $name {
+            fn type_tag(&self) -> &'static str {
+                $tag
+            }
+
+            fn est_bytes(&self) -> usize {
+                #[allow(clippy::redundant_closure_call)]
+                ($bytes)(&self.0)
+            }
+
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+
+            fn opaque_eq(&self, other: &dyn OpaqueValue) -> bool {
+                other
+                    .as_any()
+                    .downcast_ref::<$name>()
+                    .is_some_and(|o| o.0 == self.0)
+            }
+        }
+    };
+}
+
+opaque_wrapper!(
+    /// A temporal point (`tgeompoint`) carried through tuples.
+    TPointValue,
+    Temporal<Point>,
+    "meos.tgeompoint",
+    |t: &Temporal<Point>| t.num_instants() * 24 + 16
+);
+
+opaque_wrapper!(
+    /// A temporal float (`tfloat`) carried through tuples.
+    TFloatValue,
+    Temporal<f64>,
+    "meos.tfloat",
+    |t: &Temporal<f64>| t.num_instants() * 16 + 16
+);
+
+opaque_wrapper!(
+    /// A static geometry carried through tuples (fences, zones).
+    GeometryValue,
+    Geometry,
+    "meos.geometry",
+    |g: &Geometry| match g {
+        Geometry::Point(_) => 16,
+        Geometry::Circle { .. } => 24,
+        Geometry::Line(l) => l.points.len() * 16,
+        Geometry::Polygon(p) =>
+            (p.exterior.len() + p.holes.iter().map(Vec::len).sum::<usize>()) * 16,
+    }
+);
+
+opaque_wrapper!(
+    /// A spatiotemporal box carried through tuples.
+    STBoxValue,
+    STBox,
+    "meos.stbox",
+    |_b: &STBox| 48
+);
+
+/// Wraps a temporal point into an engine value.
+pub fn tpoint_value(t: Temporal<Point>) -> Value {
+    Value::Opaque(Arc::new(TPointValue(t)))
+}
+
+/// Wraps a temporal float into an engine value.
+pub fn tfloat_value(t: Temporal<f64>) -> Value {
+    Value::Opaque(Arc::new(TFloatValue(t)))
+}
+
+/// Wraps a geometry into an engine value.
+pub fn geometry_value(g: Geometry) -> Value {
+    Value::Opaque(Arc::new(GeometryValue(g)))
+}
+
+/// Wraps an STBox into an engine value.
+pub fn stbox_value(b: STBox) -> Value {
+    Value::Opaque(Arc::new(STBoxValue(b)))
+}
+
+fn downcast<'a, T: 'static>(v: &'a Value, what: &str) -> nebula::Result<&'a T> {
+    v.as_opaque()
+        .and_then(|o| o.as_any().downcast_ref::<T>())
+        .ok_or_else(|| {
+            NebulaError::Eval(format!("expected {what}, got {v}"))
+        })
+}
+
+/// Extracts a temporal point.
+pub fn as_tpoint(v: &Value) -> nebula::Result<&Temporal<Point>> {
+    downcast::<TPointValue>(v, "meos.tgeompoint").map(|w| &w.0)
+}
+
+/// Extracts a temporal float.
+pub fn as_tfloat(v: &Value) -> nebula::Result<&Temporal<f64>> {
+    downcast::<TFloatValue>(v, "meos.tfloat").map(|w| &w.0)
+}
+
+/// Extracts a geometry.
+pub fn as_geometry(v: &Value) -> nebula::Result<&Geometry> {
+    downcast::<GeometryValue>(v, "meos.geometry").map(|w| &w.0)
+}
+
+/// Extracts an STBox.
+pub fn as_stbox(v: &Value) -> nebula::Result<&STBox> {
+    downcast::<STBoxValue>(v, "meos.stbox").map(|w| &w.0)
+}
+
+/// Engine point value → MEOS point.
+pub fn as_point(v: &Value) -> nebula::Result<Point> {
+    v.as_point()
+        .map(|(x, y)| Point::new(x, y))
+        .ok_or_else(|| NebulaError::Eval(format!("expected POINT, got {v}")))
+}
+
+/// Engine timestamp value → MEOS timestamp.
+pub fn as_meos_ts(v: &Value) -> nebula::Result<TimestampTz> {
+    v.as_timestamp()
+        .map(TimestampTz::from_micros)
+        .ok_or_else(|| NebulaError::Eval(format!("expected TIMESTAMP, got {v}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meos::temporal::{TInstant, TSequence};
+
+    fn tp() -> Temporal<Point> {
+        TSequence::linear(vec![
+            TInstant::new(Point::new(0.0, 0.0), TimestampTz::from_unix_secs(0)),
+            TInstant::new(Point::new(1.0, 1.0), TimestampTz::from_unix_secs(10)),
+        ])
+        .unwrap()
+        .into()
+    }
+
+    #[test]
+    fn tpoint_round_trip() {
+        let v = tpoint_value(tp());
+        let back = as_tpoint(&v).unwrap();
+        assert_eq!(back.num_instants(), 2);
+        assert!(as_tfloat(&v).is_err(), "wrong downcast rejected");
+        assert!(as_geometry(&v).is_err());
+    }
+
+    #[test]
+    fn equality_via_opaque() {
+        assert_eq!(tpoint_value(tp()), tpoint_value(tp()));
+        let other: Temporal<Point> = TSequence::linear(vec![TInstant::new(
+            Point::new(9.0, 9.0),
+            TimestampTz::from_unix_secs(0),
+        )])
+        .unwrap()
+        .into();
+        assert_ne!(tpoint_value(tp()), tpoint_value(other));
+    }
+
+    #[test]
+    fn size_estimates_scale_with_instants() {
+        let v = tpoint_value(tp());
+        assert_eq!(v.est_bytes(), 2 * 24 + 16);
+        let g = geometry_value(Geometry::Circle {
+            center: Point::new(0.0, 0.0),
+            radius: 10.0,
+        });
+        assert_eq!(g.est_bytes(), 24);
+    }
+
+    #[test]
+    fn primitive_conversions() {
+        let p = as_point(&Value::Point { x: 4.3, y: 50.8 }).unwrap();
+        assert_eq!((p.x, p.y), (4.3, 50.8));
+        assert!(as_point(&Value::Int(1)).is_err());
+        let t = as_meos_ts(&Value::Timestamp(1_000_000)).unwrap();
+        assert_eq!(t.unix_secs(), 1);
+        assert!(as_meos_ts(&Value::text("x")).is_err());
+    }
+
+    #[test]
+    fn stbox_and_tfloat_wrappers() {
+        let b = STBox::from_coords(0.0, 1.0, 0.0, 1.0, None).unwrap();
+        let v = stbox_value(b.clone());
+        assert_eq!(as_stbox(&v).unwrap(), &b);
+        let tf: Temporal<f64> = TSequence::linear(vec![
+            TInstant::new(1.0, TimestampTz::from_unix_secs(0)),
+            TInstant::new(2.0, TimestampTz::from_unix_secs(5)),
+        ])
+        .unwrap()
+        .into();
+        let fv = tfloat_value(tf);
+        assert_eq!(as_tfloat(&fv).unwrap().num_instants(), 2);
+    }
+}

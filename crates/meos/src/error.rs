@@ -1,0 +1,63 @@
+//! Error type shared by all meos modules.
+
+use std::fmt;
+
+/// Errors produced by temporal-type construction, restriction and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeosError {
+    /// A textual literal could not be parsed; carries a human-readable
+    /// description including the offending fragment.
+    Parse(String),
+    /// A constructor was handed arguments violating a type invariant
+    /// (e.g. unsorted instants, an empty sequence, `lower > upper`).
+    InvalidArgument(String),
+    /// An operation that requires a non-empty temporal value received an
+    /// empty one.
+    Empty(&'static str),
+}
+
+impl fmt::Display for MeosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeosError::Parse(msg) => write!(f, "parse error: {msg}"),
+            MeosError::InvalidArgument(msg) => {
+                write!(f, "invalid argument: {msg}")
+            }
+            MeosError::Empty(what) => {
+                write!(f, "operation requires a non-empty {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeosError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MeosError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            MeosError::Parse("bad token".into()).to_string(),
+            "parse error: bad token"
+        );
+        assert_eq!(
+            MeosError::InvalidArgument("lower > upper".into()).to_string(),
+            "invalid argument: lower > upper"
+        );
+        assert_eq!(
+            MeosError::Empty("sequence").to_string(),
+            "operation requires a non-empty sequence"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&MeosError::Empty("period"));
+    }
+}

@@ -1,0 +1,578 @@
+//! Lightweight geometry: points, linestrings, polygons and circles with
+//! Euclidean and haversine (geodetic) metrics.
+//!
+//! MEOS delegates geometry to PostGIS/GEOS; this reimplementation covers the
+//! subset the mobility workload needs — distances, point-in-polygon,
+//! segment projection/intersection — for coordinates that are either planar
+//! (Euclidean) or WGS84 lon/lat degrees (haversine). Geodetic point↔segment
+//! computations use a local equirectangular projection centred on the query
+//! point, exact to well under 0.1% for the sub-50 km extents of a rail
+//! network.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mean Earth radius in metres (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A 2-D point. For geodetic data `x` is longitude and `y` latitude, in
+/// degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate (longitude in degrees for geodetic data).
+    pub x: f64,
+    /// Y coordinate (latitude in degrees for geodetic data).
+    pub y: f64,
+}
+
+impl Point {
+    /// Builds a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Linear interpolation between `self` and `other` at fraction
+    /// `frac ∈ [0, 1]`.
+    pub fn lerp(&self, other: &Point, frac: f64) -> Point {
+        Point {
+            x: self.x + (other.x - self.x) * frac,
+            y: self.y + (other.y - self.y) * frac,
+        }
+    }
+
+    /// Planar Euclidean distance in coordinate units.
+    pub fn euclidean(&self, other: &Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Great-circle (haversine) distance in metres; coordinates are
+    /// interpreted as lon/lat degrees.
+    pub fn haversine(&self, other: &Point) -> f64 {
+        let (lat1, lat2) = (self.y.to_radians(), other.y.to_radians());
+        let dlat = (other.y - self.y).to_radians();
+        let dlon = (other.x - self.x).to_radians();
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "POINT({} {})", self.x, self.y)
+    }
+}
+
+/// Distance metric selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Planar distance in coordinate units.
+    Euclidean,
+    /// Great-circle distance in metres over lon/lat degrees.
+    Haversine,
+}
+
+impl Metric {
+    /// Distance between two points under this metric.
+    pub fn distance(&self, a: &Point, b: &Point) -> f64 {
+        match self {
+            Metric::Euclidean => a.euclidean(b),
+            Metric::Haversine => a.haversine(b),
+        }
+    }
+
+    /// Projects `p` into a local planar frame centred at `origin`
+    /// (metres for haversine; identity for Euclidean).
+    pub fn to_local(&self, origin: &Point, p: &Point) -> Point {
+        match self {
+            Metric::Euclidean => Point::new(p.x - origin.x, p.y - origin.y),
+            Metric::Haversine => {
+                let k = EARTH_RADIUS_M * std::f64::consts::PI / 180.0;
+                Point::new(
+                    (p.x - origin.x) * k * origin.y.to_radians().cos(),
+                    (p.y - origin.y) * k,
+                )
+            }
+        }
+    }
+
+    /// Shortest distance from point `p` to segment `a`–`b`.
+    pub fn dist_point_segment(&self, p: &Point, a: &Point, b: &Point) -> f64 {
+        let (pl, al, bl) =
+            (self.to_local(p, p), self.to_local(p, a), self.to_local(p, b));
+        let t = closest_param(&pl, &al, &bl);
+        let c = al.lerp(&bl, t);
+        pl.euclidean(&c)
+    }
+
+    /// Parameter `t ∈ [0, 1]` of the closest point to `p` along `a`–`b`.
+    pub fn closest_point_param(&self, p: &Point, a: &Point, b: &Point) -> f64 {
+        let (pl, al, bl) =
+            (self.to_local(p, p), self.to_local(p, a), self.to_local(p, b));
+        closest_param(&pl, &al, &bl)
+    }
+
+    /// Shortest distance between segments `a0`–`a1` and `b0`–`b1`.
+    pub fn dist_segment_segment(
+        &self,
+        a0: &Point,
+        a1: &Point,
+        b0: &Point,
+        b1: &Point,
+    ) -> f64 {
+        if segments_intersect(a0, a1, b0, b1) {
+            return 0.0;
+        }
+        self.dist_point_segment(a0, b0, b1)
+            .min(self.dist_point_segment(a1, b0, b1))
+            .min(self.dist_point_segment(b0, a0, a1))
+            .min(self.dist_point_segment(b1, a0, a1))
+    }
+}
+
+/// Closest-point parameter in planar coordinates.
+fn closest_param(p: &Point, a: &Point, b: &Point) -> f64 {
+    let (dx, dy) = (b.x - a.x, b.y - a.y);
+    let len2 = dx * dx + dy * dy;
+    if len2 <= f64::EPSILON {
+        return 0.0;
+    }
+    (((p.x - a.x) * dx + (p.y - a.y) * dy) / len2).clamp(0.0, 1.0)
+}
+
+/// 2-D cross product of `(b-a)` and `(c-a)`.
+fn cross(a: &Point, b: &Point, c: &Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// True iff segments `p0`–`p1` and `q0`–`q1` intersect (planar test; used
+/// for topology, where the metric distinction is immaterial at rail scales).
+pub fn segments_intersect(p0: &Point, p1: &Point, q0: &Point, q1: &Point) -> bool {
+    let d1 = cross(q0, q1, p0);
+    let d2 = cross(q0, q1, p1);
+    let d3 = cross(p0, p1, q0);
+    let d4 = cross(p0, p1, q1);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    let on = |a: &Point, b: &Point, c: &Point, d: f64| {
+        d == 0.0
+            && c.x >= a.x.min(b.x)
+            && c.x <= a.x.max(b.x)
+            && c.y >= a.y.min(b.y)
+            && c.y <= a.y.max(b.y)
+    };
+    on(q0, q1, p0, d1) || on(q0, q1, p1, d2) || on(p0, p1, q0, d3) || on(p0, p1, q1, d4)
+}
+
+/// Intersection parameters `(t, u)` such that
+/// `p0 + t·(p1−p0) == q0 + u·(q1−q0)`, when the (non-collinear) segments
+/// cross.
+pub fn segment_intersection_params(
+    p0: &Point,
+    p1: &Point,
+    q0: &Point,
+    q1: &Point,
+) -> Option<(f64, f64)> {
+    let r = Point::new(p1.x - p0.x, p1.y - p0.y);
+    let s = Point::new(q1.x - q0.x, q1.y - q0.y);
+    let denom = r.x * s.y - r.y * s.x;
+    if denom.abs() < 1e-24 {
+        return None;
+    }
+    let qp = Point::new(q0.x - p0.x, q0.y - p0.y);
+    let t = (qp.x * s.y - qp.y * s.x) / denom;
+    let u = (qp.x * r.y - qp.y * r.x) / denom;
+    if (-1e-12..=1.0 + 1e-12).contains(&t) && (-1e-12..=1.0 + 1e-12).contains(&u) {
+        Some((t.clamp(0.0, 1.0), u.clamp(0.0, 1.0)))
+    } else {
+        None
+    }
+}
+
+/// An open polyline.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LineString {
+    /// The vertices in order.
+    pub points: Vec<Point>,
+}
+
+impl LineString {
+    /// Builds a linestring from vertices.
+    pub fn new(points: Vec<Point>) -> Self {
+        LineString { points }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total length under `metric`.
+    pub fn length(&self, metric: Metric) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| metric.distance(&w[0], &w[1]))
+            .sum()
+    }
+
+    /// Shortest distance from `p` to the polyline.
+    pub fn distance_to_point(&self, p: &Point, metric: Metric) -> f64 {
+        if self.points.len() == 1 {
+            return metric.distance(p, &self.points[0]);
+        }
+        self.points
+            .windows(2)
+            .map(|w| metric.dist_point_segment(p, &w[0], &w[1]))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Axis-aligned bounding box `(xmin, ymin, xmax, ymax)`.
+    pub fn bbox(&self) -> Option<(f64, f64, f64, f64)> {
+        bbox_of(&self.points)
+    }
+}
+
+fn bbox_of(pts: &[Point]) -> Option<(f64, f64, f64, f64)> {
+    let first = pts.first()?;
+    let mut bb = (first.x, first.y, first.x, first.y);
+    for p in &pts[1..] {
+        bb.0 = bb.0.min(p.x);
+        bb.1 = bb.1.min(p.y);
+        bb.2 = bb.2.max(p.x);
+        bb.3 = bb.3.max(p.y);
+    }
+    Some(bb)
+}
+
+/// A polygon with an exterior ring and optional holes. Rings are stored
+/// without the closing duplicate vertex.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    /// Exterior ring vertices (≥ 3, unclosed).
+    pub exterior: Vec<Point>,
+    /// Interior rings (holes), each ≥ 3 unclosed vertices.
+    pub holes: Vec<Vec<Point>>,
+}
+
+impl Polygon {
+    /// Builds a polygon; panics in debug builds when a ring has < 3
+    /// vertices (the parser and constructors validate beforehand).
+    pub fn new(exterior: Vec<Point>, holes: Vec<Vec<Point>>) -> Self {
+        debug_assert!(exterior.len() >= 3, "polygon exterior needs >= 3 points");
+        debug_assert!(holes.iter().all(|h| h.len() >= 3));
+        Polygon { exterior, holes }
+    }
+
+    /// Convenience constructor without holes.
+    pub fn simple(exterior: Vec<Point>) -> Self {
+        Polygon::new(exterior, Vec::new())
+    }
+
+    /// An axis-aligned rectangle.
+    pub fn rect(xmin: f64, ymin: f64, xmax: f64, ymax: f64) -> Self {
+        Polygon::simple(vec![
+            Point::new(xmin, ymin),
+            Point::new(xmax, ymin),
+            Point::new(xmax, ymax),
+            Point::new(xmin, ymax),
+        ])
+    }
+
+    /// Even-odd (ray casting) point-in-ring test.
+    fn ring_contains(ring: &[Point], p: &Point) -> bool {
+        let mut inside = false;
+        let n = ring.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let (pi, pj) = (&ring[i], &ring[j]);
+            if ((pi.y > p.y) != (pj.y > p.y))
+                && (p.x
+                    < (pj.x - pi.x) * (p.y - pi.y) / (pj.y - pi.y) + pi.x)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// True iff `p` lies inside the polygon (holes excluded).
+    pub fn contains(&self, p: &Point) -> bool {
+        Self::ring_contains(&self.exterior, p)
+            && !self.holes.iter().any(|h| Self::ring_contains(h, p))
+    }
+
+    /// Iterates the edges of every ring as vertex pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (&Point, &Point)> {
+        std::iter::once(&self.exterior)
+            .chain(self.holes.iter())
+            .flat_map(|ring| {
+                let n = ring.len();
+                (0..n).map(move |i| (&ring[i], &ring[(i + 1) % n]))
+            })
+    }
+
+    /// Distance from `p` to the polygon: 0 inside, else shortest distance
+    /// to any ring edge.
+    pub fn distance_to_point(&self, p: &Point, metric: Metric) -> f64 {
+        if self.contains(p) {
+            return 0.0;
+        }
+        self.boundary_distance(p, metric)
+    }
+
+    /// Shortest distance from `p` to the polygon boundary (even when `p`
+    /// is inside).
+    pub fn boundary_distance(&self, p: &Point, metric: Metric) -> f64 {
+        self.edges()
+            .map(|(a, b)| metric.dist_point_segment(p, a, b))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Axis-aligned bounding box of the exterior ring.
+    pub fn bbox(&self) -> (f64, f64, f64, f64) {
+        bbox_of(&self.exterior).expect("polygon exterior non-empty")
+    }
+}
+
+/// A geometry value as carried in streams and geofences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Geometry {
+    /// A single point.
+    Point(Point),
+    /// An open polyline.
+    Line(LineString),
+    /// A polygon, possibly with holes.
+    Polygon(Polygon),
+    /// A circle around `center` with radius in metres (haversine) or
+    /// coordinate units (Euclidean).
+    Circle {
+        /// Circle centre.
+        center: Point,
+        /// Radius, in the unit of the metric used at evaluation time.
+        radius: f64,
+    },
+}
+
+impl Geometry {
+    /// True iff `p` is inside/on the geometry (points match exactly,
+    /// lines never contain).
+    pub fn contains(&self, p: &Point, metric: Metric) -> bool {
+        match self {
+            Geometry::Point(q) => q == p,
+            Geometry::Line(_) => false,
+            Geometry::Polygon(poly) => poly.contains(p),
+            Geometry::Circle { center, radius } => {
+                metric.distance(center, p) <= *radius
+            }
+        }
+    }
+
+    /// Distance from `p` to the geometry (0 when contained).
+    pub fn distance_to_point(&self, p: &Point, metric: Metric) -> f64 {
+        match self {
+            Geometry::Point(q) => metric.distance(p, q),
+            Geometry::Line(l) => l.distance_to_point(p, metric),
+            Geometry::Polygon(poly) => poly.distance_to_point(p, metric),
+            Geometry::Circle { center, radius } => {
+                (metric.distance(center, p) - radius).max(0.0)
+            }
+        }
+    }
+
+    /// Axis-aligned bounding box in coordinate units. For circles the
+    /// radius is converted from metres when `metric` is haversine.
+    pub fn bbox(&self, metric: Metric) -> (f64, f64, f64, f64) {
+        match self {
+            Geometry::Point(p) => (p.x, p.y, p.x, p.y),
+            Geometry::Line(l) => l.bbox().unwrap_or((0.0, 0.0, 0.0, 0.0)),
+            Geometry::Polygon(poly) => poly.bbox(),
+            Geometry::Circle { center, radius } => {
+                let (rx, ry) = match metric {
+                    Metric::Euclidean => (*radius, *radius),
+                    Metric::Haversine => {
+                        let k = EARTH_RADIUS_M * std::f64::consts::PI / 180.0;
+                        (
+                            radius / (k * center.y.to_radians().cos()),
+                            radius / k,
+                        )
+                    }
+                };
+                (center.x - rx, center.y - ry, center.x + rx, center.y + ry)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.euclidean(&b), 5.0);
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Brussels Midi to Antwerp Central: ~41.5 km.
+        let brussels = Point::new(4.3367, 50.8354);
+        let antwerp = Point::new(4.4211, 51.2172);
+        let d = brussels.haversine(&antwerp);
+        assert!((41_000.0..43_500.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn haversine_zero_and_symmetry() {
+        let a = Point::new(4.35, 50.85);
+        let b = Point::new(4.40, 50.90);
+        assert_eq!(a.haversine(&a), 0.0);
+        assert!((a.haversine(&b) - b.haversine(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_projection_consistent_with_haversine() {
+        let a = Point::new(4.35, 50.85);
+        let b = Point::new(4.37, 50.86);
+        let bl = Metric::Haversine.to_local(&a, &b);
+        let approx = bl.euclidean(&Point::new(0.0, 0.0));
+        let exact = a.haversine(&b);
+        assert!((approx - exact).abs() / exact < 1e-3, "{approx} vs {exact}");
+    }
+
+    #[test]
+    fn point_segment_distance() {
+        let m = Metric::Euclidean;
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        assert_eq!(m.dist_point_segment(&Point::new(5.0, 3.0), &a, &b), 3.0);
+        assert_eq!(m.dist_point_segment(&Point::new(-4.0, 3.0), &a, &b), 5.0);
+        assert_eq!(m.closest_point_param(&Point::new(5.0, 3.0), &a, &b), 0.5);
+        assert_eq!(m.closest_point_param(&Point::new(-1.0, 0.0), &a, &b), 0.0);
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let m = Metric::Euclidean;
+        let a = Point::new(2.0, 2.0);
+        assert_eq!(m.dist_point_segment(&Point::new(2.0, 5.0), &a, &a), 3.0);
+    }
+
+    #[test]
+    fn segment_intersection() {
+        let p0 = Point::new(0.0, 0.0);
+        let p1 = Point::new(10.0, 10.0);
+        let q0 = Point::new(0.0, 10.0);
+        let q1 = Point::new(10.0, 0.0);
+        assert!(segments_intersect(&p0, &p1, &q0, &q1));
+        let (t, u) = segment_intersection_params(&p0, &p1, &q0, &q1).unwrap();
+        assert!((t - 0.5).abs() < 1e-12);
+        assert!((u - 0.5).abs() < 1e-12);
+        assert!(segment_intersection_params(
+            &p0,
+            &Point::new(1.0, 1.0),
+            &Point::new(5.0, 0.0),
+            &Point::new(5.0, 1.0)
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn segment_segment_distance() {
+        let m = Metric::Euclidean;
+        let d = m.dist_segment_segment(
+            &Point::new(0.0, 0.0),
+            &Point::new(10.0, 0.0),
+            &Point::new(0.0, 5.0),
+            &Point::new(10.0, 5.0),
+        );
+        assert_eq!(d, 5.0);
+        let crossing = m.dist_segment_segment(
+            &Point::new(0.0, 0.0),
+            &Point::new(10.0, 10.0),
+            &Point::new(0.0, 10.0),
+            &Point::new(10.0, 0.0),
+        );
+        assert_eq!(crossing, 0.0);
+    }
+
+    #[test]
+    fn linestring_length_and_distance() {
+        let l = LineString::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 4.0),
+        ]);
+        assert_eq!(l.length(Metric::Euclidean), 7.0);
+        assert_eq!(l.distance_to_point(&Point::new(1.0, 1.0), Metric::Euclidean), 1.0);
+        assert_eq!(l.bbox(), Some((0.0, 0.0, 3.0, 4.0)));
+    }
+
+    #[test]
+    fn polygon_contains() {
+        let poly = Polygon::rect(0.0, 0.0, 10.0, 10.0);
+        assert!(poly.contains(&Point::new(5.0, 5.0)));
+        assert!(!poly.contains(&Point::new(15.0, 5.0)));
+        let with_hole = Polygon::new(
+            poly.exterior.clone(),
+            vec![vec![
+                Point::new(4.0, 4.0),
+                Point::new(6.0, 4.0),
+                Point::new(6.0, 6.0),
+                Point::new(4.0, 6.0),
+            ]],
+        );
+        assert!(!with_hole.contains(&Point::new(5.0, 5.0)), "inside hole");
+        assert!(with_hole.contains(&Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn polygon_distance() {
+        let poly = Polygon::rect(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(poly.distance_to_point(&Point::new(5.0, 5.0), Metric::Euclidean), 0.0);
+        assert_eq!(poly.distance_to_point(&Point::new(13.0, 5.0), Metric::Euclidean), 3.0);
+        assert_eq!(poly.boundary_distance(&Point::new(5.0, 5.0), Metric::Euclidean), 5.0);
+    }
+
+    #[test]
+    fn circle_geometry() {
+        let g = Geometry::Circle { center: Point::new(0.0, 0.0), radius: 5.0 };
+        assert!(g.contains(&Point::new(3.0, 4.0), Metric::Euclidean));
+        assert!(!g.contains(&Point::new(4.0, 4.0), Metric::Euclidean));
+        assert_eq!(g.distance_to_point(&Point::new(0.0, 8.0), Metric::Euclidean), 3.0);
+        let bb = g.bbox(Metric::Euclidean);
+        assert_eq!(bb, (-5.0, -5.0, 5.0, 5.0));
+    }
+
+    #[test]
+    fn circle_bbox_haversine() {
+        let g = Geometry::Circle { center: Point::new(4.35, 50.85), radius: 1000.0 };
+        let (xmin, ymin, xmax, ymax) = g.bbox(Metric::Haversine);
+        // 1 km in degrees latitude is ~0.009°.
+        assert!((ymax - ymin) > 0.017 && (ymax - ymin) < 0.019);
+        assert!((xmax - xmin) > (ymax - ymin), "lon span wider at 50°N");
+    }
+
+    #[test]
+    fn geometry_dispatch() {
+        let p = Geometry::Point(Point::new(1.0, 1.0));
+        assert!(p.contains(&Point::new(1.0, 1.0), Metric::Euclidean));
+        assert_eq!(p.distance_to_point(&Point::new(4.0, 5.0), Metric::Euclidean), 5.0);
+        let l = Geometry::Line(LineString::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+        ]));
+        assert!(!l.contains(&Point::new(5.0, 0.0), Metric::Euclidean));
+        assert_eq!(l.distance_to_point(&Point::new(5.0, 2.0), Metric::Euclidean), 2.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! # meos — a pure-Rust reimplementation of MEOS (Mobility Engine Open Source)
+//!
+//! MEOS is the C library underpinning [MobilityDB] that manages *temporal*
+//! and *spatiotemporal* values: values that change over time, such as the
+//! position of a train (a *temporal point*), its speed (a *temporal float*),
+//! or whether it is inside a maintenance zone (a *temporal boolean*).
+//!
+//! This crate reimplements, from scratch and in safe Rust, the surface of
+//! MEOS exercised by the SIGMOD 2025 demonstration *"Mobility Stream
+//! Processing on NebulaStream and MEOS"*:
+//!
+//! - **Time types** — [`TimestampTz`], [`TimeDelta`], [`Period`],
+//!   [`PeriodSet`] and the generic [`Span`]/[`SpanSet`] algebra they are
+//!   built on ([`span`], [`time`]).
+//! - **Geometry** — lightweight planar/geodetic geometry: [`Point`],
+//!   [`LineString`], [`Polygon`], [`Geometry`] with Euclidean and haversine
+//!   metrics ([`geo`]).
+//! - **Temporal types** — [`TInstant`], [`TSequence`], [`TSequenceSet`] and
+//!   the [`Temporal`] sum type, generic over bool / i64 / f64 / text /
+//!   [`Point`] base values with step or linear interpolation
+//!   ([`temporal`]).
+//! - **Bounding boxes** — [`TBox`] and [`STBox`] with the topological
+//!   operators used for pruning ([`boxes`]).
+//! - **Temporal-point operations** — trajectory, length, speed, azimuth,
+//!   distance, `edwithin`/`adwithin`, `tpoint_at_stbox`, `at_geometry`,
+//!   stop detection and Douglas–Peucker simplification ([`tpoint`]).
+//! - **Aggregation** — extent, temporal count, time-weighted average, and
+//!   the streaming [`agg::SequenceBuilder`] ([`agg`]).
+//! - **Text I/O** — MobilityDB-style literals such as
+//!   `[POINT(4.35 50.85)@2025-06-22T10:00:00Z, …)` ([`wkt`]).
+//!
+//! [MobilityDB]: https://github.com/MobilityDB/MobilityDB
+//!
+//! ## Quick example
+//!
+//! ```
+//! use meos::prelude::*;
+//!
+//! let t0 = TimestampTz::from_ymd_hms(2025, 6, 22, 10, 0, 0).unwrap();
+//! let mk = |sec: i64, x: f64, y: f64| {
+//!     TInstant::new(Point::new(x, y), t0 + TimeDelta::from_secs(sec))
+//! };
+//! let trip = TSequence::linear(vec![
+//!     mk(0, 4.35, 50.85),
+//!     mk(60, 4.36, 50.86),
+//!     mk(120, 4.38, 50.86),
+//! ]).unwrap();
+//!
+//! // Length of the trajectory in metres (haversine on lon/lat degrees).
+//! let len = meos::tpoint::length(&trip);
+//! assert!(len > 1000.0);
+//!
+//! // Restrict the trip to a spatiotemporal box.
+//! let stbox = STBox::from_coords(4.34, 4.37, 50.84, 50.87, None).unwrap();
+//! let inside = meos::tpoint::at_stbox(&trip, &stbox);
+//! assert!(!inside.is_empty());
+//! ```
+
+pub mod agg;
+pub mod boxes;
+pub mod error;
+pub mod geo;
+pub mod span;
+pub mod temporal;
+pub mod time;
+pub mod tpoint;
+pub mod wkt;
+
+pub use boxes::{STBox, TBox};
+pub use error::{MeosError, Result};
+pub use geo::{Geometry, LineString, Metric, Point, Polygon};
+pub use span::{FloatSpan, IntSpan, Span, SpanSet};
+pub use temporal::{
+    Interp, TInstant, TSequence, TSequenceSet, TempValue, Temporal,
+};
+pub use time::{Period, PeriodSet, TimeDelta, TimestampSet, TimestampTz};
+
+/// Convenience re-exports covering the types used by virtually every
+/// downstream module.
+pub mod prelude {
+    pub use crate::agg::SequenceBuilder;
+    pub use crate::boxes::{STBox, TBox};
+    pub use crate::error::{MeosError, Result};
+    pub use crate::geo::{Geometry, LineString, Metric, Point, Polygon};
+    pub use crate::span::{Span, SpanSet};
+    pub use crate::temporal::{
+        Interp, TInstant, TSequence, TSequenceSet, TempValue, Temporal,
+    };
+    pub use crate::time::{
+        Period, PeriodSet, TimeDelta, TimestampSet, TimestampTz,
+    };
+}

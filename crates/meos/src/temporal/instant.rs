@@ -1,0 +1,58 @@
+//! [`TInstant`]: a single timestamped value.
+
+use super::value::TempValue;
+use crate::time::TimestampTz;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One value observed at one instant — the atom of every temporal type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TInstant<V: TempValue> {
+    /// The observed value.
+    pub value: V,
+    /// When it was observed.
+    pub t: TimestampTz,
+}
+
+impl<V: TempValue> TInstant<V> {
+    /// Builds an instant.
+    pub fn new(value: V, t: TimestampTz) -> Self {
+        TInstant { value, t }
+    }
+
+    /// Maps the value, keeping the timestamp.
+    pub fn map<U: TempValue>(&self, f: impl FnOnce(&V) -> U) -> TInstant<U> {
+        TInstant::new(f(&self.value), self.t)
+    }
+}
+
+impl<V: TempValue + fmt::Display> fmt::Display for TInstant<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.value, self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_map() {
+        let t = TimestampTz::from_unix_secs(100);
+        let i = TInstant::new(2.5f64, t);
+        assert_eq!(i.value, 2.5);
+        assert_eq!(i.t, t);
+        let doubled = i.map(|v| (v * 2.0) as i64);
+        assert_eq!(doubled.value, 5);
+        assert_eq!(doubled.t, t);
+    }
+
+    #[test]
+    fn display() {
+        let t = TimestampTz::from_ymd_hms(2025, 6, 22, 10, 0, 0).unwrap();
+        assert_eq!(
+            TInstant::new(2.5f64, t).to_string(),
+            "2.5@2025-06-22T10:00:00Z"
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Lifting of binary functions over synchronized temporal values.
+//!
+//! To evaluate `f(a, b)` over two temporal values, MEOS synchronizes them:
+//! restrict both to the common period, take the union of their instants,
+//! optionally insert *turning points* (timestamps where `f` over a pair of
+//! linear segments attains a local extremum — e.g. the closest approach of
+//! two moving points), and evaluate `f` at every resulting timestamp.
+
+use super::instant::TInstant;
+use super::sequence::TSequence;
+use super::value::{Interp, TempValue};
+use crate::time::TimestampTz;
+
+/// Computes an optional turning-point fraction in `(0, 1)` for one pair of
+/// synchronized segments, given the segment endpoint values of both inputs.
+pub type TurningFn<A, B> = fn(&A, &A, &B, &B) -> Option<f64>;
+
+/// Applies `f` to two synchronized sequences, producing a sequence of the
+/// result type. Returns `None` when the inputs do not overlap in time.
+///
+/// Both inputs must be continuous (step/linear); discrete inputs are
+/// synchronized on their common timestamps only.
+pub fn sync_apply<A, B, C>(
+    a: &TSequence<A>,
+    b: &TSequence<B>,
+    f: impl Fn(&A, &B) -> C,
+    turning: Option<TurningFn<A, B>>,
+) -> Option<TSequence<C>>
+where
+    A: TempValue,
+    B: TempValue,
+    C: TempValue,
+{
+    let out_interp = if C::can_linear() { Interp::Linear } else { Interp::Step };
+
+    if a.interp() == Interp::Discrete || b.interp() == Interp::Discrete {
+        // Intersect timestamps exactly.
+        let out: Vec<TInstant<C>> = a
+            .instants()
+            .iter()
+            .filter_map(|ia| {
+                b.value_at(ia.t).map(|bv| TInstant::new(f(&ia.value, &bv), ia.t))
+            })
+            .collect();
+        return TSequence::new(out, true, true, Interp::Discrete).ok();
+    }
+
+    let int = a.period().intersection(&b.period())?;
+    if int.is_instant() {
+        let t = int.lower();
+        let v = f(&a.value_at(t)?, &b.value_at(t)?);
+        return Some(TSequence::singleton(TInstant::new(v, t), out_interp));
+    }
+
+    // Union of instants within the intersection, plus its boundaries.
+    let mut times: Vec<TimestampTz> = Vec::with_capacity(
+        a.num_instants() + b.num_instants() + 2,
+    );
+    times.push(int.lower());
+    for t in a.timestamps().chain(b.timestamps()) {
+        if t > int.lower() && t < int.upper() {
+            times.push(t);
+        }
+    }
+    times.push(int.upper());
+    times.sort_unstable();
+    times.dedup();
+
+    // Insert turning points between consecutive sync times.
+    if let Some(turn) = turning {
+        let mut extra: Vec<TimestampTz> = Vec::new();
+        for w in times.windows(2) {
+            let (t0, t1) = (w[0], w[1]);
+            let (a0, a1) = (a.ivalue(t0), a.ivalue(t1));
+            let (b0, b1) = (b.ivalue(t0), b.ivalue(t1));
+            if let Some(frac) = turn(&a0, &a1, &b0, &b1) {
+                if frac > 0.0 && frac < 1.0 {
+                    let dt = (t1 - t0).micros() as f64;
+                    let tt = TimestampTz::from_micros(
+                        t0.micros() + (frac * dt).round() as i64,
+                    );
+                    if tt > t0 && tt < t1 {
+                        extra.push(tt);
+                    }
+                }
+            }
+        }
+        times.extend(extra);
+        times.sort_unstable();
+        times.dedup();
+    }
+
+    let out: Vec<TInstant<C>> = times
+        .iter()
+        .map(|&t| TInstant::new(f(&a.ivalue(t), &b.ivalue(t)), t))
+        .collect();
+    TSequence::new(out, int.lower_inc(), int.upper_inc(), out_interp).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(sec: i64) -> TimestampTz {
+        TimestampTz::from_unix_secs(sec)
+    }
+
+    fn lin(vals: &[(f64, i64)]) -> TSequence<f64> {
+        TSequence::linear(
+            vals.iter().map(|&(v, s)| TInstant::new(v, t(s))).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn adds_two_tfloats() {
+        let a = lin(&[(0.0, 0), (10.0, 10)]);
+        let b = lin(&[(5.0, 5), (5.0, 20)]);
+        let sum = sync_apply(&a, &b, |x, y| x + y, None).unwrap();
+        // Overlap is [5, 10].
+        assert_eq!(sum.start_timestamp(), t(5));
+        assert_eq!(sum.end_timestamp(), t(10));
+        assert_eq!(sum.value_at(t(5)), Some(10.0));
+        assert_eq!(sum.value_at(t(10)), Some(15.0));
+    }
+
+    #[test]
+    fn no_overlap_is_none() {
+        let a = lin(&[(0.0, 0), (1.0, 5)]);
+        let b = lin(&[(0.0, 10), (1.0, 15)]);
+        assert!(sync_apply(&a, &b, |x, y| x + y, None).is_none());
+    }
+
+    #[test]
+    fn sync_includes_union_of_instants() {
+        let a = lin(&[(0.0, 0), (10.0, 10)]);
+        let b = lin(&[(0.0, 0), (4.0, 4), (10.0, 10)]);
+        let sum = sync_apply(&a, &b, |x, y| x + y, None).unwrap();
+        assert_eq!(sum.num_instants(), 3, "instant at t=4 from b");
+        assert_eq!(sum.value_at(t(4)), Some(8.0));
+    }
+
+    #[test]
+    fn turning_point_inserted() {
+        // |a - b| has a minimum where the linear segments cross.
+        let a = lin(&[(0.0, 0), (10.0, 10)]);
+        let b = lin(&[(10.0, 0), (0.0, 10)]);
+        let turn: TurningFn<f64, f64> = |a0, a1, b0, b1| {
+            let d0 = a0 - b0;
+            let d1 = a1 - b1;
+            if (d0 < 0.0) != (d1 < 0.0) {
+                Some(d0.abs() / (d0 - d1).abs())
+            } else {
+                None
+            }
+        };
+        let diff =
+            sync_apply(&a, &b, |x, y| (x - y).abs(), Some(turn)).unwrap();
+        assert_eq!(diff.num_instants(), 3);
+        assert_eq!(diff.value_at(t(5)), Some(0.0), "crossing captured");
+    }
+
+    #[test]
+    fn discrete_inputs_intersect_timestamps() {
+        let a = TSequence::discrete(vec![
+            TInstant::new(1.0, t(0)),
+            TInstant::new(2.0, t(10)),
+            TInstant::new(3.0, t(20)),
+        ])
+        .unwrap();
+        let b = TSequence::discrete(vec![
+            TInstant::new(10.0, t(10)),
+            TInstant::new(10.0, t(30)),
+        ])
+        .unwrap();
+        let sum = sync_apply(&a, &b, |x, y| x + y, None).unwrap();
+        assert_eq!(sum.num_instants(), 1);
+        assert_eq!(sum.value_at(t(10)), Some(12.0));
+    }
+
+    #[test]
+    fn instant_overlap_yields_singleton() {
+        let a = lin(&[(0.0, 0), (10.0, 10)]);
+        let b = lin(&[(1.0, 10), (2.0, 20)]);
+        let s = sync_apply(&a, &b, |x, y| x * y, None).unwrap();
+        assert_eq!(s.num_instants(), 1);
+        assert_eq!(s.value_at(t(10)), Some(10.0));
+    }
+}

@@ -1,0 +1,276 @@
+//! Temporal types: values that evolve over time.
+//!
+//! MEOS models a temporal value at three granularities:
+//!
+//! - [`TInstant`] — one value at one timestamp,
+//! - [`TSequence`] — a run of instants with an interpolation
+//!   ([`Interp::Discrete`], [`Interp::Step`] or [`Interp::Linear`]) and
+//!   per-bound inclusivity,
+//! - [`TSequenceSet`] — an ordered set of disjoint sequences (a value with
+//!   temporal gaps).
+//!
+//! [`Temporal`] is the sum type used by generic code. All types are generic
+//! over the base value via [`TempValue`], implemented here for `bool`,
+//! `i64`, `f64`, `String` and [`crate::geo::Point`].
+
+mod instant;
+mod lifting;
+mod sequence;
+mod seqset;
+mod tfloat;
+mod value;
+
+pub use instant::TInstant;
+pub use lifting::{sync_apply, TurningFn};
+pub use sequence::TSequence;
+pub use seqset::TSequenceSet;
+pub use value::{Interp, TempValue};
+
+use crate::error::Result;
+use crate::time::{Period, TimeDelta, TimestampTz};
+use serde::{Deserialize, Serialize};
+
+/// A temporal value at any granularity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Temporal<V: TempValue> {
+    /// A single timestamped value.
+    Instant(TInstant<V>),
+    /// A contiguous evolution of the value.
+    Sequence(TSequence<V>),
+    /// An evolution with gaps.
+    SequenceSet(TSequenceSet<V>),
+}
+
+impl<V: TempValue> Temporal<V> {
+    /// Total number of instants across all components.
+    pub fn num_instants(&self) -> usize {
+        match self {
+            Temporal::Instant(_) => 1,
+            Temporal::Sequence(s) => s.num_instants(),
+            Temporal::SequenceSet(ss) => ss.num_instants(),
+        }
+    }
+
+    /// Tight period covering the value.
+    pub fn period(&self) -> Period {
+        match self {
+            Temporal::Instant(i) => Period::point(i.t),
+            Temporal::Sequence(s) => s.period(),
+            Temporal::SequenceSet(ss) => ss.period(),
+        }
+    }
+
+    /// Time over which the value is actually defined (gaps excluded).
+    pub fn duration(&self) -> TimeDelta {
+        match self {
+            Temporal::Instant(_) => TimeDelta::ZERO,
+            Temporal::Sequence(s) => s.duration(),
+            Temporal::SequenceSet(ss) => ss.duration(),
+        }
+    }
+
+    /// Value at timestamp `t`, if defined there.
+    pub fn value_at(&self, t: TimestampTz) -> Option<V> {
+        match self {
+            Temporal::Instant(i) => (i.t == t).then(|| i.value.clone()),
+            Temporal::Sequence(s) => s.value_at(t),
+            Temporal::SequenceSet(ss) => ss.value_at(t),
+        }
+    }
+
+    /// First value in time order.
+    pub fn start_value(&self) -> V {
+        match self {
+            Temporal::Instant(i) => i.value.clone(),
+            Temporal::Sequence(s) => s.start_value(),
+            Temporal::SequenceSet(ss) => ss.start_value(),
+        }
+    }
+
+    /// Last value in time order.
+    pub fn end_value(&self) -> V {
+        match self {
+            Temporal::Instant(i) => i.value.clone(),
+            Temporal::Sequence(s) => s.end_value(),
+            Temporal::SequenceSet(ss) => ss.end_value(),
+        }
+    }
+
+    /// First timestamp.
+    pub fn start_timestamp(&self) -> TimestampTz {
+        self.period().lower()
+    }
+
+    /// Last timestamp.
+    pub fn end_timestamp(&self) -> TimestampTz {
+        self.period().upper()
+    }
+
+    /// True iff the predicate holds for *some* instant value.
+    ///
+    /// For continuous interpolation this inspects the stored instants;
+    /// exact for monotone predicates (comparisons against constants), the
+    /// only kind MEOS's `ever_*` family exposes.
+    pub fn ever(&self, pred: impl Fn(&V) -> bool) -> bool {
+        match self {
+            Temporal::Instant(i) => pred(&i.value),
+            Temporal::Sequence(s) => s.ever(pred),
+            Temporal::SequenceSet(ss) => ss.ever(pred),
+        }
+    }
+
+    /// True iff the predicate holds for *every* instant value.
+    pub fn always(&self, pred: impl Fn(&V) -> bool) -> bool {
+        match self {
+            Temporal::Instant(i) => pred(&i.value),
+            Temporal::Sequence(s) => s.always(pred),
+            Temporal::SequenceSet(ss) => ss.always(pred),
+        }
+    }
+
+    /// Restricts to a period; `None` when the result is empty.
+    pub fn at_period(&self, p: &Period) -> Option<Temporal<V>> {
+        match self {
+            Temporal::Instant(i) => {
+                p.contains_value(i.t).then(|| Temporal::Instant(i.clone()))
+            }
+            Temporal::Sequence(s) => s.at_period(p).map(seq_or_instant),
+            Temporal::SequenceSet(ss) => {
+                let restricted = ss.at_period(p)?;
+                Some(simplify_seqset(restricted))
+            }
+        }
+    }
+
+    /// The component sequences as a normalized view (an instant becomes a
+    /// singleton sequence).
+    pub fn to_sequences(&self) -> Vec<TSequence<V>> {
+        match self {
+            Temporal::Instant(i) => {
+                vec![TSequence::singleton(i.clone(), V::default_interp())]
+            }
+            Temporal::Sequence(s) => vec![s.clone()],
+            Temporal::SequenceSet(ss) => ss.sequences().to_vec(),
+        }
+    }
+
+    /// Shifts the whole value in time.
+    pub fn shift(&self, delta: TimeDelta) -> Temporal<V> {
+        match self {
+            Temporal::Instant(i) => {
+                Temporal::Instant(TInstant::new(i.value.clone(), i.t + delta))
+            }
+            Temporal::Sequence(s) => Temporal::Sequence(s.shift(delta)),
+            Temporal::SequenceSet(ss) => Temporal::SequenceSet(ss.shift(delta)),
+        }
+    }
+
+    /// Builds the simplest Temporal holding the given sequences.
+    pub fn from_sequences(seqs: Vec<TSequence<V>>) -> Result<Temporal<V>> {
+        let ss = TSequenceSet::new(seqs)?;
+        Ok(simplify_seqset(ss))
+    }
+}
+
+/// Collapses a singleton sequence into an instant where possible.
+fn seq_or_instant<V: TempValue>(s: TSequence<V>) -> Temporal<V> {
+    if s.num_instants() == 1 {
+        Temporal::Instant(s.instants()[0].clone())
+    } else {
+        Temporal::Sequence(s)
+    }
+}
+
+/// Collapses a one-sequence set into its sequence/instant form.
+fn simplify_seqset<V: TempValue>(ss: TSequenceSet<V>) -> Temporal<V> {
+    if ss.num_sequences() == 1 {
+        seq_or_instant(ss.into_sequences().pop().expect("one sequence"))
+    } else {
+        Temporal::SequenceSet(ss)
+    }
+}
+
+impl<V: TempValue> From<TInstant<V>> for Temporal<V> {
+    fn from(i: TInstant<V>) -> Self {
+        Temporal::Instant(i)
+    }
+}
+
+impl<V: TempValue> From<TSequence<V>> for Temporal<V> {
+    fn from(s: TSequence<V>) -> Self {
+        Temporal::Sequence(s)
+    }
+}
+
+impl<V: TempValue> From<TSequenceSet<V>> for Temporal<V> {
+    fn from(ss: TSequenceSet<V>) -> Self {
+        Temporal::SequenceSet(ss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{TimeDelta, TimestampTz};
+
+    fn t(sec: i64) -> TimestampTz {
+        TimestampTz::from_unix_secs(sec)
+    }
+
+    fn fseq(vals: &[(f64, i64)]) -> TSequence<f64> {
+        TSequence::linear(
+            vals.iter().map(|&(v, s)| TInstant::new(v, t(s))).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn temporal_delegation() {
+        let temp: Temporal<f64> = fseq(&[(1.0, 0), (3.0, 10)]).into();
+        assert_eq!(temp.num_instants(), 2);
+        assert_eq!(temp.start_value(), 1.0);
+        assert_eq!(temp.end_value(), 3.0);
+        assert_eq!(temp.duration(), TimeDelta::from_secs(10));
+        assert_eq!(temp.value_at(t(5)), Some(2.0));
+        assert!(temp.ever(|v| *v > 2.5));
+        assert!(!temp.always(|v| *v > 2.5));
+    }
+
+    #[test]
+    fn at_period_simplifies() {
+        let temp: Temporal<f64> = fseq(&[(1.0, 0), (3.0, 10)]).into();
+        let p = Period::inclusive(t(5), t(5)).unwrap();
+        match temp.at_period(&p) {
+            Some(Temporal::Instant(i)) => {
+                assert_eq!(i.value, 2.0);
+                assert_eq!(i.t, t(5));
+            }
+            other => panic!("expected instant, got {other:?}"),
+        }
+        assert!(temp
+            .at_period(&Period::inclusive(t(100), t(200)).unwrap())
+            .is_none());
+    }
+
+    #[test]
+    fn instant_roundtrip() {
+        let temp: Temporal<f64> = TInstant::new(5.0, t(7)).into();
+        assert_eq!(temp.period(), Period::point(t(7)));
+        assert_eq!(temp.value_at(t(7)), Some(5.0));
+        assert_eq!(temp.value_at(t(8)), None);
+        let shifted = temp.shift(TimeDelta::from_secs(3));
+        assert_eq!(shifted.value_at(t(10)), Some(5.0));
+    }
+
+    #[test]
+    fn from_sequences_builds_simplest_form() {
+        let a = fseq(&[(1.0, 0), (2.0, 10)]);
+        let b = fseq(&[(5.0, 20), (6.0, 30)]);
+        let one = Temporal::from_sequences(vec![a.clone()]).unwrap();
+        assert!(matches!(one, Temporal::Sequence(_)));
+        let two = Temporal::from_sequences(vec![a, b]).unwrap();
+        assert!(matches!(two, Temporal::SequenceSet(_)));
+        assert_eq!(two.num_instants(), 4);
+        assert_eq!(two.duration(), TimeDelta::from_secs(20));
+    }
+}

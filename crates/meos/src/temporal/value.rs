@@ -1,0 +1,111 @@
+//! Base-value trait for temporal types and the interpolation enum.
+
+use crate::geo::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How values evolve between consecutive instants of a sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Interp {
+    /// Instants are isolated samples; the value is undefined between them.
+    Discrete,
+    /// The value holds constant until the next instant.
+    Step,
+    /// The value varies linearly between instants (floats, points).
+    Linear,
+}
+
+impl fmt::Display for Interp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interp::Discrete => write!(f, "Discrete"),
+            Interp::Step => write!(f, "Step"),
+            Interp::Linear => write!(f, "Linear"),
+        }
+    }
+}
+
+/// A type usable as the base value of a temporal type.
+pub trait TempValue:
+    Clone + PartialEq + fmt::Debug + Send + Sync + 'static
+{
+    /// Interpolates between `a` and `b` at `frac ∈ [0, 1]`. The default is
+    /// step semantics (returns `a`).
+    fn lerp(a: &Self, b: &Self, _frac: f64) -> Self {
+        let _ = b;
+        a.clone()
+    }
+
+    /// Whether linear interpolation is meaningful for this type.
+    fn can_linear() -> bool {
+        false
+    }
+
+    /// The interpolation MEOS assigns to sequences of this type by default.
+    fn default_interp() -> Interp {
+        Interp::Step
+    }
+}
+
+impl TempValue for bool {}
+
+impl TempValue for i64 {}
+
+impl TempValue for String {}
+
+impl TempValue for f64 {
+    fn lerp(a: &Self, b: &Self, frac: f64) -> Self {
+        a + (b - a) * frac
+    }
+
+    fn can_linear() -> bool {
+        true
+    }
+
+    fn default_interp() -> Interp {
+        Interp::Linear
+    }
+}
+
+impl TempValue for Point {
+    fn lerp(a: &Self, b: &Self, frac: f64) -> Self {
+        Point::lerp(a, b, frac)
+    }
+
+    fn can_linear() -> bool {
+        true
+    }
+
+    fn default_interp() -> Interp {
+        Interp::Linear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_types_ignore_fraction() {
+        assert!(!<bool as TempValue>::can_linear());
+        assert!(<bool as TempValue>::lerp(&true, &false, 0.9));
+        assert_eq!(<i64 as TempValue>::lerp(&1, &100, 0.5), 1);
+        assert_eq!(
+            <String as TempValue>::lerp(&"a".into(), &"b".into(), 0.5),
+            "a"
+        );
+    }
+
+    #[test]
+    fn linear_types_interpolate() {
+        assert_eq!(<f64 as TempValue>::lerp(&1.0, &3.0, 0.5), 2.0);
+        let p = <Point as TempValue>::lerp(
+            &Point::new(0.0, 0.0),
+            &Point::new(10.0, 20.0),
+            0.25,
+        );
+        assert_eq!((p.x, p.y), (2.5, 5.0));
+        assert_eq!(<f64 as TempValue>::default_interp(), Interp::Linear);
+        assert_eq!(<bool as TempValue>::default_interp(), Interp::Step);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the span/span-set algebra: the set-semantics
+//! laws every other layer (periods, sequences, boxes) builds on.
+
+use meos::span::{Span, SpanSet};
+use proptest::prelude::*;
+
+/// Arbitrary non-empty float span with random bound flags.
+fn span_strategy() -> impl Strategy<Value = Span<f64>> {
+    (
+        -1_000.0f64..1_000.0,
+        0.0f64..500.0,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+    )
+        .prop_filter_map("non-empty span", |(lo, width, li, ui)| {
+            let hi = lo + width;
+            if width == 0.0 && !(li && ui) {
+                None
+            } else {
+                Span::new(lo, hi, li, ui).ok()
+            }
+        })
+}
+
+fn spanset_strategy() -> impl Strategy<Value = SpanSet<f64>> {
+    proptest::collection::vec(span_strategy(), 0..8).prop_map(SpanSet::from_spans)
+}
+
+proptest! {
+    #[test]
+    fn intersection_symmetric(a in span_strategy(), b in span_strategy()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn intersection_contained_in_both(a in span_strategy(), b in span_strategy()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_span(&i), "{a:?} ⊇ {i:?}");
+            prop_assert!(b.contains_span(&i));
+        }
+    }
+
+    #[test]
+    fn union_contains_both(a in span_strategy(), b in span_strategy()) {
+        if let Some(u) = a.union(&b) {
+            prop_assert!(u.contains_span(&a));
+            prop_assert!(u.contains_span(&b));
+        }
+    }
+
+    #[test]
+    fn minus_disjoint_from_subtrahend(a in span_strategy(), b in span_strategy()) {
+        for piece in a.minus(&b) {
+            prop_assert!(a.contains_span(&piece));
+            prop_assert!(!piece.overlaps(&b), "{piece:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn minus_plus_intersection_partitions(
+        a in span_strategy(),
+        b in span_strategy(),
+        x in -1_200.0f64..1_200.0,
+    ) {
+        // Every point of `a` is either in a\b or in a∩b, never both.
+        let in_a = a.contains_value(x);
+        let in_minus = a.minus(&b).iter().any(|s| s.contains_value(x));
+        let in_int = a.intersection(&b).is_some_and(|s| s.contains_value(x));
+        prop_assert_eq!(in_a, in_minus || in_int);
+        prop_assert!(!(in_minus && in_int));
+    }
+
+    #[test]
+    fn contains_value_consistent_with_bounds(s in span_strategy(), x in -1_200.0f64..1_200.0) {
+        if s.contains_value(x) {
+            prop_assert!(x >= s.lower() && x <= s.upper());
+        }
+        if x > s.lower() && x < s.upper() {
+            prop_assert!(s.contains_value(x));
+        }
+    }
+
+    #[test]
+    fn distance_zero_iff_touching(a in span_strategy(), b in span_strategy()) {
+        let d = a.distance(&b);
+        prop_assert!(d >= 0.0);
+        if a.overlaps(&b) {
+            prop_assert_eq!(d, 0.0);
+        }
+        prop_assert_eq!(d, b.distance(&a));
+    }
+
+    #[test]
+    fn spanset_normalization_idempotent(set in spanset_strategy()) {
+        let renorm = SpanSet::from_spans(set.spans().to_vec());
+        prop_assert_eq!(&renorm, &set);
+        // Members are strictly ordered and pairwise non-mergeable.
+        for w in set.spans().windows(2) {
+            prop_assert!(w[0].is_before(&w[1]));
+            prop_assert!(!w[0].is_adjacent(&w[1]));
+        }
+    }
+
+    #[test]
+    fn spanset_union_membership(
+        a in spanset_strategy(),
+        b in spanset_strategy(),
+        x in -1_200.0f64..1_200.0,
+    ) {
+        let u = a.union(&b);
+        prop_assert_eq!(
+            u.contains_value(x),
+            a.contains_value(x) || b.contains_value(x)
+        );
+    }
+
+    #[test]
+    fn spanset_intersection_membership(
+        a in spanset_strategy(),
+        b in spanset_strategy(),
+        x in -1_200.0f64..1_200.0,
+    ) {
+        let i = a.intersection(&b);
+        prop_assert_eq!(
+            i.contains_value(x),
+            a.contains_value(x) && b.contains_value(x)
+        );
+    }
+
+    #[test]
+    fn spanset_minus_membership(
+        a in spanset_strategy(),
+        b in spanset_strategy(),
+        x in -1_200.0f64..1_200.0,
+    ) {
+        let m = a.minus(&b);
+        prop_assert_eq!(
+            m.contains_value(x),
+            a.contains_value(x) && !b.contains_value(x)
+        );
+    }
+
+    #[test]
+    fn spanset_total_width_additive_under_disjoint_union(set in spanset_strategy()) {
+        // Width of the set equals the sum of member widths (members are
+        // disjoint by construction).
+        let total: f64 = set.spans().iter().map(|s| s.width()).sum();
+        prop_assert!((set.total_width() - total).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for temporal-point operations: restriction to
+//! boxes is sound and tight, distances are consistent, simplification
+//! preserves endpoints and tolerance.
+
+use meos::boxes::STBox;
+use meos::geo::{Geometry, Metric, Point};
+use meos::temporal::{TInstant, TSequence};
+use meos::time::TimestampTz;
+use meos::tpoint;
+use proptest::prelude::*;
+
+/// A random planar trajectory (Euclidean metric keeps assertions exact).
+fn traj_strategy() -> impl Strategy<Value = TSequence<Point>> {
+    proptest::collection::vec(
+        (-100.0f64..100.0, -100.0f64..100.0, 1i64..20),
+        2..30,
+    )
+    .prop_map(|pts| {
+        let mut t = 0i64;
+        let instants = pts
+            .into_iter()
+            .map(|(x, y, dt)| {
+                t += dt;
+                TInstant::new(Point::new(x, y), TimestampTz::from_unix_secs(t))
+            })
+            .collect();
+        TSequence::linear(instants).expect("increasing times")
+    })
+}
+
+fn box_strategy() -> impl Strategy<Value = STBox> {
+    (-120.0f64..80.0, 0.0f64..120.0, -120.0f64..80.0, 0.0f64..120.0).prop_map(
+        |(x0, w, y0, h)| {
+            STBox::from_coords(x0, x0 + w, y0, y0 + h, None).expect("valid")
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn at_stbox_pieces_inside_box(seq in traj_strategy(), bx in box_strategy()) {
+        // Entry/exit instants are quantized to whole microseconds, so the
+        // re-interpolated boundary position can deviate by up to
+        // (coordinate span) × (0.5 µs / min segment duration) ≈ 1e-4 here.
+        const TOL: f64 = 1e-4;
+        for piece in tpoint::at_stbox(&seq, &bx) {
+            for inst in piece.instants() {
+                prop_assert!(
+                    inst.value.x >= bx.xmin() - TOL
+                        && inst.value.x <= bx.xmax() + TOL
+                        && inst.value.y >= bx.ymin() - TOL
+                        && inst.value.y <= bx.ymax() + TOL,
+                    "{:?} outside {bx:?}", inst.value
+                );
+            }
+            // Temporal soundness: pieces live within the original period.
+            prop_assert!(seq.period().contains_span(&piece.period()));
+        }
+    }
+
+    #[test]
+    fn at_stbox_complete(seq in traj_strategy(), bx in box_strategy(), frac in 0.0f64..1.0) {
+        // Any sampled instant strictly inside the box must be covered by
+        // some restriction piece.
+        let span = (seq.end_timestamp() - seq.start_timestamp()).micros();
+        let t = TimestampTz::from_micros(
+            seq.start_timestamp().micros() + (span as f64 * frac) as i64,
+        );
+        let Some(p) = seq.value_at(t) else { return Ok(()); };
+        let strictly_inside = p.x > bx.xmin() + 1e-9
+            && p.x < bx.xmax() - 1e-9
+            && p.y > bx.ymin() + 1e-9
+            && p.y < bx.ymax() - 1e-9;
+        if strictly_inside {
+            let covered = tpoint::at_stbox(&seq, &bx)
+                .iter()
+                .any(|piece| piece.value_at(t).is_some());
+            prop_assert!(covered, "inside point at {t} not covered");
+        }
+    }
+
+    #[test]
+    fn nad_lower_bounds_vertex_distance(seq in traj_strategy(), x in -100.0f64..100.0, y in -100.0f64..100.0) {
+        let g = Geometry::Point(Point::new(x, y));
+        let nad = tpoint::nearest_approach_distance(&seq, &g, Metric::Euclidean);
+        let vertex_min = seq
+            .values()
+            .map(|p| p.euclidean(&Point::new(x, y)))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(nad <= vertex_min + 1e-9, "nad {nad} > vertex min {vertex_min}");
+        prop_assert!(nad >= 0.0);
+        // edwithin is consistent with nad.
+        prop_assert!(tpoint::edwithin(&seq, &g, nad + 1e-9, Metric::Euclidean));
+        if nad > 1e-9 {
+            prop_assert!(!tpoint::edwithin(&seq, &g, nad - 1e-9, Metric::Euclidean));
+        }
+    }
+
+    #[test]
+    fn distance_sequence_attains_nad(seq in traj_strategy(), x in -100.0f64..100.0, y in -100.0f64..100.0) {
+        let g = Geometry::Point(Point::new(x, y));
+        let d = tpoint::distance_to_geometry(&seq, &g, Metric::Euclidean);
+        let nad = tpoint::nearest_approach_distance(&seq, &g, Metric::Euclidean);
+        prop_assert!((d.min_value() - nad).abs() < 1e-6,
+            "distance sequence min {} vs nad {nad}", d.min_value());
+    }
+
+    #[test]
+    fn simplify_preserves_endpoints_and_tolerance(seq in traj_strategy(), tol in 0.1f64..20.0) {
+        let simp = tpoint::simplify_dp(&seq, tol, Metric::Euclidean);
+        prop_assert!(simp.num_instants() <= seq.num_instants());
+        prop_assert_eq!(simp.start_value(), seq.start_value());
+        prop_assert_eq!(simp.end_value(), seq.end_value());
+        prop_assert_eq!(simp.start_timestamp(), seq.start_timestamp());
+        prop_assert_eq!(simp.end_timestamp(), seq.end_timestamp());
+        // Douglas–Peucker guarantee: every dropped vertex is within tol
+        // of the simplified *spatial* path.
+        let line = tpoint::trajectory(&simp);
+        for inst in seq.instants() {
+            let d = line.distance_to_point(&inst.value, Metric::Euclidean);
+            prop_assert!(d <= tol + 1e-9, "dropped vertex {d} > {tol}");
+        }
+    }
+
+    #[test]
+    fn length_is_additive_under_time_split(seq in traj_strategy(), frac in 0.1f64..0.9) {
+        let span = (seq.end_timestamp() - seq.start_timestamp()).micros();
+        let mid = TimestampTz::from_micros(
+            seq.start_timestamp().micros() + (span as f64 * frac) as i64,
+        );
+        let first = seq
+            .at_period(&meos::time::Period::inclusive(seq.start_timestamp(), mid).unwrap())
+            .expect("non-empty");
+        let second = seq
+            .at_period(&meos::time::Period::inclusive(mid, seq.end_timestamp()).unwrap())
+            .expect("non-empty");
+        let total = tpoint::length_with(&seq, Metric::Euclidean);
+        let sum = tpoint::length_with(&first, Metric::Euclidean)
+            + tpoint::length_with(&second, Metric::Euclidean);
+        prop_assert!((total - sum).abs() < 1e-6 * (1.0 + total), "{total} vs {sum}");
+    }
+
+    #[test]
+    fn speed_consistent_with_length(seq in traj_strategy()) {
+        if let Some(sp) = tpoint::speed(&seq, Metric::Euclidean) {
+            // Integrating speed over time recovers trajectory length.
+            let integral = sp.integral();
+            let length = tpoint::length_with(&seq, Metric::Euclidean);
+            prop_assert!(
+                (integral - length).abs() < 1e-6 * (1.0 + length),
+                "∫speed {integral} vs length {length}"
+            );
+        }
+    }
+
+    #[test]
+    fn stbox_bounds_trajectory(seq in traj_strategy()) {
+        let bx = STBox::from_tpoint(&seq);
+        for p in seq.values() {
+            prop_assert!(bx.contains_point(p));
+        }
+        // Tightness: some vertex touches each side.
+        let touches = |f: &dyn Fn(&Point) -> bool| seq.values().any(f);
+        prop_assert!(touches(&|p| (p.x - bx.xmin()).abs() < 1e-12));
+        prop_assert!(touches(&|p| (p.x - bx.xmax()).abs() < 1e-12));
+        prop_assert!(touches(&|p| (p.y - bx.ymin()).abs() < 1e-12));
+        prop_assert!(touches(&|p| (p.y - bx.ymax()).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based round-trip tests for the MobilityDB-style text I/O.
+
+use meos::geo::Point;
+use meos::temporal::{Interp, TInstant, TSequence, TSequenceSet, Temporal};
+use meos::time::TimestampTz;
+use meos::wkt;
+use proptest::prelude::*;
+
+/// Timestamps within a sane calendar range (year ~1970–2100).
+fn ts_strategy() -> impl Strategy<Value = TimestampTz> {
+    (0i64..4_000_000_000).prop_map(TimestampTz::from_unix_secs)
+}
+
+fn increasing_ts(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<TimestampTz>> {
+    (ts_strategy(), proptest::collection::vec(1i64..100_000, n)).prop_map(
+        |(start, gaps)| {
+            let mut t = start;
+            gaps.into_iter()
+                .map(|g| {
+                    t += meos::time::TimeDelta::from_secs(g);
+                    t
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn timestamp_round_trip(t in ts_strategy()) {
+        let printed = t.to_string();
+        let parsed = TimestampTz::parse(&printed).unwrap();
+        prop_assert_eq!(parsed, t, "{}", printed);
+    }
+
+    #[test]
+    fn tfloat_sequence_round_trip(
+        times in increasing_ts(1..12),
+        values in proptest::collection::vec(-1e6f64..1e6, 12),
+        lower_inc in proptest::bool::ANY,
+        upper_inc in proptest::bool::ANY,
+    ) {
+        let instants: Vec<TInstant<f64>> = times
+            .iter()
+            .zip(&values)
+            .map(|(t, v)| TInstant::new(*v, *t))
+            .collect();
+        let seq = TSequence::new(instants, lower_inc, upper_inc, Interp::Linear)
+            .unwrap();
+        let printed = Temporal::Sequence(seq.clone()).to_string();
+        let parsed = wkt::parse_tfloat(&printed).unwrap();
+        prop_assert_eq!(parsed, Temporal::Sequence(seq), "{}", printed);
+    }
+
+    #[test]
+    fn tfloat_step_round_trip(
+        times in increasing_ts(2..8),
+        values in proptest::collection::vec(-1e3f64..1e3, 8),
+    ) {
+        let instants: Vec<TInstant<f64>> = times
+            .iter()
+            .zip(&values)
+            .map(|(t, v)| TInstant::new(*v, *t))
+            .collect();
+        let seq = TSequence::new(instants, true, true, Interp::Step).unwrap();
+        let printed = Temporal::Sequence(seq.clone()).to_string();
+        prop_assert!(printed.starts_with("Interp=Step;"), "{}", printed);
+        let parsed = wkt::parse_tfloat(&printed).unwrap();
+        prop_assert_eq!(parsed, Temporal::Sequence(seq));
+    }
+
+    #[test]
+    fn tpoint_round_trip(
+        times in increasing_ts(1..10),
+        coords in proptest::collection::vec((-180.0f64..180.0, -90.0f64..90.0), 10),
+    ) {
+        let instants: Vec<TInstant<Point>> = times
+            .iter()
+            .zip(&coords)
+            .map(|(t, (x, y))| TInstant::new(Point::new(*x, *y), *t))
+            .collect();
+        let seq = TSequence::linear(instants).unwrap();
+        let printed = Temporal::Sequence(seq.clone()).to_string();
+        let parsed = wkt::parse_tgeompoint(&printed).unwrap();
+        prop_assert_eq!(parsed, Temporal::Sequence(seq), "{}", printed);
+    }
+
+    #[test]
+    fn discrete_round_trip(
+        times in increasing_ts(1..10),
+        values in proptest::collection::vec(-1e3f64..1e3, 10),
+    ) {
+        let instants: Vec<TInstant<f64>> = times
+            .iter()
+            .zip(&values)
+            .map(|(t, v)| TInstant::new(*v, *t))
+            .collect();
+        let seq = TSequence::discrete(instants).unwrap();
+        let printed = Temporal::Sequence(seq.clone()).to_string();
+        prop_assert!(printed.starts_with('{'), "{}", printed);
+        let parsed = wkt::parse_tfloat(&printed).unwrap();
+        prop_assert_eq!(parsed, Temporal::Sequence(seq));
+    }
+
+    #[test]
+    fn sequence_set_round_trip(
+        times in increasing_ts(4..16),
+        values in proptest::collection::vec(-1e3f64..1e3, 16),
+    ) {
+        // Split the times into two disjoint runs.
+        let n = times.len();
+        if n < 4 { return Ok(()); }
+        let cut = n / 2;
+        let mk = |range: std::ops::Range<usize>| {
+            TSequence::linear(
+                times[range.clone()]
+                    .iter()
+                    .zip(&values[range])
+                    .map(|(t, v)| TInstant::new(*v, *t))
+                    .collect(),
+            )
+            .unwrap()
+        };
+        let ss = TSequenceSet::new(vec![mk(0..cut), mk(cut..n)]).unwrap();
+        let printed = Temporal::SequenceSet(ss.clone()).to_string();
+        let parsed = wkt::parse_tfloat(&printed).unwrap();
+        prop_assert_eq!(parsed, Temporal::SequenceSet(ss), "{}", printed);
+    }
+
+    #[test]
+    fn instant_round_trip(t in ts_strategy(), v in -1e9f64..1e9) {
+        let inst: Temporal<f64> = TInstant::new(v, t).into();
+        let parsed = wkt::parse_tfloat(&inst.to_string()).unwrap();
+        prop_assert_eq!(parsed, inst);
+    }
+
+    #[test]
+    fn point_round_trip(x in -180.0f64..180.0, y in -90.0f64..90.0) {
+        let p = Point::new(x, y);
+        let parsed = wkt::parse_point(&p.to_string()).unwrap();
+        prop_assert_eq!(parsed, p);
+    }
+}

@@ -1,0 +1,55 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors raised while planning, binding or executing queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NebulaError {
+    /// Query construction/compilation problem (unknown stream, bad plan).
+    Plan(String),
+    /// Expression binding/type problem (unknown column or function,
+    /// operand type mismatch).
+    Type(String),
+    /// Runtime evaluation failure.
+    Eval(String),
+    /// Source/sink I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for NebulaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NebulaError::Plan(m) => write!(f, "plan error: {m}"),
+            NebulaError::Type(m) => write!(f, "type error: {m}"),
+            NebulaError::Eval(m) => write!(f, "evaluation error: {m}"),
+            NebulaError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NebulaError {}
+
+impl From<std::io::Error> for NebulaError {
+    fn from(e: std::io::Error) -> Self {
+        NebulaError::Io(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NebulaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            NebulaError::Type("bad".into()).to_string(),
+            "type error: bad"
+        );
+        let io: NebulaError =
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(io.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Engine builtin scalar functions: math, selection, text and point
+//! helpers. Spatiotemporal functions deliberately live in the MEOS plugin,
+//! not here — the engine core stays domain-free.
+
+use super::registry::{ClosureFunction, FunctionRegistry};
+use crate::error::{NebulaError, Result};
+use crate::value::{DataType, Value};
+
+fn num(v: &Value, ctx: &str) -> Result<f64> {
+    v.as_float()
+        .ok_or_else(|| NebulaError::Eval(format!("{ctx}: expected numeric, got {v}")))
+}
+
+/// Registers all builtins into `reg`. Called by
+/// [`FunctionRegistry::with_builtins`].
+pub fn register_builtins(reg: &mut FunctionRegistry) {
+    let numeric_ret = |args: &[DataType]| -> Result<DataType> {
+        Ok(if args.contains(&DataType::Float) {
+            DataType::Float
+        } else {
+            DataType::Int
+        })
+    };
+
+    reg.register_or_replace(ClosureFunction::new_variadic(
+        "abs",
+        1,
+        1,
+        numeric_ret,
+        |args| match &args[0] {
+            Value::Int(v) => Ok(Value::Int(v.abs())),
+            Value::Float(v) => Ok(Value::Float(v.abs())),
+            Value::Null => Ok(Value::Null),
+            other => Err(NebulaError::Eval(format!("abs: non-numeric {other}"))),
+        },
+    ));
+
+    reg.register_or_replace(ClosureFunction::new(
+        "sqrt",
+        1,
+        DataType::Float,
+        |args| {
+            if args[0].is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Float(num(&args[0], "sqrt")?.sqrt()))
+        },
+    ));
+
+    for (name, f) in [
+        ("floor", f64::floor as fn(f64) -> f64),
+        ("ceil", f64::ceil),
+        ("round", f64::round),
+    ] {
+        reg.register_or_replace(ClosureFunction::new(
+            name,
+            1,
+            DataType::Float,
+            move |args| {
+                if args[0].is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Float(f(num(&args[0], name)?)))
+            },
+        ));
+    }
+
+    reg.register_or_replace(ClosureFunction::new_variadic(
+        "least",
+        2,
+        8,
+        numeric_ret,
+        |args| {
+            let mut best: Option<&Value> = None;
+            for a in args.iter().filter(|a| !a.is_null()) {
+                best = match best {
+                    Some(b)
+                        if b.partial_cmp_num(a)
+                            != Some(std::cmp::Ordering::Greater) =>
+                    {
+                        Some(b)
+                    }
+                    _ => Some(a),
+                };
+            }
+            Ok(best.cloned().unwrap_or(Value::Null))
+        },
+    ));
+
+    reg.register_or_replace(ClosureFunction::new_variadic(
+        "greatest",
+        2,
+        8,
+        numeric_ret,
+        |args| {
+            let mut best: Option<&Value> = None;
+            for a in args.iter().filter(|a| !a.is_null()) {
+                best = match best {
+                    Some(b)
+                        if b.partial_cmp_num(a)
+                            != Some(std::cmp::Ordering::Less) =>
+                    {
+                        Some(b)
+                    }
+                    _ => Some(a),
+                };
+            }
+            Ok(best.cloned().unwrap_or(Value::Null))
+        },
+    ));
+
+    reg.register_or_replace(ClosureFunction::new_variadic(
+        "coalesce",
+        1,
+        8,
+        |args| Ok(args.iter().find(|t| **t != DataType::Null).copied().unwrap_or(DataType::Null)),
+        |args| {
+            Ok(args
+                .iter()
+                .find(|v| !v.is_null())
+                .cloned()
+                .unwrap_or(Value::Null))
+        },
+    ));
+
+    // if(cond, then, else)
+    reg.register_or_replace(ClosureFunction::new_variadic(
+        "if",
+        3,
+        3,
+        |args| Ok(if args[1] != DataType::Null { args[1] } else { args[2] }),
+        |args| {
+            if args[0].as_bool().unwrap_or(false) {
+                Ok(args[1].clone())
+            } else {
+                Ok(args[2].clone())
+            }
+        },
+    ));
+
+    reg.register_or_replace(ClosureFunction::new(
+        "clamp",
+        3,
+        DataType::Float,
+        |args| {
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let v = num(&args[0], "clamp")?;
+            let lo = num(&args[1], "clamp")?;
+            let hi = num(&args[2], "clamp")?;
+            Ok(Value::Float(v.clamp(lo, hi)))
+        },
+    ));
+
+    // Text helpers.
+    reg.register_or_replace(ClosureFunction::new(
+        "upper",
+        1,
+        DataType::Text,
+        |args| match &args[0] {
+            Value::Text(s) => Ok(Value::text(s.to_uppercase())),
+            Value::Null => Ok(Value::Null),
+            other => Err(NebulaError::Eval(format!("upper: non-text {other}"))),
+        },
+    ));
+
+    reg.register_or_replace(ClosureFunction::new(
+        "lower",
+        1,
+        DataType::Text,
+        |args| match &args[0] {
+            Value::Text(s) => Ok(Value::text(s.to_lowercase())),
+            Value::Null => Ok(Value::Null),
+            other => Err(NebulaError::Eval(format!("lower: non-text {other}"))),
+        },
+    ));
+
+    reg.register_or_replace(ClosureFunction::new_variadic(
+        "concat",
+        2,
+        8,
+        |_| Ok(DataType::Text),
+        |args| {
+            let mut s = String::new();
+            for a in args {
+                if !a.is_null() {
+                    s.push_str(&a.to_string());
+                }
+            }
+            Ok(Value::text(s))
+        },
+    ));
+
+    // Point helpers — Point is an engine-native type.
+    reg.register_or_replace(ClosureFunction::new(
+        "point",
+        2,
+        DataType::Point,
+        |args| {
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Point { x: num(&args[0], "point")?, y: num(&args[1], "point")? })
+        },
+    ));
+
+    reg.register_or_replace(ClosureFunction::new("px", 1, DataType::Float, |args| {
+        match &args[0] {
+            Value::Point { x, .. } => Ok(Value::Float(*x)),
+            Value::Null => Ok(Value::Null),
+            other => Err(NebulaError::Eval(format!("px: non-point {other}"))),
+        }
+    }));
+
+    reg.register_or_replace(ClosureFunction::new("py", 1, DataType::Float, |args| {
+        match &args[0] {
+            Value::Point { y, .. } => Ok(Value::Float(*y)),
+            Value::Null => Ok(Value::Null),
+            other => Err(NebulaError::Eval(format!("py: non-point {other}"))),
+        }
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn invoke(name: &str, args: &[Value]) -> Value {
+        FunctionRegistry::with_builtins()
+            .get(name)
+            .unwrap_or_else(|| panic!("missing {name}"))
+            .invoke(args)
+            .unwrap()
+    }
+
+    #[test]
+    fn math_functions() {
+        assert_eq!(invoke("abs", &[Value::Int(-3)]), Value::Int(3));
+        assert_eq!(invoke("abs", &[Value::Float(-2.5)]), Value::Float(2.5));
+        assert_eq!(invoke("sqrt", &[Value::Int(9)]), Value::Float(3.0));
+        assert_eq!(invoke("floor", &[Value::Float(2.9)]), Value::Float(2.0));
+        assert_eq!(invoke("ceil", &[Value::Float(2.1)]), Value::Float(3.0));
+        assert_eq!(invoke("round", &[Value::Float(2.5)]), Value::Float(3.0));
+        assert_eq!(
+            invoke("clamp", &[Value::Float(5.0), Value::Float(0.0), Value::Float(2.0)]),
+            Value::Float(2.0)
+        );
+    }
+
+    #[test]
+    fn selection_functions() {
+        assert_eq!(
+            invoke("least", &[Value::Int(3), Value::Float(1.5)]),
+            Value::Float(1.5)
+        );
+        assert_eq!(
+            invoke("greatest", &[Value::Int(3), Value::Float(1.5)]),
+            Value::Int(3)
+        );
+        assert_eq!(
+            invoke("coalesce", &[Value::Null, Value::Int(7)]),
+            Value::Int(7)
+        );
+        assert_eq!(
+            invoke("if", &[Value::Bool(true), Value::Int(1), Value::Int(2)]),
+            Value::Int(1)
+        );
+        assert_eq!(
+            invoke("if", &[Value::Null, Value::Int(1), Value::Int(2)]),
+            Value::Int(2),
+            "null condition takes else branch"
+        );
+    }
+
+    #[test]
+    fn null_handling() {
+        assert_eq!(invoke("abs", &[Value::Null]), Value::Null);
+        assert_eq!(invoke("sqrt", &[Value::Null]), Value::Null);
+        assert_eq!(
+            invoke("least", &[Value::Null, Value::Int(2)]),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn text_functions() {
+        assert_eq!(invoke("upper", &[Value::text("ic")]), Value::text("IC"));
+        assert_eq!(invoke("lower", &[Value::text("IC")]), Value::text("ic"));
+        assert_eq!(
+            invoke("concat", &[Value::text("IC-"), Value::Int(540)]),
+            Value::text("IC-540")
+        );
+    }
+
+    #[test]
+    fn point_functions() {
+        let p = invoke("point", &[Value::Float(4.35), Value::Float(50.85)]);
+        assert_eq!(p, Value::Point { x: 4.35, y: 50.85 });
+        assert_eq!(invoke("px", std::slice::from_ref(&p)), Value::Float(4.35));
+        assert_eq!(invoke("py", &[p]), Value::Float(50.85));
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        let reg = FunctionRegistry::with_builtins();
+        assert!(reg.get("upper").unwrap().invoke(&[Value::Int(3)]).is_err());
+        assert!(reg.get("px").unwrap().invoke(&[Value::Int(3)]).is_err());
+    }
+}

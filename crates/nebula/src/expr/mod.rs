@@ -1,0 +1,383 @@
+//! The expression framework: an AST with a fluent builder, a bind/type
+//! check phase, and a vectorizable evaluator.
+//!
+//! Functions are resolved by name against the [`FunctionRegistry`], which
+//! plugins extend at runtime — NebulaStream's "dynamic registration"
+//! mechanism that NebulaMEOS uses to surface MEOS operations
+//! (`edwithin`, `tpoint_at_stbox`, …) inside queries.
+
+mod builtins;
+mod eval;
+mod registry;
+
+pub use builtins::register_builtins;
+pub use eval::BoundExpr;
+pub use registry::{ClosureFunction, FunctionRegistry, Plugin, ScalarFunction};
+
+use crate::error::{NebulaError, Result};
+use crate::schema::Schema;
+use crate::value::{DataType, Value};
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// logical AND (nulls coerce to false)
+    And,
+    /// logical OR (nulls coerce to false)
+    Or,
+}
+
+impl BinOp {
+    fn is_arith(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
+    }
+
+    fn is_cmp(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Logical negation.
+    Not,
+    /// Numeric negation.
+    Neg,
+}
+
+/// An unbound expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A constant.
+    Literal(Value),
+    /// A column reference by name.
+    Column(String),
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// A registered function call.
+    Call {
+        /// Function name (registry key).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// Column reference.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::Column(name.into())
+}
+
+/// Literal value.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Literal(v.into())
+}
+
+/// Function call.
+pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+    Expr::Call { name: name.into(), args }
+}
+
+macro_rules! binop_method {
+    ($fn_name:ident, $op:expr) => {
+        /// Builds the corresponding binary expression.
+        #[allow(clippy::should_implement_trait)]
+        pub fn $fn_name(self, rhs: Expr) -> Expr {
+            Expr::Binary { op: $op, lhs: Box::new(self), rhs: Box::new(rhs) }
+        }
+    };
+}
+
+impl Expr {
+    binop_method!(add, BinOp::Add);
+    binop_method!(sub, BinOp::Sub);
+    binop_method!(mul, BinOp::Mul);
+    binop_method!(div, BinOp::Div);
+    binop_method!(modulo, BinOp::Mod);
+    binop_method!(eq, BinOp::Eq);
+    binop_method!(ne, BinOp::Ne);
+    binop_method!(lt, BinOp::Lt);
+    binop_method!(le, BinOp::Le);
+    binop_method!(gt, BinOp::Gt);
+    binop_method!(ge, BinOp::Ge);
+    binop_method!(and, BinOp::And);
+    binop_method!(or, BinOp::Or);
+
+    /// Logical negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Unary { op: UnOp::Not, expr: Box::new(self) }
+    }
+
+    /// Numeric negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(self) -> Expr {
+        Expr::Unary { op: UnOp::Neg, expr: Box::new(self) }
+    }
+
+    /// `lo <= self AND self <= hi`.
+    pub fn between(self, lo: Expr, hi: Expr) -> Expr {
+        self.clone().ge(lo).and(self.le(hi))
+    }
+
+    /// Binds the expression against a schema and function registry,
+    /// resolving columns to indices and names to function handles, and
+    /// type-checks the tree. Returns the bound tree and its result type.
+    pub fn bind(
+        &self,
+        schema: &Schema,
+        registry: &FunctionRegistry,
+    ) -> Result<(BoundExpr, DataType)> {
+        match self {
+            Expr::Literal(v) => Ok((BoundExpr::Literal(v.clone()), v.data_type())),
+            Expr::Column(name) => {
+                let idx = schema.index_of(name).ok_or_else(|| {
+                    NebulaError::Type(format!(
+                        "unknown column '{name}' in schema {schema}"
+                    ))
+                })?;
+                let dt = schema.field_at(idx).expect("index valid").dtype;
+                Ok((BoundExpr::Column(idx), dt))
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let (bl, tl) = lhs.bind(schema, registry)?;
+                let (br, tr) = rhs.bind(schema, registry)?;
+                let out = binary_result_type(*op, tl, tr)?;
+                Ok((
+                    BoundExpr::Binary { op: *op, lhs: Box::new(bl), rhs: Box::new(br) },
+                    out,
+                ))
+            }
+            Expr::Unary { op, expr } => {
+                let (be, te) = expr.bind(schema, registry)?;
+                let out = match op {
+                    UnOp::Not => {
+                        if te != DataType::Bool && te != DataType::Null {
+                            return Err(NebulaError::Type(format!(
+                                "NOT requires BOOL, got {te}"
+                            )));
+                        }
+                        DataType::Bool
+                    }
+                    UnOp::Neg => match te {
+                        DataType::Int => DataType::Int,
+                        DataType::Float => DataType::Float,
+                        other => {
+                            return Err(NebulaError::Type(format!(
+                                "negation requires numeric, got {other}"
+                            )))
+                        }
+                    },
+                };
+                Ok((BoundExpr::Unary { op: *op, expr: Box::new(be) }, out))
+            }
+            Expr::Call { name, args } => {
+                let func = registry.get(name).ok_or_else(|| {
+                    NebulaError::Type(format!("unknown function '{name}'"))
+                })?;
+                if args.len() < func.min_args() || args.len() > func.max_args() {
+                    return Err(NebulaError::Type(format!(
+                        "function '{name}' expects {}..={} args, got {}",
+                        func.min_args(),
+                        func.max_args(),
+                        args.len()
+                    )));
+                }
+                let mut bound = Vec::with_capacity(args.len());
+                let mut types = Vec::with_capacity(args.len());
+                for a in args {
+                    let (b, t) = a.bind(schema, registry)?;
+                    bound.push(b);
+                    types.push(t);
+                }
+                let out = func.return_type(&types)?;
+                Ok((BoundExpr::Call { func, args: bound }, out))
+            }
+        }
+    }
+}
+
+fn binary_result_type(op: BinOp, tl: DataType, tr: DataType) -> Result<DataType> {
+    use DataType::*;
+    let numeric =
+        |t: DataType| matches!(t, Int | Float | Timestamp | Null);
+    if op.is_arith() {
+        if !numeric(tl) || !numeric(tr) {
+            return Err(NebulaError::Type(format!(
+                "operator {op} requires numeric operands, got {tl} and {tr}"
+            )));
+        }
+        return Ok(if tl == Float || tr == Float { Float } else { Int });
+    }
+    if op.is_cmp() {
+        let comparable = (numeric(tl) && numeric(tr))
+            || (tl == tr)
+            || tl == Null
+            || tr == Null;
+        if !comparable {
+            return Err(NebulaError::Type(format!(
+                "cannot compare {tl} with {tr}"
+            )));
+        }
+        return Ok(Bool);
+    }
+    // And / Or
+    for t in [tl, tr] {
+        if t != Bool && t != Null {
+            return Err(NebulaError::Type(format!(
+                "operator {op} requires BOOL operands, got {t}"
+            )));
+        }
+    }
+    Ok(Bool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::schema::Schema;
+
+    fn schema() -> crate::schema::SchemaRef {
+        Schema::of(&[
+            ("ts", DataType::Timestamp),
+            ("speed", DataType::Float),
+            ("train", DataType::Int),
+            ("name", DataType::Text),
+            ("ok", DataType::Bool),
+        ])
+    }
+
+    fn rec() -> Record {
+        Record::new(vec![
+            Value::Timestamp(1_000),
+            Value::Float(120.5),
+            Value::Int(7),
+            Value::text("IC-540"),
+            Value::Bool(true),
+        ])
+    }
+
+    fn eval(e: &Expr) -> Value {
+        let reg = FunctionRegistry::with_builtins();
+        let (b, _) = e.bind(&schema(), &reg).unwrap();
+        b.eval(&rec()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        assert_eq!(eval(&col("speed").mul(lit(2.0))), Value::Float(241.0));
+        assert_eq!(eval(&col("train").add(lit(1i64))), Value::Int(8));
+        assert_eq!(eval(&col("speed").gt(lit(100.0))), Value::Bool(true));
+        assert_eq!(eval(&col("train").le(lit(3i64))), Value::Bool(false));
+        assert_eq!(eval(&col("name").eq(lit("IC-540"))), Value::Bool(true));
+    }
+
+    #[test]
+    fn logic_and_unary() {
+        let e = col("ok").and(col("speed").gt(lit(100.0)));
+        assert_eq!(eval(&e), Value::Bool(true));
+        assert_eq!(eval(&col("ok").not()), Value::Bool(false));
+        assert_eq!(eval(&col("train").neg()), Value::Int(-7));
+        let between = col("speed").between(lit(100.0), lit(130.0));
+        assert_eq!(eval(&between), Value::Bool(true));
+    }
+
+    #[test]
+    fn bind_rejects_unknown_column() {
+        let reg = FunctionRegistry::with_builtins();
+        let err = col("missing").bind(&schema(), &reg).unwrap_err();
+        assert!(matches!(err, NebulaError::Type(_)));
+    }
+
+    #[test]
+    fn bind_rejects_type_mismatch() {
+        let reg = FunctionRegistry::with_builtins();
+        assert!(col("name").add(lit(1i64)).bind(&schema(), &reg).is_err());
+        assert!(col("name").and(col("ok")).bind(&schema(), &reg).is_err());
+        assert!(col("name").neg().bind(&schema(), &reg).is_err());
+        assert!(col("name").gt(lit(1i64)).bind(&schema(), &reg).is_err());
+    }
+
+    #[test]
+    fn result_types() {
+        let reg = FunctionRegistry::with_builtins();
+        let (_, t) = col("train").add(lit(1i64)).bind(&schema(), &reg).unwrap();
+        assert_eq!(t, DataType::Int);
+        let (_, t) = col("train").add(lit(0.5)).bind(&schema(), &reg).unwrap();
+        assert_eq!(t, DataType::Float);
+        let (_, t) = col("speed").gt(lit(1i64)).bind(&schema(), &reg).unwrap();
+        assert_eq!(t, DataType::Bool);
+    }
+
+    #[test]
+    fn call_binds_against_registry() {
+        let e = call("abs", vec![col("train").neg()]);
+        assert_eq!(eval(&e), Value::Int(7));
+        let reg = FunctionRegistry::with_builtins();
+        assert!(call("nope", vec![]).bind(&schema(), &reg).is_err());
+        assert!(call("abs", vec![]).bind(&schema(), &reg).is_err(), "arity");
+    }
+}

@@ -1,0 +1,110 @@
+//! # nebula — a NebulaStream-style IoT stream processing engine
+//!
+//! A from-scratch Rust reimplementation of the architectural skeleton of
+//! [NebulaStream] that the SIGMOD 2025 NebulaMEOS demonstration builds
+//! on:
+//!
+//! - **Buffer-batched push pipelines** — operators exchange
+//!   [`record::RecordBuffer`]s (the TupleBuffer analogue), not single
+//!   records ([`record`], [`runtime`]).
+//! - **An expression framework with runtime function registration** —
+//!   the plugin mechanism that lets extensions such as MEOS surface new
+//!   operations inside queries without engine changes ([`expr`]).
+//! - **Event-time windowing** — tumbling, sliding and NebulaStream's
+//!   *threshold* windows, closed by watermarks under bounded
+//!   out-of-orderness ([`window`], [`ops`]).
+//! - **Complex event processing** — keyed sequence patterns with a time
+//!   bound ([`ops::Pattern`]).
+//! - **A declarative query builder** compiled into physical operator
+//!   chains ([`query`]).
+//! - **Topology-aware operator placement** — sensor/edge/cloud tiers,
+//!   link cost accounting, edge-first vs cloud-only strategies, and
+//!   re-placement under node churn ([`topology`]).
+//!
+//! [NebulaStream]: https://nebula.stream
+//!
+//! ## Quick example
+//!
+//! ```
+//! use nebula::prelude::*;
+//!
+//! // A source of (ts, train, speed) records.
+//! let schema = Schema::of(&[
+//!     ("ts", DataType::Timestamp),
+//!     ("train", DataType::Int),
+//!     ("speed", DataType::Float),
+//! ]);
+//! let records: Vec<Record> = (0..100)
+//!     .map(|i| Record::new(vec![
+//!         Value::Timestamp(i * 1_000_000),
+//!         Value::Int(i % 3),
+//!         Value::Float((i % 60) as f64),
+//!     ]))
+//!     .collect();
+//!
+//! let mut env = StreamEnvironment::new();
+//! env.add_source(
+//!     "trains",
+//!     Box::new(VecSource::new(schema, records)),
+//!     WatermarkStrategy::None,
+//! );
+//!
+//! let query = Query::from("trains").filter(col("speed").gt(lit(50.0)));
+//! let (mut sink, results) = CollectingSink::new();
+//! let metrics = env.run(&query, &mut sink).unwrap();
+//! assert_eq!(metrics.records_in, 100);
+//! assert_eq!(results.len(), 9); // speeds 51..=59
+//! ```
+
+pub mod error;
+pub mod expr;
+pub mod metrics;
+pub mod ops;
+pub mod query;
+pub mod record;
+pub mod runtime;
+pub mod schema;
+pub mod sink;
+pub mod source;
+pub mod topology;
+pub mod value;
+pub mod window;
+
+pub use error::{NebulaError, Result};
+
+/// The types needed by almost every engine user.
+pub mod prelude {
+    pub use crate::error::{NebulaError, Result};
+    pub use crate::expr::{
+        call, col, lit, BoundExpr, ClosureFunction, Expr, FunctionRegistry,
+        Plugin, ScalarFunction,
+    };
+    pub use crate::metrics::QueryMetrics;
+    pub use crate::ops::{
+        CepOp, FilterOp, FlatMapOp, MapOp, Operator, OperatorFactory, Pattern,
+        PatternStep, WindowOp,
+    };
+    pub use crate::query::{compile, LogicalOp, Query};
+    pub use crate::record::{Record, RecordBuffer, StreamMessage};
+    pub use crate::runtime::{EnvConfig, StreamEnvironment};
+    pub use crate::schema::{Field, Schema, SchemaRef};
+    pub use crate::sink::{
+        CallbackSink, Collected, CollectingSink, CountingSink, CsvSink,
+        NullSink, Sink, SinkCounters,
+    };
+    pub use crate::source::{
+        CsvSource, GapSource, GeneratorSource, JitterSource, Source,
+        SourceBatch, VecSource, WatermarkStrategy, XorShift,
+    };
+    pub use crate::topology::{
+        measure_stage_bytes, network_cost, place, replace_after_failure,
+        NetworkCost, Node, NodeId, NodeKind, Placement, PlacementStrategy,
+        StageBytes, Topology,
+    };
+    pub use crate::value::{
+        DataType, DurationUs, EventTime, OpaqueValue, Value, MICROS_PER_SEC,
+    };
+    pub use crate::window::{
+        AggSpec, Aggregator, AggregatorFactory, WindowAgg, WindowSpec,
+    };
+}

@@ -1,0 +1,200 @@
+//! Query execution metrics: the measurements behind the paper's
+//! "ingestion rate and throughput per query" report.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters and timings for one query run.
+#[derive(Debug, Clone, Default)]
+pub struct QueryMetrics {
+    /// Records ingested from the source.
+    pub records_in: u64,
+    /// Records delivered to the sink.
+    pub records_out: u64,
+    /// Estimated bytes ingested.
+    pub bytes_in: u64,
+    /// Estimated bytes delivered.
+    pub bytes_out: u64,
+    /// Watermarks generated.
+    pub watermarks: u64,
+    /// Source batches processed.
+    pub batches: u64,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+    /// Per-buffer processing latency samples (µs from ingest to sink).
+    pub latency: Histogram,
+}
+
+impl QueryMetrics {
+    /// Ingest rate in events per second.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.records_in as f64 / secs
+        }
+    }
+
+    /// Ingest throughput in MB per second (10^6 bytes, as in the paper).
+    pub fn mb_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.bytes_in as f64 / 1_000_000.0 / secs
+        }
+    }
+
+    /// Mean ingested record width in bytes.
+    pub fn bytes_per_event(&self) -> f64 {
+        if self.records_in == 0 {
+            0.0
+        } else {
+            self.bytes_in as f64 / self.records_in as f64
+        }
+    }
+
+    /// Output selectivity (records out / records in).
+    pub fn selectivity(&self) -> f64 {
+        if self.records_in == 0 {
+            0.0
+        } else {
+            self.records_out as f64 / self.records_in as f64
+        }
+    }
+}
+
+impl QueryMetrics {
+    /// Per-buffer latency percentile in microseconds (`None` when no
+    /// buffers were processed).
+    pub fn latency_us(&mut self, percentile: f64) -> Option<f64> {
+        self.latency.percentile(percentile)
+    }
+}
+
+impl fmt::Display for QueryMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events in ({:.2} MB) -> {} out in {:.3}s | {:.0} e/s, {:.2} MB/s",
+            self.records_in,
+            self.bytes_in as f64 / 1_000_000.0,
+            self.records_out,
+            self.wall.as_secs_f64(),
+            self.events_per_sec(),
+            self.mb_per_sec(),
+        )
+    }
+}
+
+/// A simple percentile-capable sample collection (latency profiling).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True iff no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `p`-th percentile (0–100) by nearest-rank; `None` when empty.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        let idx = rank.clamp(1, self.samples.len()) - 1;
+        Some(self.samples[idx])
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().fold(None, |acc, v| {
+            Some(acc.map_or(v, |m: f64| m.max(v)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let m = QueryMetrics {
+            records_in: 20_000,
+            records_out: 100,
+            bytes_in: 2_240_000,
+            bytes_out: 10_000,
+            watermarks: 5,
+            batches: 20,
+            wall: Duration::from_secs(1),
+            ..QueryMetrics::default()
+        };
+        assert_eq!(m.events_per_sec(), 20_000.0);
+        assert!((m.mb_per_sec() - 2.24).abs() < 1e-9);
+        assert!((m.bytes_per_event() - 112.0).abs() < 1e-9);
+        assert!((m.selectivity() - 0.005).abs() < 1e-12);
+        let s = m.to_string();
+        assert!(s.contains("20000 events"));
+    }
+
+    #[test]
+    fn zero_duration_rates() {
+        let m = QueryMetrics::default();
+        assert_eq!(m.events_per_sec(), 0.0);
+        assert_eq!(m.mb_per_sec(), 0.0);
+        assert_eq!(m.bytes_per_event(), 0.0);
+        assert_eq!(m.selectivity(), 0.0);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.len(), 100);
+        assert_eq!(h.percentile(50.0), Some(50.0));
+        assert_eq!(h.percentile(99.0), Some(99.0));
+        assert_eq!(h.percentile(100.0), Some(100.0));
+        assert_eq!(h.mean(), Some(50.5));
+        assert_eq!(h.max(), Some(100.0));
+        assert_eq!(Histogram::new().percentile(50.0), None);
+        assert_eq!(Histogram::new().mean(), None);
+    }
+}

@@ -1,0 +1,426 @@
+//! Complex event processing: keyed sequence-pattern detection with a
+//! time bound — the substrate for the paper's geospatial CEP queries.
+//!
+//! Semantics: *skip-till-next-match*. Per key, a partial match advances by
+//! at most one step per record; non-matching records in between are
+//! skipped. A match must complete within `within` microseconds of its
+//! first event. Partial-match count per key is capped to bound memory on
+//! edge devices.
+
+use super::{GroupKey, Operator};
+use crate::error::{NebulaError, Result};
+use crate::expr::{BoundExpr, Expr, FunctionRegistry};
+use crate::record::{Record, RecordBuffer, StreamMessage};
+use crate::schema::{Field, SchemaRef};
+use crate::value::{DataType, DurationUs, EventTime, Value};
+use std::collections::HashMap;
+
+/// One step of a pattern.
+#[derive(Debug, Clone)]
+pub struct PatternStep {
+    /// Step name (diagnostics).
+    pub name: String,
+    /// Condition a record must satisfy to take this step.
+    pub predicate: Expr,
+}
+
+impl PatternStep {
+    /// Builds a step.
+    pub fn new(name: impl Into<String>, predicate: Expr) -> Self {
+        PatternStep { name: name.into(), predicate }
+    }
+}
+
+/// A sequence pattern over a keyed stream.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    /// Pattern name; emitted in the output's `pattern` column.
+    pub name: String,
+    /// The ordered steps.
+    pub steps: Vec<PatternStep>,
+    /// Maximum event-time span from first to last matched event (µs).
+    pub within: DurationUs,
+    /// Optional partitioning expression (e.g. the train id).
+    pub key: Option<Expr>,
+    /// Upper bound on concurrent partial matches per key.
+    pub max_partials: usize,
+}
+
+impl Pattern {
+    /// Builds a pattern with the default partial-match cap.
+    pub fn new(
+        name: impl Into<String>,
+        steps: Vec<PatternStep>,
+        within: DurationUs,
+    ) -> Self {
+        Pattern {
+            name: name.into(),
+            steps,
+            within,
+            key: None,
+            max_partials: 256,
+        }
+    }
+
+    /// Partitions matching by `key`.
+    pub fn keyed_by(mut self, key: Expr) -> Self {
+        self.key = Some(key);
+        self
+    }
+
+    /// Overrides the partial-match cap.
+    pub fn with_max_partials(mut self, cap: usize) -> Self {
+        self.max_partials = cap.max(1);
+        self
+    }
+}
+
+struct Partial {
+    next_step: usize,
+    first_ts: EventTime,
+}
+
+/// The CEP operator. Output schema: the input columns of the *final*
+/// matching record, plus `pattern` (TEXT), `match_start` and `match_end`
+/// (TIMESTAMP).
+pub struct CepOp {
+    pattern_name: String,
+    steps: Vec<BoundExpr>,
+    within: DurationUs,
+    key_expr: Option<BoundExpr>,
+    max_partials: usize,
+    ts_col: usize,
+    output: SchemaRef,
+    state: HashMap<GroupKey, Vec<Partial>>,
+    matches: u64,
+}
+
+impl CepOp {
+    /// Binds the pattern against the input schema. `ts_field` names the
+    /// event-time column.
+    pub fn new(
+        pattern: &Pattern,
+        ts_field: &str,
+        input: SchemaRef,
+        registry: &FunctionRegistry,
+    ) -> Result<Self> {
+        if pattern.steps.is_empty() {
+            return Err(NebulaError::Plan("pattern needs >= 1 step".into()));
+        }
+        if pattern.within <= 0 {
+            return Err(NebulaError::Plan("pattern 'within' must be positive".into()));
+        }
+        let ts_col = input.index_of(ts_field).ok_or_else(|| {
+            NebulaError::Plan(format!("cep: unknown ts field '{ts_field}'"))
+        })?;
+        let mut steps = Vec::with_capacity(pattern.steps.len());
+        for s in &pattern.steps {
+            let (b, t) = s.predicate.bind(&input, registry)?;
+            if t != DataType::Bool {
+                return Err(NebulaError::Type(format!(
+                    "pattern step '{}' predicate must be BOOL, got {t}",
+                    s.name
+                )));
+            }
+            steps.push(b);
+        }
+        let key_expr = match &pattern.key {
+            Some(k) => Some(k.bind(&input, registry)?.0),
+            None => None,
+        };
+        let output = input.extend(vec![
+            Field::new("pattern", DataType::Text),
+            Field::new("match_start", DataType::Timestamp),
+            Field::new("match_end", DataType::Timestamp),
+        ]);
+        Ok(CepOp {
+            pattern_name: pattern.name.clone(),
+            steps,
+            within: pattern.within,
+            key_expr,
+            max_partials: pattern.max_partials,
+            ts_col,
+            output,
+            state: HashMap::new(),
+            matches: 0,
+        })
+    }
+
+    /// Total matches emitted so far.
+    pub fn match_count(&self) -> u64 {
+        self.matches
+    }
+
+    fn key_of(&self, rec: &Record) -> Result<GroupKey> {
+        match &self.key_expr {
+            Some(e) => {
+                let (k, _) = GroupKey::evaluate(std::slice::from_ref(e), rec)?;
+                Ok(k)
+            }
+            None => Ok(GroupKey::evaluate(&[], rec)?.0),
+        }
+    }
+}
+
+impl Operator for CepOp {
+    fn name(&self) -> &str {
+        "cep"
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.output.clone()
+    }
+
+    fn process(
+        &mut self,
+        buf: RecordBuffer,
+        out: &mut Vec<StreamMessage>,
+    ) -> Result<()> {
+        let mut emitted: Vec<Record> = Vec::new();
+        for rec in buf.records() {
+            let ts = rec
+                .get(self.ts_col)
+                .and_then(Value::as_timestamp)
+                .ok_or_else(|| {
+                    NebulaError::Eval("cep: record missing event time".into())
+                })?;
+            let key = self.key_of(rec)?;
+            // Evaluate step predicates once per record.
+            let mut sat = Vec::with_capacity(self.steps.len());
+            for s in &self.steps {
+                sat.push(s.eval_predicate(rec)?);
+            }
+
+            let partials = self.state.entry(key).or_default();
+            // Expire partials that can no longer complete.
+            partials.retain(|p| ts - p.first_ts <= self.within);
+
+            let mut completed: Vec<EventTime> = Vec::new();
+            // Advance existing partials (each at most one step).
+            for p in partials.iter_mut() {
+                if sat[p.next_step] {
+                    p.next_step += 1;
+                    if p.next_step == self.steps.len() {
+                        completed.push(p.first_ts);
+                    }
+                }
+            }
+            partials.retain(|p| p.next_step < self.steps.len());
+
+            // Open a new partial (or complete immediately for unary
+            // patterns).
+            if sat[0] {
+                if self.steps.len() == 1 {
+                    completed.push(ts);
+                } else if partials.len() < self.max_partials {
+                    partials.push(Partial { next_step: 1, first_ts: ts });
+                }
+            }
+
+            for first_ts in completed {
+                self.matches += 1;
+                let mut values = rec.values().to_vec();
+                values.push(Value::text(self.pattern_name.clone()));
+                values.push(Value::Timestamp(first_ts));
+                values.push(Value::Timestamp(ts));
+                emitted.push(Record::new(values));
+            }
+        }
+        if !emitted.is_empty() {
+            out.push(StreamMessage::Data(RecordBuffer::new(
+                self.output.clone(),
+                emitted,
+            )));
+        }
+        Ok(())
+    }
+
+    fn on_watermark(
+        &mut self,
+        wm: EventTime,
+        out: &mut Vec<StreamMessage>,
+    ) -> Result<()> {
+        // Garbage-collect partials that can no longer complete.
+        for partials in self.state.values_mut() {
+            partials.retain(|p| wm - p.first_ts <= self.within);
+        }
+        self.state.retain(|_, v| !v.is_empty());
+        out.push(StreamMessage::Watermark(wm));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::schema::Schema;
+    use crate::value::MICROS_PER_SEC;
+
+    fn schema() -> SchemaRef {
+        Schema::of(&[
+            ("ts", DataType::Timestamp),
+            ("train", DataType::Int),
+            ("v", DataType::Float),
+        ])
+    }
+
+    fn rec(ts_s: i64, train: i64, v: f64) -> Record {
+        Record::new(vec![
+            Value::Timestamp(ts_s * MICROS_PER_SEC),
+            Value::Int(train),
+            Value::Float(v),
+        ])
+    }
+
+    fn run(op: &mut CepOp, rows: Vec<Record>) -> Vec<Record> {
+        let mut out = Vec::new();
+        op.process(RecordBuffer::new(schema(), rows), &mut out).unwrap();
+        out.iter()
+            .filter_map(|m| match m {
+                StreamMessage::Data(b) => Some(b.records().to_vec()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    fn high_low_pattern(within_s: i64) -> Pattern {
+        Pattern::new(
+            "spike-then-drop",
+            vec![
+                PatternStep::new("high", col("v").gt(lit(10.0))),
+                PatternStep::new("low", col("v").lt(lit(1.0))),
+            ],
+            within_s * MICROS_PER_SEC,
+        )
+        .keyed_by(col("train"))
+    }
+
+    #[test]
+    fn detects_two_step_sequence() {
+        let reg = FunctionRegistry::with_builtins();
+        let mut op = CepOp::new(&high_low_pattern(60), "ts", schema(), &reg).unwrap();
+        let got = run(
+            &mut op,
+            vec![rec(1, 1, 20.0), rec(2, 1, 5.0), rec(3, 1, 0.5)],
+        );
+        assert_eq!(got.len(), 1);
+        let r = &got[0];
+        assert_eq!(r.get(3), Some(&Value::text("spike-then-drop")));
+        assert_eq!(r.get(4), Some(&Value::Timestamp(MICROS_PER_SEC)));
+        assert_eq!(r.get(5), Some(&Value::Timestamp(3 * MICROS_PER_SEC)));
+        assert_eq!(op.match_count(), 1);
+    }
+
+    #[test]
+    fn skip_till_next_match_ignores_noise() {
+        let reg = FunctionRegistry::with_builtins();
+        let mut op = CepOp::new(&high_low_pattern(60), "ts", schema(), &reg).unwrap();
+        // Noise (v=5) records between the high and the low don't kill it.
+        let got = run(
+            &mut op,
+            vec![
+                rec(1, 1, 20.0),
+                rec(2, 1, 5.0),
+                rec(3, 1, 5.0),
+                rec(4, 1, 0.2),
+            ],
+        );
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn within_bound_expires_partials() {
+        let reg = FunctionRegistry::with_builtins();
+        let mut op = CepOp::new(&high_low_pattern(10), "ts", schema(), &reg).unwrap();
+        let got = run(&mut op, vec![rec(1, 1, 20.0), rec(100, 1, 0.5)]);
+        assert!(got.is_empty(), "low arrived past the within bound");
+    }
+
+    #[test]
+    fn keys_partition_matching() {
+        let reg = FunctionRegistry::with_builtins();
+        let mut op = CepOp::new(&high_low_pattern(60), "ts", schema(), &reg).unwrap();
+        // High on train 1, low on train 2: no match.
+        let got = run(&mut op, vec![rec(1, 1, 20.0), rec(2, 2, 0.5)]);
+        assert!(got.is_empty());
+        // Completing per key works independently.
+        let got = run(&mut op, vec![rec(3, 2, 30.0), rec(4, 2, 0.1)]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].get(1), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn unary_pattern_matches_each_record() {
+        let reg = FunctionRegistry::with_builtins();
+        let p = Pattern::new(
+            "over-limit",
+            vec![PatternStep::new("hot", col("v").gt(lit(10.0)))],
+            MICROS_PER_SEC,
+        );
+        let mut op = CepOp::new(&p, "ts", schema(), &reg).unwrap();
+        let got = run(&mut op, vec![rec(1, 1, 20.0), rec(2, 1, 5.0), rec(3, 1, 30.0)]);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn three_step_sequence_and_overlapping_partials() {
+        let reg = FunctionRegistry::with_builtins();
+        let p = Pattern::new(
+            "ramp",
+            vec![
+                PatternStep::new("a", col("v").ge(lit(1.0)).and(col("v").lt(lit(2.0)))),
+                PatternStep::new("b", col("v").ge(lit(2.0)).and(col("v").lt(lit(3.0)))),
+                PatternStep::new("c", col("v").ge(lit(3.0))),
+            ],
+            60 * MICROS_PER_SEC,
+        );
+        let mut op = CepOp::new(&p, "ts", schema(), &reg).unwrap();
+        let got = run(
+            &mut op,
+            vec![
+                rec(1, 1, 1.5),
+                rec(2, 1, 1.5), // second partial opens
+                rec(3, 1, 2.5), // both advance? no: each record advances each partial once
+                rec(4, 1, 3.5),
+            ],
+        );
+        // Partial 1: a@1, b@3, c@4 => match. Partial 2: a@2, b@3? A record
+        // can advance multiple *different* partials: partial2 also takes
+        // b@3 then c@4.
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn watermark_gc_and_cap() {
+        let reg = FunctionRegistry::with_builtins();
+        let p = high_low_pattern(10).with_max_partials(2);
+        let mut op = CepOp::new(&p, "ts", schema(), &reg).unwrap();
+        // 5 highs but cap 2 partials.
+        let rows: Vec<Record> = (0..5).map(|i| rec(i, 1, 20.0)).collect();
+        run(&mut op, rows);
+        let mut out = Vec::new();
+        op.on_watermark(1_000 * MICROS_PER_SEC, &mut out).unwrap();
+        assert!(op.state.is_empty(), "expired partials collected");
+    }
+
+    #[test]
+    fn rejects_bad_patterns() {
+        let reg = FunctionRegistry::with_builtins();
+        let empty = Pattern::new("x", vec![], MICROS_PER_SEC);
+        assert!(CepOp::new(&empty, "ts", schema(), &reg).is_err());
+        let nonbool = Pattern::new(
+            "x",
+            vec![PatternStep::new("s", col("v").add(lit(1.0)))],
+            MICROS_PER_SEC,
+        );
+        assert!(CepOp::new(&nonbool, "ts", schema(), &reg).is_err());
+        let badwithin = Pattern::new(
+            "x",
+            vec![PatternStep::new("s", col("v").gt(lit(1.0)))],
+            0,
+        );
+        assert!(CepOp::new(&badwithin, "ts", schema(), &reg).is_err());
+    }
+}

@@ -1,0 +1,418 @@
+//! Physical operators: push-based, buffer-batched, watermark-aware.
+//!
+//! An operator consumes [`StreamMessage`]s and pushes results into an
+//! output vector; the runtime threads messages through the operator chain.
+//! Custom operators enter plans through [`OperatorFactory`] — the second
+//! half of the plugin mechanism (functions extend expressions, factories
+//! extend the operator set).
+
+mod cep;
+mod window_op;
+
+pub use cep::{CepOp, Pattern, PatternStep};
+pub use window_op::WindowOp;
+
+use crate::error::{NebulaError, Result};
+use crate::expr::{BoundExpr, Expr, FunctionRegistry};
+use crate::record::{Record, RecordBuffer, StreamMessage};
+use crate::schema::{Field, Schema, SchemaRef};
+use crate::value::{EventTime, Value};
+
+/// A physical streaming operator.
+pub trait Operator: Send {
+    /// Operator name for plans and diagnostics.
+    fn name(&self) -> &str;
+
+    /// Output schema.
+    fn output_schema(&self) -> SchemaRef;
+
+    /// Processes one data buffer, pushing zero or more messages.
+    fn process(
+        &mut self,
+        buf: RecordBuffer,
+        out: &mut Vec<StreamMessage>,
+    ) -> Result<()>;
+
+    /// Handles a watermark; the default forwards it downstream. Stateful
+    /// operators emit closed windows/matches first.
+    fn on_watermark(
+        &mut self,
+        wm: EventTime,
+        out: &mut Vec<StreamMessage>,
+    ) -> Result<()> {
+        out.push(StreamMessage::Watermark(wm));
+        Ok(())
+    }
+
+    /// Handles end-of-stream; the default forwards it. Stateful operators
+    /// flush remaining state first.
+    fn on_eos(&mut self, out: &mut Vec<StreamMessage>) -> Result<()> {
+        out.push(StreamMessage::Eos);
+        Ok(())
+    }
+}
+
+/// Creates operators from an input schema — how plugins contribute whole
+/// operators (trajectory assembly, geofencing, imputation) to query plans.
+pub trait OperatorFactory: Send + Sync {
+    /// Factory/operator name.
+    fn name(&self) -> &str;
+    /// Instantiates the operator against the upstream schema.
+    fn create(
+        &self,
+        input: SchemaRef,
+        registry: &FunctionRegistry,
+    ) -> Result<Box<dyn Operator>>;
+}
+
+/// A canonical, hashable grouping key built from evaluated expressions.
+/// Floats are encoded by bit pattern, so `-0.0` and `0.0` group apart —
+/// acceptable for key use (keys are IDs, not measures).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroupKey(Box<[u8]>);
+
+impl GroupKey {
+    /// Evaluates `exprs` on `rec` and encodes the results.
+    pub fn evaluate(exprs: &[BoundExpr], rec: &Record) -> Result<(GroupKey, Vec<Value>)> {
+        let mut values = Vec::with_capacity(exprs.len());
+        let mut bytes = Vec::with_capacity(exprs.len() * 9);
+        for e in exprs {
+            let v = e.eval(rec)?;
+            encode_value(&v, &mut bytes);
+            values.push(v);
+        }
+        Ok((GroupKey(bytes.into_boxed_slice()), values))
+    }
+}
+
+fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(3);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Text(s) => {
+            out.push(4);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Timestamp(t) => {
+            out.push(5);
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        Value::Point { x, y } => {
+            out.push(6);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+            out.extend_from_slice(&y.to_bits().to_le_bytes());
+        }
+        Value::Opaque(o) => {
+            out.push(7);
+            out.extend_from_slice(o.type_tag().as_bytes());
+        }
+    }
+}
+
+/// Selection: keeps records satisfying a predicate.
+pub struct FilterOp {
+    predicate: BoundExpr,
+    schema: SchemaRef,
+}
+
+impl FilterOp {
+    /// Binds `predicate` against `input`.
+    pub fn new(
+        predicate: &Expr,
+        input: SchemaRef,
+        registry: &FunctionRegistry,
+    ) -> Result<Self> {
+        let (bound, dt) = predicate.bind(&input, registry)?;
+        if dt != crate::value::DataType::Bool && dt != crate::value::DataType::Null
+        {
+            return Err(NebulaError::Type(format!(
+                "filter predicate must be BOOL, got {dt}"
+            )));
+        }
+        Ok(FilterOp { predicate: bound, schema: input })
+    }
+}
+
+impl Operator for FilterOp {
+    fn name(&self) -> &str {
+        "filter"
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn process(
+        &mut self,
+        buf: RecordBuffer,
+        out: &mut Vec<StreamMessage>,
+    ) -> Result<()> {
+        let schema = buf.schema().clone();
+        let mut kept = Vec::with_capacity(buf.len());
+        for rec in buf.into_records() {
+            if self.predicate.eval_predicate(&rec)? {
+                kept.push(rec);
+            }
+        }
+        if !kept.is_empty() {
+            out.push(StreamMessage::Data(RecordBuffer::new(schema, kept)));
+        }
+        Ok(())
+    }
+}
+
+/// Projection: computes named expressions, optionally keeping the input
+/// columns (`extend` mode, NebulaStream's `map` that adds attributes).
+pub struct MapOp {
+    projections: Vec<BoundExpr>,
+    extend: bool,
+    schema: SchemaRef,
+}
+
+impl MapOp {
+    /// Binds the projection list against `input`.
+    pub fn new(
+        projections: &[(String, Expr)],
+        extend: bool,
+        input: SchemaRef,
+        registry: &FunctionRegistry,
+    ) -> Result<Self> {
+        let mut bound = Vec::with_capacity(projections.len());
+        let mut fields: Vec<Field> =
+            if extend { input.fields().to_vec() } else { Vec::new() };
+        for (name, e) in projections {
+            let (b, t) = e.bind(&input, registry)?;
+            bound.push(b);
+            fields.push(Field::new(name.clone(), t));
+        }
+        Ok(MapOp { projections: bound, extend, schema: Schema::new(fields) })
+    }
+}
+
+impl Operator for MapOp {
+    fn name(&self) -> &str {
+        "map"
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn process(
+        &mut self,
+        buf: RecordBuffer,
+        out: &mut Vec<StreamMessage>,
+    ) -> Result<()> {
+        let mut mapped = Vec::with_capacity(buf.len());
+        for rec in buf.into_records() {
+            let mut values = if self.extend {
+                let mut v = rec.values().to_vec();
+                v.reserve(self.projections.len());
+                v
+            } else {
+                Vec::with_capacity(self.projections.len())
+            };
+            for p in &self.projections {
+                values.push(p.eval(&rec)?);
+            }
+            mapped.push(Record::new(values));
+        }
+        if !mapped.is_empty() {
+            out.push(StreamMessage::Data(RecordBuffer::new(
+                self.schema.clone(),
+                mapped,
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Stateless record-to-records expansion driven by a closure; the generic
+/// escape hatch custom operators build on.
+pub struct FlatMapOp {
+    name: String,
+    schema: SchemaRef,
+    #[allow(clippy::type_complexity)]
+    f: Box<dyn FnMut(&Record, &mut Vec<Record>) -> Result<()> + Send>,
+}
+
+impl FlatMapOp {
+    /// Builds a flat-map with an explicit output schema.
+    pub fn new(
+        name: impl Into<String>,
+        schema: SchemaRef,
+        f: impl FnMut(&Record, &mut Vec<Record>) -> Result<()> + Send + 'static,
+    ) -> Self {
+        FlatMapOp { name: name.into(), schema, f: Box::new(f) }
+    }
+}
+
+impl Operator for FlatMapOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn process(
+        &mut self,
+        buf: RecordBuffer,
+        out: &mut Vec<StreamMessage>,
+    ) -> Result<()> {
+        let mut produced = Vec::new();
+        for rec in buf.records() {
+            (self.f)(rec, &mut produced)?;
+        }
+        if !produced.is_empty() {
+            out.push(StreamMessage::Data(RecordBuffer::new(
+                self.schema.clone(),
+                produced,
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::value::DataType;
+
+    fn schema() -> SchemaRef {
+        Schema::of(&[("id", DataType::Int), ("v", DataType::Float)])
+    }
+
+    fn buf(rows: &[(i64, f64)]) -> RecordBuffer {
+        RecordBuffer::new(
+            schema(),
+            rows.iter()
+                .map(|&(id, v)| Record::new(vec![Value::Int(id), Value::Float(v)]))
+                .collect(),
+        )
+    }
+
+    fn data_records(msgs: &[StreamMessage]) -> Vec<Record> {
+        msgs.iter()
+            .filter_map(|m| match m {
+                StreamMessage::Data(b) => Some(b.records().to_vec()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let reg = FunctionRegistry::with_builtins();
+        let mut op = FilterOp::new(&col("v").gt(lit(1.0)), schema(), &reg).unwrap();
+        let mut out = Vec::new();
+        op.process(buf(&[(1, 0.5), (2, 1.5), (3, 2.5)]), &mut out).unwrap();
+        let recs = data_records(&out);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].get(0), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn filter_empty_result_emits_nothing() {
+        let reg = FunctionRegistry::with_builtins();
+        let mut op = FilterOp::new(&col("v").gt(lit(100.0)), schema(), &reg).unwrap();
+        let mut out = Vec::new();
+        op.process(buf(&[(1, 0.5)]), &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn filter_rejects_non_bool_predicate() {
+        let reg = FunctionRegistry::with_builtins();
+        assert!(FilterOp::new(&col("v").add(lit(1.0)), schema(), &reg).is_err());
+    }
+
+    #[test]
+    fn map_projects() {
+        let reg = FunctionRegistry::with_builtins();
+        let mut op = MapOp::new(
+            &[("double".into(), col("v").mul(lit(2.0)))],
+            false,
+            schema(),
+            &reg,
+        )
+        .unwrap();
+        assert_eq!(op.output_schema().to_string(), "(double: FLOAT)");
+        let mut out = Vec::new();
+        op.process(buf(&[(1, 1.5)]), &mut out).unwrap();
+        let recs = data_records(&out);
+        assert_eq!(recs[0].get(0), Some(&Value::Float(3.0)));
+        assert_eq!(recs[0].len(), 1);
+    }
+
+    #[test]
+    fn map_extend_keeps_input() {
+        let reg = FunctionRegistry::with_builtins();
+        let mut op = MapOp::new(
+            &[("flag".into(), col("v").gt(lit(1.0)))],
+            true,
+            schema(),
+            &reg,
+        )
+        .unwrap();
+        assert_eq!(op.output_schema().len(), 3);
+        let mut out = Vec::new();
+        op.process(buf(&[(7, 2.0)]), &mut out).unwrap();
+        let recs = data_records(&out);
+        assert_eq!(recs[0].get(0), Some(&Value::Int(7)));
+        assert_eq!(recs[0].get(2), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn flatmap_expands() {
+        let mut op = FlatMapOp::new("dup", schema(), |rec, out| {
+            out.push(rec.clone());
+            out.push(rec.clone());
+            Ok(())
+        });
+        let mut out = Vec::new();
+        op.process(buf(&[(1, 1.0)]), &mut out).unwrap();
+        assert_eq!(data_records(&out).len(), 2);
+    }
+
+    #[test]
+    fn default_watermark_and_eos_forward() {
+        let reg = FunctionRegistry::with_builtins();
+        let mut op = FilterOp::new(&lit(true), schema(), &reg).unwrap();
+        let mut out = Vec::new();
+        op.on_watermark(42, &mut out).unwrap();
+        op.on_eos(&mut out).unwrap();
+        assert!(matches!(out[0], StreamMessage::Watermark(42)));
+        assert!(matches!(out[1], StreamMessage::Eos));
+    }
+
+    #[test]
+    fn group_key_distinguishes_types_and_values() {
+        let reg = FunctionRegistry::with_builtins();
+        let (b, _) = col("id").bind(&schema(), &reg).unwrap();
+        let exprs = vec![b];
+        let r1 = Record::new(vec![Value::Int(1), Value::Float(0.0)]);
+        let r2 = Record::new(vec![Value::Int(2), Value::Float(0.0)]);
+        let (k1, v1) = GroupKey::evaluate(&exprs, &r1).unwrap();
+        let (k1b, _) = GroupKey::evaluate(&exprs, &r1).unwrap();
+        let (k2, _) = GroupKey::evaluate(&exprs, &r2).unwrap();
+        assert_eq!(k1, k1b);
+        assert_ne!(k1, k2);
+        assert_eq!(v1, vec![Value::Int(1)]);
+    }
+}

@@ -1,0 +1,530 @@
+//! The keyed window-aggregation operator.
+
+use super::{GroupKey, Operator};
+use crate::error::{NebulaError, Result};
+use crate::expr::{BoundExpr, Expr, FunctionRegistry};
+use crate::record::{Record, RecordBuffer, StreamMessage};
+use crate::schema::{Field, Schema, SchemaRef};
+use crate::value::{DataType, EventTime, Value};
+use crate::window::{Aggregator, WindowAgg, WindowSpec};
+use std::collections::HashMap;
+
+/// Per-(key, window) accumulator state.
+struct WindowState {
+    key_values: Vec<Value>,
+    start: EventTime,
+    /// Exclusive end for time windows; last-seen ts for threshold windows.
+    end: EventTime,
+    count: u64,
+    aggs: Vec<Box<dyn Aggregator>>,
+}
+
+/// Keyed windowed aggregation over event time.
+///
+/// - Time windows (tumbling/sliding) buffer per-(key, window-start)
+///   accumulators and emit when the watermark passes the window end.
+/// - Threshold windows open on the first record satisfying the predicate
+///   and close (emitting if `count >= min_count`) on the first record of
+///   the same key that does not.
+///
+/// Output schema: key columns, `window_start`, `window_end`, then one
+/// column per aggregate.
+pub struct WindowOp {
+    ts_col: usize,
+    key_exprs: Vec<BoundExpr>,
+    spec: WindowSpec,
+    threshold_pred: Option<BoundExpr>,
+    agg_specs: Vec<WindowAgg>,
+    input: SchemaRef,
+    output: SchemaRef,
+    registry: FunctionRegistry,
+    /// Time-window state keyed by (group, window start).
+    time_state: HashMap<(GroupKey, EventTime), WindowState>,
+    /// Threshold-window state keyed by group.
+    threshold_state: HashMap<GroupKey, WindowState>,
+    last_watermark: EventTime,
+    late_drops: u64,
+}
+
+impl WindowOp {
+    /// Builds the operator, binding keys, the optional threshold
+    /// predicate and all aggregates against `input`. `ts_field` names the
+    /// event-time column.
+    pub fn new(
+        ts_field: &str,
+        keys: &[(String, Expr)],
+        spec: WindowSpec,
+        aggs: Vec<WindowAgg>,
+        input: SchemaRef,
+        registry: &FunctionRegistry,
+    ) -> Result<Self> {
+        spec.validate()?;
+        let ts_col = input.index_of(ts_field).ok_or_else(|| {
+            NebulaError::Plan(format!("window: unknown ts field '{ts_field}'"))
+        })?;
+        let mut key_exprs = Vec::with_capacity(keys.len());
+        let mut fields = Vec::with_capacity(keys.len() + 2 + aggs.len());
+        for (name, e) in keys {
+            let (b, t) = e.bind(&input, registry)?;
+            key_exprs.push(b);
+            fields.push(Field::new(name.clone(), t));
+        }
+        fields.push(Field::new("window_start", DataType::Timestamp));
+        fields.push(Field::new("window_end", DataType::Timestamp));
+        for agg in &aggs {
+            fields.push(Field::new(
+                agg.name.clone(),
+                agg.spec.output_type(&input, registry)?,
+            ));
+        }
+        let threshold_pred = match &spec {
+            WindowSpec::Threshold { predicate, .. } => {
+                let (b, t) = predicate.bind(&input, registry)?;
+                if t != DataType::Bool {
+                    return Err(NebulaError::Type(format!(
+                        "threshold predicate must be BOOL, got {t}"
+                    )));
+                }
+                Some(b)
+            }
+            _ => None,
+        };
+        Ok(WindowOp {
+            ts_col,
+            key_exprs,
+            spec,
+            threshold_pred,
+            agg_specs: aggs,
+            input,
+            output: Schema::new(fields),
+            registry: registry.clone(),
+            time_state: HashMap::new(),
+            threshold_state: HashMap::new(),
+            last_watermark: EventTime::MIN,
+            late_drops: 0,
+        })
+    }
+
+    /// Records dropped because their window had already been closed by a
+    /// watermark.
+    pub fn late_drops(&self) -> u64 {
+        self.late_drops
+    }
+
+    fn emit_record(&self, mut st: WindowState) -> Result<Record> {
+        let mut values =
+            Vec::with_capacity(st.key_values.len() + 2 + st.aggs.len());
+        values.append(&mut st.key_values);
+        values.push(Value::Timestamp(st.start));
+        values.push(Value::Timestamp(st.end));
+        for agg in &mut st.aggs {
+            values.push(agg.finish()?);
+        }
+        Ok(Record::new(values))
+    }
+
+    fn process_time_window(
+        &mut self,
+        rec: &Record,
+        ts: EventTime,
+    ) -> Result<()> {
+        let size = self.spec.size().expect("time window has size");
+        let (key, key_values) = GroupKey::evaluate(&self.key_exprs, rec)?;
+        for start in self.spec.assign(ts) {
+            if start + size <= self.last_watermark {
+                self.late_drops += 1;
+                continue;
+            }
+            let entry = self.time_state.entry((key.clone(), start));
+            let st = match entry {
+                std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    let aggs = self
+                        .agg_specs
+                        .iter()
+                        .map(|a| a.spec.create(&self.input, &self.registry))
+                        .collect::<Result<Vec<_>>>()?;
+                    v.insert(WindowState {
+                        key_values: key_values.clone(),
+                        start,
+                        end: start + size,
+                        count: 0,
+                        aggs,
+                    })
+                }
+            };
+            st.count += 1;
+            for agg in &mut st.aggs {
+                agg.update(rec)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn process_threshold(
+        &mut self,
+        rec: &Record,
+        ts: EventTime,
+        out: &mut Vec<Record>,
+    ) -> Result<()> {
+        let WindowSpec::Threshold { min_count, .. } = &self.spec else {
+            unreachable!("threshold path");
+        };
+        let min_count = *min_count;
+        let pred = self
+            .threshold_pred
+            .as_ref()
+            .expect("threshold predicate bound")
+            .clone();
+        let (key, key_values) = GroupKey::evaluate(&self.key_exprs, rec)?;
+        let holds = pred.eval_predicate(rec)?;
+        if holds {
+            let st = match self.threshold_state.entry(key) {
+                std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    let aggs = self
+                        .agg_specs
+                        .iter()
+                        .map(|a| a.spec.create(&self.input, &self.registry))
+                        .collect::<Result<Vec<_>>>()?;
+                    v.insert(WindowState {
+                        key_values,
+                        start: ts,
+                        end: ts,
+                        count: 0,
+                        aggs,
+                    })
+                }
+            };
+            st.end = st.end.max(ts);
+            st.count += 1;
+            for agg in &mut st.aggs {
+                agg.update(rec)?;
+            }
+        } else if let Some(st) = self.threshold_state.remove(&key) {
+            if st.count as usize >= min_count {
+                out.push(self.emit_record(st)?);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Operator for WindowOp {
+    fn name(&self) -> &str {
+        "window"
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.output.clone()
+    }
+
+    fn process(
+        &mut self,
+        buf: RecordBuffer,
+        out: &mut Vec<StreamMessage>,
+    ) -> Result<()> {
+        let is_threshold = self.threshold_pred.is_some();
+        let mut emitted: Vec<Record> = Vec::new();
+        for rec in buf.records() {
+            let ts = rec
+                .get(self.ts_col)
+                .and_then(Value::as_timestamp)
+                .ok_or_else(|| {
+                    NebulaError::Eval("window: record missing event time".into())
+                })?;
+            if is_threshold {
+                self.process_threshold(rec, ts, &mut emitted)?;
+            } else {
+                self.process_time_window(rec, ts)?;
+            }
+        }
+        if !emitted.is_empty() {
+            out.push(StreamMessage::Data(RecordBuffer::new(
+                self.output.clone(),
+                emitted,
+            )));
+        }
+        Ok(())
+    }
+
+    fn on_watermark(
+        &mut self,
+        wm: EventTime,
+        out: &mut Vec<StreamMessage>,
+    ) -> Result<()> {
+        self.last_watermark = self.last_watermark.max(wm);
+        if self.threshold_pred.is_none() {
+            let closed: Vec<(GroupKey, EventTime)> = self
+                .time_state
+                .iter()
+                .filter(|(_, st)| st.end <= wm)
+                .map(|((k, s), _)| (k.clone(), *s))
+                .collect();
+            let mut records = Vec::with_capacity(closed.len());
+            for key in closed {
+                let st = self.time_state.remove(&key).expect("just listed");
+                records.push(self.emit_record(st)?);
+            }
+            // Deterministic output order: by window start then key values.
+            records.sort_by_key(|r| {
+                r.get(self.key_exprs.len())
+                    .and_then(Value::as_timestamp)
+                    .unwrap_or(0)
+            });
+            if !records.is_empty() {
+                out.push(StreamMessage::Data(RecordBuffer::new(
+                    self.output.clone(),
+                    records,
+                )));
+            }
+        }
+        out.push(StreamMessage::Watermark(wm));
+        Ok(())
+    }
+
+    fn on_eos(&mut self, out: &mut Vec<StreamMessage>) -> Result<()> {
+        // Flush everything still open.
+        let mut records = Vec::new();
+        let time_keys: Vec<_> = self.time_state.keys().cloned().collect();
+        for key in time_keys {
+            let st = self.time_state.remove(&key).expect("listed");
+            records.push(self.emit_record(st)?);
+        }
+        let min_count = match &self.spec {
+            WindowSpec::Threshold { min_count, .. } => *min_count,
+            _ => 0,
+        };
+        let th_keys: Vec<_> = self.threshold_state.keys().cloned().collect();
+        for key in th_keys {
+            let st = self.threshold_state.remove(&key).expect("listed");
+            if st.count as usize >= min_count {
+                records.push(self.emit_record(st)?);
+            }
+        }
+        records.sort_by_key(|r| {
+            r.get(self.key_exprs.len())
+                .and_then(Value::as_timestamp)
+                .unwrap_or(0)
+        });
+        if !records.is_empty() {
+            out.push(StreamMessage::Data(RecordBuffer::new(
+                self.output.clone(),
+                records,
+            )));
+        }
+        out.push(StreamMessage::Eos);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::value::MICROS_PER_SEC;
+    use crate::window::AggSpec;
+
+    fn schema() -> SchemaRef {
+        Schema::of(&[
+            ("ts", DataType::Timestamp),
+            ("train", DataType::Int),
+            ("speed", DataType::Float),
+        ])
+    }
+
+    fn rec(ts_s: i64, train: i64, speed: f64) -> Record {
+        Record::new(vec![
+            Value::Timestamp(ts_s * MICROS_PER_SEC),
+            Value::Int(train),
+            Value::Float(speed),
+        ])
+    }
+
+    fn make_op(spec: WindowSpec) -> WindowOp {
+        let reg = FunctionRegistry::with_builtins();
+        WindowOp::new(
+            "ts",
+            &[("train".into(), col("train"))],
+            spec,
+            vec![
+                WindowAgg::new("n", AggSpec::Count),
+                WindowAgg::new("avg_speed", AggSpec::Avg(col("speed"))),
+            ],
+            schema(),
+            &reg,
+        )
+        .unwrap()
+    }
+
+    fn data_records(msgs: &[StreamMessage]) -> Vec<Record> {
+        msgs.iter()
+            .filter_map(|m| match m {
+                StreamMessage::Data(b) => Some(b.records().to_vec()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    #[test]
+    fn tumbling_emits_on_watermark() {
+        let mut op = make_op(WindowSpec::Tumbling { size: 10 * MICROS_PER_SEC });
+        let mut out = Vec::new();
+        op.process(
+            RecordBuffer::new(
+                schema(),
+                vec![rec(1, 1, 10.0), rec(5, 1, 20.0), rec(12, 1, 30.0)],
+            ),
+            &mut out,
+        )
+        .unwrap();
+        assert!(data_records(&out).is_empty(), "nothing before watermark");
+
+        op.on_watermark(10 * MICROS_PER_SEC, &mut out).unwrap();
+        let recs = data_records(&out);
+        assert_eq!(recs.len(), 1, "only the [0,10) window closed");
+        let r = &recs[0];
+        assert_eq!(r.get(0), Some(&Value::Int(1)), "key");
+        assert_eq!(r.get(1), Some(&Value::Timestamp(0)), "start");
+        assert_eq!(
+            r.get(2),
+            Some(&Value::Timestamp(10 * MICROS_PER_SEC)),
+            "end"
+        );
+        assert_eq!(r.get(3), Some(&Value::Int(2)), "count");
+        assert_eq!(r.get(4), Some(&Value::Float(15.0)), "avg");
+    }
+
+    #[test]
+    fn tumbling_separate_keys() {
+        let mut op = make_op(WindowSpec::Tumbling { size: 10 * MICROS_PER_SEC });
+        let mut out = Vec::new();
+        op.process(
+            RecordBuffer::new(
+                schema(),
+                vec![rec(1, 1, 10.0), rec(2, 2, 99.0)],
+            ),
+            &mut out,
+        )
+        .unwrap();
+        op.on_watermark(10 * MICROS_PER_SEC, &mut out).unwrap();
+        assert_eq!(data_records(&out).len(), 2);
+    }
+
+    #[test]
+    fn late_records_dropped() {
+        let mut op = make_op(WindowSpec::Tumbling { size: 10 * MICROS_PER_SEC });
+        let mut out = Vec::new();
+        op.on_watermark(20 * MICROS_PER_SEC, &mut out).unwrap();
+        op.process(RecordBuffer::new(schema(), vec![rec(5, 1, 10.0)]), &mut out)
+            .unwrap();
+        op.on_eos(&mut out).unwrap();
+        assert!(data_records(&out).is_empty());
+        assert_eq!(op.late_drops(), 1);
+    }
+
+    #[test]
+    fn sliding_multiple_windows() {
+        let mut op = make_op(WindowSpec::Sliding {
+            size: 10 * MICROS_PER_SEC,
+            slide: 5 * MICROS_PER_SEC,
+        });
+        let mut out = Vec::new();
+        op.process(RecordBuffer::new(schema(), vec![rec(7, 1, 10.0)]), &mut out)
+            .unwrap();
+        op.on_eos(&mut out).unwrap();
+        // ts=7 falls in [0,10) and [5,15).
+        assert_eq!(data_records(&out).len(), 2);
+    }
+
+    #[test]
+    fn eos_flushes_open_windows() {
+        let mut op = make_op(WindowSpec::Tumbling { size: 10 * MICROS_PER_SEC });
+        let mut out = Vec::new();
+        op.process(RecordBuffer::new(schema(), vec![rec(3, 1, 5.0)]), &mut out)
+            .unwrap();
+        op.on_eos(&mut out).unwrap();
+        let recs = data_records(&out);
+        assert_eq!(recs.len(), 1);
+        assert!(matches!(out.last(), Some(StreamMessage::Eos)));
+    }
+
+    #[test]
+    fn threshold_window_opens_and_closes() {
+        let mut op = {
+            let reg = FunctionRegistry::with_builtins();
+            WindowOp::new(
+                "ts",
+                &[("train".into(), col("train"))],
+                WindowSpec::Threshold {
+                    predicate: col("speed").gt(lit(50.0)),
+                    min_count: 2,
+                },
+                vec![
+                    WindowAgg::new("n", AggSpec::Count),
+                    WindowAgg::new("max_speed", AggSpec::Max(col("speed"))),
+                ],
+                schema(),
+                &reg,
+            )
+            .unwrap()
+        };
+        let mut out = Vec::new();
+        op.process(
+            RecordBuffer::new(
+                schema(),
+                vec![
+                    rec(1, 1, 60.0), // opens
+                    rec(2, 1, 70.0), // extends
+                    rec(3, 1, 10.0), // closes -> emit (count 2)
+                    rec(4, 1, 80.0), // opens again
+                    rec(5, 1, 5.0),  // closes -> below min_count, dropped
+                ],
+            ),
+            &mut out,
+        )
+        .unwrap();
+        let recs = data_records(&out);
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert_eq!(r.get(1), Some(&Value::Timestamp(MICROS_PER_SEC)));
+        assert_eq!(r.get(2), Some(&Value::Timestamp(2 * MICROS_PER_SEC)));
+        assert_eq!(r.get(3), Some(&Value::Int(2)));
+        assert_eq!(r.get(4), Some(&Value::Float(70.0)));
+    }
+
+    #[test]
+    fn threshold_flushes_on_eos() {
+        let reg = FunctionRegistry::with_builtins();
+        let mut op = WindowOp::new(
+            "ts",
+            &[],
+            WindowSpec::Threshold {
+                predicate: col("speed").gt(lit(50.0)),
+                min_count: 1,
+            },
+            vec![WindowAgg::new("n", AggSpec::Count)],
+            schema(),
+            &reg,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        op.process(RecordBuffer::new(schema(), vec![rec(1, 1, 60.0)]), &mut out)
+            .unwrap();
+        op.on_eos(&mut out).unwrap();
+        let recs = data_records(&out);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].get(2), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn output_schema_layout() {
+        let op = make_op(WindowSpec::Tumbling { size: MICROS_PER_SEC });
+        assert_eq!(
+            op.output_schema().to_string(),
+            "(train: INT, window_start: TIMESTAMP, window_end: TIMESTAMP, \
+             n: INT, avg_speed: FLOAT)"
+        );
+    }
+}

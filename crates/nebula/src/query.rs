@@ -1,0 +1,299 @@
+//! Declarative queries: a fluent builder producing a logical plan, and
+//! the compiler that binds it into a physical operator chain.
+//!
+//! Mirrors NebulaStream's query API:
+//!
+//! ```
+//! use nebula::prelude::*;
+//!
+//! let q = Query::from("trains")
+//!     .filter(col("speed").gt(lit(120.0)))
+//!     .map_extend(vec![("excess", col("speed").sub(lit(120.0)))])
+//!     .window(
+//!         vec![("train", col("train_id"))],
+//!         WindowSpec::Tumbling { size: 60_000_000 },
+//!         vec![WindowAgg::new("n", AggSpec::Count)],
+//!     );
+//! assert_eq!(q.source(), "trains");
+//! ```
+
+use crate::error::{NebulaError, Result};
+use crate::expr::{Expr, FunctionRegistry};
+use crate::ops::{
+    CepOp, FilterOp, MapOp, Operator, OperatorFactory, Pattern, WindowOp,
+};
+use crate::schema::SchemaRef;
+use crate::window::{WindowAgg, WindowSpec};
+use std::sync::Arc;
+
+/// A logical operator in a query plan.
+#[derive(Clone)]
+pub enum LogicalOp {
+    /// Selection.
+    Filter(Expr),
+    /// Projection (optionally extending the input columns).
+    Map {
+        /// `(output name, expression)` pairs.
+        projections: Vec<(String, Expr)>,
+        /// Keep input columns and append.
+        extend: bool,
+    },
+    /// Keyed window aggregation.
+    Window {
+        /// Grouping keys as `(output name, expression)`.
+        keys: Vec<(String, Expr)>,
+        /// Window shape.
+        spec: WindowSpec,
+        /// Aggregates.
+        aggs: Vec<WindowAgg>,
+    },
+    /// Complex event pattern detection.
+    Cep(Pattern),
+    /// A plugin-provided operator.
+    Custom(Arc<dyn OperatorFactory>),
+}
+
+impl std::fmt::Debug for LogicalOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogicalOp::Filter(_) => write!(f, "Filter"),
+            LogicalOp::Map { projections, extend } => {
+                write!(f, "Map(x{}, extend={extend})", projections.len())
+            }
+            LogicalOp::Window { keys, .. } => write!(f, "Window(keys={})", keys.len()),
+            LogicalOp::Cep(p) => write!(f, "Cep({})", p.name),
+            LogicalOp::Custom(c) => write!(f, "Custom({})", c.name()),
+        }
+    }
+}
+
+/// A declarative streaming query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    source: String,
+    ts_field: String,
+    ops: Vec<LogicalOp>,
+}
+
+impl Query {
+    /// Starts a query over the named stream. The event-time field
+    /// defaults to `"ts"`.
+    pub fn from(source: impl Into<String>) -> Self {
+        Query { source: source.into(), ts_field: "ts".into(), ops: Vec::new() }
+    }
+
+    /// Overrides the event-time field name.
+    pub fn with_ts_field(mut self, ts_field: impl Into<String>) -> Self {
+        self.ts_field = ts_field.into();
+        self
+    }
+
+    /// The source stream name.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The event-time field name.
+    pub fn ts_field(&self) -> &str {
+        &self.ts_field
+    }
+
+    /// The logical operators in order.
+    pub fn ops(&self) -> &[LogicalOp] {
+        &self.ops
+    }
+
+    /// Appends a selection.
+    pub fn filter(mut self, predicate: Expr) -> Self {
+        self.ops.push(LogicalOp::Filter(predicate));
+        self
+    }
+
+    /// Appends a narrowing projection.
+    pub fn map(mut self, projections: Vec<(&str, Expr)>) -> Self {
+        self.ops.push(LogicalOp::Map {
+            projections: projections
+                .into_iter()
+                .map(|(n, e)| (n.to_string(), e))
+                .collect(),
+            extend: false,
+        });
+        self
+    }
+
+    /// Appends an extending projection (keeps input columns).
+    pub fn map_extend(mut self, projections: Vec<(&str, Expr)>) -> Self {
+        self.ops.push(LogicalOp::Map {
+            projections: projections
+                .into_iter()
+                .map(|(n, e)| (n.to_string(), e))
+                .collect(),
+            extend: true,
+        });
+        self
+    }
+
+    /// Appends a keyed window aggregation.
+    pub fn window(
+        mut self,
+        keys: Vec<(&str, Expr)>,
+        spec: WindowSpec,
+        aggs: Vec<WindowAgg>,
+    ) -> Self {
+        self.ops.push(LogicalOp::Window {
+            keys: keys.into_iter().map(|(n, e)| (n.to_string(), e)).collect(),
+            spec,
+            aggs,
+        });
+        self
+    }
+
+    /// Appends a CEP pattern stage.
+    pub fn cep(mut self, pattern: Pattern) -> Self {
+        self.ops.push(LogicalOp::Cep(pattern));
+        self
+    }
+
+    /// Appends a plugin operator.
+    pub fn apply(mut self, factory: Arc<dyn OperatorFactory>) -> Self {
+        self.ops.push(LogicalOp::Custom(factory));
+        self
+    }
+}
+
+/// A compiled physical plan.
+pub struct CompiledPlan {
+    /// The operator chain in execution order.
+    pub operators: Vec<Box<dyn Operator>>,
+    /// The schema leaving the last operator.
+    pub output_schema: SchemaRef,
+}
+
+/// Compiles a query against the source schema and registry, binding every
+/// expression and instantiating physical operators.
+pub fn compile(
+    query: &Query,
+    input: SchemaRef,
+    registry: &FunctionRegistry,
+) -> Result<CompiledPlan> {
+    let mut operators: Vec<Box<dyn Operator>> = Vec::with_capacity(query.ops.len());
+    let mut schema = input;
+    for op in &query.ops {
+        let physical: Box<dyn Operator> = match op {
+            LogicalOp::Filter(pred) => {
+                Box::new(FilterOp::new(pred, schema.clone(), registry)?)
+            }
+            LogicalOp::Map { projections, extend } => Box::new(MapOp::new(
+                projections,
+                *extend,
+                schema.clone(),
+                registry,
+            )?),
+            LogicalOp::Window { keys, spec, aggs } => Box::new(WindowOp::new(
+                &query.ts_field,
+                keys,
+                spec.clone(),
+                aggs.clone(),
+                schema.clone(),
+                registry,
+            )?),
+            LogicalOp::Cep(pattern) => Box::new(CepOp::new(
+                pattern,
+                &query.ts_field,
+                schema.clone(),
+                registry,
+            )?),
+            LogicalOp::Custom(factory) => {
+                factory.create(schema.clone(), registry)?
+            }
+        };
+        schema = physical.output_schema();
+        operators.push(physical);
+    }
+    if operators.is_empty() {
+        return Err(NebulaError::Plan(
+            "query has no operators; add at least a filter/map/window".into(),
+        ));
+    }
+    Ok(CompiledPlan { operators, output_schema: schema })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::schema::Schema;
+    use crate::value::DataType;
+    use crate::window::AggSpec;
+
+    fn schema() -> SchemaRef {
+        Schema::of(&[
+            ("ts", DataType::Timestamp),
+            ("train_id", DataType::Int),
+            ("speed", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn builder_accumulates_ops() {
+        let q = Query::from("trains")
+            .filter(col("speed").gt(lit(1.0)))
+            .map(vec![("s2", col("speed").mul(lit(2.0)))]);
+        assert_eq!(q.source(), "trains");
+        assert_eq!(q.ops().len(), 2);
+        assert_eq!(q.ts_field(), "ts");
+        let q = q.with_ts_field("event_time");
+        assert_eq!(q.ts_field(), "event_time");
+    }
+
+    #[test]
+    fn compile_threads_schemas() {
+        let reg = FunctionRegistry::with_builtins();
+        let q = Query::from("trains")
+            .filter(col("speed").gt(lit(1.0)))
+            .map_extend(vec![("kmh", col("speed").mul(lit(3.6)))]);
+        let plan = compile(&q, schema(), &reg).unwrap();
+        assert_eq!(plan.operators.len(), 2);
+        assert_eq!(plan.output_schema.len(), 4);
+        assert_eq!(plan.output_schema.index_of("kmh"), Some(3));
+    }
+
+    #[test]
+    fn compile_window_output() {
+        let reg = FunctionRegistry::with_builtins();
+        let q = Query::from("trains").window(
+            vec![("train", col("train_id"))],
+            WindowSpec::Tumbling { size: 60_000_000 },
+            vec![WindowAgg::new("max_speed", AggSpec::Max(col("speed")))],
+        );
+        let plan = compile(&q, schema(), &reg).unwrap();
+        assert_eq!(
+            plan.output_schema.to_string(),
+            "(train: INT, window_start: TIMESTAMP, window_end: TIMESTAMP, \
+             max_speed: FLOAT)"
+        );
+    }
+
+    #[test]
+    fn compile_rejects_unknown_column_early() {
+        let reg = FunctionRegistry::with_builtins();
+        let q = Query::from("trains").filter(col("missing").gt(lit(1.0)));
+        assert!(compile(&q, schema(), &reg).is_err());
+    }
+
+    #[test]
+    fn compile_rejects_empty_query() {
+        let reg = FunctionRegistry::with_builtins();
+        assert!(compile(&Query::from("trains"), schema(), &reg).is_err());
+    }
+
+    #[test]
+    fn downstream_ops_see_projected_schema() {
+        let reg = FunctionRegistry::with_builtins();
+        // After a narrowing map, "speed" is gone; a filter on it must fail.
+        let q = Query::from("trains")
+            .map(vec![("train", col("train_id"))])
+            .filter(col("speed").gt(lit(1.0)));
+        assert!(compile(&q, schema(), &reg).is_err());
+    }
+}

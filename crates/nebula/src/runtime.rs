@@ -1,0 +1,537 @@
+//! The execution runtime: registers sources, compiles queries, drives
+//! buffers through operator chains, generates watermarks, and reports
+//! throughput metrics.
+//!
+//! Two execution modes:
+//! - [`StreamEnvironment::run`] — synchronous single-threaded loop
+//!   (deterministic; what the benchmarks measure),
+//! - [`StreamEnvironment::run_threaded`] — pipeline-parallel via a bounded
+//!   crossbeam channel between the source and the operator chain
+//!   (the shape of NebulaStream's worker threads).
+
+use crate::error::{NebulaError, Result};
+use crate::expr::{FunctionRegistry, Plugin};
+use crate::metrics::QueryMetrics;
+use crate::query::{compile, Query};
+use crate::record::{RecordBuffer, StreamMessage};
+use crate::sink::Sink;
+use crate::source::{Source, SourceBatch, WatermarkStrategy};
+use crate::value::EventTime;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Runtime tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EnvConfig {
+    /// Records per source poll / buffer (NebulaStream's TupleBuffer
+    /// capacity analogue).
+    pub buffer_size: usize,
+    /// Emit a watermark every N source batches.
+    pub watermark_every: u64,
+    /// Consecutive idle polls before the run gives up (prevents hangs on
+    /// sources that never end).
+    pub idle_limit: u64,
+    /// Channel capacity (buffers) for threaded execution.
+    pub channel_capacity: usize,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig {
+            buffer_size: 1024,
+            watermark_every: 4,
+            idle_limit: 100_000,
+            channel_capacity: 8,
+        }
+    }
+}
+
+struct RegisteredSource {
+    source: Box<dyn Source>,
+    watermark: WatermarkStrategy,
+}
+
+/// The top-level runtime object: a function registry (with plugins), a
+/// set of named sources, and the configuration.
+pub struct StreamEnvironment {
+    registry: FunctionRegistry,
+    sources: HashMap<String, RegisteredSource>,
+    config: EnvConfig,
+}
+
+impl Default for StreamEnvironment {
+    fn default() -> Self {
+        StreamEnvironment::new()
+    }
+}
+
+impl StreamEnvironment {
+    /// An environment with builtin functions and default config.
+    pub fn new() -> Self {
+        StreamEnvironment {
+            registry: FunctionRegistry::with_builtins(),
+            sources: HashMap::new(),
+            config: EnvConfig::default(),
+        }
+    }
+
+    /// An environment with a custom configuration.
+    pub fn with_config(config: EnvConfig) -> Self {
+        StreamEnvironment { config, ..StreamEnvironment::new() }
+    }
+
+    /// The function registry (immutable).
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    /// The function registry (for registrations).
+    pub fn registry_mut(&mut self) -> &mut FunctionRegistry {
+        &mut self.registry
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EnvConfig {
+        &self.config
+    }
+
+    /// Loads a plugin's functions into the registry.
+    pub fn load_plugin(&mut self, plugin: &dyn Plugin) -> Result<()> {
+        self.registry.load_plugin(plugin)
+    }
+
+    /// Registers a named source with its watermark strategy.
+    pub fn add_source(
+        &mut self,
+        name: impl Into<String>,
+        source: Box<dyn Source>,
+        watermark: WatermarkStrategy,
+    ) {
+        self.sources
+            .insert(name.into(), RegisteredSource { source, watermark });
+    }
+
+    /// Human-readable physical plan for a query.
+    pub fn explain(&self, query: &Query) -> Result<String> {
+        let src = self.sources.get(query.source()).ok_or_else(|| {
+            NebulaError::Plan(format!("unknown source '{}'", query.source()))
+        })?;
+        let plan = compile(query, src.source.schema(), &self.registry)?;
+        let mut s = format!("Source[{}] {}\n", query.source(), src.source.schema());
+        for op in &plan.operators {
+            s.push_str(&format!("  -> {} {}\n", op.name(), op.output_schema()));
+        }
+        Ok(s)
+    }
+
+    fn take_source(&mut self, name: &str) -> Result<RegisteredSource> {
+        self.sources.remove(name).ok_or_else(|| {
+            NebulaError::Plan(format!("unknown source '{name}'"))
+        })
+    }
+
+    /// Runs a query to completion, synchronously, delivering results to
+    /// `sink`. Consumes the registered source.
+    pub fn run(&mut self, query: &Query, sink: &mut dyn Sink) -> Result<QueryMetrics> {
+        let RegisteredSource { mut source, watermark } =
+            self.take_source(query.source())?;
+        let schema = source.schema();
+        let ts_col = resolve_ts_col(&watermark, &schema)?;
+        let plan = compile(query, schema.clone(), &self.registry)?;
+        let mut ops = plan.operators;
+
+        let mut metrics = QueryMetrics::default();
+        let start = Instant::now();
+        let mut max_ts: EventTime = EventTime::MIN;
+        let mut idle: u64 = 0;
+
+        loop {
+            match source.poll(self.config.buffer_size)? {
+                SourceBatch::Data(recs) => {
+                    idle = 0;
+                    metrics.batches += 1;
+                    let buf = RecordBuffer::new(schema.clone(), recs);
+                    metrics.records_in += buf.len() as u64;
+                    metrics.bytes_in += buf.est_bytes() as u64;
+                    if let (Some(col), WatermarkStrategy::BoundedOutOfOrder { .. }) =
+                        (ts_col, &watermark)
+                    {
+                        if let Some(t) = buf.max_event_time(col) {
+                            max_ts = max_ts.max(t);
+                        }
+                    }
+                    let t0 = Instant::now();
+                    feed(&mut ops, StreamMessage::Data(buf), sink, &mut metrics)?;
+                    metrics
+                        .latency
+                        .record(t0.elapsed().as_secs_f64() * 1e6);
+                    if let WatermarkStrategy::BoundedOutOfOrder { slack, .. } =
+                        &watermark
+                    {
+                        if metrics.batches % self.config.watermark_every == 0
+                            && max_ts != EventTime::MIN
+                        {
+                            metrics.watermarks += 1;
+                            feed(
+                                &mut ops,
+                                StreamMessage::Watermark(max_ts - slack),
+                                sink,
+                                &mut metrics,
+                            )?;
+                        }
+                    }
+                }
+                SourceBatch::Idle => {
+                    idle += 1;
+                    if idle > self.config.idle_limit {
+                        break;
+                    }
+                }
+                SourceBatch::Exhausted => break,
+            }
+        }
+        feed(&mut ops, StreamMessage::Eos, sink, &mut metrics)?;
+        sink.finish()?;
+        metrics.wall = start.elapsed();
+        Ok(metrics)
+    }
+
+    /// Runs a query with the source on its own thread, connected to the
+    /// operator chain by a bounded channel — pipeline parallelism.
+    pub fn run_threaded(
+        &mut self,
+        query: &Query,
+        sink: &mut dyn Sink,
+    ) -> Result<QueryMetrics> {
+        let RegisteredSource { mut source, watermark } =
+            self.take_source(query.source())?;
+        let schema = source.schema();
+        let ts_col = resolve_ts_col(&watermark, &schema)?;
+        let plan = compile(query, schema.clone(), &self.registry)?;
+        let mut ops = plan.operators;
+
+        let (tx, rx) =
+            crossbeam::channel::bounded::<StreamMessage>(self.config.channel_capacity);
+        let buffer_size = self.config.buffer_size;
+        let watermark_every = self.config.watermark_every;
+        let idle_limit = self.config.idle_limit;
+
+        let mut metrics = QueryMetrics::default();
+        let start = Instant::now();
+
+        let result: Result<()> = std::thread::scope(|scope| {
+            let producer = scope.spawn(move || -> Result<()> {
+                let mut max_ts: EventTime = EventTime::MIN;
+                let mut batches: u64 = 0;
+                let mut idle: u64 = 0;
+                loop {
+                    match source.poll(buffer_size)? {
+                        SourceBatch::Data(recs) => {
+                            idle = 0;
+                            batches += 1;
+                            let buf = RecordBuffer::new(schema.clone(), recs);
+                            if let (
+                                Some(col),
+                                WatermarkStrategy::BoundedOutOfOrder { .. },
+                            ) = (ts_col, &watermark)
+                            {
+                                if let Some(t) = buf.max_event_time(col) {
+                                    max_ts = max_ts.max(t);
+                                }
+                            }
+                            tx.send(StreamMessage::Data(buf)).map_err(|_| {
+                                NebulaError::Eval("consumer hung up".into())
+                            })?;
+                            if let WatermarkStrategy::BoundedOutOfOrder {
+                                slack,
+                                ..
+                            } = &watermark
+                            {
+                                if batches.is_multiple_of(watermark_every)
+                                    && max_ts != EventTime::MIN
+                                {
+                                    tx.send(StreamMessage::Watermark(
+                                        max_ts - slack,
+                                    ))
+                                    .map_err(|_| {
+                                        NebulaError::Eval("consumer hung up".into())
+                                    })?;
+                                }
+                            }
+                        }
+                        SourceBatch::Idle => {
+                            idle += 1;
+                            if idle > idle_limit {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                        SourceBatch::Exhausted => break,
+                    }
+                }
+                tx.send(StreamMessage::Eos)
+                    .map_err(|_| NebulaError::Eval("consumer hung up".into()))?;
+                Ok(())
+            });
+
+            for msg in rx.iter() {
+                let is_eos = matches!(msg, StreamMessage::Eos);
+                match &msg {
+                    StreamMessage::Data(b) => {
+                        metrics.batches += 1;
+                        metrics.records_in += b.len() as u64;
+                        metrics.bytes_in += b.est_bytes() as u64;
+                    }
+                    StreamMessage::Watermark(_) => metrics.watermarks += 1,
+                    StreamMessage::Eos => {}
+                }
+                feed(&mut ops, msg, sink, &mut metrics)?;
+                if is_eos {
+                    break;
+                }
+            }
+            producer
+                .join()
+                .map_err(|_| NebulaError::Eval("producer panicked".into()))??;
+            Ok(())
+        });
+        result?;
+        sink.finish()?;
+        metrics.wall = start.elapsed();
+        Ok(metrics)
+    }
+}
+
+fn resolve_ts_col(
+    watermark: &WatermarkStrategy,
+    schema: &crate::schema::Schema,
+) -> Result<Option<usize>> {
+    match watermark {
+        WatermarkStrategy::None => Ok(None),
+        WatermarkStrategy::BoundedOutOfOrder { ts_field, .. } => {
+            let col = schema.index_of(ts_field).ok_or_else(|| {
+                NebulaError::Plan(format!(
+                    "watermark ts field '{ts_field}' not in source schema"
+                ))
+            })?;
+            Ok(Some(col))
+        }
+    }
+}
+
+/// Pushes one message through the whole chain, delivering terminal data
+/// buffers to the sink.
+fn feed(
+    ops: &mut [Box<dyn Operator>],
+    first: StreamMessage,
+    sink: &mut dyn Sink,
+    metrics: &mut QueryMetrics,
+) -> Result<()> {
+    let mut cur = vec![first];
+    let mut next: Vec<StreamMessage> = Vec::new();
+    for op in ops.iter_mut() {
+        for msg in cur.drain(..) {
+            match msg {
+                StreamMessage::Data(b) => op.process(b, &mut next)?,
+                StreamMessage::Watermark(w) => op.on_watermark(w, &mut next)?,
+                StreamMessage::Eos => op.on_eos(&mut next)?,
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    for msg in cur.drain(..) {
+        if let StreamMessage::Data(b) = msg {
+            metrics.records_out += b.len() as u64;
+            metrics.bytes_out += b.est_bytes() as u64;
+            sink.consume(&b)?;
+        }
+    }
+    Ok(())
+}
+
+use crate::ops::Operator;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::record::Record;
+    use crate::schema::Schema;
+    use crate::sink::{CollectingSink, CountingSink};
+    use crate::source::{JitterSource, VecSource};
+    use crate::value::{DataType, Value, MICROS_PER_SEC};
+    use crate::window::{AggSpec, WindowAgg, WindowSpec};
+
+    fn schema() -> crate::schema::SchemaRef {
+        Schema::of(&[
+            ("ts", DataType::Timestamp),
+            ("train", DataType::Int),
+            ("speed", DataType::Float),
+        ])
+    }
+
+    fn rec(ts_s: i64, train: i64, speed: f64) -> Record {
+        Record::new(vec![
+            Value::Timestamp(ts_s * MICROS_PER_SEC),
+            Value::Int(train),
+            Value::Float(speed),
+        ])
+    }
+
+    fn records(n: i64) -> Vec<Record> {
+        (0..n).map(|i| rec(i, i % 3, (i % 50) as f64)).collect()
+    }
+
+    #[test]
+    fn run_filter_query() {
+        let mut env = StreamEnvironment::new();
+        env.add_source(
+            "trains",
+            Box::new(VecSource::new(schema(), records(100))),
+            WatermarkStrategy::None,
+        );
+        let (mut sink, got) = CollectingSink::new();
+        let q = Query::from("trains").filter(col("speed").ge(lit(40.0)));
+        let m = env.run(&q, &mut sink).unwrap();
+        assert_eq!(m.records_in, 100);
+        assert_eq!(m.records_out as usize, got.len());
+        assert_eq!(got.len(), 20, "speeds 40..49 of each 50-cycle");
+        assert!(m.bytes_in > 0);
+    }
+
+    #[test]
+    fn run_window_query_with_watermarks() {
+        let mut env = StreamEnvironment::with_config(EnvConfig {
+            buffer_size: 16,
+            watermark_every: 2,
+            ..EnvConfig::default()
+        });
+        env.add_source(
+            "trains",
+            Box::new(VecSource::new(schema(), records(300))),
+            WatermarkStrategy::BoundedOutOfOrder {
+                ts_field: "ts".into(),
+                slack: 5 * MICROS_PER_SEC,
+            },
+        );
+        let (mut sink, got) = CollectingSink::new();
+        let q = Query::from("trains").window(
+            vec![("train", col("train"))],
+            WindowSpec::Tumbling { size: 60 * MICROS_PER_SEC },
+            vec![WindowAgg::new("n", AggSpec::Count)],
+        );
+        let m = env.run(&q, &mut sink).unwrap();
+        assert!(m.watermarks > 0);
+        // 300 seconds of data, 60 s windows, 3 keys => 15 windows.
+        assert_eq!(got.len(), 15);
+        let total: i64 = got
+            .records()
+            .iter()
+            .map(|r| r.get(3).unwrap().as_int().unwrap())
+            .sum();
+        assert_eq!(total, 300, "every record lands in exactly one window");
+    }
+
+    #[test]
+    fn unknown_source_errors() {
+        let mut env = StreamEnvironment::new();
+        let (mut sink, _) = CollectingSink::new();
+        let q = Query::from("nope").filter(lit(true));
+        assert!(env.run(&q, &mut sink).is_err());
+    }
+
+    #[test]
+    fn out_of_order_data_still_complete_with_slack() {
+        let mut env = StreamEnvironment::with_config(EnvConfig {
+            buffer_size: 32,
+            watermark_every: 1,
+            ..EnvConfig::default()
+        });
+        let src = JitterSource::new(
+            VecSource::new(schema(), records(300)),
+            8,
+            99,
+        );
+        env.add_source(
+            "trains",
+            Box::new(src),
+            WatermarkStrategy::BoundedOutOfOrder {
+                ts_field: "ts".into(),
+                slack: 40 * MICROS_PER_SEC, // generous slack > jitter
+            },
+        );
+        let (mut sink, got) = CollectingSink::new();
+        let q = Query::from("trains").window(
+            vec![],
+            WindowSpec::Tumbling { size: 60 * MICROS_PER_SEC },
+            vec![WindowAgg::new("n", AggSpec::Count)],
+        );
+        env.run(&q, &mut sink).unwrap();
+        let total: i64 = got
+            .records()
+            .iter()
+            .map(|r| r.get(2).unwrap().as_int().unwrap())
+            .sum();
+        assert_eq!(total, 300, "slack absorbs the jitter; nothing dropped");
+    }
+
+    #[test]
+    fn threaded_run_matches_sync() {
+        let q = Query::from("trains")
+            .filter(col("speed").ge(lit(25.0)))
+            .map_extend(vec![("kmh", col("speed").mul(lit(3.6)))]);
+
+        let mut env1 = StreamEnvironment::new();
+        env1.add_source(
+            "trains",
+            Box::new(VecSource::new(schema(), records(500))),
+            WatermarkStrategy::None,
+        );
+        let (mut s1, c1) = CollectingSink::new();
+        env1.run(&q, &mut s1).unwrap();
+
+        let mut env2 = StreamEnvironment::new();
+        env2.add_source(
+            "trains",
+            Box::new(VecSource::new(schema(), records(500))),
+            WatermarkStrategy::None,
+        );
+        let (mut s2, c2) = CollectingSink::new();
+        let m2 = env2.run_threaded(&q, &mut s2).unwrap();
+
+        assert_eq!(c1.records(), c2.records());
+        assert_eq!(m2.records_in, 500);
+    }
+
+    #[test]
+    fn counting_sink_and_metrics_agree() {
+        let mut env = StreamEnvironment::new();
+        env.add_source(
+            "trains",
+            Box::new(VecSource::new(schema(), records(200))),
+            WatermarkStrategy::None,
+        );
+        let (mut sink, counters) = CountingSink::new();
+        let q = Query::from("trains").filter(lit(true));
+        let m = env.run(&q, &mut sink).unwrap();
+        assert_eq!(counters.records(), m.records_out);
+        assert_eq!(counters.bytes(), m.bytes_out);
+    }
+
+    #[test]
+    fn explain_renders_plan() {
+        let mut env = StreamEnvironment::new();
+        env.add_source(
+            "trains",
+            Box::new(VecSource::new(schema(), vec![])),
+            WatermarkStrategy::None,
+        );
+        let q = Query::from("trains")
+            .filter(col("speed").gt(lit(1.0)))
+            .map(vec![("t", col("train"))]);
+        let plan = env.explain(&q).unwrap();
+        assert!(plan.contains("Source[trains]"));
+        assert!(plan.contains("filter"));
+        assert!(plan.contains("map"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Stream schemas: named, typed field lists shared across buffers.
+
+use crate::value::DataType;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A named, typed field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name (unique within a schema).
+    pub name: String,
+    /// Field type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Builds a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype }
+    }
+}
+
+/// An immutable stream schema. Shared via [`SchemaRef`]; field lookup by
+/// name is O(1).
+#[derive(Debug, Clone)]
+pub struct Schema {
+    fields: Vec<Field>,
+    index: HashMap<String, usize>,
+}
+
+/// Shared schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Builds a schema from fields. Duplicate names keep the first index
+    /// (later duplicates are unreachable by name, matching SQL shadowing).
+    pub fn new(fields: Vec<Field>) -> SchemaRef {
+        let mut index = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            index.entry(f.name.clone()).or_insert(i);
+        }
+        Arc::new(Schema { fields, index })
+    }
+
+    /// Convenience builder from `(name, type)` pairs.
+    pub fn of(pairs: &[(&str, DataType)]) -> SchemaRef {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Field::new(*n, *t))
+                .collect(),
+        )
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True iff the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// Field by position.
+    pub fn field_at(&self, idx: usize) -> Option<&Field> {
+        self.fields.get(idx)
+    }
+
+    /// True iff `other` has the same names and types in the same order.
+    pub fn same_layout(&self, other: &Schema) -> bool {
+        self.fields == other.fields
+    }
+
+    /// A new schema with `extra` fields appended.
+    pub fn extend(&self, extra: Vec<Field>) -> SchemaRef {
+        let mut fields = self.fields.clone();
+        fields.extend(extra);
+        Schema::new(fields)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> SchemaRef {
+        Schema::of(&[
+            ("ts", DataType::Timestamp),
+            ("train_id", DataType::Int),
+            ("pos", DataType::Point),
+            ("speed", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = schema();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.index_of("pos"), Some(2));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.field("speed").unwrap().dtype, DataType::Float);
+        assert_eq!(s.field_at(0).unwrap().name, "ts");
+        assert!(s.field_at(10).is_none());
+    }
+
+    #[test]
+    fn duplicate_names_keep_first() {
+        let s = Schema::of(&[("a", DataType::Int), ("a", DataType::Float)]);
+        assert_eq!(s.index_of("a"), Some(0));
+    }
+
+    #[test]
+    fn extend_appends() {
+        let s = schema();
+        let e = s.extend(vec![Field::new("alert", DataType::Text)]);
+        assert_eq!(e.len(), 5);
+        assert_eq!(e.index_of("alert"), Some(4));
+        assert!(!e.same_layout(&s));
+        assert!(s.same_layout(&schema()));
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::of(&[("a", DataType::Int), ("b", DataType::Text)]);
+        assert_eq!(s.to_string(), "(a: INT, b: TEXT)");
+    }
+}

@@ -1,0 +1,479 @@
+//! Stream sources: batch-polling producers plus fault-injection wrappers
+//! (out-of-order jitter, connectivity gaps) for testing edge conditions.
+
+use crate::error::{NebulaError, Result};
+use crate::record::Record;
+use crate::schema::SchemaRef;
+use crate::value::{DataType, DurationUs, Value};
+use std::collections::VecDeque;
+use std::io::BufRead;
+use std::path::Path;
+
+/// What a poll produced.
+#[derive(Debug)]
+pub enum SourceBatch {
+    /// Records ready for processing.
+    Data(Vec<Record>),
+    /// Nothing right now, but the stream is alive.
+    Idle,
+    /// The stream has ended.
+    Exhausted,
+}
+
+/// A pollable record producer.
+pub trait Source: Send {
+    /// The schema of produced records.
+    fn schema(&self) -> SchemaRef;
+    /// Produces up to `max` records.
+    fn poll(&mut self, max: usize) -> Result<SourceBatch>;
+}
+
+/// How the runtime derives watermarks from a source.
+#[derive(Debug, Clone)]
+pub enum WatermarkStrategy {
+    /// No watermarks (windows only close at end-of-stream).
+    None,
+    /// `watermark = max(event time seen) − slack`; the standard bounded
+    /// out-of-orderness model.
+    BoundedOutOfOrder {
+        /// Event-time field name.
+        ts_field: String,
+        /// Allowed lateness in µs.
+        slack: DurationUs,
+    },
+}
+
+/// An in-memory source over a prepared record vector.
+pub struct VecSource {
+    schema: SchemaRef,
+    records: VecDeque<Record>,
+}
+
+impl VecSource {
+    /// Builds a source that replays `records` once.
+    pub fn new(schema: SchemaRef, records: Vec<Record>) -> Self {
+        VecSource { schema, records: records.into() }
+    }
+}
+
+impl Source for VecSource {
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn poll(&mut self, max: usize) -> Result<SourceBatch> {
+        if self.records.is_empty() {
+            return Ok(SourceBatch::Exhausted);
+        }
+        let n = max.min(self.records.len());
+        Ok(SourceBatch::Data(self.records.drain(..n).collect()))
+    }
+}
+
+/// A source producing records from a closure, up to a count.
+pub struct GeneratorSource<F: FnMut(u64) -> Record + Send> {
+    schema: SchemaRef,
+    next: u64,
+    count: u64,
+    gen: F,
+}
+
+impl<F: FnMut(u64) -> Record + Send> GeneratorSource<F> {
+    /// Builds a generator emitting `count` records via `gen(i)`.
+    pub fn new(schema: SchemaRef, count: u64, gen: F) -> Self {
+        GeneratorSource { schema, next: 0, count, gen }
+    }
+}
+
+impl<F: FnMut(u64) -> Record + Send> Source for GeneratorSource<F> {
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn poll(&mut self, max: usize) -> Result<SourceBatch> {
+        if self.next >= self.count {
+            return Ok(SourceBatch::Exhausted);
+        }
+        let n = (max as u64).min(self.count - self.next);
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            out.push((self.gen)(self.next));
+            self.next += 1;
+        }
+        Ok(SourceBatch::Data(out))
+    }
+}
+
+/// A CSV file source. Values are parsed per the schema's field types;
+/// timestamps accept integer epoch-µs. Points are encoded as two columns
+/// `<name>_x,<name>_y` is *not* assumed — a point field parses `"x;y"`.
+pub struct CsvSource {
+    schema: SchemaRef,
+    lines: std::io::Lines<std::io::BufReader<std::fs::File>>,
+    line_no: usize,
+}
+
+impl CsvSource {
+    /// Opens `path`, skipping a header row when `has_header`.
+    pub fn open(
+        schema: SchemaRef,
+        path: impl AsRef<Path>,
+        has_header: bool,
+    ) -> Result<Self> {
+        let file = std::fs::File::open(path.as_ref())?;
+        let mut lines = std::io::BufReader::new(file).lines();
+        if has_header {
+            let _ = lines.next().transpose()?;
+        }
+        Ok(CsvSource { schema, lines, line_no: 0 })
+    }
+
+    fn parse_line(&self, line: &str) -> Result<Record> {
+        let fields = self.schema.fields();
+        let mut values = Vec::with_capacity(fields.len());
+        let mut cols = line.split(',');
+        for f in fields {
+            let raw = cols.next().ok_or_else(|| {
+                NebulaError::Io(format!(
+                    "csv line {}: missing column '{}'",
+                    self.line_no, f.name
+                ))
+            })?;
+            let raw = raw.trim();
+            let bad = || {
+                NebulaError::Io(format!(
+                    "csv line {}: cannot parse '{}' as {} for '{}'",
+                    self.line_no, raw, f.dtype, f.name
+                ))
+            };
+            let v = if raw.is_empty() {
+                Value::Null
+            } else {
+                match f.dtype {
+                    DataType::Bool => {
+                        Value::Bool(matches!(raw, "true" | "t" | "1"))
+                    }
+                    DataType::Int => Value::Int(raw.parse().map_err(|_| bad())?),
+                    DataType::Float => {
+                        Value::Float(raw.parse().map_err(|_| bad())?)
+                    }
+                    DataType::Timestamp => {
+                        Value::Timestamp(raw.parse().map_err(|_| bad())?)
+                    }
+                    DataType::Text => Value::text(raw),
+                    DataType::Point => {
+                        let (x, y) = raw.split_once(';').ok_or_else(bad)?;
+                        Value::Point {
+                            x: x.trim().parse().map_err(|_| bad())?,
+                            y: y.trim().parse().map_err(|_| bad())?,
+                        }
+                    }
+                    DataType::Opaque | DataType::Null => Value::Null,
+                }
+            };
+            values.push(v);
+        }
+        Ok(Record::new(values))
+    }
+}
+
+impl Source for CsvSource {
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn poll(&mut self, max: usize) -> Result<SourceBatch> {
+        let mut out = Vec::with_capacity(max);
+        for _ in 0..max {
+            match self.lines.next() {
+                Some(line) => {
+                    self.line_no += 1;
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    out.push(self.parse_line(&line)?);
+                }
+                None => {
+                    return Ok(if out.is_empty() {
+                        SourceBatch::Exhausted
+                    } else {
+                        SourceBatch::Data(out)
+                    });
+                }
+            }
+        }
+        Ok(SourceBatch::Data(out))
+    }
+}
+
+/// Deterministic xorshift64* PRNG — keeps the engine free of external
+/// randomness dependencies while making fault injection reproducible.
+#[derive(Debug, Clone)]
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Seeds the generator (0 is remapped).
+    pub fn new(seed: u64) -> Self {
+        XorShift(if seed == 0 { 0x9E3779B97F4A7C15 } else { seed })
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn next_below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// Wraps a source, locally shuffling records within a bounded reorder
+/// buffer to simulate out-of-order arrival.
+pub struct JitterSource<S: Source> {
+    inner: S,
+    buffer: Vec<Record>,
+    window: usize,
+    rng: XorShift,
+    inner_done: bool,
+}
+
+impl<S: Source> JitterSource<S> {
+    /// Reorders within windows of `window` records, seeded for
+    /// reproducibility.
+    pub fn new(inner: S, window: usize, seed: u64) -> Self {
+        JitterSource {
+            inner,
+            buffer: Vec::new(),
+            window: window.max(2),
+            rng: XorShift::new(seed),
+            inner_done: false,
+        }
+    }
+}
+
+impl<S: Source> Source for JitterSource<S> {
+    fn schema(&self) -> SchemaRef {
+        self.inner.schema()
+    }
+
+    fn poll(&mut self, max: usize) -> Result<SourceBatch> {
+        while !self.inner_done && self.buffer.len() < max.max(self.window) {
+            match self.inner.poll(max)? {
+                SourceBatch::Data(mut recs) => self.buffer.append(&mut recs),
+                SourceBatch::Idle => break,
+                SourceBatch::Exhausted => self.inner_done = true,
+            }
+        }
+        if self.buffer.is_empty() {
+            return Ok(if self.inner_done {
+                SourceBatch::Exhausted
+            } else {
+                SourceBatch::Idle
+            });
+        }
+        // Fisher–Yates within the jitter window at the queue head.
+        let limit = self.window.min(self.buffer.len());
+        for i in (1..limit).rev() {
+            let j = self.rng.next_below(i + 1);
+            self.buffer.swap(i, j);
+        }
+        let n = max.min(self.buffer.len());
+        Ok(SourceBatch::Data(self.buffer.drain(..n).collect()))
+    }
+}
+
+/// Wraps a source, periodically swallowing whole polls to simulate
+/// connectivity gaps (the train entering a tunnel).
+pub struct GapSource<S: Source> {
+    inner: S,
+    rng: XorShift,
+    gap_probability: f64,
+    dropped: u64,
+}
+
+impl<S: Source> GapSource<S> {
+    /// Drops each polled batch with probability `gap_probability`.
+    pub fn new(inner: S, gap_probability: f64, seed: u64) -> Self {
+        GapSource {
+            inner,
+            rng: XorShift::new(seed),
+            gap_probability: gap_probability.clamp(0.0, 1.0),
+            dropped: 0,
+        }
+    }
+
+    /// Records dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl<S: Source> Source for GapSource<S> {
+    fn schema(&self) -> SchemaRef {
+        self.inner.schema()
+    }
+
+    fn poll(&mut self, max: usize) -> Result<SourceBatch> {
+        match self.inner.poll(max)? {
+            SourceBatch::Data(recs) => {
+                if self.rng.next_f64() < self.gap_probability {
+                    self.dropped += recs.len() as u64;
+                    Ok(SourceBatch::Idle)
+                } else {
+                    Ok(SourceBatch::Data(recs))
+                }
+            }
+            other => Ok(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> SchemaRef {
+        Schema::of(&[("ts", DataType::Timestamp), ("v", DataType::Float)])
+    }
+
+    fn rec(ts: i64, v: f64) -> Record {
+        Record::new(vec![Value::Timestamp(ts), Value::Float(v)])
+    }
+
+    #[test]
+    fn vec_source_drains() {
+        let mut s = VecSource::new(schema(), vec![rec(1, 0.0), rec(2, 0.0), rec(3, 0.0)]);
+        match s.poll(2).unwrap() {
+            SourceBatch::Data(d) => assert_eq!(d.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        match s.poll(2).unwrap() {
+            SourceBatch::Data(d) => assert_eq!(d.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(s.poll(2).unwrap(), SourceBatch::Exhausted));
+    }
+
+    #[test]
+    fn generator_source_counts() {
+        let mut s = GeneratorSource::new(schema(), 5, |i| rec(i as i64, i as f64));
+        let mut total = 0;
+        loop {
+            match s.poll(3).unwrap() {
+                SourceBatch::Data(d) => total += d.len(),
+                SourceBatch::Exhausted => break,
+                SourceBatch::Idle => {}
+            }
+        }
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn csv_source_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("nebula_csv_source_test.csv");
+        std::fs::write(
+            &path,
+            "ts,v,name,pos\n1000,2.5,alpha,4.3;50.8\n2000,,beta,\n",
+        )
+        .unwrap();
+        let schema = Schema::of(&[
+            ("ts", DataType::Timestamp),
+            ("v", DataType::Float),
+            ("name", DataType::Text),
+            ("pos", DataType::Point),
+        ]);
+        let mut s = CsvSource::open(schema, &path, true).unwrap();
+        match s.poll(10).unwrap() {
+            SourceBatch::Data(d) => {
+                assert_eq!(d.len(), 2);
+                assert_eq!(d[0].get(0), Some(&Value::Timestamp(1000)));
+                assert_eq!(d[0].get(3), Some(&Value::Point { x: 4.3, y: 50.8 }));
+                assert!(d[1].get(1).unwrap().is_null());
+                assert!(d[1].get(3).unwrap().is_null());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(s.poll(10).unwrap(), SourceBatch::Exhausted));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_source_reports_bad_rows() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("nebula_csv_bad_test.csv");
+        std::fs::write(&path, "1000,notafloat\n").unwrap();
+        let mut s = CsvSource::open(schema(), &path, false).unwrap();
+        assert!(s.poll(10).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jitter_source_preserves_multiset() {
+        let recs: Vec<Record> = (0..100).map(|i| rec(i, 0.0)).collect();
+        let mut s = JitterSource::new(VecSource::new(schema(), recs), 8, 42);
+        let mut seen = Vec::new();
+        loop {
+            match s.poll(16).unwrap() {
+                SourceBatch::Data(d) => {
+                    seen.extend(d.iter().map(|r| r.get(0).unwrap().as_timestamp().unwrap()))
+                }
+                SourceBatch::Exhausted => break,
+                SourceBatch::Idle => {}
+            }
+        }
+        assert_eq!(seen.len(), 100);
+        let sorted = {
+            let mut s2 = seen.clone();
+            s2.sort_unstable();
+            s2
+        };
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(seen, sorted, "ordering was actually disturbed");
+        // Bounded displacement: at most the jitter window.
+        for (i, ts) in seen.iter().enumerate() {
+            assert!((*ts - i as i64).unsigned_abs() <= 16, "at {i}: {ts}");
+        }
+    }
+
+    #[test]
+    fn gap_source_drops_batches() {
+        let recs: Vec<Record> = (0..100).map(|i| rec(i, 0.0)).collect();
+        let mut s = GapSource::new(VecSource::new(schema(), recs), 0.5, 7);
+        let mut got = 0u64;
+        loop {
+            match s.poll(10).unwrap() {
+                SourceBatch::Data(d) => got += d.len() as u64,
+                SourceBatch::Exhausted => break,
+                SourceBatch::Idle => {}
+            }
+        }
+        assert_eq!(got + s.dropped(), 100);
+        assert!(s.dropped() > 0, "seed 7 must drop something");
+    }
+
+    #[test]
+    fn xorshift_deterministic() {
+        let mut a = XorShift::new(123);
+        let mut b = XorShift::new(123);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let f = a.next_f64();
+        assert!((0.0..1.0).contains(&f));
+        assert!(a.next_below(10) < 10);
+    }
+}

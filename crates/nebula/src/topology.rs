@@ -1,0 +1,543 @@
+//! Topology modelling and operator placement.
+//!
+//! NebulaStream runs queries over a hierarchy of sensor, edge and cloud
+//! nodes, pushing operators toward the data sources to cut egress. This
+//! module models that: a tree topology with link costs, placement
+//! strategies (edge-first vs. cloud-only), a per-stage byte measurement
+//! harness, and network-cost evaluation — the quantities behind the
+//! paper's "process at the edge, reduce reliance on connectivity" claim.
+//! Node churn is handled by incremental re-placement (cf. Chaudhary et
+//! al., ICDE 2025).
+
+use crate::error::{NebulaError, Result};
+use crate::expr::FunctionRegistry;
+use crate::query::{compile, LogicalOp, Query};
+use crate::record::{RecordBuffer, StreamMessage};
+use crate::source::{Source, SourceBatch};
+use std::collections::HashMap;
+
+/// A node identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Node tiers, ordered from data source to data centre.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A sensor/device producing data (train sensor bus).
+    Sensor,
+    /// An onboard/trackside edge processor (the paper's Intel Atom box).
+    Edge,
+    /// The cloud/coordinator tier.
+    Cloud,
+}
+
+/// A compute node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Identifier.
+    pub id: NodeId,
+    /// Human-readable name.
+    pub name: String,
+    /// Tier.
+    pub kind: NodeKind,
+    /// Parallel operator slots (capacity model).
+    pub cpu_slots: u32,
+}
+
+/// A directed link from a child node up toward the cloud.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Lower (child) endpoint.
+    pub from: NodeId,
+    /// Upper (parent) endpoint.
+    pub to: NodeId,
+    /// Bandwidth in megabits per second.
+    pub bandwidth_mbps: f64,
+    /// One-way latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+/// A tree topology rooted at a cloud node.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    parent: HashMap<NodeId, usize>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Adds a node.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        kind: NodeKind,
+        cpu_slots: u32,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { id, name: name.into(), kind, cpu_slots });
+        id
+    }
+
+    /// Connects `child` upward to `parent`.
+    pub fn connect(
+        &mut self,
+        child: NodeId,
+        parent: NodeId,
+        bandwidth_mbps: f64,
+        latency_ms: f64,
+    ) {
+        let idx = self.links.len();
+        self.links.push(Link { from: child, to: parent, bandwidth_mbps, latency_ms });
+        self.parent.insert(child, idx);
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// The cloud root (first cloud node).
+    pub fn cloud(&self) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.kind == NodeKind::Cloud).map(|n| n.id)
+    }
+
+    /// Link indices on the upward path `from → to` (`to` must be an
+    /// ancestor).
+    pub fn path_up(&self, from: NodeId, to: NodeId) -> Result<Vec<usize>> {
+        let mut path = Vec::new();
+        let mut cur = from;
+        while cur != to {
+            let idx = *self.parent.get(&cur).ok_or_else(|| {
+                NebulaError::Plan(format!(
+                    "no path from {} to {}",
+                    self.node(from).name,
+                    self.node(to).name
+                ))
+            })?;
+            path.push(idx);
+            cur = self.links[idx].to;
+        }
+        Ok(path)
+    }
+
+    /// First ancestor (inclusive) of `from` with the given kind.
+    pub fn first_ancestor_of_kind(
+        &self,
+        from: NodeId,
+        kind: NodeKind,
+    ) -> Option<NodeId> {
+        let mut cur = from;
+        loop {
+            if self.node(cur).kind == kind {
+                return Some(cur);
+            }
+            match self.parent.get(&cur) {
+                Some(idx) => cur = self.links[*idx].to,
+                None => return None,
+            }
+        }
+    }
+
+    /// Removes a node (simulating churn): its children re-attach to its
+    /// parent. Returns false when the node had no parent (cannot remove
+    /// the root this way).
+    pub fn fail_node(&mut self, failed: NodeId) -> bool {
+        let Some(&up_idx) = self.parent.get(&failed) else {
+            return false;
+        };
+        let new_parent = self.links[up_idx].to;
+        let (bw, lat) =
+            (self.links[up_idx].bandwidth_mbps, self.links[up_idx].latency_ms);
+        // Re-attach children.
+        let child_links: Vec<usize> = self
+            .links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.to == failed)
+            .map(|(i, _)| i)
+            .collect();
+        for idx in child_links {
+            self.links[idx].to = new_parent;
+            // Serial hop removed: combine costs pessimistically.
+            self.links[idx].bandwidth_mbps = self.links[idx].bandwidth_mbps.min(bw);
+            self.links[idx].latency_ms += lat;
+        }
+        self.parent.remove(&failed);
+        true
+    }
+
+    /// The standard demo deployment: sensors → onboard edge → cloud.
+    pub fn train_fleet(num_trains: usize) -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let cloud = t.add_node("cloud", NodeKind::Cloud, 64);
+        let mut sensors = Vec::with_capacity(num_trains);
+        for i in 0..num_trains {
+            let edge = t.add_node(format!("train-{i}-edge"), NodeKind::Edge, 2);
+            let sensor = t.add_node(format!("train-{i}-sensors"), NodeKind::Sensor, 1);
+            t.connect(edge, cloud, 10.0, 40.0); // cellular uplink
+            t.connect(sensor, edge, 100.0, 1.0); // onboard bus
+            sensors.push(sensor);
+        }
+        (t, sensors)
+    }
+}
+
+/// Where each pipeline stage runs. Stage 0 is the source; stage `i + 1`
+/// is logical operator `i`; the final stage is the sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Node per stage (source, ops…, sink).
+    pub stages: Vec<NodeId>,
+}
+
+/// Placement strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Push stateless operators onto the source node and stateful ones to
+    /// the nearest edge; sink in the cloud. The NebulaMEOS deployment.
+    EdgeFirst,
+    /// Ship raw data to the cloud and run everything there. The baseline
+    /// the paper argues against.
+    CloudOnly,
+}
+
+/// Computes a placement for `query` with its source on `source_node`.
+pub fn place(
+    query: &Query,
+    topo: &Topology,
+    source_node: NodeId,
+    strategy: PlacementStrategy,
+) -> Result<Placement> {
+    let cloud = topo
+        .cloud()
+        .ok_or_else(|| NebulaError::Plan("topology has no cloud node".into()))?;
+    let mut stages = Vec::with_capacity(query.ops().len() + 2);
+    stages.push(source_node);
+    match strategy {
+        PlacementStrategy::CloudOnly => {
+            for _ in query.ops() {
+                stages.push(cloud);
+            }
+        }
+        PlacementStrategy::EdgeFirst => {
+            let edge = topo
+                .first_ancestor_of_kind(source_node, NodeKind::Edge)
+                .unwrap_or(cloud);
+            // Once a stage moves up a tier, later stages never move back
+            // down (data flows toward the cloud).
+            let mut current = source_node;
+            for op in query.ops() {
+                let want = match op {
+                    LogicalOp::Filter(_) | LogicalOp::Map { .. } => current,
+                    LogicalOp::Window { .. }
+                    | LogicalOp::Cep(_)
+                    | LogicalOp::Custom(_) => edge,
+                };
+                // Never place below the current stage's node.
+                current = if topo.path_up(current, want).is_ok() {
+                    current // want is an ancestor check failed direction
+                } else {
+                    want
+                };
+                // Simpler monotone rule: stateless stays, stateful goes to
+                // the edge (or stays at the edge if already there).
+                if !matches!(op, LogicalOp::Filter(_) | LogicalOp::Map { .. }) {
+                    current = edge;
+                }
+                stages.push(current);
+            }
+        }
+    }
+    stages.push(cloud);
+    Ok(Placement { stages })
+}
+
+/// Bytes observed leaving each pipeline stage (stage 0 = raw source).
+#[derive(Debug, Clone)]
+pub struct StageBytes {
+    /// `stage_bytes[0]` is source bytes; `stage_bytes[i+1]` is bytes
+    /// emitted by logical operator `i`.
+    pub stage_bytes: Vec<u64>,
+    /// Records per stage, same indexing.
+    pub stage_records: Vec<u64>,
+}
+
+/// Runs the query over `source` once, measuring bytes/records crossing
+/// every operator boundary — the input to network-cost evaluation.
+pub fn measure_stage_bytes(
+    mut source: Box<dyn Source>,
+    query: &Query,
+    registry: &FunctionRegistry,
+    buffer_size: usize,
+) -> Result<StageBytes> {
+    let schema = source.schema();
+    let plan = compile(query, schema.clone(), registry)?;
+    let mut ops = plan.operators;
+    let n = ops.len();
+    let mut bytes = vec![0u64; n + 1];
+    let mut records = vec![0u64; n + 1];
+
+    let push = |ops: &mut [Box<dyn crate::ops::Operator>],
+                    first: StreamMessage,
+                    bytes: &mut [u64],
+                    records: &mut [u64]|
+     -> Result<()> {
+        let mut cur = vec![first];
+        let mut next: Vec<StreamMessage> = Vec::new();
+        for (i, op) in ops.iter_mut().enumerate() {
+            for msg in cur.drain(..) {
+                match msg {
+                    StreamMessage::Data(b) => op.process(b, &mut next)?,
+                    StreamMessage::Watermark(w) => op.on_watermark(w, &mut next)?,
+                    StreamMessage::Eos => op.on_eos(&mut next)?,
+                }
+            }
+            for m in &next {
+                if let StreamMessage::Data(b) = m {
+                    bytes[i + 1] += b.est_bytes() as u64;
+                    records[i + 1] += b.len() as u64;
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        Ok(())
+    };
+
+    loop {
+        match source.poll(buffer_size)? {
+            SourceBatch::Data(recs) => {
+                let buf = RecordBuffer::new(schema.clone(), recs);
+                bytes[0] += buf.est_bytes() as u64;
+                records[0] += buf.len() as u64;
+                push(&mut ops, StreamMessage::Data(buf), &mut bytes, &mut records)?;
+            }
+            SourceBatch::Idle => {}
+            SourceBatch::Exhausted => break,
+        }
+    }
+    push(&mut ops, StreamMessage::Eos, &mut bytes, &mut records)?;
+    Ok(StageBytes { stage_bytes: bytes, stage_records: records })
+}
+
+/// Network cost of running a placement: bytes crossing each link and the
+/// end-to-end path latency.
+#[derive(Debug, Clone)]
+pub struct NetworkCost {
+    /// Bytes per link index.
+    pub bytes_per_link: Vec<u64>,
+    /// Total bytes crossing any link.
+    pub total_bytes: u64,
+    /// Sum of one-way latencies along the stage path.
+    pub path_latency_ms: f64,
+    /// Bytes leaving the *edge tier* toward the cloud (the paper's
+    /// scarce resource: the cellular uplink).
+    pub cloud_uplink_bytes: u64,
+}
+
+/// Combines measured stage bytes with a placement over a topology.
+pub fn network_cost(
+    topo: &Topology,
+    placement: &Placement,
+    stages: &StageBytes,
+) -> Result<NetworkCost> {
+    if placement.stages.len() != stages.stage_bytes.len() + 1 {
+        return Err(NebulaError::Plan(format!(
+            "placement has {} stages, measurements {}",
+            placement.stages.len(),
+            stages.stage_bytes.len() + 1
+        )));
+    }
+    let mut bytes_per_link = vec![0u64; topo.links().len()];
+    let mut path_latency_ms = 0.0;
+    let mut cloud_uplink = 0u64;
+    for (i, w) in placement.stages.windows(2).enumerate() {
+        let (from, to) = (w[0], w[1]);
+        if from == to {
+            continue;
+        }
+        let b = stages.stage_bytes[i];
+        for idx in topo.path_up(from, to)? {
+            bytes_per_link[idx] += b;
+            path_latency_ms += topo.links()[idx].latency_ms;
+            if topo.node(topo.links()[idx].to).kind == NodeKind::Cloud {
+                cloud_uplink += b;
+            }
+        }
+    }
+    Ok(NetworkCost {
+        total_bytes: bytes_per_link.iter().sum(),
+        bytes_per_link,
+        path_latency_ms,
+        cloud_uplink_bytes: cloud_uplink,
+    })
+}
+
+/// Re-places a query after a node failure: every stage assigned to the
+/// failed node migrates to that node's former parent. Returns the new
+/// placement and the number of migrated stages (the metric incremental
+/// placement minimizes).
+pub fn replace_after_failure(
+    topo: &Topology,
+    placement: &Placement,
+    failed: NodeId,
+    fallback: NodeId,
+) -> (Placement, usize) {
+    let mut migrated = 0;
+    let stages = placement
+        .stages
+        .iter()
+        .map(|&n| {
+            if n == failed {
+                migrated += 1;
+                fallback
+            } else {
+                n
+            }
+        })
+        .collect();
+    let _ = topo;
+    (Placement { stages }, migrated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::record::Record;
+    use crate::schema::Schema;
+    use crate::source::VecSource;
+    use crate::value::{DataType, Value, MICROS_PER_SEC};
+    use crate::window::{AggSpec, WindowAgg, WindowSpec};
+
+    fn schema() -> crate::schema::SchemaRef {
+        Schema::of(&[
+            ("ts", DataType::Timestamp),
+            ("train", DataType::Int),
+            ("speed", DataType::Float),
+        ])
+    }
+
+    fn records(n: i64) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                Record::new(vec![
+                    Value::Timestamp(i * MICROS_PER_SEC),
+                    Value::Int(i % 3),
+                    Value::Float((i % 100) as f64),
+                ])
+            })
+            .collect()
+    }
+
+    fn demo_query() -> Query {
+        Query::from("trains")
+            .filter(col("speed").gt(lit(90.0))) // selective
+            .window(
+                vec![("train", col("train"))],
+                WindowSpec::Tumbling { size: 60 * MICROS_PER_SEC },
+                vec![WindowAgg::new("n", AggSpec::Count)],
+            )
+    }
+
+    #[test]
+    fn fleet_topology_structure() {
+        let (topo, sensors) = Topology::train_fleet(6);
+        assert_eq!(sensors.len(), 6);
+        assert_eq!(topo.nodes().len(), 13);
+        let cloud = topo.cloud().unwrap();
+        for s in &sensors {
+            let path = topo.path_up(*s, cloud).unwrap();
+            assert_eq!(path.len(), 2, "sensor -> edge -> cloud");
+        }
+        let edge = topo.first_ancestor_of_kind(sensors[0], NodeKind::Edge).unwrap();
+        assert_eq!(topo.node(edge).kind, NodeKind::Edge);
+    }
+
+    #[test]
+    fn edge_first_vs_cloud_only_placement() {
+        let (topo, sensors) = Topology::train_fleet(1);
+        let q = demo_query();
+        let edge = place(&q, &topo, sensors[0], PlacementStrategy::EdgeFirst).unwrap();
+        let cloud = place(&q, &topo, sensors[0], PlacementStrategy::CloudOnly).unwrap();
+        assert_eq!(edge.stages.len(), 4); // source, filter, window, sink
+        // Filter stays on the sensor; window moves to the edge.
+        assert_eq!(edge.stages[1], sensors[0]);
+        assert_eq!(topo.node(edge.stages[2]).kind, NodeKind::Edge);
+        assert_eq!(topo.node(edge.stages[3]).kind, NodeKind::Cloud);
+        // Cloud-only runs ops in the cloud.
+        assert_eq!(topo.node(cloud.stages[1]).kind, NodeKind::Cloud);
+    }
+
+    #[test]
+    fn stage_bytes_decrease_after_selective_filter() {
+        let reg = FunctionRegistry::with_builtins();
+        let src = Box::new(VecSource::new(schema(), records(1000)));
+        let sb = measure_stage_bytes(src, &demo_query(), &reg, 128).unwrap();
+        assert_eq!(sb.stage_records[0], 1000);
+        assert!(sb.stage_records[1] < 200, "filter keeps ~9%");
+        assert!(sb.stage_bytes[1] < sb.stage_bytes[0] / 5);
+        assert!(sb.stage_records[2] <= sb.stage_records[1]);
+    }
+
+    #[test]
+    fn edge_placement_cuts_uplink_bytes() {
+        let (topo, sensors) = Topology::train_fleet(1);
+        let reg = FunctionRegistry::with_builtins();
+        let q = demo_query();
+        let sb = measure_stage_bytes(
+            Box::new(VecSource::new(schema(), records(1000))),
+            &q,
+            &reg,
+            128,
+        )
+        .unwrap();
+        let edge_pl = place(&q, &topo, sensors[0], PlacementStrategy::EdgeFirst).unwrap();
+        let cloud_pl = place(&q, &topo, sensors[0], PlacementStrategy::CloudOnly).unwrap();
+        let edge_cost = network_cost(&topo, &edge_pl, &sb).unwrap();
+        let cloud_cost = network_cost(&topo, &cloud_pl, &sb).unwrap();
+        assert!(
+            edge_cost.cloud_uplink_bytes < cloud_cost.cloud_uplink_bytes / 5,
+            "edge {} vs cloud {}",
+            edge_cost.cloud_uplink_bytes,
+            cloud_cost.cloud_uplink_bytes
+        );
+        assert!(edge_cost.total_bytes < cloud_cost.total_bytes);
+    }
+
+    #[test]
+    fn failure_replacement_migrates_stages() {
+        let (mut topo, sensors) = Topology::train_fleet(1);
+        let q = demo_query();
+        let pl = place(&q, &topo, sensors[0], PlacementStrategy::EdgeFirst).unwrap();
+        let edge = topo.first_ancestor_of_kind(sensors[0], NodeKind::Edge).unwrap();
+        let cloud = topo.cloud().unwrap();
+        assert!(topo.fail_node(edge));
+        let (new_pl, migrated) = replace_after_failure(&topo, &pl, edge, cloud);
+        assert!(migrated >= 1);
+        assert!(!new_pl.stages.contains(&edge));
+        // Sensor now reaches the cloud directly.
+        assert_eq!(topo.path_up(sensors[0], cloud).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cannot_fail_root() {
+        let (mut topo, _) = Topology::train_fleet(1);
+        let cloud = topo.cloud().unwrap();
+        assert!(!topo.fail_node(cloud));
+    }
+}

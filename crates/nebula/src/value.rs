@@ -1,0 +1,357 @@
+//! The engine's typed value model.
+//!
+//! NebulaStream tuples carry fixed-width primitive fields plus
+//! variable-size payloads; extensions (like the MEOS plugin) flow their
+//! own types through tuples opaquely. [`Value`] mirrors that: a small
+//! closed set of primitive variants plus [`Value::Opaque`] for plugin
+//! types the engine core never inspects.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+/// Event-time instants are microseconds since the Unix epoch. The engine
+/// deliberately uses a bare integer so it stays independent of any
+/// spatiotemporal library; plugins convert at the boundary.
+pub type EventTime = i64;
+
+/// Durations in microseconds (window sizes, slacks).
+pub type DurationUs = i64;
+
+/// Microseconds per second, for rate conversions.
+pub const MICROS_PER_SEC: i64 = 1_000_000;
+
+/// The engine's data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Event-time timestamp (µs since epoch).
+    Timestamp,
+    /// 2-D point (x/lon, y/lat).
+    Point,
+    /// A plugin-defined type, identified by name.
+    Opaque,
+    /// The null type (untyped null literal).
+    Null,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "BOOL",
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Timestamp => "TIMESTAMP",
+            DataType::Point => "POINT",
+            DataType::Opaque => "OPAQUE",
+            DataType::Null => "NULL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A plugin value carried opaquely through tuples (e.g. a MEOS temporal
+/// sequence). The engine only needs debug printing, size accounting and
+/// downcasting at the plugin boundary.
+pub trait OpaqueValue: fmt::Debug + Send + Sync {
+    /// Stable type tag (used in errors and for equality short-circuit).
+    fn type_tag(&self) -> &'static str;
+    /// Estimated in-memory size, for throughput accounting.
+    fn est_bytes(&self) -> usize;
+    /// Downcast support.
+    fn as_any(&self) -> &dyn Any;
+    /// Structural equality against another opaque value of the same tag.
+    fn opaque_eq(&self, other: &dyn OpaqueValue) -> bool;
+}
+
+/// A single field value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL-style null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Shared UTF-8 text (cheap to clone across buffers).
+    Text(Arc<str>),
+    /// Event-time timestamp (µs since epoch).
+    Timestamp(EventTime),
+    /// 2-D point.
+    Point {
+        /// X / longitude.
+        x: f64,
+        /// Y / latitude.
+        y: f64,
+    },
+    /// Plugin-defined payload.
+    Opaque(Arc<dyn OpaqueValue>),
+}
+
+impl Value {
+    /// Builds a text value.
+    pub fn text(s: impl Into<Arc<str>>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// The value's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Null => DataType::Null,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Text(_) => DataType::Text,
+            Value::Timestamp(_) => DataType::Timestamp,
+            Value::Point { .. } => DataType::Point,
+            Value::Opaque(_) => DataType::Opaque,
+        }
+    }
+
+    /// True iff null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Timestamp(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float view with implicit int widening.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            Value::Timestamp(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Text view.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Timestamp view (ints pass through — sources often deliver epoch µs
+    /// as integers).
+    pub fn as_timestamp(&self) -> Option<EventTime> {
+        match self {
+            Value::Timestamp(v) | Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Point view.
+    pub fn as_point(&self) -> Option<(f64, f64)> {
+        match self {
+            Value::Point { x, y } => Some((*x, *y)),
+            _ => None,
+        }
+    }
+
+    /// Opaque view.
+    pub fn as_opaque(&self) -> Option<&Arc<dyn OpaqueValue>> {
+        match self {
+            Value::Opaque(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Estimated wire/memory size in bytes (drives the MB/s metrics the
+    /// paper reports).
+    pub fn est_bytes(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Timestamp(_) => 8,
+            Value::Float(_) => 8,
+            Value::Text(s) => s.len() + 4,
+            Value::Point { .. } => 16,
+            Value::Opaque(o) => o.est_bytes(),
+        }
+    }
+
+    /// Numeric ordering across int/float/timestamp; `None` for
+    /// incomparable types.
+    pub fn partial_cmp_num(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        match (self, other) {
+            (Value::Text(a), Value::Text(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let a = self.as_float()?;
+                let b = other.as_float()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Point { x: ax, y: ay }, Value::Point { x: bx, y: by }) => {
+                ax == bx && ay == by
+            }
+            (Value::Opaque(a), Value::Opaque(b)) => {
+                a.type_tag() == b.type_tag() && a.opaque_eq(b.as_ref())
+            }
+            // Numeric cross-type equality (Int/Float/Timestamp).
+            _ => match (self.as_float(), other.as_float()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Timestamp(v) => write!(f, "ts:{v}"),
+            Value::Point { x, y } => write!(f, "({x} {y})"),
+            Value::Opaque(o) => write!(f, "<{}>", o.type_tag()),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(Arc::from(v))
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(Arc::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_and_accessors() {
+        assert_eq!(Value::Int(3).data_type(), DataType::Int);
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_int(), None);
+        assert_eq!(Value::Timestamp(10).as_timestamp(), Some(10));
+        assert_eq!(Value::Int(10).as_timestamp(), Some(10));
+        assert_eq!(Value::text("hi").as_text(), Some("hi"));
+        assert_eq!(Value::Point { x: 1.0, y: 2.0 }.as_point(), Some((1.0, 2.0)));
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn numeric_equality_across_types() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+        assert_ne!(Value::text("3"), Value::Int(3));
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::Int(0));
+    }
+
+    #[test]
+    fn numeric_ordering() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Int(2).partial_cmp_num(&Value::Float(3.0)), Some(Less));
+        assert_eq!(
+            Value::text("b").partial_cmp_num(&Value::text("a")),
+            Some(Greater)
+        );
+        assert_eq!(Value::Bool(true).partial_cmp_num(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn size_estimates() {
+        assert_eq!(Value::Int(1).est_bytes(), 8);
+        assert_eq!(Value::Point { x: 0.0, y: 0.0 }.est_bytes(), 16);
+        assert_eq!(Value::text("abcd").est_bytes(), 8);
+        assert_eq!(Value::Bool(true).est_bytes(), 1);
+    }
+
+    #[derive(Debug)]
+    struct Marker(u32);
+    impl OpaqueValue for Marker {
+        fn type_tag(&self) -> &'static str {
+            "marker"
+        }
+        fn est_bytes(&self) -> usize {
+            4
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn opaque_eq(&self, other: &dyn OpaqueValue) -> bool {
+            other
+                .as_any()
+                .downcast_ref::<Marker>()
+                .is_some_and(|m| m.0 == self.0)
+        }
+    }
+
+    #[test]
+    fn opaque_values() {
+        let a = Value::Opaque(Arc::new(Marker(7)));
+        let b = Value::Opaque(Arc::new(Marker(7)));
+        let c = Value::Opaque(Arc::new(Marker(8)));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.data_type(), DataType::Opaque);
+        assert_eq!(a.est_bytes(), 4);
+        let o = a.as_opaque().unwrap();
+        assert_eq!(o.as_any().downcast_ref::<Marker>().unwrap().0, 7);
+    }
+}

@@ -1,0 +1,419 @@
+//! Event-time windowing: tumbling, sliding and threshold windows with
+//! pluggable aggregators.
+//!
+//! Tumbling and sliding windows are closed by watermarks; *threshold
+//! windows* — a NebulaStream signature feature — are predicate-delimited:
+//! a window opens while the predicate holds and closes (emitting, if it
+//! saw at least `min_count` records) when it stops holding.
+
+use crate::error::{NebulaError, Result};
+use crate::expr::{BoundExpr, Expr, FunctionRegistry};
+use crate::record::Record;
+use crate::schema::Schema;
+use crate::value::{DataType, DurationUs, EventTime, Value};
+use std::sync::Arc;
+
+/// Window shape.
+#[derive(Debug, Clone)]
+pub enum WindowSpec {
+    /// Fixed-size, non-overlapping windows aligned to the epoch.
+    Tumbling {
+        /// Window length (µs).
+        size: DurationUs,
+    },
+    /// Fixed-size windows advancing by `slide` (µs).
+    Sliding {
+        /// Window length (µs).
+        size: DurationUs,
+        /// Slide step (µs).
+        slide: DurationUs,
+    },
+    /// Predicate-delimited windows (NebulaStream threshold windows): the
+    /// window spans a maximal run of records satisfying the predicate.
+    Threshold {
+        /// Open/extend condition, evaluated per record.
+        predicate: Expr,
+        /// Minimum record count for the window to emit.
+        min_count: usize,
+    },
+}
+
+impl WindowSpec {
+    /// Validates the spec's invariants.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            WindowSpec::Tumbling { size } if *size <= 0 => Err(
+                NebulaError::Plan("tumbling window size must be positive".into()),
+            ),
+            WindowSpec::Sliding { size, slide } if *size <= 0 || *slide <= 0 => {
+                Err(NebulaError::Plan(
+                    "sliding window size and slide must be positive".into(),
+                ))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Window starts containing event time `ts` (time-based specs only).
+    pub fn assign(&self, ts: EventTime) -> Vec<EventTime> {
+        match *self {
+            WindowSpec::Tumbling { size } => {
+                vec![ts.div_euclid(size) * size]
+            }
+            WindowSpec::Sliding { size, slide } => {
+                let mut starts = Vec::with_capacity((size / slide).max(1) as usize);
+                let mut start = ts.div_euclid(slide) * slide;
+                while start + size > ts {
+                    starts.push(start);
+                    start -= slide;
+                }
+                starts
+            }
+            WindowSpec::Threshold { .. } => Vec::new(),
+        }
+    }
+
+    /// Window length for time-based specs.
+    pub fn size(&self) -> Option<DurationUs> {
+        match self {
+            WindowSpec::Tumbling { size } | WindowSpec::Sliding { size, .. } => {
+                Some(*size)
+            }
+            WindowSpec::Threshold { .. } => None,
+        }
+    }
+}
+
+/// Incremental aggregation state.
+pub trait Aggregator: Send {
+    /// Folds one record in.
+    fn update(&mut self, rec: &Record) -> Result<()>;
+    /// Produces the final value.
+    fn finish(&mut self) -> Result<Value>;
+}
+
+/// Creates aggregators and reports their output type; implemented by
+/// plugins for custom window semantics (e.g. "assemble a MEOS sequence").
+pub trait AggregatorFactory: Send + Sync {
+    /// Output type given the input schema.
+    fn output_type(
+        &self,
+        input: &Schema,
+        registry: &FunctionRegistry,
+    ) -> Result<DataType>;
+    /// Creates one per-window accumulator.
+    fn create(
+        &self,
+        input: &Schema,
+        registry: &FunctionRegistry,
+    ) -> Result<Box<dyn Aggregator>>;
+}
+
+/// A window aggregate: what to compute and the output column name.
+#[derive(Clone)]
+pub struct WindowAgg {
+    /// Output column name.
+    pub name: String,
+    /// Aggregate definition.
+    pub spec: AggSpec,
+}
+
+impl WindowAgg {
+    /// Builds a named aggregate.
+    pub fn new(name: impl Into<String>, spec: AggSpec) -> Self {
+        WindowAgg { name: name.into(), spec }
+    }
+}
+
+/// Built-in and custom aggregate functions.
+#[derive(Clone)]
+pub enum AggSpec {
+    /// Record count.
+    Count,
+    /// Sum of an expression.
+    Sum(Expr),
+    /// Minimum of an expression.
+    Min(Expr),
+    /// Maximum of an expression.
+    Max(Expr),
+    /// Mean of an expression.
+    Avg(Expr),
+    /// First value in arrival order.
+    First(Expr),
+    /// Last value in arrival order.
+    Last(Expr),
+    /// Plugin-provided aggregator.
+    Custom(Arc<dyn AggregatorFactory>),
+}
+
+impl AggSpec {
+    /// Output type of the aggregate over `input`.
+    pub fn output_type(
+        &self,
+        input: &Schema,
+        registry: &FunctionRegistry,
+    ) -> Result<DataType> {
+        match self {
+            AggSpec::Count => Ok(DataType::Int),
+            AggSpec::Avg(e) => {
+                e.bind(input, registry)?;
+                Ok(DataType::Float)
+            }
+            AggSpec::Sum(e) | AggSpec::Min(e) | AggSpec::Max(e) => {
+                let (_, t) = e.bind(input, registry)?;
+                Ok(t)
+            }
+            AggSpec::First(e) | AggSpec::Last(e) => {
+                let (_, t) = e.bind(input, registry)?;
+                Ok(t)
+            }
+            AggSpec::Custom(f) => f.output_type(input, registry),
+        }
+    }
+
+    /// Creates the accumulator.
+    pub fn create(
+        &self,
+        input: &Schema,
+        registry: &FunctionRegistry,
+    ) -> Result<Box<dyn Aggregator>> {
+        let bind = |e: &Expr| e.bind(input, registry).map(|(b, _)| b);
+        Ok(match self {
+            AggSpec::Count => Box::new(BuiltinAgg::count()),
+            AggSpec::Sum(e) => Box::new(BuiltinAgg::new(bind(e)?, AggKind::Sum)),
+            AggSpec::Min(e) => Box::new(BuiltinAgg::new(bind(e)?, AggKind::Min)),
+            AggSpec::Max(e) => Box::new(BuiltinAgg::new(bind(e)?, AggKind::Max)),
+            AggSpec::Avg(e) => Box::new(BuiltinAgg::new(bind(e)?, AggKind::Avg)),
+            AggSpec::First(e) => {
+                Box::new(BuiltinAgg::new(bind(e)?, AggKind::First))
+            }
+            AggSpec::Last(e) => Box::new(BuiltinAgg::new(bind(e)?, AggKind::Last)),
+            AggSpec::Custom(f) => f.create(input, registry)?,
+        })
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum AggKind {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+    First,
+    Last,
+}
+
+struct BuiltinAgg {
+    expr: Option<BoundExpr>,
+    kind: AggKind,
+    count: u64,
+    sum: f64,
+    int_only: bool,
+    best: Option<Value>,
+}
+
+impl BuiltinAgg {
+    fn count() -> Self {
+        BuiltinAgg {
+            expr: None,
+            kind: AggKind::Count,
+            count: 0,
+            sum: 0.0,
+            int_only: true,
+            best: None,
+        }
+    }
+
+    fn new(expr: BoundExpr, kind: AggKind) -> Self {
+        BuiltinAgg { expr: Some(expr), kind, count: 0, sum: 0.0, int_only: true, best: None }
+    }
+}
+
+impl Aggregator for BuiltinAgg {
+    fn update(&mut self, rec: &Record) -> Result<()> {
+        if self.kind == AggKind::Count {
+            self.count += 1;
+            return Ok(());
+        }
+        let v = self.expr.as_ref().expect("non-count has expr").eval(rec)?;
+        if v.is_null() {
+            return Ok(());
+        }
+        self.count += 1;
+        match self.kind {
+            AggKind::Sum | AggKind::Avg => {
+                if !matches!(v, Value::Int(_) | Value::Timestamp(_)) {
+                    self.int_only = false;
+                }
+                self.sum += v.as_float().ok_or_else(|| {
+                    NebulaError::Eval(format!("aggregate over non-numeric {v}"))
+                })?;
+            }
+            AggKind::Min => {
+                let replace = match &self.best {
+                    Some(b) => {
+                        v.partial_cmp_num(b) == Some(std::cmp::Ordering::Less)
+                    }
+                    None => true,
+                };
+                if replace {
+                    self.best = Some(v);
+                }
+            }
+            AggKind::Max => {
+                let replace = match &self.best {
+                    Some(b) => {
+                        v.partial_cmp_num(b) == Some(std::cmp::Ordering::Greater)
+                    }
+                    None => true,
+                };
+                if replace {
+                    self.best = Some(v);
+                }
+            }
+            AggKind::First => {
+                if self.best.is_none() {
+                    self.best = Some(v);
+                }
+            }
+            AggKind::Last => self.best = Some(v),
+            AggKind::Count => unreachable!(),
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<Value> {
+        Ok(match self.kind {
+            AggKind::Count => Value::Int(self.count as i64),
+            AggKind::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.int_only {
+                    Value::Int(self.sum as i64)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggKind::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggKind::Min | AggKind::Max | AggKind::First | AggKind::Last => {
+                self.best.clone().unwrap_or(Value::Null)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+
+    #[test]
+    fn tumbling_assignment() {
+        let w = WindowSpec::Tumbling { size: 10 };
+        assert_eq!(w.assign(0), vec![0]);
+        assert_eq!(w.assign(9), vec![0]);
+        assert_eq!(w.assign(10), vec![10]);
+        assert_eq!(w.assign(25), vec![20]);
+        assert_eq!(w.assign(-1), vec![-10], "negative times floor correctly");
+    }
+
+    #[test]
+    fn sliding_assignment() {
+        let w = WindowSpec::Sliding { size: 10, slide: 5 };
+        // ts=12 belongs to [10,20) and [5,15).
+        let mut got = w.assign(12);
+        got.sort_unstable();
+        assert_eq!(got, vec![5, 10]);
+        // slide == size behaves like tumbling.
+        let t = WindowSpec::Sliding { size: 10, slide: 10 };
+        assert_eq!(t.assign(12), vec![10]);
+    }
+
+    #[test]
+    fn sliding_overlap_count() {
+        let w = WindowSpec::Sliding { size: 60, slide: 15 };
+        assert_eq!(w.assign(100).len(), 4, "size/slide windows cover each instant");
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(WindowSpec::Tumbling { size: 0 }.validate().is_err());
+        assert!(WindowSpec::Sliding { size: 10, slide: 0 }.validate().is_err());
+        assert!(WindowSpec::Tumbling { size: 1 }.validate().is_ok());
+        assert!(WindowSpec::Threshold {
+            predicate: lit(true),
+            min_count: 0
+        }
+        .validate()
+        .is_ok());
+    }
+
+    fn run_agg(spec: AggSpec, vals: &[Value]) -> Value {
+        let schema = Schema::of(&[("v", DataType::Float)]);
+        let reg = FunctionRegistry::with_builtins();
+        let mut agg = spec.create(&schema, &reg).unwrap();
+        for v in vals {
+            agg.update(&Record::new(vec![v.clone()])).unwrap();
+        }
+        agg.finish().unwrap()
+    }
+
+    #[test]
+    fn builtin_aggregates() {
+        let vals = [Value::Float(1.0), Value::Float(3.0), Value::Float(2.0)];
+        assert_eq!(run_agg(AggSpec::Count, &vals), Value::Int(3));
+        assert_eq!(run_agg(AggSpec::Sum(col("v")), &vals), Value::Float(6.0));
+        assert_eq!(run_agg(AggSpec::Min(col("v")), &vals), Value::Float(1.0));
+        assert_eq!(run_agg(AggSpec::Max(col("v")), &vals), Value::Float(3.0));
+        assert_eq!(run_agg(AggSpec::Avg(col("v")), &vals), Value::Float(2.0));
+        assert_eq!(run_agg(AggSpec::First(col("v")), &vals), Value::Float(1.0));
+        assert_eq!(run_agg(AggSpec::Last(col("v")), &vals), Value::Float(2.0));
+    }
+
+    #[test]
+    fn aggregates_skip_nulls() {
+        let vals = [Value::Null, Value::Float(4.0), Value::Null];
+        assert_eq!(run_agg(AggSpec::Avg(col("v")), &vals), Value::Float(4.0));
+        assert_eq!(run_agg(AggSpec::Min(col("v")), &vals), Value::Float(4.0));
+        assert_eq!(run_agg(AggSpec::Sum(col("v")), &[Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn sum_stays_integer_for_ints() {
+        let schema = Schema::of(&[("v", DataType::Int)]);
+        let reg = FunctionRegistry::with_builtins();
+        let mut agg = AggSpec::Sum(col("v")).create(&schema, &reg).unwrap();
+        for i in 1..=3i64 {
+            agg.update(&Record::new(vec![Value::Int(i)])).unwrap();
+        }
+        assert_eq!(agg.finish().unwrap(), Value::Int(6));
+    }
+
+    #[test]
+    fn output_types() {
+        let schema = Schema::of(&[("v", DataType::Int)]);
+        let reg = FunctionRegistry::with_builtins();
+        assert_eq!(
+            AggSpec::Count.output_type(&schema, &reg).unwrap(),
+            DataType::Int
+        );
+        assert_eq!(
+            AggSpec::Avg(col("v")).output_type(&schema, &reg).unwrap(),
+            DataType::Float
+        );
+        assert_eq!(
+            AggSpec::Max(col("v")).output_type(&schema, &reg).unwrap(),
+            DataType::Int
+        );
+        assert!(AggSpec::Sum(col("missing"))
+            .output_type(&schema, &reg)
+            .is_err());
+    }
+}

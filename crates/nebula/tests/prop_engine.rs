@@ -1,0 +1,232 @@
+//! Property-based tests for the engine: window completeness (every event
+//! lands in exactly the right number of windows), filter/map algebraic
+//! laws, watermark-order independence under sufficient slack, and
+//! expression evaluation invariants.
+
+use nebula::prelude::*;
+use proptest::prelude::*;
+
+fn schema() -> SchemaRef {
+    Schema::of(&[
+        ("ts", DataType::Timestamp),
+        ("key", DataType::Int),
+        ("v", DataType::Float),
+    ])
+}
+
+fn rec(ts: i64, key: i64, v: f64) -> Record {
+    Record::new(vec![Value::Timestamp(ts), Value::Int(key), Value::Float(v)])
+}
+
+/// Random event streams: bounded timestamps so windows stay countable.
+fn stream_strategy() -> impl Strategy<Value = Vec<Record>> {
+    proptest::collection::vec(
+        (0i64..600, 0i64..4, -100.0f64..100.0),
+        1..300,
+    )
+    .prop_map(|mut rows| {
+        rows.sort_by_key(|r| r.0);
+        rows.into_iter()
+            .map(|(s, k, v)| rec(s * MICROS_PER_SEC, k, v))
+            .collect()
+    })
+}
+
+fn run(query: &Query, records: Vec<Record>, slack_s: i64) -> Vec<Record> {
+    let mut env = StreamEnvironment::with_config(EnvConfig {
+        buffer_size: 64,
+        watermark_every: 2,
+        ..EnvConfig::default()
+    });
+    env.add_source(
+        "s",
+        Box::new(VecSource::new(schema(), records)),
+        WatermarkStrategy::BoundedOutOfOrder {
+            ts_field: "ts".into(),
+            slack: slack_s * MICROS_PER_SEC,
+        },
+    );
+    let (mut sink, got) = CollectingSink::new();
+    env.run(query, &mut sink).expect("query runs");
+    got.records()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tumbling_window_counts_every_event_once(records in stream_strategy()) {
+        let n = records.len() as i64;
+        let q = Query::from("s").window(
+            vec![],
+            WindowSpec::Tumbling { size: 60 * MICROS_PER_SEC },
+            vec![WindowAgg::new("n", AggSpec::Count)],
+        );
+        let out = run(&q, records, 5);
+        let total: i64 = out.iter().map(|r| r.get(2).unwrap().as_int().unwrap()).sum();
+        prop_assert_eq!(total, n, "event conservation");
+        // Window bounds aligned and non-overlapping.
+        let mut starts: Vec<i64> = out
+            .iter()
+            .map(|r| r.get(0).unwrap().as_timestamp().unwrap())
+            .collect();
+        starts.sort_unstable();
+        for w in starts.windows(2) {
+            prop_assert!(w[1] - w[0] >= 60 * MICROS_PER_SEC);
+        }
+        for s in starts {
+            prop_assert_eq!(s % (60 * MICROS_PER_SEC), 0, "aligned");
+        }
+    }
+
+    #[test]
+    fn sliding_window_multiplicity(records in stream_strategy()) {
+        // size/slide = 3 -> every event counted exactly 3 times.
+        let n = records.len() as i64;
+        let q = Query::from("s").window(
+            vec![],
+            WindowSpec::Sliding {
+                size: 60 * MICROS_PER_SEC,
+                slide: 20 * MICROS_PER_SEC,
+            },
+            vec![WindowAgg::new("n", AggSpec::Count)],
+        );
+        let out = run(&q, records, 5);
+        let total: i64 = out.iter().map(|r| r.get(2).unwrap().as_int().unwrap()).sum();
+        prop_assert_eq!(total, 3 * n);
+    }
+
+    #[test]
+    fn keyed_windows_partition_events(records in stream_strategy()) {
+        let n = records.len() as i64;
+        let q = Query::from("s").window(
+            vec![("key", col("key"))],
+            WindowSpec::Tumbling { size: 30 * MICROS_PER_SEC },
+            vec![
+                WindowAgg::new("n", AggSpec::Count),
+                WindowAgg::new("min_v", AggSpec::Min(col("v"))),
+                WindowAgg::new("max_v", AggSpec::Max(col("v"))),
+            ],
+        );
+        let out = run(&q, records, 5);
+        let total: i64 = out.iter().map(|r| r.get(3).unwrap().as_int().unwrap()).sum();
+        prop_assert_eq!(total, n);
+        for r in &out {
+            let lo = r.get(4).unwrap().as_float().unwrap();
+            let hi = r.get(5).unwrap().as_float().unwrap();
+            prop_assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn filter_partition_law(records in stream_strategy(), c in -100.0f64..100.0) {
+        // |filter(p)| + |filter(!p)| == |input| (p never null here).
+        let keep = Query::from("s").filter(col("v").ge(lit(c)));
+        let drop = Query::from("s").filter(col("v").ge(lit(c)).not());
+        let n = records.len();
+        let a = run(&keep, records.clone(), 5).len();
+        let b = run(&drop, records, 5).len();
+        prop_assert_eq!(a + b, n);
+    }
+
+    #[test]
+    fn map_preserves_cardinality_and_values(records in stream_strategy(), m in -5.0f64..5.0) {
+        let q = Query::from("s").map_extend(vec![("scaled", col("v").mul(lit(m)))]);
+        let out = run(&q, records.clone(), 5);
+        prop_assert_eq!(out.len(), records.len());
+        for (orig, mapped) in records.iter().zip(&out) {
+            let v = orig.get(2).unwrap().as_float().unwrap();
+            let s = mapped.get(3).unwrap().as_float().unwrap();
+            prop_assert!((s - v * m).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn jitter_with_slack_is_lossless(records in stream_strategy(), seed in 1u64..1000) {
+        // Windowed counts are identical between in-order and jittered
+        // delivery when the slack covers the jitter window.
+        let q = Query::from("s").window(
+            vec![("key", col("key"))],
+            WindowSpec::Tumbling { size: 60 * MICROS_PER_SEC },
+            vec![WindowAgg::new("n", AggSpec::Count)],
+        );
+        let ordered = run(&q, records.clone(), 700);
+        let mut env = StreamEnvironment::new();
+        env.add_source(
+            "s",
+            Box::new(JitterSource::new(
+                VecSource::new(schema(), records),
+                16,
+                seed,
+            )),
+            WatermarkStrategy::BoundedOutOfOrder {
+                ts_field: "ts".into(),
+                slack: 700 * MICROS_PER_SEC,
+            },
+        );
+        let (mut sink, got) = CollectingSink::new();
+        env.run(&q, &mut sink).expect("runs");
+        let mut a: Vec<String> = ordered.iter().map(|r| r.to_string()).collect();
+        let mut b: Vec<String> =
+            got.records().iter().map(|r| r.to_string()).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threshold_windows_respect_min_count(records in stream_strategy(), c in -50.0f64..50.0) {
+        let q = Query::from("s").window(
+            vec![("key", col("key"))],
+            WindowSpec::Threshold { predicate: col("v").gt(lit(c)), min_count: 3 },
+            vec![WindowAgg::new("n", AggSpec::Count), WindowAgg::new("min_v", AggSpec::Min(col("v")))],
+        );
+        for r in run(&q, records, 5) {
+            let n = r.get(3).unwrap().as_int().unwrap();
+            prop_assert!(n >= 3, "min_count respected, got {n}");
+            let lo = r.get(4).unwrap().as_float().unwrap();
+            prop_assert!(lo > c, "window only holds satisfying records");
+        }
+    }
+
+    #[test]
+    fn cep_matches_within_bound(records in stream_strategy(), within_s in 1i64..120) {
+        let pattern = Pattern::new(
+            "hi-lo",
+            vec![
+                PatternStep::new("hi", col("v").gt(lit(50.0))),
+                PatternStep::new("lo", col("v").lt(lit(-50.0))),
+            ],
+            within_s * MICROS_PER_SEC,
+        )
+        .keyed_by(col("key"));
+        let q = Query::from("s").cep(pattern);
+        for r in run(&q, records, 5) {
+            let start = r.get(4).unwrap().as_timestamp().unwrap();
+            let end = r.get(5).unwrap().as_timestamp().unwrap();
+            prop_assert!(end >= start);
+            prop_assert!(end - start <= within_s * MICROS_PER_SEC);
+            // The completing record really is a 'lo'.
+            let v = r.get(2).unwrap().as_float().unwrap();
+            prop_assert!(v < -50.0);
+        }
+    }
+
+    #[test]
+    fn threaded_matches_sync(records in stream_strategy()) {
+        let q = Query::from("s")
+            .filter(col("v").gt(lit(0.0)))
+            .map_extend(vec![("double", col("v").mul(lit(2.0)))]);
+        let sync_out = run(&q, records.clone(), 5);
+
+        let mut env = StreamEnvironment::new();
+        env.add_source(
+            "s",
+            Box::new(VecSource::new(schema(), records)),
+            WatermarkStrategy::None,
+        );
+        let (mut sink, got) = CollectingSink::new();
+        env.run_threaded(&q, &mut sink).expect("threaded runs");
+        prop_assert_eq!(got.records(), sync_out);
+    }
+}

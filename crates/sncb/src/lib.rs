@@ -1,0 +1,46 @@
+//! # sncb — a deterministic SNCB train-fleet simulator
+//!
+//! The NebulaMEOS demonstration streams six months of sensor data from
+//! six SNCB trains — data we cannot redistribute. This crate replaces it
+//! with a faithful synthetic equivalent:
+//!
+//! - [`network`] — a Belgian rail network (real station coordinates,
+//!   synthesized track geometry) with the zone inventory the queries
+//!   need: maintenance zones, noise-sensitive areas, high-risk curves,
+//!   station areas and workshops.
+//! - [`train`] — train kinematics (acceleration, braking, dwells,
+//!   passenger exchange) plus injected anomalies: unscheduled stops,
+//!   emergency brakes, battery and brake-leak faults.
+//! - [`sensors`] — noisy sensor models: GPS (with dropouts), battery
+//!   voltage/temperature, brake pressure, exterior noise, cabin
+//!   temperature.
+//! - [`weather`] — a seeded value-noise weather field replacing the
+//!   OpenMeteo API for Query 4.
+//! - [`stream`] — fleet assembly into engine records and a streaming
+//!   [`nebula`] source; [`dataset`] adds CSV export/import and summary
+//!   statistics.
+//!
+//! Everything is seeded: the same configuration always produces the same
+//! byte-for-byte stream, so integration tests can assert exact alert
+//! counts.
+
+pub mod dataset;
+pub mod demo;
+pub mod network;
+pub mod sensors;
+pub mod stream;
+pub mod train;
+pub mod weather;
+
+pub use demo::{demo_environment, demo_zones};
+pub use dataset::{export_csv, generate, open_csv, summarize, DatasetSummary};
+pub use network::{RailNetwork, Route, Station, Zone, ZoneKind};
+pub use sensors::{SensorReading, SensorSuite};
+pub use stream::{
+    fleet_schema, reading_to_record, FleetConfig, FleetSimulator, FleetSource,
+};
+pub use train::{
+    demo_fault_plans, in_scheduled_stop_zone, FaultPlan, TrainConfig, TrainSim,
+    TrainState,
+};
+pub use weather::{WeatherCondition, WeatherField, WeatherSample};

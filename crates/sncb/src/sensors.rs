@@ -1,0 +1,325 @@
+//! Onboard sensor models: GPS, battery, brake pressure, noise,
+//! temperatures. Each model turns the kinematic [`TrainState`] plus
+//! weather into the noisy readings the edge device actually sees, with
+//! the fault plans driving the anomalies the GCEP queries must detect.
+
+use crate::train::{FaultPlan, TrainState};
+use crate::weather::WeatherSample;
+use meos::geo::Point;
+use meos::time::TimestampTz;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One multiplexed sensor reading — the record the edge device emits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorReading {
+    /// Event time.
+    pub t: TimestampTz,
+    /// Train id.
+    pub train_id: u32,
+    /// GPS fix (repeats the last fix during dropouts).
+    pub pos: Point,
+    /// Speed (km/h, from the odometry bus — no GPS noise).
+    pub speed_kmh: f64,
+    /// Battery voltage (V, nominal 72 V system).
+    pub battery_v: f64,
+    /// Battery temperature (°C).
+    pub battery_temp_c: f64,
+    /// Main brake-pipe pressure (bar).
+    pub brake_bar: f64,
+    /// Exterior noise level (dB(A)).
+    pub noise_db: f64,
+    /// Passenger count estimate.
+    pub passengers: u32,
+    /// Door state.
+    pub doors_open: bool,
+    /// Odometer (m).
+    pub odometer_m: f64,
+    /// Cabin temperature (°C).
+    pub cabin_temp_c: f64,
+}
+
+/// Stateful sensor models for one train.
+pub struct SensorSuite {
+    rng: StdRng,
+    /// Battery state of charge in [0, 1].
+    soc: f64,
+    battery_temp_c: f64,
+    /// Brake-pipe baseline (declines under the leak fault).
+    brake_baseline_bar: f64,
+    last_fix: Option<Point>,
+    /// GPS dropout probability per reading.
+    gps_dropout: f64,
+    dropouts: u64,
+}
+
+impl SensorSuite {
+    /// Builds the suite with a per-train seed.
+    pub fn new(seed: u64, gps_dropout: f64) -> Self {
+        SensorSuite {
+            rng: StdRng::seed_from_u64(seed),
+            soc: 0.9,
+            battery_temp_c: 18.0,
+            brake_baseline_bar: 9.0,
+            last_fix: None,
+            gps_dropout: gps_dropout.clamp(0.0, 1.0),
+            dropouts: 0,
+        }
+    }
+
+    /// GPS dropouts seen so far.
+    pub fn dropouts(&self) -> u64 {
+        self.dropouts
+    }
+
+    /// Samples every sensor for one tick of `dt_s` seconds.
+    pub fn sample(
+        &mut self,
+        state: &TrainState,
+        weather: &WeatherSample,
+        faults: &FaultPlan,
+        dt_s: f64,
+    ) -> SensorReading {
+        let speed_kmh = state.speed_ms * 3.6;
+        let battery_fault =
+            faults.battery_fault_after.is_some_and(|t| state.t >= t);
+        let brake_leak = faults.brake_leak_after.is_some_and(|t| state.t >= t);
+
+        // --- Battery ------------------------------------------------
+        // Charged from the line while moving, drained while holding with
+        // systems on; the fault accelerates drain and heats the pack.
+        let dsoc = if state.speed_ms > 1.0 {
+            0.002 * dt_s / 60.0
+        } else {
+            -0.004 * dt_s / 60.0
+        };
+        let fault_drain = if battery_fault { -0.05 * dt_s / 60.0 } else { 0.0 };
+        self.soc = (self.soc + dsoc + fault_drain).clamp(0.02, 1.0);
+        // Open-circuit voltage curve for a 72 V pack: steep below 20% SoC.
+        let ocv = 63.0 + 16.0 * self.soc
+            - if self.soc < 0.2 { (0.2 - self.soc) * 30.0 } else { 0.0 };
+        let battery_v = ocv + self.noise(0.15);
+        let target_temp = 16.0
+            + weather.temp_c * 0.3
+            + if battery_fault { 35.0 } else { 6.0 * self.soc };
+        self.battery_temp_c += (target_temp - self.battery_temp_c) * 0.02 * dt_s;
+
+        // --- Brake pressure ------------------------------------------
+        if brake_leak {
+            self.brake_baseline_bar =
+                (self.brake_baseline_bar - 0.004 * dt_s / 60.0 * 60.0).max(5.0);
+        }
+        let brake_bar = if state.emergency_braking {
+            2.2 + self.noise(0.2)
+        } else if state.speed_ms > 0.5 && state.at_station.is_none() {
+            // Running: occasional service braking dips.
+            if self.rng.gen::<f64>() < 0.08 {
+                4.5 + self.noise(0.4)
+            } else {
+                self.brake_baseline_bar + self.noise(0.1)
+            }
+        } else {
+            self.brake_baseline_bar + self.noise(0.05)
+        };
+
+        // --- Noise --------------------------------------------------
+        let rolling = 35.0 + 22.0 * ((1.0 + speed_kmh / 20.0).ln());
+        let rain_term = (weather.rain_mmh * 0.8).min(6.0);
+        let noise_db = (rolling + rain_term + self.noise(1.2)).max(30.0);
+
+        // --- Cabin temperature ---------------------------------------
+        let load = state.passengers as f64 / 600.0;
+        let cabin_temp_c = 20.5 + load * 3.0 + (weather.temp_c - 10.0) * 0.08
+            + self.noise(0.3);
+
+        // --- GPS ------------------------------------------------------
+        let pos = if self.rng.gen::<f64>() < self.gps_dropout {
+            self.dropouts += 1;
+            self.last_fix.unwrap_or(state.pos)
+        } else {
+            // ~5 m horizontal noise, latitude-corrected.
+            let meters = 5.0;
+            let k = 111_320.0;
+            let dx = self.noise(meters) / (k * state.pos.y.to_radians().cos());
+            let dy = self.noise(meters) / k;
+            let fix = Point::new(state.pos.x + dx, state.pos.y + dy);
+            self.last_fix = Some(fix);
+            fix
+        };
+
+        SensorReading {
+            t: state.t,
+            train_id: 0, // filled by the fleet layer
+            pos,
+            speed_kmh,
+            battery_v,
+            battery_temp_c: self.battery_temp_c,
+            brake_bar: brake_bar.clamp(0.5, 10.5),
+            noise_db,
+            passengers: state.passengers,
+            doors_open: state.doors_open,
+            odometer_m: state.odometer_m,
+            cabin_temp_c,
+        }
+    }
+
+    /// Zero-mean noise with the given standard deviation.
+    fn noise(&mut self, sigma: f64) -> f64 {
+        // Irwin–Hall(12) − 6 approximates a standard normal.
+        let s: f64 = (0..12).map(|_| self.rng.gen::<f64>()).sum();
+        (s - 6.0) * sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RailNetwork;
+    use crate::train::{demo_fault_plans, TrainConfig, TrainSim};
+    use crate::weather::WeatherField;
+    use meos::time::TimeDelta;
+    use std::sync::Arc;
+
+    fn start() -> TimestampTz {
+        TimestampTz::from_ymd_hms(2025, 6, 22, 8, 0, 0).unwrap()
+    }
+
+    fn clear_weather() -> WeatherSample {
+        WeatherSample {
+            temp_c: 12.0,
+            rain_mmh: 0.0,
+            snow_mmh: 0.0,
+            visibility_m: 10_000.0,
+        }
+    }
+
+    fn run_train(
+        faults: FaultPlan,
+        secs: i64,
+        seed: u64,
+    ) -> Vec<SensorReading> {
+        let net = Arc::new(RailNetwork::belgium());
+        let mut sim =
+            TrainSim::new(net, TrainConfig::standard(0, 0), faults.clone(), start(), seed);
+        let mut suite = SensorSuite::new(seed, 0.0);
+        let w = clear_weather();
+        (0..secs)
+            .map(|_| {
+                let st = sim.step(TimeDelta::from_secs(1));
+                suite.sample(&st, &w, &faults, 1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn healthy_battery_stays_in_range() {
+        let readings = run_train(FaultPlan::default(), 1_800, 1);
+        for r in &readings {
+            assert!((60.0..82.0).contains(&r.battery_v), "{}", r.battery_v);
+            assert!((0.0..45.0).contains(&r.battery_temp_c));
+        }
+    }
+
+    #[test]
+    fn battery_fault_degrades_voltage_and_heats() {
+        let faults = FaultPlan {
+            battery_fault_after: Some(start() + TimeDelta::from_minutes(5)),
+            ..FaultPlan::default()
+        };
+        let readings = run_train(faults, 2_400, 2);
+        let early_v: f64 =
+            readings[..300].iter().map(|r| r.battery_v).sum::<f64>() / 300.0;
+        let late = &readings[readings.len() - 300..];
+        let late_v: f64 = late.iter().map(|r| r.battery_v).sum::<f64>() / 300.0;
+        assert!(late_v < early_v - 3.0, "{early_v} -> {late_v}");
+        let late_t = late.iter().map(|r| r.battery_temp_c).fold(0.0, f64::max);
+        assert!(late_t > 30.0, "pack heats up: {late_t}");
+    }
+
+    #[test]
+    fn emergency_brake_shows_in_pressure() {
+        let faults = FaultPlan {
+            emergency_brakes: vec![start() + TimeDelta::from_minutes(5)],
+            ..FaultPlan::default()
+        };
+        let readings = run_train(faults, 900, 3);
+        let min_bar = readings.iter().map(|r| r.brake_bar).fold(10.0, f64::min);
+        assert!(min_bar < 3.5, "emergency dip visible: {min_bar}");
+        // Normal running pressure dominates.
+        let high = readings.iter().filter(|r| r.brake_bar > 8.0).count();
+        assert!(high > readings.len() / 2);
+    }
+
+    #[test]
+    fn brake_leak_lowers_baseline() {
+        let faults = FaultPlan {
+            brake_leak_after: Some(start() + TimeDelta::from_minutes(2)),
+            ..FaultPlan::default()
+        };
+        let readings = run_train(faults, 3_600, 4);
+        let early: f64 =
+            readings[..100].iter().map(|r| r.brake_bar).sum::<f64>() / 100.0;
+        let late: f64 = readings[readings.len() - 100..]
+            .iter()
+            .map(|r| r.brake_bar)
+            .sum::<f64>()
+            / 100.0;
+        assert!(late < early - 0.5, "{early} -> {late}");
+    }
+
+    #[test]
+    fn noise_grows_with_speed() {
+        let readings = run_train(FaultPlan::default(), 1_200, 5);
+        let slow: Vec<&SensorReading> =
+            readings.iter().filter(|r| r.speed_kmh < 5.0).collect();
+        let fast: Vec<&SensorReading> =
+            readings.iter().filter(|r| r.speed_kmh > 80.0).collect();
+        assert!(!slow.is_empty() && !fast.is_empty());
+        let avg = |v: &[&SensorReading]| {
+            v.iter().map(|r| r.noise_db).sum::<f64>() / v.len() as f64
+        };
+        assert!(avg(&fast) > avg(&slow) + 10.0);
+    }
+
+    #[test]
+    fn gps_noise_is_small_and_dropouts_repeat_fix() {
+        let net = Arc::new(RailNetwork::belgium());
+        let faults = FaultPlan::default();
+        let mut sim = TrainSim::new(
+            net,
+            TrainConfig::standard(0, 0),
+            faults.clone(),
+            start(),
+            6,
+        );
+        let mut suite = SensorSuite::new(6, 0.3);
+        let w = clear_weather();
+        let mut max_err = 0.0f64;
+        for _ in 0..600 {
+            let st = sim.step(TimeDelta::from_secs(1));
+            let r = suite.sample(&st, &w, &faults, 1.0);
+            max_err = max_err.max(r.pos.haversine(&st.pos));
+        }
+        assert!(suite.dropouts() > 100, "30% dropout rate");
+        // Repeated fixes can lag the true position, but with 1 s ticks the
+        // error stays bounded by a few hundred metres.
+        assert!(max_err < 500.0, "max GPS error {max_err} m");
+    }
+
+    #[test]
+    fn weather_shifts_sensors() {
+        let faults = demo_fault_plans(start(), 6).remove(0);
+        let net = Arc::new(RailNetwork::belgium());
+        let field = WeatherField::new(11);
+        let mut sim =
+            TrainSim::new(net, TrainConfig::standard(0, 0), faults.clone(), start(), 7);
+        let mut suite = SensorSuite::new(7, 0.0);
+        let st = sim.step(TimeDelta::from_secs(1));
+        let calm = suite.sample(&st, &clear_weather(), &faults, 1.0);
+        let stormy = WeatherSample { rain_mmh: 8.0, ..clear_weather() };
+        let wet = suite.sample(&st, &stormy, &faults, 1.0);
+        let _ = field;
+        assert!(wet.noise_db + 3.0 > calm.noise_db, "rain adds noise floor");
+    }
+}

@@ -1,0 +1,311 @@
+//! Fleet event-stream assembly: ties network, trains, sensors and
+//! weather together and exposes the result as a nebula [`Source`].
+
+use crate::network::RailNetwork;
+use crate::sensors::{SensorReading, SensorSuite};
+use crate::train::{demo_fault_plans, FaultPlan, TrainConfig, TrainSim};
+use crate::weather::WeatherField;
+use meos::time::{TimeDelta, TimestampTz};
+use nebula::prelude::{
+    DataType, Record, Schema, SchemaRef, Source, SourceBatch, Value,
+};
+use std::sync::Arc;
+
+/// The fleet record layout (12 fields ≈ 106 B/event, matching the
+/// paper's ~76–118 B/event payloads).
+pub fn fleet_schema() -> SchemaRef {
+    Schema::of(&[
+        ("ts", DataType::Timestamp),
+        ("train_id", DataType::Int),
+        ("pos", DataType::Point),
+        ("speed_kmh", DataType::Float),
+        ("battery_v", DataType::Float),
+        ("battery_temp_c", DataType::Float),
+        ("brake_bar", DataType::Float),
+        ("noise_db", DataType::Float),
+        ("passengers", DataType::Int),
+        ("doors_open", DataType::Bool),
+        ("odometer_m", DataType::Float),
+        ("cabin_temp_c", DataType::Float),
+    ])
+}
+
+/// Converts one reading into an engine record (column order matches
+/// [`fleet_schema`]).
+pub fn reading_to_record(r: &SensorReading) -> Record {
+    Record::new(vec![
+        Value::Timestamp(r.t.micros()),
+        Value::Int(r.train_id as i64),
+        Value::Point { x: r.pos.x, y: r.pos.y },
+        Value::Float(r.speed_kmh),
+        Value::Float(r.battery_v),
+        Value::Float(r.battery_temp_c),
+        Value::Float(r.brake_bar),
+        Value::Float(r.noise_db),
+        Value::Int(r.passengers as i64),
+        Value::Bool(r.doors_open),
+        Value::Float(r.odometer_m),
+        Value::Float(r.cabin_temp_c),
+    ])
+}
+
+/// Fleet simulation parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of trains (the demo runs six).
+    pub num_trains: usize,
+    /// Sensor tick.
+    pub tick: TimeDelta,
+    /// Simulated duration.
+    pub duration: TimeDelta,
+    /// Master seed.
+    pub seed: u64,
+    /// Simulation start time.
+    pub start: TimestampTz,
+    /// GPS dropout probability per reading.
+    pub gps_dropout: f64,
+    /// Inject the demo fault plans (battery fault, emergency brakes,
+    /// unscheduled stops).
+    pub with_faults: bool,
+}
+
+impl FleetConfig {
+    /// The standard demo hour: 6 trains, 1 s ticks, one hour.
+    pub fn demo_hour() -> Self {
+        FleetConfig {
+            num_trains: 6,
+            tick: TimeDelta::from_secs(1),
+            duration: TimeDelta::from_hours(1),
+            seed: 20_250_622,
+            start: TimestampTz::from_ymd_hms(2025, 6, 22, 8, 0, 0)
+                .expect("valid date"),
+            gps_dropout: 0.002,
+            with_faults: true,
+        }
+    }
+
+    /// A shorter run for tests.
+    pub fn test_minutes(minutes: i64) -> Self {
+        FleetConfig {
+            duration: TimeDelta::from_minutes(minutes),
+            ..FleetConfig::demo_hour()
+        }
+    }
+
+    /// Total readings this configuration will produce.
+    pub fn expected_events(&self) -> u64 {
+        let ticks = self.duration.micros() / self.tick.micros();
+        ticks as u64 * self.num_trains as u64
+    }
+}
+
+/// The live fleet simulation: steps every train in lockstep and emits
+/// interleaved sensor readings.
+pub struct FleetSimulator {
+    cfg: FleetConfig,
+    net: Arc<RailNetwork>,
+    weather: WeatherField,
+    trains: Vec<(TrainSim, SensorSuite, FaultPlan)>,
+    elapsed: TimeDelta,
+}
+
+impl FleetSimulator {
+    /// Builds the simulator (network, trains on round-robin routes,
+    /// sensor suites, fault plans).
+    pub fn new(cfg: FleetConfig) -> Self {
+        let net = Arc::new(RailNetwork::belgium());
+        let weather = WeatherField::new(cfg.seed ^ 0xFEED);
+        let plans = if cfg.with_faults {
+            demo_fault_plans(cfg.start, cfg.num_trains)
+        } else {
+            vec![FaultPlan::default(); cfg.num_trains]
+        };
+        let trains = (0..cfg.num_trains)
+            .map(|i| {
+                let route = i % net.routes.len();
+                let sim = TrainSim::new(
+                    net.clone(),
+                    TrainConfig::standard(i as u32, route),
+                    plans[i].clone(),
+                    cfg.start,
+                    cfg.seed.wrapping_add(i as u64 * 7919),
+                );
+                let suite = SensorSuite::new(
+                    cfg.seed.wrapping_add(i as u64 * 104_729),
+                    cfg.gps_dropout,
+                );
+                (sim, suite, plans[i].clone())
+            })
+            .collect();
+        FleetSimulator { cfg, net, weather, trains, elapsed: TimeDelta::ZERO }
+    }
+
+    /// The underlying network (zones for query construction).
+    pub fn network(&self) -> Arc<RailNetwork> {
+        self.net.clone()
+    }
+
+    /// The weather field driving Q4.
+    pub fn weather(&self) -> &WeatherField {
+        &self.weather
+    }
+
+    /// Steps one tick; `None` once the configured duration is exhausted.
+    pub fn next_tick(&mut self) -> Option<Vec<SensorReading>> {
+        if self.elapsed >= self.cfg.duration {
+            return None;
+        }
+        self.elapsed = self.elapsed + self.cfg.tick;
+        let dt_s = self.cfg.tick.as_secs_f64();
+        let mut out = Vec::with_capacity(self.trains.len());
+        for (i, (sim, suite, faults)) in self.trains.iter_mut().enumerate() {
+            let st = sim.step(self.cfg.tick);
+            let w = self.weather.sample(&st.pos, st.t);
+            let mut reading = suite.sample(&st, &w, faults, dt_s);
+            reading.train_id = i as u32;
+            out.push(reading);
+        }
+        Some(out)
+    }
+
+    /// Runs the whole simulation into engine records.
+    pub fn into_records(mut self) -> Vec<Record> {
+        let mut out = Vec::with_capacity(self.cfg.expected_events() as usize);
+        while let Some(tick) = self.next_tick() {
+            out.extend(tick.iter().map(reading_to_record));
+        }
+        out
+    }
+
+    /// Runs the whole simulation into readings (analysis/figures).
+    pub fn into_readings(mut self) -> Vec<SensorReading> {
+        let mut out = Vec::with_capacity(self.cfg.expected_events() as usize);
+        while let Some(tick) = self.next_tick() {
+            out.extend(tick);
+        }
+        out
+    }
+}
+
+/// A streaming nebula source backed by the live simulator — generates
+/// batches on demand instead of materializing the run.
+pub struct FleetSource {
+    sim: FleetSimulator,
+    pending: Vec<Record>,
+    schema: SchemaRef,
+}
+
+impl FleetSource {
+    /// Builds a source over a fresh simulation.
+    pub fn new(cfg: FleetConfig) -> Self {
+        FleetSource {
+            sim: FleetSimulator::new(cfg),
+            pending: Vec::new(),
+            schema: fleet_schema(),
+        }
+    }
+}
+
+impl Source for FleetSource {
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn poll(&mut self, max: usize) -> nebula::Result<SourceBatch> {
+        while self.pending.len() < max {
+            match self.sim.next_tick() {
+                Some(tick) => {
+                    self.pending.extend(tick.iter().map(reading_to_record))
+                }
+                None => break,
+            }
+        }
+        if self.pending.is_empty() {
+            return Ok(SourceBatch::Exhausted);
+        }
+        let n = max.min(self.pending.len());
+        Ok(SourceBatch::Data(self.pending.drain(..n).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_width_matches_paper_payloads() {
+        let cfg = FleetConfig::test_minutes(1);
+        let recs = FleetSimulator::new(cfg).into_records();
+        assert!(!recs.is_empty());
+        let bytes = recs[0].est_bytes();
+        assert!(
+            (76..=120).contains(&bytes),
+            "event width {bytes} B should sit in the paper's range"
+        );
+    }
+
+    #[test]
+    fn expected_event_count() {
+        let cfg = FleetConfig::test_minutes(2);
+        assert_eq!(cfg.expected_events(), 120 * 6);
+        let recs = FleetSimulator::new(cfg).into_records();
+        assert_eq!(recs.len(), 720);
+    }
+
+    #[test]
+    fn records_are_interleaved_and_ordered_per_tick() {
+        let cfg = FleetConfig::test_minutes(1);
+        let recs = FleetSimulator::new(cfg).into_records();
+        // Six trains per tick with identical timestamps, ids 0..5.
+        for (i, r) in recs.iter().take(12).enumerate() {
+            assert_eq!(
+                r.get(1),
+                Some(&Value::Int((i % 6) as i64)),
+                "round-robin ids"
+            );
+        }
+        // Timestamps non-decreasing.
+        let ts: Vec<i64> = recs
+            .iter()
+            .map(|r| r.get(0).unwrap().as_timestamp().unwrap())
+            .collect();
+        assert!(ts.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = FleetSimulator::new(FleetConfig::test_minutes(1)).into_records();
+        let b = FleetSimulator::new(FleetConfig::test_minutes(1)).into_records();
+        assert_eq!(a, b);
+        let mut cfg = FleetConfig::test_minutes(1);
+        cfg.seed ^= 1;
+        let c = FleetSimulator::new(cfg).into_records();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn source_streams_everything() {
+        let cfg = FleetConfig::test_minutes(2);
+        let expected = cfg.expected_events();
+        let mut src = FleetSource::new(cfg);
+        let mut total = 0u64;
+        loop {
+            match src.poll(500).unwrap() {
+                SourceBatch::Data(d) => total += d.len() as u64,
+                SourceBatch::Exhausted => break,
+                SourceBatch::Idle => {}
+            }
+        }
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn positions_stay_on_the_map() {
+        let recs = FleetSimulator::new(FleetConfig::test_minutes(5)).into_records();
+        for r in recs.iter().step_by(17) {
+            let (x, y) = r.get(2).unwrap().as_point().unwrap();
+            assert!((2.5..6.0).contains(&x), "lon {x}");
+            assert!((50.0..51.6).contains(&y), "lat {y}");
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! Train kinematics: acceleration/braking physics along a route, station
+//! dwells, passenger exchange, and injected anomalies (unscheduled stops,
+//! emergency brakes) that give the demo queries something to detect.
+
+use crate::network::{RailNetwork, Route, ZoneKind};
+use meos::geo::Point;
+use meos::time::{TimeDelta, TimestampTz};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Static train parameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Fleet-unique id.
+    pub id: u32,
+    /// Route index into the network.
+    pub route: usize,
+    /// Service acceleration (m/s²).
+    pub accel_ms2: f64,
+    /// Service braking (m/s²).
+    pub brake_ms2: f64,
+    /// Emergency braking (m/s²).
+    pub emergency_ms2: f64,
+    /// Station dwell (s).
+    pub dwell_s: f64,
+    /// Seat capacity.
+    pub capacity: u32,
+}
+
+impl TrainConfig {
+    /// Standard IC rolling stock on the given route.
+    pub fn standard(id: u32, route: usize) -> Self {
+        TrainConfig {
+            id,
+            route,
+            accel_ms2: 0.5,
+            brake_ms2: 0.8,
+            emergency_ms2: 2.5,
+            dwell_s: 60.0,
+            capacity: 600,
+        }
+    }
+}
+
+/// Scheduled anomalies for one train.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// `(when, how long)` mid-route holds outside stations (Q7 targets).
+    pub unscheduled_stops: Vec<(TimestampTz, TimeDelta)>,
+    /// Emergency-brake applications (Q8 targets).
+    pub emergency_brakes: Vec<TimestampTz>,
+    /// Battery degradation begins here (Q5 target).
+    pub battery_fault_after: Option<TimestampTz>,
+    /// Brake-pressure leak begins here (Q8 target).
+    pub brake_leak_after: Option<TimestampTz>,
+}
+
+/// The observable train state after one simulation step.
+#[derive(Debug, Clone)]
+pub struct TrainState {
+    /// Simulation time.
+    pub t: TimestampTz,
+    /// Position (lon/lat).
+    pub pos: Point,
+    /// Heading (degrees from north).
+    pub heading: f64,
+    /// Speed (m/s).
+    pub speed_ms: f64,
+    /// Total distance travelled (m).
+    pub odometer_m: f64,
+    /// Station index (network-wide) when dwelling at one.
+    pub at_station: Option<usize>,
+    /// Doors open (dwelling).
+    pub doors_open: bool,
+    /// Passengers on board.
+    pub passengers: u32,
+    /// An emergency brake is currently applied.
+    pub emergency_braking: bool,
+    /// The train is holding outside a station (unscheduled stop).
+    pub unscheduled_hold: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Dwelling at scheduled stop `stop_i` (index into the route's
+    /// station list).
+    Dwell { remaining_s: f64, stop_i: usize },
+    /// Braking toward a mid-route hold.
+    BrakeToHold { hold_s: f64, emergency: bool },
+    /// Holding still mid-route.
+    Hold { remaining_s: f64, emergency: bool },
+    /// Normal running toward the next scheduled stop.
+    Run,
+}
+
+/// A deterministic kinematic simulation of one train.
+pub struct TrainSim {
+    cfg: TrainConfig,
+    net: Arc<RailNetwork>,
+    faults: FaultPlan,
+    rng: StdRng,
+    now: TimestampTz,
+    /// Metres along the route.
+    m: f64,
+    /// +1 outbound, −1 return.
+    dir: f64,
+    speed_ms: f64,
+    odometer_m: f64,
+    /// Next scheduled stop (index into the route's station list).
+    next_stop: usize,
+    passengers: f64,
+    phase: Phase,
+    next_unscheduled: usize,
+    next_emergency: usize,
+}
+
+impl TrainSim {
+    /// Starts the train dwelling at its first station at `start`.
+    pub fn new(
+        net: Arc<RailNetwork>,
+        cfg: TrainConfig,
+        faults: FaultPlan,
+        start: TimestampTz,
+        seed: u64,
+    ) -> Self {
+        let rng = StdRng::seed_from_u64(seed ^ (cfg.id as u64) << 32);
+        let dwell = cfg.dwell_s;
+        TrainSim {
+            cfg,
+            net,
+            faults,
+            rng,
+            now: start,
+            m: 0.0,
+            dir: 1.0,
+            speed_ms: 0.0,
+            odometer_m: 0.0,
+            next_stop: 0,
+            passengers: 0.0,
+            phase: Phase::Dwell { remaining_s: dwell, stop_i: 0 },
+            next_unscheduled: 0,
+            next_emergency: 0,
+        }
+    }
+
+    /// The train's route.
+    pub fn route(&self) -> &Route {
+        &self.net.routes[self.cfg.route]
+    }
+
+    /// The fault plan (read access for dataset bookkeeping).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> TimestampTz {
+        self.now
+    }
+
+    fn stop_m(&self, stop_i: usize) -> f64 {
+        self.net.routes[self.cfg.route].station_m(stop_i)
+    }
+
+    fn n_stops(&self) -> usize {
+        self.net.routes[self.cfg.route].stations.len()
+    }
+
+    /// Passenger exchange at stop `stop_i` (direction-aware position in
+    /// the journey: terminals unload everyone).
+    fn exchange_passengers(&mut self, stop_i: usize) {
+        let terminal = (self.dir > 0.0 && stop_i + 1 == self.n_stops())
+            || (self.dir < 0.0 && stop_i == 0);
+        if terminal {
+            self.passengers = 0.0;
+            return;
+        }
+        // Peak factor from the time of day.
+        let hour = (self.now.micros() / 3_600_000_000).rem_euclid(24);
+        let peak = if (7..=9).contains(&hour) || (16..=19).contains(&hour) {
+            2.2
+        } else {
+            1.0
+        };
+        let alight_frac: f64 = self.rng.gen_range(0.1..0.5);
+        self.passengers *= 1.0 - alight_frac;
+        let board: f64 = self.rng.gen_range(20.0..140.0) * peak;
+        self.passengers =
+            (self.passengers + board).min(self.cfg.capacity as f64 * 1.15);
+    }
+
+    fn advance_next_stop(&mut self, arrived: usize) {
+        if self.dir > 0.0 {
+            if arrived + 1 < self.n_stops() {
+                self.next_stop = arrived + 1;
+            } else {
+                self.dir = -1.0;
+                self.next_stop = arrived - 1;
+            }
+        } else if arrived > 0 {
+            self.next_stop = arrived - 1;
+        } else {
+            self.dir = 1.0;
+            self.next_stop = 1;
+        }
+    }
+
+    /// Advances the simulation by `dt` and returns the resulting state.
+    pub fn step(&mut self, dt: TimeDelta) -> TrainState {
+        let dt_s = dt.as_secs_f64();
+        self.now += dt;
+
+        // Fault triggers only fire while running.
+        if matches!(self.phase, Phase::Run) {
+            if let Some(&t) = self.faults.emergency_brakes.get(self.next_emergency)
+            {
+                if self.now >= t {
+                    self.next_emergency += 1;
+                    self.phase = Phase::BrakeToHold { hold_s: 45.0, emergency: true };
+                }
+            }
+            if matches!(self.phase, Phase::Run) {
+                if let Some(&(t, d)) =
+                    self.faults.unscheduled_stops.get(self.next_unscheduled)
+                {
+                    if self.now >= t {
+                        self.next_unscheduled += 1;
+                        self.phase = Phase::BrakeToHold {
+                            hold_s: d.as_secs_f64(),
+                            emergency: false,
+                        };
+                    }
+                }
+            }
+        }
+
+        let mut emergency_braking = false;
+        let mut unscheduled_hold = false;
+        let mut at_station: Option<usize> = None;
+        let mut doors_open = false;
+
+        match &mut self.phase {
+            Phase::Dwell { remaining_s, stop_i } => {
+                self.speed_ms = 0.0;
+                doors_open = true;
+                let route_station = self.net.routes[self.cfg.route].stations[*stop_i];
+                at_station = Some(route_station);
+                *remaining_s -= dt_s;
+                if *remaining_s <= 0.0 {
+                    let arrived = *stop_i;
+                    self.phase = Phase::Run;
+                    self.advance_next_stop(arrived);
+                }
+            }
+            Phase::BrakeToHold { hold_s, emergency } => {
+                let rate = if *emergency {
+                    self.cfg.emergency_ms2
+                } else {
+                    self.cfg.brake_ms2
+                };
+                emergency_braking = *emergency;
+                self.speed_ms = (self.speed_ms - rate * dt_s).max(0.0);
+                self.m += self.dir * self.speed_ms * dt_s;
+                self.odometer_m += self.speed_ms * dt_s;
+                if self.speed_ms == 0.0 {
+                    self.phase =
+                        Phase::Hold { remaining_s: *hold_s, emergency: *emergency };
+                }
+            }
+            Phase::Hold { remaining_s, emergency } => {
+                self.speed_ms = 0.0;
+                unscheduled_hold = !*emergency;
+                emergency_braking = *emergency;
+                *remaining_s -= dt_s;
+                if *remaining_s <= 0.0 {
+                    self.phase = Phase::Run;
+                }
+            }
+            Phase::Run => {
+                let route = &self.net.routes[self.cfg.route];
+                let (pos, _) = route.position_at(self.m);
+                let limit_ms =
+                    self.net.speed_limit_at(&pos, route.line_limit_kmh) / 3.6;
+                let target_m = self.stop_m(self.next_stop);
+                let dist = (target_m - self.m) * self.dir;
+                let braking_dist =
+                    self.speed_ms * self.speed_ms / (2.0 * self.cfg.brake_ms2);
+                if dist <= braking_dist + self.speed_ms * dt_s {
+                    self.speed_ms =
+                        (self.speed_ms - self.cfg.brake_ms2 * dt_s).max(0.0);
+                } else if self.speed_ms < limit_ms {
+                    self.speed_ms =
+                        (self.speed_ms + self.cfg.accel_ms2 * dt_s).min(limit_ms);
+                } else {
+                    self.speed_ms =
+                        (self.speed_ms - self.cfg.brake_ms2 * dt_s).max(limit_ms);
+                }
+                let step_m = self.speed_ms * dt_s;
+                self.m += self.dir * step_m;
+                self.odometer_m += step_m;
+                // Arrival: close enough and essentially stopped.
+                if dist <= f64::max(2.0, step_m) && self.speed_ms < 1.0 {
+                    self.m = target_m;
+                    self.speed_ms = 0.0;
+                    let arrived = self.next_stop;
+                    self.exchange_passengers(arrived);
+                    self.phase = Phase::Dwell {
+                        remaining_s: self.cfg.dwell_s,
+                        stop_i: arrived,
+                    };
+                }
+            }
+        }
+
+        let route = &self.net.routes[self.cfg.route];
+        let (pos, heading) = route.position_at(self.m);
+        TrainState {
+            t: self.now,
+            pos,
+            heading,
+            speed_ms: self.speed_ms,
+            odometer_m: self.odometer_m,
+            at_station,
+            doors_open,
+            passengers: self.passengers.round() as u32,
+            emergency_braking,
+            unscheduled_hold,
+        }
+    }
+}
+
+/// Builds the demo fault plans: train 1 gets a degrading battery, train 2
+/// repeated emergency brakes in one hour, train 3 unscheduled stops, the
+/// rest run clean. Deterministic given `start`.
+pub fn demo_fault_plans(start: TimestampTz, num_trains: usize) -> Vec<FaultPlan> {
+    (0..num_trains)
+        .map(|i| match i {
+            1 => FaultPlan {
+                battery_fault_after: Some(start + TimeDelta::from_minutes(30)),
+                ..FaultPlan::default()
+            },
+            2 => FaultPlan {
+                emergency_brakes: vec![
+                    start + TimeDelta::from_minutes(22),
+                    start + TimeDelta::from_minutes(31),
+                    start + TimeDelta::from_minutes(38),
+                ],
+                brake_leak_after: Some(start + TimeDelta::from_minutes(45)),
+                ..FaultPlan::default()
+            },
+            3 => FaultPlan {
+                unscheduled_stops: vec![
+                    (start + TimeDelta::from_minutes(25), TimeDelta::from_minutes(6)),
+                    (start + TimeDelta::from_minutes(70), TimeDelta::from_minutes(4)),
+                ],
+                ..FaultPlan::default()
+            },
+            _ => FaultPlan::default(),
+        })
+        .collect()
+}
+
+/// True iff `p` lies in a station area or workshop — the zones where a
+/// stop counts as scheduled (shared by the simulator tests and Q7).
+pub fn in_scheduled_stop_zone(net: &RailNetwork, p: &Point) -> bool {
+    net.in_zone(p, ZoneKind::StationArea) || net.in_zone(p, ZoneKind::Workshop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Arc<RailNetwork> {
+        Arc::new(RailNetwork::belgium())
+    }
+
+    fn start() -> TimestampTz {
+        TimestampTz::from_ymd_hms(2025, 6, 22, 8, 0, 0).unwrap()
+    }
+
+    fn run_sim(sim: &mut TrainSim, secs: i64) -> Vec<TrainState> {
+        (0..secs).map(|_| sim.step(TimeDelta::from_secs(1))).collect()
+    }
+
+    #[test]
+    fn train_departs_and_moves() {
+        let mut sim = TrainSim::new(
+            net(),
+            TrainConfig::standard(0, 0),
+            FaultPlan::default(),
+            start(),
+            1,
+        );
+        let states = run_sim(&mut sim, 600);
+        assert!(states[0].doors_open, "starts dwelling");
+        let moving = states.iter().filter(|s| s.speed_ms > 1.0).count();
+        assert!(moving > 300, "should be under way most of 10 min");
+        let max_speed = states.iter().map(|s| s.speed_ms).fold(0.0, f64::max);
+        assert!(max_speed > 20.0, "reaches cruise speed, got {max_speed}");
+        assert!(
+            max_speed <= 200.0 / 3.6 + 0.5,
+            "never exceeds line limit, got {max_speed}"
+        );
+        assert!(states.last().unwrap().odometer_m > 5_000.0);
+    }
+
+    #[test]
+    fn train_stops_at_stations() {
+        let mut sim = TrainSim::new(
+            net(),
+            TrainConfig::standard(0, 0),
+            FaultPlan::default(),
+            start(),
+            1,
+        );
+        // Brussels-Midi -> Central is ~2 km; within 15 min the train must
+        // have dwelled at least at one intermediate station.
+        let states = run_sim(&mut sim, 900);
+        let stations_visited: std::collections::HashSet<usize> = states
+            .iter()
+            .filter_map(|s| s.at_station)
+            .collect();
+        assert!(
+            stations_visited.len() >= 2,
+            "visited {stations_visited:?}"
+        );
+        // While dwelling doors are open and speed is zero.
+        for s in &states {
+            if s.at_station.is_some() {
+                assert!(s.doors_open);
+                assert_eq!(s.speed_ms, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn passengers_board_and_stay_bounded() {
+        let mut sim = TrainSim::new(
+            net(),
+            TrainConfig::standard(0, 0),
+            FaultPlan::default(),
+            start(),
+            3,
+        );
+        let states = run_sim(&mut sim, 3_600);
+        let max_pax = states.iter().map(|s| s.passengers).max().unwrap();
+        assert!(max_pax > 0, "someone boarded");
+        assert!(max_pax <= (600.0 * 1.15) as u32 + 1);
+    }
+
+    #[test]
+    fn emergency_brake_fault_fires() {
+        let faults = FaultPlan {
+            emergency_brakes: vec![start() + TimeDelta::from_minutes(5)],
+            ..FaultPlan::default()
+        };
+        let mut sim = TrainSim::new(
+            net(),
+            TrainConfig::standard(2, 0),
+            faults,
+            start(),
+            2,
+        );
+        let states = run_sim(&mut sim, 600);
+        let braking: Vec<&TrainState> =
+            states.iter().filter(|s| s.emergency_braking).collect();
+        assert!(!braking.is_empty(), "emergency braking observed");
+        // It eventually stops completely during the hold.
+        assert!(braking.iter().any(|s| s.speed_ms == 0.0));
+        // And resumes afterwards.
+        let last_brake_idx = states
+            .iter()
+            .rposition(|s| s.emergency_braking)
+            .unwrap();
+        assert!(states[last_brake_idx + 1..].iter().any(|s| s.speed_ms > 5.0));
+    }
+
+    #[test]
+    fn unscheduled_stop_happens_outside_station() {
+        let faults = FaultPlan {
+            unscheduled_stops: vec![(
+                start() + TimeDelta::from_minutes(6),
+                TimeDelta::from_minutes(3),
+            )],
+            ..FaultPlan::default()
+        };
+        let network = net();
+        let mut sim = TrainSim::new(
+            network.clone(),
+            TrainConfig::standard(3, 1),
+            faults,
+            start(),
+            4,
+        );
+        let states = run_sim(&mut sim, 900);
+        let holds: Vec<&TrainState> =
+            states.iter().filter(|s| s.unscheduled_hold).collect();
+        assert!(holds.len() >= 150, "held ~3 min, got {}", holds.len());
+        for s in &holds {
+            assert_eq!(s.speed_ms, 0.0);
+            assert!(s.at_station.is_none());
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let mk = || {
+            TrainSim::new(
+                net(),
+                TrainConfig::standard(0, 2),
+                FaultPlan::default(),
+                start(),
+                9,
+            )
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..1_000 {
+            let (sa, sb) = (
+                a.step(TimeDelta::from_secs(1)),
+                b.step(TimeDelta::from_secs(1)),
+            );
+            assert_eq!(sa.pos, sb.pos);
+            assert_eq!(sa.passengers, sb.passengers);
+        }
+    }
+
+    #[test]
+    fn ping_pong_at_terminal() {
+        // Short route (IC-20 has 4 stops); run long enough to bounce.
+        let mut sim = TrainSim::new(
+            net(),
+            TrainConfig::standard(0, 2),
+            FaultPlan::default(),
+            start(),
+            5,
+        );
+        let mut odo = Vec::new();
+        for _ in 0..4 {
+            let states = run_sim(&mut sim, 3_600);
+            odo.push(states.last().unwrap().odometer_m);
+        }
+        assert!(odo.windows(2).all(|w| w[1] > w[0]), "keeps accumulating");
+    }
+
+    #[test]
+    fn demo_fault_plans_cover_queries() {
+        let plans = demo_fault_plans(start(), 6);
+        assert_eq!(plans.len(), 6);
+        assert!(plans[1].battery_fault_after.is_some());
+        assert_eq!(plans[2].emergency_brakes.len(), 3);
+        assert!(plans[2].brake_leak_after.is_some());
+        assert_eq!(plans[3].unscheduled_stops.len(), 2);
+        assert!(plans[0].emergency_brakes.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Geospatial complex event processing demonstration: the paper's
+//! Queries 5–8 (§3.2). The simulated fleet injects a battery fault on
+//! train 1, repeated emergency brakes plus a brake-pipe leak on train 2,
+//! and unscheduled stops on train 3 — each query must find its anomaly.
+//!
+//! ```text
+//! cargo run --release --example gcep_demo
+//! ```
+
+use nebula::prelude::*;
+use nebulameos::{
+    q5_battery_monitoring, q6_heavy_load, q7_unscheduled_stops,
+    q8_brake_monitoring,
+};
+use sncb::FleetConfig;
+
+fn run(name: &str, query: &Query) -> nebula::Result<Vec<Record>> {
+    let (mut env, _) = sncb::demo_environment(FleetConfig::demo_hour());
+    let (mut sink, results) = CollectingSink::new();
+    let metrics = env.run(query, &mut sink)?;
+    println!("\n=== {name} ===");
+    println!(
+        "  {} events -> {} complex events ({:.0} e/s)",
+        metrics.records_in,
+        metrics.records_out,
+        metrics.events_per_sec()
+    );
+    Ok(results.records())
+}
+
+fn main() -> nebula::Result<()> {
+    // Q5: battery-curve deviation + nearest workshop.
+    let alerts = run("Q5 Battery Monitoring", &q5_battery_monitoring())?;
+    if let Some(first) = alerts.first() {
+        let train = first.get(1).cloned().unwrap_or(Value::Null);
+        let volts = first.get(4).and_then(Value::as_float).unwrap_or(0.0);
+        let shop = first
+            .get(first.len() - 1)
+            .and_then(|v| v.as_text().map(str::to_string))
+            .unwrap_or_default();
+        let dist = first
+            .get(first.len() - 2)
+            .and_then(Value::as_float)
+            .unwrap_or(0.0);
+        println!(
+            "  first: train {train} battery at {volts:.1} V; nearest {shop} \
+             ({:.1} km away); {} follow-up alerts",
+            dist / 1000.0,
+            alerts.len() - 1
+        );
+    }
+
+    // Q6: sustained heavy passenger load.
+    let loads = run("Q6 Heavy Passenger Load", &q6_heavy_load(500, 30))?;
+    for r in &loads {
+        println!(
+            "  train {} held >= 500 passengers for {} ticks (peak {})",
+            r.get(0).cloned().unwrap_or(Value::Null),
+            r.get(5).cloned().unwrap_or(Value::Null),
+            r.get(3).cloned().unwrap_or(Value::Null),
+        );
+    }
+    if loads.is_empty() {
+        println!("  no sustained heavy-load episodes this hour");
+    }
+
+    // Q7: stops outside stations/workshops.
+    let stops = run("Q7 Unscheduled Stops", &q7_unscheduled_stops(120))?;
+    for r in &stops {
+        println!(
+            "  train {} halted {} ticks at {}",
+            r.get(0).cloned().unwrap_or(Value::Null),
+            r.get(4).cloned().unwrap_or(Value::Null),
+            r.get(3).cloned().unwrap_or(Value::Null),
+        );
+    }
+
+    // Q8: repeated emergency brakes.
+    let brakes = run("Q8 Monitoring Brakes", &q8_brake_monitoring(30))?;
+    for r in &brakes {
+        let start = r.get(r.len() - 2).and_then(Value::as_timestamp).unwrap_or(0);
+        let end = r.get(r.len() - 1).and_then(Value::as_timestamp).unwrap_or(0);
+        println!(
+            "  train {}: 3 emergency brakes within {:.1} min",
+            r.get(1).cloned().unwrap_or(Value::Null),
+            (end - start) as f64 / 60e6,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Quickstart: simulate two minutes of the SNCB fleet, register the MEOS
+//! plugin, and run a geofence query — the minimal end-to-end NebulaMEOS
+//! loop.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use meos::geo::{Geometry, Point};
+use nebula::prelude::*;
+use nebulameos::functions::geom;
+use sncb::FleetConfig;
+
+fn main() -> nebula::Result<()> {
+    // A fully wired environment: MEOS functions + zone/weather context +
+    // a "fleet" source streaming 2 simulated minutes of 6 trains.
+    let (mut env, events) =
+        sncb::demo_environment(FleetConfig::test_minutes(2));
+    println!("simulated {events} sensor events from 6 trains");
+
+    // A dynamic geofence: 3 km around Brussels-Midi, expressed with the
+    // registered MEOS expression `st_contains`.
+    let brussels = Geometry::Circle {
+        center: Point::new(4.3353, 50.8358),
+        radius: 3_000.0,
+    };
+    let query = Query::from("fleet")
+        .filter(call("st_contains", vec![geom(brussels), col("pos")]))
+        .map(vec![
+            ("ts", col("ts")),
+            ("train_id", col("train_id")),
+            ("pos", col("pos")),
+            ("speed_kmh", col("speed_kmh")),
+        ]);
+
+    println!("\nphysical plan:\n{}", env.explain(&query)?);
+
+    let (mut sink, results) = CollectingSink::new();
+    let metrics = env.run(&query, &mut sink)?;
+
+    println!("metrics: {metrics}");
+    println!(
+        "{} position fixes inside the Brussels geofence; first few:",
+        results.len()
+    );
+    for rec in results.records().iter().take(5) {
+        println!("  {rec}");
+    }
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the NebulaMEOS reproduction workspace.
+//!
+//! Re-exports the four library crates so the runnable examples and the
+//! cross-crate integration tests can address the whole system through a
+//! single dependency:
+//!
+//! - [`meos`] — the spatiotemporal type system (MEOS reimplementation),
+//! - [`nebula`] — the IoT stream-processing engine (NebulaStream analogue),
+//! - [`nebulameos`] — the integration layer and the paper's eight queries,
+//! - [`sncb`] — the deterministic SNCB train-fleet simulator.
+
+pub use meos;
+pub use nebula;
+pub use nebulameos;
+pub use sncb;

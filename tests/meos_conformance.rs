@@ -1,0 +1,199 @@
+//! MobilityDB-semantics conformance: known-answer tests expressed
+//! through the textual interface, mirroring how MEOS behaviour is
+//! documented — parse a literal, apply an operation, compare against the
+//! documented result. Each case states the MobilityDB operation it
+//! shadows.
+
+use meos::boxes::STBox;
+use meos::geo::{Geometry, Metric, Point};
+use meos::time::{Period, TimeDelta, TimestampTz};
+use meos::tpoint;
+use meos::wkt::{parse_tfloat, parse_tgeompoint};
+
+fn ts(lit: &str) -> TimestampTz {
+    TimestampTz::parse(lit).unwrap()
+}
+
+#[test]
+fn tfloat_value_at_timestamp() {
+    // MobilityDB: valueAtTimestamp(tfloat '[1@t1, 3@t2]', t1.5) = 2
+    let tf = parse_tfloat(
+        "[1@2025-06-22T10:00:00Z, 3@2025-06-22T10:02:00Z]",
+    )
+    .unwrap();
+    assert_eq!(tf.value_at(ts("2025-06-22T10:01:00Z")), Some(2.0));
+    assert_eq!(tf.value_at(ts("2025-06-22T10:02:00Z")), Some(3.0));
+    assert_eq!(tf.value_at(ts("2025-06-22T10:03:00Z")), None);
+}
+
+#[test]
+fn tfloat_at_period_boundaries_interpolate() {
+    // MobilityDB: atTime(tfloat, tstzspan) interpolates at the cuts.
+    let tf = parse_tfloat(
+        "[0@2025-06-22T10:00:00Z, 10@2025-06-22T10:10:00Z]",
+    )
+    .unwrap();
+    let p = Period::inclusive(
+        ts("2025-06-22T10:02:00Z"),
+        ts("2025-06-22T10:08:00Z"),
+    )
+    .unwrap();
+    let cut = tf.at_period(&p).unwrap();
+    assert_eq!(cut.start_value(), 2.0);
+    assert_eq!(cut.end_value(), 8.0);
+    assert_eq!(cut.duration(), TimeDelta::from_minutes(6));
+    assert_eq!(
+        cut.to_string(),
+        "[2@2025-06-22T10:02:00Z, 8@2025-06-22T10:08:00Z]"
+    );
+}
+
+#[test]
+fn step_interpolation_holds_left_value() {
+    // MobilityDB: step tfloat holds its value until the next instant.
+    let tf = parse_tfloat(
+        "Interp=Step;[1@2025-06-22T10:00:00Z, 5@2025-06-22T10:10:00Z]",
+    )
+    .unwrap();
+    assert_eq!(tf.value_at(ts("2025-06-22T10:09:59Z")), Some(1.0));
+    assert_eq!(tf.value_at(ts("2025-06-22T10:10:00Z")), Some(5.0));
+}
+
+#[test]
+fn tgeompoint_length_speed_and_centroid() {
+    // A 600 s straight east-west run at ~51°N.
+    let tp = parse_tgeompoint(
+        "[POINT(4.30 51.00)@2025-06-22T10:00:00Z, \
+          POINT(4.40 51.00)@2025-06-22T10:10:00Z]",
+    )
+    .unwrap();
+    let seqs = tp.to_sequences();
+    let seq = &seqs[0];
+    // 0.1° of longitude at 51°N ≈ 7.00 km.
+    let len = tpoint::length_with(seq, Metric::Haversine);
+    assert!((6_900.0..7_100.0).contains(&len), "{len}");
+    // Constant speed = len / 600 s.
+    let sp = tpoint::speed(seq, Metric::Haversine).unwrap();
+    assert!((sp.min_value() - len / 600.0).abs() < 1e-9);
+    assert_eq!(sp.min_value(), sp.max_value());
+    // twCentroid is the midpoint for constant motion.
+    let c = tpoint::twcentroid(seq);
+    assert!((c.x - 4.35).abs() < 1e-9);
+    assert!((c.y - 51.0).abs() < 1e-9);
+}
+
+#[test]
+fn tpoint_at_stbox_matches_manual_computation() {
+    // MobilityDB: atStbox(tpoint, stbox) — the restriction of a west-east
+    // crossing to the middle third of its x-range covers the middle third
+    // of its time.
+    let tp = parse_tgeompoint(
+        "[POINT(4.00 51.00)@2025-06-22T10:00:00Z, \
+          POINT(4.30 51.00)@2025-06-22T10:30:00Z]",
+    )
+    .unwrap();
+    let bx = STBox::from_coords(4.10, 4.20, 50.0, 52.0, None).unwrap();
+    let cut = tpoint::temporal_at_stbox(&tp, &bx).unwrap();
+    assert_eq!(cut.start_timestamp(), ts("2025-06-22T10:10:00Z"));
+    assert_eq!(cut.end_timestamp(), ts("2025-06-22T10:20:00Z"));
+    // A time-constrained box further trims the result.
+    let bx_t = STBox::from_coords(
+        4.10,
+        4.20,
+        50.0,
+        52.0,
+        Some(
+            Period::inclusive(
+                ts("2025-06-22T10:15:00Z"),
+                ts("2025-06-22T11:00:00Z"),
+            )
+            .unwrap(),
+        ),
+    )
+    .unwrap();
+    let cut_t = tpoint::temporal_at_stbox(&tp, &bx_t).unwrap();
+    assert_eq!(cut_t.start_timestamp(), ts("2025-06-22T10:15:00Z"));
+    assert_eq!(cut_t.end_timestamp(), ts("2025-06-22T10:20:00Z"));
+}
+
+#[test]
+fn edwithin_semantics_match_mobilitydb() {
+    // MobilityDB: eDwithin(tpoint, geometry, d) — *ever* within d metres.
+    let tp = parse_tgeompoint(
+        "[POINT(4.30 51.00)@2025-06-22T10:00:00Z, \
+          POINT(4.40 51.00)@2025-06-22T10:10:00Z]",
+    )
+    .unwrap();
+    // A point 0.01° (~1.11 km) north of the path midpoint.
+    let station = Geometry::Point(Point::new(4.35, 51.01));
+    let seqs = tp.to_sequences();
+    assert!(tpoint::edwithin(&seqs[0], &station, 1_200.0, Metric::Haversine));
+    assert!(!tpoint::edwithin(&seqs[0], &station, 1_000.0, Metric::Haversine));
+    // aDwithin (always): the endpoints are ~3.9 km away.
+    assert!(tpoint::adwithin(&seqs[0], &station, 4_000.0, Metric::Haversine));
+    assert!(!tpoint::adwithin(&seqs[0], &station, 2_000.0, Metric::Haversine));
+}
+
+#[test]
+fn tfloat_arithmetic_and_restriction_compose() {
+    // shift + scale + threshold restriction, checked against hand math.
+    let tf = parse_tfloat(
+        "[0@2025-06-22T10:00:00Z, 100@2025-06-22T10:10:00Z]",
+    )
+    .unwrap();
+    let seqs = tf.to_sequences();
+    let celsius_to_f = seqs[0].scale(9.0 / 5.0).offset(32.0);
+    assert_eq!(celsius_to_f.start_value(), 32.0);
+    assert_eq!(celsius_to_f.end_value(), 212.0);
+    // Above 122 °F == above 50 °C == second half of the window.
+    let hot = celsius_to_f.at_above(122.0);
+    assert_eq!(hot.num_spans(), 1);
+    assert_eq!(hot.spans()[0].lower(), ts("2025-06-22T10:05:00Z"));
+}
+
+#[test]
+fn sequence_set_round_trips_through_operations() {
+    // A trip with a gap (tunnel): operations respect the gap.
+    let tp = parse_tgeompoint(
+        "{[POINT(4.00 51.00)@2025-06-22T10:00:00Z, \
+           POINT(4.10 51.00)@2025-06-22T10:10:00Z], \
+          [POINT(4.20 51.00)@2025-06-22T10:20:00Z, \
+           POINT(4.30 51.00)@2025-06-22T10:30:00Z]}",
+    )
+    .unwrap();
+    assert_eq!(tp.num_instants(), 4);
+    // Duration excludes the gap; the bounding period does not.
+    assert_eq!(tp.duration(), TimeDelta::from_minutes(20));
+    assert_eq!(tp.period().duration(), TimeDelta::from_minutes(30));
+    // Value undefined inside the gap.
+    assert_eq!(tp.value_at(ts("2025-06-22T10:15:00Z")), None);
+    // Length sums both legs only.
+    let len = tpoint::temporal_length(&tp, Metric::Haversine);
+    let one_leg = Point::new(4.0, 51.0).haversine(&Point::new(4.1, 51.0));
+    assert!((len - 2.0 * one_leg).abs() < 1.0, "{len} vs {}", 2.0 * one_leg);
+    // Round trip through text.
+    let reparsed = parse_tgeompoint(&tp.to_string()).unwrap();
+    assert_eq!(reparsed, tp);
+}
+
+#[test]
+fn stop_detection_on_literal() {
+    // A run, a 5-minute stop, then another run.
+    let tp = parse_tgeompoint(
+        "[POINT(4.00 51.00)@2025-06-22T10:00:00Z, \
+          POINT(4.05 51.00)@2025-06-22T10:05:00Z, \
+          POINT(4.0501 51.00)@2025-06-22T10:10:00Z, \
+          POINT(4.10 51.00)@2025-06-22T10:15:00Z]",
+    )
+    .unwrap();
+    let seqs = tp.to_sequences();
+    let stops = tpoint::detect_stops(
+        &seqs[0],
+        0.5, // m/s
+        TimeDelta::from_minutes(4),
+        Metric::Haversine,
+    );
+    assert_eq!(stops.len(), 1);
+    assert_eq!(stops[0].start_timestamp(), ts("2025-06-22T10:05:00Z"));
+    assert_eq!(stops[0].end_timestamp(), ts("2025-06-22T10:10:00Z"));
+}

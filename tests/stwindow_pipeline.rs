@@ -1,0 +1,203 @@
+//! Integration: spatiotemporal windows, trajectory assembly, imputation
+//! and the k-nearest extension over the simulated fleet — the paper's
+//! §2.3 "windows over spatiotemporal data streams" end to end.
+
+use meos::geo::Metric;
+use meos::tpoint;
+use nebula::prelude::*;
+use nebulameos::{
+    as_tpoint, ImputationFactory, KNearestFactory, TrajectoryAgg,
+    TrajectoryBuilderFactory,
+};
+use sncb::FleetConfig;
+use std::sync::Arc;
+
+fn env(minutes: i64) -> StreamEnvironment {
+    let (env, _) = sncb::demo_environment(FleetConfig::test_minutes(minutes));
+    env
+}
+
+#[test]
+fn tumbling_trajectory_windows_cover_the_stream() {
+    let mut e = env(10);
+    let q = Query::from("fleet").window(
+        vec![("train_id", col("train_id"))],
+        WindowSpec::Tumbling { size: 120 * MICROS_PER_SEC },
+        vec![
+            WindowAgg::new(
+                "traj",
+                AggSpec::Custom(Arc::new(TrajectoryAgg::new("pos", "ts"))),
+            ),
+            WindowAgg::new("n", AggSpec::Count),
+        ],
+    );
+    let (mut sink, got) = CollectingSink::new();
+    let m = e.run(&q, &mut sink).unwrap();
+    assert_eq!(m.records_in, 10 * 60 * 6);
+    // 6 trains × 6 aligned two-minute windows (ticks span :01..=:00,
+    // so the final tick opens one extra aligned window).
+    assert_eq!(got.len(), 36);
+    let mut total_instants = 0i64;
+    for r in got.records() {
+        let tp = as_tpoint(r.get(3).unwrap()).unwrap();
+        let n = r.get(4).unwrap().as_int().unwrap();
+        assert_eq!(tp.num_instants() as i64, n);
+        total_instants += n;
+        // Window trajectories are physically plausible: under 10 km in
+        // two minutes (300 km/h bound).
+        let len = tpoint::temporal_length(tp, Metric::Haversine);
+        assert!(len < 10_000.0, "{len}");
+    }
+    assert_eq!(total_instants, 3_600, "every fix in exactly one window");
+}
+
+#[test]
+fn trajectory_builder_total_length_matches_direct_sum() {
+    let mut e = env(10);
+    let q = Query::from("fleet").apply(Arc::new(TrajectoryBuilderFactory {
+        max_instants: 1_000_000,
+        ..TrajectoryBuilderFactory::standard()
+    }));
+    let (mut sink, got) = CollectingSink::new();
+    e.run(&q, &mut sink).unwrap();
+    let recs = got.records();
+    assert_eq!(recs.len(), 6, "one trajectory per train");
+    for r in &recs {
+        let tp = as_tpoint(r.get(2).unwrap()).unwrap();
+        let reported = r.get(3).unwrap().as_float().unwrap();
+        let recomputed = tpoint::temporal_length(tp, Metric::Haversine);
+        assert!((reported - recomputed).abs() < 1e-6);
+        assert_eq!(
+            r.get(4).unwrap().as_int().unwrap(),
+            tp.num_instants() as i64
+        );
+        assert_eq!(tp.num_instants(), 600, "10 min at 1 Hz");
+    }
+}
+
+#[test]
+fn imputation_restores_gap_dropped_stream() {
+    // Drop whole batches (connectivity gaps), then impute.
+    let cfg = FleetConfig::test_minutes(10);
+    let sim = sncb::FleetSimulator::new(cfg);
+    let net = sim.network();
+    let records = sim.into_records();
+    let n_full = records.len();
+
+    let mut e = StreamEnvironment::with_config(EnvConfig {
+        buffer_size: 60,
+        watermark_every: 1,
+        ..EnvConfig::default()
+    });
+    e.load_plugin(&nebulameos::MeosPlugin).unwrap();
+    e.load_plugin(&nebulameos::DemoContext::new(sncb::demo_zones(&net)))
+        .unwrap();
+    let gappy = GapSource::new(
+        VecSource::new(sncb::fleet_schema(), records),
+        0.2,
+        1234,
+    );
+    e.add_source(
+        "fleet",
+        Box::new(gappy),
+        WatermarkStrategy::BoundedOutOfOrder {
+            ts_field: "ts".into(),
+            slack: 2 * MICROS_PER_SEC,
+        },
+    );
+    let q = Query::from("fleet").apply(Arc::new(ImputationFactory {
+        tick_us: MICROS_PER_SEC,
+        max_fill_us: 60 * MICROS_PER_SEC,
+        ..ImputationFactory::standard()
+    }));
+    let (mut sink, got) = CollectingSink::new();
+    let m = e.run(&q, &mut sink).unwrap();
+    assert!(m.records_in < n_full as u64, "gap source dropped something");
+    // Imputation fills the 1 s grid back: output ≈ full stream size.
+    let out = got.len() as f64;
+    assert!(
+        out > n_full as f64 * 0.95,
+        "imputed stream {out} vs original {n_full}"
+    );
+    // Synthetic records are flagged.
+    let imputed = got
+        .records()
+        .iter()
+        .filter(|r| r.get(12).unwrap() == &Value::Bool(true))
+        .count();
+    assert!(imputed > 0);
+    // Per train, timestamps strictly increase.
+    let mut last: std::collections::HashMap<i64, i64> = Default::default();
+    for r in got.records() {
+        let id = r.get(1).unwrap().as_int().unwrap();
+        let ts = r.get(0).unwrap().as_timestamp().unwrap();
+        if let Some(prev) = last.insert(id, ts) {
+            assert!(ts > prev, "train {id}: {ts} after {prev}");
+        }
+    }
+}
+
+#[test]
+fn k_nearest_trains_over_fleet() {
+    let mut e = env(10);
+    let q = Query::from("fleet")
+        .apply(Arc::new(KNearestFactory::standard(3)))
+        .filter(col("rank").eq(lit(1i64)));
+    let (mut sink, got) = CollectingSink::new();
+    e.run(&q, &mut sink).unwrap();
+    let recs = got.records();
+    assert!(!recs.is_empty());
+    for r in &recs {
+        let a = r.get(1).unwrap().as_int().unwrap();
+        let b = r.get(3).unwrap().as_int().unwrap();
+        assert_ne!(a, b, "a train is not its own neighbour");
+        let d = r.get(5).unwrap().as_float().unwrap();
+        assert!((0.0..300_000.0).contains(&d), "within Belgium: {d}");
+    }
+    // All trains start in Brussels, so early nearest distances are small.
+    let first = &recs[0];
+    assert!(first.get(5).unwrap().as_float().unwrap() < 5_000.0);
+}
+
+#[test]
+fn geofence_events_alternate_enter_leave() {
+    let net = sncb::RailNetwork::belgium();
+    let fences = nebulameos::GeofenceSet::new(
+        "stations",
+        net.zones_of(sncb::ZoneKind::StationArea)
+            .map(|z| (z.name.clone(), z.geometry.clone())),
+    );
+    let mut e = env(30);
+    let q = Query::from("fleet").apply(Arc::new(
+        nebulameos::GeofenceEventsFactory {
+            set: fences,
+            key_field: "train_id".into(),
+            pos_field: "pos".into(),
+        },
+    ));
+    let (mut sink, got) = CollectingSink::new();
+    e.run(&q, &mut sink).unwrap();
+    let recs = got.records();
+    assert!(!recs.is_empty(), "trains cross station areas");
+    // Per train: events alternate enter/leave (GPS noise can produce
+    // flapping pairs, but the sequence must stay consistent).
+    let mut state: std::collections::HashMap<i64, Option<String>> =
+        Default::default();
+    for r in &recs {
+        let id = r.get(1).unwrap().as_int().unwrap();
+        let fence = r.get(12).unwrap().as_text().unwrap().to_string();
+        let event = r.get(13).unwrap().as_text().unwrap();
+        let cur = state.entry(id).or_default();
+        match event {
+            "enter" => {
+                assert!(cur.is_none(), "train {id} enters while inside");
+                *cur = Some(fence);
+            }
+            "leave" => {
+                assert_eq!(cur.as_deref(), Some(fence.as_str()));
+                *cur = None;
+            }
+            other => panic!("unexpected event {other}"),
+        }
+    }
+}
