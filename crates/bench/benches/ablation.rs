@@ -31,9 +31,9 @@ fn bench_buffer_size(c: &mut Criterion) {
                         ..EnvConfig::default()
                     });
                     env.load_plugin(&nebulameos::MeosPlugin).unwrap();
-                    env.load_plugin(&nebulameos::DemoContext::new(
-                        sncb::demo_zones(&workload.net),
-                    ))
+                    env.load_plugin(&nebulameos::DemoContext::new(sncb::demo_zones(
+                        &workload.net,
+                    )))
                     .unwrap();
                     env.add_source(
                         "fleet",
@@ -73,10 +73,7 @@ fn bench_out_of_order(c: &mut Criterion) {
                     let mut env = StreamEnvironment::new();
                     env.load_plugin(&nebulameos::MeosPlugin).unwrap();
                     let src = JitterSource::new(
-                        VecSource::new(
-                            sncb::fleet_schema(),
-                            workload.records.clone(),
-                        ),
+                        VecSource::new(sncb::fleet_schema(), workload.records.clone()),
                         window,
                         42,
                     );

@@ -36,13 +36,10 @@ fn bench_placement(c: &mut Criterion) {
             sncb::fleet_schema(),
             workload.records.clone(),
         ));
-        let stages =
-            measure_stage_bytes(src, &q1, env.registry(), 1024).expect("measures");
+        let stages = measure_stage_bytes(src, &q1, env.registry(), 1024).expect("measures");
         b.iter(|| {
-            let edge =
-                place(&q1, &topo, sensors[0], PlacementStrategy::EdgeFirst).unwrap();
-            let cloud =
-                place(&q1, &topo, sensors[0], PlacementStrategy::CloudOnly).unwrap();
+            let edge = place(&q1, &topo, sensors[0], PlacementStrategy::EdgeFirst).unwrap();
+            let cloud = place(&q1, &topo, sensors[0], PlacementStrategy::CloudOnly).unwrap();
             let ce = network_cost(&topo, &edge, &stages).unwrap();
             let cc = network_cost(&topo, &cloud, &stages).unwrap();
             assert!(
@@ -59,15 +56,13 @@ fn bench_placement(c: &mut Criterion) {
         // Q2 has a window stage that edge-first placement pins to the
         // onboard edge box, so failing that box forces migrations.
         let q2 = nebulameos::q2_noise_monitoring(75.0);
-        let edge_pl =
-            place(&q2, &topo, sensors[0], PlacementStrategy::EdgeFirst).unwrap();
+        let edge_pl = place(&q2, &topo, sensors[0], PlacementStrategy::EdgeFirst).unwrap();
         let edge_node = topo
             .first_ancestor_of_kind(sensors[0], NodeKind::Edge)
             .unwrap();
         let cloud = topo.cloud().unwrap();
         b.iter(|| {
-            let (pl, migrated) =
-                replace_after_failure(&topo, &edge_pl, edge_node, cloud);
+            let (pl, migrated) = replace_after_failure(&topo, &edge_pl, edge_node, cloud);
             assert!(migrated > 0);
             pl.stages.len()
         })

@@ -22,7 +22,10 @@ fn records(n: i64) -> Vec<Record> {
             Record::new(vec![
                 Value::Timestamp(i * MICROS_PER_SEC),
                 Value::Int(i % 6),
-                Value::Point { x: 4.3 + (i as f64) * 1e-5, y: 50.8 },
+                Value::Point {
+                    x: 4.3 + (i as f64) * 1e-5,
+                    y: 50.8,
+                },
                 Value::Float((i % 600) as f64),
             ])
         })
@@ -61,7 +64,9 @@ fn bench_windows(c: &mut Criterion) {
     group.bench_function("tumbling_60s", |b| {
         let q = Query::from("s").window(
             keys(),
-            WindowSpec::Tumbling { size: 60 * MICROS_PER_SEC },
+            WindowSpec::Tumbling {
+                size: 60 * MICROS_PER_SEC,
+            },
             aggs(),
         );
         b.iter(|| run(&q, base.clone()))
@@ -94,7 +99,9 @@ fn bench_windows(c: &mut Criterion) {
     group.bench_function("tumbling_trajectory_agg", |b| {
         let q = Query::from("s").window(
             keys(),
-            WindowSpec::Tumbling { size: 60 * MICROS_PER_SEC },
+            WindowSpec::Tumbling {
+                size: 60 * MICROS_PER_SEC,
+            },
             vec![WindowAgg::new(
                 "traj",
                 AggSpec::Custom(Arc::new(TrajectoryAgg::new("pos", "ts"))),

@@ -26,8 +26,7 @@ fn main() {
     // ------------------------------------------------------------------
     let (topo, sensors) = Topology::train_fleet(6);
     let query = demo_queries().remove(0);
-    let placement =
-        place(&query, &topo, sensors[0], PlacementStrategy::EdgeFirst).unwrap();
+    let placement = place(&query, &topo, sensors[0], PlacementStrategy::EdgeFirst).unwrap();
     println!("Figure 1 — topology (6 trains):");
     for node in topo.nodes() {
         println!("  {:?} {}", node.kind, node.name);
@@ -82,12 +81,7 @@ fn main() {
         features.push(viz::feature(viz::zone_geometry(&zone.geometry), props));
     }
     // Train positions sampled every 30 s.
-    let sampled: Vec<Record> = workload
-        .records
-        .iter()
-        .step_by(30 * 6)
-        .cloned()
-        .collect();
+    let sampled: Vec<Record> = workload.records.iter().step_by(30 * 6).cloned().collect();
     features.extend(viz::records_to_features(&sampled, &schema, "pos"));
     let fig2 = viz::feature_collection(features);
     viz::write_json(out.join("fig2_fleet.geojson"), &fig2).unwrap();

@@ -17,9 +17,7 @@ use nebulameos_bench::{measure_all, Workload};
 fn main() {
     let release = cfg!(debug_assertions);
     if release {
-        eprintln!(
-            "note: running a debug build; use --release for meaningful rates"
-        );
+        eprintln!("note: running a debug build; use --release for meaningful rates");
     }
 
     eprintln!("generating workload (6 trains, 1 demo hour, 250 ms ticks)...");
@@ -36,7 +34,11 @@ fn main() {
 
     println!(
         "{:<26} | {:>16} | {:>22} | {:>7} | {:>8} | {:>12}",
-        "Query (paper §3)", "paper throughput", "measured throughput", "B/event", "outputs",
+        "Query (paper §3)",
+        "paper throughput",
+        "measured throughput",
+        "B/event",
+        "outputs",
         "p99 lat (ms)"
     );
     println!("{}", "-".repeat(110));
@@ -87,7 +89,6 @@ fn main() {
     let out = std::path::Path::new("bench_results");
     std::fs::create_dir_all(out).expect("create bench_results/");
     let path = out.join("paper_table.json");
-    std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap())
-        .expect("write results");
+    std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap()).expect("write results");
     eprintln!("\nwrote {}", path.display());
 }

@@ -21,19 +21,62 @@ pub struct PaperRow {
 
 /// The paper's reported per-query throughput ("Table 1").
 pub const PAPER_RESULTS: [PaperRow; 8] = [
-    PaperRow { id: 1, name: "Q1 Alert Filtering", paper_mb: 2.24, paper_keps: 20.0 },
-    PaperRow { id: 2, name: "Q2 Noise Monitoring", paper_mb: 2.24, paper_keps: 20.0 },
-    PaperRow { id: 3, name: "Q3 Dynamic Speed Limit", paper_mb: 2.24, paper_keps: 20.0 },
-    PaperRow { id: 4, name: "Q4 Weather Speed Zones", paper_mb: 2.24, paper_keps: 20.0 },
-    PaperRow { id: 5, name: "Q5 Battery Monitoring", paper_mb: 0.61, paper_keps: 8.0 },
-    PaperRow { id: 6, name: "Q6 Heavy Passenger Load", paper_mb: 3.68, paper_keps: 32.0 },
-    PaperRow { id: 7, name: "Q7 Unscheduled Stops", paper_mb: 0.40, paper_keps: 10.0 },
-    PaperRow { id: 8, name: "Q8 Monitoring Brakes", paper_mb: 2.24, paper_keps: 20.0 },
+    PaperRow {
+        id: 1,
+        name: "Q1 Alert Filtering",
+        paper_mb: 2.24,
+        paper_keps: 20.0,
+    },
+    PaperRow {
+        id: 2,
+        name: "Q2 Noise Monitoring",
+        paper_mb: 2.24,
+        paper_keps: 20.0,
+    },
+    PaperRow {
+        id: 3,
+        name: "Q3 Dynamic Speed Limit",
+        paper_mb: 2.24,
+        paper_keps: 20.0,
+    },
+    PaperRow {
+        id: 4,
+        name: "Q4 Weather Speed Zones",
+        paper_mb: 2.24,
+        paper_keps: 20.0,
+    },
+    PaperRow {
+        id: 5,
+        name: "Q5 Battery Monitoring",
+        paper_mb: 0.61,
+        paper_keps: 8.0,
+    },
+    PaperRow {
+        id: 6,
+        name: "Q6 Heavy Passenger Load",
+        paper_mb: 3.68,
+        paper_keps: 32.0,
+    },
+    PaperRow {
+        id: 7,
+        name: "Q7 Unscheduled Stops",
+        paper_mb: 0.40,
+        paper_keps: 10.0,
+    },
+    PaperRow {
+        id: 8,
+        name: "Q8 Monitoring Brakes",
+        paper_mb: 2.24,
+        paper_keps: 20.0,
+    },
 ];
 
 /// The demo queries in paper order with the standard parameterization.
 pub fn demo_queries() -> Vec<Query> {
-    nebulameos::all_demo_queries().into_iter().map(|(_, q)| q).collect()
+    nebulameos::all_demo_queries()
+        .into_iter()
+        .map(|(_, q)| q)
+        .collect()
 }
 
 /// A materialized benchmark workload: one fleet dataset plus everything
@@ -59,7 +102,11 @@ impl Workload {
         let net = sim.network();
         let weather = sim.weather().clone();
         let records = sim.into_records();
-        Workload { net, weather, records }
+        Workload {
+            net,
+            weather,
+            records,
+        }
     }
 
     /// The standard measurement workload (~86k events: one demo hour at
@@ -75,11 +122,7 @@ impl Workload {
 
     /// Builds an environment replaying this workload.
     pub fn environment(&self) -> StreamEnvironment {
-        sncb::demo::demo_environment_with(
-            &self.net,
-            self.weather.clone(),
-            self.records.clone(),
-        )
+        sncb::demo::demo_environment_with(&self.net, self.weather.clone(), self.records.clone())
     }
 
     /// Runs a query over the workload, discarding results into a

@@ -4,27 +4,27 @@
 //! This is the paper's §2.3 integration point: NebulaMEOS "adds custom
 //! operators, including `MeosAtStbox_Expression`, which incorporate
 //! spatial predicates such as `edwithin` and `tpoint_at_stbox`". Here
-//! every such predicate is a [`ScalarFunction`] resolved by name at query
+//! every such predicate is a [`ScalarFunction`](nebula::expr::ScalarFunction)
+//! resolved by name at query
 //! bind time; the engine core never learns about geometry.
 //!
 //! All geodetic computations use the haversine metric (coordinates are
 //! WGS84 lon/lat degrees, distances metres).
 
-use crate::values::{
-    as_geometry, as_point, as_stbox, as_tfloat, as_tpoint, geometry_value,
-    stbox_value, tpoint_value,
-};
 #[cfg(test)]
 use crate::values::tfloat_value;
+use crate::values::{
+    as_geometry, as_point, as_stbox, as_tfloat, as_tpoint, geometry_value, stbox_value,
+    tpoint_value,
+};
 use meos::boxes::STBox;
-use meos::geo::{Geometry, Metric};
 #[cfg(test)]
 use meos::geo::Point;
+use meos::geo::{Geometry, Metric};
 use meos::time::{Period, TimestampTz};
 use meos::tpoint;
 use nebula::prelude::{
-    ClosureFunction, DataType, Expr, FunctionRegistry, NebulaError, Plugin,
-    Value,
+    ClosureFunction, DataType, Expr, FunctionRegistry, NebulaError, Plugin, Value,
 };
 
 /// Geometry literal expression (fences, zones in query text).
@@ -258,7 +258,10 @@ impl Plugin for MeosPlugin {
                     num.1 += c.y * w;
                     den += w;
                 }
-                Ok(Value::Point { x: num.0 / den, y: num.1 / den })
+                Ok(Value::Point {
+                    x: num.0 / den,
+                    y: num.1 / den,
+                })
             },
         ))?;
 
@@ -298,8 +301,7 @@ impl Plugin for MeosPlugin {
                 Ok(Value::Float(if den > 0.0 {
                     num / den
                 } else {
-                    seqs.iter().map(|s| s.twavg()).sum::<f64>()
-                        / seqs.len().max(1) as f64
+                    seqs.iter().map(|s| s.twavg()).sum::<f64>() / seqs.len().max(1) as f64
                 }))
             },
         ))?;
@@ -346,12 +348,12 @@ impl Plugin for MeosPlugin {
                 let ymin = num(&args[2], "make_stbox")?;
                 let ymax = num(&args[3], "make_stbox")?;
                 let t = if args.len() == 6 {
-                    let t0 = args[4].as_timestamp().ok_or_else(|| {
-                        NebulaError::Eval("make_stbox: bad tmin".into())
-                    })?;
-                    let t1 = args[5].as_timestamp().ok_or_else(|| {
-                        NebulaError::Eval("make_stbox: bad tmax".into())
-                    })?;
+                    let t0 = args[4]
+                        .as_timestamp()
+                        .ok_or_else(|| NebulaError::Eval("make_stbox: bad tmin".into()))?;
+                    let t1 = args[5]
+                        .as_timestamp()
+                        .ok_or_else(|| NebulaError::Eval("make_stbox: bad tmax".into()))?;
                     Some(
                         Period::inclusive(
                             TimestampTz::from_micros(t0),
@@ -386,7 +388,8 @@ impl Plugin for MeosPlugin {
 /// Convenience: a registry with builtins + the MEOS plugin loaded.
 pub fn meos_registry() -> FunctionRegistry {
     let mut reg = FunctionRegistry::with_builtins();
-    reg.load_plugin(&MeosPlugin).expect("meos plugin registers cleanly");
+    reg.load_plugin(&MeosPlugin)
+        .expect("meos plugin registers cleanly");
     reg
 }
 
@@ -443,7 +446,10 @@ mod tests {
             center: Point::new(4.35, 50.85),
             radius: 1_000.0,
         });
-        let inside = Value::Point { x: 4.352, y: 50.851 };
+        let inside = Value::Point {
+            x: 4.352,
+            y: 50.851,
+        };
         let outside = Value::Point { x: 4.50, y: 50.85 };
         assert_eq!(
             invoke("st_contains", &[fence.clone(), inside.clone()]),
@@ -469,7 +475,10 @@ mod tests {
         // A point 4.35,50.85 is ~5.5 km north of the path.
         let p = Value::Point { x: 4.35, y: 50.85 };
         assert_eq!(
-            invoke("edwithin", &[p.clone(), target.clone(), Value::Float(1_000.0)]),
+            invoke(
+                "edwithin",
+                &[p.clone(), target.clone(), Value::Float(1_000.0)]
+            ),
             Value::Bool(false)
         );
         assert_eq!(
@@ -480,18 +489,14 @@ mod tests {
 
     #[test]
     fn tpoint_at_stbox_restricts() {
-        let bx = stbox_value(
-            STBox::from_coords(4.32, 4.36, 50.0, 51.0, None).unwrap(),
-        );
+        let bx = stbox_value(STBox::from_coords(4.32, 4.36, 50.0, 51.0, None).unwrap());
         let out = invoke("tpoint_at_stbox", &[tp(), bx]);
         let t = as_tpoint(&out).unwrap();
         // 0.04 of 0.10 degrees -> 40% of 600 s = 240 s.
         let dur = t.duration().as_secs_f64();
         assert!((dur - 240.0).abs() < 2.0, "{dur}");
         // Disjoint box -> Null.
-        let far = stbox_value(
-            STBox::from_coords(10.0, 11.0, 10.0, 11.0, None).unwrap(),
-        );
+        let far = stbox_value(STBox::from_coords(10.0, 11.0, 10.0, 11.0, None).unwrap());
         assert!(invoke("tpoint_at_stbox", &[tp(), far]).is_null());
     }
 
@@ -500,10 +505,7 @@ mod tests {
         assert_eq!(invoke("tpoint_num_instants", &[tp()]), Value::Int(2));
         let len = invoke("tpoint_length_m", &[tp()]).as_float().unwrap();
         assert!((6_000.0..8_000.0).contains(&len), "{len}");
-        assert_eq!(
-            invoke("tpoint_duration_s", &[tp()]),
-            Value::Float(600.0)
-        );
+        assert_eq!(invoke("tpoint_duration_s", &[tp()]), Value::Float(600.0));
         assert_eq!(invoke("tpoint_start_ts", &[tp()]), Value::Timestamp(0));
         let c = invoke("tpoint_twcentroid", &[tp()]);
         let (x, y) = c.as_point().unwrap();
@@ -522,8 +524,14 @@ mod tests {
             .unwrap()
             .into(),
         );
-        assert_eq!(invoke("tfloat_twavg", std::slice::from_ref(&tf)), Value::Float(15.0));
-        assert_eq!(invoke("tfloat_min", std::slice::from_ref(&tf)), Value::Float(10.0));
+        assert_eq!(
+            invoke("tfloat_twavg", std::slice::from_ref(&tf)),
+            Value::Float(15.0)
+        );
+        assert_eq!(
+            invoke("tfloat_min", std::slice::from_ref(&tf)),
+            Value::Float(10.0)
+        );
         assert_eq!(invoke("tfloat_max", &[tf]), Value::Float(20.0));
     }
 

@@ -10,8 +10,8 @@
 use crate::values::as_point;
 use meos::geo::{Geometry, Metric, Point};
 use nebula::prelude::{
-    ClosureFunction, DataType, Field, FunctionRegistry, NebulaError, Operator,
-    OperatorFactory, Record, RecordBuffer, SchemaRef, StreamMessage, Value,
+    ClosureFunction, DataType, Field, FunctionRegistry, NebulaError, Operator, OperatorFactory,
+    Record, RecordBuffer, SchemaRef, StreamMessage, Value,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -30,7 +30,11 @@ impl Geofence {
     /// Builds a fence, precomputing its bounding box for pruning.
     pub fn new(name: impl Into<String>, geometry: Geometry) -> Self {
         let bbox = geometry.bbox(Metric::Haversine);
-        Geofence { name: name.into(), geometry, bbox }
+        Geofence {
+            name: name.into(),
+            geometry,
+            bbox,
+        }
     }
 
     /// Containment with bbox pre-filter.
@@ -174,28 +178,18 @@ impl Operator for GeofenceEventsOp {
         self.output.clone()
     }
 
-    fn process(
-        &mut self,
-        buf: RecordBuffer,
-        out: &mut Vec<StreamMessage>,
-    ) -> nebula::Result<()> {
+    fn process(&mut self, buf: RecordBuffer, out: &mut Vec<StreamMessage>) -> nebula::Result<()> {
         let mut emitted = Vec::new();
         for rec in buf.records() {
             let key = rec
                 .get(self.key_col)
                 .and_then(Value::as_int)
-                .ok_or_else(|| {
-                    NebulaError::Eval("geofence_events: non-int key".into())
-                })?;
+                .ok_or_else(|| NebulaError::Eval("geofence_events: non-int key".into()))?;
             let p = match rec.get(self.pos_col) {
                 Some(v) if !v.is_null() => as_point(v)?,
                 _ => continue,
             };
-            let now: Option<usize> = self
-                .set
-                .fences
-                .iter()
-                .position(|f| f.contains(&p));
+            let now: Option<usize> = self.set.fences.iter().position(|f| f.contains(&p));
             let before = self.state.get(&key).copied().flatten();
             if now != before {
                 if let Some(b) = before {
@@ -234,11 +228,17 @@ mod tests {
             vec![
                 (
                     "west".to_string(),
-                    Geometry::Circle { center: Point::new(4.30, 50.85), radius: 900.0 },
+                    Geometry::Circle {
+                        center: Point::new(4.30, 50.85),
+                        radius: 900.0,
+                    },
                 ),
                 (
                     "east".to_string(),
-                    Geometry::Circle { center: Point::new(4.40, 50.85), radius: 900.0 },
+                    Geometry::Circle {
+                        center: Point::new(4.40, 50.85),
+                        radius: 900.0,
+                    },
                 ),
             ],
         )

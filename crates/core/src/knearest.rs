@@ -10,8 +10,8 @@
 use crate::values::as_point;
 use meos::geo::{Metric, Point};
 use nebula::prelude::{
-    DataType, Field, FunctionRegistry, NebulaError, Operator, OperatorFactory,
-    Record, RecordBuffer, Schema, SchemaRef, StreamMessage, Value,
+    DataType, Field, FunctionRegistry, NebulaError, Operator, OperatorFactory, Record,
+    RecordBuffer, Schema, SchemaRef, StreamMessage, Value,
 };
 use std::collections::HashMap;
 
@@ -57,9 +57,9 @@ impl OperatorFactory for KNearestFactory {
         _registry: &FunctionRegistry,
     ) -> nebula::Result<Box<dyn Operator>> {
         let resolve = |f: &str| {
-            input.index_of(f).ok_or_else(|| {
-                NebulaError::Plan(format!("k_nearest: unknown field '{f}'"))
-            })
+            input
+                .index_of(f)
+                .ok_or_else(|| NebulaError::Plan(format!("k_nearest: unknown field '{f}'")))
         };
         let key_col = resolve(&self.key_field)?;
         let pos_col = resolve(&self.pos_field)?;
@@ -111,11 +111,7 @@ impl Operator for KNearestOp {
         self.output.clone()
     }
 
-    fn process(
-        &mut self,
-        buf: RecordBuffer,
-        out: &mut Vec<StreamMessage>,
-    ) -> nebula::Result<()> {
+    fn process(&mut self, buf: RecordBuffer, out: &mut Vec<StreamMessage>) -> nebula::Result<()> {
         let mut emitted: Vec<Record> = Vec::new();
         for rec in buf.records() {
             let key = rec
@@ -144,23 +140,20 @@ impl Operator for KNearestOp {
             let mut neighbours: Vec<(i64, Point, f64)> = self
                 .latest
                 .iter()
-                .filter(|(id, (_, seen))| {
-                    **id != key && ts - seen <= self.staleness_us
-                })
-                .map(|(id, (p, _))| {
-                    (*id, *p, Metric::Haversine.distance(&pos, p))
-                })
+                .filter(|(id, (_, seen))| **id != key && ts - seen <= self.staleness_us)
+                .map(|(id, (p, _))| (*id, *p, Metric::Haversine.distance(&pos, p)))
                 .collect();
             neighbours.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"));
-            for (rank, (id, npos, dist)) in
-                neighbours.into_iter().take(self.k).enumerate()
-            {
+            for (rank, (id, npos, dist)) in neighbours.into_iter().take(self.k).enumerate() {
                 emitted.push(Record::new(vec![
                     Value::Timestamp(ts),
                     Value::Int(key),
                     Value::Point { x: pos.x, y: pos.y },
                     Value::Int(id),
-                    Value::Point { x: npos.x, y: npos.y },
+                    Value::Point {
+                        x: npos.x,
+                        y: npos.y,
+                    },
                     Value::Float(dist),
                     Value::Int(rank as i64 + 1),
                 ]));
@@ -227,11 +220,7 @@ mod tests {
         o.process(
             RecordBuffer::new(
                 schema(),
-                vec![
-                    rec(0, 1, 4.31),
-                    rec(0, 2, 4.35),
-                    rec(1, 0, 4.30),
-                ],
+                vec![rec(0, 1, 4.31), rec(0, 2, 4.35), rec(1, 0, 4.30)],
             ),
             &mut out,
         )
@@ -281,7 +270,8 @@ mod tests {
         let rows: Vec<Record> = (0..20)
             .flat_map(|s| vec![rec(s, 1, 4.31), rec(s, 0, 4.30)])
             .collect();
-        o.process(RecordBuffer::new(schema(), rows), &mut out).unwrap();
+        o.process(RecordBuffer::new(schema(), rows), &mut out)
+            .unwrap();
         let recs = data_records(&out);
         let train0 = recs
             .iter()
@@ -317,9 +307,12 @@ mod tests {
     #[test]
     fn factory_validates() {
         let reg = meos_registry();
-        assert!(KNearestFactory { k: 0, ..KNearestFactory::standard(1) }
-            .create(schema(), &reg)
-            .is_err());
+        assert!(KNearestFactory {
+            k: 0,
+            ..KNearestFactory::standard(1)
+        }
+        .create(schema(), &reg)
+        .is_err());
         assert!(KNearestFactory {
             key_field: "nope".into(),
             ..KNearestFactory::standard(1)
@@ -334,9 +327,7 @@ mod tests {
         let mut env = StreamEnvironment::new();
         env.load_plugin(&crate::functions::MeosPlugin).unwrap();
         let rows: Vec<Record> = (0..60)
-            .flat_map(|s| {
-                (0..3).map(move |id| rec(s, id, 4.30 + id as f64 * 0.01))
-            })
+            .flat_map(|s| (0..3).map(move |id| rec(s, id, 4.30 + id as f64 * 0.01)))
             .collect();
         env.add_source(
             "fleet",

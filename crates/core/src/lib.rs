@@ -67,15 +67,14 @@ pub use functions::{geom, meos_registry, point_lit, stbox, MeosPlugin};
 pub use geofence::{Geofence, GeofenceEventsFactory, GeofenceSet};
 pub use knearest::KNearestFactory;
 pub use queries::{
-    all_demo_queries, q1_alert_filtering, q2_noise_monitoring,
-    q3_dynamic_speed_limit, q4_weather_speed_zones, q5_battery_monitoring,
-    q6_heavy_load, q7_unscheduled_stops, q8_brake_monitoring, within_stbox,
-    DemoContext, DemoZones, WeatherProvider, FLEET_FIELDS, FLEET_STREAM,
+    all_demo_queries, q1_alert_filtering, q2_noise_monitoring, q3_dynamic_speed_limit,
+    q4_weather_speed_zones, q5_battery_monitoring, q6_heavy_load, q7_unscheduled_stops,
+    q8_brake_monitoring, within_stbox, DemoContext, DemoZones, WeatherProvider, FLEET_FIELDS,
+    FLEET_STREAM,
 };
 pub use stwindow::{TFloatSeqAgg, TrajectoryAgg};
 pub use trajectory::{ImputationFactory, TrajectoryBuilderFactory};
 pub use values::{
-    as_geometry, as_meos_ts, as_point, as_stbox, as_tfloat, as_tpoint,
-    geometry_value, stbox_value, tfloat_value, tpoint_value, GeometryValue,
-    STBoxValue, TFloatValue, TPointValue,
+    as_geometry, as_meos_ts, as_point, as_stbox, as_tfloat, as_tpoint, geometry_value, stbox_value,
+    tfloat_value, tpoint_value, GeometryValue, STBoxValue, TFloatValue, TPointValue,
 };

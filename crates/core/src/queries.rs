@@ -27,9 +27,8 @@
 use crate::values::as_point;
 use meos::geo::{Geometry, Metric, Point};
 use nebula::prelude::{
-    call, col, lit, ClosureFunction, DataType, Expr, FunctionRegistry,
-    Pattern, PatternStep, Plugin, Query, Value, WindowAgg, WindowSpec,
-    AggSpec, MICROS_PER_SEC,
+    call, col, lit, AggSpec, ClosureFunction, DataType, Expr, FunctionRegistry, Pattern,
+    PatternStep, Plugin, Query, Value, WindowAgg, WindowSpec, MICROS_PER_SEC,
 };
 use std::sync::Arc;
 
@@ -87,7 +86,10 @@ pub struct DemoContext {
 impl DemoContext {
     /// Builds a context without weather.
     pub fn new(zones: DemoZones) -> Self {
-        DemoContext { zones: Arc::new(zones), weather: None }
+        DemoContext {
+            zones: Arc::new(zones),
+            weather: None,
+        }
     }
 
     /// Attaches a weather provider.
@@ -250,8 +252,9 @@ impl Plugin for DemoContext {
 /// inside a maintenance zone.
 pub fn q1_alert_filtering(line_limit_kmh: f64) -> Query {
     let speeding = col("speed_kmh").gt(lit(line_limit_kmh));
-    let equipment =
-        col("brake_bar").lt(lit(3.0)).or(col("battery_v").lt(lit(63.0)));
+    let equipment = col("brake_bar")
+        .lt(lit(3.0))
+        .or(col("battery_v").lt(lit(63.0)));
     Query::from(FLEET_STREAM)
         .map_extend(vec![
             ("speeding", speeding.clone()),
@@ -279,7 +282,9 @@ pub fn q2_noise_monitoring(peak_db: f64) -> Query {
         .filter(call("in_noise_zone", vec![col("pos")]))
         .window(
             vec![("train_id", col("train_id"))],
-            WindowSpec::Tumbling { size: 60 * MICROS_PER_SEC },
+            WindowSpec::Tumbling {
+                size: 60 * MICROS_PER_SEC,
+            },
             vec![
                 WindowAgg::new("avg_db", AggSpec::Avg(col("noise_db"))),
                 WindowAgg::new("peak_db", AggSpec::Max(col("noise_db"))),
@@ -451,29 +456,47 @@ mod tests {
         DemoZones {
             maintenance: vec![(
                 "m0".into(),
-                Geometry::Circle { center: Point::new(4.35, 50.85), radius: 2_000.0 },
+                Geometry::Circle {
+                    center: Point::new(4.35, 50.85),
+                    radius: 2_000.0,
+                },
             )],
             noise_sensitive: vec![(
                 "n0".into(),
-                Geometry::Circle { center: Point::new(4.40, 50.90), radius: 1_500.0 },
+                Geometry::Circle {
+                    center: Point::new(4.40, 50.90),
+                    radius: 1_500.0,
+                },
             )],
             high_risk: vec![(
                 "c0".into(),
-                Geometry::Circle { center: Point::new(4.50, 50.95), radius: 1_000.0 },
+                Geometry::Circle {
+                    center: Point::new(4.50, 50.95),
+                    radius: 1_000.0,
+                },
                 80.0,
             )],
             station_areas: vec![(
                 "s0".into(),
-                Geometry::Circle { center: Point::new(4.30, 50.80), radius: 400.0 },
+                Geometry::Circle {
+                    center: Point::new(4.30, 50.80),
+                    radius: 400.0,
+                },
             )],
             workshops: vec![
                 (
                     "w0".into(),
-                    Geometry::Circle { center: Point::new(4.60, 51.00), radius: 500.0 },
+                    Geometry::Circle {
+                        center: Point::new(4.60, 51.00),
+                        radius: 500.0,
+                    },
                 ),
                 (
                     "w1".into(),
-                    Geometry::Circle { center: Point::new(4.20, 50.70), radius: 500.0 },
+                    Geometry::Circle {
+                        center: Point::new(4.20, 50.70),
+                        radius: 500.0,
+                    },
                 ),
             ],
         }
@@ -525,11 +548,17 @@ mod tests {
         let inside = Value::Point { x: 4.35, y: 50.85 };
         let outside = Value::Point { x: 5.5, y: 50.0 };
         assert_eq!(
-            reg.get("in_maintenance").unwrap().invoke(std::slice::from_ref(&inside)).unwrap(),
+            reg.get("in_maintenance")
+                .unwrap()
+                .invoke(std::slice::from_ref(&inside))
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            reg.get("in_maintenance").unwrap().invoke(std::slice::from_ref(&outside)).unwrap(),
+            reg.get("in_maintenance")
+                .unwrap()
+                .invoke(std::slice::from_ref(&outside))
+                .unwrap(),
             Value::Bool(false)
         );
         let lim = reg
@@ -539,7 +568,10 @@ mod tests {
             .unwrap();
         assert_eq!(lim, Value::Float(80.0));
         assert_eq!(
-            reg.get("risk_speed_limit").unwrap().invoke(std::slice::from_ref(&outside)).unwrap(),
+            reg.get("risk_speed_limit")
+                .unwrap()
+                .invoke(std::slice::from_ref(&outside))
+                .unwrap(),
             Value::Float(999.0)
         );
         let name = reg
@@ -612,9 +644,7 @@ mod tests {
         let alerts: Vec<String> = got
             .records()
             .iter()
-            .map(|r| {
-                r.get(r.len() - 1).unwrap().as_text().unwrap().to_string()
-            })
+            .map(|r| r.get(r.len() - 1).unwrap().as_text().unwrap().to_string())
             .collect();
         assert_eq!(alerts, vec!["equipment", "speeding"]);
     }
@@ -623,8 +653,7 @@ mod tests {
     fn within_stbox_predicate() {
         let reg = registry();
         let schema = fleet_schema();
-        let bx =
-            meos::boxes::STBox::from_coords(4.0, 5.0, 50.0, 51.0, None).unwrap();
+        let bx = meos::boxes::STBox::from_coords(4.0, 5.0, 50.0, 51.0, None).unwrap();
         let e = within_stbox("pos", bx);
         let (bound, t) = e.bind(&schema, &reg).unwrap();
         assert_eq!(t, DataType::Bool);

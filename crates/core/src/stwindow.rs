@@ -12,8 +12,8 @@ use meos::geo::Point;
 use meos::temporal::{Interp, TInstant, TSequence, Temporal};
 use meos::time::TimestampTz;
 use nebula::prelude::{
-    Aggregator, AggregatorFactory, BoundExpr, DataType, Expr, FunctionRegistry,
-    NebulaError, Record, Value,
+    Aggregator, AggregatorFactory, BoundExpr, DataType, Expr, FunctionRegistry, NebulaError,
+    Record, Value,
 };
 
 /// Builds a `tgeompoint` sequence from the window's (ts, position)
@@ -29,7 +29,10 @@ pub struct TrajectoryAgg {
 impl TrajectoryAgg {
     /// Standard fleet layout constructor.
     pub fn new(pos_field: impl Into<String>, ts_field: impl Into<String>) -> Self {
-        TrajectoryAgg { pos_field: pos_field.into(), ts_field: ts_field.into() }
+        TrajectoryAgg {
+            pos_field: pos_field.into(),
+            ts_field: ts_field.into(),
+        }
     }
 }
 
@@ -54,13 +57,17 @@ impl AggregatorFactory for TrajectoryAgg {
         input: &nebula::schema::Schema,
         _registry: &FunctionRegistry,
     ) -> nebula::Result<Box<dyn Aggregator>> {
-        let pos_col = input.index_of(&self.pos_field).ok_or_else(|| {
-            NebulaError::Plan(format!("unknown field '{}'", self.pos_field))
-        })?;
-        let ts_col = input.index_of(&self.ts_field).ok_or_else(|| {
-            NebulaError::Plan(format!("unknown field '{}'", self.ts_field))
-        })?;
-        Ok(Box::new(TrajectoryAccum { pos_col, ts_col, samples: Vec::new() }))
+        let pos_col = input
+            .index_of(&self.pos_field)
+            .ok_or_else(|| NebulaError::Plan(format!("unknown field '{}'", self.pos_field)))?;
+        let ts_col = input
+            .index_of(&self.ts_field)
+            .ok_or_else(|| NebulaError::Plan(format!("unknown field '{}'", self.ts_field)))?;
+        Ok(Box::new(TrajectoryAccum {
+            pos_col,
+            ts_col,
+            samples: Vec::new(),
+        }))
     }
 }
 
@@ -110,7 +117,11 @@ pub struct TFloatSeqAgg {
 impl TFloatSeqAgg {
     /// Linear-interpolated sampling of `expr`.
     pub fn linear(expr: Expr, ts_field: impl Into<String>) -> Self {
-        TFloatSeqAgg { expr, ts_field: ts_field.into(), interp: Interp::Linear }
+        TFloatSeqAgg {
+            expr,
+            ts_field: ts_field.into(),
+            interp: Interp::Linear,
+        }
     }
 }
 
@@ -136,9 +147,9 @@ impl AggregatorFactory for TFloatSeqAgg {
         registry: &FunctionRegistry,
     ) -> nebula::Result<Box<dyn Aggregator>> {
         let (bound, _) = self.expr.bind(input, registry)?;
-        let ts_col = input.index_of(&self.ts_field).ok_or_else(|| {
-            NebulaError::Plan(format!("unknown ts field '{}'", self.ts_field))
-        })?;
+        let ts_col = input
+            .index_of(&self.ts_field)
+            .ok_or_else(|| NebulaError::Plan(format!("unknown ts field '{}'", self.ts_field)))?;
         Ok(Box::new(TFloatAccum {
             expr: bound,
             ts_col,
@@ -234,8 +245,7 @@ mod tests {
     #[test]
     fn tfloat_agg_collects_expression() {
         let reg = meos_registry();
-        let factory =
-            TFloatSeqAgg::linear(col("speed_kmh").div(lit(3.6)), "ts");
+        let factory = TFloatSeqAgg::linear(col("speed_kmh").div(lit(3.6)), "ts");
         let mut agg = factory.create(&schema(), &reg).unwrap();
         agg.update(&rec(0, 1, 4.3, 36.0)).unwrap();
         agg.update(&rec(10, 1, 4.31, 72.0)).unwrap();
@@ -263,7 +273,9 @@ mod tests {
         );
         let q = Query::from("fleet").window(
             vec![("train", col("train_id"))],
-            WindowSpec::Tumbling { size: 60 * MICROS_PER_SEC },
+            WindowSpec::Tumbling {
+                size: 60 * MICROS_PER_SEC,
+            },
             vec![
                 WindowAgg::new(
                     "traj",

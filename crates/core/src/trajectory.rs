@@ -16,8 +16,8 @@ use meos::geo::{Metric, Point};
 use meos::temporal::{Interp, TSequence, Temporal};
 use meos::time::{TimeDelta, TimestampTz};
 use nebula::prelude::{
-    DataType, Field, FunctionRegistry, NebulaError, Operator, OperatorFactory,
-    Record, RecordBuffer, Schema, SchemaRef, StreamMessage, Value,
+    DataType, Field, FunctionRegistry, NebulaError, Operator, OperatorFactory, Record,
+    RecordBuffer, Schema, SchemaRef, StreamMessage, Value,
 };
 use std::collections::HashMap;
 
@@ -60,9 +60,7 @@ impl OperatorFactory for TrajectoryBuilderFactory {
     ) -> nebula::Result<Box<dyn Operator>> {
         let resolve = |f: &str| {
             input.index_of(f).ok_or_else(|| {
-                NebulaError::Plan(format!(
-                    "trajectory_builder: unknown field '{f}'"
-                ))
+                NebulaError::Plan(format!("trajectory_builder: unknown field '{f}'"))
             })
         };
         let key_col = resolve(&self.key_field)?;
@@ -120,42 +118,30 @@ impl Operator for TrajectoryBuilderOp {
         self.output.clone()
     }
 
-    fn process(
-        &mut self,
-        buf: RecordBuffer,
-        out: &mut Vec<StreamMessage>,
-    ) -> nebula::Result<()> {
+    fn process(&mut self, buf: RecordBuffer, out: &mut Vec<StreamMessage>) -> nebula::Result<()> {
         let mut emitted = Vec::new();
         for rec in buf.records() {
-            let key_val = rec
-                .get(self.key_col)
-                .cloned()
-                .unwrap_or(Value::Null);
-            let key = key_val.as_int().ok_or_else(|| {
-                NebulaError::Eval("trajectory_builder: non-int key".into())
-            })?;
+            let key_val = rec.get(self.key_col).cloned().unwrap_or(Value::Null);
+            let key = key_val
+                .as_int()
+                .ok_or_else(|| NebulaError::Eval("trajectory_builder: non-int key".into()))?;
             let ts = rec
                 .get(self.ts_col)
                 .and_then(Value::as_timestamp)
-                .ok_or_else(|| {
-                    NebulaError::Eval("trajectory_builder: missing ts".into())
-                })?;
+                .ok_or_else(|| NebulaError::Eval("trajectory_builder: missing ts".into()))?;
             let pos = match rec.get(self.pos_col) {
                 Some(v) if !v.is_null() => as_point(v)?,
                 _ => continue,
             };
-            let (stored_key, builder) =
-                self.builders.entry(key).or_insert_with(|| {
-                    (
-                        key_val.clone(),
-                        SequenceBuilder::new(Interp::Linear)
-                            .with_max_gap(self.max_gap)
-                            .with_max_instants(self.max_instants),
-                    )
-                });
-            if let PushResult::Emitted(done) =
-                builder.push(pos, TimestampTz::from_micros(ts))
-            {
+            let (stored_key, builder) = self.builders.entry(key).or_insert_with(|| {
+                (
+                    key_val.clone(),
+                    SequenceBuilder::new(Interp::Linear)
+                        .with_max_gap(self.max_gap)
+                        .with_max_instants(self.max_instants),
+                )
+            });
+            if let PushResult::Emitted(done) = builder.push(pos, TimestampTz::from_micros(ts)) {
                 let key = stored_key.clone();
                 emitted.push(self.emit(&key, done));
             }
@@ -229,9 +215,9 @@ impl OperatorFactory for ImputationFactory {
         _registry: &FunctionRegistry,
     ) -> nebula::Result<Box<dyn Operator>> {
         let resolve = |f: &str| {
-            input.index_of(f).ok_or_else(|| {
-                NebulaError::Plan(format!("imputation: unknown field '{f}'"))
-            })
+            input
+                .index_of(f)
+                .ok_or_else(|| NebulaError::Plan(format!("imputation: unknown field '{f}'")))
         };
         let key_col = resolve(&self.key_field)?;
         let pos_col = resolve(&self.pos_field)?;
@@ -283,12 +269,12 @@ impl ImputationOp {
             return;
         }
         let (Ok(pa), Ok(pb)) = (
-            a.get(self.pos_col).map(as_point).unwrap_or_else(|| {
-                Err(NebulaError::Eval("no pos".into()))
-            }),
-            b.get(self.pos_col).map(as_point).unwrap_or_else(|| {
-                Err(NebulaError::Eval("no pos".into()))
-            }),
+            a.get(self.pos_col)
+                .map(as_point)
+                .unwrap_or_else(|| Err(NebulaError::Eval("no pos".into()))),
+            b.get(self.pos_col)
+                .map(as_point)
+                .unwrap_or_else(|| Err(NebulaError::Eval("no pos".into()))),
         ) else {
             return;
         };
@@ -312,10 +298,14 @@ impl ImputationOp {
         for key in keys {
             let buf = self.pending.get_mut(&key).expect("listed");
             buf.sort_by_key(|r| {
-                r.get(self.ts_col).and_then(Value::as_timestamp).unwrap_or(0)
+                r.get(self.ts_col)
+                    .and_then(Value::as_timestamp)
+                    .unwrap_or(0)
             });
             let split = buf.partition_point(|r| {
-                r.get(self.ts_col).and_then(Value::as_timestamp).unwrap_or(0)
+                r.get(self.ts_col)
+                    .and_then(Value::as_timestamp)
+                    .unwrap_or(0)
                     <= wm
             });
             let ready: Vec<Record> = buf.drain(..split).collect();
@@ -332,7 +322,9 @@ impl ImputationOp {
         }
         if !emitted.is_empty() {
             emitted.sort_by_key(|r| {
-                r.get(self.ts_col).and_then(Value::as_timestamp).unwrap_or(0)
+                r.get(self.ts_col)
+                    .and_then(Value::as_timestamp)
+                    .unwrap_or(0)
             });
             out.push(StreamMessage::Data(RecordBuffer::new(
                 self.output.clone(),
@@ -351,28 +343,18 @@ impl Operator for ImputationOp {
         self.output.clone()
     }
 
-    fn process(
-        &mut self,
-        buf: RecordBuffer,
-        _out: &mut Vec<StreamMessage>,
-    ) -> nebula::Result<()> {
+    fn process(&mut self, buf: RecordBuffer, _out: &mut Vec<StreamMessage>) -> nebula::Result<()> {
         for rec in buf.into_records() {
             let key = rec
                 .get(self.key_col)
                 .and_then(Value::as_int)
-                .ok_or_else(|| {
-                    NebulaError::Eval("imputation: non-int key".into())
-                })?;
+                .ok_or_else(|| NebulaError::Eval("imputation: non-int key".into()))?;
             self.pending.entry(key).or_default().push(rec);
         }
         Ok(())
     }
 
-    fn on_watermark(
-        &mut self,
-        wm: i64,
-        out: &mut Vec<StreamMessage>,
-    ) -> nebula::Result<()> {
+    fn on_watermark(&mut self, wm: i64, out: &mut Vec<StreamMessage>) -> nebula::Result<()> {
         self.drain_up_to(wm, out);
         out.push(StreamMessage::Watermark(wm));
         Ok(())
@@ -466,7 +448,12 @@ mod tests {
         op.process(
             RecordBuffer::new(
                 schema(),
-                vec![rec(0, 1, 4.30), rec(0, 2, 5.30), rec(5, 1, 4.31), rec(5, 2, 5.31)],
+                vec![
+                    rec(0, 1, 4.30),
+                    rec(0, 2, 5.30),
+                    rec(5, 1, 4.31),
+                    rec(5, 2, 5.31),
+                ],
             ),
             &mut out,
         )
@@ -474,8 +461,10 @@ mod tests {
         op.on_eos(&mut out).unwrap();
         let recs = data_records(&out);
         assert_eq!(recs.len(), 2);
-        let ids: Vec<i64> =
-            recs.iter().map(|r| r.get(0).unwrap().as_int().unwrap()).collect();
+        let ids: Vec<i64> = recs
+            .iter()
+            .map(|r| r.get(0).unwrap().as_int().unwrap())
+            .collect();
         assert_eq!(ids, vec![1, 2], "deterministic key order on flush");
     }
 
@@ -550,7 +539,9 @@ mod tests {
     #[test]
     fn imputation_watermark_incremental() {
         let reg = meos_registry();
-        let mut op = ImputationFactory::standard().create(schema(), &reg).unwrap();
+        let mut op = ImputationFactory::standard()
+            .create(schema(), &reg)
+            .unwrap();
         let mut out = Vec::new();
         op.process(
             RecordBuffer::new(schema(), vec![rec(1, 1, 4.30), rec(20, 1, 4.33)]),

@@ -105,9 +105,7 @@ pub fn stbox_value(b: STBox) -> Value {
 fn downcast<'a, T: 'static>(v: &'a Value, what: &str) -> nebula::Result<&'a T> {
     v.as_opaque()
         .and_then(|o| o.as_any().downcast_ref::<T>())
-        .ok_or_else(|| {
-            NebulaError::Eval(format!("expected {what}, got {v}"))
-        })
+        .ok_or_else(|| NebulaError::Eval(format!("expected {what}, got {v}")))
 }
 
 /// Extracts a temporal point.

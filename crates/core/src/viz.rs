@@ -27,15 +27,13 @@ pub fn zone_geometry(g: &Geometry) -> Json {
         Geometry::Point(p) => point_geometry(p),
         Geometry::Line(l) => line_geometry(&l.points),
         Geometry::Polygon(poly) => {
-            let mut ring: Vec<Json> =
-                poly.exterior.iter().map(|p| json!([p.x, p.y])).collect();
+            let mut ring: Vec<Json> = poly.exterior.iter().map(|p| json!([p.x, p.y])).collect();
             if let Some(first) = ring.first().cloned() {
                 ring.push(first);
             }
             let mut rings = vec![Json::Array(ring)];
             for hole in &poly.holes {
-                let mut r: Vec<Json> =
-                    hole.iter().map(|p| json!([p.x, p.y])).collect();
+                let mut r: Vec<Json> = hole.iter().map(|p| json!([p.x, p.y])).collect();
                 if let Some(first) = r.first().cloned() {
                     r.push(first);
                 }
@@ -50,10 +48,7 @@ pub fn zone_geometry(g: &Geometry) -> Json {
             let mut ring = Vec::with_capacity(33);
             for i in 0..=32 {
                 let a = i as f64 / 32.0 * std::f64::consts::TAU;
-                ring.push(json!([
-                    center.x + rx * a.cos(),
-                    center.y + ry * a.sin()
-                ]));
+                ring.push(json!([center.x + rx * a.cos(), center.y + ry * a.sin()]));
             }
             json!({ "type": "Polygon", "coordinates": [ring] })
         }
@@ -85,11 +80,7 @@ fn value_to_json(v: &Value) -> Json {
 
 /// Converts result records into point features: the record's `pos_field`
 /// becomes the geometry, every other primitive field a property.
-pub fn records_to_features(
-    records: &[Record],
-    schema: &SchemaRef,
-    pos_field: &str,
-) -> Vec<Json> {
+pub fn records_to_features(records: &[Record], schema: &SchemaRef, pos_field: &str) -> Vec<Json> {
     let Some(pos_col) = schema.index_of(pos_field) else {
         return Vec::new();
     };
@@ -118,9 +109,9 @@ pub fn trajectory_feature(tp: &Temporal<Point>, props: Map<String, Json>) -> Jso
     let coords: Vec<Json> = seqs
         .iter()
         .flat_map(|s: &TSequence<Point>| {
-            s.instants().iter().map(|i| {
-                json!([i.value.x, i.value.y, 0.0, i.t.micros() / 1_000_000])
-            })
+            s.instants()
+                .iter()
+                .map(|i| json!([i.value.x, i.value.y, 0.0, i.t.micros() / 1_000_000]))
         })
         .collect();
     json!({

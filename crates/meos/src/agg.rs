@@ -8,9 +8,7 @@ use crate::temporal::{Interp, TInstant, TSequence, TempValue};
 use crate::time::{TimeDelta, TimestampTz};
 
 /// Spatiotemporal extent (union box) of a collection of point sequences.
-pub fn extent<'a>(
-    seqs: impl IntoIterator<Item = &'a TSequence<Point>>,
-) -> Option<STBox> {
+pub fn extent<'a>(seqs: impl IntoIterator<Item = &'a TSequence<Point>>) -> Option<STBox> {
     seqs.into_iter()
         .map(STBox::from_tpoint)
         .reduce(|a, b| a.union(&b))
@@ -116,10 +114,8 @@ impl<V: TempValue> SequenceBuilder<V> {
                 self.late += 1;
                 return PushResult::Late;
             }
-            let gap_exceeded =
-                self.max_gap.is_some_and(|g| (t - last.t) > g);
-            let len_exceeded =
-                self.max_instants.is_some_and(|m| self.current.len() >= m);
+            let gap_exceeded = self.max_gap.is_some_and(|g| (t - last.t) > g);
+            let len_exceeded = self.max_instants.is_some_and(|m| self.current.len() >= m);
             if gap_exceeded || len_exceeded {
                 let done = self.take_current();
                 self.current.push(TInstant::new(value, t));
@@ -200,8 +196,8 @@ mod tests {
 
     #[test]
     fn builder_splits_on_gap() {
-        let mut b = SequenceBuilder::<f64>::new(Interp::Linear)
-            .with_max_gap(TimeDelta::from_secs(30));
+        let mut b =
+            SequenceBuilder::<f64>::new(Interp::Linear).with_max_gap(TimeDelta::from_secs(30));
         b.push(1.0, t(0));
         b.push(2.0, t(20));
         match b.push(3.0, t(100)) {
@@ -217,8 +213,7 @@ mod tests {
 
     #[test]
     fn builder_splits_on_length() {
-        let mut b = SequenceBuilder::<f64>::new(Interp::Linear)
-            .with_max_instants(3);
+        let mut b = SequenceBuilder::<f64>::new(Interp::Linear).with_max_instants(3);
         b.push(1.0, t(0));
         b.push(2.0, t(1));
         b.push(3.0, t(2));
@@ -230,13 +225,11 @@ mod tests {
 
     #[test]
     fn builder_output_forms_valid_seqset() {
-        let mut b = SequenceBuilder::<Point>::new(Interp::Linear)
-            .with_max_gap(TimeDelta::from_secs(10));
+        let mut b =
+            SequenceBuilder::<Point>::new(Interp::Linear).with_max_gap(TimeDelta::from_secs(10));
         let mut done = Vec::new();
         for (i, sec) in [0i64, 5, 30, 35, 100].iter().enumerate() {
-            if let PushResult::Emitted(s) =
-                b.push(Point::new(i as f64, 0.0), t(*sec))
-            {
+            if let PushResult::Emitted(s) = b.push(Point::new(i as f64, 0.0), t(*sec)) {
                 done.push(s);
             }
         }

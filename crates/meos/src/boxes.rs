@@ -30,8 +30,7 @@ impl TBox {
     /// Tight box of a float sequence.
     pub fn from_tfloat(seq: &TSequence<f64>) -> Self {
         TBox {
-            value: Span::inclusive(seq.min_value(), seq.max_value())
-                .expect("min <= max"),
+            value: Span::inclusive(seq.min_value(), seq.max_value()).expect("min <= max"),
             time: Some(seq.period()),
         }
     }
@@ -120,7 +119,11 @@ impl STBox {
 
     /// Degenerate box at one point (and optional period).
     pub fn from_point(p: &Point, t: Option<Period>) -> Self {
-        STBox { x: Span::point(p.x), y: Span::point(p.y), t }
+        STBox {
+            x: Span::point(p.x),
+            y: Span::point(p.y),
+            t,
+        }
     }
 
     /// Tight box of a temporal-point sequence.
@@ -143,11 +146,7 @@ impl STBox {
 
     /// Box of a geometry (circle radii converted per `metric`), with an
     /// optional period.
-    pub fn from_geometry(
-        geom: &Geometry,
-        metric: Metric,
-        t: Option<Period>,
-    ) -> Self {
+    pub fn from_geometry(geom: &Geometry, metric: Metric, t: Option<Period>) -> Self {
         let (xmin, ymin, xmax, ymax) = geom.bbox(metric);
         STBox {
             x: Span::inclusive(xmin, xmax).expect("bbox valid"),
@@ -236,7 +235,11 @@ impl STBox {
             ),
             _ => None,
         };
-        STBox { x: merge(&self.x, &other.x), y: merge(&self.y, &other.y), t }
+        STBox {
+            x: merge(&self.x, &other.x),
+            y: merge(&self.y, &other.y),
+            t,
+        }
     }
 
     /// Intersection, `None` when disjoint in some constrained dimension.
@@ -253,7 +256,11 @@ impl STBox {
 
     /// Expands the spatial extents by `d` coordinate units on every side.
     pub fn expand_space(&self, d: f64) -> STBox {
-        STBox { x: self.x.expand(d), y: self.y.expand(d), t: self.t }
+        STBox {
+            x: self.x.expand(d),
+            y: self.y.expand(d),
+            t: self.t,
+        }
     }
 
     /// Expands the spatial extents by `metres`, converting to degrees at
@@ -263,7 +270,11 @@ impl STBox {
         let mid_lat = (self.ymin() + self.ymax()) / 2.0;
         let dx = metres / (k * mid_lat.to_radians().cos().max(1e-9));
         let dy = metres / k;
-        STBox { x: self.x.expand(dx), y: self.y.expand(dy), t: self.t }
+        STBox {
+            x: self.x.expand(dx),
+            y: self.y.expand(dy),
+            t: self.t,
+        }
     }
 
     /// Expands the time extent by `delta` on both ends (no-op when
@@ -360,7 +371,10 @@ mod tests {
         .unwrap();
         assert!(no_t.overlaps(&with_t));
         assert!(no_t.contains_stbox(&with_t));
-        assert!(!with_t.contains_stbox(&no_t), "cannot contain unconstrained");
+        assert!(
+            !with_t.contains_stbox(&no_t),
+            "cannot contain unconstrained"
+        );
     }
 
     #[test]
@@ -368,9 +382,15 @@ mod tests {
         let a = STBox::from_coords(0.0, 10.0, 0.0, 10.0, None).unwrap();
         let b = STBox::from_coords(5.0, 15.0, -5.0, 5.0, None).unwrap();
         let u = a.union(&b);
-        assert_eq!((u.xmin(), u.xmax(), u.ymin(), u.ymax()), (0.0, 15.0, -5.0, 10.0));
+        assert_eq!(
+            (u.xmin(), u.xmax(), u.ymin(), u.ymax()),
+            (0.0, 15.0, -5.0, 10.0)
+        );
         let i = a.intersection(&b).unwrap();
-        assert_eq!((i.xmin(), i.xmax(), i.ymin(), i.ymax()), (5.0, 10.0, 0.0, 5.0));
+        assert_eq!(
+            (i.xmin(), i.xmax(), i.ymin(), i.ymax()),
+            (5.0, 10.0, 0.0, 5.0)
+        );
         let far = STBox::from_coords(100.0, 110.0, 0.0, 1.0, None).unwrap();
         assert!(a.intersection(&far).is_none());
     }
@@ -387,11 +407,8 @@ mod tests {
 
     #[test]
     fn tbox_basics() {
-        let seq = TSequence::linear(vec![
-            TInstant::new(1.0, t(0)),
-            TInstant::new(9.0, t(10)),
-        ])
-        .unwrap();
+        let seq =
+            TSequence::linear(vec![TInstant::new(1.0, t(0)), TInstant::new(9.0, t(10))]).unwrap();
         let b = TBox::from_tfloat(&seq);
         assert_eq!(b.value.lower(), 1.0);
         assert_eq!(b.value.upper(), 9.0);

@@ -51,8 +51,7 @@ impl Point {
         let (lat1, lat2) = (self.y.to_radians(), other.y.to_radians());
         let dlat = (other.y - self.y).to_radians();
         let dlon = (other.x - self.x).to_radians();
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_M * a.sqrt().asin()
     }
 }
@@ -98,8 +97,11 @@ impl Metric {
 
     /// Shortest distance from point `p` to segment `a`–`b`.
     pub fn dist_point_segment(&self, p: &Point, a: &Point, b: &Point) -> f64 {
-        let (pl, al, bl) =
-            (self.to_local(p, p), self.to_local(p, a), self.to_local(p, b));
+        let (pl, al, bl) = (
+            self.to_local(p, p),
+            self.to_local(p, a),
+            self.to_local(p, b),
+        );
         let t = closest_param(&pl, &al, &bl);
         let c = al.lerp(&bl, t);
         pl.euclidean(&c)
@@ -107,19 +109,16 @@ impl Metric {
 
     /// Parameter `t ∈ [0, 1]` of the closest point to `p` along `a`–`b`.
     pub fn closest_point_param(&self, p: &Point, a: &Point, b: &Point) -> f64 {
-        let (pl, al, bl) =
-            (self.to_local(p, p), self.to_local(p, a), self.to_local(p, b));
+        let (pl, al, bl) = (
+            self.to_local(p, p),
+            self.to_local(p, a),
+            self.to_local(p, b),
+        );
         closest_param(&pl, &al, &bl)
     }
 
     /// Shortest distance between segments `a0`–`a1` and `b0`–`b1`.
-    pub fn dist_segment_segment(
-        &self,
-        a0: &Point,
-        a1: &Point,
-        b0: &Point,
-        b1: &Point,
-    ) -> f64 {
+    pub fn dist_segment_segment(&self, a0: &Point, a1: &Point, b0: &Point, b1: &Point) -> f64 {
         if segments_intersect(a0, a1, b0, b1) {
             return 0.0;
         }
@@ -294,8 +293,7 @@ impl Polygon {
         for i in 0..n {
             let (pi, pj) = (&ring[i], &ring[j]);
             if ((pi.y > p.y) != (pj.y > p.y))
-                && (p.x
-                    < (pj.x - pi.x) * (p.y - pi.y) / (pj.y - pi.y) + pi.x)
+                && (p.x < (pj.x - pi.x) * (p.y - pi.y) / (pj.y - pi.y) + pi.x)
             {
                 inside = !inside;
             }
@@ -370,9 +368,7 @@ impl Geometry {
             Geometry::Point(q) => q == p,
             Geometry::Line(_) => false,
             Geometry::Polygon(poly) => poly.contains(p),
-            Geometry::Circle { center, radius } => {
-                metric.distance(center, p) <= *radius
-            }
+            Geometry::Circle { center, radius } => metric.distance(center, p) <= *radius,
         }
     }
 
@@ -382,9 +378,7 @@ impl Geometry {
             Geometry::Point(q) => metric.distance(p, q),
             Geometry::Line(l) => l.distance_to_point(p, metric),
             Geometry::Polygon(poly) => poly.distance_to_point(p, metric),
-            Geometry::Circle { center, radius } => {
-                (metric.distance(center, p) - radius).max(0.0)
-            }
+            Geometry::Circle { center, radius } => (metric.distance(center, p) - radius).max(0.0),
         }
     }
 
@@ -400,10 +394,7 @@ impl Geometry {
                     Metric::Euclidean => (*radius, *radius),
                     Metric::Haversine => {
                         let k = EARTH_RADIUS_M * std::f64::consts::PI / 180.0;
-                        (
-                            radius / (k * center.y.to_radians().cos()),
-                            radius / k,
-                        )
+                        (radius / (k * center.y.to_radians().cos()), radius / k)
                     }
                 };
                 (center.x - rx, center.y - ry, center.x + rx, center.y + ry)
@@ -514,7 +505,10 @@ mod tests {
             Point::new(3.0, 4.0),
         ]);
         assert_eq!(l.length(Metric::Euclidean), 7.0);
-        assert_eq!(l.distance_to_point(&Point::new(1.0, 1.0), Metric::Euclidean), 1.0);
+        assert_eq!(
+            l.distance_to_point(&Point::new(1.0, 1.0), Metric::Euclidean),
+            1.0
+        );
         assert_eq!(l.bbox(), Some((0.0, 0.0, 3.0, 4.0)));
     }
 
@@ -539,24 +533,42 @@ mod tests {
     #[test]
     fn polygon_distance() {
         let poly = Polygon::rect(0.0, 0.0, 10.0, 10.0);
-        assert_eq!(poly.distance_to_point(&Point::new(5.0, 5.0), Metric::Euclidean), 0.0);
-        assert_eq!(poly.distance_to_point(&Point::new(13.0, 5.0), Metric::Euclidean), 3.0);
-        assert_eq!(poly.boundary_distance(&Point::new(5.0, 5.0), Metric::Euclidean), 5.0);
+        assert_eq!(
+            poly.distance_to_point(&Point::new(5.0, 5.0), Metric::Euclidean),
+            0.0
+        );
+        assert_eq!(
+            poly.distance_to_point(&Point::new(13.0, 5.0), Metric::Euclidean),
+            3.0
+        );
+        assert_eq!(
+            poly.boundary_distance(&Point::new(5.0, 5.0), Metric::Euclidean),
+            5.0
+        );
     }
 
     #[test]
     fn circle_geometry() {
-        let g = Geometry::Circle { center: Point::new(0.0, 0.0), radius: 5.0 };
+        let g = Geometry::Circle {
+            center: Point::new(0.0, 0.0),
+            radius: 5.0,
+        };
         assert!(g.contains(&Point::new(3.0, 4.0), Metric::Euclidean));
         assert!(!g.contains(&Point::new(4.0, 4.0), Metric::Euclidean));
-        assert_eq!(g.distance_to_point(&Point::new(0.0, 8.0), Metric::Euclidean), 3.0);
+        assert_eq!(
+            g.distance_to_point(&Point::new(0.0, 8.0), Metric::Euclidean),
+            3.0
+        );
         let bb = g.bbox(Metric::Euclidean);
         assert_eq!(bb, (-5.0, -5.0, 5.0, 5.0));
     }
 
     #[test]
     fn circle_bbox_haversine() {
-        let g = Geometry::Circle { center: Point::new(4.35, 50.85), radius: 1000.0 };
+        let g = Geometry::Circle {
+            center: Point::new(4.35, 50.85),
+            radius: 1000.0,
+        };
         let (xmin, ymin, xmax, ymax) = g.bbox(Metric::Haversine);
         // 1 km in degrees latitude is ~0.009°.
         assert!((ymax - ymin) > 0.017 && (ymax - ymin) < 0.019);
@@ -567,12 +579,18 @@ mod tests {
     fn geometry_dispatch() {
         let p = Geometry::Point(Point::new(1.0, 1.0));
         assert!(p.contains(&Point::new(1.0, 1.0), Metric::Euclidean));
-        assert_eq!(p.distance_to_point(&Point::new(4.0, 5.0), Metric::Euclidean), 5.0);
+        assert_eq!(
+            p.distance_to_point(&Point::new(4.0, 5.0), Metric::Euclidean),
+            5.0
+        );
         let l = Geometry::Line(LineString::new(vec![
             Point::new(0.0, 0.0),
             Point::new(10.0, 0.0),
         ]));
         assert!(!l.contains(&Point::new(5.0, 0.0), Metric::Euclidean));
-        assert_eq!(l.distance_to_point(&Point::new(5.0, 2.0), Metric::Euclidean), 2.0);
+        assert_eq!(
+            l.distance_to_point(&Point::new(5.0, 2.0), Metric::Euclidean),
+            2.0
+        );
     }
 }

@@ -70,9 +70,7 @@ pub use boxes::{STBox, TBox};
 pub use error::{MeosError, Result};
 pub use geo::{Geometry, LineString, Metric, Point, Polygon};
 pub use span::{FloatSpan, IntSpan, Span, SpanSet};
-pub use temporal::{
-    Interp, TInstant, TSequence, TSequenceSet, TempValue, Temporal,
-};
+pub use temporal::{Interp, TInstant, TSequence, TSequenceSet, TempValue, Temporal};
 pub use time::{Period, PeriodSet, TimeDelta, TimestampSet, TimestampTz};
 
 /// Convenience re-exports covering the types used by virtually every
@@ -83,10 +81,6 @@ pub mod prelude {
     pub use crate::error::{MeosError, Result};
     pub use crate::geo::{Geometry, LineString, Metric, Point, Polygon};
     pub use crate::span::{Span, SpanSet};
-    pub use crate::temporal::{
-        Interp, TInstant, TSequence, TSequenceSet, TempValue, Temporal,
-    };
-    pub use crate::time::{
-        Period, PeriodSet, TimeDelta, TimestampSet, TimestampTz,
-    };
+    pub use crate::temporal::{Interp, TInstant, TSequence, TSequenceSet, TempValue, Temporal};
+    pub use crate::time::{Period, PeriodSet, TimeDelta, TimestampSet, TimestampTz};
 }

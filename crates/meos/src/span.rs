@@ -15,9 +15,7 @@ use std::fmt;
 ///
 /// `dist` returns a numeric distance used only for width/duration style
 /// accessors; ordering and equality drive all set semantics.
-pub trait SpanBound:
-    Copy + PartialOrd + PartialEq + fmt::Debug + Send + Sync + 'static
-{
+pub trait SpanBound: Copy + PartialOrd + PartialEq + fmt::Debug + Send + Sync + 'static {
     /// Numeric distance from `a` to `b` (may be negative if `b < a`).
     fn dist(a: Self, b: Self) -> f64;
 }
@@ -74,7 +72,12 @@ impl<T: SpanBound> Span<T> {
                 if upper_inc { ']' } else { ')' },
             )));
         }
-        Ok(Span { lower, upper, lower_inc, upper_inc })
+        Ok(Span {
+            lower,
+            upper,
+            lower_inc,
+            upper_inc,
+        })
     }
 
     /// `[lower, upper]`, both bounds inclusive.
@@ -89,7 +92,12 @@ impl<T: SpanBound> Span<T> {
 
     /// The degenerate single-value span `[v, v]`.
     pub fn point(v: T) -> Self {
-        Span { lower: v, upper: v, lower_inc: true, upper_inc: true }
+        Span {
+            lower: v,
+            upper: v,
+            lower_inc: true,
+            upper_inc: true,
+        }
     }
 
     /// Lower bound value.
@@ -137,14 +145,12 @@ impl<T: SpanBound> Span<T> {
     /// True iff the spans share at least one value.
     pub fn overlaps(&self, other: &Span<T>) -> bool {
         // max of lowers vs min of uppers
-        let (lv, li) = if lower_le(self.lower, self.lower_inc, other.lower, other.lower_inc)
-        {
+        let (lv, li) = if lower_le(self.lower, self.lower_inc, other.lower, other.lower_inc) {
             (other.lower, other.lower_inc)
         } else {
             (self.lower, self.lower_inc)
         };
-        let (uv, ui) = if upper_le(self.upper, self.upper_inc, other.upper, other.upper_inc)
-        {
+        let (uv, ui) = if upper_le(self.upper, self.upper_inc, other.upper, other.upper_inc) {
             (self.upper, self.upper_inc)
         } else {
             (other.upper, other.upper_inc)
@@ -175,19 +181,22 @@ impl<T: SpanBound> Span<T> {
         if !self.overlaps(other) {
             return None;
         }
-        let (lv, li) = if lower_le(self.lower, self.lower_inc, other.lower, other.lower_inc)
-        {
+        let (lv, li) = if lower_le(self.lower, self.lower_inc, other.lower, other.lower_inc) {
             (other.lower, other.lower_inc)
         } else {
             (self.lower, self.lower_inc)
         };
-        let (uv, ui) = if upper_le(self.upper, self.upper_inc, other.upper, other.upper_inc)
-        {
+        let (uv, ui) = if upper_le(self.upper, self.upper_inc, other.upper, other.upper_inc) {
             (self.upper, self.upper_inc)
         } else {
             (other.upper, other.upper_inc)
         };
-        Some(Span { lower: lv, upper: uv, lower_inc: li, upper_inc: ui })
+        Some(Span {
+            lower: lv,
+            upper: uv,
+            lower_inc: li,
+            upper_inc: ui,
+        })
     }
 
     /// Set union when the spans overlap or are adjacent, else `None`.
@@ -195,19 +204,22 @@ impl<T: SpanBound> Span<T> {
         if !self.overlaps(other) && !self.is_adjacent(other) {
             return None;
         }
-        let (lv, li) = if lower_le(self.lower, self.lower_inc, other.lower, other.lower_inc)
-        {
+        let (lv, li) = if lower_le(self.lower, self.lower_inc, other.lower, other.lower_inc) {
             (self.lower, self.lower_inc)
         } else {
             (other.lower, other.lower_inc)
         };
-        let (uv, ui) = if upper_le(self.upper, self.upper_inc, other.upper, other.upper_inc)
-        {
+        let (uv, ui) = if upper_le(self.upper, self.upper_inc, other.upper, other.upper_inc) {
             (other.upper, other.upper_inc)
         } else {
             (self.upper, self.upper_inc)
         };
-        Some(Span { lower: lv, upper: uv, lower_inc: li, upper_inc: ui })
+        Some(Span {
+            lower: lv,
+            upper: uv,
+            lower_inc: li,
+            upper_inc: ui,
+        })
     }
 
     /// Set difference `self \ other`, producing 0, 1 or 2 spans.
@@ -220,9 +232,7 @@ impl<T: SpanBound> Span<T> {
         if lower_le(self.lower, self.lower_inc, other.lower, other.lower_inc)
             && !(self.lower == other.lower && self.lower_inc == other.lower_inc)
         {
-            if let Ok(left) =
-                Span::new(self.lower, other.lower, self.lower_inc, !other.lower_inc)
-            {
+            if let Ok(left) = Span::new(self.lower, other.lower, self.lower_inc, !other.lower_inc) {
                 out.push(left);
             }
         }
@@ -230,8 +240,7 @@ impl<T: SpanBound> Span<T> {
         if upper_le(other.upper, other.upper_inc, self.upper, self.upper_inc)
             && !(self.upper == other.upper && self.upper_inc == other.upper_inc)
         {
-            if let Ok(right) =
-                Span::new(other.upper, self.upper, !other.upper_inc, self.upper_inc)
+            if let Ok(right) = Span::new(other.upper, self.upper, !other.upper_inc, self.upper_inc)
             {
                 out.push(right);
             }
@@ -254,8 +263,13 @@ impl<T: SpanBound> Span<T> {
 impl Span<f64> {
     /// Expands the span by `by` on both sides.
     pub fn expand(&self, by: f64) -> Span<f64> {
-        Span::new(self.lower - by, self.upper + by, self.lower_inc, self.upper_inc)
-            .expect("expanded float span remains valid")
+        Span::new(
+            self.lower - by,
+            self.upper + by,
+            self.lower_inc,
+            self.upper_inc,
+        )
+        .expect("expanded float span remains valid")
     }
 }
 
@@ -472,7 +486,9 @@ mod tests {
         assert!(i.upper_inc());
         let u = a.union(&b).unwrap();
         assert_eq!((u.lower(), u.upper()), (0.0, 3.0));
-        assert!(sp(0.0, 1.0, true, false).union(&sp(2.0, 3.0, true, true)).is_none());
+        assert!(sp(0.0, 1.0, true, false)
+            .union(&sp(2.0, 3.0, true, true))
+            .is_none());
     }
 
     #[test]

@@ -31,7 +31,11 @@ where
     B: TempValue,
     C: TempValue,
 {
-    let out_interp = if C::can_linear() { Interp::Linear } else { Interp::Step };
+    let out_interp = if C::can_linear() {
+        Interp::Linear
+    } else {
+        Interp::Step
+    };
 
     if a.interp() == Interp::Discrete || b.interp() == Interp::Discrete {
         // Intersect timestamps exactly.
@@ -39,7 +43,8 @@ where
             .instants()
             .iter()
             .filter_map(|ia| {
-                b.value_at(ia.t).map(|bv| TInstant::new(f(&ia.value, &bv), ia.t))
+                b.value_at(ia.t)
+                    .map(|bv| TInstant::new(f(&ia.value, &bv), ia.t))
             })
             .collect();
         return TSequence::new(out, true, true, Interp::Discrete).ok();
@@ -53,9 +58,7 @@ where
     }
 
     // Union of instants within the intersection, plus its boundaries.
-    let mut times: Vec<TimestampTz> = Vec::with_capacity(
-        a.num_instants() + b.num_instants() + 2,
-    );
+    let mut times: Vec<TimestampTz> = Vec::with_capacity(a.num_instants() + b.num_instants() + 2);
     times.push(int.lower());
     for t in a.timestamps().chain(b.timestamps()) {
         if t > int.lower() && t < int.upper() {
@@ -76,9 +79,7 @@ where
             if let Some(frac) = turn(&a0, &a1, &b0, &b1) {
                 if frac > 0.0 && frac < 1.0 {
                     let dt = (t1 - t0).micros() as f64;
-                    let tt = TimestampTz::from_micros(
-                        t0.micros() + (frac * dt).round() as i64,
-                    );
+                    let tt = TimestampTz::from_micros(t0.micros() + (frac * dt).round() as i64);
                     if tt > t0 && tt < t1 {
                         extra.push(tt);
                     }
@@ -106,10 +107,7 @@ mod tests {
     }
 
     fn lin(vals: &[(f64, i64)]) -> TSequence<f64> {
-        TSequence::linear(
-            vals.iter().map(|&(v, s)| TInstant::new(v, t(s))).collect(),
-        )
-        .unwrap()
+        TSequence::linear(vals.iter().map(|&(v, s)| TInstant::new(v, t(s))).collect()).unwrap()
     }
 
     #[test]
@@ -154,8 +152,7 @@ mod tests {
                 None
             }
         };
-        let diff =
-            sync_apply(&a, &b, |x, y| (x - y).abs(), Some(turn)).unwrap();
+        let diff = sync_apply(&a, &b, |x, y| (x - y).abs(), Some(turn)).unwrap();
         assert_eq!(diff.num_instants(), 3);
         assert_eq!(diff.value_at(t(5)), Some(0.0), "crossing captured");
     }
@@ -168,11 +165,8 @@ mod tests {
             TInstant::new(3.0, t(20)),
         ])
         .unwrap();
-        let b = TSequence::discrete(vec![
-            TInstant::new(10.0, t(10)),
-            TInstant::new(10.0, t(30)),
-        ])
-        .unwrap();
+        let b = TSequence::discrete(vec![TInstant::new(10.0, t(10)), TInstant::new(10.0, t(30))])
+            .unwrap();
         let sum = sync_apply(&a, &b, |x, y| x + y, None).unwrap();
         assert_eq!(sum.num_instants(), 1);
         assert_eq!(sum.value_at(t(10)), Some(12.0));

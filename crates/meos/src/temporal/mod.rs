@@ -15,15 +15,15 @@
 
 mod instant;
 mod lifting;
-mod sequence;
 mod seqset;
+mod sequence;
 mod tfloat;
 mod value;
 
 pub use instant::TInstant;
 pub use lifting::{sync_apply, TurningFn};
-pub use sequence::TSequence;
 pub use seqset::TSequenceSet;
+pub use sequence::TSequence;
 pub use value::{Interp, TempValue};
 
 use crate::error::Result;
@@ -131,9 +131,7 @@ impl<V: TempValue> Temporal<V> {
     /// Restricts to a period; `None` when the result is empty.
     pub fn at_period(&self, p: &Period) -> Option<Temporal<V>> {
         match self {
-            Temporal::Instant(i) => {
-                p.contains_value(i.t).then(|| Temporal::Instant(i.clone()))
-            }
+            Temporal::Instant(i) => p.contains_value(i.t).then(|| Temporal::Instant(i.clone())),
             Temporal::Sequence(s) => s.at_period(p).map(seq_or_instant),
             Temporal::SequenceSet(ss) => {
                 let restricted = ss.at_period(p)?;
@@ -157,9 +155,7 @@ impl<V: TempValue> Temporal<V> {
     /// Shifts the whole value in time.
     pub fn shift(&self, delta: TimeDelta) -> Temporal<V> {
         match self {
-            Temporal::Instant(i) => {
-                Temporal::Instant(TInstant::new(i.value.clone(), i.t + delta))
-            }
+            Temporal::Instant(i) => Temporal::Instant(TInstant::new(i.value.clone(), i.t + delta)),
             Temporal::Sequence(s) => Temporal::Sequence(s.shift(delta)),
             Temporal::SequenceSet(ss) => Temporal::SequenceSet(ss.shift(delta)),
         }
@@ -218,10 +214,7 @@ mod tests {
     }
 
     fn fseq(vals: &[(f64, i64)]) -> TSequence<f64> {
-        TSequence::linear(
-            vals.iter().map(|&(v, s)| TInstant::new(v, t(s))).collect(),
-        )
-        .unwrap()
+        TSequence::linear(vals.iter().map(|&(v, s)| TInstant::new(v, t(s))).collect()).unwrap()
     }
 
     #[test]

@@ -79,9 +79,7 @@ impl<V: TempValue> TSequenceSet<V> {
 
     /// The set of periods over which the value is defined.
     pub fn period_set(&self) -> PeriodSet {
-        PeriodSet::from_spans(
-            self.sequences.iter().map(|s| s.period()).collect(),
-        )
+        PeriodSet::from_spans(self.sequences.iter().map(|s| s.period()).collect())
     }
 
     /// Summed duration of the member sequences (gaps excluded).
@@ -103,15 +101,13 @@ impl<V: TempValue> TSequenceSet<V> {
 
     /// Value at `t`, if some member sequence is defined there.
     pub fn value_at(&self, t: TimestampTz) -> Option<V> {
-        let idx = self
-            .sequences
-            .partition_point(|s| s.start_timestamp() <= t);
+        let idx = self.sequences.partition_point(|s| s.start_timestamp() <= t);
         if idx == 0 {
             return self.sequences[0].value_at(t);
         }
-        self.sequences[idx - 1].value_at(t).or_else(|| {
-            self.sequences.get(idx).and_then(|s| s.value_at(t))
-        })
+        self.sequences[idx - 1]
+            .value_at(t)
+            .or_else(|| self.sequences.get(idx).and_then(|s| s.value_at(t)))
     }
 
     /// Restricts to a period; `None` when disjoint.
@@ -163,10 +159,7 @@ mod tests {
     }
 
     fn seq(vals: &[(f64, i64)]) -> TSequence<f64> {
-        TSequence::linear(
-            vals.iter().map(|&(v, s)| TInstant::new(v, t(s))).collect(),
-        )
-        .unwrap()
+        TSequence::linear(vals.iter().map(|&(v, s)| TInstant::new(v, t(s))).collect()).unwrap()
     }
 
     fn set() -> TSequenceSet<f64> {
@@ -197,11 +190,8 @@ mod tests {
     #[test]
     fn rejects_mixed_interp() {
         let a = seq(&[(0.0, 0), (1.0, 10)]);
-        let b = TSequence::step(vec![
-            TInstant::new(2.0, t(20)),
-            TInstant::new(3.0, t(30)),
-        ])
-        .unwrap();
+        let b =
+            TSequence::step(vec![TInstant::new(2.0, t(20)), TInstant::new(3.0, t(30))]).unwrap();
         assert!(TSequenceSet::new(vec![a, b]).is_err());
     }
 
@@ -230,11 +220,15 @@ mod tests {
     #[test]
     fn at_period_drops_and_trims() {
         let ss = set();
-        let r = ss.at_period(&Period::inclusive(t(5), t(25)).unwrap()).unwrap();
+        let r = ss
+            .at_period(&Period::inclusive(t(5), t(25)).unwrap())
+            .unwrap();
         assert_eq!(r.num_sequences(), 2);
         assert_eq!(r.sequences()[0].start_value(), 5.0);
         assert_eq!(r.sequences()[1].end_value(), 25.0);
-        assert!(ss.at_period(&Period::inclusive(t(12), t(18)).unwrap()).is_none());
+        assert!(ss
+            .at_period(&Period::inclusive(t(12), t(18)).unwrap())
+            .is_none());
     }
 
     #[test]

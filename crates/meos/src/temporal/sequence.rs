@@ -47,13 +47,17 @@ impl<V: TempValue> TSequence<V> {
                 )));
             }
         }
-        let (lower_inc, upper_inc) =
-            if instants.len() == 1 || interp == Interp::Discrete {
-                (true, true)
-            } else {
-                (lower_inc, upper_inc)
-            };
-        Ok(TSequence { instants, lower_inc, upper_inc, interp })
+        let (lower_inc, upper_inc) = if instants.len() == 1 || interp == Interp::Discrete {
+            (true, true)
+        } else {
+            (lower_inc, upper_inc)
+        };
+        Ok(TSequence {
+            instants,
+            lower_inc,
+            upper_inc,
+            interp,
+        })
     }
 
     /// Linear sequence with inclusive bounds.
@@ -73,7 +77,12 @@ impl<V: TempValue> TSequence<V> {
 
     /// Single-instant sequence.
     pub fn singleton(instant: TInstant<V>, interp: Interp) -> Self {
-        TSequence { instants: vec![instant], lower_inc: true, upper_inc: true, interp }
+        TSequence {
+            instants: vec![instant],
+            lower_inc: true,
+            upper_inc: true,
+            interp,
+        }
     }
 
     /// The instants in time order.
@@ -163,9 +172,7 @@ impl<V: TempValue> TSequence<V> {
     }
 
     /// Consecutive instant pairs (the linear/step segments).
-    pub fn segments(
-        &self,
-    ) -> impl Iterator<Item = (&TInstant<V>, &TInstant<V>)> + '_ {
+    pub fn segments(&self) -> impl Iterator<Item = (&TInstant<V>, &TInstant<V>)> + '_ {
         self.instants.windows(2).map(|w| (&w[0], &w[1]))
     }
 
@@ -230,8 +237,7 @@ impl<V: TempValue> TSequence<V> {
                 self.interp,
             ));
         }
-        let mut out: Vec<TInstant<V>> =
-            Vec::with_capacity(self.instants.len() + 2);
+        let mut out: Vec<TInstant<V>> = Vec::with_capacity(self.instants.len() + 2);
         out.push(TInstant::new(self.ivalue(int.lower()), int.lower()));
         for inst in &self.instants {
             if inst.t > int.lower() && inst.t < int.upper() {
@@ -354,26 +360,17 @@ mod tests {
     }
 
     fn lin(vals: &[(f64, i64)]) -> TSequence<f64> {
-        TSequence::linear(
-            vals.iter().map(|&(v, s)| TInstant::new(v, t(s))).collect(),
-        )
-        .unwrap()
+        TSequence::linear(vals.iter().map(|&(v, s)| TInstant::new(v, t(s))).collect()).unwrap()
     }
 
     fn stp(vals: &[(i64, i64)]) -> TSequence<i64> {
-        TSequence::step(
-            vals.iter().map(|&(v, s)| TInstant::new(v, t(s))).collect(),
-        )
-        .unwrap()
+        TSequence::step(vals.iter().map(|&(v, s)| TInstant::new(v, t(s))).collect()).unwrap()
     }
 
     #[test]
     fn construction_validates() {
         assert!(TSequence::<f64>::linear(vec![]).is_err());
-        let unsorted = vec![
-            TInstant::new(1.0, t(10)),
-            TInstant::new(2.0, t(5)),
-        ];
+        let unsorted = vec![TInstant::new(1.0, t(10)), TInstant::new(2.0, t(5))];
         assert!(TSequence::linear(unsorted).is_err());
         let dup = vec![TInstant::new(1.0, t(5)), TInstant::new(2.0, t(5))];
         assert!(TSequence::linear(dup).is_err());
@@ -389,13 +386,8 @@ mod tests {
 
     #[test]
     fn singleton_forces_inclusive() {
-        let s = TSequence::new(
-            vec![TInstant::new(1.0, t(0))],
-            false,
-            false,
-            Interp::Linear,
-        )
-        .unwrap();
+        let s =
+            TSequence::new(vec![TInstant::new(1.0, t(0))], false, false, Interp::Linear).unwrap();
         assert!(s.lower_inc() && s.upper_inc());
     }
 
@@ -433,11 +425,8 @@ mod tests {
 
     #[test]
     fn discrete_value_at() {
-        let s = TSequence::discrete(vec![
-            TInstant::new(1.0, t(0)),
-            TInstant::new(2.0, t(10)),
-        ])
-        .unwrap();
+        let s =
+            TSequence::discrete(vec![TInstant::new(1.0, t(0)), TInstant::new(2.0, t(10))]).unwrap();
         assert_eq!(s.value_at(t(0)), Some(1.0));
         assert_eq!(s.value_at(t(5)), None);
         assert_eq!(s.duration(), TimeDelta::ZERO);
@@ -446,7 +435,9 @@ mod tests {
     #[test]
     fn at_period_interpolates_boundaries() {
         let s = lin(&[(0.0, 0), (10.0, 10)]);
-        let r = s.at_period(&Period::inclusive(t(2), t(8)).unwrap()).unwrap();
+        let r = s
+            .at_period(&Period::inclusive(t(2), t(8)).unwrap())
+            .unwrap();
         assert_eq!(r.num_instants(), 2);
         assert_eq!(r.start_value(), 2.0);
         assert_eq!(r.end_value(), 8.0);
@@ -456,7 +447,9 @@ mod tests {
     #[test]
     fn at_period_keeps_interior_instants() {
         let s = lin(&[(0.0, 0), (10.0, 10), (0.0, 20)]);
-        let r = s.at_period(&Period::inclusive(t(5), t(15)).unwrap()).unwrap();
+        let r = s
+            .at_period(&Period::inclusive(t(5), t(15)).unwrap())
+            .unwrap();
         assert_eq!(r.num_instants(), 3);
         assert_eq!(r.instants()[1].value, 10.0);
         assert_eq!(r.start_value(), 5.0);
@@ -466,7 +459,9 @@ mod tests {
     #[test]
     fn at_period_disjoint_and_instant() {
         let s = lin(&[(0.0, 0), (10.0, 10)]);
-        assert!(s.at_period(&Period::inclusive(t(50), t(60)).unwrap()).is_none());
+        assert!(s
+            .at_period(&Period::inclusive(t(50), t(60)).unwrap())
+            .is_none());
         let single = s.at_period(&Period::point(t(4))).unwrap();
         assert_eq!(single.num_instants(), 1);
         assert_eq!(single.start_value(), 4.0);
@@ -475,7 +470,9 @@ mod tests {
     #[test]
     fn at_period_step_boundary_uses_held_value() {
         let s = stp(&[(1, 0), (5, 10)]);
-        let r = s.at_period(&Period::inclusive(t(3), t(7)).unwrap()).unwrap();
+        let r = s
+            .at_period(&Period::inclusive(t(3), t(7)).unwrap())
+            .unwrap();
         assert_eq!(r.start_value(), 1);
         assert_eq!(r.end_value(), 1, "step holds previous value");
     }

@@ -2,8 +2,8 @@
 //! restriction with exact linear crossings, derivatives and arithmetic.
 
 use super::instant::TInstant;
-use super::sequence::TSequence;
 use super::seqset::TSequenceSet;
+use super::sequence::TSequence;
 use super::value::Interp;
 use crate::time::{Period, PeriodSet, TimestampTz};
 
@@ -85,25 +85,21 @@ impl TSequence<f64> {
                     // a.value holds over [a.t, b.t).
                     if sat(a.value) {
                         periods.push(
-                            Period::new(a.t, b.t, true, false)
-                                .expect("segment period valid"),
+                            Period::new(a.t, b.t, true, false).expect("segment period valid"),
                         );
                     }
                 }
                 _ => {
                     let (sa, sb) = (sat(a.value), sat(b.value));
                     match (sa, sb) {
-                        (true, true) => periods
-                            .push(Period::inclusive(a.t, b.t).unwrap()),
+                        (true, true) => periods.push(Period::inclusive(a.t, b.t).unwrap()),
                         (false, false) => {}
                         _ => {
                             let tc = crossing_time(a, b, c);
                             if sa {
-                                periods
-                                    .push(Period::inclusive(a.t, tc).unwrap());
+                                periods.push(Period::inclusive(a.t, tc).unwrap());
                             } else {
-                                periods
-                                    .push(Period::inclusive(tc, b.t).unwrap());
+                                periods.push(Period::inclusive(tc, b.t).unwrap());
                             }
                         }
                     }
@@ -111,8 +107,7 @@ impl TSequence<f64> {
             }
         }
         // Final instant of a step sequence holds only at its own timestamp.
-        if self.interp() == Interp::Step && sat(self.end_value()) && self.upper_inc()
-        {
+        if self.interp() == Interp::Step && sat(self.end_value()) && self.upper_inc() {
             periods.push(Period::point(self.end_timestamp()));
         }
         PeriodSet::from_spans(periods)
@@ -159,12 +154,13 @@ impl TSequence<f64> {
         if self.interp() != Interp::Linear {
             return self.map(|v| v.abs());
         }
-        let mut out: Vec<TInstant<f64>> =
-            Vec::with_capacity(self.num_instants());
-        out.push(TInstant::new(self.start_value().abs(), self.start_timestamp()));
+        let mut out: Vec<TInstant<f64>> = Vec::with_capacity(self.num_instants());
+        out.push(TInstant::new(
+            self.start_value().abs(),
+            self.start_timestamp(),
+        ));
         for (a, b) in self.segments() {
-            if (a.value < 0.0 && b.value > 0.0) || (a.value > 0.0 && b.value < 0.0)
-            {
+            if (a.value < 0.0 && b.value > 0.0) || (a.value > 0.0 && b.value < 0.0) {
                 let tc = crossing_time(a, b, 0.0);
                 if tc > a.t && tc < b.t {
                     out.push(TInstant::new(0.0, tc));
@@ -213,16 +209,16 @@ impl TSequenceSet<f64> {
 
     /// Periods where the value is `>= threshold`, across all members.
     pub fn at_above(&self, threshold: f64) -> PeriodSet {
-        self.sequences()
-            .iter()
-            .fold(PeriodSet::empty(), |acc, s| acc.union(&s.at_above(threshold)))
+        self.sequences().iter().fold(PeriodSet::empty(), |acc, s| {
+            acc.union(&s.at_above(threshold))
+        })
     }
 
     /// Periods where the value is `<= threshold`, across all members.
     pub fn at_below(&self, threshold: f64) -> PeriodSet {
-        self.sequences()
-            .iter()
-            .fold(PeriodSet::empty(), |acc, s| acc.union(&s.at_below(threshold)))
+        self.sequences().iter().fold(PeriodSet::empty(), |acc, s| {
+            acc.union(&s.at_below(threshold))
+        })
     }
 }
 
@@ -235,10 +231,7 @@ mod tests {
     }
 
     fn lin(vals: &[(f64, i64)]) -> TSequence<f64> {
-        TSequence::linear(
-            vals.iter().map(|&(v, s)| TInstant::new(v, t(s))).collect(),
-        )
-        .unwrap()
+        TSequence::linear(vals.iter().map(|&(v, s)| TInstant::new(v, t(s))).collect()).unwrap()
     }
 
     #[test]
@@ -311,11 +304,8 @@ mod tests {
 
     #[test]
     fn at_above_discrete() {
-        let s = TSequence::discrete(vec![
-            TInstant::new(1.0, t(0)),
-            TInstant::new(5.0, t(10)),
-        ])
-        .unwrap();
+        let s =
+            TSequence::discrete(vec![TInstant::new(1.0, t(0)), TInstant::new(5.0, t(10))]).unwrap();
         let ps = s.at_above(3.0);
         assert_eq!(ps.num_spans(), 1);
         assert!(ps.spans()[0].is_instant());

@@ -26,9 +26,7 @@ impl fmt::Display for Interp {
 }
 
 /// A type usable as the base value of a temporal type.
-pub trait TempValue:
-    Clone + PartialEq + fmt::Debug + Send + Sync + 'static
-{
+pub trait TempValue: Clone + PartialEq + fmt::Debug + Send + Sync + 'static {
     /// Interpolates between `a` and `b` at `frac ∈ [0, 1]`. The default is
     /// step semantics (returns `a`).
     fn lerp(a: &Self, b: &Self, _frac: f64) -> Self {
@@ -99,11 +97,7 @@ mod tests {
     #[test]
     fn linear_types_interpolate() {
         assert_eq!(<f64 as TempValue>::lerp(&1.0, &3.0, 0.5), 2.0);
-        let p = <Point as TempValue>::lerp(
-            &Point::new(0.0, 0.0),
-            &Point::new(10.0, 20.0),
-            0.25,
-        );
+        let p = <Point as TempValue>::lerp(&Point::new(0.0, 0.0), &Point::new(10.0, 20.0), 0.25);
         assert_eq!((p.x, p.y), (2.5, 5.0));
         assert_eq!(<f64 as TempValue>::default_interp(), Interp::Linear);
         assert_eq!(<bool as TempValue>::default_interp(), Interp::Step);

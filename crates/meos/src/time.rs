@@ -24,8 +24,7 @@ pub const MICROS_PER_DAY: i64 = 24 * MICROS_PER_HOUR;
 
 /// A signed duration with microsecond precision.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-    Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
 )]
 pub struct TimeDelta(i64);
 
@@ -140,8 +139,7 @@ impl fmt::Display for TimeDelta {
 /// A UTC instant with microsecond precision (PostgreSQL `timestamptz`
 /// analogue), stored as microseconds since the Unix epoch.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-    Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
 )]
 pub struct TimestampTz(i64);
 
@@ -261,9 +259,7 @@ impl TimestampTz {
     /// A missing offset means UTC (MobilityDB session default).
     pub fn parse(s: &str) -> Result<Self> {
         let s = s.trim();
-        let bad = |what: &str| {
-            MeosError::Parse(format!("invalid timestamp '{s}': {what}"))
-        };
+        let bad = |what: &str| MeosError::Parse(format!("invalid timestamp '{s}': {what}"));
         // Split date / time on 'T' or ' '.
         let split = s
             .find(['T', 't', ' '])
@@ -315,21 +311,18 @@ impl TimestampTz {
         let sec_str = tp.next().unwrap_or("0");
         let (sec, micro) = match sec_str.split_once('.') {
             Some((s_int, frac)) => {
-                let sec: u32 =
-                    s_int.parse().map_err(|_| bad("bad seconds"))?;
+                let sec: u32 = s_int.parse().map_err(|_| bad("bad seconds"))?;
                 let mut frac = frac.to_string();
                 while frac.len() < 6 {
                     frac.push('0');
                 }
                 frac.truncate(6);
-                let micro: u32 =
-                    frac.parse().map_err(|_| bad("bad fraction"))?;
+                let micro: u32 = frac.parse().map_err(|_| bad("bad fraction"))?;
                 (sec, micro)
             }
             None => (sec_str.parse().map_err(|_| bad("bad seconds"))?, 0),
         };
-        let local =
-            Self::from_ymd_hms_micro(year, month, day, hour, min, sec, micro)?;
+        let local = Self::from_ymd_hms_micro(year, month, day, hour, min, sec, micro)?;
         Ok(TimestampTz(local.0 - offset_us))
     }
 }
@@ -340,8 +333,7 @@ fn days_in_month(year: i64, month: u32) -> u32 {
         1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
         4 | 6 | 9 | 11 => 30,
         2 => {
-            let leap =
-                (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+            let leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
             if leap {
                 29
             } else {
@@ -360,10 +352,7 @@ impl fmt::Display for TimestampTz {
         } else {
             let frac = format!("{us:06}");
             let frac = frac.trim_end_matches('0');
-            write!(
-                f,
-                "{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}.{frac}Z"
-            )
+            write!(f, "{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}.{frac}Z")
         }
     }
 }
@@ -536,8 +525,7 @@ mod tests {
             ts(2025, 6, 22, 10, 30, 0).to_string(),
             "2025-06-22T10:30:00Z"
         );
-        let t = TimestampTz::from_ymd_hms_micro(2025, 6, 22, 10, 30, 0, 250_000)
-            .unwrap();
+        let t = TimestampTz::from_ymd_hms_micro(2025, 6, 22, 10, 30, 0, 250_000).unwrap();
         assert_eq!(t.to_string(), "2025-06-22T10:30:00.25Z");
     }
 
@@ -567,8 +555,7 @@ mod tests {
 
     #[test]
     fn parse_display_round_trip() {
-        let t = TimestampTz::from_ymd_hms_micro(2025, 12, 31, 23, 59, 59, 123_456)
-            .unwrap();
+        let t = TimestampTz::from_ymd_hms_micro(2025, 12, 31, 23, 59, 59, 123_456).unwrap();
         assert_eq!(TimestampTz::parse(&t.to_string()).unwrap(), t);
     }
 
@@ -577,10 +564,7 @@ mod tests {
         let t = ts(2025, 6, 22, 10, 0, 0);
         assert_eq!(t + TimeDelta::from_hours(2), ts(2025, 6, 22, 12, 0, 0));
         assert_eq!(t - TimeDelta::from_days(1), ts(2025, 6, 21, 10, 0, 0));
-        assert_eq!(
-            ts(2025, 6, 22, 12, 0, 0) - t,
-            TimeDelta::from_hours(2)
-        );
+        assert_eq!(ts(2025, 6, 22, 12, 0, 0) - t, TimeDelta::from_hours(2));
     }
 
     #[test]
@@ -593,8 +577,7 @@ mod tests {
 
     #[test]
     fn period_duration_and_expand() {
-        let p = Period::inclusive(ts(2025, 1, 1, 0, 0, 0), ts(2025, 1, 1, 1, 0, 0))
-            .unwrap();
+        let p = Period::inclusive(ts(2025, 1, 1, 0, 0, 0), ts(2025, 1, 1, 1, 0, 0)).unwrap();
         assert_eq!(p.duration(), TimeDelta::from_hours(1));
         let e = p.expand_by(TimeDelta::from_minutes(30));
         assert_eq!(e.duration(), TimeDelta::from_hours(2));

@@ -20,9 +20,7 @@
 
 use crate::boxes::STBox;
 use crate::error::Result;
-use crate::geo::{
-    segment_intersection_params, Geometry, LineString, Metric, Point,
-};
+use crate::geo::{segment_intersection_params, Geometry, LineString, Metric, Point};
 use crate::temporal::{Interp, TInstant, TSequence, Temporal};
 use crate::time::{Period, PeriodSet, TimeDelta, TimestampTz};
 
@@ -47,10 +45,7 @@ pub fn length_with(seq: &TSequence<Point>, metric: Metric) -> f64 {
 }
 
 /// Cumulative travelled distance as a linear temporal float.
-pub fn cumulative_length(
-    seq: &TSequence<Point>,
-    metric: Metric,
-) -> TSequence<f64> {
+pub fn cumulative_length(seq: &TSequence<Point>, metric: Metric) -> TSequence<f64> {
     let mut out = Vec::with_capacity(seq.num_instants());
     let mut acc = 0.0;
     out.push(TInstant::new(0.0, seq.start_timestamp()));
@@ -258,8 +253,7 @@ pub fn at_stbox(seq: &TSequence<Point>, bx: &STBox) -> Vec<TSequence<Point>> {
             let mut intervals = Vec::new();
             for (a, b) in seq.segments() {
                 if let Some((u0, u1)) = clip_params(&a.value, &b.value, bx) {
-                    intervals
-                        .push((lerp_time(a.t, b.t, u0), lerp_time(a.t, b.t, u1)));
+                    intervals.push((lerp_time(a.t, b.t, u0), lerp_time(a.t, b.t, u1)));
                 }
             }
             restrict_to_intervals(seq, intervals)
@@ -269,11 +263,7 @@ pub fn at_stbox(seq: &TSequence<Point>, bx: &STBox) -> Vec<TSequence<Point>> {
 
 /// Sorted candidate cut fractions of segment `a`→`b` against a polygon
 /// boundary (or line), including 0 and 1.
-fn polygon_cuts(
-    a: &Point,
-    b: &Point,
-    edges: impl Iterator<Item = (Point, Point)>,
-) -> Vec<f64> {
+fn polygon_cuts(a: &Point, b: &Point, edges: impl Iterator<Item = (Point, Point)>) -> Vec<f64> {
     let mut cuts = vec![0.0, 1.0];
     for (e0, e1) in edges {
         if let Some((t, _)) = segment_intersection_params(a, b, &e0, &e1) {
@@ -288,9 +278,7 @@ fn polygon_cuts(
 fn geometry_edges(geom: &Geometry) -> Vec<(Point, Point)> {
     match geom {
         Geometry::Polygon(poly) => poly.edges().map(|(a, b)| (*a, *b)).collect(),
-        Geometry::Line(l) => {
-            l.points.windows(2).map(|w| (w[0], w[1])).collect()
-        }
+        Geometry::Line(l) => l.points.windows(2).map(|w| (w[0], w[1])).collect(),
         _ => Vec::new(),
     }
 }
@@ -344,15 +332,11 @@ pub fn at_geometry(
         Geometry::Polygon(_) | Geometry::Line(_) => {
             let edges = geometry_edges(geom);
             for (a, b) in seq.segments() {
-                let cuts =
-                    polygon_cuts(&a.value, &b.value, edges.iter().copied());
+                let cuts = polygon_cuts(&a.value, &b.value, edges.iter().copied());
                 for w in cuts.windows(2) {
                     let mid = a.value.lerp(&b.value, (w[0] + w[1]) / 2.0);
                     if geom.contains(&mid, metric) {
-                        intervals.push((
-                            lerp_time(a.t, b.t, w[0]),
-                            lerp_time(a.t, b.t, w[1]),
-                        ));
+                        intervals.push((lerp_time(a.t, b.t, w[0]), lerp_time(a.t, b.t, w[1])));
                     }
                 }
                 if matches!(geom, Geometry::Line(_)) {
@@ -366,11 +350,8 @@ pub fn at_geometry(
         }
         Geometry::Circle { center, radius } => {
             for (a, b) in seq.segments() {
-                if let Some((u0, u1)) =
-                    circle_clip(&a.value, &b.value, center, *radius, metric)
-                {
-                    intervals
-                        .push((lerp_time(a.t, b.t, u0), lerp_time(a.t, b.t, u1)));
+                if let Some((u0, u1)) = circle_clip(&a.value, &b.value, center, *radius, metric) {
+                    intervals.push((lerp_time(a.t, b.t, u0), lerp_time(a.t, b.t, u1)));
                 }
             }
         }
@@ -427,7 +408,10 @@ pub fn distance_to_geometry(
 ) -> TSequence<f64> {
     let mut samples: Vec<TInstant<f64>> = Vec::with_capacity(seq.num_instants() * 2);
     let dist = |p: &Point| geom.distance_to_point(p, metric);
-    samples.push(TInstant::new(dist(&seq.start_value()), seq.start_timestamp()));
+    samples.push(TInstant::new(
+        dist(&seq.start_value()),
+        seq.start_timestamp(),
+    ));
     if seq.interp() != Interp::Discrete {
         for (a, b) in seq.segments() {
             let mut fracs: Vec<f64> = Vec::new();
@@ -440,17 +424,13 @@ pub fn distance_to_geometry(
                 }
                 Geometry::Polygon(_) | Geometry::Line(_) => {
                     for (e0, e1) in geometry_edges(geom) {
-                        if let Some((t, _)) = segment_intersection_params(
-                            &a.value, &b.value, &e0, &e1,
-                        ) {
+                        if let Some((t, _)) =
+                            segment_intersection_params(&a.value, &b.value, &e0, &e1)
+                        {
                             fracs.push(t);
                         }
-                        fracs.push(
-                            metric.closest_point_param(&e0, &a.value, &b.value),
-                        );
-                        fracs.push(
-                            metric.closest_point_param(&e1, &a.value, &b.value),
-                        );
+                        fracs.push(metric.closest_point_param(&e0, &a.value, &b.value));
+                        fracs.push(metric.closest_point_param(&e1, &a.value, &b.value));
                     }
                 }
             }
@@ -476,11 +456,7 @@ pub fn distance_to_geometry(
 
 /// Smallest distance ever attained between the moving point and a static
 /// geometry (MEOS `nearestApproachDistance`). Exact.
-pub fn nearest_approach_distance(
-    seq: &TSequence<Point>,
-    geom: &Geometry,
-    metric: Metric,
-) -> f64 {
+pub fn nearest_approach_distance(seq: &TSequence<Point>, geom: &Geometry, metric: Metric) -> f64 {
     if seq.num_instants() == 1 || seq.interp() == Interp::Discrete {
         return seq
             .values()
@@ -490,12 +466,9 @@ pub fn nearest_approach_distance(
     let mut best = f64::INFINITY;
     for (a, b) in seq.segments() {
         let d = match geom {
-            Geometry::Point(target) => {
-                metric.dist_point_segment(target, &a.value, &b.value)
-            }
+            Geometry::Point(target) => metric.dist_point_segment(target, &a.value, &b.value),
             Geometry::Circle { center, radius } => {
-                (metric.dist_point_segment(center, &a.value, &b.value) - radius)
-                    .max(0.0)
+                (metric.dist_point_segment(center, &a.value, &b.value) - radius).max(0.0)
             }
             Geometry::Polygon(poly) => {
                 if poly.contains(&a.value) || poly.contains(&b.value) {
@@ -503,17 +476,13 @@ pub fn nearest_approach_distance(
                 } else {
                     geometry_edges(geom)
                         .iter()
-                        .map(|(e0, e1)| {
-                            metric.dist_segment_segment(&a.value, &b.value, e0, e1)
-                        })
+                        .map(|(e0, e1)| metric.dist_segment_segment(&a.value, &b.value, e0, e1))
                         .fold(f64::INFINITY, f64::min)
                 }
             }
             Geometry::Line(_) => geometry_edges(geom)
                 .iter()
-                .map(|(e0, e1)| {
-                    metric.dist_segment_segment(&a.value, &b.value, e0, e1)
-                })
+                .map(|(e0, e1)| metric.dist_segment_segment(&a.value, &b.value, e0, e1))
                 .fold(f64::INFINITY, f64::min),
         };
         best = best.min(d);
@@ -526,12 +495,7 @@ pub fn nearest_approach_distance(
 
 /// MEOS `edwithin`: true iff the moving point is *ever* within distance
 /// `d` of the geometry. Exact for static targets.
-pub fn edwithin(
-    seq: &TSequence<Point>,
-    geom: &Geometry,
-    d: f64,
-    metric: Metric,
-) -> bool {
+pub fn edwithin(seq: &TSequence<Point>, geom: &Geometry, d: f64, metric: Metric) -> bool {
     nearest_approach_distance(seq, geom, metric) <= d
 }
 
@@ -539,19 +503,12 @@ pub fn edwithin(
 /// `d`. Exact for point/circle targets (distance along a segment is
 /// convex, maxima at vertices); for polygons/lines midpoints are sampled
 /// as a non-convexity guard.
-pub fn adwithin(
-    seq: &TSequence<Point>,
-    geom: &Geometry,
-    d: f64,
-    metric: Metric,
-) -> bool {
+pub fn adwithin(seq: &TSequence<Point>, geom: &Geometry, d: f64, metric: Metric) -> bool {
     let within = |p: &Point| geom.distance_to_point(p, metric) <= d;
     if !seq.values().all(&within) {
         return false;
     }
-    if matches!(geom, Geometry::Polygon(_) | Geometry::Line(_))
-        && seq.interp() == Interp::Linear
-    {
+    if matches!(geom, Geometry::Polygon(_) | Geometry::Line(_)) && seq.interp() == Interp::Linear {
         for (a, b) in seq.segments() {
             let mid = a.value.lerp(&b.value, 0.5);
             if !within(&mid) {
@@ -564,12 +521,7 @@ pub fn adwithin(
 
 /// Periods during which the moving point is within distance `d` of the
 /// geometry (temporal `tdwithin` collapsed to its true periods).
-pub fn tdwithin(
-    seq: &TSequence<Point>,
-    geom: &Geometry,
-    d: f64,
-    metric: Metric,
-) -> PeriodSet {
+pub fn tdwithin(seq: &TSequence<Point>, geom: &Geometry, d: f64, metric: Metric) -> PeriodSet {
     distance_to_geometry(seq, geom, metric).at_below(d)
 }
 
@@ -593,11 +545,7 @@ pub fn detect_stops(
 }
 
 /// Douglas–Peucker simplification with a spatial tolerance (metric units).
-pub fn simplify_dp(
-    seq: &TSequence<Point>,
-    tolerance: f64,
-    metric: Metric,
-) -> TSequence<Point> {
+pub fn simplify_dp(seq: &TSequence<Point>, tolerance: f64, metric: Metric) -> TSequence<Point> {
     let pts = seq.instants();
     if pts.len() <= 2 {
         return seq.clone();
@@ -612,11 +560,7 @@ pub fn simplify_dp(
         }
         let (mut worst, mut worst_d) = (lo, -1.0f64);
         for i in lo + 1..hi {
-            let d = metric.dist_point_segment(
-                &pts[i].value,
-                &pts[lo].value,
-                &pts[hi].value,
-            );
+            let d = metric.dist_point_segment(&pts[i].value, &pts[lo].value, &pts[hi].value);
             if d > worst_d {
                 worst_d = d;
                 worst = i;
@@ -651,10 +595,7 @@ pub fn temporal_length(tp: &Temporal<Point>, metric: Metric) -> f64 {
 }
 
 /// `tpoint_at_stbox` over any granularity; `None` when nothing survives.
-pub fn temporal_at_stbox(
-    tp: &Temporal<Point>,
-    bx: &STBox,
-) -> Option<Temporal<Point>> {
+pub fn temporal_at_stbox(tp: &Temporal<Point>, bx: &STBox) -> Option<Temporal<Point>> {
     let pieces: Vec<TSequence<Point>> = tp
         .to_sequences()
         .iter()
@@ -678,23 +619,14 @@ pub fn temporal_at_geometry(
 }
 
 /// `edwithin` over any granularity.
-pub fn temporal_edwithin(
-    tp: &Temporal<Point>,
-    geom: &Geometry,
-    d: f64,
-    metric: Metric,
-) -> bool {
+pub fn temporal_edwithin(tp: &Temporal<Point>, geom: &Geometry, d: f64, metric: Metric) -> bool {
     tp.to_sequences()
         .iter()
         .any(|s| edwithin(s, geom, d, metric))
 }
 
 /// Nearest approach over any granularity.
-pub fn temporal_nad(
-    tp: &Temporal<Point>,
-    geom: &Geometry,
-    metric: Metric,
-) -> f64 {
+pub fn temporal_nad(tp: &Temporal<Point>, geom: &Geometry, metric: Metric) -> f64 {
     tp.to_sequences()
         .iter()
         .map(|s| nearest_approach_distance(s, geom, metric))
@@ -750,8 +682,14 @@ mod tests {
     fn azimuth_quadrants() {
         assert_eq!(bearing(&Point::new(0.0, 0.0), &Point::new(0.0, 1.0)), 0.0);
         assert_eq!(bearing(&Point::new(0.0, 0.0), &Point::new(1.0, 0.0)), 90.0);
-        assert_eq!(bearing(&Point::new(0.0, 0.0), &Point::new(0.0, -1.0)), 180.0);
-        assert_eq!(bearing(&Point::new(0.0, 0.0), &Point::new(-1.0, 0.0)), 270.0);
+        assert_eq!(
+            bearing(&Point::new(0.0, 0.0), &Point::new(0.0, -1.0)),
+            180.0
+        );
+        assert_eq!(
+            bearing(&Point::new(0.0, 0.0), &Point::new(-1.0, 0.0)),
+            270.0
+        );
         let s = pseq(&[(0.0, 0.0, 0), (1.0, 0.0, 10), (1.0, 1.0, 20)]);
         let az = azimuth(&s).unwrap();
         assert_eq!(az.value_at(t(5)), Some(90.0));
@@ -784,11 +722,7 @@ mod tests {
     #[test]
     fn at_stbox_multiple_entries() {
         // Zig-zag crossing the box y∈[-1,1] twice.
-        let s = pseq(&[
-            (0.0, -5.0, 0),
-            (0.0, 5.0, 10),
-            (0.0, -5.0, 20),
-        ]);
+        let s = pseq(&[(0.0, -5.0, 0), (0.0, 5.0, 10), (0.0, -5.0, 20)]);
         let bx = STBox::from_coords(-1.0, 1.0, -1.0, 1.0, None).unwrap();
         let pieces = at_stbox(&s, &bx);
         assert_eq!(pieces.len(), 2);
@@ -849,7 +783,10 @@ mod tests {
     #[test]
     fn at_geometry_circle() {
         let s = pseq(&[(-10.0, 0.0, 0), (10.0, 0.0, 20)]);
-        let c = Geometry::Circle { center: Point::new(0.0, 0.0), radius: 5.0 };
+        let c = Geometry::Circle {
+            center: Point::new(0.0, 0.0),
+            radius: 5.0,
+        };
         let pieces = at_geometry(&s, &c, Metric::Euclidean);
         assert_eq!(pieces.len(), 1);
         assert_eq!(pieces[0].start_timestamp(), t(5));
@@ -903,16 +840,11 @@ mod tests {
     fn detect_stops_finds_dwell() {
         let s = pseq(&[
             (0.0, 0.0, 0),
-            (100.0, 0.0, 10),   // 10 u/s
-            (100.5, 0.0, 110),  // 0.005 u/s for 100 s (stop)
-            (200.0, 0.0, 120),  // fast again
+            (100.0, 0.0, 10),  // 10 u/s
+            (100.5, 0.0, 110), // 0.005 u/s for 100 s (stop)
+            (200.0, 0.0, 120), // fast again
         ]);
-        let stops = detect_stops(
-            &s,
-            0.1,
-            TimeDelta::from_secs(60),
-            Metric::Euclidean,
-        );
+        let stops = detect_stops(&s, 0.1, TimeDelta::from_secs(60), Metric::Euclidean);
         assert_eq!(stops.len(), 1);
         assert_eq!(stops[0].start_timestamp(), t(10));
         assert_eq!(stops[0].end_timestamp(), t(110));

@@ -12,9 +12,7 @@
 
 use crate::error::{MeosError, Result};
 use crate::geo::Point;
-use crate::temporal::{
-    Interp, TInstant, TSequence, TSequenceSet, TempValue, Temporal,
-};
+use crate::temporal::{Interp, TInstant, TSequence, TSequenceSet, TempValue, Temporal};
 use crate::time::TimestampTz;
 use std::fmt;
 
@@ -57,8 +55,7 @@ impl<V: TempValue + fmt::Display> fmt::Display for TSequence<V> {
 
 impl<V: TempValue + fmt::Display> fmt::Display for TSequenceSet<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.interp() != V::default_interp() && self.interp() != Interp::Discrete
-        {
+        if self.interp() != V::default_interp() && self.interp() != Interp::Discrete {
             write!(f, "Interp={};", self.interp())?;
         }
         write!(f, "{{")?;
@@ -156,9 +153,9 @@ fn parse_sequence_body<V: TempValue>(
     interp: Interp,
 ) -> Result<TSequence<V>> {
     let mut chars = s.chars();
-    let open = chars.next().ok_or_else(|| {
-        MeosError::Parse("empty sequence literal".into())
-    })?;
+    let open = chars
+        .next()
+        .ok_or_else(|| MeosError::Parse("empty sequence literal".into()))?;
     let close = s
         .chars()
         .last()
@@ -198,32 +195,28 @@ pub fn parse_temporal<V: TempValue>(
     // Optional interpolation prefix.
     let mut interp = V::default_interp();
     if let Some(rest) = s.strip_prefix("Interp=") {
-        let semi = rest.find(';').ok_or_else(|| {
-            MeosError::Parse("Interp= prefix missing ';'".into())
-        })?;
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| MeosError::Parse("Interp= prefix missing ';'".into()))?;
         interp = match &rest[..semi] {
             "Step" => Interp::Step,
             "Linear" => Interp::Linear,
             "Discrete" => Interp::Discrete,
-            other => {
-                return Err(MeosError::Parse(format!(
-                    "unknown interpolation '{other}'"
-                )))
-            }
+            other => return Err(MeosError::Parse(format!("unknown interpolation '{other}'"))),
         };
         s = rest[semi + 1..].trim();
     }
     match s.chars().next() {
-        Some('[') | Some('(') => {
-            Ok(Temporal::Sequence(parse_sequence_body(s, parse_value, interp)?))
-        }
+        Some('[') | Some('(') => Ok(Temporal::Sequence(parse_sequence_body(
+            s,
+            parse_value,
+            interp,
+        )?)),
         Some('{') => {
             let inner = s
                 .strip_prefix('{')
                 .and_then(|r| r.strip_suffix('}'))
-                .ok_or_else(|| {
-                    MeosError::Parse(format!("unbalanced braces: '{s}'"))
-                })?
+                .ok_or_else(|| MeosError::Parse(format!("unbalanced braces: '{s}'")))?
                 .trim();
             match inner.chars().next() {
                 Some('[') | Some('(') => {
@@ -312,8 +305,7 @@ mod tests {
 
     #[test]
     fn instant_round_trip() {
-        let i: Temporal<f64> =
-            parse_tfloat("12.5@2025-06-22T10:00:00Z").unwrap();
+        let i: Temporal<f64> = parse_tfloat("12.5@2025-06-22T10:00:00Z").unwrap();
         assert_eq!(i.to_string(), "12.5@2025-06-22T10:00:00Z");
         assert_eq!(i.start_value(), 12.5);
     }
@@ -383,10 +375,8 @@ mod tests {
 
     #[test]
     fn tbool_and_ttext() {
-        let b = parse_tbool(
-            "Interp=Step;[t@2025-06-22T10:00:00Z, f@2025-06-22T10:01:00Z]",
-        )
-        .unwrap();
+        let b =
+            parse_tbool("Interp=Step;[t@2025-06-22T10:00:00Z, f@2025-06-22T10:01:00Z]").unwrap();
         assert!(b.start_value());
         assert!(!b.end_value());
         let txt = parse_ttext("\"hello\"@2025-06-22T10:00:00Z").unwrap();
@@ -407,10 +397,7 @@ mod tests {
 
     #[test]
     fn parsed_values_are_usable() {
-        let s = parse_tfloat(
-            "[0@2025-06-22T10:00:00Z, 10@2025-06-22T10:00:10Z]",
-        )
-        .unwrap();
+        let s = parse_tfloat("[0@2025-06-22T10:00:00Z, 10@2025-06-22T10:00:10Z]").unwrap();
         let mid = t(s.start_timestamp().unix_secs() + 5);
         assert_eq!(s.value_at(mid), Some(5.0));
         assert_eq!(s.duration(), TimeDelta::from_secs(10));

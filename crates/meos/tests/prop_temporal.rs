@@ -8,18 +8,16 @@ use proptest::prelude::*;
 
 /// Strictly increasing timestamps with paired values.
 fn samples_strategy() -> impl Strategy<Value = Vec<(f64, i64)>> {
-    proptest::collection::vec((-100.0f64..100.0, 1i64..30), 1..40).prop_map(
-        |pairs| {
-            let mut t = 0i64;
-            pairs
-                .into_iter()
-                .map(|(v, dt)| {
-                    t += dt;
-                    (v, t)
-                })
-                .collect()
-        },
-    )
+    proptest::collection::vec((-100.0f64..100.0, 1i64..30), 1..40).prop_map(|pairs| {
+        let mut t = 0i64;
+        pairs
+            .into_iter()
+            .map(|(v, dt)| {
+                t += dt;
+                (v, t)
+            })
+            .collect()
+    })
 }
 
 fn linear_seq(samples: &[(f64, i64)]) -> TSequence<f64> {
@@ -183,13 +181,8 @@ trait IValueTest {
 
 impl IValueTest for TSequence<f64> {
     fn ivalue_public_test(&self, t: TimestampTz) -> f64 {
-        let inclusive = TSequence::new(
-            self.instants().to_vec(),
-            true,
-            true,
-            self.interp(),
-        )
-        .expect("same instants");
+        let inclusive = TSequence::new(self.instants().to_vec(), true, true, self.interp())
+            .expect("same instants");
         inclusive.value_at(t).unwrap_or(f64::NAN)
     }
 }

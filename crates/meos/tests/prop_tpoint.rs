@@ -11,29 +11,29 @@ use proptest::prelude::*;
 
 /// A random planar trajectory (Euclidean metric keeps assertions exact).
 fn traj_strategy() -> impl Strategy<Value = TSequence<Point>> {
-    proptest::collection::vec(
-        (-100.0f64..100.0, -100.0f64..100.0, 1i64..20),
-        2..30,
+    proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0, 1i64..20), 2..30).prop_map(
+        |pts| {
+            let mut t = 0i64;
+            let instants = pts
+                .into_iter()
+                .map(|(x, y, dt)| {
+                    t += dt;
+                    TInstant::new(Point::new(x, y), TimestampTz::from_unix_secs(t))
+                })
+                .collect();
+            TSequence::linear(instants).expect("increasing times")
+        },
     )
-    .prop_map(|pts| {
-        let mut t = 0i64;
-        let instants = pts
-            .into_iter()
-            .map(|(x, y, dt)| {
-                t += dt;
-                TInstant::new(Point::new(x, y), TimestampTz::from_unix_secs(t))
-            })
-            .collect();
-        TSequence::linear(instants).expect("increasing times")
-    })
 }
 
 fn box_strategy() -> impl Strategy<Value = STBox> {
-    (-120.0f64..80.0, 0.0f64..120.0, -120.0f64..80.0, 0.0f64..120.0).prop_map(
-        |(x0, w, y0, h)| {
-            STBox::from_coords(x0, x0 + w, y0, y0 + h, None).expect("valid")
-        },
+    (
+        -120.0f64..80.0,
+        0.0f64..120.0,
+        -120.0f64..80.0,
+        0.0f64..120.0,
     )
+        .prop_map(|(x0, w, y0, h)| STBox::from_coords(x0, x0 + w, y0, y0 + h, None).expect("valid"))
 }
 
 proptest! {

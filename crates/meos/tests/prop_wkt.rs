@@ -12,17 +12,15 @@ fn ts_strategy() -> impl Strategy<Value = TimestampTz> {
 }
 
 fn increasing_ts(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<TimestampTz>> {
-    (ts_strategy(), proptest::collection::vec(1i64..100_000, n)).prop_map(
-        |(start, gaps)| {
-            let mut t = start;
-            gaps.into_iter()
-                .map(|g| {
-                    t += meos::time::TimeDelta::from_secs(g);
-                    t
-                })
-                .collect()
-        },
-    )
+    (ts_strategy(), proptest::collection::vec(1i64..100_000, n)).prop_map(|(start, gaps)| {
+        let mut t = start;
+        gaps.into_iter()
+            .map(|g| {
+                t += meos::time::TimeDelta::from_secs(g);
+                t
+            })
+            .collect()
+    })
 }
 
 proptest! {

@@ -48,8 +48,7 @@ mod tests {
             NebulaError::Type("bad".into()).to_string(),
             "type error: bad"
         );
-        let io: NebulaError =
-            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        let io: NebulaError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(io.to_string().contains("gone"));
     }
 }

@@ -35,17 +35,12 @@ pub fn register_builtins(reg: &mut FunctionRegistry) {
         },
     ));
 
-    reg.register_or_replace(ClosureFunction::new(
-        "sqrt",
-        1,
-        DataType::Float,
-        |args| {
-            if args[0].is_null() {
-                return Ok(Value::Null);
-            }
-            Ok(Value::Float(num(&args[0], "sqrt")?.sqrt()))
-        },
-    ));
+    reg.register_or_replace(ClosureFunction::new("sqrt", 1, DataType::Float, |args| {
+        if args[0].is_null() {
+            return Ok(Value::Null);
+        }
+        Ok(Value::Float(num(&args[0], "sqrt")?.sqrt()))
+    }));
 
     for (name, f) in [
         ("floor", f64::floor as fn(f64) -> f64),
@@ -74,12 +69,7 @@ pub fn register_builtins(reg: &mut FunctionRegistry) {
             let mut best: Option<&Value> = None;
             for a in args.iter().filter(|a| !a.is_null()) {
                 best = match best {
-                    Some(b)
-                        if b.partial_cmp_num(a)
-                            != Some(std::cmp::Ordering::Greater) =>
-                    {
-                        Some(b)
-                    }
+                    Some(b) if b.partial_cmp_num(a) != Some(std::cmp::Ordering::Greater) => Some(b),
                     _ => Some(a),
                 };
             }
@@ -96,12 +86,7 @@ pub fn register_builtins(reg: &mut FunctionRegistry) {
             let mut best: Option<&Value> = None;
             for a in args.iter().filter(|a| !a.is_null()) {
                 best = match best {
-                    Some(b)
-                        if b.partial_cmp_num(a)
-                            != Some(std::cmp::Ordering::Less) =>
-                    {
-                        Some(b)
-                    }
+                    Some(b) if b.partial_cmp_num(a) != Some(std::cmp::Ordering::Less) => Some(b),
                     _ => Some(a),
                 };
             }
@@ -113,7 +98,13 @@ pub fn register_builtins(reg: &mut FunctionRegistry) {
         "coalesce",
         1,
         8,
-        |args| Ok(args.iter().find(|t| **t != DataType::Null).copied().unwrap_or(DataType::Null)),
+        |args| {
+            Ok(args
+                .iter()
+                .find(|t| **t != DataType::Null)
+                .copied()
+                .unwrap_or(DataType::Null))
+        },
         |args| {
             Ok(args
                 .iter()
@@ -128,7 +119,13 @@ pub fn register_builtins(reg: &mut FunctionRegistry) {
         "if",
         3,
         3,
-        |args| Ok(if args[1] != DataType::Null { args[1] } else { args[2] }),
+        |args| {
+            Ok(if args[1] != DataType::Null {
+                args[1]
+            } else {
+                args[2]
+            })
+        },
         |args| {
             if args[0].as_bool().unwrap_or(false) {
                 Ok(args[1].clone())
@@ -138,20 +135,15 @@ pub fn register_builtins(reg: &mut FunctionRegistry) {
         },
     ));
 
-    reg.register_or_replace(ClosureFunction::new(
-        "clamp",
-        3,
-        DataType::Float,
-        |args| {
-            if args.iter().any(Value::is_null) {
-                return Ok(Value::Null);
-            }
-            let v = num(&args[0], "clamp")?;
-            let lo = num(&args[1], "clamp")?;
-            let hi = num(&args[2], "clamp")?;
-            Ok(Value::Float(v.clamp(lo, hi)))
-        },
-    ));
+    reg.register_or_replace(ClosureFunction::new("clamp", 3, DataType::Float, |args| {
+        if args.iter().any(Value::is_null) {
+            return Ok(Value::Null);
+        }
+        let v = num(&args[0], "clamp")?;
+        let lo = num(&args[1], "clamp")?;
+        let hi = num(&args[2], "clamp")?;
+        Ok(Value::Float(v.clamp(lo, hi)))
+    }));
 
     // Text helpers.
     reg.register_or_replace(ClosureFunction::new(
@@ -193,33 +185,37 @@ pub fn register_builtins(reg: &mut FunctionRegistry) {
     ));
 
     // Point helpers — Point is an engine-native type.
-    reg.register_or_replace(ClosureFunction::new(
-        "point",
-        2,
-        DataType::Point,
-        |args| {
-            if args.iter().any(Value::is_null) {
-                return Ok(Value::Null);
-            }
-            Ok(Value::Point { x: num(&args[0], "point")?, y: num(&args[1], "point")? })
-        },
-    ));
+    reg.register_or_replace(ClosureFunction::new("point", 2, DataType::Point, |args| {
+        if args.iter().any(Value::is_null) {
+            return Ok(Value::Null);
+        }
+        Ok(Value::Point {
+            x: num(&args[0], "point")?,
+            y: num(&args[1], "point")?,
+        })
+    }));
 
-    reg.register_or_replace(ClosureFunction::new("px", 1, DataType::Float, |args| {
-        match &args[0] {
+    reg.register_or_replace(ClosureFunction::new(
+        "px",
+        1,
+        DataType::Float,
+        |args| match &args[0] {
             Value::Point { x, .. } => Ok(Value::Float(*x)),
             Value::Null => Ok(Value::Null),
             other => Err(NebulaError::Eval(format!("px: non-point {other}"))),
-        }
-    }));
+        },
+    ));
 
-    reg.register_or_replace(ClosureFunction::new("py", 1, DataType::Float, |args| {
-        match &args[0] {
+    reg.register_or_replace(ClosureFunction::new(
+        "py",
+        1,
+        DataType::Float,
+        |args| match &args[0] {
             Value::Point { y, .. } => Ok(Value::Float(*y)),
             Value::Null => Ok(Value::Null),
             other => Err(NebulaError::Eval(format!("py: non-point {other}"))),
-        }
-    }));
+        },
+    ));
 }
 
 #[cfg(test)]
@@ -243,7 +239,10 @@ mod tests {
         assert_eq!(invoke("ceil", &[Value::Float(2.1)]), Value::Float(3.0));
         assert_eq!(invoke("round", &[Value::Float(2.5)]), Value::Float(3.0));
         assert_eq!(
-            invoke("clamp", &[Value::Float(5.0), Value::Float(0.0), Value::Float(2.0)]),
+            invoke(
+                "clamp",
+                &[Value::Float(5.0), Value::Float(0.0), Value::Float(2.0)]
+            ),
             Value::Float(2.0)
         );
     }

@@ -60,15 +60,12 @@ impl BoundExpr {
     pub fn eval(&self, rec: &Record) -> Result<Value> {
         match self {
             BoundExpr::Literal(v) => Ok(v.clone()),
-            BoundExpr::Column(idx) => rec
-                .get(*idx)
-                .cloned()
-                .ok_or_else(|| {
-                    NebulaError::Eval(format!(
-                        "record has {} fields, column #{idx} missing",
-                        rec.len()
-                    ))
-                }),
+            BoundExpr::Column(idx) => rec.get(*idx).cloned().ok_or_else(|| {
+                NebulaError::Eval(format!(
+                    "record has {} fields, column #{idx} missing",
+                    rec.len()
+                ))
+            }),
             BoundExpr::Binary { op, lhs, rhs } => {
                 // Short-circuit logic operators.
                 match op {
@@ -77,18 +74,14 @@ impl BoundExpr {
                         if !l {
                             return Ok(Value::Bool(false));
                         }
-                        return Ok(Value::Bool(
-                            rhs.eval(rec)?.as_bool().unwrap_or(false),
-                        ));
+                        return Ok(Value::Bool(rhs.eval(rec)?.as_bool().unwrap_or(false)));
                     }
                     BinOp::Or => {
                         let l = lhs.eval(rec)?.as_bool().unwrap_or(false);
                         if l {
                             return Ok(Value::Bool(true));
                         }
-                        return Ok(Value::Bool(
-                            rhs.eval(rec)?.as_bool().unwrap_or(false),
-                        ));
+                        return Ok(Value::Bool(rhs.eval(rec)?.as_bool().unwrap_or(false)));
                     }
                     _ => {}
                 }
@@ -104,9 +97,7 @@ impl BoundExpr {
                         Value::Int(i) => Ok(Value::Int(-i)),
                         Value::Float(f) => Ok(Value::Float(-f)),
                         Value::Null => Ok(Value::Null),
-                        other => Err(NebulaError::Eval(format!(
-                            "cannot negate {other}"
-                        ))),
+                        other => Err(NebulaError::Eval(format!("cannot negate {other}"))),
                     },
                 }
             }
@@ -179,22 +170,20 @@ fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
         }
         BinOp::Eq => Ok(Value::Bool(l == r)),
         BinOp::Ne => Ok(Value::Bool(l != r)),
-        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-            match l.partial_cmp_num(r) {
-                Some(ord) => {
-                    use std::cmp::Ordering::*;
-                    let b = match op {
-                        BinOp::Lt => ord == Less,
-                        BinOp::Le => ord != Greater,
-                        BinOp::Gt => ord == Greater,
-                        BinOp::Ge => ord != Less,
-                        _ => unreachable!(),
-                    };
-                    Ok(Value::Bool(b))
-                }
-                None => Ok(Value::Null),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => match l.partial_cmp_num(r) {
+            Some(ord) => {
+                use std::cmp::Ordering::*;
+                let b = match op {
+                    BinOp::Lt => ord == Less,
+                    BinOp::Le => ord != Greater,
+                    BinOp::Gt => ord == Greater,
+                    BinOp::Ge => ord != Less,
+                    _ => unreachable!(),
+                };
+                Ok(Value::Bool(b))
             }
-        }
+            None => Ok(Value::Null),
+        },
         BinOp::And | BinOp::Or => unreachable!("handled in eval"),
     }
 }
@@ -224,9 +213,15 @@ mod tests {
 
     #[test]
     fn division_by_zero_is_null() {
-        assert_eq!(eval_on(&col("a").div(lit(0i64)), &rec(10, 0.0)), Value::Null);
+        assert_eq!(
+            eval_on(&col("a").div(lit(0i64)), &rec(10, 0.0)),
+            Value::Null
+        );
         assert_eq!(eval_on(&col("b").div(lit(0.0)), &rec(0, 5.0)), Value::Null);
-        assert_eq!(eval_on(&col("a").modulo(lit(0i64)), &rec(10, 0.0)), Value::Null);
+        assert_eq!(
+            eval_on(&col("a").modulo(lit(0i64)), &rec(10, 0.0)),
+            Value::Null
+        );
     }
 
     #[test]
@@ -239,15 +234,25 @@ mod tests {
     fn null_predicate_is_false() {
         let schema = Schema::of(&[("a", DataType::Int)]);
         let reg = FunctionRegistry::with_builtins();
-        let (b, _) = col("a").div(lit(0i64)).gt(lit(1i64)).bind(&schema, &reg).unwrap();
+        let (b, _) = col("a")
+            .div(lit(0i64))
+            .gt(lit(1i64))
+            .bind(&schema, &reg)
+            .unwrap();
         let r = Record::new(vec![Value::Int(5)]);
         assert!(!b.eval_predicate(&r).unwrap());
     }
 
     #[test]
     fn mixed_numeric_promotion() {
-        assert_eq!(eval_on(&col("a").add(col("b")), &rec(2, 0.5)), Value::Float(2.5));
-        assert_eq!(eval_on(&col("a").mul(lit(3i64)), &rec(2, 0.0)), Value::Int(6));
+        assert_eq!(
+            eval_on(&col("a").add(col("b")), &rec(2, 0.5)),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            eval_on(&col("a").mul(lit(3i64)), &rec(2, 0.0)),
+            Value::Int(6)
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub enum BinOp {
 
 impl BinOp {
     fn is_arith(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
     }
 
     fn is_cmp(self) -> bool {
@@ -137,7 +140,10 @@ pub fn lit(v: impl Into<Value>) -> Expr {
 
 /// Function call.
 pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
-    Expr::Call { name: name.into(), args }
+    Expr::Call {
+        name: name.into(),
+        args,
+    }
 }
 
 macro_rules! binop_method {
@@ -145,7 +151,11 @@ macro_rules! binop_method {
         /// Builds the corresponding binary expression.
         #[allow(clippy::should_implement_trait)]
         pub fn $fn_name(self, rhs: Expr) -> Expr {
-            Expr::Binary { op: $op, lhs: Box::new(self), rhs: Box::new(rhs) }
+            Expr::Binary {
+                op: $op,
+                lhs: Box::new(self),
+                rhs: Box::new(rhs),
+            }
         }
     };
 }
@@ -168,13 +178,19 @@ impl Expr {
     /// Logical negation.
     #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
-        Expr::Unary { op: UnOp::Not, expr: Box::new(self) }
+        Expr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(self),
+        }
     }
 
     /// Numeric negation.
     #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Expr {
-        Expr::Unary { op: UnOp::Neg, expr: Box::new(self) }
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr: Box::new(self),
+        }
     }
 
     /// `lo <= self AND self <= hi`.
@@ -194,9 +210,7 @@ impl Expr {
             Expr::Literal(v) => Ok((BoundExpr::Literal(v.clone()), v.data_type())),
             Expr::Column(name) => {
                 let idx = schema.index_of(name).ok_or_else(|| {
-                    NebulaError::Type(format!(
-                        "unknown column '{name}' in schema {schema}"
-                    ))
+                    NebulaError::Type(format!("unknown column '{name}' in schema {schema}"))
                 })?;
                 let dt = schema.field_at(idx).expect("index valid").dtype;
                 Ok((BoundExpr::Column(idx), dt))
@@ -206,7 +220,11 @@ impl Expr {
                 let (br, tr) = rhs.bind(schema, registry)?;
                 let out = binary_result_type(*op, tl, tr)?;
                 Ok((
-                    BoundExpr::Binary { op: *op, lhs: Box::new(bl), rhs: Box::new(br) },
+                    BoundExpr::Binary {
+                        op: *op,
+                        lhs: Box::new(bl),
+                        rhs: Box::new(br),
+                    },
                     out,
                 ))
             }
@@ -215,9 +233,7 @@ impl Expr {
                 let out = match op {
                     UnOp::Not => {
                         if te != DataType::Bool && te != DataType::Null {
-                            return Err(NebulaError::Type(format!(
-                                "NOT requires BOOL, got {te}"
-                            )));
+                            return Err(NebulaError::Type(format!("NOT requires BOOL, got {te}")));
                         }
                         DataType::Bool
                     }
@@ -231,12 +247,18 @@ impl Expr {
                         }
                     },
                 };
-                Ok((BoundExpr::Unary { op: *op, expr: Box::new(be) }, out))
+                Ok((
+                    BoundExpr::Unary {
+                        op: *op,
+                        expr: Box::new(be),
+                    },
+                    out,
+                ))
             }
             Expr::Call { name, args } => {
-                let func = registry.get(name).ok_or_else(|| {
-                    NebulaError::Type(format!("unknown function '{name}'"))
-                })?;
+                let func = registry
+                    .get(name)
+                    .ok_or_else(|| NebulaError::Type(format!("unknown function '{name}'")))?;
                 if args.len() < func.min_args() || args.len() > func.max_args() {
                     return Err(NebulaError::Type(format!(
                         "function '{name}' expects {}..={} args, got {}",
@@ -261,25 +283,23 @@ impl Expr {
 
 fn binary_result_type(op: BinOp, tl: DataType, tr: DataType) -> Result<DataType> {
     use DataType::*;
-    let numeric =
-        |t: DataType| matches!(t, Int | Float | Timestamp | Null);
+    let numeric = |t: DataType| matches!(t, Int | Float | Timestamp | Null);
     if op.is_arith() {
         if !numeric(tl) || !numeric(tr) {
             return Err(NebulaError::Type(format!(
                 "operator {op} requires numeric operands, got {tl} and {tr}"
             )));
         }
-        return Ok(if tl == Float || tr == Float { Float } else { Int });
+        return Ok(if tl == Float || tr == Float {
+            Float
+        } else {
+            Int
+        });
     }
     if op.is_cmp() {
-        let comparable = (numeric(tl) && numeric(tr))
-            || (tl == tr)
-            || tl == Null
-            || tr == Null;
+        let comparable = (numeric(tl) && numeric(tr)) || (tl == tr) || tl == Null || tr == Null;
         if !comparable {
-            return Err(NebulaError::Type(format!(
-                "cannot compare {tl} with {tr}"
-            )));
+            return Err(NebulaError::Type(format!("cannot compare {tl} with {tr}")));
         }
         return Ok(Bool);
     }

@@ -76,35 +76,29 @@ pub use error::{NebulaError, Result};
 pub mod prelude {
     pub use crate::error::{NebulaError, Result};
     pub use crate::expr::{
-        call, col, lit, BoundExpr, ClosureFunction, Expr, FunctionRegistry,
-        Plugin, ScalarFunction,
+        call, col, lit, BoundExpr, ClosureFunction, Expr, FunctionRegistry, Plugin, ScalarFunction,
     };
     pub use crate::metrics::QueryMetrics;
     pub use crate::ops::{
-        CepOp, FilterOp, FlatMapOp, MapOp, Operator, OperatorFactory, Pattern,
-        PatternStep, WindowOp,
+        CepOp, FilterOp, FlatMapOp, MapOp, Operator, OperatorFactory, Pattern, PatternStep,
+        WindowOp,
     };
     pub use crate::query::{compile, LogicalOp, Query};
     pub use crate::record::{Record, RecordBuffer, StreamMessage};
     pub use crate::runtime::{EnvConfig, StreamEnvironment};
     pub use crate::schema::{Field, Schema, SchemaRef};
     pub use crate::sink::{
-        CallbackSink, Collected, CollectingSink, CountingSink, CsvSink,
-        NullSink, Sink, SinkCounters,
+        CallbackSink, Collected, CollectingSink, CountingSink, CsvSink, NullSink, Sink,
+        SinkCounters,
     };
     pub use crate::source::{
-        CsvSource, GapSource, GeneratorSource, JitterSource, Source,
-        SourceBatch, VecSource, WatermarkStrategy, XorShift,
+        CsvSource, GapSource, GeneratorSource, JitterSource, Source, SourceBatch, VecSource,
+        WatermarkStrategy, XorShift,
     };
     pub use crate::topology::{
-        measure_stage_bytes, network_cost, place, replace_after_failure,
-        NetworkCost, Node, NodeId, NodeKind, Placement, PlacementStrategy,
-        StageBytes, Topology,
+        measure_stage_bytes, network_cost, place, replace_after_failure, NetworkCost, Node, NodeId,
+        NodeKind, Placement, PlacementStrategy, StageBytes, Topology,
     };
-    pub use crate::value::{
-        DataType, DurationUs, EventTime, OpaqueValue, Value, MICROS_PER_SEC,
-    };
-    pub use crate::window::{
-        AggSpec, Aggregator, AggregatorFactory, WindowAgg, WindowSpec,
-    };
+    pub use crate::value::{DataType, DurationUs, EventTime, OpaqueValue, Value, MICROS_PER_SEC};
+    pub use crate::window::{AggSpec, Aggregator, AggregatorFactory, WindowAgg, WindowSpec};
 }

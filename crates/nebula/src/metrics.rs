@@ -143,9 +143,10 @@ impl Histogram {
 
     /// Maximum sample.
     pub fn max(&self) -> Option<f64> {
-        self.samples.iter().copied().fold(None, |acc, v| {
-            Some(acc.map_or(v, |m: f64| m.max(v)))
-        })
+        self.samples
+            .iter()
+            .copied()
+            .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.max(v))))
     }
 }
 

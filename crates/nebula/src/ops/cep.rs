@@ -27,7 +27,10 @@ pub struct PatternStep {
 impl PatternStep {
     /// Builds a step.
     pub fn new(name: impl Into<String>, predicate: Expr) -> Self {
-        PatternStep { name: name.into(), predicate }
+        PatternStep {
+            name: name.into(),
+            predicate,
+        }
     }
 }
 
@@ -48,11 +51,7 @@ pub struct Pattern {
 
 impl Pattern {
     /// Builds a pattern with the default partial-match cap.
-    pub fn new(
-        name: impl Into<String>,
-        steps: Vec<PatternStep>,
-        within: DurationUs,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, steps: Vec<PatternStep>, within: DurationUs) -> Self {
         Pattern {
             name: name.into(),
             steps,
@@ -108,11 +107,13 @@ impl CepOp {
             return Err(NebulaError::Plan("pattern needs >= 1 step".into()));
         }
         if pattern.within <= 0 {
-            return Err(NebulaError::Plan("pattern 'within' must be positive".into()));
+            return Err(NebulaError::Plan(
+                "pattern 'within' must be positive".into(),
+            ));
         }
-        let ts_col = input.index_of(ts_field).ok_or_else(|| {
-            NebulaError::Plan(format!("cep: unknown ts field '{ts_field}'"))
-        })?;
+        let ts_col = input
+            .index_of(ts_field)
+            .ok_or_else(|| NebulaError::Plan(format!("cep: unknown ts field '{ts_field}'")))?;
         let mut steps = Vec::with_capacity(pattern.steps.len());
         for s in &pattern.steps {
             let (b, t) = s.predicate.bind(&input, registry)?;
@@ -171,19 +172,13 @@ impl Operator for CepOp {
         self.output.clone()
     }
 
-    fn process(
-        &mut self,
-        buf: RecordBuffer,
-        out: &mut Vec<StreamMessage>,
-    ) -> Result<()> {
+    fn process(&mut self, buf: RecordBuffer, out: &mut Vec<StreamMessage>) -> Result<()> {
         let mut emitted: Vec<Record> = Vec::new();
         for rec in buf.records() {
             let ts = rec
                 .get(self.ts_col)
                 .and_then(Value::as_timestamp)
-                .ok_or_else(|| {
-                    NebulaError::Eval("cep: record missing event time".into())
-                })?;
+                .ok_or_else(|| NebulaError::Eval("cep: record missing event time".into()))?;
             let key = self.key_of(rec)?;
             // Evaluate step predicates once per record.
             let mut sat = Vec::with_capacity(self.steps.len());
@@ -213,7 +208,10 @@ impl Operator for CepOp {
                 if self.steps.len() == 1 {
                     completed.push(ts);
                 } else if partials.len() < self.max_partials {
-                    partials.push(Partial { next_step: 1, first_ts: ts });
+                    partials.push(Partial {
+                        next_step: 1,
+                        first_ts: ts,
+                    });
                 }
             }
 
@@ -235,11 +233,7 @@ impl Operator for CepOp {
         Ok(())
     }
 
-    fn on_watermark(
-        &mut self,
-        wm: EventTime,
-        out: &mut Vec<StreamMessage>,
-    ) -> Result<()> {
+    fn on_watermark(&mut self, wm: EventTime, out: &mut Vec<StreamMessage>) -> Result<()> {
         // Garbage-collect partials that can no longer complete.
         for partials in self.state.values_mut() {
             partials.retain(|p| wm - p.first_ts <= self.within);
@@ -275,7 +269,8 @@ mod tests {
 
     fn run(op: &mut CepOp, rows: Vec<Record>) -> Vec<Record> {
         let mut out = Vec::new();
-        op.process(RecordBuffer::new(schema(), rows), &mut out).unwrap();
+        op.process(RecordBuffer::new(schema(), rows), &mut out)
+            .unwrap();
         out.iter()
             .filter_map(|m| match m {
                 StreamMessage::Data(b) => Some(b.records().to_vec()),
@@ -360,7 +355,10 @@ mod tests {
             MICROS_PER_SEC,
         );
         let mut op = CepOp::new(&p, "ts", schema(), &reg).unwrap();
-        let got = run(&mut op, vec![rec(1, 1, 20.0), rec(2, 1, 5.0), rec(3, 1, 30.0)]);
+        let got = run(
+            &mut op,
+            vec![rec(1, 1, 20.0), rec(2, 1, 5.0), rec(3, 1, 30.0)],
+        );
         assert_eq!(got.len(), 2);
     }
 
@@ -416,11 +414,7 @@ mod tests {
             MICROS_PER_SEC,
         );
         assert!(CepOp::new(&nonbool, "ts", schema(), &reg).is_err());
-        let badwithin = Pattern::new(
-            "x",
-            vec![PatternStep::new("s", col("v").gt(lit(1.0)))],
-            0,
-        );
+        let badwithin = Pattern::new("x", vec![PatternStep::new("s", col("v").gt(lit(1.0)))], 0);
         assert!(CepOp::new(&badwithin, "ts", schema(), &reg).is_err());
     }
 }

@@ -27,19 +27,11 @@ pub trait Operator: Send {
     fn output_schema(&self) -> SchemaRef;
 
     /// Processes one data buffer, pushing zero or more messages.
-    fn process(
-        &mut self,
-        buf: RecordBuffer,
-        out: &mut Vec<StreamMessage>,
-    ) -> Result<()>;
+    fn process(&mut self, buf: RecordBuffer, out: &mut Vec<StreamMessage>) -> Result<()>;
 
     /// Handles a watermark; the default forwards it downstream. Stateful
     /// operators emit closed windows/matches first.
-    fn on_watermark(
-        &mut self,
-        wm: EventTime,
-        out: &mut Vec<StreamMessage>,
-    ) -> Result<()> {
+    fn on_watermark(&mut self, wm: EventTime, out: &mut Vec<StreamMessage>) -> Result<()> {
         out.push(StreamMessage::Watermark(wm));
         Ok(())
     }
@@ -58,11 +50,7 @@ pub trait OperatorFactory: Send + Sync {
     /// Factory/operator name.
     fn name(&self) -> &str;
     /// Instantiates the operator against the upstream schema.
-    fn create(
-        &self,
-        input: SchemaRef,
-        registry: &FunctionRegistry,
-    ) -> Result<Box<dyn Operator>>;
+    fn create(&self, input: SchemaRef, registry: &FunctionRegistry) -> Result<Box<dyn Operator>>;
 }
 
 /// A canonical, hashable grouping key built from evaluated expressions.
@@ -129,19 +117,17 @@ pub struct FilterOp {
 
 impl FilterOp {
     /// Binds `predicate` against `input`.
-    pub fn new(
-        predicate: &Expr,
-        input: SchemaRef,
-        registry: &FunctionRegistry,
-    ) -> Result<Self> {
+    pub fn new(predicate: &Expr, input: SchemaRef, registry: &FunctionRegistry) -> Result<Self> {
         let (bound, dt) = predicate.bind(&input, registry)?;
-        if dt != crate::value::DataType::Bool && dt != crate::value::DataType::Null
-        {
+        if dt != crate::value::DataType::Bool && dt != crate::value::DataType::Null {
             return Err(NebulaError::Type(format!(
                 "filter predicate must be BOOL, got {dt}"
             )));
         }
-        Ok(FilterOp { predicate: bound, schema: input })
+        Ok(FilterOp {
+            predicate: bound,
+            schema: input,
+        })
     }
 }
 
@@ -154,11 +140,7 @@ impl Operator for FilterOp {
         self.schema.clone()
     }
 
-    fn process(
-        &mut self,
-        buf: RecordBuffer,
-        out: &mut Vec<StreamMessage>,
-    ) -> Result<()> {
+    fn process(&mut self, buf: RecordBuffer, out: &mut Vec<StreamMessage>) -> Result<()> {
         let schema = buf.schema().clone();
         let mut kept = Vec::with_capacity(buf.len());
         for rec in buf.into_records() {
@@ -190,14 +172,21 @@ impl MapOp {
         registry: &FunctionRegistry,
     ) -> Result<Self> {
         let mut bound = Vec::with_capacity(projections.len());
-        let mut fields: Vec<Field> =
-            if extend { input.fields().to_vec() } else { Vec::new() };
+        let mut fields: Vec<Field> = if extend {
+            input.fields().to_vec()
+        } else {
+            Vec::new()
+        };
         for (name, e) in projections {
             let (b, t) = e.bind(&input, registry)?;
             bound.push(b);
             fields.push(Field::new(name.clone(), t));
         }
-        Ok(MapOp { projections: bound, extend, schema: Schema::new(fields) })
+        Ok(MapOp {
+            projections: bound,
+            extend,
+            schema: Schema::new(fields),
+        })
     }
 }
 
@@ -210,11 +199,7 @@ impl Operator for MapOp {
         self.schema.clone()
     }
 
-    fn process(
-        &mut self,
-        buf: RecordBuffer,
-        out: &mut Vec<StreamMessage>,
-    ) -> Result<()> {
+    fn process(&mut self, buf: RecordBuffer, out: &mut Vec<StreamMessage>) -> Result<()> {
         let mut mapped = Vec::with_capacity(buf.len());
         for rec in buf.into_records() {
             let mut values = if self.extend {
@@ -255,7 +240,11 @@ impl FlatMapOp {
         schema: SchemaRef,
         f: impl FnMut(&Record, &mut Vec<Record>) -> Result<()> + Send + 'static,
     ) -> Self {
-        FlatMapOp { name: name.into(), schema, f: Box::new(f) }
+        FlatMapOp {
+            name: name.into(),
+            schema,
+            f: Box::new(f),
+        }
     }
 }
 
@@ -268,11 +257,7 @@ impl Operator for FlatMapOp {
         self.schema.clone()
     }
 
-    fn process(
-        &mut self,
-        buf: RecordBuffer,
-        out: &mut Vec<StreamMessage>,
-    ) -> Result<()> {
+    fn process(&mut self, buf: RecordBuffer, out: &mut Vec<StreamMessage>) -> Result<()> {
         let mut produced = Vec::new();
         for rec in buf.records() {
             (self.f)(rec, &mut produced)?;
@@ -321,7 +306,8 @@ mod tests {
         let reg = FunctionRegistry::with_builtins();
         let mut op = FilterOp::new(&col("v").gt(lit(1.0)), schema(), &reg).unwrap();
         let mut out = Vec::new();
-        op.process(buf(&[(1, 0.5), (2, 1.5), (3, 2.5)]), &mut out).unwrap();
+        op.process(buf(&[(1, 0.5), (2, 1.5), (3, 2.5)]), &mut out)
+            .unwrap();
         let recs = data_records(&out);
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].get(0), Some(&Value::Int(2)));

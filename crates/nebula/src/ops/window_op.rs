@@ -59,9 +59,9 @@ impl WindowOp {
         registry: &FunctionRegistry,
     ) -> Result<Self> {
         spec.validate()?;
-        let ts_col = input.index_of(ts_field).ok_or_else(|| {
-            NebulaError::Plan(format!("window: unknown ts field '{ts_field}'"))
-        })?;
+        let ts_col = input
+            .index_of(ts_field)
+            .ok_or_else(|| NebulaError::Plan(format!("window: unknown ts field '{ts_field}'")))?;
         let mut key_exprs = Vec::with_capacity(keys.len());
         let mut fields = Vec::with_capacity(keys.len() + 2 + aggs.len());
         for (name, e) in keys {
@@ -112,8 +112,7 @@ impl WindowOp {
     }
 
     fn emit_record(&self, mut st: WindowState) -> Result<Record> {
-        let mut values =
-            Vec::with_capacity(st.key_values.len() + 2 + st.aggs.len());
+        let mut values = Vec::with_capacity(st.key_values.len() + 2 + st.aggs.len());
         values.append(&mut st.key_values);
         values.push(Value::Timestamp(st.start));
         values.push(Value::Timestamp(st.end));
@@ -123,11 +122,7 @@ impl WindowOp {
         Ok(Record::new(values))
     }
 
-    fn process_time_window(
-        &mut self,
-        rec: &Record,
-        ts: EventTime,
-    ) -> Result<()> {
+    fn process_time_window(&mut self, rec: &Record, ts: EventTime) -> Result<()> {
         let size = self.spec.size().expect("time window has size");
         let (key, key_values) = GroupKey::evaluate(&self.key_exprs, rec)?;
         for start in self.spec.assign(ts) {
@@ -219,20 +214,14 @@ impl Operator for WindowOp {
         self.output.clone()
     }
 
-    fn process(
-        &mut self,
-        buf: RecordBuffer,
-        out: &mut Vec<StreamMessage>,
-    ) -> Result<()> {
+    fn process(&mut self, buf: RecordBuffer, out: &mut Vec<StreamMessage>) -> Result<()> {
         let is_threshold = self.threshold_pred.is_some();
         let mut emitted: Vec<Record> = Vec::new();
         for rec in buf.records() {
             let ts = rec
                 .get(self.ts_col)
                 .and_then(Value::as_timestamp)
-                .ok_or_else(|| {
-                    NebulaError::Eval("window: record missing event time".into())
-                })?;
+                .ok_or_else(|| NebulaError::Eval("window: record missing event time".into()))?;
             if is_threshold {
                 self.process_threshold(rec, ts, &mut emitted)?;
             } else {
@@ -248,11 +237,7 @@ impl Operator for WindowOp {
         Ok(())
     }
 
-    fn on_watermark(
-        &mut self,
-        wm: EventTime,
-        out: &mut Vec<StreamMessage>,
-    ) -> Result<()> {
+    fn on_watermark(&mut self, wm: EventTime, out: &mut Vec<StreamMessage>) -> Result<()> {
         self.last_watermark = self.last_watermark.max(wm);
         if self.threshold_pred.is_none() {
             let closed: Vec<(GroupKey, EventTime)> = self
@@ -369,7 +354,9 @@ mod tests {
 
     #[test]
     fn tumbling_emits_on_watermark() {
-        let mut op = make_op(WindowSpec::Tumbling { size: 10 * MICROS_PER_SEC });
+        let mut op = make_op(WindowSpec::Tumbling {
+            size: 10 * MICROS_PER_SEC,
+        });
         let mut out = Vec::new();
         op.process(
             RecordBuffer::new(
@@ -398,13 +385,12 @@ mod tests {
 
     #[test]
     fn tumbling_separate_keys() {
-        let mut op = make_op(WindowSpec::Tumbling { size: 10 * MICROS_PER_SEC });
+        let mut op = make_op(WindowSpec::Tumbling {
+            size: 10 * MICROS_PER_SEC,
+        });
         let mut out = Vec::new();
         op.process(
-            RecordBuffer::new(
-                schema(),
-                vec![rec(1, 1, 10.0), rec(2, 2, 99.0)],
-            ),
+            RecordBuffer::new(schema(), vec![rec(1, 1, 10.0), rec(2, 2, 99.0)]),
             &mut out,
         )
         .unwrap();
@@ -414,7 +400,9 @@ mod tests {
 
     #[test]
     fn late_records_dropped() {
-        let mut op = make_op(WindowSpec::Tumbling { size: 10 * MICROS_PER_SEC });
+        let mut op = make_op(WindowSpec::Tumbling {
+            size: 10 * MICROS_PER_SEC,
+        });
         let mut out = Vec::new();
         op.on_watermark(20 * MICROS_PER_SEC, &mut out).unwrap();
         op.process(RecordBuffer::new(schema(), vec![rec(5, 1, 10.0)]), &mut out)
@@ -440,7 +428,9 @@ mod tests {
 
     #[test]
     fn eos_flushes_open_windows() {
-        let mut op = make_op(WindowSpec::Tumbling { size: 10 * MICROS_PER_SEC });
+        let mut op = make_op(WindowSpec::Tumbling {
+            size: 10 * MICROS_PER_SEC,
+        });
         let mut out = Vec::new();
         op.process(RecordBuffer::new(schema(), vec![rec(3, 1, 5.0)]), &mut out)
             .unwrap();
@@ -520,7 +510,9 @@ mod tests {
 
     #[test]
     fn output_schema_layout() {
-        let op = make_op(WindowSpec::Tumbling { size: MICROS_PER_SEC });
+        let op = make_op(WindowSpec::Tumbling {
+            size: MICROS_PER_SEC,
+        });
         assert_eq!(
             op.output_schema().to_string(),
             "(train: INT, window_start: TIMESTAMP, window_end: TIMESTAMP, \

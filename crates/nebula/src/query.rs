@@ -19,9 +19,7 @@
 
 use crate::error::{NebulaError, Result};
 use crate::expr::{Expr, FunctionRegistry};
-use crate::ops::{
-    CepOp, FilterOp, MapOp, Operator, OperatorFactory, Pattern, WindowOp,
-};
+use crate::ops::{CepOp, FilterOp, MapOp, Operator, OperatorFactory, Pattern, WindowOp};
 use crate::schema::SchemaRef;
 use crate::window::{WindowAgg, WindowSpec};
 use std::sync::Arc;
@@ -57,7 +55,10 @@ impl std::fmt::Debug for LogicalOp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LogicalOp::Filter(_) => write!(f, "Filter"),
-            LogicalOp::Map { projections, extend } => {
+            LogicalOp::Map {
+                projections,
+                extend,
+            } => {
                 write!(f, "Map(x{}, extend={extend})", projections.len())
             }
             LogicalOp::Window { keys, .. } => write!(f, "Window(keys={})", keys.len()),
@@ -79,7 +80,11 @@ impl Query {
     /// Starts a query over the named stream. The event-time field
     /// defaults to `"ts"`.
     pub fn from(source: impl Into<String>) -> Self {
-        Query { source: source.into(), ts_field: "ts".into(), ops: Vec::new() }
+        Query {
+            source: source.into(),
+            ts_field: "ts".into(),
+            ops: Vec::new(),
+        }
     }
 
     /// Overrides the event-time field name.
@@ -180,15 +185,11 @@ pub fn compile(
     let mut schema = input;
     for op in &query.ops {
         let physical: Box<dyn Operator> = match op {
-            LogicalOp::Filter(pred) => {
-                Box::new(FilterOp::new(pred, schema.clone(), registry)?)
-            }
-            LogicalOp::Map { projections, extend } => Box::new(MapOp::new(
+            LogicalOp::Filter(pred) => Box::new(FilterOp::new(pred, schema.clone(), registry)?),
+            LogicalOp::Map {
                 projections,
-                *extend,
-                schema.clone(),
-                registry,
-            )?),
+                extend,
+            } => Box::new(MapOp::new(projections, *extend, schema.clone(), registry)?),
             LogicalOp::Window { keys, spec, aggs } => Box::new(WindowOp::new(
                 &query.ts_field,
                 keys,
@@ -203,9 +204,7 @@ pub fn compile(
                 schema.clone(),
                 registry,
             )?),
-            LogicalOp::Custom(factory) => {
-                factory.create(schema.clone(), registry)?
-            }
+            LogicalOp::Custom(factory) => factory.create(schema.clone(), registry)?,
         };
         schema = physical.output_schema();
         operators.push(physical);
@@ -215,7 +214,10 @@ pub fn compile(
             "query has no operators; add at least a filter/map/window".into(),
         ));
     }
-    Ok(CompiledPlan { operators, output_schema: schema })
+    Ok(CompiledPlan {
+        operators,
+        output_schema: schema,
+    })
 }
 
 #[cfg(test)]

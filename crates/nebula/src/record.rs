@@ -90,7 +90,10 @@ impl RecordBuffer {
 
     /// An empty buffer with reserved capacity.
     pub fn with_capacity(schema: SchemaRef, cap: usize) -> Self {
-        RecordBuffer { schema, records: Vec::with_capacity(cap) }
+        RecordBuffer {
+            schema,
+            records: Vec::with_capacity(cap),
+        }
     }
 
     /// The shared schema.
@@ -192,10 +195,7 @@ mod tests {
 
     #[test]
     fn buffer_event_times() {
-        let buf = RecordBuffer::new(
-            schema(),
-            vec![rec(10, 0.0), rec(30, 0.0), rec(20, 0.0)],
-        );
+        let buf = RecordBuffer::new(schema(), vec![rec(10, 0.0), rec(30, 0.0), rec(20, 0.0)]);
         assert_eq!(buf.len(), 3);
         assert_eq!(buf.event_time(1, 0), Some(30));
         assert_eq!(buf.max_event_time(0), Some(30));

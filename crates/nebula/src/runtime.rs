@@ -77,7 +77,10 @@ impl StreamEnvironment {
 
     /// An environment with a custom configuration.
     pub fn with_config(config: EnvConfig) -> Self {
-        StreamEnvironment { config, ..StreamEnvironment::new() }
+        StreamEnvironment {
+            config,
+            ..StreamEnvironment::new()
+        }
     }
 
     /// The function registry (immutable).
@@ -113,9 +116,10 @@ impl StreamEnvironment {
 
     /// Human-readable physical plan for a query.
     pub fn explain(&self, query: &Query) -> Result<String> {
-        let src = self.sources.get(query.source()).ok_or_else(|| {
-            NebulaError::Plan(format!("unknown source '{}'", query.source()))
-        })?;
+        let src = self
+            .sources
+            .get(query.source())
+            .ok_or_else(|| NebulaError::Plan(format!("unknown source '{}'", query.source())))?;
         let plan = compile(query, src.source.schema(), &self.registry)?;
         let mut s = format!("Source[{}] {}\n", query.source(), src.source.schema());
         for op in &plan.operators {
@@ -125,16 +129,18 @@ impl StreamEnvironment {
     }
 
     fn take_source(&mut self, name: &str) -> Result<RegisteredSource> {
-        self.sources.remove(name).ok_or_else(|| {
-            NebulaError::Plan(format!("unknown source '{name}'"))
-        })
+        self.sources
+            .remove(name)
+            .ok_or_else(|| NebulaError::Plan(format!("unknown source '{name}'")))
     }
 
     /// Runs a query to completion, synchronously, delivering results to
     /// `sink`. Consumes the registered source.
     pub fn run(&mut self, query: &Query, sink: &mut dyn Sink) -> Result<QueryMetrics> {
-        let RegisteredSource { mut source, watermark } =
-            self.take_source(query.source())?;
+        let RegisteredSource {
+            mut source,
+            watermark,
+        } = self.take_source(query.source())?;
         let schema = source.schema();
         let ts_col = resolve_ts_col(&watermark, &schema)?;
         let plan = compile(query, schema.clone(), &self.registry)?;
@@ -162,12 +168,8 @@ impl StreamEnvironment {
                     }
                     let t0 = Instant::now();
                     feed(&mut ops, StreamMessage::Data(buf), sink, &mut metrics)?;
-                    metrics
-                        .latency
-                        .record(t0.elapsed().as_secs_f64() * 1e6);
-                    if let WatermarkStrategy::BoundedOutOfOrder { slack, .. } =
-                        &watermark
-                    {
+                    metrics.latency.record(t0.elapsed().as_secs_f64() * 1e6);
+                    if let WatermarkStrategy::BoundedOutOfOrder { slack, .. } = &watermark {
                         if metrics.batches % self.config.watermark_every == 0
                             && max_ts != EventTime::MIN
                         {
@@ -198,20 +200,17 @@ impl StreamEnvironment {
 
     /// Runs a query with the source on its own thread, connected to the
     /// operator chain by a bounded channel — pipeline parallelism.
-    pub fn run_threaded(
-        &mut self,
-        query: &Query,
-        sink: &mut dyn Sink,
-    ) -> Result<QueryMetrics> {
-        let RegisteredSource { mut source, watermark } =
-            self.take_source(query.source())?;
+    pub fn run_threaded(&mut self, query: &Query, sink: &mut dyn Sink) -> Result<QueryMetrics> {
+        let RegisteredSource {
+            mut source,
+            watermark,
+        } = self.take_source(query.source())?;
         let schema = source.schema();
         let ts_col = resolve_ts_col(&watermark, &schema)?;
         let plan = compile(query, schema.clone(), &self.registry)?;
         let mut ops = plan.operators;
 
-        let (tx, rx) =
-            crossbeam::channel::bounded::<StreamMessage>(self.config.channel_capacity);
+        let (tx, rx) = crossbeam::channel::bounded::<StreamMessage>(self.config.channel_capacity);
         let buffer_size = self.config.buffer_size;
         let watermark_every = self.config.watermark_every;
         let idle_limit = self.config.idle_limit;
@@ -230,32 +229,22 @@ impl StreamEnvironment {
                             idle = 0;
                             batches += 1;
                             let buf = RecordBuffer::new(schema.clone(), recs);
-                            if let (
-                                Some(col),
-                                WatermarkStrategy::BoundedOutOfOrder { .. },
-                            ) = (ts_col, &watermark)
+                            if let (Some(col), WatermarkStrategy::BoundedOutOfOrder { .. }) =
+                                (ts_col, &watermark)
                             {
                                 if let Some(t) = buf.max_event_time(col) {
                                     max_ts = max_ts.max(t);
                                 }
                             }
-                            tx.send(StreamMessage::Data(buf)).map_err(|_| {
-                                NebulaError::Eval("consumer hung up".into())
-                            })?;
-                            if let WatermarkStrategy::BoundedOutOfOrder {
-                                slack,
-                                ..
-                            } = &watermark
-                            {
+                            tx.send(StreamMessage::Data(buf))
+                                .map_err(|_| NebulaError::Eval("consumer hung up".into()))?;
+                            if let WatermarkStrategy::BoundedOutOfOrder { slack, .. } = &watermark {
                                 if batches.is_multiple_of(watermark_every)
                                     && max_ts != EventTime::MIN
                                 {
-                                    tx.send(StreamMessage::Watermark(
-                                        max_ts - slack,
-                                    ))
-                                    .map_err(|_| {
-                                        NebulaError::Eval("consumer hung up".into())
-                                    })?;
+                                    tx.send(StreamMessage::Watermark(max_ts - slack)).map_err(
+                                        |_| NebulaError::Eval("consumer hung up".into()),
+                                    )?;
                                 }
                             }
                         }
@@ -417,7 +406,9 @@ mod tests {
         let (mut sink, got) = CollectingSink::new();
         let q = Query::from("trains").window(
             vec![("train", col("train"))],
-            WindowSpec::Tumbling { size: 60 * MICROS_PER_SEC },
+            WindowSpec::Tumbling {
+                size: 60 * MICROS_PER_SEC,
+            },
             vec![WindowAgg::new("n", AggSpec::Count)],
         );
         let m = env.run(&q, &mut sink).unwrap();
@@ -447,11 +438,7 @@ mod tests {
             watermark_every: 1,
             ..EnvConfig::default()
         });
-        let src = JitterSource::new(
-            VecSource::new(schema(), records(300)),
-            8,
-            99,
-        );
+        let src = JitterSource::new(VecSource::new(schema(), records(300)), 8, 99);
         env.add_source(
             "trains",
             Box::new(src),
@@ -463,7 +450,9 @@ mod tests {
         let (mut sink, got) = CollectingSink::new();
         let q = Query::from("trains").window(
             vec![],
-            WindowSpec::Tumbling { size: 60 * MICROS_PER_SEC },
+            WindowSpec::Tumbling {
+                size: 60 * MICROS_PER_SEC,
+            },
             vec![WindowAgg::new("n", AggSpec::Count)],
         );
         env.run(&q, &mut sink).unwrap();

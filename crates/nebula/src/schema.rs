@@ -17,7 +17,10 @@ pub struct Field {
 impl Field {
     /// Builds a field.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype }
+        Field {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -45,12 +48,7 @@ impl Schema {
 
     /// Convenience builder from `(name, type)` pairs.
     pub fn of(pairs: &[(&str, DataType)]) -> SchemaRef {
-        Schema::new(
-            pairs
-                .iter()
-                .map(|(n, t)| Field::new(*n, *t))
-                .collect(),
-        )
+        Schema::new(pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect())
     }
 
     /// The fields in declaration order.

@@ -129,7 +129,10 @@ impl CsvSink {
     /// Creates/truncates `path`.
     pub fn create(path: impl AsRef<Path>) -> Result<Self> {
         let file = std::fs::File::create(path.as_ref())?;
-        Ok(CsvSink { writer: std::io::BufWriter::new(file), wrote_header: false })
+        Ok(CsvSink {
+            writer: std::io::BufWriter::new(file),
+            wrote_header: false,
+        })
     }
 }
 
@@ -146,8 +149,7 @@ impl Sink for CsvSink {
             self.wrote_header = true;
         }
         for rec in buf.records() {
-            let row: Vec<String> =
-                rec.values().iter().map(|v| v.to_string()).collect();
+            let row: Vec<String> = rec.values().iter().map(|v| v.to_string()).collect();
             writeln!(self.writer, "{}", row.join(","))?;
         }
         Ok(())
@@ -187,7 +189,9 @@ mod tests {
     fn buf(vals: &[i64]) -> RecordBuffer {
         RecordBuffer::new(
             Schema::of(&[("v", DataType::Int)]),
-            vals.iter().map(|v| Record::new(vec![Value::Int(*v)])).collect(),
+            vals.iter()
+                .map(|v| Record::new(vec![Value::Int(*v)]))
+                .collect(),
         )
     }
 

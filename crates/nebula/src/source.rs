@@ -52,7 +52,10 @@ pub struct VecSource {
 impl VecSource {
     /// Builds a source that replays `records` once.
     pub fn new(schema: SchemaRef, records: Vec<Record>) -> Self {
-        VecSource { schema, records: records.into() }
+        VecSource {
+            schema,
+            records: records.into(),
+        }
     }
 }
 
@@ -81,7 +84,12 @@ pub struct GeneratorSource<F: FnMut(u64) -> Record + Send> {
 impl<F: FnMut(u64) -> Record + Send> GeneratorSource<F> {
     /// Builds a generator emitting `count` records via `gen(i)`.
     pub fn new(schema: SchemaRef, count: u64, gen: F) -> Self {
-        GeneratorSource { schema, next: 0, count, gen }
+        GeneratorSource {
+            schema,
+            next: 0,
+            count,
+            gen,
+        }
     }
 }
 
@@ -115,17 +123,17 @@ pub struct CsvSource {
 
 impl CsvSource {
     /// Opens `path`, skipping a header row when `has_header`.
-    pub fn open(
-        schema: SchemaRef,
-        path: impl AsRef<Path>,
-        has_header: bool,
-    ) -> Result<Self> {
+    pub fn open(schema: SchemaRef, path: impl AsRef<Path>, has_header: bool) -> Result<Self> {
         let file = std::fs::File::open(path.as_ref())?;
         let mut lines = std::io::BufReader::new(file).lines();
         if has_header {
             let _ = lines.next().transpose()?;
         }
-        Ok(CsvSource { schema, lines, line_no: 0 })
+        Ok(CsvSource {
+            schema,
+            lines,
+            line_no: 0,
+        })
     }
 
     fn parse_line(&self, line: &str) -> Result<Record> {
@@ -150,16 +158,10 @@ impl CsvSource {
                 Value::Null
             } else {
                 match f.dtype {
-                    DataType::Bool => {
-                        Value::Bool(matches!(raw, "true" | "t" | "1"))
-                    }
+                    DataType::Bool => Value::Bool(matches!(raw, "true" | "t" | "1")),
                     DataType::Int => Value::Int(raw.parse().map_err(|_| bad())?),
-                    DataType::Float => {
-                        Value::Float(raw.parse().map_err(|_| bad())?)
-                    }
-                    DataType::Timestamp => {
-                        Value::Timestamp(raw.parse().map_err(|_| bad())?)
-                    }
+                    DataType::Float => Value::Float(raw.parse().map_err(|_| bad())?),
+                    DataType::Timestamp => Value::Timestamp(raw.parse().map_err(|_| bad())?),
                     DataType::Text => Value::text(raw),
                     DataType::Point => {
                         let (x, y) = raw.split_once(';').ok_or_else(bad)?;

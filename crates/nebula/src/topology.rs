@@ -72,27 +72,26 @@ impl Topology {
     }
 
     /// Adds a node.
-    pub fn add_node(
-        &mut self,
-        name: impl Into<String>,
-        kind: NodeKind,
-        cpu_slots: u32,
-    ) -> NodeId {
+    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind, cpu_slots: u32) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { id, name: name.into(), kind, cpu_slots });
+        self.nodes.push(Node {
+            id,
+            name: name.into(),
+            kind,
+            cpu_slots,
+        });
         id
     }
 
     /// Connects `child` upward to `parent`.
-    pub fn connect(
-        &mut self,
-        child: NodeId,
-        parent: NodeId,
-        bandwidth_mbps: f64,
-        latency_ms: f64,
-    ) {
+    pub fn connect(&mut self, child: NodeId, parent: NodeId, bandwidth_mbps: f64, latency_ms: f64) {
         let idx = self.links.len();
-        self.links.push(Link { from: child, to: parent, bandwidth_mbps, latency_ms });
+        self.links.push(Link {
+            from: child,
+            to: parent,
+            bandwidth_mbps,
+            latency_ms,
+        });
         self.parent.insert(child, idx);
     }
 
@@ -113,7 +112,10 @@ impl Topology {
 
     /// The cloud root (first cloud node).
     pub fn cloud(&self) -> Option<NodeId> {
-        self.nodes.iter().find(|n| n.kind == NodeKind::Cloud).map(|n| n.id)
+        self.nodes
+            .iter()
+            .find(|n| n.kind == NodeKind::Cloud)
+            .map(|n| n.id)
     }
 
     /// Link indices on the upward path `from → to` (`to` must be an
@@ -136,11 +138,7 @@ impl Topology {
     }
 
     /// First ancestor (inclusive) of `from` with the given kind.
-    pub fn first_ancestor_of_kind(
-        &self,
-        from: NodeId,
-        kind: NodeKind,
-    ) -> Option<NodeId> {
+    pub fn first_ancestor_of_kind(&self, from: NodeId, kind: NodeKind) -> Option<NodeId> {
         let mut cur = from;
         loop {
             if self.node(cur).kind == kind {
@@ -161,8 +159,10 @@ impl Topology {
             return false;
         };
         let new_parent = self.links[up_idx].to;
-        let (bw, lat) =
-            (self.links[up_idx].bandwidth_mbps, self.links[up_idx].latency_ms);
+        let (bw, lat) = (
+            self.links[up_idx].bandwidth_mbps,
+            self.links[up_idx].latency_ms,
+        );
         // Re-attach children.
         let child_links: Vec<usize> = self
             .links
@@ -244,9 +244,7 @@ pub fn place(
             for op in query.ops() {
                 let want = match op {
                     LogicalOp::Filter(_) | LogicalOp::Map { .. } => current,
-                    LogicalOp::Window { .. }
-                    | LogicalOp::Cep(_)
-                    | LogicalOp::Custom(_) => edge,
+                    LogicalOp::Window { .. } | LogicalOp::Cep(_) | LogicalOp::Custom(_) => edge,
                 };
                 // Never place below the current stage's node.
                 current = if topo.path_up(current, want).is_ok() {
@@ -293,9 +291,9 @@ pub fn measure_stage_bytes(
     let mut records = vec![0u64; n + 1];
 
     let push = |ops: &mut [Box<dyn crate::ops::Operator>],
-                    first: StreamMessage,
-                    bytes: &mut [u64],
-                    records: &mut [u64]|
+                first: StreamMessage,
+                bytes: &mut [u64],
+                records: &mut [u64]|
      -> Result<()> {
         let mut cur = vec![first];
         let mut next: Vec<StreamMessage> = Vec::new();
@@ -331,7 +329,10 @@ pub fn measure_stage_bytes(
         }
     }
     push(&mut ops, StreamMessage::Eos, &mut bytes, &mut records)?;
-    Ok(StageBytes { stage_bytes: bytes, stage_records: records })
+    Ok(StageBytes {
+        stage_bytes: bytes,
+        stage_records: records,
+    })
 }
 
 /// Network cost of running a placement: bytes crossing each link and the
@@ -449,7 +450,9 @@ mod tests {
             .filter(col("speed").gt(lit(90.0))) // selective
             .window(
                 vec![("train", col("train"))],
-                WindowSpec::Tumbling { size: 60 * MICROS_PER_SEC },
+                WindowSpec::Tumbling {
+                    size: 60 * MICROS_PER_SEC,
+                },
                 vec![WindowAgg::new("n", AggSpec::Count)],
             )
     }
@@ -464,7 +467,9 @@ mod tests {
             let path = topo.path_up(*s, cloud).unwrap();
             assert_eq!(path.len(), 2, "sensor -> edge -> cloud");
         }
-        let edge = topo.first_ancestor_of_kind(sensors[0], NodeKind::Edge).unwrap();
+        let edge = topo
+            .first_ancestor_of_kind(sensors[0], NodeKind::Edge)
+            .unwrap();
         assert_eq!(topo.node(edge).kind, NodeKind::Edge);
     }
 
@@ -475,7 +480,7 @@ mod tests {
         let edge = place(&q, &topo, sensors[0], PlacementStrategy::EdgeFirst).unwrap();
         let cloud = place(&q, &topo, sensors[0], PlacementStrategy::CloudOnly).unwrap();
         assert_eq!(edge.stages.len(), 4); // source, filter, window, sink
-        // Filter stays on the sensor; window moves to the edge.
+                                          // Filter stays on the sensor; window moves to the edge.
         assert_eq!(edge.stages[1], sensors[0]);
         assert_eq!(topo.node(edge.stages[2]).kind, NodeKind::Edge);
         assert_eq!(topo.node(edge.stages[3]).kind, NodeKind::Cloud);
@@ -524,7 +529,9 @@ mod tests {
         let (mut topo, sensors) = Topology::train_fleet(1);
         let q = demo_query();
         let pl = place(&q, &topo, sensors[0], PlacementStrategy::EdgeFirst).unwrap();
-        let edge = topo.first_ancestor_of_kind(sensors[0], NodeKind::Edge).unwrap();
+        let edge = topo
+            .first_ancestor_of_kind(sensors[0], NodeKind::Edge)
+            .unwrap();
         let cloud = topo.cloud().unwrap();
         assert!(topo.fail_node(edge));
         let (new_pl, migrated) = replace_after_failure(&topo, &pl, edge, cloud);

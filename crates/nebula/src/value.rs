@@ -218,9 +218,7 @@ impl PartialEq for Value {
             (Value::Null, Value::Null) => true,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Text(a), Value::Text(b)) => a == b,
-            (Value::Point { x: ax, y: ay }, Value::Point { x: bx, y: by }) => {
-                ax == bx && ay == by
-            }
+            (Value::Point { x: ax, y: ay }, Value::Point { x: bx, y: by }) => ax == bx && ay == by,
             (Value::Opaque(a), Value::Opaque(b)) => {
                 a.type_tag() == b.type_tag() && a.opaque_eq(b.as_ref())
             }
@@ -306,7 +304,10 @@ mod tests {
     #[test]
     fn numeric_ordering() {
         use std::cmp::Ordering::*;
-        assert_eq!(Value::Int(2).partial_cmp_num(&Value::Float(3.0)), Some(Less));
+        assert_eq!(
+            Value::Int(2).partial_cmp_num(&Value::Float(3.0)),
+            Some(Less)
+        );
         assert_eq!(
             Value::text("b").partial_cmp_num(&Value::text("a")),
             Some(Greater)

@@ -42,14 +42,12 @@ impl WindowSpec {
     /// Validates the spec's invariants.
     pub fn validate(&self) -> Result<()> {
         match self {
-            WindowSpec::Tumbling { size } if *size <= 0 => Err(
-                NebulaError::Plan("tumbling window size must be positive".into()),
+            WindowSpec::Tumbling { size } if *size <= 0 => Err(NebulaError::Plan(
+                "tumbling window size must be positive".into(),
+            )),
+            WindowSpec::Sliding { size, slide } if *size <= 0 || *slide <= 0 => Err(
+                NebulaError::Plan("sliding window size and slide must be positive".into()),
             ),
-            WindowSpec::Sliding { size, slide } if *size <= 0 || *slide <= 0 => {
-                Err(NebulaError::Plan(
-                    "sliding window size and slide must be positive".into(),
-                ))
-            }
             _ => Ok(()),
         }
     }
@@ -76,9 +74,7 @@ impl WindowSpec {
     /// Window length for time-based specs.
     pub fn size(&self) -> Option<DurationUs> {
         match self {
-            WindowSpec::Tumbling { size } | WindowSpec::Sliding { size, .. } => {
-                Some(*size)
-            }
+            WindowSpec::Tumbling { size } | WindowSpec::Sliding { size, .. } => Some(*size),
             WindowSpec::Threshold { .. } => None,
         }
     }
@@ -96,17 +92,9 @@ pub trait Aggregator: Send {
 /// plugins for custom window semantics (e.g. "assemble a MEOS sequence").
 pub trait AggregatorFactory: Send + Sync {
     /// Output type given the input schema.
-    fn output_type(
-        &self,
-        input: &Schema,
-        registry: &FunctionRegistry,
-    ) -> Result<DataType>;
+    fn output_type(&self, input: &Schema, registry: &FunctionRegistry) -> Result<DataType>;
     /// Creates one per-window accumulator.
-    fn create(
-        &self,
-        input: &Schema,
-        registry: &FunctionRegistry,
-    ) -> Result<Box<dyn Aggregator>>;
+    fn create(&self, input: &Schema, registry: &FunctionRegistry) -> Result<Box<dyn Aggregator>>;
 }
 
 /// A window aggregate: what to compute and the output column name.
@@ -121,7 +109,10 @@ pub struct WindowAgg {
 impl WindowAgg {
     /// Builds a named aggregate.
     pub fn new(name: impl Into<String>, spec: AggSpec) -> Self {
-        WindowAgg { name: name.into(), spec }
+        WindowAgg {
+            name: name.into(),
+            spec,
+        }
     }
 }
 
@@ -148,11 +139,7 @@ pub enum AggSpec {
 
 impl AggSpec {
     /// Output type of the aggregate over `input`.
-    pub fn output_type(
-        &self,
-        input: &Schema,
-        registry: &FunctionRegistry,
-    ) -> Result<DataType> {
+    pub fn output_type(&self, input: &Schema, registry: &FunctionRegistry) -> Result<DataType> {
         match self {
             AggSpec::Count => Ok(DataType::Int),
             AggSpec::Avg(e) => {
@@ -184,9 +171,7 @@ impl AggSpec {
             AggSpec::Min(e) => Box::new(BuiltinAgg::new(bind(e)?, AggKind::Min)),
             AggSpec::Max(e) => Box::new(BuiltinAgg::new(bind(e)?, AggKind::Max)),
             AggSpec::Avg(e) => Box::new(BuiltinAgg::new(bind(e)?, AggKind::Avg)),
-            AggSpec::First(e) => {
-                Box::new(BuiltinAgg::new(bind(e)?, AggKind::First))
-            }
+            AggSpec::First(e) => Box::new(BuiltinAgg::new(bind(e)?, AggKind::First)),
             AggSpec::Last(e) => Box::new(BuiltinAgg::new(bind(e)?, AggKind::Last)),
             AggSpec::Custom(f) => f.create(input, registry)?,
         })
@@ -226,7 +211,14 @@ impl BuiltinAgg {
     }
 
     fn new(expr: BoundExpr, kind: AggKind) -> Self {
-        BuiltinAgg { expr: Some(expr), kind, count: 0, sum: 0.0, int_only: true, best: None }
+        BuiltinAgg {
+            expr: Some(expr),
+            kind,
+            count: 0,
+            sum: 0.0,
+            int_only: true,
+            best: None,
+        }
     }
 }
 
@@ -246,15 +238,13 @@ impl Aggregator for BuiltinAgg {
                 if !matches!(v, Value::Int(_) | Value::Timestamp(_)) {
                     self.int_only = false;
                 }
-                self.sum += v.as_float().ok_or_else(|| {
-                    NebulaError::Eval(format!("aggregate over non-numeric {v}"))
-                })?;
+                self.sum += v
+                    .as_float()
+                    .ok_or_else(|| NebulaError::Eval(format!("aggregate over non-numeric {v}")))?;
             }
             AggKind::Min => {
                 let replace = match &self.best {
-                    Some(b) => {
-                        v.partial_cmp_num(b) == Some(std::cmp::Ordering::Less)
-                    }
+                    Some(b) => v.partial_cmp_num(b) == Some(std::cmp::Ordering::Less),
                     None => true,
                 };
                 if replace {
@@ -263,9 +253,7 @@ impl Aggregator for BuiltinAgg {
             }
             AggKind::Max => {
                 let replace = match &self.best {
-                    Some(b) => {
-                        v.partial_cmp_num(b) == Some(std::cmp::Ordering::Greater)
-                    }
+                    Some(b) => v.partial_cmp_num(b) == Some(std::cmp::Ordering::Greater),
                     None => true,
                 };
                 if replace {
@@ -332,20 +320,32 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, vec![5, 10]);
         // slide == size behaves like tumbling.
-        let t = WindowSpec::Sliding { size: 10, slide: 10 };
+        let t = WindowSpec::Sliding {
+            size: 10,
+            slide: 10,
+        };
         assert_eq!(t.assign(12), vec![10]);
     }
 
     #[test]
     fn sliding_overlap_count() {
-        let w = WindowSpec::Sliding { size: 60, slide: 15 };
-        assert_eq!(w.assign(100).len(), 4, "size/slide windows cover each instant");
+        let w = WindowSpec::Sliding {
+            size: 60,
+            slide: 15,
+        };
+        assert_eq!(
+            w.assign(100).len(),
+            4,
+            "size/slide windows cover each instant"
+        );
     }
 
     #[test]
     fn spec_validation() {
         assert!(WindowSpec::Tumbling { size: 0 }.validate().is_err());
-        assert!(WindowSpec::Sliding { size: 10, slide: 0 }.validate().is_err());
+        assert!(WindowSpec::Sliding { size: 10, slide: 0 }
+            .validate()
+            .is_err());
         assert!(WindowSpec::Tumbling { size: 1 }.validate().is_ok());
         assert!(WindowSpec::Threshold {
             predicate: lit(true),

@@ -20,16 +20,14 @@ fn rec(ts: i64, key: i64, v: f64) -> Record {
 
 /// Random event streams: bounded timestamps so windows stay countable.
 fn stream_strategy() -> impl Strategy<Value = Vec<Record>> {
-    proptest::collection::vec(
-        (0i64..600, 0i64..4, -100.0f64..100.0),
-        1..300,
+    proptest::collection::vec((0i64..600, 0i64..4, -100.0f64..100.0), 1..300).prop_map(
+        |mut rows| {
+            rows.sort_by_key(|r| r.0);
+            rows.into_iter()
+                .map(|(s, k, v)| rec(s * MICROS_PER_SEC, k, v))
+                .collect()
+        },
     )
-    .prop_map(|mut rows| {
-        rows.sort_by_key(|r| r.0);
-        rows.into_iter()
-            .map(|(s, k, v)| rec(s * MICROS_PER_SEC, k, v))
-            .collect()
-    })
 }
 
 fn run(query: &Query, records: Vec<Record>, slack_s: i64) -> Vec<Record> {

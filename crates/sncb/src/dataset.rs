@@ -71,8 +71,7 @@ pub fn export_csv(records: &[Record], path: impl AsRef<Path>) -> std::io::Result
     let file = std::fs::File::create(path.as_ref())?;
     let mut w = std::io::BufWriter::new(file);
     let schema = fleet_schema();
-    let header: Vec<&str> =
-        schema.fields().iter().map(|f| f.name.as_str()).collect();
+    let header: Vec<&str> = schema.fields().iter().map(|f| f.name.as_str()).collect();
     writeln!(w, "{}", header.join(","))?;
     for r in records {
         let cols: Vec<String> = r

@@ -8,15 +8,14 @@ use crate::stream::{fleet_schema, FleetConfig, FleetSimulator};
 use crate::weather::WeatherField;
 use meos::geo::Point;
 use meos::time::TimestampTz;
-use nebula::prelude::{
-    Record, StreamEnvironment, VecSource, WatermarkStrategy, MICROS_PER_SEC,
-};
+use nebula::prelude::{Record, StreamEnvironment, VecSource, WatermarkStrategy, MICROS_PER_SEC};
 use nebulameos::{DemoContext, DemoZones, MeosPlugin, WeatherProvider};
 use std::sync::Arc;
 
 impl WeatherProvider for WeatherField {
     fn speed_factor(&self, pos: Point, t_micros: i64) -> f64 {
-        self.sample(&pos, TimestampTz::from_micros(t_micros)).speed_factor()
+        self.sample(&pos, TimestampTz::from_micros(t_micros))
+            .speed_factor()
     }
 }
 
@@ -79,10 +78,8 @@ pub fn demo_environment_with(
 ) -> StreamEnvironment {
     let mut env = StreamEnvironment::new();
     env.load_plugin(&MeosPlugin).expect("meos plugin");
-    env.load_plugin(
-        &DemoContext::new(demo_zones(net)).with_weather(Arc::new(weather)),
-    )
-    .expect("demo context");
+    env.load_plugin(&DemoContext::new(demo_zones(net)).with_weather(Arc::new(weather)))
+        .expect("demo context");
     env.add_source(
         "fleet",
         Box::new(VecSource::new(fleet_schema(), records)),
@@ -123,11 +120,7 @@ mod tests {
     #[test]
     fn weather_provider_adapts_field() {
         let f = WeatherField::new(1);
-        let factor = WeatherProvider::speed_factor(
-            &f,
-            Point::new(4.35, 50.85),
-            0,
-        );
+        let factor = WeatherProvider::speed_factor(&f, Point::new(4.35, 50.85), 0);
         assert!((0.4..=1.0).contains(&factor));
     }
 }

@@ -32,15 +32,12 @@ pub mod stream;
 pub mod train;
 pub mod weather;
 
-pub use demo::{demo_environment, demo_zones};
 pub use dataset::{export_csv, generate, open_csv, summarize, DatasetSummary};
+pub use demo::{demo_environment, demo_zones};
 pub use network::{RailNetwork, Route, Station, Zone, ZoneKind};
 pub use sensors::{SensorReading, SensorSuite};
-pub use stream::{
-    fleet_schema, reading_to_record, FleetConfig, FleetSimulator, FleetSource,
-};
+pub use stream::{fleet_schema, reading_to_record, FleetConfig, FleetSimulator, FleetSource};
 pub use train::{
-    demo_fault_plans, in_scheduled_stop_zone, FaultPlan, TrainConfig, TrainSim,
-    TrainState,
+    demo_fault_plans, in_scheduled_stop_zone, FaultPlan, TrainConfig, TrainSim, TrainState,
 };
 pub use weather::{WeatherCondition, WeatherField, WeatherSample};

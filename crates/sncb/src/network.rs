@@ -81,8 +81,7 @@ impl Route {
         let (c0, c1) = (self.cum_m[idx - 1], self.cum_m[idx]);
         let frac = if c1 > c0 { (m - c0) / (c1 - c0) } else { 0.0 };
         let p = self.track[idx - 1].lerp(&self.track[idx], frac);
-        let heading =
-            meos::tpoint::bearing(&self.track[idx - 1], &self.track[idx]);
+        let heading = meos::tpoint::bearing(&self.track[idx - 1], &self.track[idx]);
         (p, heading)
     }
 
@@ -175,7 +174,10 @@ impl RailNetwork {
     pub fn belgium() -> Self {
         let stations: Vec<Station> = STATIONS
             .iter()
-            .map(|(n, x, y)| Station { name: n.to_string(), pos: Point::new(*x, *y) })
+            .map(|(n, x, y)| Station {
+                name: n.to_string(),
+                pos: Point::new(*x, *y),
+            })
             .collect();
 
         let mut routes = Vec::with_capacity(ROUTES.len());
@@ -219,14 +221,20 @@ impl RailNetwork {
             zones.push(Zone {
                 name: format!("station:{}", s.name),
                 kind: ZoneKind::StationArea,
-                geometry: Geometry::Circle { center: s.pos, radius: 400.0 },
+                geometry: Geometry::Circle {
+                    center: s.pos,
+                    radius: 400.0,
+                },
                 speed_limit_kmh: Some(40.0),
             });
         }
         // Workshops near four stations (slightly offset).
-        for (si, dx, dy) in
-            [(0usize, 0.012, -0.006), (4, -0.010, 0.008), (6, 0.008, 0.006), (7, -0.011, -0.007)]
-        {
+        for (si, dx, dy) in [
+            (0usize, 0.012, -0.006),
+            (4, -0.010, 0.008),
+            (6, 0.008, 0.006),
+            (7, -0.011, -0.007),
+        ] {
             let p = stations[si].pos;
             zones.push(Zone {
                 name: format!("workshop:{}", stations[si].name),
@@ -240,8 +248,7 @@ impl RailNetwork {
         }
         // Maintenance zones: rectangles over mid-leg sections of three
         // routes (deterministic picks).
-        for (zi, (ri, frac)) in [(0usize, 0.45), (1, 0.6), (3, 0.3)].iter().enumerate()
-        {
+        for (zi, (ri, frac)) in [(0usize, 0.45), (1, 0.6), (3, 0.3)].iter().enumerate() {
             let route = &routes[*ri];
             let (c, _) = route.position_at(route.length_m() * frac);
             zones.push(Zone {
@@ -262,7 +269,10 @@ impl RailNetwork {
                 zones.push(Zone {
                     name: format!("curve:{}", route.name),
                     kind: ZoneKind::HighRiskCurve,
-                    geometry: Geometry::Circle { center: c, radius: 1_200.0 },
+                    geometry: Geometry::Circle {
+                        center: c,
+                        radius: 1_200.0,
+                    },
                     speed_limit_kmh: Some(80.0 + 10.0 * (ri % 3) as f64),
                 });
             }
@@ -272,12 +282,19 @@ impl RailNetwork {
             zones.push(Zone {
                 name: format!("quiet:{}", stations[si].name),
                 kind: ZoneKind::NoiseSensitive,
-                geometry: Geometry::Circle { center: stations[si].pos, radius: r },
+                geometry: Geometry::Circle {
+                    center: stations[si].pos,
+                    radius: r,
+                },
                 speed_limit_kmh: None,
             });
         }
 
-        RailNetwork { stations, routes, zones }
+        RailNetwork {
+            stations,
+            routes,
+            zones,
+        }
     }
 
     /// Zones of one kind.
@@ -305,7 +322,10 @@ impl RailNetwork {
     pub fn nearest_workshop(&self, p: &Point) -> Option<(&str, f64)> {
         self.zones_of(ZoneKind::Workshop)
             .map(|z| {
-                (z.name.as_str(), z.geometry.distance_to_point(p, Metric::Haversine))
+                (
+                    z.name.as_str(),
+                    z.geometry.distance_to_point(p, Metric::Haversine),
+                )
             })
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
     }
@@ -426,7 +446,10 @@ mod tests {
     fn nearest_workshop_found() {
         let net = RailNetwork::belgium();
         let (name, d) = net.nearest_workshop(&net.stations[0].pos).unwrap();
-        assert!(name.contains("Brussels-Midi"), "nearest to Midi is its own: {name}");
+        assert!(
+            name.contains("Brussels-Midi"),
+            "nearest to Midi is its own: {name}"
+        );
         assert!(d < 3_000.0, "{d}");
     }
 }

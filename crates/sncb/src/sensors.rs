@@ -82,8 +82,7 @@ impl SensorSuite {
         dt_s: f64,
     ) -> SensorReading {
         let speed_kmh = state.speed_ms * 3.6;
-        let battery_fault =
-            faults.battery_fault_after.is_some_and(|t| state.t >= t);
+        let battery_fault = faults.battery_fault_after.is_some_and(|t| state.t >= t);
         let brake_leak = faults.brake_leak_after.is_some_and(|t| state.t >= t);
 
         // --- Battery ------------------------------------------------
@@ -94,15 +93,22 @@ impl SensorSuite {
         } else {
             -0.004 * dt_s / 60.0
         };
-        let fault_drain = if battery_fault { -0.05 * dt_s / 60.0 } else { 0.0 };
+        let fault_drain = if battery_fault {
+            -0.05 * dt_s / 60.0
+        } else {
+            0.0
+        };
         self.soc = (self.soc + dsoc + fault_drain).clamp(0.02, 1.0);
         // Open-circuit voltage curve for a 72 V pack: steep below 20% SoC.
         let ocv = 63.0 + 16.0 * self.soc
-            - if self.soc < 0.2 { (0.2 - self.soc) * 30.0 } else { 0.0 };
+            - if self.soc < 0.2 {
+                (0.2 - self.soc) * 30.0
+            } else {
+                0.0
+            };
         let battery_v = ocv + self.noise(0.15);
-        let target_temp = 16.0
-            + weather.temp_c * 0.3
-            + if battery_fault { 35.0 } else { 6.0 * self.soc };
+        let target_temp =
+            16.0 + weather.temp_c * 0.3 + if battery_fault { 35.0 } else { 6.0 * self.soc };
         self.battery_temp_c += (target_temp - self.battery_temp_c) * 0.02 * dt_s;
 
         // --- Brake pressure ------------------------------------------
@@ -130,8 +136,7 @@ impl SensorSuite {
 
         // --- Cabin temperature ---------------------------------------
         let load = state.passengers as f64 / 600.0;
-        let cabin_temp_c = 20.5 + load * 3.0 + (weather.temp_c - 10.0) * 0.08
-            + self.noise(0.3);
+        let cabin_temp_c = 20.5 + load * 3.0 + (weather.temp_c - 10.0) * 0.08 + self.noise(0.3);
 
         // --- GPS ------------------------------------------------------
         let pos = if self.rng.gen::<f64>() < self.gps_dropout {
@@ -194,14 +199,15 @@ mod tests {
         }
     }
 
-    fn run_train(
-        faults: FaultPlan,
-        secs: i64,
-        seed: u64,
-    ) -> Vec<SensorReading> {
+    fn run_train(faults: FaultPlan, secs: i64, seed: u64) -> Vec<SensorReading> {
         let net = Arc::new(RailNetwork::belgium());
-        let mut sim =
-            TrainSim::new(net, TrainConfig::standard(0, 0), faults.clone(), start(), seed);
+        let mut sim = TrainSim::new(
+            net,
+            TrainConfig::standard(0, 0),
+            faults.clone(),
+            start(),
+            seed,
+        );
         let mut suite = SensorSuite::new(seed, 0.0);
         let w = clear_weather();
         (0..secs)
@@ -228,8 +234,7 @@ mod tests {
             ..FaultPlan::default()
         };
         let readings = run_train(faults, 2_400, 2);
-        let early_v: f64 =
-            readings[..300].iter().map(|r| r.battery_v).sum::<f64>() / 300.0;
+        let early_v: f64 = readings[..300].iter().map(|r| r.battery_v).sum::<f64>() / 300.0;
         let late = &readings[readings.len() - 300..];
         let late_v: f64 = late.iter().map(|r| r.battery_v).sum::<f64>() / 300.0;
         assert!(late_v < early_v - 3.0, "{early_v} -> {late_v}");
@@ -258,8 +263,7 @@ mod tests {
             ..FaultPlan::default()
         };
         let readings = run_train(faults, 3_600, 4);
-        let early: f64 =
-            readings[..100].iter().map(|r| r.brake_bar).sum::<f64>() / 100.0;
+        let early: f64 = readings[..100].iter().map(|r| r.brake_bar).sum::<f64>() / 100.0;
         let late: f64 = readings[readings.len() - 100..]
             .iter()
             .map(|r| r.brake_bar)
@@ -271,14 +275,10 @@ mod tests {
     #[test]
     fn noise_grows_with_speed() {
         let readings = run_train(FaultPlan::default(), 1_200, 5);
-        let slow: Vec<&SensorReading> =
-            readings.iter().filter(|r| r.speed_kmh < 5.0).collect();
-        let fast: Vec<&SensorReading> =
-            readings.iter().filter(|r| r.speed_kmh > 80.0).collect();
+        let slow: Vec<&SensorReading> = readings.iter().filter(|r| r.speed_kmh < 5.0).collect();
+        let fast: Vec<&SensorReading> = readings.iter().filter(|r| r.speed_kmh > 80.0).collect();
         assert!(!slow.is_empty() && !fast.is_empty());
-        let avg = |v: &[&SensorReading]| {
-            v.iter().map(|r| r.noise_db).sum::<f64>() / v.len() as f64
-        };
+        let avg = |v: &[&SensorReading]| v.iter().map(|r| r.noise_db).sum::<f64>() / v.len() as f64;
         assert!(avg(&fast) > avg(&slow) + 10.0);
     }
 
@@ -286,13 +286,7 @@ mod tests {
     fn gps_noise_is_small_and_dropouts_repeat_fix() {
         let net = Arc::new(RailNetwork::belgium());
         let faults = FaultPlan::default();
-        let mut sim = TrainSim::new(
-            net,
-            TrainConfig::standard(0, 0),
-            faults.clone(),
-            start(),
-            6,
-        );
+        let mut sim = TrainSim::new(net, TrainConfig::standard(0, 0), faults.clone(), start(), 6);
         let mut suite = SensorSuite::new(6, 0.3);
         let w = clear_weather();
         let mut max_err = 0.0f64;
@@ -312,12 +306,14 @@ mod tests {
         let faults = demo_fault_plans(start(), 6).remove(0);
         let net = Arc::new(RailNetwork::belgium());
         let field = WeatherField::new(11);
-        let mut sim =
-            TrainSim::new(net, TrainConfig::standard(0, 0), faults.clone(), start(), 7);
+        let mut sim = TrainSim::new(net, TrainConfig::standard(0, 0), faults.clone(), start(), 7);
         let mut suite = SensorSuite::new(7, 0.0);
         let st = sim.step(TimeDelta::from_secs(1));
         let calm = suite.sample(&st, &clear_weather(), &faults, 1.0);
-        let stormy = WeatherSample { rain_mmh: 8.0, ..clear_weather() };
+        let stormy = WeatherSample {
+            rain_mmh: 8.0,
+            ..clear_weather()
+        };
         let wet = suite.sample(&st, &stormy, &faults, 1.0);
         let _ = field;
         assert!(wet.noise_db + 3.0 > calm.noise_db, "rain adds noise floor");

@@ -6,9 +6,7 @@ use crate::sensors::{SensorReading, SensorSuite};
 use crate::train::{demo_fault_plans, FaultPlan, TrainConfig, TrainSim};
 use crate::weather::WeatherField;
 use meos::time::{TimeDelta, TimestampTz};
-use nebula::prelude::{
-    DataType, Record, Schema, SchemaRef, Source, SourceBatch, Value,
-};
+use nebula::prelude::{DataType, Record, Schema, SchemaRef, Source, SourceBatch, Value};
 use std::sync::Arc;
 
 /// The fleet record layout (12 fields ≈ 106 B/event, matching the
@@ -36,7 +34,10 @@ pub fn reading_to_record(r: &SensorReading) -> Record {
     Record::new(vec![
         Value::Timestamp(r.t.micros()),
         Value::Int(r.train_id as i64),
-        Value::Point { x: r.pos.x, y: r.pos.y },
+        Value::Point {
+            x: r.pos.x,
+            y: r.pos.y,
+        },
         Value::Float(r.speed_kmh),
         Value::Float(r.battery_v),
         Value::Float(r.battery_temp_c),
@@ -77,8 +78,7 @@ impl FleetConfig {
             tick: TimeDelta::from_secs(1),
             duration: TimeDelta::from_hours(1),
             seed: 20_250_622,
-            start: TimestampTz::from_ymd_hms(2025, 6, 22, 8, 0, 0)
-                .expect("valid date"),
+            start: TimestampTz::from_ymd_hms(2025, 6, 22, 8, 0, 0).expect("valid date"),
             gps_dropout: 0.002,
             with_faults: true,
         }
@@ -130,14 +130,18 @@ impl FleetSimulator {
                     cfg.start,
                     cfg.seed.wrapping_add(i as u64 * 7919),
                 );
-                let suite = SensorSuite::new(
-                    cfg.seed.wrapping_add(i as u64 * 104_729),
-                    cfg.gps_dropout,
-                );
+                let suite =
+                    SensorSuite::new(cfg.seed.wrapping_add(i as u64 * 104_729), cfg.gps_dropout);
                 (sim, suite, plans[i].clone())
             })
             .collect();
-        FleetSimulator { cfg, net, weather, trains, elapsed: TimeDelta::ZERO }
+        FleetSimulator {
+            cfg,
+            net,
+            weather,
+            trains,
+            elapsed: TimeDelta::ZERO,
+        }
     }
 
     /// The underlying network (zones for query construction).
@@ -214,9 +218,7 @@ impl Source for FleetSource {
     fn poll(&mut self, max: usize) -> nebula::Result<SourceBatch> {
         while self.pending.len() < max {
             match self.sim.next_tick() {
-                Some(tick) => {
-                    self.pending.extend(tick.iter().map(reading_to_record))
-                }
+                Some(tick) => self.pending.extend(tick.iter().map(reading_to_record)),
                 None => break,
             }
         }

@@ -138,7 +138,10 @@ impl TrainSim {
             odometer_m: 0.0,
             next_stop: 0,
             passengers: 0.0,
-            phase: Phase::Dwell { remaining_s: dwell, stop_i: 0 },
+            phase: Phase::Dwell {
+                remaining_s: dwell,
+                stop_i: 0,
+            },
             next_unscheduled: 0,
             next_emergency: 0,
         }
@@ -170,8 +173,8 @@ impl TrainSim {
     /// Passenger exchange at stop `stop_i` (direction-aware position in
     /// the journey: terminals unload everyone).
     fn exchange_passengers(&mut self, stop_i: usize) {
-        let terminal = (self.dir > 0.0 && stop_i + 1 == self.n_stops())
-            || (self.dir < 0.0 && stop_i == 0);
+        let terminal =
+            (self.dir > 0.0 && stop_i + 1 == self.n_stops()) || (self.dir < 0.0 && stop_i == 0);
         if terminal {
             self.passengers = 0.0;
             return;
@@ -186,8 +189,7 @@ impl TrainSim {
         let alight_frac: f64 = self.rng.gen_range(0.1..0.5);
         self.passengers *= 1.0 - alight_frac;
         let board: f64 = self.rng.gen_range(20.0..140.0) * peak;
-        self.passengers =
-            (self.passengers + board).min(self.cfg.capacity as f64 * 1.15);
+        self.passengers = (self.passengers + board).min(self.cfg.capacity as f64 * 1.15);
     }
 
     fn advance_next_stop(&mut self, arrived: usize) {
@@ -213,17 +215,17 @@ impl TrainSim {
 
         // Fault triggers only fire while running.
         if matches!(self.phase, Phase::Run) {
-            if let Some(&t) = self.faults.emergency_brakes.get(self.next_emergency)
-            {
+            if let Some(&t) = self.faults.emergency_brakes.get(self.next_emergency) {
                 if self.now >= t {
                     self.next_emergency += 1;
-                    self.phase = Phase::BrakeToHold { hold_s: 45.0, emergency: true };
+                    self.phase = Phase::BrakeToHold {
+                        hold_s: 45.0,
+                        emergency: true,
+                    };
                 }
             }
             if matches!(self.phase, Phase::Run) {
-                if let Some(&(t, d)) =
-                    self.faults.unscheduled_stops.get(self.next_unscheduled)
-                {
+                if let Some(&(t, d)) = self.faults.unscheduled_stops.get(self.next_unscheduled) {
                     if self.now >= t {
                         self.next_unscheduled += 1;
                         self.phase = Phase::BrakeToHold {
@@ -241,7 +243,10 @@ impl TrainSim {
         let mut doors_open = false;
 
         match &mut self.phase {
-            Phase::Dwell { remaining_s, stop_i } => {
+            Phase::Dwell {
+                remaining_s,
+                stop_i,
+            } => {
                 self.speed_ms = 0.0;
                 doors_open = true;
                 let route_station = self.net.routes[self.cfg.route].stations[*stop_i];
@@ -264,11 +269,16 @@ impl TrainSim {
                 self.m += self.dir * self.speed_ms * dt_s;
                 self.odometer_m += self.speed_ms * dt_s;
                 if self.speed_ms == 0.0 {
-                    self.phase =
-                        Phase::Hold { remaining_s: *hold_s, emergency: *emergency };
+                    self.phase = Phase::Hold {
+                        remaining_s: *hold_s,
+                        emergency: *emergency,
+                    };
                 }
             }
-            Phase::Hold { remaining_s, emergency } => {
+            Phase::Hold {
+                remaining_s,
+                emergency,
+            } => {
                 self.speed_ms = 0.0;
                 unscheduled_hold = !*emergency;
                 emergency_braking = *emergency;
@@ -280,21 +290,16 @@ impl TrainSim {
             Phase::Run => {
                 let route = &self.net.routes[self.cfg.route];
                 let (pos, _) = route.position_at(self.m);
-                let limit_ms =
-                    self.net.speed_limit_at(&pos, route.line_limit_kmh) / 3.6;
+                let limit_ms = self.net.speed_limit_at(&pos, route.line_limit_kmh) / 3.6;
                 let target_m = self.stop_m(self.next_stop);
                 let dist = (target_m - self.m) * self.dir;
-                let braking_dist =
-                    self.speed_ms * self.speed_ms / (2.0 * self.cfg.brake_ms2);
+                let braking_dist = self.speed_ms * self.speed_ms / (2.0 * self.cfg.brake_ms2);
                 if dist <= braking_dist + self.speed_ms * dt_s {
-                    self.speed_ms =
-                        (self.speed_ms - self.cfg.brake_ms2 * dt_s).max(0.0);
+                    self.speed_ms = (self.speed_ms - self.cfg.brake_ms2 * dt_s).max(0.0);
                 } else if self.speed_ms < limit_ms {
-                    self.speed_ms =
-                        (self.speed_ms + self.cfg.accel_ms2 * dt_s).min(limit_ms);
+                    self.speed_ms = (self.speed_ms + self.cfg.accel_ms2 * dt_s).min(limit_ms);
                 } else {
-                    self.speed_ms =
-                        (self.speed_ms - self.cfg.brake_ms2 * dt_s).max(limit_ms);
+                    self.speed_ms = (self.speed_ms - self.cfg.brake_ms2 * dt_s).max(limit_ms);
                 }
                 let step_m = self.speed_ms * dt_s;
                 self.m += self.dir * step_m;
@@ -351,8 +356,14 @@ pub fn demo_fault_plans(start: TimestampTz, num_trains: usize) -> Vec<FaultPlan>
             },
             3 => FaultPlan {
                 unscheduled_stops: vec![
-                    (start + TimeDelta::from_minutes(25), TimeDelta::from_minutes(6)),
-                    (start + TimeDelta::from_minutes(70), TimeDelta::from_minutes(4)),
+                    (
+                        start + TimeDelta::from_minutes(25),
+                        TimeDelta::from_minutes(6),
+                    ),
+                    (
+                        start + TimeDelta::from_minutes(70),
+                        TimeDelta::from_minutes(4),
+                    ),
                 ],
                 ..FaultPlan::default()
             },
@@ -380,7 +391,9 @@ mod tests {
     }
 
     fn run_sim(sim: &mut TrainSim, secs: i64) -> Vec<TrainState> {
-        (0..secs).map(|_| sim.step(TimeDelta::from_secs(1))).collect()
+        (0..secs)
+            .map(|_| sim.step(TimeDelta::from_secs(1)))
+            .collect()
     }
 
     #[test]
@@ -417,14 +430,9 @@ mod tests {
         // Brussels-Midi -> Central is ~2 km; within 15 min the train must
         // have dwelled at least at one intermediate station.
         let states = run_sim(&mut sim, 900);
-        let stations_visited: std::collections::HashSet<usize> = states
-            .iter()
-            .filter_map(|s| s.at_station)
-            .collect();
-        assert!(
-            stations_visited.len() >= 2,
-            "visited {stations_visited:?}"
-        );
+        let stations_visited: std::collections::HashSet<usize> =
+            states.iter().filter_map(|s| s.at_station).collect();
+        assert!(stations_visited.len() >= 2, "visited {stations_visited:?}");
         // While dwelling doors are open and speed is zero.
         for s in &states {
             if s.at_station.is_some() {
@@ -455,25 +463,17 @@ mod tests {
             emergency_brakes: vec![start() + TimeDelta::from_minutes(5)],
             ..FaultPlan::default()
         };
-        let mut sim = TrainSim::new(
-            net(),
-            TrainConfig::standard(2, 0),
-            faults,
-            start(),
-            2,
-        );
+        let mut sim = TrainSim::new(net(), TrainConfig::standard(2, 0), faults, start(), 2);
         let states = run_sim(&mut sim, 600);
-        let braking: Vec<&TrainState> =
-            states.iter().filter(|s| s.emergency_braking).collect();
+        let braking: Vec<&TrainState> = states.iter().filter(|s| s.emergency_braking).collect();
         assert!(!braking.is_empty(), "emergency braking observed");
         // It eventually stops completely during the hold.
         assert!(braking.iter().any(|s| s.speed_ms == 0.0));
         // And resumes afterwards.
-        let last_brake_idx = states
+        let last_brake_idx = states.iter().rposition(|s| s.emergency_braking).unwrap();
+        assert!(states[last_brake_idx + 1..]
             .iter()
-            .rposition(|s| s.emergency_braking)
-            .unwrap();
-        assert!(states[last_brake_idx + 1..].iter().any(|s| s.speed_ms > 5.0));
+            .any(|s| s.speed_ms > 5.0));
     }
 
     #[test]
@@ -494,8 +494,7 @@ mod tests {
             4,
         );
         let states = run_sim(&mut sim, 900);
-        let holds: Vec<&TrainState> =
-            states.iter().filter(|s| s.unscheduled_hold).collect();
+        let holds: Vec<&TrainState> = states.iter().filter(|s| s.unscheduled_hold).collect();
         assert!(holds.len() >= 150, "held ~3 min, got {}", holds.len());
         for s in &holds {
             assert_eq!(s.speed_ms, 0.0);

@@ -104,10 +104,7 @@ impl WeatherField {
         for (dx, wx) in [(0, 1.0 - xf), (1, xf)] {
             for (dy, wy) in [(0, 1.0 - yf), (1, yf)] {
                 for (dt, wt) in [(0, 1.0 - tf), (1, tf)] {
-                    acc += wx
-                        * wy
-                        * wt
-                        * hash3(seed, xi + dx, yi + dy, ti + dt);
+                    acc += wx * wy * wt * hash3(seed, xi + dx, yi + dy, ti + dt);
                 }
             }
         }
@@ -123,8 +120,7 @@ impl WeatherField {
         let t = at.micros() as f64 / (2.0 * 3_600.0 * 1e6);
 
         // Diurnal + noise temperature.
-        let day_frac =
-            (at.micros() as f64 / (24.0 * 3_600.0 * 1e6)).rem_euclid(1.0);
+        let day_frac = (at.micros() as f64 / (24.0 * 3_600.0 * 1e6)).rem_euclid(1.0);
         let diurnal = -4.0 * (2.0 * std::f64::consts::PI * (day_frac - 0.17)).cos();
         let temp_c = 8.0 + diurnal + 10.0 * (self.noise(1, x, y, t) - 0.35);
 
@@ -146,7 +142,12 @@ impl WeatherField {
             10_000.0
         };
 
-        WeatherSample { temp_c, rain_mmh, snow_mmh, visibility_m }
+        WeatherSample {
+            temp_c,
+            rain_mmh,
+            snow_mmh,
+            visibility_m,
+        }
     }
 }
 
@@ -218,11 +219,21 @@ mod tests {
         };
         assert_eq!(clear.condition(), WeatherCondition::Clear);
         assert_eq!(clear.speed_factor(), 1.0);
-        let rain = WeatherSample { rain_mmh: 6.0, ..clear.clone() };
+        let rain = WeatherSample {
+            rain_mmh: 6.0,
+            ..clear.clone()
+        };
         assert_eq!(rain.condition(), WeatherCondition::HeavyRain);
-        let snow = WeatherSample { temp_c: -2.0, snow_mmh: 3.0, ..clear.clone() };
+        let snow = WeatherSample {
+            temp_c: -2.0,
+            snow_mmh: 3.0,
+            ..clear.clone()
+        };
         assert_eq!(snow.condition(), WeatherCondition::HeavySnow);
-        let fog = WeatherSample { visibility_m: 100.0, ..clear };
+        let fog = WeatherSample {
+            visibility_m: 100.0,
+            ..clear
+        };
         assert_eq!(fog.condition(), WeatherCondition::Fog);
         assert!(fog.speed_factor() < snow.speed_factor());
     }

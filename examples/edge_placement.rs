@@ -28,7 +28,12 @@ fn main() -> nebula::Result<()> {
         1024,
     )?;
     println!("per-stage volumes for Q2 (30 simulated minutes):");
-    let labels = ["source", "filter quiet zones", "window 60s stats", "filter peaks"];
+    let labels = [
+        "source",
+        "filter quiet zones",
+        "window 60s stats",
+        "filter peaks",
+    ];
     for (i, (bytes, recs)) in stages
         .stage_bytes
         .iter()
@@ -63,8 +68,7 @@ fn main() -> nebula::Result<()> {
     );
     println!(
         "  uplink reduction from edge processing: {:.1}x",
-        cloud_cost.cloud_uplink_bytes as f64
-            / edge_cost.cloud_uplink_bytes.max(1) as f64
+        cloud_cost.cloud_uplink_bytes as f64 / edge_cost.cloud_uplink_bytes.max(1) as f64
     );
 
     // Node churn: the onboard edge box dies; re-place incrementally.
@@ -74,8 +78,7 @@ fn main() -> nebula::Result<()> {
     let cloud = topo.cloud().expect("cloud exists");
     println!("\nfailing {} ...", topo.node(edge_node).name);
     topo.fail_node(edge_node);
-    let (replaced, migrated) =
-        replace_after_failure(&topo, &edge_pl, edge_node, cloud);
+    let (replaced, migrated) = replace_after_failure(&topo, &edge_pl, edge_node, cloud);
     println!(
         "  incremental re-placement migrated {migrated} stage(s); new stages: {:?}",
         replaced

@@ -8,10 +8,7 @@
 //! ```
 
 use nebula::prelude::*;
-use nebulameos::{
-    q5_battery_monitoring, q6_heavy_load, q7_unscheduled_stops,
-    q8_brake_monitoring,
-};
+use nebulameos::{q5_battery_monitoring, q6_heavy_load, q7_unscheduled_stops, q8_brake_monitoring};
 use sncb::FleetConfig;
 
 fn run(name: &str, query: &Query) -> nebula::Result<Vec<Record>> {
@@ -78,8 +75,14 @@ fn main() -> nebula::Result<()> {
     // Q8: repeated emergency brakes.
     let brakes = run("Q8 Monitoring Brakes", &q8_brake_monitoring(30))?;
     for r in &brakes {
-        let start = r.get(r.len() - 2).and_then(Value::as_timestamp).unwrap_or(0);
-        let end = r.get(r.len() - 1).and_then(Value::as_timestamp).unwrap_or(0);
+        let start = r
+            .get(r.len() - 2)
+            .and_then(Value::as_timestamp)
+            .unwrap_or(0);
+        let end = r
+            .get(r.len() - 1)
+            .and_then(Value::as_timestamp)
+            .unwrap_or(0);
         println!(
             "  train {}: 3 emergency brakes within {:.1} min",
             r.get(1).cloned().unwrap_or(Value::Null),

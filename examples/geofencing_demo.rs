@@ -8,16 +8,11 @@
 
 use nebula::prelude::*;
 use nebulameos::{
-    q1_alert_filtering, q2_noise_monitoring, q3_dynamic_speed_limit,
-    q4_weather_speed_zones,
+    q1_alert_filtering, q2_noise_monitoring, q3_dynamic_speed_limit, q4_weather_speed_zones,
 };
 use sncb::FleetConfig;
 
-fn run(
-    name: &str,
-    query: &Query,
-    describe: impl Fn(&Record) -> String,
-) -> nebula::Result<()> {
+fn run(name: &str, query: &Query, describe: impl Fn(&Record) -> String) -> nebula::Result<()> {
     let (mut env, _) = sncb::demo_environment(FleetConfig::demo_hour());
     let (mut sink, results) = CollectingSink::new();
     let metrics = env.run(query, &mut sink)?;
@@ -41,26 +36,34 @@ fn main() -> nebula::Result<()> {
     let f = |r: &Record, i: usize| r.get(i).cloned().unwrap_or(Value::Null);
 
     // Q1: alert stream with maintenance-zone suppression.
-    run("Q1 Location-Based Alert Filtering", &q1_alert_filtering(160.0), |r| {
-        format!(
-            "train {} {} alert at {} (speed {:.0} km/h)",
-            f(r, 1),
-            f(r, 15),
-            f(r, 2),
-            f(r, 3).as_float().unwrap_or(0.0),
-        )
-    })?;
+    run(
+        "Q1 Location-Based Alert Filtering",
+        &q1_alert_filtering(160.0),
+        |r| {
+            format!(
+                "train {} {} alert at {} (speed {:.0} km/h)",
+                f(r, 1),
+                f(r, 15),
+                f(r, 2),
+                f(r, 3).as_float().unwrap_or(0.0),
+            )
+        },
+    )?;
 
     // Q2: windowed noise in noise-sensitive zones.
-    run("Q2 Location-Based Noise Monitoring", &q2_noise_monitoring(75.0), |r| {
-        format!(
-            "train {} noisy minute: avg {:.1} dB, peak {:.1} dB ({} samples)",
-            f(r, 0),
-            f(r, 3).as_float().unwrap_or(0.0),
-            f(r, 4).as_float().unwrap_or(0.0),
-            f(r, 5),
-        )
-    })?;
+    run(
+        "Q2 Location-Based Noise Monitoring",
+        &q2_noise_monitoring(75.0),
+        |r| {
+            format!(
+                "train {} noisy minute: avg {:.1} dB, peak {:.1} dB ({} samples)",
+                f(r, 0),
+                f(r, 3).as_float().unwrap_or(0.0),
+                f(r, 4).as_float().unwrap_or(0.0),
+                f(r, 5),
+            )
+        },
+    )?;
 
     // Q3: dynamic speed limits in high-risk zones.
     run("Q3 Dynamic Speed Limit", &q3_dynamic_speed_limit(), |r| {
@@ -74,15 +77,19 @@ fn main() -> nebula::Result<()> {
     })?;
 
     // Q4: weather-conditioned suggestions.
-    run("Q4 Weather-Based Speed Zones", &q4_weather_speed_zones(160.0), |r| {
-        format!(
-            "train {} at {:.0} km/h; weather factor {:.2} suggests <= {:.0} km/h",
-            f(r, 1),
-            f(r, 3).as_float().unwrap_or(0.0),
-            f(r, 12).as_float().unwrap_or(0.0),
-            f(r, 13).as_float().unwrap_or(0.0),
-        )
-    })?;
+    run(
+        "Q4 Weather-Based Speed Zones",
+        &q4_weather_speed_zones(160.0),
+        |r| {
+            format!(
+                "train {} at {:.0} km/h; weather factor {:.2} suggests <= {:.0} km/h",
+                f(r, 1),
+                f(r, 3).as_float().unwrap_or(0.0),
+                f(r, 12).as_float().unwrap_or(0.0),
+                f(r, 13).as_float().unwrap_or(0.0),
+            )
+        },
+    )?;
 
     Ok(())
 }

@@ -14,8 +14,7 @@ use sncb::FleetConfig;
 fn main() -> nebula::Result<()> {
     // A fully wired environment: MEOS functions + zone/weather context +
     // a "fleet" source streaming 2 simulated minutes of 6 trains.
-    let (mut env, events) =
-        sncb::demo_environment(FleetConfig::test_minutes(2));
+    let (mut env, events) = sncb::demo_environment(FleetConfig::test_minutes(2));
     println!("simulated {events} sensor events from 6 trains");
 
     // A dynamic geofence: 3 km around Brussels-Midi, expressed with the

@@ -18,8 +18,7 @@ use sncb::FleetConfig;
 use std::sync::Arc;
 
 fn main() -> nebula::Result<()> {
-    let (mut env, events) =
-        sncb::demo_environment(FleetConfig::test_minutes(30));
+    let (mut env, events) = sncb::demo_environment(FleetConfig::test_minutes(30));
     println!("streaming {events} fixes through the trajectory builder...");
 
     // Assemble one MEOS sequence per train from the raw stream.
@@ -31,8 +30,7 @@ fn main() -> nebula::Result<()> {
     env.run(&query, &mut sink)?;
 
     // Restrict everything to greater Brussels.
-    let brussels =
-        STBox::from_coords(4.25, 4.45, 50.79, 50.92, None).expect("valid box");
+    let brussels = STBox::from_coords(4.25, 4.45, 50.79, 50.92, None).expect("valid box");
 
     // Raw GPS fixes carry ~5 m noise, which inflates instantaneous
     // speeds computed between 1 s fixes; Douglas–Peucker smoothing is
@@ -87,8 +85,7 @@ fn main() -> nebula::Result<()> {
                     .at_period(
                         &meos::time::Period::inclusive(
                             first_seq.start_timestamp(),
-                            first_seq.start_timestamp()
-                                + meos::time::TimeDelta::from_secs(3),
+                            first_seq.start_timestamp() + meos::time::TimeDelta::from_secs(3),
                         )
                         .unwrap(),
                     )

@@ -34,7 +34,11 @@ fn zones_from(net: &RailNetwork) -> DemoZones {
         high_risk: net
             .zones_of(ZoneKind::HighRiskCurve)
             .map(|z| {
-                (z.name.clone(), z.geometry.clone(), z.speed_limit_kmh.unwrap_or(80.0))
+                (
+                    z.name.clone(),
+                    z.geometry.clone(),
+                    z.speed_limit_kmh.unwrap_or(80.0),
+                )
             })
             .collect(),
         station_areas: collect(ZoneKind::StationArea),
@@ -52,10 +56,8 @@ fn demo_env(minutes: i64) -> (StreamEnvironment, SchemaRef) {
 
     let mut env = StreamEnvironment::new();
     env.load_plugin(&MeosPlugin).unwrap();
-    env.load_plugin(
-        &DemoContext::new(zones_from(&net)).with_weather(weather),
-    )
-    .unwrap();
+    env.load_plugin(&DemoContext::new(zones_from(&net)).with_weather(weather))
+        .unwrap();
     let schema = sncb::fleet_schema();
     env.add_source(
         "fleet",
@@ -76,7 +78,10 @@ fn run_query(q: &Query, minutes: i64) -> (Collected, QueryMetrics) {
 }
 
 fn column(records: &[Record], idx: usize) -> Vec<Value> {
-    records.iter().map(|r| r.get(idx).cloned().unwrap()).collect()
+    records
+        .iter()
+        .map(|r| r.get(idx).cloned().unwrap())
+        .collect()
 }
 
 #[test]
@@ -218,13 +223,17 @@ fn deterministic_across_runs() {
 fn queries_survive_gps_dropouts_and_jitter() {
     // Heavier dropout + out-of-order arrival: queries must not error and
     // threshold queries must still find the anomalies.
-    let cfg = FleetConfig { gps_dropout: 0.05, ..FleetConfig::test_minutes(60) };
+    let cfg = FleetConfig {
+        gps_dropout: 0.05,
+        ..FleetConfig::test_minutes(60)
+    };
     let sim = FleetSimulator::new(cfg);
     let net = sim.network();
     let records = sim.into_records();
     let mut env = StreamEnvironment::new();
     env.load_plugin(&MeosPlugin).unwrap();
-    env.load_plugin(&DemoContext::new(zones_from(&net))).unwrap();
+    env.load_plugin(&DemoContext::new(zones_from(&net)))
+        .unwrap();
     env.add_source(
         "fleet",
         Box::new(JitterSource::new(
@@ -238,6 +247,7 @@ fn queries_survive_gps_dropouts_and_jitter() {
         },
     );
     let (mut sink, got) = CollectingSink::new();
-    env.run(&nebulameos::q5_battery_monitoring(), &mut sink).unwrap();
+    env.run(&nebulameos::q5_battery_monitoring(), &mut sink)
+        .unwrap();
     assert!(!got.is_empty(), "fault still detected under jitter");
 }

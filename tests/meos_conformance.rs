@@ -17,10 +17,7 @@ fn ts(lit: &str) -> TimestampTz {
 #[test]
 fn tfloat_value_at_timestamp() {
     // MobilityDB: valueAtTimestamp(tfloat '[1@t1, 3@t2]', t1.5) = 2
-    let tf = parse_tfloat(
-        "[1@2025-06-22T10:00:00Z, 3@2025-06-22T10:02:00Z]",
-    )
-    .unwrap();
+    let tf = parse_tfloat("[1@2025-06-22T10:00:00Z, 3@2025-06-22T10:02:00Z]").unwrap();
     assert_eq!(tf.value_at(ts("2025-06-22T10:01:00Z")), Some(2.0));
     assert_eq!(tf.value_at(ts("2025-06-22T10:02:00Z")), Some(3.0));
     assert_eq!(tf.value_at(ts("2025-06-22T10:03:00Z")), None);
@@ -29,15 +26,8 @@ fn tfloat_value_at_timestamp() {
 #[test]
 fn tfloat_at_period_boundaries_interpolate() {
     // MobilityDB: atTime(tfloat, tstzspan) interpolates at the cuts.
-    let tf = parse_tfloat(
-        "[0@2025-06-22T10:00:00Z, 10@2025-06-22T10:10:00Z]",
-    )
-    .unwrap();
-    let p = Period::inclusive(
-        ts("2025-06-22T10:02:00Z"),
-        ts("2025-06-22T10:08:00Z"),
-    )
-    .unwrap();
+    let tf = parse_tfloat("[0@2025-06-22T10:00:00Z, 10@2025-06-22T10:10:00Z]").unwrap();
+    let p = Period::inclusive(ts("2025-06-22T10:02:00Z"), ts("2025-06-22T10:08:00Z")).unwrap();
     let cut = tf.at_period(&p).unwrap();
     assert_eq!(cut.start_value(), 2.0);
     assert_eq!(cut.end_value(), 8.0);
@@ -51,10 +41,7 @@ fn tfloat_at_period_boundaries_interpolate() {
 #[test]
 fn step_interpolation_holds_left_value() {
     // MobilityDB: step tfloat holds its value until the next instant.
-    let tf = parse_tfloat(
-        "Interp=Step;[1@2025-06-22T10:00:00Z, 5@2025-06-22T10:10:00Z]",
-    )
-    .unwrap();
+    let tf = parse_tfloat("Interp=Step;[1@2025-06-22T10:00:00Z, 5@2025-06-22T10:10:00Z]").unwrap();
     assert_eq!(tf.value_at(ts("2025-06-22T10:09:59Z")), Some(1.0));
     assert_eq!(tf.value_at(ts("2025-06-22T10:10:00Z")), Some(5.0));
 }
@@ -102,13 +89,7 @@ fn tpoint_at_stbox_matches_manual_computation() {
         4.20,
         50.0,
         52.0,
-        Some(
-            Period::inclusive(
-                ts("2025-06-22T10:15:00Z"),
-                ts("2025-06-22T11:00:00Z"),
-            )
-            .unwrap(),
-        ),
+        Some(Period::inclusive(ts("2025-06-22T10:15:00Z"), ts("2025-06-22T11:00:00Z")).unwrap()),
     )
     .unwrap();
     let cut_t = tpoint::temporal_at_stbox(&tp, &bx_t).unwrap();
@@ -127,20 +108,37 @@ fn edwithin_semantics_match_mobilitydb() {
     // A point 0.01° (~1.11 km) north of the path midpoint.
     let station = Geometry::Point(Point::new(4.35, 51.01));
     let seqs = tp.to_sequences();
-    assert!(tpoint::edwithin(&seqs[0], &station, 1_200.0, Metric::Haversine));
-    assert!(!tpoint::edwithin(&seqs[0], &station, 1_000.0, Metric::Haversine));
+    assert!(tpoint::edwithin(
+        &seqs[0],
+        &station,
+        1_200.0,
+        Metric::Haversine
+    ));
+    assert!(!tpoint::edwithin(
+        &seqs[0],
+        &station,
+        1_000.0,
+        Metric::Haversine
+    ));
     // aDwithin (always): the endpoints are ~3.9 km away.
-    assert!(tpoint::adwithin(&seqs[0], &station, 4_000.0, Metric::Haversine));
-    assert!(!tpoint::adwithin(&seqs[0], &station, 2_000.0, Metric::Haversine));
+    assert!(tpoint::adwithin(
+        &seqs[0],
+        &station,
+        4_000.0,
+        Metric::Haversine
+    ));
+    assert!(!tpoint::adwithin(
+        &seqs[0],
+        &station,
+        2_000.0,
+        Metric::Haversine
+    ));
 }
 
 #[test]
 fn tfloat_arithmetic_and_restriction_compose() {
     // shift + scale + threshold restriction, checked against hand math.
-    let tf = parse_tfloat(
-        "[0@2025-06-22T10:00:00Z, 100@2025-06-22T10:10:00Z]",
-    )
-    .unwrap();
+    let tf = parse_tfloat("[0@2025-06-22T10:00:00Z, 100@2025-06-22T10:10:00Z]").unwrap();
     let seqs = tf.to_sequences();
     let celsius_to_f = seqs[0].scale(9.0 / 5.0).offset(32.0);
     assert_eq!(celsius_to_f.start_value(), 32.0);
@@ -170,7 +168,11 @@ fn sequence_set_round_trips_through_operations() {
     // Length sums both legs only.
     let len = tpoint::temporal_length(&tp, Metric::Haversine);
     let one_leg = Point::new(4.0, 51.0).haversine(&Point::new(4.1, 51.0));
-    assert!((len - 2.0 * one_leg).abs() < 1.0, "{len} vs {}", 2.0 * one_leg);
+    assert!(
+        (len - 2.0 * one_leg).abs() < 1.0,
+        "{len} vs {}",
+        2.0 * one_leg
+    );
     // Round trip through text.
     let reparsed = parse_tgeompoint(&tp.to_string()).unwrap();
     assert_eq!(reparsed, tp);

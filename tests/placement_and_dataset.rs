@@ -33,10 +33,8 @@ fn edge_placement_beats_cloud_on_every_query_with_reduction() {
             *stages.stage_bytes.last().unwrap() < stages.stage_bytes[0],
             "{name}: output should be smaller than input"
         );
-        let edge =
-            place(&query, &topo, sensors[0], PlacementStrategy::EdgeFirst).unwrap();
-        let cloud =
-            place(&query, &topo, sensors[0], PlacementStrategy::CloudOnly).unwrap();
+        let edge = place(&query, &topo, sensors[0], PlacementStrategy::EdgeFirst).unwrap();
+        let cloud = place(&query, &topo, sensors[0], PlacementStrategy::CloudOnly).unwrap();
         let ce = network_cost(&topo, &edge, &stages).unwrap();
         let cc = network_cost(&topo, &cloud, &stages).unwrap();
         assert!(
@@ -83,8 +81,7 @@ fn csv_export_replay_gives_identical_query_results() {
     let records = sim.into_records();
 
     // In-memory run.
-    let mut env1 =
-        sncb::demo::demo_environment_with(&net, weather.clone(), records.clone());
+    let mut env1 = sncb::demo::demo_environment_with(&net, weather.clone(), records.clone());
     let q = q1_alert_filtering(160.0);
     let (mut s1, mem_results) = CollectingSink::new();
     env1.run(&q, &mut s1).unwrap();
@@ -94,10 +91,8 @@ fn csv_export_replay_gives_identical_query_results() {
     sncb::export_csv(&records, &path).unwrap();
     let mut env2 = StreamEnvironment::new();
     env2.load_plugin(&nebulameos::MeosPlugin).unwrap();
-    env2.load_plugin(
-        &nebulameos::DemoContext::new(sncb::demo_zones(&net)),
-    )
-    .unwrap();
+    env2.load_plugin(&nebulameos::DemoContext::new(sncb::demo_zones(&net)))
+        .unwrap();
     env2.add_source(
         "fleet",
         Box::new(sncb::open_csv(&path).unwrap()),

@@ -6,8 +6,7 @@ use meos::geo::Metric;
 use meos::tpoint;
 use nebula::prelude::*;
 use nebulameos::{
-    as_tpoint, ImputationFactory, KNearestFactory, TrajectoryAgg,
-    TrajectoryBuilderFactory,
+    as_tpoint, ImputationFactory, KNearestFactory, TrajectoryAgg, TrajectoryBuilderFactory,
 };
 use sncb::FleetConfig;
 use std::sync::Arc;
@@ -22,7 +21,9 @@ fn tumbling_trajectory_windows_cover_the_stream() {
     let mut e = env(10);
     let q = Query::from("fleet").window(
         vec![("train_id", col("train_id"))],
-        WindowSpec::Tumbling { size: 120 * MICROS_PER_SEC },
+        WindowSpec::Tumbling {
+            size: 120 * MICROS_PER_SEC,
+        },
         vec![
             WindowAgg::new(
                 "traj",
@@ -92,11 +93,7 @@ fn imputation_restores_gap_dropped_stream() {
     e.load_plugin(&nebulameos::MeosPlugin).unwrap();
     e.load_plugin(&nebulameos::DemoContext::new(sncb::demo_zones(&net)))
         .unwrap();
-    let gappy = GapSource::new(
-        VecSource::new(sncb::fleet_schema(), records),
-        0.2,
-        1234,
-    );
+    let gappy = GapSource::new(VecSource::new(sncb::fleet_schema(), records), 0.2, 1234);
     e.add_source(
         "fleet",
         Box::new(gappy),
@@ -168,21 +165,18 @@ fn geofence_events_alternate_enter_leave() {
             .map(|z| (z.name.clone(), z.geometry.clone())),
     );
     let mut e = env(30);
-    let q = Query::from("fleet").apply(Arc::new(
-        nebulameos::GeofenceEventsFactory {
-            set: fences,
-            key_field: "train_id".into(),
-            pos_field: "pos".into(),
-        },
-    ));
+    let q = Query::from("fleet").apply(Arc::new(nebulameos::GeofenceEventsFactory {
+        set: fences,
+        key_field: "train_id".into(),
+        pos_field: "pos".into(),
+    }));
     let (mut sink, got) = CollectingSink::new();
     e.run(&q, &mut sink).unwrap();
     let recs = got.records();
     assert!(!recs.is_empty(), "trains cross station areas");
     // Per train: events alternate enter/leave (GPS noise can produce
     // flapping pairs, but the sequence must stay consistent).
-    let mut state: std::collections::HashMap<i64, Option<String>> =
-        Default::default();
+    let mut state: std::collections::HashMap<i64, Option<String>> = Default::default();
     for r in &recs {
         let id = r.get(1).unwrap().as_int().unwrap();
         let fence = r.get(12).unwrap().as_text().unwrap().to_string();

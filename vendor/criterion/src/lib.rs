@@ -1,0 +1,217 @@
+//! Vendored stand-in for `criterion`: the same bench-authoring API
+//! (`Criterion`, benchmark groups, `Throughput`, the `criterion_group!` /
+//! `criterion_main!` macros) over a simple wall-clock measurement loop.
+//! No statistical analysis, HTML reports, or baselines — each benchmark
+//! prints mean time per iteration and derived throughput.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Forces the compiler to treat `value` as used (best-effort opaque).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units the measured routine processes per iteration, used to derive
+/// throughput from the measured time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (events, records) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark manager handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _c: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named benchmark identifier (`criterion::BenchmarkId` subset).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the benchmarked input parameter.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs `f` as a benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        bencher.report(&id.to_string(), self.throughput);
+        self
+    }
+
+    /// Runs `f` with `input` as a benchmark named `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new();
+        for _ in 0..self.sample_size {
+            f(&mut bencher, input);
+        }
+        bencher.report(&id.to_string(), self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    batch: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            batch: 0,
+        }
+    }
+
+    /// Times repeated calls of `routine`, amortizing timer overhead for
+    /// cheap routines by running a calibrated batch between timestamps.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.batch == 0 {
+            // Calibrate: size the batch so one timed span covers ~1 ms,
+            // keeping Instant::now() overhead negligible even for
+            // nanosecond-scale routines.
+            let start = Instant::now();
+            black_box(routine());
+            let once = start.elapsed();
+            self.total += once;
+            self.iters += 1;
+            let once_ns = once.as_nanos().max(1);
+            self.batch = (1_000_000 / once_ns).clamp(1, 1_000_000) as u64;
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += self.batch;
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("  {id}: no iterations");
+            return;
+        }
+        let per_iter = self.total.as_secs_f64() / self.iters as f64;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.3} Kelem/s", n as f64 / per_iter / 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:.3} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!("  {id}: {:.3} ms/iter{rate}", per_iter * 1e3);
+    }
+}
+
+/// Declares a function running each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("t");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,467 @@
+//! Vendored stand-in for `proptest`: a deterministic random-testing
+//! harness exposing the subset of the real crate's API this workspace
+//! uses — `Strategy` with `prop_map` / `prop_filter` / `prop_filter_map`,
+//! range and tuple strategies, `collection::vec`, `bool::ANY`, the
+//! `proptest!` test macro with optional `#![proptest_config(..)]`, and
+//! the `prop_assert*` macros.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! the inputs that failed, unminimized) and a fixed deterministic seed
+//! per test function, so failures reproduce across runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic RNG driving generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator seeded from the test's name, so each test sees a
+    /// stable but distinct stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.gen()
+    }
+
+    fn gen_range<T, R: rand::SampleRange<T>>(&mut self, range: R) -> T {
+        self.0.gen_range(range)
+    }
+}
+
+/// A generator of values of an output type (`proptest::strategy::Strategy`
+/// subset). `sample` returns `None` when a filter rejected the draw; the
+/// harness retries with fresh randomness.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one candidate, or `None` on filter rejection.
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values passing `pred`; `whence` labels the filter in
+    /// diagnostics (unused here).
+    fn prop_filter<F>(self, _whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, pred }
+    }
+
+    /// Simultaneous filter and map: `None` results are rejected.
+    fn prop_filter_map<U, F>(self, _whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.sample(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.sample(rng).and_then(&self.f)
+    }
+}
+
+/// Type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        self.0.sample(rng)
+    }
+}
+
+/// A strategy producing one fixed value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                $(let $v = $s.sample(rng)?;)+
+                Some(($($v,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / a);
+tuple_strategy!(A / a, B / b);
+tuple_strategy!(A / a, B / b, C / c);
+tuple_strategy!(A / a, B / b, C / c, D / d);
+tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g);
+tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g, H / h);
+
+/// Boolean strategies (`proptest::bool` subset).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The any-boolean strategy value.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> Option<bool> {
+            Some(rng.next_u64() & 1 == 1)
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection` subset).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Element-count specification for [`vec()`]: an exact length or a
+    /// half-open range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let span = self.size.hi - self.size.lo;
+            let n = self.size.lo + (rng.next_u64() as usize) % span;
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Bounded per-element retries keep pathological filters
+                // from hanging the whole vector draw.
+                let mut attempts = 0;
+                let v = loop {
+                    if let Some(v) = self.element.sample(rng) {
+                        break v;
+                    }
+                    attempts += 1;
+                    if attempts > 1000 {
+                        return None;
+                    }
+                };
+                out.push(v);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Glob-import module mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[doc(hidden)]
+pub fn run_cases<S, F>(name: &str, cases: u32, strategies: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    let mut rng = TestRng::for_test(name);
+    for case in 0..cases {
+        let mut rejects: u64 = 0;
+        let input = loop {
+            if let Some(v) = strategies.sample(&mut rng) {
+                break v;
+            }
+            rejects += 1;
+            assert!(
+                rejects < 100_000,
+                "{name}: strategy rejected {rejects} draws in a row; filter too strict"
+            );
+        };
+        if let Err(msg) = test(input) {
+            panic!("{name}: case {case}/{cases} failed:\n{msg}");
+        }
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn commutes(a in 0i64..10, b in 0i64..10) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr) $( #[test] fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(
+                    stringify!($name),
+                    config.cases,
+                    ( $($strat,)+ ),
+                    |( $($arg,)+ )| { $body Ok(()) },
+                );
+            }
+        )*
+    };
+}
+
+/// In a `proptest!` body: fails the case with a message unless `cond`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// In a `proptest!` body: fails the case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: `{} == {}` at {}:{}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), file!(), line!(), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: `{} == {}` at {}:{}: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), file!(), line!(),
+                format!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+/// In a `proptest!` body: fails the case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed: `{} != {}` at {}:{}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn addition_commutes(a in -100i64..100, b in -100i64..100) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn filter_map_and_vec(
+            xs in crate::collection::vec((0.0f64..10.0).prop_filter_map("pos", |x| {
+                if x > 0.5 { Some(x) } else { None }
+            }), 1..20),
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!(xs.iter().all(|x| *x > 0.5));
+            let complement = !flag;
+            prop_assert_ne!(flag, complement);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

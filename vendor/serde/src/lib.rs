@@ -1,0 +1,17 @@
+//! Vendored stand-in for `serde`: marker traits only.
+//!
+//! Blanket impls make every type `Serialize`/`Deserialize`, matching the
+//! workspace's usage where the derives are declared but the impls are
+//! never invoked (JSON goes through the `serde_json` stand-in's concrete
+//! `Value` type).
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize`; no code
+//! path consumes the generated impls (JSON output goes through the
+//! `serde_json` stand-in's concrete `Value` type instead). The derives
+//! therefore expand to nothing: `vendor/serde` provides blanket impls of
+//! the marker traits, so `T: Serialize` bounds would still be satisfied
+//! if one ever appeared.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,521 @@
+//! Vendored stand-in for `serde_json`: a concrete JSON document model
+//! (`Value`, `Map`), the `json!` construction macro, and a pretty
+//! printer. There is no `Serialize`-driven generic serialization — the
+//! workspace only ever builds documents out of `Value`s.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Serialization error. The stand-in serializer is infallible, but the
+/// type exists so `?` call sites and `From<Error> for io::Error` keep
+/// their real-crate shape.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// A JSON object: string keys to values, ordered by key.
+pub type Map<K, V> = BTreeMap<K, V>;
+
+/// A JSON number: an exact integer or a double. Unsigned values that fit
+/// `i64` normalize to `Int`, so `UInt` only ever holds values above
+/// `i64::MAX` — mirroring the real crate, where a `u64` keeps its exact
+/// value instead of wrapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A signed integer, kept exact.
+    Int(i64),
+    /// An unsigned integer above `i64::MAX`, kept exact.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl Number {
+    /// The number as an `f64` (integers convert losslessly up to 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(i) => i as f64,
+            Number::UInt(u) => u as f64,
+            Number::Float(f) => f,
+        }
+    }
+}
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The element array, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `i64`, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::Int(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects; `None` on anything else or a missing key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::Int(v as i64)) }
+        }
+    )*};
+}
+
+from_int!(i8, i16, i32, i64, u8, u16, u32, isize);
+
+macro_rules! from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                match i64::try_from(v) {
+                    Ok(i) => Value::Number(Number::Int(i)),
+                    Err(_) => Value::Number(Number::UInt(v as u64)),
+                }
+            }
+        }
+    )*};
+}
+
+from_uint!(u64, usize);
+
+macro_rules! from_float {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::Float(v as f64)) }
+        }
+    )*};
+}
+
+from_float!(f32, f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(v: Map<String, Value>) -> Value {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&T> for Value {
+    fn from(v: &T) -> Value {
+        v.clone().into()
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+// Literal comparisons (`value["k"] == 3`, `== "text"`, `== 4.35`).
+// Like the real crate, numbers compare by numeric value across the
+// int/float representations (`json!(4) == 4.0` holds).
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        // Integer literals compare exactly (real-crate semantics): a
+        // float-built value never equals an integer literal.
+        matches!(self, Value::Number(Number::Int(i)) if i == other)
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        *self == *other as i64
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        match self {
+            Value::Number(Number::Int(i)) => u64::try_from(*i) == Ok(*other),
+            Value::Number(Number::UInt(u)) => u == other,
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        match self {
+            Value::Number(n) => n.as_f64() == *other,
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::Int(i) => out.push_str(&i.to_string()),
+        Number::UInt(u) => out.push_str(&u.to_string()),
+        Number::Float(f) if f.is_finite() => {
+            if f == f.trunc() && f.abs() < 1e15 {
+                out.push_str(&format!("{:.1}", f));
+            } else {
+                out.push_str(&f.to_string());
+            }
+        }
+        // JSON has no NaN/Inf; the real crate errors, we emit null.
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    let (nl, pad, pad_in) = if pretty {
+        ("\n", "  ".repeat(indent), "  ".repeat(indent + 1))
+    } else {
+        ("", String::new(), String::new())
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(a) if a.is_empty() => out.push_str("[]"),
+        Value::Array(a) => {
+            out.push('[');
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_value(out, item, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(m) if m.is_empty() => out.push_str("{}"),
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_escaped(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, item, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_value(&mut s, self, 0, false);
+        f.write_str(&s)
+    }
+}
+
+/// Compact one-line rendering.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(value.to_string())
+}
+
+/// Two-space-indented rendering.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut s = String::new();
+    write_value(&mut s, value, 0, true);
+    Ok(s)
+}
+
+/// Builds a [`Value`] from JSON-looking syntax, interpolating Rust
+/// expressions anywhere a value is expected.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elems:tt)* ]) => { $crate::Value::Array($crate::json_array!([] $($elems)*)) };
+    ({ $($members:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut object = $crate::Map::new();
+        $crate::json_object!(object () $($members)*);
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::Value::from(&$other) };
+}
+
+/// Internal: accumulates array elements. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    // Done.
+    ([ $($done:expr,)* ]) => { <[_]>::into_vec(::std::boxed::Box::new([ $($done,)* ])) };
+    // Next element is an object or array or null literal.
+    ([ $($done:expr,)* ] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($done,)* $crate::json!({ $($inner)* }), ] $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($done,)* $crate::json!([ $($inner)* ]), ] $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] null $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($done,)* $crate::Value::Null, ] $($($rest)*)?)
+    };
+    // Next element is a plain expression.
+    ([ $($done:expr,)* ] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($done,)* $crate::Value::from(&$next), ] $($($rest)*)?)
+    };
+}
+
+/// Internal: accumulates object members. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // Done.
+    ($object:ident ()) => {};
+    // Collected a full key: delegate value parsing.
+    ($object:ident ($($key:tt)+) : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $object.insert(($($key)+).to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_object!($object () $($($rest)*)?);
+    };
+    ($object:ident ($($key:tt)+) : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $object.insert(($($key)+).to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_object!($object () $($($rest)*)?);
+    };
+    ($object:ident ($($key:tt)+) : null $(, $($rest:tt)*)?) => {
+        $object.insert(($($key)+).to_string(), $crate::Value::Null);
+        $crate::json_object!($object () $($($rest)*)?);
+    };
+    ($object:ident ($($key:tt)+) : $value:expr , $($rest:tt)*) => {
+        $object.insert(($($key)+).to_string(), $crate::Value::from(&$value));
+        $crate::json_object!($object () $($rest)*);
+    };
+    ($object:ident ($($key:tt)+) : $value:expr) => {
+        $object.insert(($($key)+).to_string(), $crate::Value::from(&$value));
+    };
+    // Munch key tokens until the colon.
+    ($object:ident ($($key:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_object!($object ($($key)* $next) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_documents() {
+        let name = "q1";
+        let v = json!({
+            "query": name,
+            "rows": [1, 2, 3],
+            "nested": { "ok": true, "pi": 3.5 },
+            "nothing": null,
+        });
+        assert_eq!(v["query"], "q1");
+        assert_eq!(v["rows"][2], 3);
+        assert_eq!(v["nested"]["pi"], 3.5);
+        assert_eq!(v["nothing"], Value::Null);
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn interpolates_expressions_and_refs() {
+        let x = 4.35f64;
+        let v = json!([x, 2.0 * x]);
+        assert_eq!(v[0], 4.35);
+        let r = &x;
+        assert_eq!(json!(r), json!(4.35));
+    }
+
+    #[test]
+    fn pretty_prints_round_values_like_floats() {
+        let s = to_string_pretty(&json!({ "a": 4.0, "b": 4 })).unwrap();
+        assert!(s.contains("\"a\": 4.0"));
+        assert!(s.contains("\"b\": 4"));
+    }
+
+    #[test]
+    fn u64_above_i64_max_kept_exact() {
+        let v = json!(u64::MAX);
+        assert_eq!(to_string(&v).unwrap(), "18446744073709551615");
+        assert_eq!(json!(5u64), json!(5i64), "small u64 normalizes to Int");
+    }
+
+    #[test]
+    fn numeric_literal_eq_coerces_across_int_and_float() {
+        assert_eq!(json!(4), 4.0, "float literal coerces");
+        assert!(json!(4.0) != 4, "integer literal compares exactly");
+        assert_eq!(json!(u64::MAX), u64::MAX);
+        assert!(
+            json!(i64::MAX - 1) != i64::MAX,
+            "no f64 rounding collisions"
+        );
+        assert!(json!("4") != 4.0);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = to_string(&json!("a\"b\n")).unwrap();
+        assert_eq!(s, "\"a\\\"b\\n\"");
+    }
+}
