@@ -1,0 +1,39 @@
+//! Scaling of partitioned execution: events/sec for the canonical keyed
+//! fleet window query at parallelism 1, 2, 4 and 8, plus the
+//! single-threaded `run` loop as the baseline. The interesting output is
+//! the ratio between degrees — how much of the hash-partitioned fan-out
+//! survives channel and merge overhead on this machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nebulameos_bench::{keyed_window_query, Workload};
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let workload = Workload::small();
+    let events = workload.records.len() as u64;
+    let query = keyed_window_query();
+
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+
+    group.bench_function("run_baseline", |b| {
+        b.iter(|| {
+            let m = workload.run(&query);
+            assert_eq!(m.records_in, events);
+            m.records_out
+        })
+    });
+    for parallelism in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("run_partitioned", parallelism), |b| {
+            b.iter(|| {
+                let m = workload.run_partitioned(&query, parallelism);
+                assert_eq!(m.records_in, events);
+                m.records_out
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

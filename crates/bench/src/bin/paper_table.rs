@@ -33,15 +33,16 @@ fn main() {
     let rows = measure_all(&workload);
 
     println!(
-        "{:<26} | {:>16} | {:>22} | {:>7} | {:>8} | {:>12}",
+        "{:<26} | {:>16} | {:>22} | {:>12} | {:>7} | {:>8} | {:>12}",
         "Query (paper §3)",
         "paper throughput",
         "measured throughput",
+        "par4 (Ke/s)",
         "B/event",
         "outputs",
         "p99 lat (ms)"
     );
-    println!("{}", "-".repeat(110));
+    println!("{}", "-".repeat(125));
     let mut all_sustained = true;
     let mut rows = rows;
     for row in &mut rows {
@@ -50,21 +51,23 @@ fn main() {
             .latency_us(99.0)
             .map(|us| us / 1_000.0)
             .unwrap_or(0.0);
+        let par4_keps = row.par4.events_per_sec() / 1_000.0;
         let m = &row.metrics;
         println!(
-            "{:<26} | {:>6.2} MB @ {:>3.0}K e/s | {:>8.2} MB/s @ {:>6.1}K e/s | {:>7.1} | {:>8} | {:>12.3}",
+            "{:<26} | {:>6.2} MB @ {:>3.0}K e/s | {:>8.2} MB/s @ {:>6.1}K e/s | {:>12.1} | {:>7.1} | {:>8} | {:>12.3}",
             row.paper.name,
             row.paper.paper_mb,
             row.paper.paper_keps,
             m.mb_per_sec(),
             m.events_per_sec() / 1_000.0,
+            par4_keps,
             m.bytes_per_event(),
             m.records_out,
             p99_ms,
         );
         all_sustained &= row.sustains_paper_rate();
     }
-    println!("{}", "-".repeat(110));
+    println!("{}", "-".repeat(125));
     println!(
         "sustains paper ingest rates on this machine: {}",
         if all_sustained { "yes" } else { "NO" }
@@ -81,6 +84,8 @@ fn main() {
             "paper_keps": r.paper.paper_keps,
             "measured_mb_per_sec": r.metrics.mb_per_sec(),
             "measured_keps": r.metrics.events_per_sec() / 1e3,
+            "par4_keps": r.par4.events_per_sec() / 1e3,
+            "par4_records_out": r.par4.records_out,
             "bytes_per_event": r.metrics.bytes_per_event(),
             "records_out": r.metrics.records_out,
             "sustains_paper_rate": r.sustains_paper_rate(),

@@ -132,6 +132,33 @@ impl Workload {
         let (mut sink, _) = CountingSink::new();
         env.run(query, &mut sink).expect("query runs")
     }
+
+    /// Runs a query partitioned across `parallelism` workers, discarding
+    /// results into a counting sink; returns the merged metrics.
+    pub fn run_partitioned(&self, query: &Query, parallelism: usize) -> QueryMetrics {
+        let mut env = self.environment();
+        env.config_mut().parallelism = parallelism;
+        let (mut sink, _) = CountingSink::new();
+        env.run_partitioned(query, &mut sink)
+            .expect("partitioned query runs")
+    }
+}
+
+/// The canonical partitionable fleet query for scaling measurements: a
+/// per-train tumbling-window speed/load profile, hash-partitioned by
+/// `train_id` under `run_partitioned`.
+pub fn keyed_window_query() -> Query {
+    Query::from("fleet").window(
+        vec![("train", col("train_id"))],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![
+            WindowAgg::new("n", AggSpec::Count),
+            WindowAgg::new("avg_speed", AggSpec::Avg(col("speed_kmh"))),
+            WindowAgg::new("max_passengers", AggSpec::Max(col("passengers"))),
+        ],
+    )
 }
 
 /// A measured row next to the paper's reported numbers.
@@ -139,8 +166,11 @@ impl Workload {
 pub struct MeasuredRow {
     /// The paper row.
     pub paper: PaperRow,
-    /// Our metrics.
+    /// Our metrics (single-threaded `run`, what the paper measures).
     pub metrics: QueryMetrics,
+    /// Metrics for the same query under `run_partitioned` at
+    /// parallelism 4.
+    pub par4: QueryMetrics,
 }
 
 impl MeasuredRow {
@@ -151,7 +181,8 @@ impl MeasuredRow {
     }
 }
 
-/// Runs all eight queries over one workload.
+/// Runs all eight queries over one workload, single-threaded and
+/// partitioned at parallelism 4.
 pub fn measure_all(workload: &Workload) -> Vec<MeasuredRow> {
     PAPER_RESULTS
         .iter()
@@ -159,6 +190,7 @@ pub fn measure_all(workload: &Workload) -> Vec<MeasuredRow> {
         .map(|(paper, query)| MeasuredRow {
             paper: *paper,
             metrics: workload.run(&query),
+            par4: workload.run_partitioned(&query, 4),
         })
         .collect()
 }
@@ -173,6 +205,18 @@ mod tests {
         assert_eq!(w.records.len(), 720);
         let m = w.run(&demo_queries()[2]);
         assert_eq!(m.records_in, 720);
+    }
+
+    #[test]
+    fn partitioned_run_ingests_everything() {
+        let w = Workload::generate(2, 1_000);
+        let reference = w.run(&keyed_window_query());
+        assert_eq!(reference.records_in, 720);
+        for p in [1, 2, 4] {
+            let m = w.run_partitioned(&keyed_window_query(), p);
+            assert_eq!(m.records_in, reference.records_in, "parallelism {p}");
+            assert_eq!(m.records_out, reference.records_out, "parallelism {p}");
+        }
     }
 
     #[test]

@@ -78,18 +78,18 @@ pub mod prelude {
     pub use crate::expr::{
         call, col, lit, BoundExpr, ClosureFunction, Expr, FunctionRegistry, Plugin, ScalarFunction,
     };
-    pub use crate::metrics::QueryMetrics;
+    pub use crate::metrics::{Histogram, QueryMetrics};
     pub use crate::ops::{
-        CepOp, FilterOp, FlatMapOp, MapOp, Operator, OperatorFactory, Pattern, PatternStep,
-        WindowOp,
+        record_sort_key, CepOp, FilterOp, FlatMapOp, GroupKey, MapOp, Operator, OperatorFactory,
+        Pattern, PatternStep, WindowOp,
     };
-    pub use crate::query::{compile, LogicalOp, Query};
+    pub use crate::query::{compile, LogicalOp, PartitionScheme, Query};
     pub use crate::record::{Record, RecordBuffer, StreamMessage};
     pub use crate::runtime::{EnvConfig, StreamEnvironment};
     pub use crate::schema::{Field, Schema, SchemaRef};
     pub use crate::sink::{
-        CallbackSink, Collected, CollectingSink, CountingSink, CsvSink, NullSink, Sink,
-        SinkCounters,
+        merge_partitions, normalize_records, BufferSink, CallbackSink, Collected, CollectingSink,
+        CountingSink, CsvSink, NullSink, Sink, SinkCounters,
     };
     pub use crate::source::{
         CsvSource, GapSource, GeneratorSource, JitterSource, Source, SourceBatch, VecSource,

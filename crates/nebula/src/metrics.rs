@@ -71,6 +71,21 @@ impl QueryMetrics {
     pub fn latency_us(&mut self, percentile: f64) -> Option<f64> {
         self.latency.percentile(percentile)
     }
+
+    /// Folds another run's counters into this one — how partitioned
+    /// execution combines per-worker metrics into one report. Counters
+    /// add, latency histograms merge their samples, and `wall` keeps the
+    /// maximum (workers run concurrently, so wall time does not add).
+    pub fn merge(&mut self, other: &QueryMetrics) {
+        self.records_in += other.records_in;
+        self.records_out += other.records_out;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.watermarks += other.watermarks;
+        self.batches += other.batches;
+        self.wall = self.wall.max(other.wall);
+        self.latency.merge(&other.latency);
+    }
 }
 
 impl fmt::Display for QueryMetrics {
@@ -110,6 +125,19 @@ impl Histogram {
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.samples.len()
+    }
+
+    /// The raw samples (unsorted unless a percentile was queried).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Absorbs another histogram's samples. Percentiles over the merged
+    /// histogram equal percentiles over the concatenated sample multiset,
+    /// so per-worker latency profiles combine losslessly.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
     }
 
     /// True iff no samples.
@@ -181,6 +209,64 @@ mod tests {
         assert_eq!(m.mb_per_sec(), 0.0);
         assert_eq!(m.bytes_per_event(), 0.0);
         assert_eq!(m.selectivity(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_samples() {
+        let mut a = QueryMetrics {
+            records_in: 10,
+            records_out: 4,
+            bytes_in: 100,
+            bytes_out: 40,
+            watermarks: 1,
+            batches: 2,
+            wall: Duration::from_secs(3),
+            ..QueryMetrics::default()
+        };
+        a.latency.record(5.0);
+        let mut b = QueryMetrics {
+            records_in: 20,
+            records_out: 6,
+            bytes_in: 200,
+            bytes_out: 60,
+            watermarks: 2,
+            batches: 3,
+            wall: Duration::from_secs(2),
+            ..QueryMetrics::default()
+        };
+        b.latency.record(1.0);
+        b.latency.record(9.0);
+        a.merge(&b);
+        assert_eq!(a.records_in, 30);
+        assert_eq!(a.records_out, 10);
+        assert_eq!(a.bytes_in, 300);
+        assert_eq!(a.bytes_out, 100);
+        assert_eq!(a.watermarks, 3);
+        assert_eq!(a.batches, 5);
+        assert_eq!(a.wall, Duration::from_secs(3), "max, not sum");
+        assert_eq!(a.latency.len(), 3);
+        assert_eq!(a.latency.percentile(100.0), Some(9.0));
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenation() {
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        let mut all = Histogram::new();
+        for i in 0..50 {
+            let v = ((i * 37) % 50) as f64;
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+            all.record(v);
+        }
+        left.merge(&right);
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(left.percentile(p), all.percentile(p), "p{p}");
+        }
+        assert_eq!(left.samples().len(), 50);
     }
 
     #[test]

@@ -71,6 +71,28 @@ impl GroupKey {
         }
         Ok((GroupKey(bytes.into_boxed_slice()), values))
     }
+
+    /// The canonical byte encoding — the hash input for partitioning.
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Canonical byte encoding of a whole record: a total, deterministic sort
+/// key so result sets from differently-ordered executions (threaded,
+/// partitioned) can be order-normalized and compared.
+///
+/// Caveat: [`Value::Opaque`] encodes by type tag only (plugin payloads
+/// have no stable byte form), so records that differ *only* in an opaque
+/// payload tie under this key and keep their arrival order. Order
+/// normalization is exact for primitive-typed columns; result sets
+/// carrying opaque columns normalize up to those ties.
+pub fn record_sort_key(rec: &Record) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(rec.len() * 9);
+    for v in rec.values() {
+        encode_value(v, &mut bytes);
+    }
+    bytes
 }
 
 fn encode_value(v: &Value, out: &mut Vec<u8>) {

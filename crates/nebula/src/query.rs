@@ -164,6 +164,64 @@ impl Query {
         self.ops.push(LogicalOp::Custom(factory));
         self
     }
+
+    /// How this plan may be sharded across parallel workers without
+    /// changing its results (see `StreamEnvironment::run_partitioned`).
+    ///
+    /// The decision walks the operator list up to the first stateful
+    /// operator (window or CEP):
+    ///
+    /// - If the stateful operator is keyed and every operator before it
+    ///   preserves source column values (filters and *extending* maps),
+    ///   records can be hash-partitioned by the grouping key evaluated on
+    ///   source records — each key's full history lands on one worker, so
+    ///   per-key state evolves exactly as in a single-worker run.
+    /// - A keyless stateful operator, a narrowing map before the stateful
+    ///   operator (it may redefine the key columns), or a plugin operator
+    ///   (opaque state) forces all data onto a single worker.
+    /// - A plan with no stateful operators at all is embarrassingly
+    ///   parallel: records round-robin across workers.
+    pub fn partition_scheme(&self) -> PartitionScheme {
+        let mut prefix_preserves_columns = true;
+        for op in &self.ops {
+            match op {
+                LogicalOp::Filter(_) => {}
+                LogicalOp::Map { extend, .. } => {
+                    if !extend {
+                        prefix_preserves_columns = false;
+                    }
+                }
+                LogicalOp::Window { keys, .. } => {
+                    return if prefix_preserves_columns && !keys.is_empty() {
+                        PartitionScheme::Key(keys.iter().map(|(_, e)| e.clone()).collect())
+                    } else {
+                        PartitionScheme::Single
+                    };
+                }
+                LogicalOp::Cep(pattern) => {
+                    return match (&pattern.key, prefix_preserves_columns) {
+                        (Some(key), true) => PartitionScheme::Key(vec![key.clone()]),
+                        _ => PartitionScheme::Single,
+                    };
+                }
+                LogicalOp::Custom(_) => return PartitionScheme::Single,
+            }
+        }
+        PartitionScheme::RoundRobin
+    }
+}
+
+/// How records are routed to workers under partitioned execution.
+#[derive(Debug, Clone)]
+pub enum PartitionScheme {
+    /// Hash of these expressions, evaluated on source records; all
+    /// records of one key reach the same worker.
+    Key(Vec<Expr>),
+    /// Stateless plan: records distribute evenly, any worker will do.
+    RoundRobin,
+    /// Stateful but keyless or opaque: all data on one worker (the rest
+    /// only see watermarks and end-of-stream).
+    Single,
 }
 
 /// A compiled physical plan.
@@ -287,6 +345,77 @@ mod tests {
     fn compile_rejects_empty_query() {
         let reg = FunctionRegistry::with_builtins();
         assert!(compile(&Query::from("trains"), schema(), &reg).is_err());
+    }
+
+    #[test]
+    fn partition_scheme_keyed_window_is_key() {
+        let q = Query::from("trains")
+            .filter(col("speed").gt(lit(1.0)))
+            .map_extend(vec![("kmh", col("speed").mul(lit(3.6)))])
+            .window(
+                vec![("train", col("train_id"))],
+                WindowSpec::Tumbling { size: 60_000_000 },
+                vec![WindowAgg::new("n", AggSpec::Count)],
+            );
+        match q.partition_scheme() {
+            PartitionScheme::Key(exprs) => assert_eq!(exprs.len(), 1),
+            other => panic!("expected Key, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partition_scheme_stateless_is_round_robin() {
+        let q = Query::from("trains")
+            .filter(col("speed").gt(lit(1.0)))
+            .map(vec![("t", col("train_id"))]);
+        assert!(matches!(q.partition_scheme(), PartitionScheme::RoundRobin));
+    }
+
+    #[test]
+    fn partition_scheme_keyless_window_is_single() {
+        let q = Query::from("trains").window(
+            vec![],
+            WindowSpec::Tumbling { size: 60_000_000 },
+            vec![WindowAgg::new("n", AggSpec::Count)],
+        );
+        assert!(matches!(q.partition_scheme(), PartitionScheme::Single));
+    }
+
+    #[test]
+    fn partition_scheme_narrowing_map_before_window_is_single() {
+        // A narrowing map may redefine the key column; partitioning on
+        // the source value would split groups, so it must be Single.
+        let q = Query::from("trains")
+            .map(vec![("train_id", col("speed"))])
+            .window(
+                vec![("train", col("train_id"))],
+                WindowSpec::Tumbling { size: 60_000_000 },
+                vec![WindowAgg::new("n", AggSpec::Count)],
+            );
+        assert!(matches!(q.partition_scheme(), PartitionScheme::Single));
+    }
+
+    #[test]
+    fn partition_scheme_keyed_cep_is_key() {
+        use crate::ops::{Pattern, PatternStep};
+        let keyed = Query::from("trains").cep(
+            Pattern::new(
+                "p",
+                vec![PatternStep::new("hi", col("speed").gt(lit(50.0)))],
+                1_000_000,
+            )
+            .keyed_by(col("train_id")),
+        );
+        assert!(matches!(keyed.partition_scheme(), PartitionScheme::Key(_)));
+        let keyless = Query::from("trains").cep(Pattern::new(
+            "p",
+            vec![PatternStep::new("hi", col("speed").gt(lit(50.0)))],
+            1_000_000,
+        ));
+        assert!(matches!(
+            keyless.partition_scheme(),
+            PartitionScheme::Single
+        ));
     }
 
     #[test]

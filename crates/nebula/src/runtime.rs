@@ -2,19 +2,26 @@
 //! buffers through operator chains, generates watermarks, and reports
 //! throughput metrics.
 //!
-//! Two execution modes:
+//! Three execution modes:
 //! - [`StreamEnvironment::run`] — synchronous single-threaded loop
 //!   (deterministic; what the benchmarks measure),
 //! - [`StreamEnvironment::run_threaded`] — pipeline-parallel via a bounded
 //!   crossbeam channel between the source and the operator chain
-//!   (the shape of NebulaStream's worker threads).
+//!   (the shape of NebulaStream's worker threads),
+//! - [`StreamEnvironment::run_partitioned`] — data-parallel: records are
+//!   hash-partitioned by the plan's grouping key across
+//!   [`EnvConfig::parallelism`] workers, each running its own compiled
+//!   operator chain, with watermarks broadcast to every partition and
+//!   per-worker metrics merged into one report (NebulaStream's
+//!   worker-parallel execution model).
 
 use crate::error::{NebulaError, Result};
-use crate::expr::{FunctionRegistry, Plugin};
+use crate::expr::{BoundExpr, FunctionRegistry, Plugin};
 use crate::metrics::QueryMetrics;
-use crate::query::{compile, Query};
-use crate::record::{RecordBuffer, StreamMessage};
-use crate::sink::Sink;
+use crate::ops::GroupKey;
+use crate::query::{compile, PartitionScheme, Query};
+use crate::record::{Record, RecordBuffer, StreamMessage};
+use crate::sink::{merge_partitions, BufferSink, Sink};
 use crate::source::{Source, SourceBatch, WatermarkStrategy};
 use crate::value::EventTime;
 use std::collections::HashMap;
@@ -33,6 +40,9 @@ pub struct EnvConfig {
     pub idle_limit: u64,
     /// Channel capacity (buffers) for threaded execution.
     pub channel_capacity: usize,
+    /// Worker count for partitioned execution
+    /// ([`StreamEnvironment::run_partitioned`]).
+    pub parallelism: usize,
 }
 
 impl Default for EnvConfig {
@@ -42,9 +52,13 @@ impl Default for EnvConfig {
             watermark_every: 4,
             idle_limit: 100_000,
             channel_capacity: 8,
+            parallelism: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
         }
     }
 }
+
+/// A compiled chain of physical operators, executed in order.
+type OperatorChain = Vec<Box<dyn Operator>>;
 
 struct RegisteredSource {
     source: Box<dyn Source>,
@@ -98,6 +112,12 @@ impl StreamEnvironment {
         &self.config
     }
 
+    /// The configuration (for tuning after construction, e.g. setting
+    /// [`EnvConfig::parallelism`] on an already-wired environment).
+    pub fn config_mut(&mut self) -> &mut EnvConfig {
+        &mut self.config
+    }
+
     /// Loads a plugin's functions into the registry.
     pub fn load_plugin(&mut self, plugin: &dyn Plugin) -> Result<()> {
         self.registry.load_plugin(plugin)
@@ -134,17 +154,31 @@ impl StreamEnvironment {
             .ok_or_else(|| NebulaError::Plan(format!("unknown source '{name}'")))
     }
 
+    /// Compiles `query` against the registered (still-owned) source's
+    /// schema. Compiling *before* [`Self::take_source`] means a plan
+    /// error leaves the source registered, so the caller can fix the
+    /// query and run again.
+    fn prepare(&self, query: &Query) -> Result<(Option<usize>, OperatorChain)> {
+        let src = self
+            .sources
+            .get(query.source())
+            .ok_or_else(|| NebulaError::Plan(format!("unknown source '{}'", query.source())))?;
+        let schema = src.source.schema();
+        let ts_col = resolve_ts_col(&src.watermark, &schema)?;
+        let plan = compile(query, schema, &self.registry)?;
+        Ok((ts_col, plan.operators))
+    }
+
     /// Runs a query to completion, synchronously, delivering results to
-    /// `sink`. Consumes the registered source.
+    /// `sink`. Consumes the registered source (only on a valid plan; a
+    /// compile error leaves the source registered).
     pub fn run(&mut self, query: &Query, sink: &mut dyn Sink) -> Result<QueryMetrics> {
+        let (ts_col, mut ops) = self.prepare(query)?;
         let RegisteredSource {
             mut source,
             watermark,
         } = self.take_source(query.source())?;
         let schema = source.schema();
-        let ts_col = resolve_ts_col(&watermark, &schema)?;
-        let plan = compile(query, schema.clone(), &self.registry)?;
-        let mut ops = plan.operators;
 
         let mut metrics = QueryMetrics::default();
         let start = Instant::now();
@@ -201,14 +235,12 @@ impl StreamEnvironment {
     /// Runs a query with the source on its own thread, connected to the
     /// operator chain by a bounded channel — pipeline parallelism.
     pub fn run_threaded(&mut self, query: &Query, sink: &mut dyn Sink) -> Result<QueryMetrics> {
+        let (ts_col, mut ops) = self.prepare(query)?;
         let RegisteredSource {
             mut source,
             watermark,
         } = self.take_source(query.source())?;
         let schema = source.schema();
-        let ts_col = resolve_ts_col(&watermark, &schema)?;
-        let plan = compile(query, schema.clone(), &self.registry)?;
-        let mut ops = plan.operators;
 
         let (tx, rx) = crossbeam::channel::bounded::<StreamMessage>(self.config.channel_capacity);
         let buffer_size = self.config.buffer_size;
@@ -289,6 +321,262 @@ impl StreamEnvironment {
         metrics.wall = start.elapsed();
         Ok(metrics)
     }
+
+    /// Runs a query data-parallel across [`EnvConfig::parallelism`]
+    /// worker threads — NebulaStream's worker-parallel execution model.
+    ///
+    /// The caller thread polls the source and routes each record to a
+    /// worker according to the plan's [`Query::partition_scheme`]:
+    /// hash of the grouping key (keyed windows / CEP), round-robin
+    /// (stateless plans), or everything to worker 0 (keyless stateful
+    /// plans, plugin operators, or keys that don't bind against the
+    /// source schema). Watermarks are broadcast to every partition, so
+    /// each worker's event-time clock advances exactly as in a
+    /// single-worker run. Each worker drives its own compiled operator
+    /// chain behind a bounded channel and collects results locally;
+    /// after end-of-stream the partitions are merged order-normalized
+    /// (canonically sorted, so output is deterministic and independent
+    /// of the parallelism degree) and delivered to `sink` as one buffer.
+    /// Per-worker metrics — including latency histograms — merge into
+    /// the returned report.
+    pub fn run_partitioned(&mut self, query: &Query, sink: &mut dyn Sink) -> Result<QueryMetrics> {
+        let (schema, ts_col) = {
+            let src = self
+                .sources
+                .get(query.source())
+                .ok_or_else(|| NebulaError::Plan(format!("unknown source '{}'", query.source())))?;
+            let schema = src.source.schema();
+            let ts_col = resolve_ts_col(&src.watermark, &schema)?;
+            (schema, ts_col)
+        };
+        // Key expressions that don't bind against the source schema
+        // (e.g. keys over map-created columns) fall back to
+        // single-worker routing, which is always correct.
+        let route = match query.partition_scheme() {
+            PartitionScheme::Key(exprs) => exprs
+                .iter()
+                .map(|e| e.bind(&schema, &self.registry).map(|(b, _)| b))
+                .collect::<Result<Vec<BoundExpr>>>()
+                .map_or(Route::Single, Route::Key),
+            PartitionScheme::RoundRobin => Route::RoundRobin,
+            PartitionScheme::Single => Route::Single,
+        };
+        // Single-routed plans get exactly one worker: extra partitions
+        // would only relay watermarks and inflate the merged metrics.
+        let parallelism = match route {
+            Route::Single => 1,
+            _ => self.config.parallelism.max(1),
+        };
+        // Compile one chain per worker before taking the source, so a
+        // plan error leaves the source registered.
+        let mut chains = Vec::with_capacity(parallelism);
+        let mut output_schema = None;
+        for _ in 0..parallelism {
+            let plan = compile(query, schema.clone(), &self.registry)?;
+            output_schema = Some(plan.output_schema.clone());
+            chains.push(plan.operators);
+        }
+        let output_schema = output_schema.expect("parallelism >= 1");
+        let RegisteredSource {
+            mut source,
+            watermark,
+        } = self.take_source(query.source())?;
+
+        let buffer_size = self.config.buffer_size;
+        let watermark_every = self.config.watermark_every;
+        let idle_limit = self.config.idle_limit;
+        let channel_capacity = self.config.channel_capacity;
+
+        let start = Instant::now();
+        let mut merged = QueryMetrics::default();
+        let mut parts: Vec<Vec<RecordBuffer>> = Vec::with_capacity(parallelism);
+
+        let result: Result<()> = std::thread::scope(|scope| {
+            let mut txs = Vec::with_capacity(parallelism);
+            let mut workers = Vec::with_capacity(parallelism);
+            for mut ops in chains {
+                let (tx, rx) =
+                    crossbeam::channel::bounded::<StreamMessage>(channel_capacity.max(1));
+                txs.push(tx);
+                workers.push(
+                    scope.spawn(move || -> Result<(QueryMetrics, Vec<RecordBuffer>)> {
+                        let mut metrics = QueryMetrics::default();
+                        let mut local = BufferSink::new();
+                        for msg in rx.iter() {
+                            let is_eos = matches!(msg, StreamMessage::Eos);
+                            let is_data = matches!(msg, StreamMessage::Data(_));
+                            match &msg {
+                                StreamMessage::Data(b) => {
+                                    metrics.batches += 1;
+                                    metrics.records_in += b.len() as u64;
+                                    metrics.bytes_in += b.est_bytes() as u64;
+                                }
+                                StreamMessage::Watermark(_) => metrics.watermarks += 1,
+                                StreamMessage::Eos => {}
+                            }
+                            let t0 = Instant::now();
+                            feed(&mut ops, msg, &mut local, &mut metrics)?;
+                            // Like `run`, the latency histogram samples
+                            // only data buffers — watermark and Eos
+                            // feeds would skew the profile and make it
+                            // incomparable with single-threaded runs.
+                            if is_data {
+                                metrics.latency.record(t0.elapsed().as_secs_f64() * 1e6);
+                            }
+                            if is_eos {
+                                break;
+                            }
+                        }
+                        Ok((metrics, local.into_buffers()))
+                    }),
+                );
+            }
+
+            // Route records on the caller thread. A send fails only when
+            // a worker errored and dropped its receiver; the join below
+            // surfaces the worker's own error, which is the useful one.
+            let n = txs.len();
+            let hung = || NebulaError::Eval("partition worker hung up".into());
+            let route_result: Result<()> = (|| {
+                let mut max_ts: EventTime = EventTime::MIN;
+                let mut batches: u64 = 0;
+                let mut idle: u64 = 0;
+                let mut rr: usize = 0;
+                loop {
+                    match source.poll(buffer_size)? {
+                        SourceBatch::Data(recs) => {
+                            idle = 0;
+                            batches += 1;
+                            if let (Some(col), WatermarkStrategy::BoundedOutOfOrder { .. }) =
+                                (ts_col, &watermark)
+                            {
+                                for rec in &recs {
+                                    if let Some(t) =
+                                        rec.get(col).and_then(crate::value::Value::as_timestamp)
+                                    {
+                                        max_ts = max_ts.max(t);
+                                    }
+                                }
+                            }
+                            let mut shards: Vec<Vec<Record>> = vec![Vec::new(); n];
+                            for rec in recs {
+                                let w = match &route {
+                                    Route::Single => 0,
+                                    Route::RoundRobin => {
+                                        let w = rr % n;
+                                        rr += 1;
+                                        w
+                                    }
+                                    Route::Key(exprs) => match GroupKey::evaluate(exprs, &rec) {
+                                        Ok((key, _)) => (fnv1a(key.bytes()) % n as u64) as usize,
+                                        // A record whose key fails to
+                                        // evaluate has no group; route it
+                                        // to worker 0. If it survives the
+                                        // plan's filters the stateful
+                                        // operator raises the same error
+                                        // `run` would; if it is filtered
+                                        // out, placement never mattered.
+                                        Err(_) => 0,
+                                    },
+                                };
+                                shards[w].push(rec);
+                            }
+                            for (w, shard) in shards.into_iter().enumerate() {
+                                if !shard.is_empty() {
+                                    txs[w]
+                                        .send(StreamMessage::Data(RecordBuffer::new(
+                                            schema.clone(),
+                                            shard,
+                                        )))
+                                        .map_err(|_| hung())?;
+                                }
+                            }
+                            if let WatermarkStrategy::BoundedOutOfOrder { slack, .. } = &watermark {
+                                if batches.is_multiple_of(watermark_every)
+                                    && max_ts != EventTime::MIN
+                                {
+                                    for tx in &txs {
+                                        tx.send(StreamMessage::Watermark(max_ts - slack))
+                                            .map_err(|_| hung())?;
+                                    }
+                                }
+                            }
+                        }
+                        SourceBatch::Idle => {
+                            idle += 1;
+                            if idle > idle_limit {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                        SourceBatch::Exhausted => break,
+                    }
+                }
+                for tx in &txs {
+                    tx.send(StreamMessage::Eos).map_err(|_| hung())?;
+                }
+                Ok(())
+            })();
+
+            // Disconnect channels so no worker can block on a dead
+            // producer, then join them all.
+            drop(txs);
+            let mut worker_err: Option<NebulaError> = None;
+            for worker in workers {
+                match worker.join() {
+                    Err(_) => {
+                        if worker_err.is_none() {
+                            worker_err =
+                                Some(NebulaError::Eval("partition worker panicked".into()));
+                        }
+                    }
+                    Ok(Err(e)) => {
+                        if worker_err.is_none() {
+                            worker_err = Some(e);
+                        }
+                    }
+                    Ok(Ok((m, buffers))) => {
+                        merged.merge(&m);
+                        parts.push(buffers);
+                    }
+                }
+            }
+            match worker_err {
+                Some(e) => Err(e),
+                None => route_result,
+            }
+        });
+        result?;
+
+        let merged_buf = merge_partitions(output_schema, parts);
+        if !merged_buf.is_empty() {
+            sink.consume(&merged_buf)?;
+        }
+        sink.finish()?;
+        merged.wall = start.elapsed();
+        Ok(merged)
+    }
+}
+
+/// The bound routing decision for one partitioned run.
+enum Route {
+    /// Hash-partition by these key expressions over source records.
+    Key(Vec<BoundExpr>),
+    /// Distribute records evenly (stateless plans).
+    RoundRobin,
+    /// Everything to worker 0 (stateful keyless / opaque plans).
+    Single,
+}
+
+/// FNV-1a over the canonical key bytes: deterministic across runs and
+/// platforms, so a key's partition assignment is stable.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
 }
 
 fn resolve_ts_col(
@@ -490,6 +778,274 @@ mod tests {
 
         assert_eq!(c1.records(), c2.records());
         assert_eq!(m2.records_in, 500);
+    }
+
+    #[test]
+    fn plan_error_keeps_source_registered() {
+        // Regression: compiling used to happen after take_source, so a
+        // bad plan permanently dropped the source.
+        for mode in 0..3 {
+            let mut env = StreamEnvironment::with_config(EnvConfig {
+                parallelism: 2,
+                ..EnvConfig::default()
+            });
+            env.add_source(
+                "trains",
+                Box::new(VecSource::new(schema(), records(50))),
+                WatermarkStrategy::None,
+            );
+            let bad = Query::from("trains").filter(col("no_such_column").gt(lit(1.0)));
+            let (mut sink, _) = CollectingSink::new();
+            let err = match mode {
+                0 => env.run(&bad, &mut sink),
+                1 => env.run_threaded(&bad, &mut sink),
+                _ => env.run_partitioned(&bad, &mut sink),
+            };
+            assert!(err.is_err(), "mode {mode}: bad plan must fail");
+
+            // The source must still be registered and usable.
+            let good = Query::from("trains").filter(col("speed").ge(lit(0.0)));
+            let (mut sink, got) = CollectingSink::new();
+            let m = match mode {
+                0 => env.run(&good, &mut sink),
+                1 => env.run_threaded(&good, &mut sink),
+                _ => env.run_partitioned(&good, &mut sink),
+            }
+            .expect("source survived the plan error");
+            assert_eq!(m.records_in, 50, "mode {mode}");
+            assert_eq!(got.len(), 50, "mode {mode}");
+        }
+    }
+
+    fn run_partitioned_with(
+        query: &Query,
+        parallelism: usize,
+        watermark: WatermarkStrategy,
+    ) -> (Vec<Record>, QueryMetrics) {
+        let mut env = StreamEnvironment::with_config(EnvConfig {
+            buffer_size: 16,
+            watermark_every: 2,
+            parallelism,
+            ..EnvConfig::default()
+        });
+        env.add_source(
+            "trains",
+            Box::new(VecSource::new(schema(), records(300))),
+            watermark,
+        );
+        let (mut sink, got) = CollectingSink::new();
+        let m = env.run_partitioned(query, &mut sink).unwrap();
+        (got.records(), m)
+    }
+
+    fn run_sync_normalized(query: &Query, watermark: WatermarkStrategy) -> Vec<Record> {
+        let mut env = StreamEnvironment::with_config(EnvConfig {
+            buffer_size: 16,
+            watermark_every: 2,
+            ..EnvConfig::default()
+        });
+        env.add_source(
+            "trains",
+            Box::new(VecSource::new(schema(), records(300))),
+            watermark,
+        );
+        let (mut sink, got) = CollectingSink::new();
+        env.run(query, &mut sink).unwrap();
+        let mut recs = got.records();
+        crate::sink::normalize_records(&mut recs);
+        recs
+    }
+
+    #[test]
+    fn partitioned_stateless_matches_run() {
+        let q = Query::from("trains")
+            .filter(col("speed").ge(lit(25.0)))
+            .map_extend(vec![("kmh", col("speed").mul(lit(3.6)))]);
+        let expect = run_sync_normalized(&q, WatermarkStrategy::None);
+        for p in [1, 2, 4] {
+            let (got, m) = run_partitioned_with(&q, p, WatermarkStrategy::None);
+            assert_eq!(got, expect, "parallelism {p}");
+            assert_eq!(m.records_in, 300, "parallelism {p}");
+            assert_eq!(m.records_out as usize, got.len(), "parallelism {p}");
+        }
+    }
+
+    #[test]
+    fn partitioned_keyed_window_matches_run() {
+        let wm = || WatermarkStrategy::BoundedOutOfOrder {
+            ts_field: "ts".into(),
+            slack: 5 * MICROS_PER_SEC,
+        };
+        let q = Query::from("trains").window(
+            vec![("train", col("train"))],
+            WindowSpec::Tumbling {
+                size: 60 * MICROS_PER_SEC,
+            },
+            vec![
+                WindowAgg::new("n", AggSpec::Count),
+                WindowAgg::new("avg_speed", AggSpec::Avg(col("speed"))),
+            ],
+        );
+        let expect = run_sync_normalized(&q, wm());
+        assert_eq!(expect.len(), 15, "300 s / 60 s windows x 3 keys");
+        for p in [1, 2, 4] {
+            let (got, m) = run_partitioned_with(&q, p, wm());
+            assert_eq!(got, expect, "parallelism {p}");
+            assert_eq!(m.records_in, 300, "parallelism {p}");
+            assert!(!m.latency.is_empty(), "workers recorded latency");
+        }
+    }
+
+    #[test]
+    fn partitioned_keyless_window_falls_back_to_single() {
+        // A keyless window must not be sharded (it would emit one row
+        // per partition); Single routing keeps results identical.
+        let q = Query::from("trains").window(
+            vec![],
+            WindowSpec::Tumbling {
+                size: 60 * MICROS_PER_SEC,
+            },
+            vec![WindowAgg::new("n", AggSpec::Count)],
+        );
+        let expect = run_sync_normalized(&q, WatermarkStrategy::None);
+        assert_eq!(expect.len(), 5);
+        let (got, m) = run_partitioned_with(&q, 4, WatermarkStrategy::None);
+        assert_eq!(got, expect);
+        let total: i64 = got
+            .iter()
+            .map(|r| r.get(2).unwrap().as_int().unwrap())
+            .sum();
+        assert_eq!(total, 300);
+        assert_eq!(m.records_in, 300);
+    }
+
+    #[test]
+    fn partitioned_watermarks_broadcast_to_all_workers() {
+        let q = Query::from("trains").window(
+            vec![("train", col("train"))],
+            WindowSpec::Tumbling {
+                size: 60 * MICROS_PER_SEC,
+            },
+            vec![WindowAgg::new("n", AggSpec::Count)],
+        );
+        let (_, m) = run_partitioned_with(
+            &q,
+            4,
+            WatermarkStrategy::BoundedOutOfOrder {
+                ts_field: "ts".into(),
+                slack: 5 * MICROS_PER_SEC,
+            },
+        );
+        // 300 records / 16 per batch = 19 batches; a broadcast every 2
+        // batches reaches all 4 workers.
+        assert_eq!(m.watermarks, 9 * 4, "each watermark counted per worker");
+    }
+
+    #[test]
+    fn partitioned_key_eval_error_on_filtered_record_matches_run() {
+        // The router evaluates the partition key on *pre-filter* source
+        // records. A key expression that errors on records the filter
+        // would exclude must not fail the partitioned run: such records
+        // route to worker 0 and die in the filter there, exactly as in
+        // `run`.
+        use crate::expr::{call, ClosureFunction};
+        let build_env = || {
+            let mut env = StreamEnvironment::with_config(EnvConfig {
+                buffer_size: 16,
+                parallelism: 4,
+                ..EnvConfig::default()
+            });
+            env.registry_mut()
+                .register(ClosureFunction::new(
+                    "strict_key",
+                    1,
+                    crate::value::DataType::Int,
+                    |args| match &args[0] {
+                        Value::Int(i) if *i >= 0 => Ok(Value::Int(*i)),
+                        other => Err(NebulaError::Eval(format!("strict_key: bad {other}"))),
+                    },
+                ))
+                .unwrap();
+            // Trains 0..2 plus a poison key -1 on every 10th record.
+            let recs: Vec<Record> = (0..200)
+                .map(|i| rec(i, if i % 10 == 0 { -1 } else { i % 3 }, (i % 50) as f64))
+                .collect();
+            env.add_source(
+                "trains",
+                Box::new(VecSource::new(schema(), recs)),
+                WatermarkStrategy::None,
+            );
+            env
+        };
+        let q = Query::from("trains")
+            .filter(col("train").ge(lit(0.0)))
+            .window(
+                vec![("k", call("strict_key", vec![col("train")]))],
+                WindowSpec::Tumbling {
+                    size: 60 * MICROS_PER_SEC,
+                },
+                vec![WindowAgg::new("n", AggSpec::Count)],
+            );
+
+        let (mut s1, c1) = CollectingSink::new();
+        build_env().run(&q, &mut s1).expect("run succeeds");
+        let (mut s2, c2) = CollectingSink::new();
+        build_env()
+            .run_partitioned(&q, &mut s2)
+            .expect("partitioned must not fail on filtered-out poison keys");
+        let mut a = c1.records();
+        let mut b = c2.records();
+        crate::sink::normalize_records(&mut a);
+        crate::sink::normalize_records(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partitioned_single_route_uses_one_worker() {
+        // Single-routed plans clamp to one worker, so the merged
+        // watermark count matches the synchronous run's instead of
+        // being multiplied by the configured parallelism.
+        let q = Query::from("trains").window(
+            vec![],
+            WindowSpec::Tumbling {
+                size: 60 * MICROS_PER_SEC,
+            },
+            vec![WindowAgg::new("n", AggSpec::Count)],
+        );
+        let wm = || WatermarkStrategy::BoundedOutOfOrder {
+            ts_field: "ts".into(),
+            slack: 5 * MICROS_PER_SEC,
+        };
+        let (_, m) = run_partitioned_with(&q, 4, wm());
+        assert_eq!(m.watermarks, 9, "one worker, not 4x broadcast");
+    }
+
+    #[test]
+    fn partitioned_propagates_worker_errors() {
+        // A record with a Null event time makes WindowOp::process fail
+        // at eval time — inside a worker thread, not during planning.
+        let mut env = StreamEnvironment::with_config(EnvConfig {
+            parallelism: 2,
+            ..EnvConfig::default()
+        });
+        let schema = Schema::of(&[("ts", DataType::Timestamp), ("k", DataType::Int)]);
+        env.add_source(
+            "bad",
+            Box::new(VecSource::new(
+                schema,
+                vec![Record::new(vec![Value::Null, Value::Int(1)])],
+            )),
+            WatermarkStrategy::None,
+        );
+        let q = Query::from("bad").window(
+            vec![("k", col("k"))],
+            WindowSpec::Tumbling {
+                size: MICROS_PER_SEC,
+            },
+            vec![WindowAgg::new("n", AggSpec::Count)],
+        );
+        let (mut sink, _) = CollectingSink::new();
+        assert!(env.run_partitioned(&q, &mut sink).is_err());
     }
 
     #[test]

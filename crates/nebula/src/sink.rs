@@ -109,6 +109,64 @@ impl Sink for CountingSink {
     }
 }
 
+/// Collects result buffers wholesale — the per-worker sink behind
+/// partitioned execution. Each worker feeds its operator chain into its
+/// own `BufferSink`; after the workers join, the runtime merges the
+/// collected partitions with [`merge_partitions`].
+#[derive(Default)]
+pub struct BufferSink {
+    buffers: Vec<RecordBuffer>,
+}
+
+impl BufferSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        BufferSink::default()
+    }
+
+    /// The buffers collected so far, in arrival order.
+    pub fn buffers(&self) -> &[RecordBuffer] {
+        &self.buffers
+    }
+
+    /// Consumes into the buffer vector.
+    pub fn into_buffers(self) -> Vec<RecordBuffer> {
+        self.buffers
+    }
+}
+
+impl Sink for BufferSink {
+    fn consume(&mut self, buf: &RecordBuffer) -> Result<()> {
+        self.buffers.push(buf.clone());
+        Ok(())
+    }
+}
+
+/// Sorts records into the canonical order (by their byte encoding — see
+/// `ops::record_sort_key`). Executions that only differ in interleaving
+/// (threaded, partitioned at any parallelism) produce identical record
+/// multisets; normalizing both sides makes them comparable with `==`.
+pub fn normalize_records(records: &mut [Record]) {
+    records.sort_by_cached_key(crate::ops::record_sort_key);
+}
+
+/// The order-normalized merge of per-worker partition outputs: flattens
+/// every worker's buffers (worker order, then arrival order), then sorts
+/// the records canonically so the merged result is deterministic and
+/// independent of the parallelism degree.
+pub fn merge_partitions(
+    schema: crate::schema::SchemaRef,
+    parts: Vec<Vec<RecordBuffer>>,
+) -> RecordBuffer {
+    let mut records: Vec<Record> = parts
+        .into_iter()
+        .flatten()
+        .flat_map(RecordBuffer::into_records)
+        .collect();
+    normalize_records(&mut records);
+    RecordBuffer::new(schema, records)
+}
+
 /// Discards everything (pure pipeline-cost benchmarks).
 #[derive(Default)]
 pub struct NullSink;
@@ -235,6 +293,34 @@ mod tests {
         });
         sink.consume(&buf(&[1, 2, 3, 4])).unwrap();
         assert_eq!(seen.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn buffer_sink_collects_whole_buffers() {
+        let mut sink = BufferSink::new();
+        sink.consume(&buf(&[1, 2])).unwrap();
+        sink.consume(&buf(&[3])).unwrap();
+        assert_eq!(sink.buffers().len(), 2);
+        let buffers = sink.into_buffers();
+        assert_eq!(buffers[0].len(), 2);
+        assert_eq!(buffers[1].len(), 1);
+    }
+
+    #[test]
+    fn merge_partitions_is_order_normalized() {
+        let schema = Schema::of(&[("v", DataType::Int)]);
+        // Two partitions holding interleaved halves of 0..6.
+        let a = vec![buf(&[4, 1]), buf(&[5])];
+        let b = vec![buf(&[0, 3, 2])];
+        let ab = merge_partitions(schema.clone(), vec![a.clone(), b.clone()]);
+        let ba = merge_partitions(schema, vec![b, a]);
+        assert_eq!(ab.records(), ba.records(), "merge ignores worker order");
+        let got: Vec<i64> = ab
+            .records()
+            .iter()
+            .map(|r| r.get(0).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -211,6 +211,106 @@ proptest! {
     }
 
     #[test]
+    fn windowed_counts_invariant_under_parallelism_and_buffer_size(
+        records in stream_strategy(),
+        parallelism in 1usize..5,
+        buffer_size in 8usize..128,
+    ) {
+        // The keyed windowed count profile is an execution-invariant:
+        // however the stream is sharded and batched, every (key, window)
+        // pair must report the same count.
+        let q = Query::from("s").window(
+            vec![("key", col("key"))],
+            WindowSpec::Tumbling { size: 60 * MICROS_PER_SEC },
+            vec![WindowAgg::new("n", AggSpec::Count)],
+        );
+        let reference = {
+            let mut out = run(&q, records.clone(), 5);
+            normalize_records(&mut out);
+            out
+        };
+        let mut env = StreamEnvironment::with_config(EnvConfig {
+            buffer_size,
+            watermark_every: 2,
+            parallelism,
+            ..EnvConfig::default()
+        });
+        env.add_source(
+            "s",
+            Box::new(VecSource::new(schema(), records)),
+            WatermarkStrategy::BoundedOutOfOrder {
+                ts_field: "ts".into(),
+                slack: 5 * MICROS_PER_SEC,
+            },
+        );
+        let (mut sink, got) = CollectingSink::new();
+        let m = env.run_partitioned(&q, &mut sink).expect("partitioned runs");
+        let mut out = got.records();
+        normalize_records(&mut out);
+        prop_assert_eq!(out, reference);
+        prop_assert_eq!(m.records_out as usize, got.len());
+    }
+
+    #[test]
+    fn partitioned_stateless_invariant(
+        records in stream_strategy(),
+        parallelism in 1usize..5,
+        c in -100.0f64..100.0,
+    ) {
+        // Round-robin sharding of a stateless plan preserves the result
+        // multiset and the in/out counters exactly.
+        let q = Query::from("s")
+            .filter(col("v").ge(lit(c)))
+            .map_extend(vec![("double", col("v").mul(lit(2.0)))]);
+        let mut reference = run(&q, records.clone(), 5);
+        normalize_records(&mut reference);
+        let n = records.len() as u64;
+        let mut env = StreamEnvironment::with_config(EnvConfig {
+            buffer_size: 32,
+            parallelism,
+            ..EnvConfig::default()
+        });
+        env.add_source(
+            "s",
+            Box::new(VecSource::new(schema(), records)),
+            WatermarkStrategy::None,
+        );
+        let (mut sink, got) = CollectingSink::new();
+        let m = env.run_partitioned(&q, &mut sink).expect("partitioned runs");
+        let mut out = got.records();
+        normalize_records(&mut out);
+        prop_assert_eq!(out, reference);
+        prop_assert_eq!(m.records_in, n);
+    }
+
+    #[test]
+    fn histogram_merge_matches_concatenation(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..10_000.0, 0..40),
+            1..6,
+        ),
+        p in 0.0f64..100.0,
+    ) {
+        // Quantiles of per-worker histograms merged == quantiles of one
+        // histogram over the concatenated samples: metric merging loses
+        // nothing.
+        let mut merged = Histogram::new();
+        let mut single = Histogram::new();
+        for part in &parts {
+            let mut h = Histogram::new();
+            for &v in part {
+                h.record(v);
+                single.record(v);
+            }
+            merged.merge(&h);
+        }
+        prop_assert_eq!(merged.len(), single.len());
+        prop_assert_eq!(merged.percentile(p), single.percentile(p));
+        prop_assert_eq!(merged.percentile(50.0), single.percentile(50.0));
+        prop_assert_eq!(merged.mean().is_some(), !merged.is_empty());
+    }
+
+    #[test]
     fn threaded_matches_sync(records in stream_strategy()) {
         let q = Query::from("s")
             .filter(col("v").gt(lit(0.0)))
