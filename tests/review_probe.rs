@@ -1,0 +1,64 @@
+use nebula::prelude::*;
+
+fn schema() -> SchemaRef {
+    Schema::of(&[
+        ("ts", DataType::Timestamp),
+        ("train", DataType::Int),
+        ("speed", DataType::Float),
+    ])
+}
+
+fn records() -> Vec<Record> {
+    (0..600)
+        .map(|i| {
+            Record::new(vec![
+                Value::Timestamp(i * MICROS_PER_SEC),
+                Value::Int(i % 5),
+                Value::Float(((i * 7) % 80) as f64),
+            ])
+        })
+        .collect()
+}
+
+#[test]
+fn keyed_cep_then_keyless_window_partitioned_matches_run() {
+    let pattern = Pattern::new(
+        "fast-slow",
+        vec![
+            PatternStep::new("fast", col("speed").gt(lit(60.0))),
+            PatternStep::new("slow", col("speed").lt(lit(10.0))),
+        ],
+        120 * MICROS_PER_SEC,
+    )
+    .keyed_by(col("train"));
+    // keyed CEP, then a keyless global count of matches per minute
+    let q = Query::from("s").cep(pattern).window(
+        vec![],
+        WindowSpec::Tumbling { size: 60 * MICROS_PER_SEC },
+        vec![WindowAgg::new("n", AggSpec::Count)],
+    );
+    println!("scheme: {:?}", q.partition_scheme());
+
+    let run_mode = |partitioned: bool| {
+        let mut env = StreamEnvironment::with_config(EnvConfig {
+            buffer_size: 32,
+            watermark_every: 2,
+            parallelism: 4,
+            ..EnvConfig::default()
+        });
+        env.add_source("s", Box::new(VecSource::new(schema(), records())), WatermarkStrategy::None);
+        let (mut sink, got) = CollectingSink::new();
+        if partitioned {
+            env.run_partitioned(&q, &mut sink).unwrap();
+        } else {
+            env.run(&q, &mut sink).unwrap();
+        }
+        let mut recs = got.records();
+        normalize_records(&mut recs);
+        recs
+    };
+    let sync = run_mode(false);
+    let part = run_mode(true);
+    assert_eq!(sync.len(), part.len(), "row counts diverge: sync={} partitioned={}", sync.len(), part.len());
+    assert_eq!(sync, part);
+}
