@@ -1,0 +1,57 @@
+//! Cluster-runtime benchmark: the cost of actually *executing* a placed
+//! plan across the sensors→edge→cloud topology — wire encoding, bounded
+//! link channels, per-link accounting, cross-boundary watermarks and
+//! cloud-side merging — under both placement strategies, next to the
+//! purely analytic placement scoring `placement.rs` times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nebula::prelude::*;
+use nebulameos_bench::{keyed_window_query, Workload};
+
+fn bench_cluster_placement(c: &mut Criterion) {
+    let workload = Workload::small();
+    let query = keyed_window_query();
+
+    let mut group = c.benchmark_group("cluster_placement");
+    group.sample_size(10);
+
+    group.bench_function("run_placed_edge_first", |b| {
+        b.iter(|| {
+            let report = workload.run_placed(&query, PlacementStrategy::EdgeFirst);
+            assert!(report.cluster.preaggregated || report.cluster.uplink_bytes > 0);
+            report.metrics.records_out
+        })
+    });
+
+    group.bench_function("run_placed_cloud_only", |b| {
+        b.iter(|| {
+            let report = workload.run_placed(&query, PlacementStrategy::CloudOnly);
+            report.metrics.records_out
+        })
+    });
+
+    // The single-process reference: what distribution overhead costs.
+    group.bench_function("run_local_reference", |b| {
+        b.iter(|| workload.run(&query).records_out)
+    });
+
+    // Pre-aggregation must keep beating ship-everything on the uplink.
+    group.bench_function("uplink_comparison", |b| {
+        b.iter(|| {
+            let edge = workload.run_placed(&query, PlacementStrategy::EdgeFirst);
+            let cloud = workload.run_placed(&query, PlacementStrategy::CloudOnly);
+            assert!(
+                edge.cluster.uplink_bytes < cloud.cluster.uplink_bytes,
+                "edge {} vs cloud {}",
+                edge.cluster.uplink_bytes,
+                cloud.cluster.uplink_bytes
+            );
+            (edge.cluster.uplink_bytes, cloud.cluster.uplink_bytes)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_placement);
+criterion_main!(benches);

@@ -33,16 +33,17 @@ fn main() {
     let rows = measure_all(&workload);
 
     println!(
-        "{:<26} | {:>16} | {:>22} | {:>12} | {:>7} | {:>8} | {:>12}",
+        "{:<26} | {:>16} | {:>22} | {:>12} | {:>7} | {:>8} | {:>12} | {:>18}",
         "Query (paper §3)",
         "paper throughput",
         "measured throughput",
         "par4 (Ke/s)",
         "B/event",
         "outputs",
-        "p99 lat (ms)"
+        "p99 lat (ms)",
+        "uplink edge/cloud"
     );
-    println!("{}", "-".repeat(125));
+    println!("{}", "-".repeat(146));
     let mut all_sustained = true;
     let mut rows = rows;
     for row in &mut rows {
@@ -54,7 +55,7 @@ fn main() {
         let par4_keps = row.par4.events_per_sec() / 1_000.0;
         let m = &row.metrics;
         println!(
-            "{:<26} | {:>6.2} MB @ {:>3.0}K e/s | {:>8.2} MB/s @ {:>6.1}K e/s | {:>12.1} | {:>7.1} | {:>8} | {:>12.3}",
+            "{:<26} | {:>6.2} MB @ {:>3.0}K e/s | {:>8.2} MB/s @ {:>6.1}K e/s | {:>12.1} | {:>7.1} | {:>8} | {:>12.3} | {:>6.1}/{:>6.1} KB",
             row.paper.name,
             row.paper.paper_mb,
             row.paper.paper_keps,
@@ -64,10 +65,12 @@ fn main() {
             m.bytes_per_event(),
             m.records_out,
             p99_ms,
+            row.uplink.edge_bytes as f64 / 1e3,
+            row.uplink.cloud_bytes as f64 / 1e3,
         );
         all_sustained &= row.sustains_paper_rate();
     }
-    println!("{}", "-".repeat(125));
+    println!("{}", "-".repeat(146));
     println!(
         "sustains paper ingest rates on this machine: {}",
         if all_sustained { "yes" } else { "NO" }
@@ -89,6 +92,9 @@ fn main() {
             "bytes_per_event": r.metrics.bytes_per_event(),
             "records_out": r.metrics.records_out,
             "sustains_paper_rate": r.sustains_paper_rate(),
+            "uplink_edge_bytes": r.uplink.edge_bytes,
+            "uplink_cloud_bytes": r.uplink.cloud_bytes,
+            "uplink_reduction": r.uplink.reduction(),
         })).collect::<Vec<_>>(),
     });
     let out = std::path::Path::new("bench_results");

@@ -142,6 +142,74 @@ impl Workload {
         env.run_partitioned(query, &mut sink)
             .expect("partitioned query runs")
     }
+
+    /// Builds a cluster environment over a one-train sensors→edge→cloud
+    /// topology hosting this workload's records, with the demo plugins
+    /// and MEOS wire codecs loaded.
+    pub fn cluster_environment(&self) -> ClusterEnvironment {
+        let (topo, sensors) = Topology::train_fleet(1);
+        let mut env = ClusterEnvironment::new(topo);
+        env.load_plugin(&nebulameos::MeosPlugin)
+            .expect("meos plugin");
+        env.load_plugin(
+            &nebulameos::DemoContext::new(sncb::demo_zones(&self.net))
+                .with_weather(std::sync::Arc::new(self.weather.clone())),
+        )
+        .expect("demo context");
+        nebulameos::register_meos_codecs(env.wire_registry_mut());
+        env.add_source(
+            "fleet",
+            sensors[0],
+            Box::new(VecSource::new(sncb::fleet_schema(), self.records.clone())),
+            WatermarkStrategy::BoundedOutOfOrder {
+                ts_field: "ts".into(),
+                slack: 5 * MICROS_PER_SEC,
+            },
+        );
+        env
+    }
+
+    /// Runs a query distributed under `strategy`, returning the report
+    /// with measured per-link traffic ([`ClusterMetrics`]).
+    pub fn run_placed(&self, query: &Query, strategy: PlacementStrategy) -> ClusterReport {
+        let mut env = self.cluster_environment();
+        let (mut sink, _) = CountingSink::new();
+        env.run_placed(query, strategy, &mut sink)
+            .expect("cluster query runs")
+    }
+}
+
+/// Measured uplink bytes for a query under edge-first versus cloud-only
+/// placement — the paper's "process at the edge" claim from actual wire
+/// traffic rather than the analytic estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct UplinkComparison {
+    /// Uplink bytes with edge-first placement (pre-aggregation on).
+    pub edge_bytes: u64,
+    /// Uplink bytes shipping everything to the cloud.
+    pub cloud_bytes: u64,
+}
+
+impl UplinkComparison {
+    /// Cloud-over-edge byte ratio (how many times fewer uplink bytes
+    /// edge processing moves).
+    pub fn reduction(&self) -> f64 {
+        self.cloud_bytes as f64 / self.edge_bytes.max(1) as f64
+    }
+}
+
+/// Measures both placements' uplink traffic for one query.
+pub fn measure_uplink(workload: &Workload, query: &Query) -> UplinkComparison {
+    UplinkComparison {
+        edge_bytes: workload
+            .run_placed(query, PlacementStrategy::EdgeFirst)
+            .cluster
+            .uplink_bytes,
+        cloud_bytes: workload
+            .run_placed(query, PlacementStrategy::CloudOnly)
+            .cluster
+            .uplink_bytes,
+    }
 }
 
 /// The canonical partitionable fleet query for scaling measurements: a
@@ -171,6 +239,8 @@ pub struct MeasuredRow {
     /// Metrics for the same query under `run_partitioned` at
     /// parallelism 4.
     pub par4: QueryMetrics,
+    /// Measured uplink bytes, edge-first vs cloud-only placement.
+    pub uplink: UplinkComparison,
 }
 
 impl MeasuredRow {
@@ -181,8 +251,8 @@ impl MeasuredRow {
     }
 }
 
-/// Runs all eight queries over one workload, single-threaded and
-/// partitioned at parallelism 4.
+/// Runs all eight queries over one workload: single-threaded,
+/// partitioned at parallelism 4, and distributed under both placements.
 pub fn measure_all(workload: &Workload) -> Vec<MeasuredRow> {
     PAPER_RESULTS
         .iter()
@@ -191,6 +261,7 @@ pub fn measure_all(workload: &Workload) -> Vec<MeasuredRow> {
             paper: *paper,
             metrics: workload.run(&query),
             par4: workload.run_partitioned(&query, 4),
+            uplink: measure_uplink(workload, &query),
         })
         .collect()
 }
@@ -217,6 +288,26 @@ mod tests {
             assert_eq!(m.records_in, reference.records_in, "parallelism {p}");
             assert_eq!(m.records_out, reference.records_out, "parallelism {p}");
         }
+    }
+
+    #[test]
+    fn cluster_run_matches_local_counters_and_cuts_uplink() {
+        let w = Workload::generate(2, 1_000);
+        let q = keyed_window_query();
+        let reference = w.run(&q);
+        let edge = w.run_placed(&q, PlacementStrategy::EdgeFirst);
+        let cloud = w.run_placed(&q, PlacementStrategy::CloudOnly);
+        assert_eq!(edge.metrics.records_in, reference.records_in);
+        assert_eq!(edge.metrics.records_out, reference.records_out);
+        assert_eq!(cloud.metrics.records_out, reference.records_out);
+        let uplink = UplinkComparison {
+            edge_bytes: edge.cluster.uplink_bytes,
+            cloud_bytes: cloud.cluster.uplink_bytes,
+        };
+        assert!(
+            uplink.reduction() > 2.0,
+            "windowing at the edge must cut uplink bytes: {uplink:?}"
+        );
     }
 
     #[test]

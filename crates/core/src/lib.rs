@@ -62,6 +62,7 @@ pub mod stwindow;
 pub mod trajectory;
 pub mod values;
 pub mod viz;
+pub mod wire;
 
 pub use functions::{geom, meos_registry, point_lit, stbox, MeosPlugin};
 pub use geofence::{Geofence, GeofenceEventsFactory, GeofenceSet};
@@ -78,3 +79,4 @@ pub use values::{
     as_geometry, as_meos_ts, as_point, as_stbox, as_tfloat, as_tpoint, geometry_value, stbox_value,
     tfloat_value, tpoint_value, GeometryValue, STBoxValue, TFloatValue, TPointValue,
 };
+pub use wire::{meos_wire_registry, register_meos_codecs};

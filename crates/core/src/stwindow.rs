@@ -7,14 +7,39 @@
 //! a `tfloat` — both plug into any [`nebula::window::WindowSpec`] via the
 //! engine's custom-aggregator extension point.
 
-use crate::values::{tfloat_value, tpoint_value};
+use crate::values::{as_tfloat, as_tpoint, tfloat_value, tpoint_value};
 use meos::geo::Point;
-use meos::temporal::{Interp, TInstant, TSequence, Temporal};
+use meos::temporal::{Interp, TInstant, TSequence, TempValue, Temporal};
 use meos::time::TimestampTz;
 use nebula::prelude::{
     Aggregator, AggregatorFactory, BoundExpr, DataType, Expr, FunctionRegistry, NebulaError,
-    Record, Value,
+    PartialMergeFn, Record, Value,
 };
+use std::sync::Arc;
+
+/// Appends two per-edge sub-sequences of the same window into one —
+/// MEOS sequence-append, the splittable form of [`TrajectoryAgg`] and
+/// [`TFloatSeqAgg`] used by cluster edge pre-aggregation: instants from
+/// both partials are pooled, sorted by timestamp (first sample wins on
+/// duplicates, like the aggregators themselves) and rebuilt into one
+/// sequence.
+fn append_sequences<V: TempValue>(
+    a: &Temporal<V>,
+    b: &Temporal<V>,
+    interp: Interp,
+) -> nebula::Result<Temporal<V>> {
+    let mut instants: Vec<TInstant<V>> = Vec::with_capacity(a.num_instants() + b.num_instants());
+    for t in [a, b] {
+        for seq in t.to_sequences() {
+            instants.extend(seq.instants().iter().cloned());
+        }
+    }
+    instants.sort_by_key(|i| i.t);
+    instants.dedup_by_key(|i| i.t);
+    let seq = TSequence::new(instants, true, true, interp)
+        .map_err(|e| NebulaError::Eval(e.to_string()))?;
+    Ok(Temporal::Sequence(seq))
+}
 
 /// Builds a `tgeompoint` sequence from the window's (ts, position)
 /// samples. Out-of-order samples inside the window are sorted at window
@@ -68,6 +93,20 @@ impl AggregatorFactory for TrajectoryAgg {
             ts_col,
             samples: Vec::new(),
         }))
+    }
+
+    fn partial_merge(&self) -> Option<Arc<dyn PartialMergeFn>> {
+        Some(Arc::new(TPointAppend))
+    }
+}
+
+/// Sequence-append merge for per-edge trajectory partials.
+struct TPointAppend;
+
+impl PartialMergeFn for TPointAppend {
+    fn merge(&self, acc: Value, next: &Value) -> nebula::Result<Value> {
+        let merged = append_sequences(as_tpoint(&acc)?, as_tpoint(next)?, Interp::Linear)?;
+        Ok(tpoint_value(merged))
     }
 }
 
@@ -156,6 +195,24 @@ impl AggregatorFactory for TFloatSeqAgg {
             interp: self.interp,
             samples: Vec::new(),
         }))
+    }
+
+    fn partial_merge(&self) -> Option<Arc<dyn PartialMergeFn>> {
+        Some(Arc::new(TFloatAppend {
+            interp: self.interp,
+        }))
+    }
+}
+
+/// Sequence-append merge for per-edge sampled-expression partials.
+struct TFloatAppend {
+    interp: Interp,
+}
+
+impl PartialMergeFn for TFloatAppend {
+    fn merge(&self, acc: Value, next: &Value) -> nebula::Result<Value> {
+        let merged = append_sequences(as_tfloat(&acc)?, as_tfloat(next)?, self.interp)?;
+        Ok(tfloat_value(merged))
     }
 }
 

@@ -1,0 +1,1230 @@
+//! The distributed cluster runtime: executing placed query plans across
+//! topology nodes.
+//!
+//! Where [`crate::topology`] only *scores* a placement analytically,
+//! this module runs it: every node that hosts part of the plan gets its
+//! own thread driving its operator sub-chain, and consecutive nodes are
+//! joined by bounded channels that carry [`crate::wire`]-encoded frames.
+//! Each frame crossing a topology link is accounted — bytes, records,
+//! frames, queue depth, and the transfer time the link's bandwidth and
+//! latency imply — into [`ClusterMetrics`], turning the paper's "process
+//! at the edge to cut uplink traffic" claim into measured numbers.
+//!
+//! ## Execution model
+//!
+//! [`ClusterEnvironment::run_placed`] computes a [`Placement`] per
+//! hosted source, groups consecutive same-node stages into *sites*, and
+//! wires them source → edge → cloud:
+//!
+//! - the **pump** polls the source on its own thread, runs the stages
+//!   placed on the source node, and generates watermarks exactly like
+//!   [`crate::runtime::StreamEnvironment::run`];
+//! - **edge sites** decode incoming frames, drive their sub-chain, and
+//!   re-encode outputs downstream — watermarks and end-of-stream travel
+//!   as control frames, so event-time windows close correctly across
+//!   node boundaries;
+//! - the **cloud site** fans in all pipelines, advancing its event-time
+//!   clock to the *minimum* watermark across live inputs (the standard
+//!   distributed watermark rule), runs the shared tail of the plan, and
+//!   collects results. Delivery is order-normalized like
+//!   `run_partitioned`, so results are deterministic and comparable to
+//!   the single-process executors with `==`.
+//!
+//! ## Edge pre-aggregation
+//!
+//! Under [`PlacementStrategy::EdgeFirst`], a query whose first stateful
+//! operator is a splittable time window (see [`crate::preagg`]) is
+//! split: the window runs *partially* on each edge node and a
+//! [`WindowMergeOp`] merges the per-edge partials at the cloud. Only
+//! aggregated rows cross the uplink — the measured
+//! [`ClusterMetrics::uplink_bytes`] reduction versus
+//! [`PlacementStrategy::CloudOnly`] is the demonstration's headline
+//! number.
+//!
+//! ## Failure re-planning
+//!
+//! [`ClusterEnvironment::run_placed_with_failure`] kills a topology node
+//! mid-run: after the configured number of source batches the pump
+//! pauses, a [`Frame::Handoff`] marker flushes the pipeline (draining
+//! every in-flight frame ahead of it), each site returns its operator
+//! state, the topology re-attaches the failed node's children
+//! ([`Topology::fail_node`]), stages migrate to the failed node's former
+//! parent, and the pipeline is rebuilt with the preserved state and
+//! resumed. Because state moves losslessly at a quiesced point, results
+//! are identical to an undisturbed run.
+
+use crate::error::{NebulaError, Result};
+use crate::expr::{FunctionRegistry, Plugin};
+use crate::metrics::{Histogram, QueryMetrics};
+use crate::ops::Operator;
+use crate::preagg::{split_window, WindowMergeOp};
+use crate::query::{compile_ops, LogicalOp, Query};
+use crate::record::{RecordBuffer, StreamMessage};
+use crate::runtime::resolve_ts_col;
+use crate::schema::SchemaRef;
+use crate::sink::{merge_partitions, Sink};
+use crate::source::{Source, SourceBatch, WatermarkStrategy};
+use crate::topology::{place, NodeId, NodeKind, Placement, PlacementStrategy, Topology};
+use crate::value::EventTime;
+use crate::wire::{decode_frame, encode_frame, Frame, WireRegistry};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cluster runtime tuning knobs (the distributed analogue of
+/// [`crate::runtime::EnvConfig`]).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Records per source poll.
+    pub buffer_size: usize,
+    /// Emit a watermark every N source batches (per pipeline).
+    pub watermark_every: u64,
+    /// Consecutive idle polls before a pump gives up.
+    pub idle_limit: u64,
+    /// Capacity (frames) of each inter-site channel.
+    pub channel_capacity: usize,
+    /// Split splittable windows into edge partials + cloud merge under
+    /// [`PlacementStrategy::EdgeFirst`].
+    pub preaggregate: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            buffer_size: 1024,
+            watermark_every: 4,
+            idle_limit: 100_000,
+            channel_capacity: 8,
+            preaggregate: true,
+        }
+    }
+}
+
+/// A mid-run node failure to inject (single-source runs only).
+#[derive(Debug, Clone, Copy)]
+pub struct FailureInjection {
+    /// The node to fail. Must not host the source or be the cloud root.
+    pub node: NodeId,
+    /// Source batches to process before the failure triggers.
+    pub after_batches: u64,
+}
+
+/// Measured traffic over one topology link (same indexing as
+/// [`Topology::links`]).
+#[derive(Debug, Clone, Default)]
+pub struct LinkMetrics {
+    /// Frames (data + control) that crossed the link.
+    pub frames: u64,
+    /// Records carried by those frames.
+    pub records: u64,
+    /// Wire-encoded bytes that crossed the link.
+    pub bytes: u64,
+    /// Maximum observed channel queue depth (frames in flight).
+    pub max_queue_depth: u64,
+    /// Transfer time the link's bandwidth/latency imply for this
+    /// traffic (accounted, not slept: per frame, latency plus
+    /// bytes / bandwidth).
+    pub simulated_transfer_ms: f64,
+}
+
+/// Measured cluster-wide traffic for one placed run.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterMetrics {
+    /// Per-link traffic, indexed like [`Topology::links`].
+    pub links: Vec<LinkMetrics>,
+    /// Bytes that crossed any link into a cloud node — the scarce
+    /// cellular uplink (the measured counterpart of
+    /// [`crate::topology::NetworkCost::cloud_uplink_bytes`]).
+    pub uplink_bytes: u64,
+    /// Records that crossed into a cloud node.
+    pub uplink_records: u64,
+    /// Frames that crossed into a cloud node.
+    pub uplink_frames: u64,
+    /// Stages migrated by mid-run failure re-planning.
+    pub migrated_stages: usize,
+    /// Re-planning rounds triggered by failures.
+    pub replans: u32,
+    /// Site threads spawned over the run (all phases).
+    pub sites: usize,
+    /// True when the run split a window into edge partials + cloud merge.
+    pub preaggregated: bool,
+}
+
+/// Everything a placed run reports.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// End-to-end query metrics (ingest at the pumps, delivery at the
+    /// cloud), comparable with the single-process executors.
+    pub metrics: QueryMetrics,
+    /// Measured per-link traffic.
+    pub cluster: ClusterMetrics,
+    /// The placement used per hosted source (post-re-planning).
+    pub placements: Vec<Placement>,
+}
+
+struct HostedSource {
+    node: NodeId,
+    source: Box<dyn Source>,
+    watermark: WatermarkStrategy,
+}
+
+/// The distributed runtime: a topology plus sources hosted on its nodes.
+pub struct ClusterEnvironment {
+    topo: Topology,
+    registry: FunctionRegistry,
+    wire: WireRegistry,
+    config: ClusterConfig,
+    sources: HashMap<String, Vec<HostedSource>>,
+}
+
+impl ClusterEnvironment {
+    /// An environment over `topo` with builtin functions and defaults.
+    pub fn new(topo: Topology) -> Self {
+        ClusterEnvironment {
+            topo,
+            registry: FunctionRegistry::with_builtins(),
+            wire: WireRegistry::new(),
+            config: ClusterConfig::default(),
+            sources: HashMap::new(),
+        }
+    }
+
+    /// An environment with a custom configuration.
+    pub fn with_config(topo: Topology, config: ClusterConfig) -> Self {
+        ClusterEnvironment {
+            config,
+            ..ClusterEnvironment::new(topo)
+        }
+    }
+
+    /// The topology (mutated by failure re-planning).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Mutable topology access (pre-run churn experiments).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+
+    /// The function registry.
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    /// The function registry (for registrations).
+    pub fn registry_mut(&mut self) -> &mut FunctionRegistry {
+        &mut self.registry
+    }
+
+    /// The wire codec registry (for opaque plugin payloads).
+    pub fn wire_registry_mut(&mut self) -> &mut WireRegistry {
+        &mut self.wire
+    }
+
+    /// The configuration (for tuning after construction).
+    pub fn config_mut(&mut self) -> &mut ClusterConfig {
+        &mut self.config
+    }
+
+    /// Loads a plugin's functions into the registry.
+    pub fn load_plugin(&mut self, plugin: &dyn Plugin) -> Result<()> {
+        self.registry.load_plugin(plugin)
+    }
+
+    /// Hosts a source for stream `name` on `node`. A stream may be
+    /// hosted on several nodes (one per train): the placed query then
+    /// runs one edge pipeline per hosted source, fanning into the cloud.
+    pub fn add_source(
+        &mut self,
+        name: impl Into<String>,
+        node: NodeId,
+        source: Box<dyn Source>,
+        watermark: WatermarkStrategy,
+    ) {
+        self.sources
+            .entry(name.into())
+            .or_default()
+            .push(HostedSource {
+                node,
+                source,
+                watermark,
+            });
+    }
+
+    /// Runs `query` distributed over the topology under `strategy`,
+    /// delivering order-normalized results to `sink`. Consumes the
+    /// hosted sources (only on a valid plan; a compile error leaves them
+    /// registered). The correctness contract matches the single-process
+    /// executors: identical order-normalized results and
+    /// `records_in`/`records_out` counters.
+    pub fn run_placed(
+        &mut self,
+        query: &Query,
+        strategy: PlacementStrategy,
+        sink: &mut dyn Sink,
+    ) -> Result<ClusterReport> {
+        self.run_inner(query, strategy, None, sink)
+    }
+
+    /// Like [`Self::run_placed`], but fails `failure.node` after
+    /// `failure.after_batches` source batches and re-plans mid-run
+    /// (single hosted source only).
+    pub fn run_placed_with_failure(
+        &mut self,
+        query: &Query,
+        strategy: PlacementStrategy,
+        failure: FailureInjection,
+        sink: &mut dyn Sink,
+    ) -> Result<ClusterReport> {
+        self.run_inner(query, strategy, Some(failure), sink)
+    }
+
+    fn run_inner(
+        &mut self,
+        query: &Query,
+        strategy: PlacementStrategy,
+        failure: Option<FailureInjection>,
+        sink: &mut dyn Sink,
+    ) -> Result<ClusterReport> {
+        let start = Instant::now();
+        let cloud_node = self
+            .topo
+            .cloud()
+            .ok_or_else(|| NebulaError::Plan("topology has no cloud node".into()))?;
+        if query.ops().is_empty() {
+            return Err(NebulaError::Plan(
+                "query has no operators; add at least a filter/map/window".into(),
+            ));
+        }
+        let hosted_ref = self
+            .sources
+            .get(query.source())
+            .ok_or_else(|| NebulaError::Plan(format!("unknown source '{}'", query.source())))?;
+        let n_pipes = hosted_ref.len();
+        if failure.is_some() && n_pipes != 1 {
+            return Err(NebulaError::Plan(
+                "failure injection requires exactly one hosted source".into(),
+            ));
+        }
+        let schema = hosted_ref[0].source.schema();
+        for h in &hosted_ref[1..] {
+            if !schema.same_layout(&h.source.schema()) {
+                return Err(NebulaError::Plan(format!(
+                    "hosted sources of '{}' disagree on schema: {} vs {}",
+                    query.source(),
+                    schema,
+                    h.source.schema()
+                )));
+            }
+        }
+        // Validate watermark fields and compute placements before taking
+        // the sources, so a plan error leaves them registered.
+        let mut ts_cols = Vec::with_capacity(n_pipes);
+        let mut placements = Vec::with_capacity(n_pipes);
+        for h in hosted_ref {
+            ts_cols.push(resolve_ts_col(&h.watermark, &schema)?);
+            placements.push(place(query, &self.topo, h.node, strategy)?);
+        }
+
+        // Decide the plan split: per-pipeline prefix vs the shared cloud
+        // tail, with optional window pre-aggregation.
+        let ops = query.ops();
+        let split = if self.config.preaggregate && strategy == PlacementStrategy::EdgeFirst {
+            split_window(query)
+        } else {
+            None
+        };
+        let first_stateful = ops.iter().position(|o| {
+            matches!(
+                o,
+                LogicalOp::Window { .. } | LogicalOp::Cep(_) | LogicalOp::Custom(_)
+            )
+        });
+        let (pipe_op_end, shared) = match &split {
+            // Prefix + partial window per pipeline; merge + suffix shared.
+            Some(sw) => (sw.window_idx + 1, SharedTail::Merge),
+            None => match (n_pipes, first_stateful) {
+                // Several pipelines fan into one stateful tail: the
+                // stateful operators must run once, at the cloud.
+                (2.., Some(s)) => (s, SharedTail::Plain),
+                _ => (ops.len(), SharedTail::None),
+            },
+        };
+        // The reported placements must say where stages actually run:
+        // everything in the shared tail executes at the cloud, whatever
+        // `place()` originally assigned (the split window's own stage
+        // keeps its node — that is where the partial runs).
+        if !matches!(shared, SharedTail::None) {
+            for pl in &mut placements {
+                for stage in &mut pl.stages[pipe_op_end + 1..] {
+                    *stage = cloud_node;
+                }
+            }
+        }
+
+        // Compile per-pipeline chains (one operator instance set each).
+        let mut pipe_chains = Vec::with_capacity(n_pipes);
+        let mut pipe_out_schema = schema.clone();
+        for _ in 0..n_pipes {
+            let plan = compile_ops(
+                &ops[..pipe_op_end],
+                query.ts_field(),
+                schema.clone(),
+                &self.registry,
+            )?;
+            pipe_out_schema = plan.output_schema.clone();
+            pipe_chains.push(plan.operators);
+        }
+        // Compile the shared cloud tail once.
+        let mut cloud_ops: Vec<Box<dyn Operator>> = Vec::new();
+        match shared {
+            SharedTail::Merge => {
+                let sw = split.as_ref().expect("merge implies split");
+                cloud_ops.push(Box::new(WindowMergeOp::new(
+                    pipe_out_schema.clone(),
+                    sw.key_count,
+                    sw.merges.clone(),
+                )?));
+                let suffix = compile_ops(
+                    &ops[pipe_op_end..],
+                    query.ts_field(),
+                    pipe_out_schema.clone(),
+                    &self.registry,
+                )?;
+                cloud_ops.extend(suffix.operators);
+            }
+            SharedTail::Plain => {
+                let tail = compile_ops(
+                    &ops[pipe_op_end..],
+                    query.ts_field(),
+                    pipe_out_schema.clone(),
+                    &self.registry,
+                )?;
+                cloud_ops.extend(tail.operators);
+            }
+            SharedTail::None => {}
+        }
+
+        // The plan is valid: consume the sources.
+        let hosted = self.sources.remove(query.source()).expect("checked above");
+
+        // Per-pipeline node assignment for each compiled operator, from
+        // the placement (stage 0 is the source, stage i+1 operator i).
+        let mut pipelines = Vec::with_capacity(n_pipes);
+        for (p, (h, chain)) in hosted.into_iter().zip(pipe_chains).enumerate() {
+            let mut assign: Vec<NodeId> = placements[p].stages[1..=pipe_op_end].to_vec();
+            let mut flat = chain;
+            // A single pipeline with no shared tail may still end at the
+            // cloud (CloudOnly): fold the trailing cloud-placed run into
+            // the cloud site instead of a one-node relay hop.
+            if n_pipes == 1 && matches!(shared, SharedTail::None) {
+                let cut = assign
+                    .iter()
+                    .rposition(|n| *n != cloud_node)
+                    .map_or(0, |i| i + 1);
+                let tail = flat.split_off(cut);
+                assign.truncate(cut);
+                cloud_ops.extend(tail);
+            }
+            let (group0, sites) = regroup(h.node, flat, &assign);
+            pipelines.push(PipelinePlan {
+                node: h.node,
+                assign,
+                pump: PumpState {
+                    source: h.source,
+                    watermark: h.watermark,
+                    ts_col: ts_cols[p],
+                    schema: schema.clone(),
+                    ops: group0,
+                    max_ts: EventTime::MIN,
+                    batches: 0,
+                    idle: 0,
+                    stats: QueryMetrics::default(),
+                },
+                sites,
+            });
+        }
+        let output_schema = cloud_ops
+            .last()
+            .map_or_else(|| pipe_out_schema.clone(), |o| o.output_schema());
+
+        let accounts = Arc::new(TrafficAccounts {
+            links: (0..self.topo.links().len())
+                .map(|_| LinkAccount::default())
+                .collect(),
+            uplink: LinkAccount::default(),
+        });
+        let mut cloud_state = CloudState {
+            ops: cloud_ops,
+            buffers: Vec::new(),
+            wms: vec![EventTime::MIN; n_pipes],
+            done: vec![false; n_pipes],
+            combined: EventTime::MIN,
+            latency: Histogram::new(),
+        };
+        let mut cluster = ClusterMetrics {
+            preaggregated: split.is_some(),
+            ..ClusterMetrics::default()
+        };
+
+        // Phase 1: run until the failure trigger (or to completion).
+        let batch_limit = failure.as_ref().map(|f| f.after_batches);
+        let io = PhaseIo {
+            topo: &self.topo,
+            cfg: &self.config,
+            wire: &self.wire,
+            accounts: &accounts,
+            cloud_node,
+        };
+        let (st, finished, spawned) = run_phase(&io, &mut pipelines, cloud_state, batch_limit)?;
+        cloud_state = st;
+        cluster.sites += spawned;
+
+        if !finished {
+            // Migration: fail the node, move its stages to its former
+            // parent, rebuild the pipeline from the preserved state.
+            let failure = failure.expect("handoff implies failure injection");
+            let failed = failure.node;
+            if pipelines.iter().any(|p| p.node == failed) {
+                return Err(NebulaError::Plan(format!(
+                    "cannot fail node '{}': it hosts a source",
+                    self.topo.node(failed).name
+                )));
+            }
+            let parent = self
+                .topo
+                .links()
+                .iter()
+                .find(|l| l.from == failed)
+                .map(|l| l.to)
+                .ok_or_else(|| {
+                    NebulaError::Plan(format!(
+                        "cannot fail node '{}': it has no parent to migrate to",
+                        self.topo.node(failed).name
+                    ))
+                })?;
+            self.topo.fail_node(failed);
+            cluster.replans += 1;
+            for (p, pipe) in pipelines.iter_mut().enumerate() {
+                let mut migrated = 0;
+                for node in &mut pipe.assign {
+                    if *node == failed {
+                        *node = parent;
+                        migrated += 1;
+                    }
+                }
+                cluster.migrated_stages += migrated;
+                let mut flat = std::mem::take(&mut pipe.pump.ops);
+                for (_, ops) in pipe.sites.drain(..) {
+                    flat.extend(ops);
+                }
+                let (group0, sites) = regroup(pipe.node, flat, &pipe.assign);
+                pipe.pump.ops = group0;
+                pipe.sites = sites;
+                let (new_pl, _) = crate::topology::replace_after_failure(
+                    &self.topo,
+                    &placements[p],
+                    failed,
+                    parent,
+                );
+                placements[p] = new_pl;
+            }
+            // Phase 2: resume to completion on the re-planned pipeline.
+            let io = PhaseIo {
+                topo: &self.topo,
+                cfg: &self.config,
+                wire: &self.wire,
+                accounts: &accounts,
+                cloud_node,
+            };
+            let (st, finished, spawned) = run_phase(&io, &mut pipelines, cloud_state, None)?;
+            debug_assert!(finished, "no batch limit, phase must finish");
+            cloud_state = st;
+            cluster.sites += spawned;
+        }
+
+        // Deliver order-normalized, like `run_partitioned`.
+        let merged = merge_partitions(output_schema, vec![cloud_state.buffers]);
+        let mut metrics = QueryMetrics::default();
+        for pipe in &pipelines {
+            metrics.merge(&pipe.pump.stats);
+        }
+        metrics.records_out = merged.len() as u64;
+        metrics.bytes_out = merged.est_bytes() as u64;
+        metrics.latency.merge(&cloud_state.latency);
+        if !merged.is_empty() {
+            sink.consume(&merged)?;
+        }
+        sink.finish()?;
+        metrics.wall = start.elapsed();
+
+        cluster.links = accounts
+            .links
+            .iter()
+            .map(|a| LinkMetrics {
+                frames: a.frames.load(Ordering::Relaxed),
+                records: a.records.load(Ordering::Relaxed),
+                bytes: a.bytes.load(Ordering::Relaxed),
+                max_queue_depth: a.max_queue.load(Ordering::Relaxed),
+                simulated_transfer_ms: a.sim_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            })
+            .collect();
+        cluster.uplink_bytes = accounts.uplink.bytes.load(Ordering::Relaxed);
+        cluster.uplink_records = accounts.uplink.records.load(Ordering::Relaxed);
+        cluster.uplink_frames = accounts.uplink.frames.load(Ordering::Relaxed);
+        Ok(ClusterReport {
+            metrics,
+            cluster,
+            placements,
+        })
+    }
+}
+
+/// What runs at the cloud beyond per-pipeline chains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SharedTail {
+    /// Nothing shared: the cloud site only collects results.
+    None,
+    /// The plan tail from the first stateful operator (multi-pipeline).
+    Plain,
+    /// A [`WindowMergeOp`] plus the post-window tail (pre-aggregation).
+    Merge,
+}
+
+/// Splits a pipeline's operators into the pump group (stages on the
+/// source node) and contiguous same-node site groups.
+#[allow(clippy::type_complexity)]
+fn regroup(
+    source_node: NodeId,
+    flat: Vec<Box<dyn Operator>>,
+    assign: &[NodeId],
+) -> (
+    Vec<Box<dyn Operator>>,
+    Vec<(NodeId, Vec<Box<dyn Operator>>)>,
+) {
+    debug_assert_eq!(flat.len(), assign.len());
+    let mut group0 = Vec::new();
+    let mut sites: Vec<(NodeId, Vec<Box<dyn Operator>>)> = Vec::new();
+    for (op, &node) in flat.into_iter().zip(assign) {
+        if sites.is_empty() && node == source_node {
+            group0.push(op);
+        } else if let Some(last) = sites.last_mut().filter(|(n, _)| *n == node) {
+            last.1.push(op);
+        } else {
+            sites.push((node, vec![op]));
+        }
+    }
+    (group0, sites)
+}
+
+/// One inter-site channel hop: sender, receiver (consumed by its site)
+/// and the shared in-flight frame counter.
+type Hop = (Sender<Vec<u8>>, Option<Receiver<Vec<u8>>>, Arc<AtomicU64>);
+
+/// Per-link traffic counters shared across site threads.
+#[derive(Default)]
+struct LinkAccount {
+    frames: AtomicU64,
+    records: AtomicU64,
+    bytes: AtomicU64,
+    max_queue: AtomicU64,
+    sim_ns: AtomicU64,
+}
+
+/// All shared traffic counters for one run. Uplink totals are
+/// classified at *send time* (was the traversed link pointing into a
+/// cloud node when the frame crossed it?) — after a mid-run failure
+/// re-attaches an edge's children to the cloud, pre-failure onboard-bus
+/// traffic must not be re-labelled as uplink traffic.
+#[derive(Default)]
+struct TrafficAccounts {
+    links: Vec<LinkAccount>,
+    uplink: LinkAccount,
+}
+
+/// The sending half of an inter-site channel, with link accounting.
+enum TxTarget {
+    Direct(Sender<Vec<u8>>),
+    Inbox(Sender<(usize, Vec<u8>)>, usize),
+}
+
+/// One traversed link in a sender's path, with the parameters frozen
+/// at channel-construction time (a re-planning phase rebuilds senders,
+/// picking up the post-failure topology).
+struct PathLink {
+    idx: usize,
+    bandwidth_mbps: f64,
+    latency_ms: f64,
+    /// The link pointed into a cloud node when this sender was built.
+    to_cloud: bool,
+}
+
+struct WireTx {
+    target: TxTarget,
+    path: Vec<PathLink>,
+    accounts: Arc<TrafficAccounts>,
+    depth: Arc<AtomicU64>,
+}
+
+impl WireTx {
+    fn send(&self, bytes: Vec<u8>, records: u64) -> Result<()> {
+        let n = bytes.len() as u64;
+        for link in &self.path {
+            let a = &self.accounts.links[link.idx];
+            a.frames.fetch_add(1, Ordering::Relaxed);
+            a.records.fetch_add(records, Ordering::Relaxed);
+            a.bytes.fetch_add(n, Ordering::Relaxed);
+            let ms =
+                link.latency_ms + (n as f64 * 8.0) / (link.bandwidth_mbps.max(1e-9) * 1e6) * 1e3;
+            a.sim_ns.fetch_add((ms * 1e6) as u64, Ordering::Relaxed);
+            if link.to_cloud {
+                let u = &self.accounts.uplink;
+                u.frames.fetch_add(1, Ordering::Relaxed);
+                u.records.fetch_add(records, Ordering::Relaxed);
+                u.bytes.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        for link in &self.path {
+            self.accounts.links[link.idx]
+                .max_queue
+                .fetch_max(depth, Ordering::Relaxed);
+        }
+        let hung = || NebulaError::Eval("cluster: downstream site hung up".into());
+        match &self.target {
+            TxTarget::Direct(tx) => tx.send(bytes).map_err(|_| hung()),
+            TxTarget::Inbox(tx, p) => tx.send((*p, bytes)).map_err(|_| hung()),
+        }
+    }
+}
+
+/// Pushes one message through a sub-chain, returning the terminal
+/// messages in order (what crosses to the next site).
+fn drive(ops: &mut [Box<dyn Operator>], first: StreamMessage) -> Result<Vec<StreamMessage>> {
+    let mut cur = vec![first];
+    let mut next: Vec<StreamMessage> = Vec::new();
+    for op in ops.iter_mut() {
+        for msg in cur.drain(..) {
+            match msg {
+                StreamMessage::Data(b) => op.process(b, &mut next)?,
+                StreamMessage::Watermark(w) => op.on_watermark(w, &mut next)?,
+                StreamMessage::Eos => op.on_eos(&mut next)?,
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    Ok(cur)
+}
+
+/// Encodes and forwards terminal messages downstream.
+fn forward(
+    msgs: Vec<StreamMessage>,
+    out_schema: &SchemaRef,
+    wire: &WireRegistry,
+    tx: &WireTx,
+) -> Result<()> {
+    for msg in msgs {
+        match msg {
+            StreamMessage::Data(b) => {
+                let records = b.len() as u64;
+                if records > 0 {
+                    let frame = Frame::Data(b.into_records());
+                    tx.send(encode_frame(&frame, out_schema, wire)?, records)?;
+                }
+            }
+            StreamMessage::Watermark(w) => {
+                tx.send(encode_frame(&Frame::Watermark(w), out_schema, wire)?, 0)?;
+            }
+            StreamMessage::Eos => {
+                tx.send(encode_frame(&Frame::Eos, out_schema, wire)?, 0)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One edge site: decode, drive the sub-chain, re-encode downstream.
+/// Returns the operator state on end-of-stream or handoff.
+fn run_site(
+    mut ops: Vec<Box<dyn Operator>>,
+    in_schema: SchemaRef,
+    rx: Receiver<Vec<u8>>,
+    depth: Arc<AtomicU64>,
+    tx: WireTx,
+    wire: WireRegistry,
+) -> Result<Vec<Box<dyn Operator>>> {
+    let out_schema = ops
+        .last()
+        .map_or_else(|| in_schema.clone(), |o| o.output_schema());
+    loop {
+        let bytes = rx
+            .recv()
+            .map_err(|_| NebulaError::Eval("cluster: upstream site hung up".into()))?;
+        depth.fetch_sub(1, Ordering::Relaxed);
+        match decode_frame(&bytes, &in_schema, &wire)? {
+            Frame::Data(recs) => {
+                let buf = RecordBuffer::new(in_schema.clone(), recs);
+                let msgs = drive(&mut ops, StreamMessage::Data(buf))?;
+                forward(msgs, &out_schema, &wire, &tx)?;
+            }
+            Frame::Watermark(w) => {
+                let msgs = drive(&mut ops, StreamMessage::Watermark(w))?;
+                forward(msgs, &out_schema, &wire, &tx)?;
+            }
+            Frame::Eos => {
+                let msgs = drive(&mut ops, StreamMessage::Eos)?;
+                forward(msgs, &out_schema, &wire, &tx)?;
+                return Ok(ops);
+            }
+            Frame::Handoff => {
+                tx.send(encode_frame(&Frame::Handoff, &out_schema, &wire)?, 0)?;
+                return Ok(ops);
+            }
+        }
+    }
+}
+
+/// Cloud-site state preserved across re-planning phases.
+struct CloudState {
+    ops: Vec<Box<dyn Operator>>,
+    buffers: Vec<RecordBuffer>,
+    /// Last watermark per input pipeline.
+    wms: Vec<EventTime>,
+    /// End-of-stream seen per input pipeline.
+    done: Vec<bool>,
+    /// Last watermark fed into the cloud chain.
+    combined: EventTime,
+    latency: Histogram,
+}
+
+/// The min-combined watermark across live inputs, or `None` while some
+/// live input has not reported yet (no safe advance).
+fn combined_watermark(wms: &[EventTime], done: &[bool]) -> Option<EventTime> {
+    let mut min = EventTime::MAX;
+    let mut any = false;
+    for (w, d) in wms.iter().zip(done) {
+        if *d {
+            continue;
+        }
+        if *w == EventTime::MIN {
+            return None;
+        }
+        any = true;
+        min = min.min(*w);
+    }
+    any.then_some(min)
+}
+
+fn collect_data(buffers: &mut Vec<RecordBuffer>, msgs: Vec<StreamMessage>) {
+    for msg in msgs {
+        if let StreamMessage::Data(b) = msg {
+            if !b.is_empty() {
+                buffers.push(b);
+            }
+        }
+    }
+}
+
+/// The cloud site: fans in every pipeline, min-combines watermarks,
+/// drives the shared tail, and collects results. Returns `true` when
+/// the run finished (`false`: handoff, resume in the next phase).
+fn run_cloud(
+    mut st: CloudState,
+    in_schema: SchemaRef,
+    rx: Receiver<(usize, Vec<u8>)>,
+    depths: Vec<Arc<AtomicU64>>,
+    wire: WireRegistry,
+) -> Result<(CloudState, bool)> {
+    loop {
+        let (p, bytes) = rx
+            .recv()
+            .map_err(|_| NebulaError::Eval("cluster: all pipelines hung up".into()))?;
+        depths[p].fetch_sub(1, Ordering::Relaxed);
+        match decode_frame(&bytes, &in_schema, &wire)? {
+            Frame::Data(recs) => {
+                let buf = RecordBuffer::new(in_schema.clone(), recs);
+                let t0 = Instant::now();
+                let msgs = drive(&mut st.ops, StreamMessage::Data(buf))?;
+                st.latency.record(t0.elapsed().as_secs_f64() * 1e6);
+                collect_data(&mut st.buffers, msgs);
+            }
+            Frame::Watermark(w) => {
+                st.wms[p] = st.wms[p].max(w);
+                if let Some(c) = combined_watermark(&st.wms, &st.done) {
+                    if c > st.combined {
+                        st.combined = c;
+                        let msgs = drive(&mut st.ops, StreamMessage::Watermark(c))?;
+                        collect_data(&mut st.buffers, msgs);
+                    }
+                }
+            }
+            Frame::Eos => {
+                st.done[p] = true;
+                if st.done.iter().all(|d| *d) {
+                    let msgs = drive(&mut st.ops, StreamMessage::Eos)?;
+                    collect_data(&mut st.buffers, msgs);
+                    return Ok((st, true));
+                }
+                // Removing a finished input can only raise the minimum.
+                if let Some(c) = combined_watermark(&st.wms, &st.done) {
+                    if c > st.combined {
+                        st.combined = c;
+                        let msgs = drive(&mut st.ops, StreamMessage::Watermark(c))?;
+                        collect_data(&mut st.buffers, msgs);
+                    }
+                }
+            }
+            Frame::Handoff => return Ok((st, false)),
+        }
+    }
+}
+
+/// One pipeline's source-side state, preserved across phases.
+struct PumpState {
+    source: Box<dyn Source>,
+    watermark: WatermarkStrategy,
+    ts_col: Option<usize>,
+    schema: SchemaRef,
+    /// Stages placed on the source node, driven on the pump thread.
+    ops: Vec<Box<dyn Operator>>,
+    max_ts: EventTime,
+    batches: u64,
+    idle: u64,
+    stats: QueryMetrics,
+}
+
+struct PipelinePlan {
+    node: NodeId,
+    /// Node per compiled pipeline operator (migration bookkeeping).
+    assign: Vec<NodeId>,
+    pump: PumpState,
+    sites: Vec<(NodeId, Vec<Box<dyn Operator>>)>,
+}
+
+enum PumpEnd {
+    Exhausted,
+    Limit,
+}
+
+/// Polls the source, drives the source-node stages, generates
+/// watermarks, and pushes frames downstream — mirroring
+/// `StreamEnvironment::run`'s ingest loop. Stops at `batch_limit`
+/// without flushing (handoff follows); otherwise flushes end-of-stream.
+fn pump(
+    st: &mut PumpState,
+    tx: &WireTx,
+    wire: &WireRegistry,
+    cfg: &ClusterConfig,
+    batch_limit: Option<u64>,
+) -> Result<PumpEnd> {
+    let out_schema = st
+        .ops
+        .last()
+        .map_or_else(|| st.schema.clone(), |o| o.output_schema());
+    let watermark_every = cfg.watermark_every.max(1);
+    loop {
+        if batch_limit.is_some_and(|limit| st.batches >= limit) {
+            return Ok(PumpEnd::Limit);
+        }
+        match st.source.poll(cfg.buffer_size)? {
+            SourceBatch::Data(recs) => {
+                st.idle = 0;
+                st.batches += 1;
+                st.stats.batches += 1;
+                st.stats.records_in += recs.len() as u64;
+                let buf = RecordBuffer::new(st.schema.clone(), recs);
+                st.stats.bytes_in += buf.est_bytes() as u64;
+                if let (Some(col), WatermarkStrategy::BoundedOutOfOrder { .. }) =
+                    (st.ts_col, &st.watermark)
+                {
+                    if let Some(t) = buf.max_event_time(col) {
+                        st.max_ts = st.max_ts.max(t);
+                    }
+                }
+                let msgs = drive(&mut st.ops, StreamMessage::Data(buf))?;
+                forward(msgs, &out_schema, wire, tx)?;
+                if let WatermarkStrategy::BoundedOutOfOrder { slack, .. } = &st.watermark {
+                    if st.batches.is_multiple_of(watermark_every) && st.max_ts != EventTime::MIN {
+                        st.stats.watermarks += 1;
+                        let msgs = drive(&mut st.ops, StreamMessage::Watermark(st.max_ts - slack))?;
+                        forward(msgs, &out_schema, wire, tx)?;
+                    }
+                }
+            }
+            SourceBatch::Idle => {
+                st.idle += 1;
+                if st.idle > cfg.idle_limit {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            SourceBatch::Exhausted => break,
+        }
+    }
+    let msgs = drive(&mut st.ops, StreamMessage::Eos)?;
+    forward(msgs, &out_schema, wire, tx)?;
+    Ok(PumpEnd::Exhausted)
+}
+
+/// Shared phase context.
+struct PhaseIo<'a> {
+    topo: &'a Topology,
+    cfg: &'a ClusterConfig,
+    wire: &'a WireRegistry,
+    accounts: &'a Arc<TrafficAccounts>,
+    cloud_node: NodeId,
+}
+
+impl PhaseIo<'_> {
+    /// Builds an accounting sender for a hop `from → to`.
+    fn wire_tx(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        target: TxTarget,
+        depth: Arc<AtomicU64>,
+    ) -> Result<WireTx> {
+        let path = self
+            .topo
+            .path_up(from, to)?
+            .into_iter()
+            .map(|idx| {
+                let l = &self.topo.links()[idx];
+                PathLink {
+                    idx,
+                    bandwidth_mbps: l.bandwidth_mbps,
+                    latency_ms: l.latency_ms,
+                    to_cloud: self.topo.node(l.to).kind == NodeKind::Cloud,
+                }
+            })
+            .collect();
+        Ok(WireTx {
+            target,
+            path,
+            accounts: Arc::clone(self.accounts),
+            depth,
+        })
+    }
+}
+
+/// The schema of records a pipeline delivers to the cloud site.
+fn pipeline_out_schema(p: &PipelinePlan) -> SchemaRef {
+    let last_ops = p.sites.last().map(|(_, ops)| ops).unwrap_or(&p.pump.ops);
+    last_ops
+        .last()
+        .map_or_else(|| p.pump.schema.clone(), |o| o.output_schema())
+}
+
+/// Spawns the sites and cloud for every pipeline, runs the pumps, and
+/// joins everything, restoring operator state into `pipelines`. Returns
+/// the cloud state, whether the run finished (vs paused for handoff),
+/// and how many site threads were spawned.
+fn run_phase(
+    io: &PhaseIo<'_>,
+    pipelines: &mut [PipelinePlan],
+    cloud_state: CloudState,
+    batch_limit: Option<u64>,
+) -> Result<(CloudState, bool, usize)> {
+    let cap = io.cfg.channel_capacity.max(1);
+    let n_pipes = pipelines.len();
+    let cloud_in_schema = pipeline_out_schema(&pipelines[0]);
+    let mut sites_spawned = 0usize;
+
+    // Site node lists, to restore `pipe.sites` after the scope ends
+    // (the scoped `&mut` borrows release only at the scope boundary).
+    let site_nodes: Vec<Vec<NodeId>> = pipelines
+        .iter()
+        .map(|p| p.sites.iter().map(|(n, _)| *n).collect())
+        .collect();
+
+    type SiteOps = Vec<Vec<Box<dyn Operator>>>;
+    let scoped: Result<(CloudState, bool, Vec<SiteOps>)> = std::thread::scope(|scope| {
+        let (inbox_tx, inbox_rx) = bounded::<(usize, Vec<u8>)>(cap * n_pipes);
+        let mut inbox_depths = Vec::with_capacity(n_pipes);
+        let mut site_handles = Vec::with_capacity(n_pipes);
+        let mut pump_handles = Vec::new();
+        let mut coord_pump = None;
+
+        for (p, pipe) in pipelines.iter_mut().enumerate() {
+            let inbox_depth = Arc::new(AtomicU64::new(0));
+            inbox_depths.push(Arc::clone(&inbox_depth));
+            let PipelinePlan {
+                node,
+                pump: pump_state,
+                sites,
+                ..
+            } = pipe;
+            let src_node = *node;
+            let taken = std::mem::take(sites);
+            let nodes = &site_nodes[p];
+            let n_sites = taken.len();
+
+            // One channel per hop into a site; hop i feeds site i.
+            let mut hops: Vec<Hop> = (0..n_sites)
+                .map(|_| {
+                    let (tx, rx) = bounded::<Vec<u8>>(cap);
+                    (tx, Some(rx), Arc::new(AtomicU64::new(0)))
+                })
+                .collect();
+
+            let pump_tx = if n_sites == 0 {
+                io.wire_tx(
+                    src_node,
+                    io.cloud_node,
+                    TxTarget::Inbox(inbox_tx.clone(), p),
+                    Arc::clone(&inbox_depth),
+                )?
+            } else {
+                io.wire_tx(
+                    src_node,
+                    nodes[0],
+                    TxTarget::Direct(hops[0].0.clone()),
+                    Arc::clone(&hops[0].2),
+                )?
+            };
+
+            // Spawn sites with forward-threaded schemas.
+            let mut in_schema = pump_state
+                .ops
+                .last()
+                .map_or_else(|| pump_state.schema.clone(), |o| o.output_schema());
+            let mut handles = Vec::with_capacity(n_sites);
+            for (i, (site_node, ops)) in taken.into_iter().enumerate() {
+                let out_tx = if i + 1 < n_sites {
+                    io.wire_tx(
+                        site_node,
+                        nodes[i + 1],
+                        TxTarget::Direct(hops[i + 1].0.clone()),
+                        Arc::clone(&hops[i + 1].2),
+                    )?
+                } else {
+                    io.wire_tx(
+                        site_node,
+                        io.cloud_node,
+                        TxTarget::Inbox(inbox_tx.clone(), p),
+                        Arc::clone(&inbox_depth),
+                    )?
+                };
+                let rx = hops[i].1.take().expect("each hop rx consumed once");
+                let depth_in = Arc::clone(&hops[i].2);
+                let out_schema = ops
+                    .last()
+                    .map_or_else(|| in_schema.clone(), |o| o.output_schema());
+                let wire = io.wire.clone();
+                let schema = in_schema.clone();
+                handles
+                    .push(scope.spawn(move || run_site(ops, schema, rx, depth_in, out_tx, wire)));
+                sites_spawned += 1;
+                in_schema = out_schema;
+            }
+            site_handles.push(handles);
+            // The hop senders were cloned into the WireTx values; drop
+            // the originals so channels disconnect when sites finish.
+            drop(hops);
+
+            if batch_limit.is_some() {
+                coord_pump = Some((pump_state, pump_tx));
+            } else {
+                let wire = io.wire.clone();
+                let cfg = io.cfg;
+                pump_handles.push(scope.spawn(move || -> Result<()> {
+                    pump(pump_state, &pump_tx, &wire, cfg, None)?;
+                    Ok(())
+                }));
+            }
+        }
+
+        let wire = io.wire.clone();
+        let schema = cloud_in_schema.clone();
+        let depths = inbox_depths;
+        let cloud_handle =
+            scope.spawn(move || run_cloud(cloud_state, schema, inbox_rx, depths, wire));
+        drop(inbox_tx);
+
+        // Pump on the coordinator when a handoff may be needed.
+        let mut pump_err: Option<NebulaError> = None;
+        if let Some((st, tx)) = coord_pump {
+            let schema = st.schema.clone();
+            match pump(st, &tx, io.wire, io.cfg, batch_limit) {
+                Ok(PumpEnd::Limit) => {
+                    // Quiesce: the marker drains behind all data frames.
+                    let res = encode_frame(&Frame::Handoff, &schema, io.wire)
+                        .and_then(|bytes| tx.send(bytes, 0));
+                    if let Err(e) = res {
+                        pump_err = Some(e);
+                    }
+                }
+                Ok(PumpEnd::Exhausted) => {}
+                Err(e) => pump_err = Some(e),
+            }
+        }
+        for handle in pump_handles {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    pump_err.get_or_insert(e);
+                }
+                Err(_) => {
+                    pump_err.get_or_insert_with(|| {
+                        NebulaError::Eval("cluster: pump thread panicked".into())
+                    });
+                }
+            }
+        }
+
+        // Join sites and the cloud; prefer their errors over pump
+        // errors (a dead site makes the pump fail with "hung up" — the
+        // site's own error is the informative one).
+        let mut site_err: Option<NebulaError> = None;
+        let mut all_ops: Vec<SiteOps> = Vec::with_capacity(n_pipes);
+        for handles in site_handles {
+            let mut pipe_ops = Vec::with_capacity(handles.len());
+            for handle in handles {
+                match handle.join() {
+                    Ok(Ok(ops)) => pipe_ops.push(ops),
+                    Ok(Err(e)) => {
+                        site_err.get_or_insert(e);
+                        pipe_ops.push(Vec::new());
+                    }
+                    Err(_) => {
+                        site_err.get_or_insert_with(|| {
+                            NebulaError::Eval("cluster: site thread panicked".into())
+                        });
+                        pipe_ops.push(Vec::new());
+                    }
+                }
+            }
+            all_ops.push(pipe_ops);
+        }
+        let cloud = match cloud_handle.join() {
+            Ok(Ok(result)) => Some(result),
+            Ok(Err(e)) => {
+                site_err.get_or_insert(e);
+                None
+            }
+            Err(_) => {
+                site_err.get_or_insert_with(|| {
+                    NebulaError::Eval("cluster: cloud thread panicked".into())
+                });
+                None
+            }
+        };
+        if let Some(e) = site_err.or(pump_err) {
+            return Err(e);
+        }
+        let (state, finished) = cloud.expect("no error implies cloud result");
+        Ok((state, finished, all_ops))
+    });
+
+    let (state, finished, all_ops) = scoped?;
+    for (pipe, (nodes, ops)) in pipelines
+        .iter_mut()
+        .zip(site_nodes.into_iter().zip(all_ops))
+    {
+        pipe.sites = nodes.into_iter().zip(ops).collect();
+    }
+    Ok((state, finished, sites_spawned))
+}

@@ -14,6 +14,9 @@ pub enum NebulaError {
     Eval(String),
     /// Source/sink I/O failure.
     Io(String),
+    /// Wire-format encode/decode failure (unknown opaque codec, type
+    /// mismatch against the channel schema, corrupted frame).
+    Wire(String),
 }
 
 impl fmt::Display for NebulaError {
@@ -23,6 +26,7 @@ impl fmt::Display for NebulaError {
             NebulaError::Type(m) => write!(f, "type error: {m}"),
             NebulaError::Eval(m) => write!(f, "evaluation error: {m}"),
             NebulaError::Io(m) => write!(f, "io error: {m}"),
+            NebulaError::Wire(m) => write!(f, "wire error: {m}"),
         }
     }
 }

@@ -20,6 +20,12 @@
 //! - **Topology-aware operator placement** — sensor/edge/cloud tiers,
 //!   link cost accounting, edge-first vs cloud-only strategies, and
 //!   re-placement under node churn ([`topology`]).
+//! - **A distributed cluster runtime** — placed plans actually execute
+//!   across topology nodes: per-node site threads joined by bounded
+//!   channels carrying a byte-accounted wire format, cross-boundary
+//!   watermark propagation, edge pre-aggregation of splittable window
+//!   aggregates, and pause-and-migrate failure re-planning ([`cluster`],
+//!   [`wire`], [`preagg`]).
 //!
 //! [NebulaStream]: https://nebula.stream
 //!
@@ -56,10 +62,12 @@
 //! assert_eq!(results.len(), 9); // speeds 51..=59
 //! ```
 
+pub mod cluster;
 pub mod error;
 pub mod expr;
 pub mod metrics;
 pub mod ops;
+pub mod preagg;
 pub mod query;
 pub mod record;
 pub mod runtime;
@@ -69,11 +77,16 @@ pub mod source;
 pub mod topology;
 pub mod value;
 pub mod window;
+pub mod wire;
 
 pub use error::{NebulaError, Result};
 
 /// The types needed by almost every engine user.
 pub mod prelude {
+    pub use crate::cluster::{
+        ClusterConfig, ClusterEnvironment, ClusterMetrics, ClusterReport, FailureInjection,
+        LinkMetrics,
+    };
     pub use crate::error::{NebulaError, Result};
     pub use crate::expr::{
         call, col, lit, BoundExpr, ClosureFunction, Expr, FunctionRegistry, Plugin, ScalarFunction,
@@ -83,6 +96,7 @@ pub mod prelude {
         record_sort_key, CepOp, FilterOp, FlatMapOp, GroupKey, MapOp, Operator, OperatorFactory,
         Pattern, PatternStep, WindowOp,
     };
+    pub use crate::preagg::{split_window, splittable, MergeKind, SplitWindow, WindowMergeOp};
     pub use crate::query::{compile, LogicalOp, PartitionScheme, Query};
     pub use crate::record::{Record, RecordBuffer, StreamMessage};
     pub use crate::runtime::{EnvConfig, StreamEnvironment};
@@ -100,5 +114,8 @@ pub mod prelude {
         NodeKind, Placement, PlacementStrategy, StageBytes, Topology,
     };
     pub use crate::value::{DataType, DurationUs, EventTime, OpaqueValue, Value, MICROS_PER_SEC};
-    pub use crate::window::{AggSpec, Aggregator, AggregatorFactory, WindowAgg, WindowSpec};
+    pub use crate::window::{
+        AggSpec, Aggregator, AggregatorFactory, PartialMergeFn, WindowAgg, WindowSpec,
+    };
+    pub use crate::wire::{decode_frame, encode_frame, Frame, OpaqueWireCodec, WireRegistry};
 }

@@ -1,0 +1,480 @@
+//! Edge pre-aggregation: splitting window aggregates into per-edge
+//! partials merged at the cloud.
+//!
+//! The paper's uplink-saving move is running window aggregation *at the
+//! edge* so only aggregated rows cross the cellular uplink. When a query
+//! fans in from several edge nodes (one per train), each edge can only
+//! aggregate its local slice of a key's records — the cloud must merge
+//! the per-edge *partials* into the final window rows. That is sound
+//! exactly for **splittable** aggregates: `count` partials merge by
+//! addition, `sum` by addition, `min`/`max` by comparison, and plugin
+//! aggregates that provide a [`PartialMergeFn`] (MEOS sequence-append:
+//! per-edge sub-sequences concatenate into the window's full sequence).
+//! Order-dependent aggregates (`avg` as a single column, `first`,
+//! `last`) and non-time windows (threshold) are not splittable; queries
+//! using them run their window whole on one node.
+//!
+//! [`split_window`] decides whether a query's first stateful operator
+//! can be split; [`WindowMergeOp`] is the cloud-side physical operator
+//! that groups incoming partial rows by (key, window) and merges them,
+//! emitting when the cluster-wide watermark closes the window.
+
+use crate::error::{NebulaError, Result};
+use crate::ops::{record_sort_key, Operator};
+use crate::query::{LogicalOp, Query};
+use crate::record::{Record, RecordBuffer, StreamMessage};
+use crate::schema::SchemaRef;
+use crate::value::{EventTime, Value};
+use crate::window::{AggSpec, PartialMergeFn, WindowSpec};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// How two partial outputs of one aggregate column combine.
+#[derive(Clone)]
+pub enum MergeKind {
+    /// Numeric addition (`count`, `sum`); integer partials stay integer.
+    Add,
+    /// Keep the smaller partial.
+    Min,
+    /// Keep the larger partial.
+    Max,
+    /// Plugin-provided merge (e.g. MEOS sequence-append).
+    Custom(Arc<dyn PartialMergeFn>),
+}
+
+impl fmt::Debug for MergeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeKind::Add => write!(f, "Add"),
+            MergeKind::Min => write!(f, "Min"),
+            MergeKind::Max => write!(f, "Max"),
+            MergeKind::Custom(_) => write!(f, "Custom"),
+        }
+    }
+}
+
+/// The merge kind for a splittable aggregate, or `None` when partial
+/// results cannot be combined losslessly.
+pub fn splittable(spec: &AggSpec) -> Option<MergeKind> {
+    match spec {
+        AggSpec::Count | AggSpec::Sum(_) => Some(MergeKind::Add),
+        AggSpec::Min(_) => Some(MergeKind::Min),
+        AggSpec::Max(_) => Some(MergeKind::Max),
+        AggSpec::Avg(_) | AggSpec::First(_) | AggSpec::Last(_) => None,
+        AggSpec::Custom(factory) => factory.partial_merge().map(MergeKind::Custom),
+    }
+}
+
+/// A splittable window found in a query plan.
+#[derive(Debug)]
+pub struct SplitWindow {
+    /// Index of the window in `query.ops()`.
+    pub window_idx: usize,
+    /// Number of grouping key columns.
+    pub key_count: usize,
+    /// Per-aggregate merge kinds, in output-column order.
+    pub merges: Vec<MergeKind>,
+}
+
+/// Decides whether `query`'s first stateful operator is a time window
+/// whose aggregates are all splittable. The stateless prefix (filters
+/// and maps) runs unchanged before the partial window; everything after
+/// the window consumes merged rows and moves to the merge node.
+pub fn split_window(query: &Query) -> Option<SplitWindow> {
+    for (i, op) in query.ops().iter().enumerate() {
+        match op {
+            LogicalOp::Filter(_) | LogicalOp::Map { .. } => continue,
+            LogicalOp::Window { keys, spec, aggs } => {
+                if !matches!(
+                    spec,
+                    WindowSpec::Tumbling { .. } | WindowSpec::Sliding { .. }
+                ) {
+                    return None;
+                }
+                let merges = aggs
+                    .iter()
+                    .map(|a| splittable(&a.spec))
+                    .collect::<Option<Vec<_>>>()?;
+                return Some(SplitWindow {
+                    window_idx: i,
+                    key_count: keys.len(),
+                    merges,
+                });
+            }
+            LogicalOp::Cep(_) | LogicalOp::Custom(_) => return None,
+        }
+    }
+    None
+}
+
+fn merge_value(kind: &MergeKind, acc: Value, next: &Value) -> Result<Value> {
+    // Empty partials surface as nulls (e.g. `sum` over zero non-null
+    // records); merging with a null keeps the other side.
+    if next.is_null() {
+        return Ok(acc);
+    }
+    if acc.is_null() {
+        return Ok(next.clone());
+    }
+    match kind {
+        MergeKind::Add => match (&acc, next) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a + b)),
+            _ => {
+                let (a, b) = (acc.as_float(), next.as_float());
+                match (a, b) {
+                    (Some(a), Some(b)) => Ok(Value::Float(a + b)),
+                    _ => Err(NebulaError::Eval(format!(
+                        "cannot add partials '{acc}' and '{next}'"
+                    ))),
+                }
+            }
+        },
+        MergeKind::Min => {
+            let keep_next = next.partial_cmp_num(&acc) == Some(std::cmp::Ordering::Less);
+            Ok(if keep_next { next.clone() } else { acc })
+        }
+        MergeKind::Max => {
+            let keep_next = next.partial_cmp_num(&acc) == Some(std::cmp::Ordering::Greater);
+            Ok(if keep_next { next.clone() } else { acc })
+        }
+        MergeKind::Custom(f) => f.merge(acc, next),
+    }
+}
+
+/// Cloud-side merge of per-edge partial window rows.
+///
+/// Input and output schema are the partial window's output schema:
+/// key columns, `window_start`, `window_end`, then one column per
+/// aggregate. Rows are grouped by (keys, start, end); aggregate columns
+/// merge via their [`MergeKind`]. A group emits when the watermark
+/// passes its window end — since every upstream edge flushes a window's
+/// partial *before* forwarding the watermark that closed it, and the
+/// cluster runtime only advances the merged watermark to the minimum
+/// across inputs, no partial can arrive after its group was emitted on
+/// any FIFO topology channel. Late partials are counted and dropped as
+/// a safety net.
+pub struct WindowMergeOp {
+    schema: SchemaRef,
+    key_count: usize,
+    merges: Vec<MergeKind>,
+    state: HashMap<Vec<u8>, Vec<Value>>,
+    last_watermark: EventTime,
+    late_partials: u64,
+}
+
+impl WindowMergeOp {
+    /// Builds the operator over the partial window's output schema.
+    pub fn new(
+        partial_schema: SchemaRef,
+        key_count: usize,
+        merges: Vec<MergeKind>,
+    ) -> Result<Self> {
+        let expected = key_count + 2 + merges.len();
+        if partial_schema.len() != expected {
+            return Err(NebulaError::Plan(format!(
+                "window merge: partial schema has {} columns, expected {expected} \
+                 ({key_count} keys + start/end + {} aggregates)",
+                partial_schema.len(),
+                merges.len()
+            )));
+        }
+        Ok(WindowMergeOp {
+            schema: partial_schema,
+            key_count,
+            merges,
+            state: HashMap::new(),
+            last_watermark: EventTime::MIN,
+            late_partials: 0,
+        })
+    }
+
+    /// Partial rows that arrived after their window was already emitted
+    /// (zero on FIFO channels with min-combined watermarks).
+    pub fn late_partials(&self) -> u64 {
+        self.late_partials
+    }
+
+    fn window_end(&self, values: &[Value]) -> Result<EventTime> {
+        values[self.key_count + 1]
+            .as_timestamp()
+            .ok_or_else(|| NebulaError::Eval("window merge: partial row missing window_end".into()))
+    }
+
+    /// Removes and returns the merged rows of every group whose window
+    /// end is `<= bound` (all groups when `bound` is `None`), in
+    /// deterministic (window_start, row-encoding) order.
+    fn drain_closed(&mut self, bound: Option<EventTime>) -> Vec<Record> {
+        let closed: Vec<Vec<u8>> = self
+            .state
+            .iter()
+            .filter(|(_, row)| match bound {
+                Some(b) => row[self.key_count + 1]
+                    .as_timestamp()
+                    .is_some_and(|end| end <= b),
+                None => true,
+            })
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut records: Vec<Record> = closed
+            .into_iter()
+            .map(|k| Record::new(self.state.remove(&k).expect("just listed")))
+            .collect();
+        records.sort_by_cached_key(|r| {
+            let start = r
+                .get(self.key_count)
+                .and_then(Value::as_timestamp)
+                .unwrap_or(0);
+            (start, record_sort_key(r))
+        });
+        records
+    }
+}
+
+impl Operator for WindowMergeOp {
+    fn name(&self) -> &str {
+        "window_merge"
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn process(&mut self, buf: RecordBuffer, _out: &mut Vec<StreamMessage>) -> Result<()> {
+        for rec in buf.into_records() {
+            if rec.len() != self.schema.len() {
+                return Err(NebulaError::Eval(format!(
+                    "window merge: partial row has {} columns, schema {}",
+                    rec.len(),
+                    self.schema.len()
+                )));
+            }
+            let values = rec.into_values();
+            if self.window_end(&values)? <= self.last_watermark {
+                self.late_partials += 1;
+                continue;
+            }
+            let group = record_sort_key(&Record::new(values[..self.key_count + 2].to_vec()));
+            match self.state.entry(group) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(values);
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    let acc = o.get_mut();
+                    for (i, kind) in self.merges.iter().enumerate() {
+                        let col = self.key_count + 2 + i;
+                        let prev = std::mem::replace(&mut acc[col], Value::Null);
+                        acc[col] = merge_value(kind, prev, &values[col])?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: EventTime, out: &mut Vec<StreamMessage>) -> Result<()> {
+        self.last_watermark = self.last_watermark.max(wm);
+        let records = self.drain_closed(Some(wm));
+        if !records.is_empty() {
+            out.push(StreamMessage::Data(RecordBuffer::new(
+                self.schema.clone(),
+                records,
+            )));
+        }
+        out.push(StreamMessage::Watermark(wm));
+        Ok(())
+    }
+
+    fn on_eos(&mut self, out: &mut Vec<StreamMessage>) -> Result<()> {
+        let records = self.drain_closed(None);
+        if !records.is_empty() {
+            out.push(StreamMessage::Data(RecordBuffer::new(
+                self.schema.clone(),
+                records,
+            )));
+        }
+        out.push(StreamMessage::Eos);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::schema::Schema;
+    use crate::value::{DataType, MICROS_PER_SEC};
+    use crate::window::WindowAgg;
+
+    fn partial_schema() -> SchemaRef {
+        Schema::of(&[
+            ("train", DataType::Int),
+            ("window_start", DataType::Timestamp),
+            ("window_end", DataType::Timestamp),
+            ("n", DataType::Int),
+            ("sum_speed", DataType::Float),
+            ("min_load", DataType::Int),
+            ("max_load", DataType::Int),
+        ])
+    }
+
+    fn partial(train: i64, start_s: i64, n: i64, sum: f64, min: i64, max: i64) -> Record {
+        Record::new(vec![
+            Value::Int(train),
+            Value::Timestamp(start_s * MICROS_PER_SEC),
+            Value::Timestamp((start_s + 60) * MICROS_PER_SEC),
+            Value::Int(n),
+            Value::Float(sum),
+            Value::Int(min),
+            Value::Int(max),
+        ])
+    }
+
+    fn merges() -> Vec<MergeKind> {
+        vec![
+            MergeKind::Add,
+            MergeKind::Add,
+            MergeKind::Min,
+            MergeKind::Max,
+        ]
+    }
+
+    fn data_records(msgs: &[StreamMessage]) -> Vec<Record> {
+        msgs.iter()
+            .filter_map(|m| match m {
+                StreamMessage::Data(b) => Some(b.records().to_vec()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    #[test]
+    fn merges_partials_per_key_and_window() {
+        let mut op = WindowMergeOp::new(partial_schema(), 1, merges()).unwrap();
+        let mut out = Vec::new();
+        op.process(
+            RecordBuffer::new(
+                partial_schema(),
+                vec![
+                    partial(1, 0, 3, 30.0, 5, 9),
+                    partial(1, 0, 2, 12.0, 2, 7),
+                    partial(2, 0, 1, 5.0, 4, 4),
+                    partial(1, 60, 1, 1.0, 0, 0),
+                ],
+            ),
+            &mut out,
+        )
+        .unwrap();
+        assert!(data_records(&out).is_empty(), "nothing before watermark");
+        op.on_watermark(60 * MICROS_PER_SEC, &mut out).unwrap();
+        let recs = data_records(&out);
+        assert_eq!(recs.len(), 2, "only the [0,60) windows closed");
+        let train1 = recs
+            .iter()
+            .find(|r| r.get(0) == Some(&Value::Int(1)))
+            .unwrap();
+        assert_eq!(train1.get(3), Some(&Value::Int(5)), "count adds");
+        assert_eq!(train1.get(4), Some(&Value::Float(42.0)), "sum adds");
+        assert_eq!(train1.get(5), Some(&Value::Int(2)), "min keeps smaller");
+        assert_eq!(train1.get(6), Some(&Value::Int(9)), "max keeps larger");
+        // The open [60,120) window flushes at end-of-stream.
+        op.on_eos(&mut out).unwrap();
+        assert_eq!(data_records(&out).len(), 3);
+        assert_eq!(op.late_partials(), 0);
+    }
+
+    #[test]
+    fn single_partial_passes_through_unchanged() {
+        let mut op = WindowMergeOp::new(partial_schema(), 1, merges()).unwrap();
+        let mut out = Vec::new();
+        let p = partial(3, 0, 7, 70.5, 1, 8);
+        op.process(
+            RecordBuffer::new(partial_schema(), vec![p.clone()]),
+            &mut out,
+        )
+        .unwrap();
+        op.on_eos(&mut out).unwrap();
+        assert_eq!(data_records(&out), vec![p]);
+    }
+
+    #[test]
+    fn null_partials_keep_other_side() {
+        let kind = MergeKind::Add;
+        assert_eq!(
+            merge_value(&kind, Value::Null, &Value::Int(3)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            merge_value(&kind, Value::Int(3), &Value::Null).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            merge_value(&kind, Value::Null, &Value::Null).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn late_partial_dropped_and_counted() {
+        let mut op = WindowMergeOp::new(partial_schema(), 1, merges()).unwrap();
+        let mut out = Vec::new();
+        op.on_watermark(120 * MICROS_PER_SEC, &mut out).unwrap();
+        op.process(
+            RecordBuffer::new(partial_schema(), vec![partial(1, 0, 1, 1.0, 1, 1)]),
+            &mut out,
+        )
+        .unwrap();
+        op.on_eos(&mut out).unwrap();
+        assert!(data_records(&out).is_empty());
+        assert_eq!(op.late_partials(), 1);
+    }
+
+    #[test]
+    fn split_window_detects_splittable_plans() {
+        let keyed = Query::from("s").filter(col("speed").gt(lit(1.0))).window(
+            vec![("train", col("train"))],
+            WindowSpec::Tumbling {
+                size: 60 * MICROS_PER_SEC,
+            },
+            vec![
+                WindowAgg::new("n", AggSpec::Count),
+                WindowAgg::new("top", AggSpec::Max(col("speed"))),
+            ],
+        );
+        let sw = split_window(&keyed).expect("splittable");
+        assert_eq!(sw.window_idx, 1);
+        assert_eq!(sw.key_count, 1);
+        assert_eq!(sw.merges.len(), 2);
+
+        // Avg is order-insensitive but not single-column splittable.
+        let avg = Query::from("s").window(
+            vec![],
+            WindowSpec::Tumbling {
+                size: 60 * MICROS_PER_SEC,
+            },
+            vec![WindowAgg::new("a", AggSpec::Avg(col("speed")))],
+        );
+        assert!(split_window(&avg).is_none());
+
+        // Threshold windows are predicate-delimited, never split.
+        let threshold = Query::from("s").window(
+            vec![],
+            WindowSpec::Threshold {
+                predicate: col("speed").gt(lit(1.0)),
+                min_count: 1,
+            },
+            vec![WindowAgg::new("n", AggSpec::Count)],
+        );
+        assert!(split_window(&threshold).is_none());
+
+        // A stateless plan has no window to split.
+        let stateless = Query::from("s").filter(col("speed").gt(lit(1.0)));
+        assert!(split_window(&stateless).is_none());
+    }
+
+    #[test]
+    fn schema_arity_validated() {
+        assert!(WindowMergeOp::new(partial_schema(), 2, merges()).is_err());
+    }
+}

@@ -179,11 +179,20 @@ impl Query {
     /// - A keyless stateful operator, a narrowing map before the stateful
     ///   operator (it may redefine the key columns), or a plugin operator
     ///   (opaque state) forces all data onto a single worker.
+    /// - A *second* stateful operator downstream of the first also forces
+    ///   a single worker: it consumes the first stage's output, whose
+    ///   grouping the source-record key shards cannot be proven to
+    ///   respect (e.g. a keyed CEP feeding a keyless global window would
+    ///   emit one row per partition instead of one per window).
     /// - A plan with no stateful operators at all is embarrassingly
     ///   parallel: records round-robin across workers.
     pub fn partition_scheme(&self) -> PartitionScheme {
         let mut prefix_preserves_columns = true;
-        for op in &self.ops {
+        let mut ops = self.ops.iter();
+        let candidate = loop {
+            let Some(op) = ops.next() else {
+                return PartitionScheme::RoundRobin;
+            };
             match op {
                 LogicalOp::Filter(_) => {}
                 LogicalOp::Map { extend, .. } => {
@@ -192,22 +201,30 @@ impl Query {
                     }
                 }
                 LogicalOp::Window { keys, .. } => {
-                    return if prefix_preserves_columns && !keys.is_empty() {
+                    break if prefix_preserves_columns && !keys.is_empty() {
                         PartitionScheme::Key(keys.iter().map(|(_, e)| e.clone()).collect())
                     } else {
                         PartitionScheme::Single
                     };
                 }
                 LogicalOp::Cep(pattern) => {
-                    return match (&pattern.key, prefix_preserves_columns) {
+                    break match (&pattern.key, prefix_preserves_columns) {
                         (Some(key), true) => PartitionScheme::Key(vec![key.clone()]),
                         _ => PartitionScheme::Single,
                     };
                 }
                 LogicalOp::Custom(_) => return PartitionScheme::Single,
             }
+        };
+        if ops.any(|op| {
+            matches!(
+                op,
+                LogicalOp::Window { .. } | LogicalOp::Cep(_) | LogicalOp::Custom(_)
+            )
+        }) {
+            return PartitionScheme::Single;
         }
-        PartitionScheme::RoundRobin
+        candidate
     }
 }
 
@@ -239,9 +256,27 @@ pub fn compile(
     input: SchemaRef,
     registry: &FunctionRegistry,
 ) -> Result<CompiledPlan> {
-    let mut operators: Vec<Box<dyn Operator>> = Vec::with_capacity(query.ops.len());
+    if query.ops.is_empty() {
+        return Err(NebulaError::Plan(
+            "query has no operators; add at least a filter/map/window".into(),
+        ));
+    }
+    compile_ops(&query.ops, &query.ts_field, input, registry)
+}
+
+/// Compiles a slice of logical operators — the building block behind
+/// [`compile`] and the cluster runtime's chain splitting (a placed plan
+/// compiles each node's sub-chain separately). Unlike [`compile`], an
+/// empty slice is valid and yields a pass-through plan.
+pub(crate) fn compile_ops(
+    ops: &[LogicalOp],
+    ts_field: &str,
+    input: SchemaRef,
+    registry: &FunctionRegistry,
+) -> Result<CompiledPlan> {
+    let mut operators: Vec<Box<dyn Operator>> = Vec::with_capacity(ops.len());
     let mut schema = input;
-    for op in &query.ops {
+    for op in ops {
         let physical: Box<dyn Operator> = match op {
             LogicalOp::Filter(pred) => Box::new(FilterOp::new(pred, schema.clone(), registry)?),
             LogicalOp::Map {
@@ -249,28 +284,20 @@ pub fn compile(
                 extend,
             } => Box::new(MapOp::new(projections, *extend, schema.clone(), registry)?),
             LogicalOp::Window { keys, spec, aggs } => Box::new(WindowOp::new(
-                &query.ts_field,
+                ts_field,
                 keys,
                 spec.clone(),
                 aggs.clone(),
                 schema.clone(),
                 registry,
             )?),
-            LogicalOp::Cep(pattern) => Box::new(CepOp::new(
-                pattern,
-                &query.ts_field,
-                schema.clone(),
-                registry,
-            )?),
+            LogicalOp::Cep(pattern) => {
+                Box::new(CepOp::new(pattern, ts_field, schema.clone(), registry)?)
+            }
             LogicalOp::Custom(factory) => factory.create(schema.clone(), registry)?,
         };
         schema = physical.output_schema();
         operators.push(physical);
-    }
-    if operators.is_empty() {
-        return Err(NebulaError::Plan(
-            "query has no operators; add at least a filter/map/window".into(),
-        ));
     }
     Ok(CompiledPlan {
         operators,
@@ -416,6 +443,42 @@ mod tests {
             keyless.partition_scheme(),
             PartitionScheme::Single
         ));
+    }
+
+    #[test]
+    fn partition_scheme_second_stateful_forces_single() {
+        use crate::ops::{Pattern, PatternStep};
+        // Keyed CEP feeding a keyless global window: sharding by the CEP
+        // key would emit one count row per partition, so routing must
+        // fall back to Single (the review-probe regression).
+        let q = Query::from("trains")
+            .cep(
+                Pattern::new(
+                    "p",
+                    vec![PatternStep::new("hi", col("speed").gt(lit(50.0)))],
+                    1_000_000,
+                )
+                .keyed_by(col("train_id")),
+            )
+            .window(
+                vec![],
+                WindowSpec::Tumbling { size: 60_000_000 },
+                vec![WindowAgg::new("n", AggSpec::Count)],
+            );
+        assert!(matches!(q.partition_scheme(), PartitionScheme::Single));
+        // Same for stacked keyed windows: correctness over parallelism.
+        let q = Query::from("trains")
+            .window(
+                vec![("train", col("train_id"))],
+                WindowSpec::Tumbling { size: 60_000_000 },
+                vec![WindowAgg::new("n", AggSpec::Count)],
+            )
+            .window(
+                vec![("train", col("train"))],
+                WindowSpec::Tumbling { size: 120_000_000 },
+                vec![WindowAgg::new("m", AggSpec::Count)],
+            );
+        assert!(matches!(q.partition_scheme(), PartitionScheme::Single));
     }
 
     #[test]

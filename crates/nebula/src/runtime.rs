@@ -579,7 +579,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-fn resolve_ts_col(
+pub(crate) fn resolve_ts_col(
     watermark: &WatermarkStrategy,
     schema: &crate::schema::Schema,
 ) -> Result<Option<usize>> {

@@ -95,6 +95,26 @@ pub trait AggregatorFactory: Send + Sync {
     fn output_type(&self, input: &Schema, registry: &FunctionRegistry) -> Result<DataType>;
     /// Creates one per-window accumulator.
     fn create(&self, input: &Schema, registry: &FunctionRegistry) -> Result<Box<dyn Aggregator>>;
+    /// A function merging two *partial* outputs of this aggregate into
+    /// one, if the aggregate is splittable across edge nodes (see
+    /// [`crate::preagg`]). The default — `None` — keeps the aggregate
+    /// whole: the cluster runtime then runs the entire window on a
+    /// single node instead of pre-aggregating at the edge.
+    fn partial_merge(&self) -> Option<Arc<dyn PartialMergeFn>> {
+        None
+    }
+}
+
+/// Merges two partial aggregate outputs of the same (key, window) into
+/// one — the plugin seam behind edge pre-aggregation. For a splittable
+/// aggregate, folding records per edge node and then merging the
+/// per-edge outputs must equal aggregating all records on one node
+/// (e.g. MEOS sequence-append: per-edge sub-sequences concatenate into
+/// the full window sequence).
+pub trait PartialMergeFn: Send + Sync {
+    /// Combines `acc` with `next`, returning the merged value. Nulls
+    /// (empty partials) are handled by the caller and never reach this.
+    fn merge(&self, acc: Value, next: &Value) -> Result<Value>;
 }
 
 /// A window aggregate: what to compute and the output column name.

@@ -1,0 +1,784 @@
+//! Differential cluster-equivalence suite: every query shape the engine
+//! supports is run through `ClusterEnvironment::run_placed` on the
+//! `train_fleet` topology — under both placement strategies, over
+//! in-order and jittered feeds, and with a node failure re-planned
+//! mid-run — and must produce order-normalized results and
+//! `records_in`/`records_out` counters identical to the single-threaded
+//! `StreamEnvironment::run` reference. The distributed runtime is only
+//! correct if crossing node boundaries (wire encoding, bounded link
+//! channels, cross-boundary watermarks, edge pre-aggregation, state
+//! migration) is observationally invisible.
+//!
+//! Beyond equivalence, the suite asserts the paper's headline number
+//! from measured traffic: an edge-placed pre-aggregating windowed query
+//! moves a fraction of the uplink bytes of cloud-only placement.
+
+use nebula::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> SchemaRef {
+    Schema::of(&[
+        ("ts", DataType::Timestamp),
+        ("train", DataType::Int),
+        ("speed", DataType::Float),
+        ("load", DataType::Int),
+    ])
+}
+
+/// The same deterministic 600-record stream as `engine_equivalence`.
+fn records() -> Vec<Record> {
+    (0..600)
+        .map(|i| {
+            Record::new(vec![
+                Value::Timestamp(i * MICROS_PER_SEC),
+                Value::Int(i % 5),
+                Value::Float(((i * 7) % 80) as f64),
+                Value::Int((i * 13) % 200),
+            ])
+        })
+        .collect()
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Feed {
+    InOrder,
+    Jittered(u64),
+}
+
+fn source(feed: Feed) -> Box<dyn Source> {
+    let inner = VecSource::new(schema(), records());
+    match feed {
+        Feed::InOrder => Box::new(inner),
+        Feed::Jittered(seed) => Box::new(JitterSource::new(inner, 8, seed)),
+    }
+}
+
+fn generous_watermark() -> WatermarkStrategy {
+    WatermarkStrategy::BoundedOutOfOrder {
+        ts_field: "ts".into(),
+        slack: 60 * MICROS_PER_SEC,
+    }
+}
+
+/// The synchronous single-process reference.
+fn sync_reference(
+    query: &Query,
+    feed: Feed,
+    watermark: WatermarkStrategy,
+) -> (Vec<Record>, QueryMetrics) {
+    let mut env = StreamEnvironment::with_config(EnvConfig {
+        buffer_size: 32,
+        watermark_every: 2,
+        ..EnvConfig::default()
+    });
+    env.add_source("s", source(feed), watermark);
+    let (mut sink, got) = CollectingSink::new();
+    let metrics = env.run(query, &mut sink).expect("sync run");
+    let mut recs = got.records();
+    normalize_records(&mut recs);
+    (recs, metrics)
+}
+
+fn fleet_env(feed: Feed, watermark: WatermarkStrategy) -> (ClusterEnvironment, NodeId) {
+    let (topo, sensors) = Topology::train_fleet(3);
+    let mut env = ClusterEnvironment::with_config(
+        topo,
+        ClusterConfig {
+            buffer_size: 32,
+            watermark_every: 2,
+            ..ClusterConfig::default()
+        },
+    );
+    env.add_source("s", sensors[0], source(feed), watermark);
+    (env, sensors[0])
+}
+
+fn cluster_run(
+    query: &Query,
+    strategy: PlacementStrategy,
+    feed: Feed,
+    watermark: WatermarkStrategy,
+    failure: Option<FailureInjection>,
+) -> (Vec<Record>, ClusterReport) {
+    let (mut env, _) = fleet_env(feed, watermark);
+    let (mut sink, got) = CollectingSink::new();
+    let report = match failure {
+        None => env.run_placed(query, strategy, &mut sink),
+        Some(f) => env.run_placed_with_failure(query, strategy, f, &mut sink),
+    }
+    .unwrap_or_else(|e| panic!("{strategy:?}/{feed:?} cluster run failed: {e}"));
+    let mut recs = got.records();
+    normalize_records(&mut recs);
+    (recs, report)
+}
+
+/// Both strategies, one feed, must agree with the sync reference.
+fn assert_cluster_equivalent(name: &str, query: &Query, feed: Feed, watermark: WatermarkStrategy) {
+    let (reference, ref_metrics) = sync_reference(query, feed, watermark.clone());
+    for strategy in [PlacementStrategy::EdgeFirst, PlacementStrategy::CloudOnly] {
+        let (got, report) = cluster_run(query, strategy, feed, watermark.clone(), None);
+        assert_eq!(
+            got, reference,
+            "{name}: {strategy:?}/{feed:?} diverges from sync reference"
+        );
+        assert_eq!(
+            report.metrics.records_in, ref_metrics.records_in,
+            "{name}: {strategy:?}/{feed:?} records_in"
+        );
+        assert_eq!(
+            report.metrics.records_out, ref_metrics.records_out,
+            "{name}: {strategy:?}/{feed:?} records_out"
+        );
+    }
+}
+
+fn assert_cluster_equivalent_both_feeds(name: &str, query: &Query, watermark: WatermarkStrategy) {
+    assert_cluster_equivalent(name, query, Feed::InOrder, watermark.clone());
+    for seed in [7, 99] {
+        assert_cluster_equivalent(name, query, Feed::Jittered(seed), watermark.clone());
+    }
+}
+
+/// The edge node of train 0 — the box failure tests kill mid-run.
+fn edge_node(env: &ClusterEnvironment, sensor: NodeId) -> NodeId {
+    env.topology()
+        .first_ancestor_of_kind(sensor, NodeKind::Edge)
+        .expect("edge exists")
+}
+
+/// Mid-run failure of the edge box must be invisible in the results:
+/// state migrates losslessly to the cloud at a quiesced handoff point.
+fn assert_failure_equivalent(name: &str, query: &Query, watermark: WatermarkStrategy) {
+    let (reference, ref_metrics) = sync_reference(query, Feed::InOrder, watermark.clone());
+    for after_batches in [0, 3, 11] {
+        let (mut env, sensor) = fleet_env(Feed::InOrder, watermark.clone());
+        let failed = edge_node(&env, sensor);
+        let (mut sink, got) = CollectingSink::new();
+        let report = env
+            .run_placed_with_failure(
+                query,
+                PlacementStrategy::EdgeFirst,
+                FailureInjection {
+                    node: failed,
+                    after_batches,
+                },
+                &mut sink,
+            )
+            .unwrap_or_else(|e| panic!("{name}: failure run (after {after_batches}): {e}"));
+        let mut recs = got.records();
+        normalize_records(&mut recs);
+        assert_eq!(
+            recs, reference,
+            "{name}: results diverge after failing the edge at batch {after_batches}"
+        );
+        assert_eq!(report.metrics.records_in, ref_metrics.records_in, "{name}");
+        assert_eq!(
+            report.metrics.records_out, ref_metrics.records_out,
+            "{name}"
+        );
+        assert_eq!(report.cluster.replans, 1, "{name}: one re-planning round");
+        // The re-planned placement no longer references the failed node.
+        for pl in &report.placements {
+            assert!(
+                !pl.stages.contains(&failed),
+                "{name}: stage still on failed node"
+            );
+        }
+    }
+}
+
+fn splittable_window_query() -> Query {
+    Query::from("s").window(
+        vec![("train", col("train"))],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![
+            WindowAgg::new("n", AggSpec::Count),
+            WindowAgg::new("sum_load", AggSpec::Sum(col("load"))),
+            WindowAgg::new("min_speed", AggSpec::Min(col("speed"))),
+            WindowAgg::new("max_speed", AggSpec::Max(col("speed"))),
+        ],
+    )
+}
+
+#[test]
+fn filter_cluster_equivalence() {
+    let q = Query::from("s").filter(col("speed").ge(lit(40.0)));
+    assert_cluster_equivalent_both_feeds("filter", &q, WatermarkStrategy::None);
+}
+
+#[test]
+fn map_cluster_equivalence() {
+    let q = Query::from("s").map(vec![
+        ("train", col("train")),
+        ("kmh", col("speed").mul(lit(3.6))),
+    ]);
+    assert_cluster_equivalent_both_feeds("map", &q, WatermarkStrategy::None);
+}
+
+#[test]
+fn map_extend_cluster_equivalence() {
+    let q = Query::from("s")
+        .filter(col("load").gt(lit(50)))
+        .map_extend(vec![("over", col("speed").sub(lit(40.0)))]);
+    assert_cluster_equivalent_both_feeds("map_extend", &q, WatermarkStrategy::None);
+}
+
+#[test]
+fn tumbling_window_cluster_equivalence() {
+    // Avg is not splittable: exercises the unsplit window-at-the-edge path.
+    let q = Query::from("s").window(
+        vec![("train", col("train"))],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![
+            WindowAgg::new("n", AggSpec::Count),
+            WindowAgg::new("avg_speed", AggSpec::Avg(col("speed"))),
+            WindowAgg::new("max_load", AggSpec::Max(col("load"))),
+        ],
+    );
+    assert_cluster_equivalent_both_feeds("tumbling", &q, generous_watermark());
+    assert_cluster_equivalent("tumbling/no-wm", &q, Feed::InOrder, WatermarkStrategy::None);
+}
+
+#[test]
+fn splittable_window_cluster_equivalence() {
+    // All-splittable aggregates: exercises edge partials + cloud merge.
+    let q = splittable_window_query();
+    let (_, report) = cluster_run(
+        &q,
+        PlacementStrategy::EdgeFirst,
+        Feed::InOrder,
+        generous_watermark(),
+        None,
+    );
+    assert!(report.cluster.preaggregated, "split must engage");
+    assert_cluster_equivalent_both_feeds("splittable", &q, generous_watermark());
+    assert_cluster_equivalent(
+        "splittable/no-wm",
+        &q,
+        Feed::InOrder,
+        WatermarkStrategy::None,
+    );
+}
+
+#[test]
+fn sliding_window_cluster_equivalence() {
+    let q = Query::from("s").window(
+        vec![("train", col("train"))],
+        WindowSpec::Sliding {
+            size: 60 * MICROS_PER_SEC,
+            slide: 20 * MICROS_PER_SEC,
+        },
+        vec![WindowAgg::new("n", AggSpec::Count)],
+    );
+    assert_cluster_equivalent_both_feeds("sliding", &q, generous_watermark());
+}
+
+#[test]
+fn keyless_window_cluster_equivalence() {
+    let q = Query::from("s").window(
+        vec![],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![WindowAgg::new("n", AggSpec::Count)],
+    );
+    assert_cluster_equivalent_both_feeds("keyless", &q, generous_watermark());
+}
+
+#[test]
+fn threshold_window_cluster_equivalence() {
+    let q = Query::from("s").window(
+        vec![("train", col("train"))],
+        WindowSpec::Threshold {
+            predicate: col("speed").gt(lit(80.0 * 0.7)),
+            min_count: 2,
+        },
+        vec![
+            WindowAgg::new("n", AggSpec::Count),
+            WindowAgg::new("peak", AggSpec::Max(col("speed"))),
+        ],
+    );
+    assert_cluster_equivalent("threshold", &q, Feed::InOrder, WatermarkStrategy::None);
+}
+
+fn cep_query() -> Query {
+    let pattern = Pattern::new(
+        "speed-drop",
+        vec![
+            PatternStep::new("fast", col("speed").gt(lit(60.0))),
+            PatternStep::new("slow", col("speed").lt(lit(10.0))),
+        ],
+        120 * MICROS_PER_SEC,
+    )
+    .keyed_by(col("train"));
+    Query::from("s").cep(pattern)
+}
+
+#[test]
+fn cep_cluster_equivalence() {
+    assert_cluster_equivalent("cep", &cep_query(), Feed::InOrder, WatermarkStrategy::None);
+}
+
+#[test]
+fn cep_then_keyless_window_cluster_equivalence() {
+    let q = cep_query().window(
+        vec![],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![WindowAgg::new("n", AggSpec::Count)],
+    );
+    assert_cluster_equivalent("cep+window", &q, Feed::InOrder, WatermarkStrategy::None);
+}
+
+/// A plugin operator crossing node boundaries (opaque state: the chain
+/// runs whole at its placed node).
+struct DuplicateHighSpeed;
+
+impl OperatorFactory for DuplicateHighSpeed {
+    fn name(&self) -> &str {
+        "duplicate_high_speed"
+    }
+
+    fn create(&self, input: SchemaRef, _registry: &FunctionRegistry) -> Result<Box<dyn Operator>> {
+        let speed_col = input
+            .index_of("speed")
+            .ok_or_else(|| NebulaError::Plan("needs 'speed'".into()))?;
+        Ok(Box::new(FlatMapOp::new(
+            "duplicate_high_speed",
+            input,
+            move |rec, out| {
+                out.push(rec.clone());
+                if rec
+                    .get(speed_col)
+                    .and_then(Value::as_float)
+                    .is_some_and(|s| s > 70.0)
+                {
+                    out.push(rec.clone());
+                }
+                Ok(())
+            },
+        )))
+    }
+}
+
+#[test]
+fn plugin_operator_cluster_equivalence() {
+    let q = Query::from("s").apply(Arc::new(DuplicateHighSpeed));
+    assert_cluster_equivalent_both_feeds("plugin", &q, WatermarkStrategy::None);
+}
+
+#[test]
+fn composite_pipeline_cluster_equivalence() {
+    let q = Query::from("s")
+        .filter(col("load").ge(lit(20)))
+        .map_extend(vec![("kmh", col("speed").mul(lit(3.6)))])
+        .window(
+            vec![("train", col("train"))],
+            WindowSpec::Tumbling {
+                size: 120 * MICROS_PER_SEC,
+            },
+            vec![
+                WindowAgg::new("n", AggSpec::Count),
+                WindowAgg::new("top_kmh", AggSpec::Max(col("kmh"))),
+            ],
+        );
+    assert_cluster_equivalent_both_feeds("composite", &q, generous_watermark());
+}
+
+#[test]
+fn failure_replanning_mid_run_equivalence() {
+    assert_failure_equivalent(
+        "filter",
+        &Query::from("s").filter(col("speed").ge(lit(40.0))),
+        WatermarkStrategy::None,
+    );
+    assert_failure_equivalent(
+        "splittable",
+        &splittable_window_query(),
+        generous_watermark(),
+    );
+    assert_failure_equivalent(
+        "tumbling-avg",
+        &Query::from("s").window(
+            vec![("train", col("train"))],
+            WindowSpec::Tumbling {
+                size: 60 * MICROS_PER_SEC,
+            },
+            vec![
+                WindowAgg::new("n", AggSpec::Count),
+                WindowAgg::new("avg_speed", AggSpec::Avg(col("speed"))),
+            ],
+        ),
+        generous_watermark(),
+    );
+    assert_failure_equivalent("cep", &cep_query(), WatermarkStrategy::None);
+    assert_failure_equivalent(
+        "threshold",
+        &Query::from("s").window(
+            vec![("train", col("train"))],
+            WindowSpec::Threshold {
+                predicate: col("speed").gt(lit(56.0)),
+                min_count: 2,
+            },
+            vec![WindowAgg::new("n", AggSpec::Count)],
+        ),
+        WatermarkStrategy::None,
+    );
+}
+
+#[test]
+fn edge_preaggregation_cuts_measured_uplink_bytes() {
+    let q = splittable_window_query();
+    let wm = generous_watermark();
+    let (edge_recs, edge) = cluster_run(
+        &q,
+        PlacementStrategy::EdgeFirst,
+        Feed::InOrder,
+        wm.clone(),
+        None,
+    );
+    let (cloud_recs, cloud) =
+        cluster_run(&q, PlacementStrategy::CloudOnly, Feed::InOrder, wm, None);
+    assert_eq!(edge_recs, cloud_recs, "strategies agree on results");
+    assert!(edge.cluster.preaggregated);
+    assert!(!cloud.cluster.preaggregated);
+    assert!(
+        edge.cluster.uplink_bytes * 5 < cloud.cluster.uplink_bytes,
+        "edge pre-aggregation must cut measured uplink bytes >5x: edge {} vs cloud {}",
+        edge.cluster.uplink_bytes,
+        cloud.cluster.uplink_bytes
+    );
+    assert!(
+        edge.cluster.uplink_records < cloud.cluster.uplink_records,
+        "aggregated rows, not raw records, cross the uplink"
+    );
+    // Cloud-only ships everything over both hops; per-link accounting
+    // must show the raw stream on the sensor link in both strategies.
+    let topo_links = edge.cluster.links.len();
+    assert_eq!(topo_links, cloud.cluster.links.len());
+    assert!(edge.cluster.links.iter().any(|l| l.records == 600));
+    // Simulated transfer time tracks the byte difference.
+    let sim = |m: &ClusterMetrics| -> f64 { m.links.iter().map(|l| l.simulated_transfer_ms).sum() };
+    assert!(sim(&edge.cluster) < sim(&cloud.cluster));
+
+    // Uplink classification happens at send time: after a mid-run edge
+    // failure re-attaches the sensors to the cloud, the pre-failure
+    // onboard-bus traffic must not be re-labelled as uplink traffic —
+    // a failure run can never report more uplink bytes than shipping
+    // the whole raw stream cloud-only.
+    let (mut env, sensor) = fleet_env(Feed::InOrder, generous_watermark());
+    let failed = edge_node(&env, sensor);
+    let (mut sink, _) = CollectingSink::new();
+    let failure_report = env
+        .run_placed_with_failure(
+            &q,
+            PlacementStrategy::EdgeFirst,
+            FailureInjection {
+                node: failed,
+                after_batches: 3,
+            },
+            &mut sink,
+        )
+        .expect("failure run");
+    assert!(
+        failure_report.cluster.uplink_bytes < cloud.cluster.uplink_bytes,
+        "failure-run uplink {} must stay below cloud-only {} (bus bytes \
+         must not be re-labelled as uplink after re-attachment)",
+        failure_report.cluster.uplink_bytes,
+        cloud.cluster.uplink_bytes
+    );
+}
+
+#[test]
+fn multi_source_placements_report_cloud_for_the_shared_tail() {
+    // With several pipelines fanning into one stateful tail, the tail
+    // runs once at the cloud; the reported placements must say so even
+    // though `place()` would have put the (non-splittable) window on
+    // each train's edge box.
+    let q = Query::from("s").filter(col("load").ge(lit(0))).window(
+        vec![("train", col("train"))],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![WindowAgg::new("avg_speed", AggSpec::Avg(col("speed")))],
+    );
+    let (topo, sensors) = Topology::train_fleet(2);
+    let cloud = topo.cloud().unwrap();
+    let mut env = ClusterEnvironment::new(topo);
+    for sensor in &sensors {
+        env.add_source("s", *sensor, source(Feed::InOrder), generous_watermark());
+    }
+    let (mut sink, _) = CollectingSink::new();
+    let report = env
+        .run_placed(&q, PlacementStrategy::EdgeFirst, &mut sink)
+        .expect("multi-source run");
+    for pl in &report.placements {
+        // stages: [source, filter, window, sink] — the window (first
+        // stateful op) and sink must be reported at the cloud.
+        assert_eq!(pl.stages.len(), 4);
+        assert_eq!(pl.stages[2], cloud, "stateful tail runs at the cloud");
+        assert_eq!(pl.stages[3], cloud);
+        assert_ne!(pl.stages[0], cloud, "source stays on its sensor");
+    }
+}
+
+#[test]
+fn multi_source_fleet_merges_at_cloud() {
+    // Three trains, each hosting its own slice of the stream on its own
+    // sensors: per-edge partial windows must merge at the cloud into
+    // exactly the rows a single-process run over the union produces.
+    let q = splittable_window_query();
+    let (reference, ref_metrics) = sync_reference(&q, Feed::InOrder, generous_watermark());
+
+    let (topo, sensors) = Topology::train_fleet(3);
+    let mut env = ClusterEnvironment::with_config(
+        topo,
+        ClusterConfig {
+            buffer_size: 32,
+            watermark_every: 2,
+            ..ClusterConfig::default()
+        },
+    );
+    for (t, sensor) in sensors.iter().enumerate() {
+        let slice: Vec<Record> = records()
+            .into_iter()
+            .filter(|r| {
+                let train = r.get(1).unwrap().as_int().unwrap();
+                (train as usize) % sensors.len() == t
+            })
+            .collect();
+        assert!(!slice.is_empty());
+        env.add_source(
+            "s",
+            *sensor,
+            Box::new(VecSource::new(schema(), slice)),
+            generous_watermark(),
+        );
+    }
+    let (mut sink, got) = CollectingSink::new();
+    let report = env
+        .run_placed(&q, PlacementStrategy::EdgeFirst, &mut sink)
+        .expect("multi-source run");
+    let mut recs = got.records();
+    normalize_records(&mut recs);
+    assert_eq!(recs, reference, "fan-in merge matches the union reference");
+    assert_eq!(report.metrics.records_in, ref_metrics.records_in);
+    assert_eq!(report.metrics.records_out, ref_metrics.records_out);
+    assert!(report.cluster.preaggregated);
+    assert_eq!(report.placements.len(), 3);
+}
+
+#[test]
+fn meos_sequence_append_crosses_the_wire() {
+    // A trajectory-assembling window: the MEOS sequence payload must
+    // survive the wire via the plugin codec, and per-edge sub-sequences
+    // must append into the same sequences a single-process run builds.
+    use meos::geo::Point;
+    use nebulameos::values::as_tpoint;
+    use nebulameos::TrajectoryAgg;
+
+    let schema = Schema::of(&[
+        ("ts", DataType::Timestamp),
+        ("train_id", DataType::Int),
+        ("pos", DataType::Point),
+    ]);
+    let records: Vec<Record> = (0..240)
+        .map(|i| {
+            Record::new(vec![
+                Value::Timestamp(i * MICROS_PER_SEC),
+                Value::Int(i % 2),
+                Value::Point {
+                    x: 4.30 + i as f64 * 0.001,
+                    y: 50.85,
+                },
+            ])
+        })
+        .collect();
+    let q = Query::from("fleet").window(
+        vec![("train", col("train_id"))],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![
+            WindowAgg::new(
+                "traj",
+                AggSpec::Custom(Arc::new(TrajectoryAgg::new("pos", "ts"))),
+            ),
+            WindowAgg::new("n", AggSpec::Count),
+        ],
+    );
+
+    let mut sync_env = StreamEnvironment::with_config(EnvConfig {
+        buffer_size: 32,
+        watermark_every: 2,
+        ..EnvConfig::default()
+    });
+    sync_env.add_source(
+        "fleet",
+        Box::new(VecSource::new(schema.clone(), records.clone())),
+        generous_watermark(),
+    );
+    let (mut sink, sync_got) = CollectingSink::new();
+    sync_env.run(&q, &mut sink).expect("sync run");
+
+    let (topo, sensors) = Topology::train_fleet(2);
+    let mut env = ClusterEnvironment::with_config(
+        topo,
+        ClusterConfig {
+            buffer_size: 32,
+            watermark_every: 2,
+            ..ClusterConfig::default()
+        },
+    );
+    nebulameos::register_meos_codecs(env.wire_registry_mut());
+    // Each train's samples stream from its own sensors.
+    for (t, sensor) in sensors.iter().enumerate() {
+        let slice: Vec<Record> = records
+            .iter()
+            .filter(|r| r.get(1).unwrap().as_int().unwrap() as usize % 2 == t)
+            .cloned()
+            .collect();
+        env.add_source(
+            "fleet",
+            *sensor,
+            Box::new(VecSource::new(schema.clone(), slice)),
+            generous_watermark(),
+        );
+    }
+    let (mut sink, got) = CollectingSink::new();
+    let report = env
+        .run_placed(&q, PlacementStrategy::EdgeFirst, &mut sink)
+        .expect("cluster run with MEOS payloads");
+    assert!(
+        report.cluster.preaggregated,
+        "sequence-append split engaged"
+    );
+
+    // Opaque columns tie under the canonical sort key; compare via the
+    // (train, window) identity instead of full record order.
+    let index = |recs: Vec<Record>| -> std::collections::HashMap<(i64, i64), Record> {
+        recs.into_iter()
+            .map(|r| {
+                let train = r.get(0).unwrap().as_int().unwrap();
+                let start = r.get(1).unwrap().as_timestamp().unwrap();
+                ((train, start), r)
+            })
+            .collect()
+    };
+    let sync_rows = index(sync_got.records());
+    let cluster_rows = index(got.records());
+    assert_eq!(sync_rows.len(), cluster_rows.len());
+    assert!(!sync_rows.is_empty());
+    for (key, sync_row) in &sync_rows {
+        let cluster_row = cluster_rows.get(key).unwrap_or_else(|| panic!("{key:?}"));
+        assert_eq!(cluster_row.get(4), sync_row.get(4), "{key:?}: count");
+        let a = as_tpoint(sync_row.get(3).unwrap()).unwrap();
+        let b = as_tpoint(cluster_row.get(3).unwrap()).unwrap();
+        assert_eq!(a.num_instants(), b.num_instants(), "{key:?}");
+        assert_eq!(a.start_timestamp(), b.start_timestamp(), "{key:?}");
+        assert_eq!(a.end_timestamp(), b.end_timestamp(), "{key:?}");
+        let pa: Point = a.start_value();
+        let pb: Point = b.start_value();
+        assert_eq!((pa.x, pa.y), (pb.x, pb.y), "{key:?}");
+    }
+}
+
+#[test]
+fn plan_error_keeps_sources_hosted() {
+    let (mut env, _) = fleet_env(Feed::InOrder, WatermarkStrategy::None);
+    let bad = Query::from("s").filter(col("no_such_column").gt(lit(1.0)));
+    let (mut sink, _) = CollectingSink::new();
+    assert!(env
+        .run_placed(&bad, PlacementStrategy::EdgeFirst, &mut sink)
+        .is_err());
+    // The hosted source survived; a good query still runs.
+    let good = Query::from("s").filter(col("speed").ge(lit(0.0)));
+    let (mut sink, got) = CollectingSink::new();
+    let report = env
+        .run_placed(&good, PlacementStrategy::EdgeFirst, &mut sink)
+        .expect("source survived the plan error");
+    assert_eq!(report.metrics.records_in, 600);
+    assert_eq!(got.len(), 600);
+}
+
+/// The analytic estimator (`measure_stage_bytes` + `network_cost`) must
+/// reconcile with the bytes actually measured on the wire. Stated
+/// tolerance: measured bytes may exceed the estimate by at most 15%
+/// (frame headers, per-record field count + null bitmap, control
+/// frames) and never undercut it by more than 5%.
+#[test]
+fn analytic_network_cost_reconciles_with_measured_wire_bytes() {
+    let q = Query::from("s").filter(col("speed").ge(lit(40.0))).window(
+        vec![("train", col("train"))],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![
+            WindowAgg::new("n", AggSpec::Count),
+            WindowAgg::new("max_speed", AggSpec::Max(col("speed"))),
+        ],
+    );
+    let reg = FunctionRegistry::with_builtins();
+    let stages = measure_stage_bytes(Box::new(VecSource::new(schema(), records())), &q, &reg, 32)
+        .expect("stage measurement");
+
+    for strategy in [PlacementStrategy::CloudOnly, PlacementStrategy::EdgeFirst] {
+        let (topo, sensors) = Topology::train_fleet(3);
+        let placement = place(&q, &topo, sensors[0], strategy).expect("placement");
+        let analytic = network_cost(&topo, &placement, &stages).expect("network cost");
+
+        let mut env = ClusterEnvironment::with_config(
+            topo,
+            ClusterConfig {
+                buffer_size: 32,
+                watermark_every: 2,
+                // Pre-aggregation changes the executed placement; turn it
+                // off so measured traffic matches the analytic stage plan.
+                preaggregate: false,
+                ..ClusterConfig::default()
+            },
+        );
+        env.add_source(
+            "s",
+            sensors[0],
+            source(Feed::InOrder),
+            WatermarkStrategy::None,
+        );
+        let (mut sink, _) = CollectingSink::new();
+        let report = env
+            .run_placed(&q, strategy, &mut sink)
+            .expect("cluster run");
+
+        for (i, link) in report.cluster.links.iter().enumerate() {
+            let estimate = analytic.bytes_per_link[i];
+            let measured = link.bytes;
+            if estimate == 0 {
+                // Only control frames (Eos) may cross an "idle" link.
+                assert!(
+                    measured < 64,
+                    "{strategy:?} link {i}: {measured} bytes on a zero-estimate link"
+                );
+                continue;
+            }
+            let ratio = measured as f64 / estimate as f64;
+            assert!(
+                (0.95..=1.15).contains(&ratio),
+                "{strategy:?} link {i}: measured {measured} vs estimate {estimate} \
+                 (ratio {ratio:.3}) outside the stated 15% tolerance"
+            );
+        }
+        let uplink_ratio =
+            report.cluster.uplink_bytes as f64 / analytic.cloud_uplink_bytes.max(1) as f64;
+        assert!(
+            (0.95..=1.15).contains(&uplink_ratio),
+            "{strategy:?}: uplink measured {} vs estimate {} (ratio {uplink_ratio:.3})",
+            report.cluster.uplink_bytes,
+            analytic.cloud_uplink_bytes
+        );
+    }
+}

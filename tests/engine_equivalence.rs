@@ -276,6 +276,30 @@ fn plugin_operator_equivalence() {
 }
 
 #[test]
+fn keyed_cep_then_keyless_window_equivalence() {
+    // A keyed CEP stage feeding a keyless global count: the keyed CEP
+    // suggests key routing, but the keyless window downstream must force
+    // Single routing or partitions would each emit their own count rows.
+    let pattern = Pattern::new(
+        "fast-slow",
+        vec![
+            PatternStep::new("fast", col("speed").gt(lit(60.0))),
+            PatternStep::new("slow", col("speed").lt(lit(10.0))),
+        ],
+        120 * MICROS_PER_SEC,
+    )
+    .keyed_by(col("train"));
+    let q = Query::from("s").cep(pattern).window(
+        vec![],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![WindowAgg::new("n", AggSpec::Count)],
+    );
+    assert_equivalent("cep+keyless", &q, Feed::InOrder, WatermarkStrategy::None);
+}
+
+#[test]
 fn composite_pipeline_equivalence() {
     // The common fleet-analytics shape: filter, derive, keyed window —
     // partition-key extraction must see through the safe prefix.

@@ -1,7 +1,9 @@
 //! Vendored stand-in for `crossbeam`: only the `channel::bounded`
 //! constructor the runtime uses, backed by `std::sync::mpsc::sync_channel`.
-//! The workspace uses it strictly single-producer/single-consumer, so the
-//! std channel is a faithful substitute.
+//! The workspace uses it single-consumer — single-producer between
+//! pipeline stages, multi-producer (cloned senders) into the cluster
+//! runtime's cloud inbox — both shapes `sync_channel` supports
+//! faithfully, including per-sender FIFO ordering.
 
 /// Bounded blocking channels (`crossbeam::channel` API subset).
 pub mod channel {
