@@ -1,0 +1,53 @@
+//! Stream-slicing bench: per-record window cost versus the sliding
+//! overlap factor `size/slide`.
+//!
+//! With per-window accumulation (the seed engine) every record updates
+//! `size/slide` accumulators, so throughput degrades linearly as the
+//! overlap grows. With stream slicing each record folds into exactly
+//! one `gcd(size, slide)`-wide slice and windows materialize by merging
+//! covering slices at watermark time — the Kelem/s column should stay
+//! roughly flat from overlap 1 through 64.
+//!
+//! Set `NEBULA_BENCH_QUICK=1` (CI) for a reduced workload.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nebula::prelude::*;
+use nebulameos_bench::{overlap_query, overlap_stream, OVERLAP_FACTORS};
+
+fn quick() -> bool {
+    std::env::var_os("NEBULA_BENCH_QUICK").is_some()
+}
+
+fn run(query: &Query, schema: SchemaRef, recs: Vec<Record>) -> u64 {
+    let mut env = StreamEnvironment::new();
+    env.add_source(
+        "s",
+        Box::new(VecSource::new(schema, recs)),
+        WatermarkStrategy::BoundedOutOfOrder {
+            ts_field: "ts".into(),
+            slack: 5 * MICROS_PER_SEC,
+        },
+    );
+    let (mut sink, _) = CountingSink::new();
+    env.run(query, &mut sink).expect("runs").records_out
+}
+
+fn bench_window_slicing(c: &mut Criterion) {
+    let n: i64 = if quick() { 12_000 } else { 60_000 };
+    let (schema, base) = overlap_stream(n);
+    let mut group = c.benchmark_group("window_slicing");
+    group.sample_size(if quick() { 2 } else { 10 });
+    group.throughput(Throughput::Elements(n as u64));
+
+    for overlap in OVERLAP_FACTORS {
+        let q = overlap_query(overlap);
+        group.bench_function(format!("overlap_{overlap}x"), |b| {
+            b.iter(|| run(&q, schema.clone(), base.clone()))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_slicing);
+criterion_main!(benches);

@@ -12,7 +12,7 @@
 //! ingest rate, per-event payloads sit in the same 76–118 B band, and
 //! the relative per-query cost ordering matches.
 
-use nebulameos_bench::{measure_all, Workload};
+use nebulameos_bench::{measure_all, measure_overlap_sweep, Workload, OVERLAP_WINDOW_S};
 
 fn main() {
     let release = cfg!(debug_assertions);
@@ -76,6 +76,28 @@ fn main() {
         if all_sustained { "yes" } else { "NO" }
     );
 
+    // Stream-slicing overlap sweep: per-record window cost must stay
+    // roughly flat as the sliding overlap factor grows (eager per-window
+    // accumulation would degrade linearly).
+    eprintln!("\nmeasuring stream-slicing overlap sweep ({OVERLAP_WINDOW_S} s window)...");
+    let sweep = measure_overlap_sweep(60_000);
+    println!(
+        "\n{:<22} | {:>9} | {:>12} | {:>12} | {:>10}",
+        "slicing overlap sweep", "slide (s)", "Ke/s", "ns/event", "rows out"
+    );
+    println!("{}", "-".repeat(78));
+    for p in &sweep {
+        println!(
+            "overlap {:>3}x{:<10} | {:>9} | {:>12.1} | {:>12.0} | {:>10}",
+            p.overlap,
+            "",
+            p.slide_s,
+            p.events_per_sec / 1e3,
+            p.ns_per_event,
+            p.records_out
+        );
+    }
+
     // Machine-readable companion for EXPERIMENTS.md.
     let json = serde_json::json!({
         "workload_events": events,
@@ -95,6 +117,14 @@ fn main() {
             "uplink_edge_bytes": r.uplink.edge_bytes,
             "uplink_cloud_bytes": r.uplink.cloud_bytes,
             "uplink_reduction": r.uplink.reduction(),
+        })).collect::<Vec<_>>(),
+        "slicing_overlap_sweep": sweep.iter().map(|p| serde_json::json!({
+            "overlap": p.overlap,
+            "window_s": OVERLAP_WINDOW_S,
+            "slide_s": p.slide_s,
+            "events_per_sec": p.events_per_sec,
+            "ns_per_event": p.ns_per_event,
+            "records_out": p.records_out,
         })).collect::<Vec<_>>(),
     });
     let out = std::path::Path::new("bench_results");

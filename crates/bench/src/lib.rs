@@ -229,6 +229,99 @@ pub fn keyed_window_query() -> Query {
     )
 }
 
+/// The sliding-window overlap factors (`size/slide`) the stream-slicing
+/// sweep measures: a 64 s window sliding by 64, 16, 4 and 1 s.
+pub const OVERLAP_FACTORS: [i64; 4] = [1, 4, 16, 64];
+
+/// Window length of the overlap sweep (seconds).
+pub const OVERLAP_WINDOW_S: i64 = 64;
+
+/// A dense synthetic stream for the overlap sweep: `n` records at 100
+/// events per second of event time across 6 train keys — dense enough
+/// that each `gcd(size, slide)` slice aggregates many records, which is
+/// where shared slices beat eager per-window accumulation.
+pub fn overlap_stream(n: i64) -> (SchemaRef, Vec<Record>) {
+    let schema = Schema::of(&[
+        ("ts", DataType::Timestamp),
+        ("train", DataType::Int),
+        ("v", DataType::Float),
+    ]);
+    let records = (0..n)
+        .map(|i| {
+            Record::new(vec![
+                Value::Timestamp(i * 10_000), // 100 events / simulated second
+                Value::Int(i % 6),
+                Value::Float(((i * 7) % 600) as f64),
+            ])
+        })
+        .collect();
+    (schema, records)
+}
+
+/// The sweep's keyed sliding-window query at one overlap factor.
+pub fn overlap_query(overlap: i64) -> Query {
+    Query::from("s").window(
+        vec![("train", col("train"))],
+        WindowSpec::Sliding {
+            size: OVERLAP_WINDOW_S * MICROS_PER_SEC,
+            slide: OVERLAP_WINDOW_S / overlap * MICROS_PER_SEC,
+        },
+        vec![
+            WindowAgg::new("n", AggSpec::Count),
+            WindowAgg::new("avg_v", AggSpec::Avg(col("v"))),
+            WindowAgg::new("max_v", AggSpec::Max(col("v"))),
+        ],
+    )
+}
+
+/// One measured point of the stream-slicing overlap sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlapPoint {
+    /// `size/slide`.
+    pub overlap: i64,
+    /// Slide step in seconds.
+    pub slide_s: i64,
+    /// Sustained ingest, events per second.
+    pub events_per_sec: f64,
+    /// Amortized cost per record in nanoseconds.
+    pub ns_per_event: f64,
+    /// Window rows emitted (grows with the overlap factor by design).
+    pub records_out: u64,
+}
+
+/// Runs the overlap sweep over `n` records: with stream slicing each
+/// record folds into exactly one slice whatever the overlap, so
+/// `ns_per_event` stays roughly flat as `size/slide` grows from 1 to 64
+/// — where eager per-window accumulation degrades linearly.
+pub fn measure_overlap_sweep(n: i64) -> Vec<OverlapPoint> {
+    let (schema, records) = overlap_stream(n);
+    OVERLAP_FACTORS
+        .iter()
+        .map(|&overlap| {
+            let mut env = StreamEnvironment::new();
+            env.add_source(
+                "s",
+                Box::new(VecSource::new(schema.clone(), records.clone())),
+                WatermarkStrategy::BoundedOutOfOrder {
+                    ts_field: "ts".into(),
+                    slack: 5 * MICROS_PER_SEC,
+                },
+            );
+            let (mut sink, _) = CountingSink::new();
+            let m = env
+                .run(&overlap_query(overlap), &mut sink)
+                .expect("sweep query runs");
+            OverlapPoint {
+                overlap,
+                slide_s: OVERLAP_WINDOW_S / overlap,
+                events_per_sec: m.events_per_sec(),
+                ns_per_event: m.wall.as_nanos() as f64 / m.records_in.max(1) as f64,
+                records_out: m.records_out,
+            }
+        })
+        .collect()
+}
+
 /// A measured row next to the paper's reported numbers.
 #[derive(Debug, Clone)]
 pub struct MeasuredRow {

@@ -13,29 +13,35 @@ use meos::temporal::{Interp, TInstant, TSequence, TempValue, Temporal};
 use meos::time::TimestampTz;
 use nebula::prelude::{
     Aggregator, AggregatorFactory, BoundExpr, DataType, Expr, FunctionRegistry, NebulaError,
-    PartialMergeFn, Record, Value,
+    Record, Schema, Value,
 };
-use std::sync::Arc;
 
-/// Appends two per-edge sub-sequences of the same window into one —
-/// MEOS sequence-append, the splittable form of [`TrajectoryAgg`] and
-/// [`TFloatSeqAgg`] used by cluster edge pre-aggregation: instants from
-/// both partials are pooled, sorted by timestamp (first sample wins on
-/// duplicates, like the aggregators themselves) and rebuilt into one
-/// sequence.
-fn append_sequences<V: TempValue>(
-    a: &Temporal<V>,
-    b: &Temporal<V>,
+/// Collects a temporal value's (timestamp, sample) pairs — how a
+/// partial sequence snapshot folds back into an accumulator's sample
+/// pool (MEOS sequence-append: per-slice or per-edge sub-sequences
+/// concatenate, duplicates resolved by "first sample wins" at finish).
+fn collect_samples<V: TempValue>(t: &Temporal<V>, out: &mut Vec<(i64, V)>) {
+    for seq in t.to_sequences() {
+        out.extend(
+            seq.instants()
+                .iter()
+                .map(|i| (i.t.micros(), i.value.clone())),
+        );
+    }
+}
+
+/// Builds the canonical sequence from pooled samples: sorted by
+/// timestamp, first sample winning on duplicates.
+fn build_sequence<V: TempValue>(
+    mut samples: Vec<(i64, V)>,
     interp: Interp,
 ) -> nebula::Result<Temporal<V>> {
-    let mut instants: Vec<TInstant<V>> = Vec::with_capacity(a.num_instants() + b.num_instants());
-    for t in [a, b] {
-        for seq in t.to_sequences() {
-            instants.extend(seq.instants().iter().cloned());
-        }
-    }
-    instants.sort_by_key(|i| i.t);
-    instants.dedup_by_key(|i| i.t);
+    samples.sort_by_key(|(t, _)| *t);
+    samples.dedup_by_key(|(t, _)| *t);
+    let instants: Vec<TInstant<V>> = samples
+        .into_iter()
+        .map(|(t, v)| TInstant::new(v, TimestampTz::from_micros(t)))
+        .collect();
     let seq = TSequence::new(instants, true, true, interp)
         .map_err(|e| NebulaError::Eval(e.to_string()))?;
     Ok(Temporal::Sequence(seq))
@@ -95,18 +101,16 @@ impl AggregatorFactory for TrajectoryAgg {
         }))
     }
 
-    fn partial_merge(&self) -> Option<Arc<dyn PartialMergeFn>> {
-        Some(Arc::new(TPointAppend))
+    fn splittable(&self) -> bool {
+        true
     }
-}
 
-/// Sequence-append merge for per-edge trajectory partials.
-struct TPointAppend;
-
-impl PartialMergeFn for TPointAppend {
-    fn merge(&self, acc: Value, next: &Value) -> nebula::Result<Value> {
-        let merged = append_sequences(as_tpoint(&acc)?, as_tpoint(next)?, Interp::Linear)?;
-        Ok(tpoint_value(merged))
+    fn partial_types(
+        &self,
+        _input: &Schema,
+        _registry: &FunctionRegistry,
+    ) -> nebula::Result<Option<Vec<DataType>>> {
+        Ok(Some(vec![DataType::Opaque]))
     }
 }
 
@@ -126,20 +130,53 @@ impl Aggregator for TrajectoryAccum {
         Ok(())
     }
 
+    fn partial(&self) -> nebula::Result<Vec<Value>> {
+        if self.samples.is_empty() {
+            return Ok(vec![Value::Null]);
+        }
+        Ok(vec![tpoint_value(build_sequence(
+            self.samples.clone(),
+            Interp::Linear,
+        )?)])
+    }
+
+    fn merge_partial(&mut self, partial: &[Value]) -> nebula::Result<()> {
+        match partial.first() {
+            None | Some(Value::Null) => Ok(()),
+            Some(v) => {
+                collect_samples(as_tpoint(v)?, &mut self.samples);
+                Ok(())
+            }
+        }
+    }
+
+    /// Slice-to-window materialization pools the other accumulator's raw
+    /// samples directly — building (and immediately flattening) a
+    /// validated sequence per covering slice would erase the shared-slice
+    /// savings for sequence aggregates.
+    fn merge(&mut self, other: &dyn Aggregator) -> nebula::Result<()> {
+        match other
+            .as_any()
+            .and_then(|a| a.downcast_ref::<TrajectoryAccum>())
+        {
+            Some(o) => {
+                self.samples.extend(o.samples.iter().cloned());
+                Ok(())
+            }
+            None => self.merge_partial(&other.partial()?),
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn finish(&mut self) -> nebula::Result<Value> {
         if self.samples.is_empty() {
             return Ok(Value::Null);
         }
-        self.samples.sort_by_key(|(t, _)| *t);
-        self.samples.dedup_by_key(|(t, _)| *t);
-        let instants: Vec<TInstant<Point>> = self
-            .samples
-            .drain(..)
-            .map(|(t, p)| TInstant::new(p, TimestampTz::from_micros(t)))
-            .collect();
-        let seq = TSequence::new(instants, true, true, Interp::Linear)
-            .map_err(|e| NebulaError::Eval(e.to_string()))?;
-        Ok(tpoint_value(Temporal::Sequence(seq)))
+        let samples = std::mem::take(&mut self.samples);
+        Ok(tpoint_value(build_sequence(samples, Interp::Linear)?))
     }
 }
 
@@ -197,22 +234,16 @@ impl AggregatorFactory for TFloatSeqAgg {
         }))
     }
 
-    fn partial_merge(&self) -> Option<Arc<dyn PartialMergeFn>> {
-        Some(Arc::new(TFloatAppend {
-            interp: self.interp,
-        }))
+    fn splittable(&self) -> bool {
+        true
     }
-}
 
-/// Sequence-append merge for per-edge sampled-expression partials.
-struct TFloatAppend {
-    interp: Interp,
-}
-
-impl PartialMergeFn for TFloatAppend {
-    fn merge(&self, acc: Value, next: &Value) -> nebula::Result<Value> {
-        let merged = append_sequences(as_tfloat(&acc)?, as_tfloat(next)?, self.interp)?;
-        Ok(tfloat_value(merged))
+    fn partial_types(
+        &self,
+        _input: &Schema,
+        _registry: &FunctionRegistry,
+    ) -> nebula::Result<Option<Vec<DataType>>> {
+        Ok(Some(vec![DataType::Opaque]))
     }
 }
 
@@ -233,20 +264,47 @@ impl Aggregator for TFloatAccum {
         Ok(())
     }
 
+    fn partial(&self) -> nebula::Result<Vec<Value>> {
+        if self.samples.is_empty() {
+            return Ok(vec![Value::Null]);
+        }
+        Ok(vec![tfloat_value(build_sequence(
+            self.samples.clone(),
+            self.interp,
+        )?)])
+    }
+
+    fn merge_partial(&mut self, partial: &[Value]) -> nebula::Result<()> {
+        match partial.first() {
+            None | Some(Value::Null) => Ok(()),
+            Some(v) => {
+                collect_samples(as_tfloat(v)?, &mut self.samples);
+                Ok(())
+            }
+        }
+    }
+
+    /// Same sample-pooling fast path as [`TrajectoryAccum`].
+    fn merge(&mut self, other: &dyn Aggregator) -> nebula::Result<()> {
+        match other.as_any().and_then(|a| a.downcast_ref::<TFloatAccum>()) {
+            Some(o) => {
+                self.samples.extend(o.samples.iter().cloned());
+                Ok(())
+            }
+            None => self.merge_partial(&other.partial()?),
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn finish(&mut self) -> nebula::Result<Value> {
         if self.samples.is_empty() {
             return Ok(Value::Null);
         }
-        self.samples.sort_by_key(|(t, _)| *t);
-        self.samples.dedup_by_key(|(t, _)| *t);
-        let instants: Vec<TInstant<f64>> = self
-            .samples
-            .drain(..)
-            .map(|(t, v)| TInstant::new(v, TimestampTz::from_micros(t)))
-            .collect();
-        let seq = TSequence::new(instants, true, true, self.interp)
-            .map_err(|e| NebulaError::Eval(e.to_string()))?;
-        Ok(tfloat_value(Temporal::Sequence(seq)))
+        let samples = std::mem::take(&mut self.samples);
+        Ok(tfloat_value(build_sequence(samples, self.interp)?))
     }
 }
 
@@ -355,6 +413,60 @@ mod tests {
             assert!(tp.start_timestamp().micros() >= start);
             assert!(tp.end_timestamp().micros() < end);
         }
+    }
+
+    #[test]
+    fn trajectory_partials_merge_like_one_accumulator() {
+        // Sequence-append: two half-streams snapshot into partials that
+        // merge into the same trajectory a single accumulator builds.
+        let reg = meos_registry();
+        let factory = TrajectoryAgg::new("pos", "ts");
+        let mut whole = factory.create(&schema(), &reg).unwrap();
+        let mut left = factory.create(&schema(), &reg).unwrap();
+        let mut right = factory.create(&schema(), &reg).unwrap();
+        for i in 0..10 {
+            let r = rec(i, 1, 4.30 + i as f64 * 0.01, 0.0);
+            whole.update(&r).unwrap();
+            if i % 2 == 0 { &mut left } else { &mut right }
+                .update(&r)
+                .unwrap();
+        }
+        let mut merged = factory.create(&schema(), &reg).unwrap();
+        merged.merge_partial(&left.partial().unwrap()).unwrap();
+        merged.merge_partial(&right.partial().unwrap()).unwrap();
+        let a = as_tpoint(&merged.finish().unwrap()).unwrap().clone();
+        let b = as_tpoint(&whole.finish().unwrap()).unwrap().clone();
+        assert_eq!(a.num_instants(), b.num_instants());
+        assert_eq!(a.start_timestamp(), b.start_timestamp());
+        assert_eq!(a.end_timestamp(), b.end_timestamp());
+        assert_eq!(a.start_value().x, b.start_value().x);
+        assert_eq!(a.end_value().x, b.end_value().x);
+        assert!(factory.splittable(), "factory opts into the split");
+        assert_eq!(
+            factory.partial_types(&schema(), &reg).unwrap(),
+            Some(vec![DataType::Opaque])
+        );
+    }
+
+    #[test]
+    fn tfloat_partials_merge_and_empty_partials_are_noops() {
+        let reg = meos_registry();
+        let factory = TFloatSeqAgg::linear(col("speed_kmh"), "ts");
+        let mut merged = factory.create(&schema(), &reg).unwrap();
+        // An empty accumulator snapshots as a null partial; merging it
+        // must not disturb the other side.
+        let empty = factory.create(&schema(), &reg).unwrap();
+        merged.merge_partial(&empty.partial().unwrap()).unwrap();
+        let mut half = factory.create(&schema(), &reg).unwrap();
+        half.update(&rec(0, 1, 4.3, 10.0)).unwrap();
+        half.update(&rec(5, 1, 4.3, 20.0)).unwrap();
+        merged.merge_partial(&half.partial().unwrap()).unwrap();
+        let v = merged.finish().unwrap();
+        let tf = as_tfloat(&v).unwrap();
+        assert_eq!(tf.num_instants(), 2);
+        assert_eq!(tf.start_value(), 10.0);
+        assert_eq!(tf.end_value(), 20.0);
+        assert!(factory.splittable());
     }
 
     #[test]

@@ -34,12 +34,15 @@
 //!
 //! Under [`PlacementStrategy::EdgeFirst`], a query whose first stateful
 //! operator is a splittable time window (see [`crate::preagg`]) is
-//! split: the window runs *partially* on each edge node and a
-//! [`WindowMergeOp`] merges the per-edge partials at the cloud. Only
-//! aggregated rows cross the uplink — the measured
-//! [`ClusterMetrics::uplink_bytes`] reduction versus
-//! [`PlacementStrategy::CloudOnly`] is the demonstration's headline
-//! number.
+//! split: each edge runs a [`WindowPartialOp`] aggregating records into
+//! shared `gcd(size, slide)`-wide slices and ships **one partial row
+//! per slice** — not one per overlapping window — and a
+//! [`WindowMergeOp`] folds the per-edge slice partials at the cloud and
+//! materializes finished windows. Only aggregated rows cross the
+//! uplink, and sliding windows stop re-shipping the content their
+//! overlaps share — the measured [`ClusterMetrics::uplink_bytes`]
+//! reduction versus [`PlacementStrategy::CloudOnly`] is the
+//! demonstration's headline number.
 //!
 //! ## Failure re-planning
 //!
@@ -56,8 +59,8 @@
 use crate::error::{NebulaError, Result};
 use crate::expr::{FunctionRegistry, Plugin};
 use crate::metrics::{Histogram, QueryMetrics};
-use crate::ops::Operator;
-use crate::preagg::{split_window, WindowMergeOp};
+use crate::ops::{chain_late_drops, Operator};
+use crate::preagg::{split_window, WindowMergeOp, WindowPartialOp};
 use crate::query::{compile_ops, LogicalOp, Query};
 use crate::record::{RecordBuffer, StreamMessage};
 use crate::runtime::resolve_ts_col;
@@ -366,32 +369,55 @@ impl ClusterEnvironment {
         }
 
         // Compile per-pipeline chains (one operator instance set each).
+        // A split window compiles as the stateless prefix plus an edge
+        // [`WindowPartialOp`] shipping one partial row per slice.
         let mut pipe_chains = Vec::with_capacity(n_pipes);
         let mut pipe_out_schema = schema.clone();
+        let mut pre_window_schema = schema.clone();
         for _ in 0..n_pipes {
+            let prefix_end = split.as_ref().map_or(pipe_op_end, |sw| sw.window_idx);
             let plan = compile_ops(
-                &ops[..pipe_op_end],
+                &ops[..prefix_end],
                 query.ts_field(),
                 schema.clone(),
                 &self.registry,
             )?;
-            pipe_out_schema = plan.output_schema.clone();
-            pipe_chains.push(plan.operators);
+            let mut operators = plan.operators;
+            pre_window_schema = plan.output_schema.clone();
+            pipe_out_schema = plan.output_schema;
+            if let Some(sw) = &split {
+                let partial = WindowPartialOp::new(
+                    query.ts_field(),
+                    &sw.keys,
+                    sw.spec.clone(),
+                    sw.aggs.clone(),
+                    pre_window_schema.clone(),
+                    &self.registry,
+                )?;
+                pipe_out_schema = partial.output_schema();
+                operators.push(Box::new(partial));
+            }
+            pipe_chains.push(operators);
         }
         // Compile the shared cloud tail once.
         let mut cloud_ops: Vec<Box<dyn Operator>> = Vec::new();
         match shared {
             SharedTail::Merge => {
                 let sw = split.as_ref().expect("merge implies split");
-                cloud_ops.push(Box::new(WindowMergeOp::new(
-                    pipe_out_schema.clone(),
-                    sw.key_count,
-                    sw.merges.clone(),
-                )?));
+                let merge = WindowMergeOp::new(
+                    query.ts_field(),
+                    &sw.keys,
+                    sw.spec.clone(),
+                    sw.aggs.clone(),
+                    pre_window_schema.clone(),
+                    &self.registry,
+                )?;
+                let merge_out = merge.output_schema();
+                cloud_ops.push(Box::new(merge));
                 let suffix = compile_ops(
                     &ops[pipe_op_end..],
                     query.ts_field(),
-                    pipe_out_schema.clone(),
+                    merge_out,
                     &self.registry,
                 )?;
                 cloud_ops.extend(suffix.operators);
@@ -551,7 +577,12 @@ impl ClusterEnvironment {
         let mut metrics = QueryMetrics::default();
         for pipe in &pipelines {
             metrics.merge(&pipe.pump.stats);
+            metrics.late_drops += chain_late_drops(&pipe.pump.ops);
+            for (_, ops) in &pipe.sites {
+                metrics.late_drops += chain_late_drops(ops);
+            }
         }
+        metrics.late_drops += chain_late_drops(&cloud_state.ops);
         metrics.records_out = merged.len() as u64;
         metrics.bytes_out = merged.est_bytes() as u64;
         metrics.latency.merge(&cloud_state.latency);

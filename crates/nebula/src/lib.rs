@@ -10,9 +10,11 @@
 //! - **An expression framework with runtime function registration** —
 //!   the plugin mechanism that lets extensions such as MEOS surface new
 //!   operations inside queries without engine changes ([`expr`]).
-//! - **Event-time windowing** — tumbling, sliding and NebulaStream's
-//!   *threshold* windows, closed by watermarks under bounded
-//!   out-of-orderness ([`window`], [`ops`]).
+//! - **Event-time windowing by stream slicing** — tumbling, sliding and
+//!   NebulaStream's *threshold* windows, closed by watermarks under
+//!   bounded out-of-orderness; overlapping sliding windows share
+//!   `gcd(size, slide)`-wide slice aggregates, so per-record cost stays
+//!   O(1) however large the overlap ([`window`], [`ops`]).
 //! - **Complex event processing** — keyed sequence patterns with a time
 //!   bound ([`ops::Pattern`]).
 //! - **A declarative query builder** compiled into physical operator
@@ -96,7 +98,7 @@ pub mod prelude {
         record_sort_key, CepOp, FilterOp, FlatMapOp, GroupKey, MapOp, Operator, OperatorFactory,
         Pattern, PatternStep, WindowOp,
     };
-    pub use crate::preagg::{split_window, splittable, MergeKind, SplitWindow, WindowMergeOp};
+    pub use crate::preagg::{split_window, SplitWindow, WindowMergeOp, WindowPartialOp};
     pub use crate::query::{compile, LogicalOp, PartitionScheme, Query};
     pub use crate::record::{Record, RecordBuffer, StreamMessage};
     pub use crate::runtime::{EnvConfig, StreamEnvironment};
@@ -115,7 +117,7 @@ pub mod prelude {
     };
     pub use crate::value::{DataType, DurationUs, EventTime, OpaqueValue, Value, MICROS_PER_SEC};
     pub use crate::window::{
-        AggSpec, Aggregator, AggregatorFactory, PartialMergeFn, WindowAgg, WindowSpec,
+        AggSpec, Aggregator, AggregatorFactory, SliceLayout, WindowAgg, WindowSpec,
     };
     pub use crate::wire::{decode_frame, encode_frame, Frame, OpaqueWireCodec, WireRegistry};
 }

@@ -19,6 +19,10 @@ pub struct QueryMetrics {
     pub watermarks: u64,
     /// Source batches processed.
     pub batches: u64,
+    /// Records dropped as late: they arrived after the watermark had
+    /// closed every window that could have held them. Each record
+    /// counts at most once, however many of its windows were closed.
+    pub late_drops: u64,
     /// Wall-clock execution time.
     pub wall: Duration,
     /// Per-buffer processing latency samples (µs from ingest to sink).
@@ -83,6 +87,7 @@ impl QueryMetrics {
         self.bytes_out += other.bytes_out;
         self.watermarks += other.watermarks;
         self.batches += other.batches;
+        self.late_drops += other.late_drops;
         self.wall = self.wall.max(other.wall);
         self.latency.merge(&other.latency);
     }
@@ -220,6 +225,7 @@ mod tests {
             bytes_out: 40,
             watermarks: 1,
             batches: 2,
+            late_drops: 1,
             wall: Duration::from_secs(3),
             ..QueryMetrics::default()
         };
@@ -231,6 +237,7 @@ mod tests {
             bytes_out: 60,
             watermarks: 2,
             batches: 3,
+            late_drops: 2,
             wall: Duration::from_secs(2),
             ..QueryMetrics::default()
         };
@@ -243,6 +250,7 @@ mod tests {
         assert_eq!(a.bytes_out, 100);
         assert_eq!(a.watermarks, 3);
         assert_eq!(a.batches, 5);
+        assert_eq!(a.late_drops, 3);
         assert_eq!(a.wall, Duration::from_secs(3), "max, not sum");
         assert_eq!(a.latency.len(), 3);
         assert_eq!(a.latency.percentile(100.0), Some(9.0));

@@ -10,6 +10,7 @@ mod cep;
 mod window_op;
 
 pub use cep::{CepOp, Pattern, PatternStep};
+pub(crate) use window_op::SliceStore;
 pub use window_op::WindowOp;
 
 use crate::error::{NebulaError, Result};
@@ -42,6 +43,22 @@ pub trait Operator: Send {
         out.push(StreamMessage::Eos);
         Ok(())
     }
+
+    /// Records this operator dropped because they arrived after the
+    /// watermark had closed every window that could have held them
+    /// (stateless operators report 0). Each dropped record counts once,
+    /// however many windows it missed; the runtimes sum the chain into
+    /// [`crate::metrics::QueryMetrics::late_drops`].
+    fn late_drops(&self) -> u64 {
+        0
+    }
+}
+
+/// Sums the late-record drops of a compiled operator chain — how every
+/// runtime folds per-operator counters into
+/// [`crate::metrics::QueryMetrics::late_drops`].
+pub(crate) fn chain_late_drops(ops: &[Box<dyn Operator>]) -> u64 {
+    ops.iter().map(|o| o.late_drops()).sum()
 }
 
 /// Creates operators from an input schema — how plugins contribute whole
@@ -70,6 +87,17 @@ impl GroupKey {
             values.push(v);
         }
         Ok((GroupKey(bytes.into_boxed_slice()), values))
+    }
+
+    /// Builds a key directly from already-evaluated values — how the
+    /// cloud-side window merge regroups partial rows whose key columns
+    /// arrive materialized instead of as expressions.
+    pub fn from_values(values: &[Value]) -> GroupKey {
+        let mut bytes = Vec::with_capacity(values.len() * 9);
+        for v in values {
+            encode_value(v, &mut bytes);
+        }
+        GroupKey(bytes.into_boxed_slice())
     }
 
     /// The canonical byte encoding — the hash input for partitioning.

@@ -1,19 +1,310 @@
-//! The keyed window-aggregation operator.
+//! The keyed window-aggregation operator, evaluated by stream slicing.
+//!
+//! Time windows (tumbling/sliding) never keep one accumulator per
+//! (key, window): event time partitions into non-overlapping slices of
+//! `gcd(size, slide)` µs (see [`crate::window::SliceLayout`]) and every
+//! record folds into exactly one slice per key — O(1) amortized work per
+//! record regardless of how many windows overlap. A closed window
+//! materializes at watermark time by merging the accumulators of the
+//! slices it covers, which is sound because merging is part of the core
+//! [`Aggregator`] contract. The same `SliceStore` drives the cluster
+//! runtime's edge/cloud pre-aggregation split (see [`crate::preagg`]).
 
-use super::{GroupKey, Operator};
+use super::{record_sort_key, GroupKey, Operator};
 use crate::error::{NebulaError, Result};
 use crate::expr::{BoundExpr, Expr, FunctionRegistry};
 use crate::record::{Record, RecordBuffer, StreamMessage};
 use crate::schema::{Field, Schema, SchemaRef};
 use crate::value::{DataType, EventTime, Value};
-use crate::window::{Aggregator, WindowAgg, WindowSpec};
-use std::collections::HashMap;
+use crate::window::{Aggregator, SliceLayout, WindowAgg, WindowSpec};
+use std::collections::{BTreeMap, HashMap};
 
-/// Per-(key, window) accumulator state.
-struct WindowState {
+/// One slice's accumulators.
+struct SliceState {
+    aggs: Vec<Box<dyn Aggregator>>,
+    /// Absorbed anything since the last partial flush (edge mode).
+    dirty: bool,
+}
+
+/// One key's live slices (two-level layout: probing a slice during
+/// window materialization is a plain integer lookup, with no per-probe
+/// key-encoding clones on the hot path).
+struct KeySlices {
+    key_values: Vec<Value>,
+    slices: BTreeMap<EventTime, SliceState>,
+}
+
+/// Creates one accumulator set per slice (split out of `SliceStore` so
+/// slice creation can borrow the factory while the slice map is
+/// mutably borrowed).
+struct AggFactory {
+    ts_field: String,
+    specs: Vec<WindowAgg>,
+    input: SchemaRef,
+    registry: FunctionRegistry,
+}
+
+impl AggFactory {
+    fn make(&self) -> Result<Vec<Box<dyn Aggregator>>> {
+        self.specs
+            .iter()
+            .map(|a| a.spec.create(&self.input, &self.registry, &self.ts_field))
+            .collect()
+    }
+}
+
+/// Deterministic emission order: by the row's leading timestamp (window
+/// or slice start, right after the `key_count` key columns) then the
+/// canonical record encoding — same-start multi-key output must not
+/// depend on hash-map iteration order. The single definition serves
+/// watermark, end-of-stream and partial-flush emission alike.
+fn sort_emission(records: &mut [Record], key_count: usize) {
+    records.sort_by_cached_key(|r| {
+        let start = r.get(key_count).and_then(Value::as_timestamp).unwrap_or(0);
+        (start, record_sort_key(r))
+    });
+}
+
+/// Shared slice state machine: per-(key, slice) accumulators plus the
+/// window bookkeeping all three slicing operators need — [`WindowOp`]
+/// (records in, finished windows out), the edge partial operator
+/// (records in, per-slice partial rows out) and the cloud merge operator
+/// (partial rows in, finished windows out).
+pub(crate) struct SliceStore {
+    layout: SliceLayout,
+    /// Leading key-column count of emitted rows (for emission sorting).
+    key_count: usize,
+    factory: AggFactory,
+    keys: HashMap<GroupKey, KeySlices>,
+}
+
+impl SliceStore {
+    pub(crate) fn new(
+        layout: SliceLayout,
+        ts_field: &str,
+        key_count: usize,
+        specs: Vec<WindowAgg>,
+        input: SchemaRef,
+        registry: FunctionRegistry,
+    ) -> Self {
+        SliceStore {
+            layout,
+            key_count,
+            factory: AggFactory {
+                ts_field: ts_field.to_string(),
+                specs,
+                input,
+                registry,
+            },
+            keys: HashMap::new(),
+        }
+    }
+
+    /// The key's slice state, created on first touch.
+    fn slice_entry(
+        &mut self,
+        key: GroupKey,
+        key_values: &[Value],
+        slice: EventTime,
+    ) -> Result<&mut SliceState> {
+        let factory = &self.factory;
+        let ks = self.keys.entry(key).or_insert_with(|| KeySlices {
+            key_values: key_values.to_vec(),
+            slices: BTreeMap::new(),
+        });
+        Ok(match ks.slices.entry(slice) {
+            std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
+            std::collections::btree_map::Entry::Vacant(v) => v.insert(SliceState {
+                aggs: factory.make()?,
+                dirty: false,
+            }),
+        })
+    }
+
+    /// Folds one record into its key's slice.
+    pub(crate) fn update(
+        &mut self,
+        key: GroupKey,
+        key_values: &[Value],
+        slice: EventTime,
+        rec: &Record,
+    ) -> Result<()> {
+        let st = self.slice_entry(key, key_values, slice)?;
+        st.dirty = true;
+        for agg in &mut st.aggs {
+            agg.update(rec)?;
+        }
+        Ok(())
+    }
+
+    /// Triages one record by event time — THE late-record policy, shared
+    /// by the single-process window and the edge partial operator so the
+    /// two paths cannot diverge. A record in a `slide > size` coverage
+    /// gap belongs to no window and is ignored; a record whose every
+    /// window has closed is **late** (returns `true`, counted once by the
+    /// caller); otherwise it folds into its slice, where still-open
+    /// windows will pick it up.
+    pub(crate) fn absorb(
+        &mut self,
+        key_exprs: &[BoundExpr],
+        rec: &Record,
+        ts: EventTime,
+        last_watermark: EventTime,
+    ) -> Result<bool> {
+        match self.layout.latest_close(ts) {
+            None => Ok(false),
+            Some(close) if close <= last_watermark => Ok(true),
+            Some(_) => {
+                let (key, key_values) = GroupKey::evaluate(key_exprs, rec)?;
+                self.update(key, &key_values, self.layout.slice_of(ts), rec)?;
+                Ok(false)
+            }
+        }
+    }
+
+    /// Folds one flattened partial row into its key's slice — the
+    /// cloud-side merge of per-edge slice partials. `partials` holds one
+    /// snapshot slice per aggregate, in spec order.
+    pub(crate) fn merge_partials(
+        &mut self,
+        key: GroupKey,
+        key_values: &[Value],
+        slice: EventTime,
+        partials: &[&[Value]],
+    ) -> Result<()> {
+        let st = self.slice_entry(key, key_values, slice)?;
+        st.dirty = true;
+        for (agg, partial) in st.aggs.iter_mut().zip(partials) {
+            agg.merge_partial(partial)?;
+        }
+        Ok(())
+    }
+
+    /// Materializes every window whose end lies in `(after, upto]`
+    /// (`upto = None`: every window not yet emitted — end-of-stream) by
+    /// merging its covering slices, then retires slices no open window
+    /// can ever read again (`last_close <= upto`). Rows come out sorted
+    /// by (window start, canonical record encoding), so emission order
+    /// is deterministic however the hash maps iterate.
+    pub(crate) fn close_windows(
+        &mut self,
+        after: EventTime,
+        upto: Option<EventTime>,
+    ) -> Result<Vec<Record>> {
+        let mut records = Vec::new();
+        let (size, slide, width) = (self.layout.size, self.layout.slide, self.layout.width);
+        let factory = &self.factory;
+        for ks in self.keys.values() {
+            // Candidate window starts are multiples of `slide` bounded
+            // by the key's live slice span AND the (after, upto] end
+            // range — enumerated directly, so a watermark that closes
+            // nothing costs nothing per live slice.
+            let (Some((&lo, _)), Some((&hi, _))) =
+                (ks.slices.first_key_value(), ks.slices.last_key_value())
+            else {
+                continue;
+            };
+            // A window [W, W+size) covers a slice in [lo, hi] iff
+            // W > lo - size (its end reaches past `lo`) and W <= hi;
+            // its end lands in (after, upto] iff W > after - size and
+            // (upto absent or W <= upto - size).
+            let w_lo = lo
+                .saturating_sub(size)
+                .saturating_add(width)
+                .max(after.saturating_sub(size).saturating_add(1));
+            let w_hi = match upto {
+                Some(b) => hi.min(b.saturating_sub(size)),
+                None => hi,
+            };
+            // Round `w_lo` up to the next multiple of `slide`.
+            let mut start = -((-w_lo).div_euclid(slide)) * slide;
+            while start <= w_hi {
+                let mut covered = ks.slices.range(start..start + size).peekable();
+                if covered.peek().is_none() {
+                    start += slide;
+                    continue;
+                }
+                let mut aggs = factory.make()?;
+                for (_, st) in covered {
+                    for (agg, other) in aggs.iter_mut().zip(&st.aggs) {
+                        agg.merge(other.as_ref())?;
+                    }
+                }
+                let mut values = Vec::with_capacity(ks.key_values.len() + 2 + aggs.len());
+                values.extend(ks.key_values.iter().cloned());
+                values.push(Value::Timestamp(start));
+                values.push(Value::Timestamp(start + size));
+                for agg in &mut aggs {
+                    values.push(agg.finish()?);
+                }
+                records.push(Record::new(values));
+                start += slide;
+            }
+        }
+        if let Some(wm) = upto {
+            self.retire(wm);
+        } else {
+            self.keys.clear();
+        }
+        self.sort_emission(&mut records);
+        Ok(records)
+    }
+
+    /// See [`sort_emission`].
+    fn sort_emission(&self, records: &mut [Record]) {
+        sort_emission(records, self.key_count);
+    }
+
+    /// Drops slices whose last covering window has closed: no record or
+    /// partial for them can ever be anything but late.
+    pub(crate) fn retire(&mut self, wm: EventTime) {
+        let layout = self.layout;
+        self.keys.retain(|_, ks| {
+            ks.slices.retain(|&slice, _| layout.last_close(slice) > wm);
+            !ks.slices.is_empty()
+        });
+    }
+
+    /// Snapshots and resets every dirty slice due for shipping — the
+    /// edge-side flush. A slice is due once the first window covering it
+    /// closes (`first_close <= wm`; `wm = None` flushes everything, for
+    /// end-of-stream). The accumulators reset to empty, so a slice that
+    /// keeps receiving records ships *delta* partials which the cloud
+    /// merge folds together. Rows are (keys, slice_start, slice_end,
+    /// partial columns), sorted deterministically.
+    pub(crate) fn flush_dirty(&mut self, wm: Option<EventTime>) -> Result<Vec<Record>> {
+        let mut records = Vec::new();
+        let layout = self.layout;
+        let factory = &self.factory;
+        for ks in self.keys.values_mut() {
+            let KeySlices { key_values, slices } = ks;
+            for (&slice, st) in slices.iter_mut() {
+                if !st.dirty || wm.is_some_and(|w| layout.first_close(slice) > w) {
+                    continue;
+                }
+                let aggs = std::mem::replace(&mut st.aggs, factory.make()?);
+                st.dirty = false;
+                let mut values = Vec::with_capacity(key_values.len() + 2 + aggs.len());
+                values.extend(key_values.iter().cloned());
+                values.push(Value::Timestamp(slice));
+                values.push(Value::Timestamp(slice + layout.width));
+                for agg in &aggs {
+                    values.extend(agg.partial()?);
+                }
+                records.push(Record::new(values));
+            }
+        }
+        self.sort_emission(&mut records);
+        Ok(records)
+    }
+}
+
+/// Per-(key, window) accumulator state (threshold windows only — time
+/// windows live in the `SliceStore`).
+struct ThresholdState {
     key_values: Vec<Value>,
     start: EventTime,
-    /// Exclusive end for time windows; last-seen ts for threshold windows.
+    /// Last-seen event time.
     end: EventTime,
     count: u64,
     aggs: Vec<Box<dyn Aggregator>>,
@@ -21,27 +312,32 @@ struct WindowState {
 
 /// Keyed windowed aggregation over event time.
 ///
-/// - Time windows (tumbling/sliding) buffer per-(key, window-start)
-///   accumulators and emit when the watermark passes the window end.
+/// - Time windows (tumbling/sliding) aggregate into shared slices and
+///   emit when the watermark passes a window's end, merging the covering
+///   slices (see `SliceStore`).
 /// - Threshold windows open on the first record satisfying the predicate
 ///   and close (emitting if `count >= min_count`) on the first record of
 ///   the same key that does not.
 ///
 /// Output schema: key columns, `window_start`, `window_end`, then one
-/// column per aggregate.
+/// column per aggregate. Watermark emission is deterministic: rows sort
+/// by (window start, key values).
 pub struct WindowOp {
     ts_col: usize,
+    /// Event-time column name (threshold aggregator creation).
+    ts_field: String,
     key_exprs: Vec<BoundExpr>,
+    key_count: usize,
     spec: WindowSpec,
     threshold_pred: Option<BoundExpr>,
     agg_specs: Vec<WindowAgg>,
     input: SchemaRef,
     output: SchemaRef,
     registry: FunctionRegistry,
-    /// Time-window state keyed by (group, window start).
-    time_state: HashMap<(GroupKey, EventTime), WindowState>,
+    /// Time-window slice state (`None` for threshold windows).
+    slices: Option<SliceStore>,
     /// Threshold-window state keyed by group.
-    threshold_state: HashMap<GroupKey, WindowState>,
+    threshold_state: HashMap<GroupKey, ThresholdState>,
     last_watermark: EventTime,
     late_drops: u64,
 }
@@ -89,8 +385,20 @@ impl WindowOp {
             }
             _ => None,
         };
+        let slices = SliceLayout::of(&spec).map(|layout| {
+            SliceStore::new(
+                layout,
+                ts_field,
+                keys.len(),
+                aggs.clone(),
+                input.clone(),
+                registry.clone(),
+            )
+        });
         Ok(WindowOp {
             ts_col,
+            ts_field: ts_field.to_string(),
+            key_count: keys.len(),
             key_exprs,
             spec,
             threshold_pred,
@@ -98,20 +406,22 @@ impl WindowOp {
             input,
             output: Schema::new(fields),
             registry: registry.clone(),
-            time_state: HashMap::new(),
+            slices,
             threshold_state: HashMap::new(),
             last_watermark: EventTime::MIN,
             late_drops: 0,
         })
     }
 
-    /// Records dropped because their window had already been closed by a
-    /// watermark.
+    /// Records dropped because *every* window that could have held them
+    /// had already been closed by a watermark (each record counts at
+    /// most once; a record late for some windows but live for others is
+    /// absorbed, not counted).
     pub fn late_drops(&self) -> u64 {
         self.late_drops
     }
 
-    fn emit_record(&self, mut st: WindowState) -> Result<Record> {
+    fn emit_threshold(&self, mut st: ThresholdState) -> Result<Record> {
         let mut values = Vec::with_capacity(st.key_values.len() + 2 + st.aggs.len());
         values.append(&mut st.key_values);
         values.push(Value::Timestamp(st.start));
@@ -123,35 +433,9 @@ impl WindowOp {
     }
 
     fn process_time_window(&mut self, rec: &Record, ts: EventTime) -> Result<()> {
-        let size = self.spec.size().expect("time window has size");
-        let (key, key_values) = GroupKey::evaluate(&self.key_exprs, rec)?;
-        for start in self.spec.assign(ts) {
-            if start + size <= self.last_watermark {
-                self.late_drops += 1;
-                continue;
-            }
-            let entry = self.time_state.entry((key.clone(), start));
-            let st = match entry {
-                std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    let aggs = self
-                        .agg_specs
-                        .iter()
-                        .map(|a| a.spec.create(&self.input, &self.registry))
-                        .collect::<Result<Vec<_>>>()?;
-                    v.insert(WindowState {
-                        key_values: key_values.clone(),
-                        start,
-                        end: start + size,
-                        count: 0,
-                        aggs,
-                    })
-                }
-            };
-            st.count += 1;
-            for agg in &mut st.aggs {
-                agg.update(rec)?;
-            }
+        let store = self.slices.as_mut().expect("time window has slices");
+        if store.absorb(&self.key_exprs, rec, ts, self.last_watermark)? {
+            self.late_drops += 1;
         }
         Ok(())
     }
@@ -180,9 +464,9 @@ impl WindowOp {
                     let aggs = self
                         .agg_specs
                         .iter()
-                        .map(|a| a.spec.create(&self.input, &self.registry))
+                        .map(|a| a.spec.create(&self.input, &self.registry, &self.ts_field))
                         .collect::<Result<Vec<_>>>()?;
-                    v.insert(WindowState {
+                    v.insert(ThresholdState {
                         key_values,
                         start: ts,
                         end: ts,
@@ -198,7 +482,7 @@ impl WindowOp {
             }
         } else if let Some(st) = self.threshold_state.remove(&key) {
             if st.count as usize >= min_count {
-                out.push(self.emit_record(st)?);
+                out.push(self.emit_threshold(st)?);
             }
         }
         Ok(())
@@ -238,25 +522,10 @@ impl Operator for WindowOp {
     }
 
     fn on_watermark(&mut self, wm: EventTime, out: &mut Vec<StreamMessage>) -> Result<()> {
+        let prev = self.last_watermark;
         self.last_watermark = self.last_watermark.max(wm);
-        if self.threshold_pred.is_none() {
-            let closed: Vec<(GroupKey, EventTime)> = self
-                .time_state
-                .iter()
-                .filter(|(_, st)| st.end <= wm)
-                .map(|((k, s), _)| (k.clone(), *s))
-                .collect();
-            let mut records = Vec::with_capacity(closed.len());
-            for key in closed {
-                let st = self.time_state.remove(&key).expect("just listed");
-                records.push(self.emit_record(st)?);
-            }
-            // Deterministic output order: by window start then key values.
-            records.sort_by_key(|r| {
-                r.get(self.key_exprs.len())
-                    .and_then(Value::as_timestamp)
-                    .unwrap_or(0)
-            });
+        if let Some(store) = self.slices.as_mut() {
+            let records = store.close_windows(prev, Some(self.last_watermark))?;
             if !records.is_empty() {
                 out.push(StreamMessage::Data(RecordBuffer::new(
                     self.output.clone(),
@@ -271,10 +540,8 @@ impl Operator for WindowOp {
     fn on_eos(&mut self, out: &mut Vec<StreamMessage>) -> Result<()> {
         // Flush everything still open.
         let mut records = Vec::new();
-        let time_keys: Vec<_> = self.time_state.keys().cloned().collect();
-        for key in time_keys {
-            let st = self.time_state.remove(&key).expect("listed");
-            records.push(self.emit_record(st)?);
+        if let Some(store) = self.slices.as_mut() {
+            records = store.close_windows(self.last_watermark, None)?;
         }
         let min_count = match &self.spec {
             WindowSpec::Threshold { min_count, .. } => *min_count,
@@ -284,14 +551,12 @@ impl Operator for WindowOp {
         for key in th_keys {
             let st = self.threshold_state.remove(&key).expect("listed");
             if st.count as usize >= min_count {
-                records.push(self.emit_record(st)?);
+                records.push(self.emit_threshold(st)?);
             }
         }
-        records.sort_by_key(|r| {
-            r.get(self.key_exprs.len())
-                .and_then(Value::as_timestamp)
-                .unwrap_or(0)
-        });
+        // Slice output arrives pre-sorted from close_windows; appended
+        // threshold rows need the same deterministic (start, key) order.
+        sort_emission(&mut records, self.key_count);
         if !records.is_empty() {
             out.push(StreamMessage::Data(RecordBuffer::new(
                 self.output.clone(),
@@ -300,6 +565,10 @@ impl Operator for WindowOp {
         }
         out.push(StreamMessage::Eos);
         Ok(())
+    }
+
+    fn late_drops(&self) -> u64 {
+        self.late_drops
     }
 }
 
@@ -413,6 +682,48 @@ mod tests {
     }
 
     #[test]
+    fn partially_late_record_absorbed_and_not_counted() {
+        // Sliding 20s/5s windows: ts=12 belongs to [-5,15), [0,20),
+        // [5,25) and [10,30). A watermark at 25 closes the first three
+        // but leaves [10,30) open: the record is late for three of its
+        // four windows yet live for the last, so it must be absorbed
+        // into the open window and must NOT bump the late counter (the
+        // seed counted it once per closed window).
+        let mut op = make_op(WindowSpec::Sliding {
+            size: 20 * MICROS_PER_SEC,
+            slide: 5 * MICROS_PER_SEC,
+        });
+        let mut out = Vec::new();
+        op.on_watermark(25 * MICROS_PER_SEC, &mut out).unwrap();
+        op.process(
+            RecordBuffer::new(schema(), vec![rec(12, 1, 10.0)]),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(op.late_drops(), 0, "a live window remains, not a drop");
+        op.on_eos(&mut out).unwrap();
+        let recs = data_records(&out);
+        // Only the still-open [10,30) window emits the record.
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].get(1), Some(&Value::Timestamp(10 * MICROS_PER_SEC)));
+        assert_eq!(recs[0].get(3), Some(&Value::Int(1)), "record absorbed");
+
+        // Fully late record: counted exactly once despite four windows.
+        let mut op = make_op(WindowSpec::Sliding {
+            size: 20 * MICROS_PER_SEC,
+            slide: 5 * MICROS_PER_SEC,
+        });
+        let mut out = Vec::new();
+        op.on_watermark(100 * MICROS_PER_SEC, &mut out).unwrap();
+        op.process(
+            RecordBuffer::new(schema(), vec![rec(12, 1, 10.0)]),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(op.late_drops(), 1, "once per record, not per window");
+    }
+
+    #[test]
     fn sliding_multiple_windows() {
         let mut op = make_op(WindowSpec::Sliding {
             size: 10 * MICROS_PER_SEC,
@@ -427,6 +738,26 @@ mod tests {
     }
 
     #[test]
+    fn sliding_gap_record_belongs_to_no_window() {
+        // slide > size leaves coverage gaps; a record in a gap is not
+        // late, it simply belongs to no window.
+        let mut op = make_op(WindowSpec::Sliding {
+            size: 10 * MICROS_PER_SEC,
+            slide: 15 * MICROS_PER_SEC,
+        });
+        let mut out = Vec::new();
+        op.process(
+            RecordBuffer::new(schema(), vec![rec(12, 1, 1.0), rec(16, 1, 2.0)]),
+            &mut out,
+        )
+        .unwrap();
+        op.on_eos(&mut out).unwrap();
+        let recs = data_records(&out);
+        assert_eq!(recs.len(), 1, "only ts=16 lands in a window ([15,25))");
+        assert_eq!(op.late_drops(), 0);
+    }
+
+    #[test]
     fn eos_flushes_open_windows() {
         let mut op = make_op(WindowSpec::Tumbling {
             size: 10 * MICROS_PER_SEC,
@@ -438,6 +769,79 @@ mod tests {
         let recs = data_records(&out);
         assert_eq!(recs.len(), 1);
         assert!(matches!(out.last(), Some(StreamMessage::Eos)));
+    }
+
+    #[test]
+    fn watermark_emission_is_deterministic_and_sorted() {
+        // Many keys, one window: emission order must be (window start,
+        // key values) regardless of hash-map iteration order. Repeated
+        // runs (fresh HashMaps, fresh RandomState) must agree exactly.
+        let run_once = || {
+            let mut op = make_op(WindowSpec::Tumbling {
+                size: 60 * MICROS_PER_SEC,
+            });
+            let mut out = Vec::new();
+            let recs: Vec<Record> = (0..64).map(|i| rec(i % 50, i % 37, i as f64)).collect();
+            op.process(RecordBuffer::new(schema(), recs), &mut out)
+                .unwrap();
+            op.on_watermark(120 * MICROS_PER_SEC, &mut out).unwrap();
+            data_records(&out)
+        };
+        let first = run_once();
+        assert_eq!(first.len(), 37, "one row per key");
+        let keys: Vec<i64> = first
+            .iter()
+            .map(|r| r.get(0).unwrap().as_int().unwrap())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "rows sorted by key within the window");
+        for _ in 0..5 {
+            assert_eq!(run_once(), first, "emission order is deterministic");
+        }
+    }
+
+    #[test]
+    fn sliding_slices_equal_eager_accumulation() {
+        // Overlap factor 4: each record updates ONE slice, yet every
+        // window's aggregate must equal eager per-window accumulation.
+        let mut op = make_op(WindowSpec::Sliding {
+            size: 60 * MICROS_PER_SEC,
+            slide: 15 * MICROS_PER_SEC,
+        });
+        let mut out = Vec::new();
+        let recs: Vec<Record> = (0..120).map(|i| rec(i, 1, (i % 7) as f64)).collect();
+        op.process(RecordBuffer::new(schema(), recs.clone()), &mut out)
+            .unwrap();
+        op.on_eos(&mut out).unwrap();
+        let got = data_records(&out);
+        let spec = WindowSpec::Sliding {
+            size: 60 * MICROS_PER_SEC,
+            slide: 15 * MICROS_PER_SEC,
+        };
+        for r in &got {
+            let start = r.get(1).unwrap().as_timestamp().unwrap();
+            let end = r.get(2).unwrap().as_timestamp().unwrap();
+            let expect: Vec<&Record> = recs
+                .iter()
+                .filter(|x| {
+                    let t = x.get(0).unwrap().as_timestamp().unwrap();
+                    t >= start && t < end
+                })
+                .collect();
+            assert_eq!(
+                r.get(3).unwrap().as_int().unwrap() as usize,
+                expect.len(),
+                "window [{start},{end})"
+            );
+            let sum: f64 = expect
+                .iter()
+                .map(|x| x.get(2).unwrap().as_float().unwrap())
+                .sum();
+            let avg = r.get(4).unwrap().as_float().unwrap();
+            assert!((avg - sum / expect.len() as f64).abs() < 1e-9);
+            assert!(spec.assign(start).contains(&start) || start % (15 * MICROS_PER_SEC) == 0);
+        }
     }
 
     #[test]

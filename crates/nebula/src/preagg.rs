@@ -1,80 +1,55 @@
-//! Edge pre-aggregation: splitting window aggregates into per-edge
-//! partials merged at the cloud.
+//! Edge pre-aggregation: shipping per-slice window partials from edge
+//! nodes and merging them at the cloud.
 //!
 //! The paper's uplink-saving move is running window aggregation *at the
-//! edge* so only aggregated rows cross the cellular uplink. When a query
-//! fans in from several edge nodes (one per train), each edge can only
-//! aggregate its local slice of a key's records — the cloud must merge
-//! the per-edge *partials* into the final window rows. That is sound
-//! exactly for **splittable** aggregates: `count` partials merge by
-//! addition, `sum` by addition, `min`/`max` by comparison, and plugin
-//! aggregates that provide a [`PartialMergeFn`] (MEOS sequence-append:
-//! per-edge sub-sequences concatenate into the window's full sequence).
-//! Order-dependent aggregates (`avg` as a single column, `first`,
-//! `last`) and non-time windows (threshold) are not splittable; queries
-//! using them run their window whole on one node.
+//! edge* so only aggregated rows cross the cellular uplink. Stream
+//! slicing (see [`crate::window::SliceLayout`]) sharpens that: an edge
+//! ships **one partial row per `gcd(size, slide)`-wide slice** instead
+//! of one row per (overlapping) window, so sliding windows stop
+//! re-shipping the data their overlaps share — for content-carrying
+//! aggregates such as MEOS sequence assembly the uplink shrinks by the
+//! overlap factor `size/slide` on top of plain pre-aggregation.
+//!
+//! That is sound exactly for **splittable** aggregates — those whose
+//! accumulators snapshot into partial values and merge losslessly (the
+//! core [`Aggregator`](crate::window::Aggregator) contract): `count` and
+//! `sum` partials add, `min`/`max` compare, `avg` decomposes into a
+//! (sum, count) partial, order-dependent `first`/`last` carry a
+//! (timestamp, value) partial, and plugin aggregates that declare
+//! [`AggregatorFactory::splittable`](crate::window::AggregatorFactory::splittable)
+//! merge their own snapshots (MEOS sequence-append: per-edge
+//! sub-sequences concatenate). Non-time windows (threshold) are
+//! predicate-delimited and never split; queries using an unsplittable
+//! custom aggregate run their window whole on one node.
 //!
 //! [`split_window`] decides whether a query's first stateful operator
-//! can be split; [`WindowMergeOp`] is the cloud-side physical operator
-//! that groups incoming partial rows by (key, window) and merges them,
-//! emitting when the cluster-wide watermark closes the window.
+//! can be split; [`WindowPartialOp`] is the edge-side physical operator
+//! emitting per-slice partial rows, and [`WindowMergeOp`] is the
+//! cloud-side operator that folds incoming partials into shared slices
+//! and materializes finished windows when the cluster-wide watermark
+//! closes them.
 
 use crate::error::{NebulaError, Result};
-use crate::ops::{record_sort_key, Operator};
+use crate::expr::{BoundExpr, Expr, FunctionRegistry};
+use crate::ops::{GroupKey, Operator, SliceStore};
 use crate::query::{LogicalOp, Query};
 use crate::record::{Record, RecordBuffer, StreamMessage};
-use crate::schema::SchemaRef;
-use crate::value::{EventTime, Value};
-use crate::window::{AggSpec, PartialMergeFn, WindowSpec};
-use std::collections::HashMap;
-use std::fmt;
-use std::sync::Arc;
+use crate::schema::{Field, Schema, SchemaRef};
+use crate::value::{DataType, EventTime, Value};
+use crate::window::{SliceLayout, WindowAgg, WindowSpec};
 
-/// How two partial outputs of one aggregate column combine.
-#[derive(Clone)]
-pub enum MergeKind {
-    /// Numeric addition (`count`, `sum`); integer partials stay integer.
-    Add,
-    /// Keep the smaller partial.
-    Min,
-    /// Keep the larger partial.
-    Max,
-    /// Plugin-provided merge (e.g. MEOS sequence-append).
-    Custom(Arc<dyn PartialMergeFn>),
-}
-
-impl fmt::Debug for MergeKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            MergeKind::Add => write!(f, "Add"),
-            MergeKind::Min => write!(f, "Min"),
-            MergeKind::Max => write!(f, "Max"),
-            MergeKind::Custom(_) => write!(f, "Custom"),
-        }
-    }
-}
-
-/// The merge kind for a splittable aggregate, or `None` when partial
-/// results cannot be combined losslessly.
-pub fn splittable(spec: &AggSpec) -> Option<MergeKind> {
-    match spec {
-        AggSpec::Count | AggSpec::Sum(_) => Some(MergeKind::Add),
-        AggSpec::Min(_) => Some(MergeKind::Min),
-        AggSpec::Max(_) => Some(MergeKind::Max),
-        AggSpec::Avg(_) | AggSpec::First(_) | AggSpec::Last(_) => None,
-        AggSpec::Custom(factory) => factory.partial_merge().map(MergeKind::Custom),
-    }
-}
-
-/// A splittable window found in a query plan.
-#[derive(Debug)]
+/// A splittable window found in a query plan, with everything needed to
+/// instantiate the edge partial and cloud merge operators.
+#[derive(Debug, Clone)]
 pub struct SplitWindow {
     /// Index of the window in `query.ops()`.
     pub window_idx: usize,
-    /// Number of grouping key columns.
-    pub key_count: usize,
-    /// Per-aggregate merge kinds, in output-column order.
-    pub merges: Vec<MergeKind>,
+    /// Grouping keys as `(output name, expression)`.
+    pub keys: Vec<(String, Expr)>,
+    /// The window shape (tumbling or sliding).
+    pub spec: WindowSpec,
+    /// The aggregates, all splittable.
+    pub aggs: Vec<WindowAgg>,
 }
 
 /// Decides whether `query`'s first stateful operator is a time window
@@ -92,14 +67,14 @@ pub fn split_window(query: &Query) -> Option<SplitWindow> {
                 ) {
                     return None;
                 }
-                let merges = aggs
-                    .iter()
-                    .map(|a| splittable(&a.spec))
-                    .collect::<Option<Vec<_>>>()?;
+                if !aggs.iter().all(|a| a.spec.splittable()) {
+                    return None;
+                }
                 return Some(SplitWindow {
                     window_idx: i,
-                    key_count: keys.len(),
-                    merges,
+                    keys: keys.clone(),
+                    spec: spec.clone(),
+                    aggs: aggs.clone(),
                 });
             }
             LogicalOp::Cep(_) | LogicalOp::Custom(_) => return None,
@@ -108,126 +83,231 @@ pub fn split_window(query: &Query) -> Option<SplitWindow> {
     None
 }
 
-fn merge_value(kind: &MergeKind, acc: Value, next: &Value) -> Result<Value> {
-    // Empty partials surface as nulls (e.g. `sum` over zero non-null
-    // records); merging with a null keeps the other side.
-    if next.is_null() {
-        return Ok(acc);
-    }
-    if acc.is_null() {
-        return Ok(next.clone());
-    }
-    match kind {
-        MergeKind::Add => match (&acc, next) {
-            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a + b)),
-            _ => {
-                let (a, b) = (acc.as_float(), next.as_float());
-                match (a, b) {
-                    (Some(a), Some(b)) => Ok(Value::Float(a + b)),
-                    _ => Err(NebulaError::Eval(format!(
-                        "cannot add partials '{acc}' and '{next}'"
-                    ))),
-                }
+/// Everything the partial/merge operator pair shares: bound keys, the
+/// slice layout, per-aggregate partial arities and both schemas.
+struct SplitPlan {
+    ts_col: usize,
+    key_exprs: Vec<BoundExpr>,
+    key_count: usize,
+    layout: SliceLayout,
+    /// Partial-snapshot column count per aggregate, in spec order.
+    arities: Vec<usize>,
+    /// Wire schema of partial rows: keys, slice bounds, partial columns.
+    partial_schema: SchemaRef,
+    /// Final window schema: keys, window bounds, aggregate columns.
+    final_schema: SchemaRef,
+    store: SliceStore,
+}
+
+impl SplitPlan {
+    fn new(
+        ts_field: &str,
+        keys: &[(String, Expr)],
+        spec: WindowSpec,
+        aggs: Vec<WindowAgg>,
+        input: SchemaRef,
+        registry: &FunctionRegistry,
+    ) -> Result<Self> {
+        spec.validate()?;
+        let layout = SliceLayout::of(&spec)
+            .ok_or_else(|| NebulaError::Plan("threshold windows cannot pre-aggregate".into()))?;
+        let ts_col = input.index_of(ts_field).ok_or_else(|| {
+            NebulaError::Plan(format!("window split: unknown ts field '{ts_field}'"))
+        })?;
+        let mut key_exprs = Vec::with_capacity(keys.len());
+        let mut partial_fields = Vec::new();
+        let mut final_fields = Vec::new();
+        for (name, e) in keys {
+            let (b, t) = e.bind(&input, registry)?;
+            key_exprs.push(b);
+            partial_fields.push(Field::new(name.clone(), t));
+            final_fields.push(Field::new(name.clone(), t));
+        }
+        partial_fields.push(Field::new("slice_start", DataType::Timestamp));
+        partial_fields.push(Field::new("slice_end", DataType::Timestamp));
+        final_fields.push(Field::new("window_start", DataType::Timestamp));
+        final_fields.push(Field::new("window_end", DataType::Timestamp));
+        let mut arities = Vec::with_capacity(aggs.len());
+        for agg in &aggs {
+            final_fields.push(Field::new(
+                agg.name.clone(),
+                agg.spec.output_type(&input, registry)?,
+            ));
+            let partial_types = agg.spec.partial_types(&input, registry)?.ok_or_else(|| {
+                NebulaError::Plan(format!(
+                    "aggregate '{}' is not splittable across node boundaries",
+                    agg.name
+                ))
+            })?;
+            arities.push(partial_types.len());
+            for (j, t) in partial_types.into_iter().enumerate() {
+                let name = if arities.last() == Some(&1) {
+                    agg.name.clone()
+                } else {
+                    format!("{}_p{j}", agg.name)
+                };
+                partial_fields.push(Field::new(name, t));
             }
-        },
-        MergeKind::Min => {
-            let keep_next = next.partial_cmp_num(&acc) == Some(std::cmp::Ordering::Less);
-            Ok(if keep_next { next.clone() } else { acc })
         }
-        MergeKind::Max => {
-            let keep_next = next.partial_cmp_num(&acc) == Some(std::cmp::Ordering::Greater);
-            Ok(if keep_next { next.clone() } else { acc })
-        }
-        MergeKind::Custom(f) => f.merge(acc, next),
+        let store = SliceStore::new(layout, ts_field, keys.len(), aggs, input, registry.clone());
+        Ok(SplitPlan {
+            ts_col,
+            key_count: keys.len(),
+            key_exprs,
+            layout,
+            arities,
+            partial_schema: Schema::new(partial_fields),
+            final_schema: Schema::new(final_fields),
+            store,
+        })
     }
 }
 
-/// Cloud-side merge of per-edge partial window rows.
+/// Edge-side partial window: aggregates records into shared slices and
+/// ships one partial row per slice once the first window covering the
+/// slice closes. Output schema: key columns, `slice_start`, `slice_end`,
+/// then the flattened partial columns of every aggregate. A slice that
+/// keeps receiving (out-of-order but non-late) records after its first
+/// flush ships *delta* partials; the cloud merge folds them together.
+pub struct WindowPartialOp {
+    plan: SplitPlan,
+    last_watermark: EventTime,
+    late_drops: u64,
+}
+
+impl WindowPartialOp {
+    /// Builds the operator against the schema entering the window.
+    pub fn new(
+        ts_field: &str,
+        keys: &[(String, Expr)],
+        spec: WindowSpec,
+        aggs: Vec<WindowAgg>,
+        input: SchemaRef,
+        registry: &FunctionRegistry,
+    ) -> Result<Self> {
+        Ok(WindowPartialOp {
+            plan: SplitPlan::new(ts_field, keys, spec, aggs, input, registry)?,
+            last_watermark: EventTime::MIN,
+            late_drops: 0,
+        })
+    }
+
+    /// Records dropped because every window that could have held them
+    /// had closed (counted once per record).
+    pub fn late_drops(&self) -> u64 {
+        self.late_drops
+    }
+
+    fn emit(&self, records: Vec<Record>, out: &mut Vec<StreamMessage>) {
+        if !records.is_empty() {
+            out.push(StreamMessage::Data(RecordBuffer::new(
+                self.plan.partial_schema.clone(),
+                records,
+            )));
+        }
+    }
+}
+
+impl Operator for WindowPartialOp {
+    fn name(&self) -> &str {
+        "window_partial"
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.plan.partial_schema.clone()
+    }
+
+    fn process(&mut self, buf: RecordBuffer, _out: &mut Vec<StreamMessage>) -> Result<()> {
+        for rec in buf.records() {
+            let ts = rec
+                .get(self.plan.ts_col)
+                .and_then(Value::as_timestamp)
+                .ok_or_else(|| {
+                    NebulaError::Eval("window partial: record missing event time".into())
+                })?;
+            if self
+                .plan
+                .store
+                .absorb(&self.plan.key_exprs, rec, ts, self.last_watermark)?
+            {
+                self.late_drops += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: EventTime, out: &mut Vec<StreamMessage>) -> Result<()> {
+        self.last_watermark = self.last_watermark.max(wm);
+        // Ship every dirty slice some window needs before this watermark
+        // reaches the cloud (FIFO channels deliver the data first), then
+        // retire slices no open window can ever read again.
+        let records = self.plan.store.flush_dirty(Some(self.last_watermark))?;
+        self.plan.store.retire(self.last_watermark);
+        self.emit(records, out);
+        out.push(StreamMessage::Watermark(wm));
+        Ok(())
+    }
+
+    fn on_eos(&mut self, out: &mut Vec<StreamMessage>) -> Result<()> {
+        let records = self.plan.store.flush_dirty(None)?;
+        self.emit(records, out);
+        out.push(StreamMessage::Eos);
+        Ok(())
+    }
+
+    fn late_drops(&self) -> u64 {
+        self.late_drops
+    }
+}
+
+/// Cloud-side merge of per-edge slice partials.
 ///
-/// Input and output schema are the partial window's output schema:
-/// key columns, `window_start`, `window_end`, then one column per
-/// aggregate. Rows are grouped by (keys, start, end); aggregate columns
-/// merge via their [`MergeKind`]. A group emits when the watermark
-/// passes its window end — since every upstream edge flushes a window's
-/// partial *before* forwarding the watermark that closed it, and the
+/// Input schema is [`WindowPartialOp`]'s output; the output schema is
+/// the final window schema (key columns, `window_start`, `window_end`,
+/// one column per aggregate) — identical to what a single-process
+/// [`crate::ops::WindowOp`] emits. Incoming partial rows fold into
+/// shared slices; windows materialize when the cluster-wide watermark
+/// passes their end, exactly once, in deterministic (start, key) order.
+/// Since every upstream edge flushes a slice's partial *before*
+/// forwarding the watermark that closes any window over it, and the
 /// cluster runtime only advances the merged watermark to the minimum
-/// across inputs, no partial can arrive after its group was emitted on
-/// any FIFO topology channel. Late partials are counted and dropped as
-/// a safety net.
+/// across inputs, no partial can arrive after its windows were emitted
+/// on any FIFO topology channel. Late partials are counted and dropped
+/// as a safety net.
 pub struct WindowMergeOp {
-    schema: SchemaRef,
-    key_count: usize,
-    merges: Vec<MergeKind>,
-    state: HashMap<Vec<u8>, Vec<Value>>,
+    plan: SplitPlan,
     last_watermark: EventTime,
     late_partials: u64,
 }
 
 impl WindowMergeOp {
-    /// Builds the operator over the partial window's output schema.
+    /// Builds the operator. `input` is the schema entering the *window*
+    /// (the edge prefix's output), against which aggregates rebind.
     pub fn new(
-        partial_schema: SchemaRef,
-        key_count: usize,
-        merges: Vec<MergeKind>,
+        ts_field: &str,
+        keys: &[(String, Expr)],
+        spec: WindowSpec,
+        aggs: Vec<WindowAgg>,
+        input: SchemaRef,
+        registry: &FunctionRegistry,
     ) -> Result<Self> {
-        let expected = key_count + 2 + merges.len();
-        if partial_schema.len() != expected {
-            return Err(NebulaError::Plan(format!(
-                "window merge: partial schema has {} columns, expected {expected} \
-                 ({key_count} keys + start/end + {} aggregates)",
-                partial_schema.len(),
-                merges.len()
-            )));
-        }
         Ok(WindowMergeOp {
-            schema: partial_schema,
-            key_count,
-            merges,
-            state: HashMap::new(),
+            plan: SplitPlan::new(ts_field, keys, spec, aggs, input, registry)?,
             last_watermark: EventTime::MIN,
             late_partials: 0,
         })
     }
 
-    /// Partial rows that arrived after their window was already emitted
-    /// (zero on FIFO channels with min-combined watermarks).
+    /// The wire schema of the partial rows this operator consumes.
+    pub fn partial_schema(&self) -> SchemaRef {
+        self.plan.partial_schema.clone()
+    }
+
+    /// Partial rows that arrived after their last covering window was
+    /// already emitted (zero on FIFO channels with min-combined
+    /// watermarks).
     pub fn late_partials(&self) -> u64 {
         self.late_partials
-    }
-
-    fn window_end(&self, values: &[Value]) -> Result<EventTime> {
-        values[self.key_count + 1]
-            .as_timestamp()
-            .ok_or_else(|| NebulaError::Eval("window merge: partial row missing window_end".into()))
-    }
-
-    /// Removes and returns the merged rows of every group whose window
-    /// end is `<= bound` (all groups when `bound` is `None`), in
-    /// deterministic (window_start, row-encoding) order.
-    fn drain_closed(&mut self, bound: Option<EventTime>) -> Vec<Record> {
-        let closed: Vec<Vec<u8>> = self
-            .state
-            .iter()
-            .filter(|(_, row)| match bound {
-                Some(b) => row[self.key_count + 1]
-                    .as_timestamp()
-                    .is_some_and(|end| end <= b),
-                None => true,
-            })
-            .map(|(k, _)| k.clone())
-            .collect();
-        let mut records: Vec<Record> = closed
-            .into_iter()
-            .map(|k| Record::new(self.state.remove(&k).expect("just listed")))
-            .collect();
-        records.sort_by_cached_key(|r| {
-            let start = r
-                .get(self.key_count)
-                .and_then(Value::as_timestamp)
-                .unwrap_or(0);
-            (start, record_sort_key(r))
-        });
-        records
     }
 }
 
@@ -237,47 +317,51 @@ impl Operator for WindowMergeOp {
     }
 
     fn output_schema(&self) -> SchemaRef {
-        self.schema.clone()
+        self.plan.final_schema.clone()
     }
 
     fn process(&mut self, buf: RecordBuffer, _out: &mut Vec<StreamMessage>) -> Result<()> {
+        let expected = self.plan.partial_schema.len();
         for rec in buf.into_records() {
-            if rec.len() != self.schema.len() {
+            if rec.len() != expected {
                 return Err(NebulaError::Eval(format!(
-                    "window merge: partial row has {} columns, schema {}",
-                    rec.len(),
-                    self.schema.len()
+                    "window merge: partial row has {} columns, schema {expected}",
+                    rec.len()
                 )));
             }
             let values = rec.into_values();
-            if self.window_end(&values)? <= self.last_watermark {
+            let k = self.plan.key_count;
+            let slice = values[k].as_timestamp().ok_or_else(|| {
+                NebulaError::Eval("window merge: partial row missing slice start".into())
+            })?;
+            if self.plan.layout.last_close(slice) <= self.last_watermark {
                 self.late_partials += 1;
                 continue;
             }
-            let group = record_sort_key(&Record::new(values[..self.key_count + 2].to_vec()));
-            match self.state.entry(group) {
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    v.insert(values);
-                }
-                std::collections::hash_map::Entry::Occupied(mut o) => {
-                    let acc = o.get_mut();
-                    for (i, kind) in self.merges.iter().enumerate() {
-                        let col = self.key_count + 2 + i;
-                        let prev = std::mem::replace(&mut acc[col], Value::Null);
-                        acc[col] = merge_value(kind, prev, &values[col])?;
-                    }
-                }
+            let key = GroupKey::from_values(&values[..k]);
+            let mut partials: Vec<&[Value]> = Vec::with_capacity(self.plan.arities.len());
+            let mut off = k + 2;
+            for arity in &self.plan.arities {
+                partials.push(&values[off..off + arity]);
+                off += arity;
             }
+            self.plan
+                .store
+                .merge_partials(key, &values[..k], slice, &partials)?;
         }
         Ok(())
     }
 
     fn on_watermark(&mut self, wm: EventTime, out: &mut Vec<StreamMessage>) -> Result<()> {
+        let prev = self.last_watermark;
         self.last_watermark = self.last_watermark.max(wm);
-        let records = self.drain_closed(Some(wm));
+        let records = self
+            .plan
+            .store
+            .close_windows(prev, Some(self.last_watermark))?;
         if !records.is_empty() {
             out.push(StreamMessage::Data(RecordBuffer::new(
-                self.schema.clone(),
+                self.plan.final_schema.clone(),
                 records,
             )));
         }
@@ -286,10 +370,10 @@ impl Operator for WindowMergeOp {
     }
 
     fn on_eos(&mut self, out: &mut Vec<StreamMessage>) -> Result<()> {
-        let records = self.drain_closed(None);
+        let records = self.plan.store.close_windows(self.last_watermark, None)?;
         if !records.is_empty() {
             out.push(StreamMessage::Data(RecordBuffer::new(
-                self.schema.clone(),
+                self.plan.final_schema.clone(),
                 records,
             )));
         }
@@ -302,41 +386,40 @@ impl Operator for WindowMergeOp {
 mod tests {
     use super::*;
     use crate::expr::{col, lit};
-    use crate::schema::Schema;
-    use crate::value::{DataType, MICROS_PER_SEC};
-    use crate::window::WindowAgg;
+    use crate::value::MICROS_PER_SEC;
+    use crate::window::AggSpec;
 
-    fn partial_schema() -> SchemaRef {
+    fn schema() -> SchemaRef {
         Schema::of(&[
+            ("ts", DataType::Timestamp),
             ("train", DataType::Int),
-            ("window_start", DataType::Timestamp),
-            ("window_end", DataType::Timestamp),
-            ("n", DataType::Int),
-            ("sum_speed", DataType::Float),
-            ("min_load", DataType::Int),
-            ("max_load", DataType::Int),
+            ("speed", DataType::Float),
+            ("load", DataType::Int),
         ])
     }
 
-    fn partial(train: i64, start_s: i64, n: i64, sum: f64, min: i64, max: i64) -> Record {
+    fn rec(ts_s: i64, train: i64, speed: f64, load: i64) -> Record {
         Record::new(vec![
+            Value::Timestamp(ts_s * MICROS_PER_SEC),
             Value::Int(train),
-            Value::Timestamp(start_s * MICROS_PER_SEC),
-            Value::Timestamp((start_s + 60) * MICROS_PER_SEC),
-            Value::Int(n),
-            Value::Float(sum),
-            Value::Int(min),
-            Value::Int(max),
+            Value::Float(speed),
+            Value::Int(load),
         ])
     }
 
-    fn merges() -> Vec<MergeKind> {
+    fn aggs() -> Vec<WindowAgg> {
         vec![
-            MergeKind::Add,
-            MergeKind::Add,
-            MergeKind::Min,
-            MergeKind::Max,
+            WindowAgg::new("n", AggSpec::Count),
+            WindowAgg::new("sum_load", AggSpec::Sum(col("load"))),
+            WindowAgg::new("min_speed", AggSpec::Min(col("speed"))),
+            WindowAgg::new("max_speed", AggSpec::Max(col("speed"))),
+            WindowAgg::new("avg_speed", AggSpec::Avg(col("speed"))),
+            WindowAgg::new("last_speed", AggSpec::Last(col("speed"))),
         ]
+    }
+
+    fn keys() -> Vec<(String, Expr)> {
+        vec![("train".to_string(), col("train"))]
     }
 
     fn data_records(msgs: &[StreamMessage]) -> Vec<Record> {
@@ -349,85 +432,223 @@ mod tests {
             .collect()
     }
 
-    #[test]
-    fn merges_partials_per_key_and_window() {
-        let mut op = WindowMergeOp::new(partial_schema(), 1, merges()).unwrap();
+    /// Drives records through one edge partial op and the cloud merge,
+    /// with a watermark after every batch and Eos at the end.
+    fn split_run(
+        spec: WindowSpec,
+        batches: Vec<Vec<Record>>,
+        watermarks: Vec<EventTime>,
+    ) -> Vec<Record> {
+        let reg = FunctionRegistry::with_builtins();
+        let mut edge =
+            WindowPartialOp::new("ts", &keys(), spec.clone(), aggs(), schema(), &reg).unwrap();
+        let mut cloud = WindowMergeOp::new("ts", &keys(), spec, aggs(), schema(), &reg).unwrap();
+        let mut cloud_in = Vec::new();
+        for (batch, wm) in batches.into_iter().zip(watermarks) {
+            edge.process(RecordBuffer::new(schema(), batch), &mut cloud_in)
+                .unwrap();
+            edge.on_watermark(wm, &mut cloud_in).unwrap();
+        }
+        edge.on_eos(&mut cloud_in).unwrap();
         let mut out = Vec::new();
-        op.process(
-            RecordBuffer::new(
-                partial_schema(),
-                vec![
-                    partial(1, 0, 3, 30.0, 5, 9),
-                    partial(1, 0, 2, 12.0, 2, 7),
-                    partial(2, 0, 1, 5.0, 4, 4),
-                    partial(1, 60, 1, 1.0, 0, 0),
-                ],
-            ),
-            &mut out,
-        )
-        .unwrap();
-        assert!(data_records(&out).is_empty(), "nothing before watermark");
-        op.on_watermark(60 * MICROS_PER_SEC, &mut out).unwrap();
-        let recs = data_records(&out);
-        assert_eq!(recs.len(), 2, "only the [0,60) windows closed");
-        let train1 = recs
-            .iter()
-            .find(|r| r.get(0) == Some(&Value::Int(1)))
+        for msg in cloud_in {
+            match msg {
+                StreamMessage::Data(b) => cloud.process(b, &mut out).unwrap(),
+                StreamMessage::Watermark(w) => cloud.on_watermark(w, &mut out).unwrap(),
+                StreamMessage::Eos => cloud.on_eos(&mut out).unwrap(),
+            }
+        }
+        assert_eq!(cloud.late_partials(), 0);
+        data_records(&out)
+    }
+
+    /// The single-process reference over the same feed.
+    fn local_run(
+        spec: WindowSpec,
+        records: Vec<Record>,
+        watermarks: Vec<EventTime>,
+    ) -> Vec<Record> {
+        let reg = FunctionRegistry::with_builtins();
+        let mut op =
+            crate::ops::WindowOp::new("ts", &keys(), spec, aggs(), schema(), &reg).unwrap();
+        let mut out = Vec::new();
+        op.process(RecordBuffer::new(schema(), records), &mut out)
             .unwrap();
-        assert_eq!(train1.get(3), Some(&Value::Int(5)), "count adds");
-        assert_eq!(train1.get(4), Some(&Value::Float(42.0)), "sum adds");
-        assert_eq!(train1.get(5), Some(&Value::Int(2)), "min keeps smaller");
-        assert_eq!(train1.get(6), Some(&Value::Int(9)), "max keeps larger");
-        // The open [60,120) window flushes at end-of-stream.
+        for wm in watermarks {
+            op.on_watermark(wm, &mut out).unwrap();
+        }
         op.on_eos(&mut out).unwrap();
-        assert_eq!(data_records(&out).len(), 3);
-        assert_eq!(op.late_partials(), 0);
+        data_records(&out)
     }
 
     #[test]
-    fn single_partial_passes_through_unchanged() {
-        let mut op = WindowMergeOp::new(partial_schema(), 1, merges()).unwrap();
+    fn split_equals_local_for_tumbling_and_sliding() {
+        for spec in [
+            WindowSpec::Tumbling {
+                size: 60 * MICROS_PER_SEC,
+            },
+            WindowSpec::Sliding {
+                size: 60 * MICROS_PER_SEC,
+                slide: 15 * MICROS_PER_SEC,
+            },
+            WindowSpec::Sliding {
+                size: 60 * MICROS_PER_SEC,
+                slide: 25 * MICROS_PER_SEC,
+            },
+        ] {
+            let records: Vec<Record> = (0..240)
+                .map(|i| rec(i, i % 3, ((i * 7) % 80) as f64, (i * 13) % 200))
+                .collect();
+            let split = split_run(
+                spec.clone(),
+                records.chunks(60).map(<[Record]>::to_vec).collect(),
+                vec![
+                    20 * MICROS_PER_SEC,
+                    80 * MICROS_PER_SEC,
+                    140 * MICROS_PER_SEC,
+                    200 * MICROS_PER_SEC,
+                ],
+            );
+            let local = local_run(
+                spec,
+                records,
+                vec![
+                    20 * MICROS_PER_SEC,
+                    80 * MICROS_PER_SEC,
+                    140 * MICROS_PER_SEC,
+                    200 * MICROS_PER_SEC,
+                ],
+            );
+            assert_eq!(split, local, "split pipeline ≡ local window");
+        }
+    }
+
+    #[test]
+    fn sliding_edge_ships_one_partial_per_slice() {
+        // 240 s of data, sliding 60/15: 16 slices per key must cross the
+        // boundary, not 16 windows × 4 covering rows.
+        let reg = FunctionRegistry::with_builtins();
+        let spec = WindowSpec::Sliding {
+            size: 60 * MICROS_PER_SEC,
+            slide: 15 * MICROS_PER_SEC,
+        };
+        let mut edge = WindowPartialOp::new("ts", &keys(), spec, aggs(), schema(), &reg).unwrap();
         let mut out = Vec::new();
-        let p = partial(3, 0, 7, 70.5, 1, 8);
-        op.process(
-            RecordBuffer::new(partial_schema(), vec![p.clone()]),
-            &mut out,
-        )
-        .unwrap();
-        op.on_eos(&mut out).unwrap();
-        assert_eq!(data_records(&out), vec![p]);
+        let records: Vec<Record> = (0..240).map(|i| rec(i, 0, 1.0, 1)).collect();
+        edge.process(RecordBuffer::new(schema(), records), &mut out)
+            .unwrap();
+        edge.on_eos(&mut out).unwrap();
+        let partials = data_records(&out);
+        assert_eq!(partials.len(), 240 / 15, "one partial row per slice");
+        // Slice bounds are width apart, and each carries its own count.
+        for (i, p) in partials.iter().enumerate() {
+            let start = p.get(1).unwrap().as_timestamp().unwrap();
+            let end = p.get(2).unwrap().as_timestamp().unwrap();
+            assert_eq!(start, i as i64 * 15 * MICROS_PER_SEC);
+            assert_eq!(end - start, 15 * MICROS_PER_SEC);
+            assert_eq!(p.get(3), Some(&Value::Int(15)), "15 records per slice");
+        }
     }
 
     #[test]
-    fn null_partials_keep_other_side() {
-        let kind = MergeKind::Add;
-        assert_eq!(
-            merge_value(&kind, Value::Null, &Value::Int(3)).unwrap(),
-            Value::Int(3)
-        );
-        assert_eq!(
-            merge_value(&kind, Value::Int(3), &Value::Null).unwrap(),
-            Value::Int(3)
-        );
-        assert_eq!(
-            merge_value(&kind, Value::Null, &Value::Null).unwrap(),
-            Value::Null
-        );
+    fn delta_partials_merge_for_out_of_order_records() {
+        // A slice flushed once must ship a *delta* when a late-but-live
+        // record lands in it afterwards, and the cloud must fold both.
+        let spec = WindowSpec::Sliding {
+            size: 40 * MICROS_PER_SEC,
+            slide: 10 * MICROS_PER_SEC,
+        };
+        let batches = vec![
+            (0..30).map(|i| rec(i, 0, 1.0, 1)).collect::<Vec<_>>(),
+            // ts=5 is late for [?..) windows closed by wm=40 but live
+            // for [ -20..20 )-style later windows? No: for size 40 the
+            // record at 5 is live while any window containing it is
+            // open; wm=40 closes [ -30..10 ) ... [0, 40). Window
+            // [ -10..30 ) etc. — keep it simple: ts=25 after wm=40 is
+            // late for [0,40) but live for [10,50), [20,60).
+            vec![rec(25, 0, 9.0, 5)],
+            (40..70).map(|i| rec(i, 0, 1.0, 1)).collect::<Vec<_>>(),
+        ];
+        let wms = vec![
+            40 * MICROS_PER_SEC,
+            40 * MICROS_PER_SEC,
+            100 * MICROS_PER_SEC,
+        ];
+        let split = split_run(spec.clone(), batches.clone(), wms.clone());
+        let local = {
+            let reg = FunctionRegistry::with_builtins();
+            let mut op =
+                crate::ops::WindowOp::new("ts", &keys(), spec, aggs(), schema(), &reg).unwrap();
+            let mut out = Vec::new();
+            for (batch, wm) in batches.into_iter().zip(wms) {
+                op.process(RecordBuffer::new(schema(), batch), &mut out)
+                    .unwrap();
+                op.on_watermark(wm, &mut out).unwrap();
+            }
+            op.on_eos(&mut out).unwrap();
+            assert_eq!(op.late_drops(), 0, "ts=25 is live for open windows");
+            data_records(&out)
+        };
+        assert_eq!(split, local);
+        // The delta record's load must be visible in the open windows.
+        let w10 = split
+            .iter()
+            .find(|r| r.get(1) == Some(&Value::Timestamp(10 * MICROS_PER_SEC)))
+            .expect("[10,50) emitted");
+        let sum = w10.get(4).unwrap().as_int().unwrap();
+        assert!(sum > 30, "delta load folded in: {sum}");
     }
 
     #[test]
     fn late_partial_dropped_and_counted() {
-        let mut op = WindowMergeOp::new(partial_schema(), 1, merges()).unwrap();
-        let mut out = Vec::new();
-        op.on_watermark(120 * MICROS_PER_SEC, &mut out).unwrap();
-        op.process(
-            RecordBuffer::new(partial_schema(), vec![partial(1, 0, 1, 1.0, 1, 1)]),
-            &mut out,
+        let reg = FunctionRegistry::with_builtins();
+        let spec = WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        };
+        let mut edge =
+            WindowPartialOp::new("ts", &keys(), spec.clone(), aggs(), schema(), &reg).unwrap();
+        let mut cloud = WindowMergeOp::new("ts", &keys(), spec, aggs(), schema(), &reg).unwrap();
+        // Produce one partial row, then deliver it after the cloud's
+        // watermark has already passed the slice's last window.
+        let mut edge_out = Vec::new();
+        edge.process(
+            RecordBuffer::new(schema(), vec![rec(1, 0, 1.0, 1)]),
+            &mut edge_out,
         )
         .unwrap();
-        op.on_eos(&mut out).unwrap();
+        edge.on_eos(&mut edge_out).unwrap();
+        let mut out = Vec::new();
+        cloud.on_watermark(120 * MICROS_PER_SEC, &mut out).unwrap();
+        for msg in edge_out {
+            if let StreamMessage::Data(b) = msg {
+                cloud.process(b, &mut out).unwrap();
+            }
+        }
+        cloud.on_eos(&mut out).unwrap();
         assert!(data_records(&out).is_empty());
-        assert_eq!(op.late_partials(), 1);
+        assert_eq!(cloud.late_partials(), 1);
+    }
+
+    #[test]
+    fn partial_schema_flattens_aggregate_snapshots() {
+        let reg = FunctionRegistry::with_builtins();
+        let op = WindowPartialOp::new(
+            "ts",
+            &keys(),
+            WindowSpec::Tumbling {
+                size: 60 * MICROS_PER_SEC,
+            },
+            aggs(),
+            schema(),
+            &reg,
+        )
+        .unwrap();
+        assert_eq!(
+            op.output_schema().to_string(),
+            "(train: INT, slice_start: TIMESTAMP, slice_end: TIMESTAMP, n: INT, \
+             sum_load: INT, min_speed: FLOAT, max_speed: FLOAT, avg_speed_p0: FLOAT, \
+             avg_speed_p1: INT, last_speed_p0: TIMESTAMP, last_speed_p1: FLOAT)"
+        );
     }
 
     #[test]
@@ -444,10 +665,10 @@ mod tests {
         );
         let sw = split_window(&keyed).expect("splittable");
         assert_eq!(sw.window_idx, 1);
-        assert_eq!(sw.key_count, 1);
-        assert_eq!(sw.merges.len(), 2);
+        assert_eq!(sw.keys.len(), 1);
+        assert_eq!(sw.aggs.len(), 2);
 
-        // Avg is order-insensitive but not single-column splittable.
+        // Avg decomposes into a (sum, count) partial and now splits.
         let avg = Query::from("s").window(
             vec![],
             WindowSpec::Tumbling {
@@ -455,7 +676,7 @@ mod tests {
             },
             vec![WindowAgg::new("a", AggSpec::Avg(col("speed")))],
         );
-        assert!(split_window(&avg).is_none());
+        assert!(split_window(&avg).is_some(), "avg is edge-splittable");
 
         // Threshold windows are predicate-delimited, never split.
         let threshold = Query::from("s").window(
@@ -471,10 +692,5 @@ mod tests {
         // A stateless plan has no window to split.
         let stateless = Query::from("s").filter(col("speed").gt(lit(1.0)));
         assert!(split_window(&stateless).is_none());
-    }
-
-    #[test]
-    fn schema_arity_validated() {
-        assert!(WindowMergeOp::new(partial_schema(), 2, merges()).is_err());
     }
 }

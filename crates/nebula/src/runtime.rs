@@ -18,7 +18,7 @@
 use crate::error::{NebulaError, Result};
 use crate::expr::{BoundExpr, FunctionRegistry, Plugin};
 use crate::metrics::QueryMetrics;
-use crate::ops::GroupKey;
+use crate::ops::{chain_late_drops, GroupKey};
 use crate::query::{compile, PartitionScheme, Query};
 use crate::record::{Record, RecordBuffer, StreamMessage};
 use crate::sink::{merge_partitions, BufferSink, Sink};
@@ -228,6 +228,7 @@ impl StreamEnvironment {
         }
         feed(&mut ops, StreamMessage::Eos, sink, &mut metrics)?;
         sink.finish()?;
+        metrics.late_drops = chain_late_drops(&ops);
         metrics.wall = start.elapsed();
         Ok(metrics)
     }
@@ -318,6 +319,7 @@ impl StreamEnvironment {
         });
         result?;
         sink.finish()?;
+        metrics.late_drops = chain_late_drops(&ops);
         metrics.wall = start.elapsed();
         Ok(metrics)
     }
@@ -427,6 +429,7 @@ impl StreamEnvironment {
                                 break;
                             }
                         }
+                        metrics.late_drops = chain_late_drops(&ops);
                         Ok((metrics, local.into_buffers()))
                     }),
                 );

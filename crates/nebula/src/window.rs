@@ -1,13 +1,19 @@
 //! Event-time windowing: tumbling, sliding and threshold windows with
 //! pluggable aggregators.
 //!
-//! Tumbling and sliding windows are closed by watermarks; *threshold
-//! windows* — a NebulaStream signature feature — are predicate-delimited:
-//! a window opens while the predicate holds and closes (emitting, if it
-//! saw at least `min_count` records) when it stops holding.
+//! Tumbling and sliding windows are closed by watermarks and evaluated
+//! by *stream slicing* ([`SliceLayout`]): each record aggregates into
+//! exactly one `gcd(size, slide)`-wide slice per key, and closed windows
+//! materialize by merging the covering slices — O(1) amortized work per
+//! record however much the windows overlap. The merge rides on the
+//! [`Aggregator`] partial contract, which the cluster runtime reuses to
+//! ship per-slice partials across node boundaries. *Threshold windows* —
+//! a NebulaStream signature feature — are predicate-delimited: a window
+//! opens while the predicate holds and closes (emitting, if it saw at
+//! least `min_count` records) when it stops holding.
 
 use crate::error::{NebulaError, Result};
-use crate::expr::{BoundExpr, Expr, FunctionRegistry};
+use crate::expr::{col, BoundExpr, Expr, FunctionRegistry};
 use crate::record::Record;
 use crate::schema::Schema;
 use crate::value::{DataType, DurationUs, EventTime, Value};
@@ -80,10 +86,111 @@ impl WindowSpec {
     }
 }
 
-/// Incremental aggregation state.
+fn gcd(mut a: i64, mut b: i64) -> i64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.abs()
+}
+
+/// The stream-slicing geometry of a time window: event time partitions
+/// into non-overlapping *slices* of `gcd(size, slide)` µs, each record
+/// aggregates into exactly one slice per key, and windows materialize by
+/// merging the `size / width` slices they cover — the shared-aggregation
+/// scheme of the NebulaStream platform paper (Zeuch et al.). Tumbling
+/// windows degenerate to one slice per window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceLayout {
+    /// Window length (µs).
+    pub size: DurationUs,
+    /// Slide step (µs); equals `size` for tumbling windows.
+    pub slide: DurationUs,
+    /// Slice width: `gcd(size, slide)` (µs).
+    pub width: DurationUs,
+}
+
+impl SliceLayout {
+    /// The layout of a time-based spec (`None` for threshold windows).
+    pub fn of(spec: &WindowSpec) -> Option<SliceLayout> {
+        match *spec {
+            WindowSpec::Tumbling { size } => Some(SliceLayout {
+                size,
+                slide: size,
+                width: size,
+            }),
+            WindowSpec::Sliding { size, slide } => Some(SliceLayout {
+                size,
+                slide,
+                width: gcd(size, slide),
+            }),
+            WindowSpec::Threshold { .. } => None,
+        }
+    }
+
+    /// Start of the slice containing `ts` (floors correctly for negative
+    /// event times via `div_euclid`).
+    pub fn slice_of(&self, ts: EventTime) -> EventTime {
+        ts.div_euclid(self.width) * self.width
+    }
+
+    /// End of the latest window containing `ts`, or `None` when `ts`
+    /// falls in a coverage gap (`slide > size`) and belongs to no window.
+    /// A record is late exactly when this end is `<=` the watermark.
+    pub fn latest_close(&self, ts: EventTime) -> Option<EventTime> {
+        let w = ts.div_euclid(self.slide) * self.slide;
+        (w + self.size > ts).then_some(w + self.size)
+    }
+
+    /// When the *first* window covering the slice closes — the earliest
+    /// watermark at which an edge must ship the slice's partial.
+    pub fn first_close(&self, slice: EventTime) -> EventTime {
+        // Smallest covering start: ceil((slice + width - size) / slide).
+        let need = slice + self.width - self.size;
+        let w = -((-need).div_euclid(self.slide)) * self.slide;
+        w + self.size
+    }
+
+    /// When the *last* window covering the slice closes — after this
+    /// watermark the slice can never be read again and is retired.
+    pub fn last_close(&self, slice: EventTime) -> EventTime {
+        slice.div_euclid(self.slide) * self.slide + self.size
+    }
+}
+
+/// Incremental aggregation state with partial-merge as part of the core
+/// contract: every accumulator can snapshot its state as *partial
+/// values* and absorb another accumulator's snapshot. Stream slicing
+/// (see [`SliceLayout`]) materializes windows by merging the covering
+/// slices' accumulators, and edge pre-aggregation ships the same
+/// snapshots across the wire (see [`crate::preagg`]) — one contract
+/// serves both.
+///
+/// The algebraic requirement: folding records into several accumulators
+/// and merging their partials must equal folding all records into one
+/// accumulator. Order-dependent aggregates satisfy it by carrying event
+/// time in the partial (`first`/`last` keep the sample with the
+/// extremal timestamp).
 pub trait Aggregator: Send {
     /// Folds one record in.
     fn update(&mut self, rec: &Record) -> Result<()>;
+    /// Snapshots the accumulated state as partial values. The arity is
+    /// fixed per aggregate (see [`AggSpec::partial_types`]); an empty
+    /// accumulator snapshots as nulls.
+    fn partial(&self) -> Result<Vec<Value>>;
+    /// Folds a snapshot produced by [`Aggregator::partial`] back in.
+    fn merge_partial(&mut self, partial: &[Value]) -> Result<()>;
+    /// Non-destructively merges another accumulator of the same
+    /// aggregate into this one (slice → window materialization).
+    fn merge(&mut self, other: &dyn Aggregator) -> Result<()> {
+        self.merge_partial(&other.partial()?)
+    }
+    /// The accumulator as `Any`, letting implementations fast-path
+    /// [`Aggregator::merge`] between accumulators of their own type
+    /// without materializing the partial snapshot. The default (`None`)
+    /// keeps merges on the snapshot path.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
     /// Produces the final value.
     fn finish(&mut self) -> Result<Value>;
 }
@@ -93,28 +200,29 @@ pub trait Aggregator: Send {
 pub trait AggregatorFactory: Send + Sync {
     /// Output type given the input schema.
     fn output_type(&self, input: &Schema, registry: &FunctionRegistry) -> Result<DataType>;
-    /// Creates one per-window accumulator.
+    /// Creates one accumulator.
     fn create(&self, input: &Schema, registry: &FunctionRegistry) -> Result<Box<dyn Aggregator>>;
-    /// A function merging two *partial* outputs of this aggregate into
-    /// one, if the aggregate is splittable across edge nodes (see
-    /// [`crate::preagg`]). The default — `None` — keeps the aggregate
-    /// whole: the cluster runtime then runs the entire window on a
-    /// single node instead of pre-aggregating at the edge.
-    fn partial_merge(&self) -> Option<Arc<dyn PartialMergeFn>> {
-        None
+    /// True when this aggregate's partial snapshots may cross node
+    /// boundaries (the values survive the wire, e.g. via a registered
+    /// [`crate::wire::OpaqueWireCodec`]). Must agree with
+    /// [`AggregatorFactory::partial_types`] returning `Some`. The
+    /// default — `false` — keeps the aggregate whole: the cluster
+    /// runtime then runs the entire window on a single node instead of
+    /// pre-aggregating at the edge.
+    fn splittable(&self) -> bool {
+        false
     }
-}
-
-/// Merges two partial aggregate outputs of the same (key, window) into
-/// one — the plugin seam behind edge pre-aggregation. For a splittable
-/// aggregate, folding records per edge node and then merging the
-/// per-edge outputs must equal aggregating all records on one node
-/// (e.g. MEOS sequence-append: per-edge sub-sequences concatenate into
-/// the full window sequence).
-pub trait PartialMergeFn: Send + Sync {
-    /// Combines `acc` with `next`, returning the merged value. Nulls
-    /// (empty partials) are handled by the caller and never reach this.
-    fn merge(&self, acc: Value, next: &Value) -> Result<Value>;
+    /// The wire layout of this aggregate's partial snapshot — one
+    /// [`DataType`] per partial column — or `None` when partials cannot
+    /// cross node boundaries.
+    fn partial_types(
+        &self,
+        input: &Schema,
+        registry: &FunctionRegistry,
+    ) -> Result<Option<Vec<DataType>>> {
+        let _ = (input, registry);
+        Ok(None)
+    }
 }
 
 /// A window aggregate: what to compute and the output column name.
@@ -133,6 +241,12 @@ impl WindowAgg {
             name: name.into(),
             spec,
         }
+    }
+}
+
+impl std::fmt::Debug for WindowAgg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WindowAgg({})", self.name)
     }
 }
 
@@ -178,21 +292,59 @@ impl AggSpec {
         }
     }
 
-    /// Creates the accumulator.
+    /// The wire layout of the aggregate's partial snapshot, or `None`
+    /// when it cannot be split across node boundaries. `avg` decomposes
+    /// into a (sum, count) partial; order-dependent `first`/`last`
+    /// carry a (timestamp, value) partial.
+    pub fn partial_types(
+        &self,
+        input: &Schema,
+        registry: &FunctionRegistry,
+    ) -> Result<Option<Vec<DataType>>> {
+        Ok(match self {
+            AggSpec::Count => Some(vec![DataType::Int]),
+            AggSpec::Sum(_) | AggSpec::Min(_) | AggSpec::Max(_) => {
+                Some(vec![self.output_type(input, registry)?])
+            }
+            AggSpec::Avg(e) => {
+                e.bind(input, registry)?;
+                Some(vec![DataType::Float, DataType::Int])
+            }
+            AggSpec::First(_) | AggSpec::Last(_) => Some(vec![
+                DataType::Timestamp,
+                self.output_type(input, registry)?,
+            ]),
+            AggSpec::Custom(f) => f.partial_types(input, registry)?,
+        })
+    }
+
+    /// True when partial snapshots of this aggregate may cross node
+    /// boundaries (schema-free check; see [`AggSpec::partial_types`]).
+    pub fn splittable(&self) -> bool {
+        match self {
+            AggSpec::Custom(f) => f.splittable(),
+            _ => true,
+        }
+    }
+
+    /// Creates the accumulator. `ts_field` names the event-time column
+    /// (order-dependent `first`/`last` track it in their partials).
     pub fn create(
         &self,
         input: &Schema,
         registry: &FunctionRegistry,
+        ts_field: &str,
     ) -> Result<Box<dyn Aggregator>> {
         let bind = |e: &Expr| e.bind(input, registry).map(|(b, _)| b);
+        let ts = || bind(&col(ts_field));
         Ok(match self {
             AggSpec::Count => Box::new(BuiltinAgg::count()),
             AggSpec::Sum(e) => Box::new(BuiltinAgg::new(bind(e)?, AggKind::Sum)),
             AggSpec::Min(e) => Box::new(BuiltinAgg::new(bind(e)?, AggKind::Min)),
             AggSpec::Max(e) => Box::new(BuiltinAgg::new(bind(e)?, AggKind::Max)),
             AggSpec::Avg(e) => Box::new(BuiltinAgg::new(bind(e)?, AggKind::Avg)),
-            AggSpec::First(e) => Box::new(BuiltinAgg::new(bind(e)?, AggKind::First)),
-            AggSpec::Last(e) => Box::new(BuiltinAgg::new(bind(e)?, AggKind::Last)),
+            AggSpec::First(e) => Box::new(BuiltinAgg::timed(bind(e)?, ts()?, AggKind::First)),
+            AggSpec::Last(e) => Box::new(BuiltinAgg::timed(bind(e)?, ts()?, AggKind::Last)),
             AggSpec::Custom(f) => f.create(input, registry)?,
         })
     }
@@ -211,33 +363,78 @@ enum AggKind {
 
 struct BuiltinAgg {
     expr: Option<BoundExpr>,
+    /// Event-time expression (`first`/`last` only).
+    ts: Option<BoundExpr>,
     kind: AggKind,
     count: u64,
     sum: f64,
     int_only: bool,
     best: Option<Value>,
+    /// Event time of `best` (`first`/`last` only; meaningful when
+    /// `best` is `Some`).
+    best_ts: EventTime,
 }
 
 impl BuiltinAgg {
     fn count() -> Self {
         BuiltinAgg {
             expr: None,
+            ts: None,
             kind: AggKind::Count,
             count: 0,
             sum: 0.0,
             int_only: true,
             best: None,
+            best_ts: EventTime::MIN,
         }
     }
 
     fn new(expr: BoundExpr, kind: AggKind) -> Self {
         BuiltinAgg {
             expr: Some(expr),
-            kind,
-            count: 0,
-            sum: 0.0,
-            int_only: true,
-            best: None,
+            ..BuiltinAgg::count()
+        }
+        .with_kind(kind)
+    }
+
+    fn timed(expr: BoundExpr, ts: BoundExpr, kind: AggKind) -> Self {
+        BuiltinAgg {
+            expr: Some(expr),
+            ts: Some(ts),
+            ..BuiltinAgg::count()
+        }
+        .with_kind(kind)
+    }
+
+    fn with_kind(mut self, kind: AggKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// `first`/`last` keep the sample at the extremal event time, so
+    /// out-of-order delivery and slice/edge merging agree on one
+    /// answer. Equal timestamps keep the incumbent for `first` and take
+    /// the newcomer for `last` — arrival order, both when folding
+    /// records directly and when merging partials: within one pipeline
+    /// slice deltas arrive over FIFO channels in the order the edge
+    /// absorbed them, and merges across *different* slices can never
+    /// tie (their timestamp ranges are disjoint). When one group key
+    /// spans several pipelines, equal-timestamp ties resolve in cloud
+    /// fan-in arrival order — inherently race-ordered, exactly as they
+    /// would be if the raw records themselves were interleaved at the
+    /// cloud.
+    fn absorb_sample(&mut self, ts: EventTime, v: Value) {
+        let take = match &self.best {
+            None => true,
+            Some(_) => match self.kind {
+                AggKind::First => ts < self.best_ts,
+                AggKind::Last => ts >= self.best_ts,
+                _ => unreachable!("absorb_sample is first/last only"),
+            },
+        };
+        if take {
+            self.best = Some(v);
+            self.best_ts = ts;
         }
     }
 }
@@ -280,15 +477,149 @@ impl Aggregator for BuiltinAgg {
                     self.best = Some(v);
                 }
             }
-            AggKind::First => {
-                if self.best.is_none() {
-                    self.best = Some(v);
-                }
+            AggKind::First | AggKind::Last => {
+                let ts = self
+                    .ts
+                    .as_ref()
+                    .expect("first/last track event time")
+                    .eval(rec)?
+                    .as_timestamp()
+                    .ok_or_else(|| {
+                        NebulaError::Eval("first/last: record missing event time".into())
+                    })?;
+                self.absorb_sample(ts, v);
             }
-            AggKind::Last => self.best = Some(v),
             AggKind::Count => unreachable!(),
         }
         Ok(())
+    }
+
+    fn partial(&self) -> Result<Vec<Value>> {
+        Ok(match self.kind {
+            AggKind::Count => vec![Value::Int(self.count as i64)],
+            AggKind::Sum => {
+                if self.count == 0 {
+                    vec![Value::Null]
+                } else if self.int_only {
+                    vec![Value::Int(self.sum as i64)]
+                } else {
+                    vec![Value::Float(self.sum)]
+                }
+            }
+            AggKind::Avg => vec![Value::Float(self.sum), Value::Int(self.count as i64)],
+            AggKind::Min | AggKind::Max => vec![self.best.clone().unwrap_or(Value::Null)],
+            AggKind::First | AggKind::Last => match &self.best {
+                Some(v) => vec![Value::Timestamp(self.best_ts), v.clone()],
+                None => vec![Value::Null, Value::Null],
+            },
+        })
+    }
+
+    fn merge_partial(&mut self, partial: &[Value]) -> Result<()> {
+        let arity_err = || NebulaError::Eval("aggregate partial has wrong arity".into());
+        let p0 = partial.first().ok_or_else(arity_err)?;
+        match self.kind {
+            AggKind::Count => {
+                self.count += p0.as_int().ok_or_else(arity_err)? as u64;
+            }
+            AggKind::Sum => match p0 {
+                Value::Null => {}
+                Value::Int(i) => {
+                    self.count += 1;
+                    self.sum += *i as f64;
+                }
+                other => {
+                    self.count += 1;
+                    self.int_only = false;
+                    self.sum += other.as_float().ok_or_else(|| {
+                        NebulaError::Eval(format!("cannot merge sum partial '{other}'"))
+                    })?;
+                }
+            },
+            AggKind::Avg => {
+                let n = partial
+                    .get(1)
+                    .and_then(Value::as_int)
+                    .ok_or_else(arity_err)?;
+                if n > 0 {
+                    self.sum += p0.as_float().ok_or_else(arity_err)?;
+                    self.count += n as u64;
+                }
+            }
+            AggKind::Min | AggKind::Max => {
+                if !p0.is_null() {
+                    self.count += 1;
+                    let replace = match &self.best {
+                        Some(b) => {
+                            let want = if self.kind == AggKind::Min {
+                                std::cmp::Ordering::Less
+                            } else {
+                                std::cmp::Ordering::Greater
+                            };
+                            p0.partial_cmp_num(b) == Some(want)
+                        }
+                        None => true,
+                    };
+                    if replace {
+                        self.best = Some(p0.clone());
+                    }
+                }
+            }
+            AggKind::First | AggKind::Last => {
+                if let Some(ts) = p0.as_timestamp() {
+                    let v = partial.get(1).ok_or_else(arity_err)?.clone();
+                    self.absorb_sample(ts, v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Slice → window materialization happens once per closed window per
+    /// covering slice: merging same-type accumulators directly (no
+    /// intermediate partial vector) keeps that hot path allocation-free.
+    /// Observable results are identical to the snapshot path.
+    fn merge(&mut self, other: &dyn Aggregator) -> Result<()> {
+        let Some(b) = other.as_any().and_then(|a| a.downcast_ref::<BuiltinAgg>()) else {
+            return self.merge_partial(&other.partial()?);
+        };
+        match self.kind {
+            AggKind::Count => self.count += b.count,
+            AggKind::Sum | AggKind::Avg => {
+                if b.count > 0 {
+                    self.count += b.count;
+                    self.int_only &= b.int_only;
+                    self.sum += b.sum;
+                }
+            }
+            AggKind::Min | AggKind::Max => {
+                if let Some(v) = &b.best {
+                    self.count += b.count;
+                    let want = if self.kind == AggKind::Min {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    };
+                    let replace = match &self.best {
+                        Some(mine) => v.partial_cmp_num(mine) == Some(want),
+                        None => true,
+                    };
+                    if replace {
+                        self.best = Some(v.clone());
+                    }
+                }
+            }
+            AggKind::First | AggKind::Last => {
+                if let Some(v) = &b.best {
+                    self.absorb_sample(b.best_ts, v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn finish(&mut self) -> Result<Value> {
@@ -375,12 +706,23 @@ mod tests {
         .is_ok());
     }
 
+    fn agg_schema() -> crate::schema::SchemaRef {
+        Schema::of(&[("ts", DataType::Timestamp), ("v", DataType::Float)])
+    }
+
+    /// Records (ts = index, value) in arrival order.
+    fn agg_recs(vals: &[Value]) -> Vec<Record> {
+        vals.iter()
+            .enumerate()
+            .map(|(i, v)| Record::new(vec![Value::Timestamp(i as i64), v.clone()]))
+            .collect()
+    }
+
     fn run_agg(spec: AggSpec, vals: &[Value]) -> Value {
-        let schema = Schema::of(&[("v", DataType::Float)]);
         let reg = FunctionRegistry::with_builtins();
-        let mut agg = spec.create(&schema, &reg).unwrap();
-        for v in vals {
-            agg.update(&Record::new(vec![v.clone()])).unwrap();
+        let mut agg = spec.create(&agg_schema(), &reg, "ts").unwrap();
+        for rec in agg_recs(vals) {
+            agg.update(&rec).unwrap();
         }
         agg.finish().unwrap()
     }
@@ -407,13 +749,142 @@ mod tests {
 
     #[test]
     fn sum_stays_integer_for_ints() {
-        let schema = Schema::of(&[("v", DataType::Int)]);
+        let schema = Schema::of(&[("ts", DataType::Timestamp), ("v", DataType::Int)]);
         let reg = FunctionRegistry::with_builtins();
-        let mut agg = AggSpec::Sum(col("v")).create(&schema, &reg).unwrap();
+        let mut agg = AggSpec::Sum(col("v")).create(&schema, &reg, "ts").unwrap();
         for i in 1..=3i64 {
-            agg.update(&Record::new(vec![Value::Int(i)])).unwrap();
+            agg.update(&Record::new(vec![Value::Timestamp(i), Value::Int(i)]))
+                .unwrap();
         }
         assert_eq!(agg.finish().unwrap(), Value::Int(6));
+    }
+
+    #[test]
+    fn first_last_are_event_time_ordered() {
+        // Out-of-order arrival: first/last pick the extremal event time,
+        // not the extremal arrival position.
+        let reg = FunctionRegistry::with_builtins();
+        let rec = |ts: i64, v: f64| Record::new(vec![Value::Timestamp(ts), Value::Float(v)]);
+        let feed = [rec(5, 50.0), rec(2, 20.0), rec(9, 90.0), rec(7, 70.0)];
+        let mut first = AggSpec::First(col("v"))
+            .create(&agg_schema(), &reg, "ts")
+            .unwrap();
+        let mut last = AggSpec::Last(col("v"))
+            .create(&agg_schema(), &reg, "ts")
+            .unwrap();
+        for r in &feed {
+            first.update(r).unwrap();
+            last.update(r).unwrap();
+        }
+        assert_eq!(first.finish().unwrap(), Value::Float(20.0));
+        assert_eq!(last.finish().unwrap(), Value::Float(90.0));
+    }
+
+    /// Split the values across two accumulators, merge the partials into
+    /// a third, and compare with single-accumulator folding.
+    fn assert_partials_merge(spec: AggSpec, vals: &[Value]) {
+        let reg = FunctionRegistry::with_builtins();
+        let schema = agg_schema();
+        let make = || spec.create(&schema, &reg, "ts").unwrap();
+        let mut whole = make();
+        let mut left = make();
+        let mut right = make();
+        for (i, rec) in agg_recs(vals).iter().enumerate() {
+            whole.update(rec).unwrap();
+            if i % 2 == 0 { &mut left } else { &mut right }
+                .update(rec)
+                .unwrap();
+        }
+        let mut merged = make();
+        merged.merge(&*left).unwrap();
+        merged.merge(&*right).unwrap();
+        assert_eq!(merged.finish().unwrap(), whole.finish().unwrap());
+        let arity = spec.partial_types(&schema, &reg).unwrap().unwrap().len();
+        assert_eq!(left.partial().unwrap().len(), arity, "declared arity");
+    }
+
+    #[test]
+    fn every_builtin_aggregate_merges_partials() {
+        let vals: Vec<Value> = [1.5, -3.0, 2.0, 2.0, 8.25].map(Value::Float).to_vec();
+        assert_partials_merge(AggSpec::Count, &vals);
+        assert_partials_merge(AggSpec::Sum(col("v")), &vals);
+        assert_partials_merge(AggSpec::Min(col("v")), &vals);
+        assert_partials_merge(AggSpec::Max(col("v")), &vals);
+        assert_partials_merge(AggSpec::Avg(col("v")), &vals);
+        assert_partials_merge(AggSpec::First(col("v")), &vals);
+        assert_partials_merge(AggSpec::Last(col("v")), &vals);
+        // Empty partials merge as no-ops.
+        assert_partials_merge(AggSpec::Avg(col("v")), &[]);
+        assert_partials_merge(AggSpec::Sum(col("v")), &[Value::Null]);
+        assert_partials_merge(AggSpec::First(col("v")), &[]);
+    }
+
+    #[test]
+    fn avg_partial_decomposes_into_sum_and_count() {
+        let reg = FunctionRegistry::with_builtins();
+        let mut agg = AggSpec::Avg(col("v"))
+            .create(&agg_schema(), &reg, "ts")
+            .unwrap();
+        for rec in agg_recs(&[Value::Float(1.0), Value::Float(2.0)]) {
+            agg.update(&rec).unwrap();
+        }
+        assert_eq!(
+            agg.partial().unwrap(),
+            vec![Value::Float(3.0), Value::Int(2)]
+        );
+        assert_eq!(
+            AggSpec::Avg(col("v"))
+                .partial_types(&agg_schema(), &reg)
+                .unwrap(),
+            Some(vec![DataType::Float, DataType::Int])
+        );
+    }
+
+    #[test]
+    fn slice_layout_geometry() {
+        let tumbling = SliceLayout::of(&WindowSpec::Tumbling { size: 10 }).unwrap();
+        assert_eq!(tumbling.width, 10, "tumbling: one slice per window");
+        assert_eq!(tumbling.slice_of(-1), -10, "negative times floor");
+        assert_eq!(tumbling.first_close(20), 30);
+        assert_eq!(tumbling.last_close(20), 30);
+
+        let sliding = SliceLayout::of(&WindowSpec::Sliding {
+            size: 60,
+            slide: 25,
+        })
+        .unwrap();
+        assert_eq!(sliding.width, 5, "gcd(60, 25)");
+        // Windows and slices share the `width` alignment, so the windows
+        // covering a slice are exactly the windows containing its start.
+        let covering = WindowSpec::Sliding {
+            size: 60,
+            slide: 25,
+        }
+        .assign(50);
+        assert_eq!(covering, vec![50, 25, 0], "windows containing the slice");
+        assert_eq!(sliding.first_close(50), 60, "window [0,60) closes first");
+        assert_eq!(sliding.last_close(50), 110, "window [50,110) closes last");
+        assert_eq!(sliding.latest_close(50), Some(110));
+
+        // Coverage gaps when slide > size: no window contains ts.
+        let gappy = SliceLayout::of(&WindowSpec::Sliding {
+            size: 10,
+            slide: 15,
+        })
+        .unwrap();
+        assert_eq!(gappy.width, 5);
+        assert_eq!(gappy.latest_close(12), None, "12 falls between windows");
+        assert_eq!(gappy.latest_close(16), Some(25));
+
+        // Negative slices cover negative windows.
+        let s = SliceLayout::of(&WindowSpec::Sliding { size: 10, slide: 5 }).unwrap();
+        assert_eq!(s.first_close(-10), -5, "window [-15,-5) closes first");
+        assert_eq!(s.last_close(-10), 0, "window [-10,0) closes last");
+        assert!(SliceLayout::of(&WindowSpec::Threshold {
+            predicate: lit(true),
+            min_count: 1
+        })
+        .is_none());
     }
 
     #[test]

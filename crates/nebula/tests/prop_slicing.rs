@@ -1,0 +1,384 @@
+//! Property suite for stream slicing: the slice-based window operator
+//! must be observationally identical to a naive per-window reference —
+//! one eager accumulator per (key, window), updated on every overlapping
+//! window per record — across random window geometries (including
+//! coprime size/slide and `slide > size` coverage gaps), random jitter,
+//! key cardinalities, watermark schedules and negative event times
+//! (`div_euclid` slice assignment). The split pipeline (edge
+//! `WindowPartialOp` → cloud `WindowMergeOp`) must match too, for every
+//! splittable aggregate including the decomposed `avg` and the
+//! order-dependent `first`/`last`.
+
+use nebula::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const U: i64 = 1_000; // one time unit in µs — keeps geometries readable
+
+fn schema() -> SchemaRef {
+    Schema::of(&[
+        ("ts", DataType::Timestamp),
+        ("key", DataType::Int),
+        ("v", DataType::Float),
+    ])
+}
+
+fn all_aggs() -> Vec<WindowAgg> {
+    vec![
+        WindowAgg::new("n", AggSpec::Count),
+        WindowAgg::new("sum_v", AggSpec::Sum(col("v"))),
+        WindowAgg::new("min_v", AggSpec::Min(col("v"))),
+        WindowAgg::new("max_v", AggSpec::Max(col("v"))),
+        WindowAgg::new("avg_v", AggSpec::Avg(col("v"))),
+        WindowAgg::new("first_v", AggSpec::First(col("v"))),
+        WindowAgg::new("last_v", AggSpec::Last(col("v"))),
+    ]
+}
+
+fn keys() -> Vec<(String, Expr)> {
+    vec![("key".to_string(), col("key"))]
+}
+
+/// One generated scenario: a window geometry, a record stream (possibly
+/// out of order, possibly with negative timestamps), and a watermark
+/// schedule interleaved every `wm_every` records.
+#[derive(Debug, Clone)]
+struct Scenario {
+    spec: WindowSpec,
+    /// (ts µs, key, value) in arrival order.
+    records: Vec<(i64, i64, f64)>,
+    wm_every: usize,
+    slack: i64,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        (1i64..7, 1i64..7),
+        proptest::collection::vec((-60i64..60, 0i64..4, -9i64..9, 0i64..2), 0..200),
+        (1usize..8, 0i64..12),
+    )
+        .prop_map(|((size_u, slide_u), rows, (wm_every, slack_u))| {
+            let spec = if size_u == slide_u {
+                WindowSpec::Tumbling { size: size_u * U }
+            } else {
+                WindowSpec::Sliding {
+                    size: size_u * U,
+                    slide: slide_u * U,
+                }
+            };
+            // Sub-slice offsets (t * U/2) exercise non-aligned events.
+            let records = rows
+                .into_iter()
+                .map(|(t, k, v, half)| (t * U + half * U / 2, k, v as f64))
+                .collect();
+            Scenario {
+                spec,
+                records,
+                wm_every,
+                slack: slack_u * U,
+            }
+        })
+}
+
+/// The event feed a scenario produces: data batches interleaved with
+/// bounded-out-of-orderness watermarks, exactly like the runtime's
+/// ingest loop generates them.
+fn messages(sc: &Scenario) -> Vec<StreamMessage> {
+    let mut out = Vec::new();
+    let mut max_ts = i64::MIN;
+    for chunk in sc.records.chunks(sc.wm_every.max(1)) {
+        let recs: Vec<Record> = chunk
+            .iter()
+            .map(|&(ts, k, v)| {
+                Record::new(vec![Value::Timestamp(ts), Value::Int(k), Value::Float(v)])
+            })
+            .collect();
+        for r in chunk {
+            max_ts = max_ts.max(r.0);
+        }
+        out.push(StreamMessage::Data(RecordBuffer::new(schema(), recs)));
+        if max_ts != i64::MIN {
+            out.push(StreamMessage::Watermark(max_ts - sc.slack));
+        }
+    }
+    out.push(StreamMessage::Eos);
+    out
+}
+
+fn drive(op: &mut dyn Operator, feed: Vec<StreamMessage>) -> Vec<Record> {
+    let mut got = Vec::new();
+    let mut out = Vec::new();
+    for msg in feed {
+        match msg {
+            StreamMessage::Data(b) => op.process(b, &mut out).unwrap(),
+            StreamMessage::Watermark(w) => op.on_watermark(w, &mut out).unwrap(),
+            StreamMessage::Eos => op.on_eos(&mut out).unwrap(),
+        }
+    }
+    for msg in out {
+        if let StreamMessage::Data(b) = msg {
+            got.extend(b.records().iter().cloned());
+        }
+    }
+    got
+}
+
+/// The naive reference: one eager accumulator set per (key, window),
+/// every record updates every overlapping open window, windows emit when
+/// the watermark passes their end. This is exactly the seed engine's
+/// O(size/slide)-per-record evaluation strategy.
+struct NaiveWindows {
+    spec: WindowSpec,
+    size: i64,
+    registry: FunctionRegistry,
+    state: HashMap<(i64, i64), Vec<Box<dyn Aggregator>>>,
+    wm: i64,
+    late: u64,
+    emitted: Vec<Record>,
+}
+
+impl NaiveWindows {
+    fn new(spec: WindowSpec) -> Self {
+        let size = spec.size().expect("time window");
+        NaiveWindows {
+            spec,
+            size,
+            registry: FunctionRegistry::with_builtins(),
+            state: HashMap::new(),
+            wm: i64::MIN,
+            late: 0,
+            emitted: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, ts: i64, key: i64, v: f64) {
+        let rec = Record::new(vec![Value::Timestamp(ts), Value::Int(key), Value::Float(v)]);
+        let starts = self.spec.assign(ts);
+        if starts.is_empty() {
+            return; // coverage gap: no window, not late either
+        }
+        if starts.iter().all(|s| s + self.size <= self.wm) {
+            self.late += 1; // late for every window: one drop
+            return;
+        }
+        for start in starts {
+            if start + self.size <= self.wm {
+                continue; // closed window: silently skip, still absorbed elsewhere
+            }
+            let aggs = self.state.entry((key, start)).or_insert_with(|| {
+                all_aggs()
+                    .iter()
+                    .map(|a| {
+                        a.spec
+                            .create(&schema(), &self.registry, "ts")
+                            .expect("create")
+                    })
+                    .collect()
+            });
+            for agg in aggs {
+                agg.update(&rec).expect("update");
+            }
+        }
+    }
+
+    fn watermark(&mut self, wm: i64) {
+        self.wm = self.wm.max(wm);
+        let due: Vec<(i64, i64)> = self
+            .state
+            .keys()
+            .filter(|(_, start)| start + self.size <= self.wm)
+            .cloned()
+            .collect();
+        for key in due {
+            let mut aggs = self.state.remove(&key).expect("due");
+            let mut values = vec![
+                Value::Int(key.0),
+                Value::Timestamp(key.1),
+                Value::Timestamp(key.1 + self.size),
+            ];
+            for agg in &mut aggs {
+                values.push(agg.finish().expect("finish"));
+            }
+            self.emitted.push(Record::new(values));
+        }
+    }
+
+    fn eos(&mut self) {
+        let due: Vec<(i64, i64)> = self.state.keys().cloned().collect();
+        for key in due {
+            let mut aggs = self.state.remove(&key).expect("due");
+            let mut values = vec![
+                Value::Int(key.0),
+                Value::Timestamp(key.1),
+                Value::Timestamp(key.1 + self.size),
+            ];
+            for agg in &mut aggs {
+                values.push(agg.finish().expect("finish"));
+            }
+            self.emitted.push(Record::new(values));
+        }
+    }
+}
+
+fn run_naive(sc: &Scenario) -> (Vec<Record>, u64) {
+    let mut naive = NaiveWindows::new(sc.spec.clone());
+    for msg in messages(sc) {
+        match msg {
+            StreamMessage::Data(b) => {
+                for r in b.records() {
+                    naive.record(
+                        r.get(0).unwrap().as_timestamp().unwrap(),
+                        r.get(1).unwrap().as_int().unwrap(),
+                        r.get(2).unwrap().as_float().unwrap(),
+                    );
+                }
+            }
+            StreamMessage::Watermark(w) => naive.watermark(w),
+            StreamMessage::Eos => naive.eos(),
+        }
+    }
+    (naive.emitted, naive.late)
+}
+
+fn normalized(mut recs: Vec<Record>) -> Vec<Record> {
+    recs.sort_by_cached_key(record_sort_key);
+    recs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // Slice-based aggregation ≡ naive per-window accumulation, bit for
+    // bit, over every aggregate at once.
+    #[test]
+    fn slicing_equals_naive_per_window_reference(sc in scenario_strategy()) {
+        let reg = FunctionRegistry::with_builtins();
+        let mut op = WindowOp::new("ts", &keys(), sc.spec.clone(), all_aggs(), schema(), &reg)
+            .expect("window op");
+        let got = drive(&mut op, messages(&sc));
+        let (expect, naive_late) = run_naive(&sc);
+        prop_assert_eq!(normalized(got), normalized(expect));
+        prop_assert_eq!(op.late_drops(), naive_late);
+    }
+
+    // The edge/cloud split — per-slice partials shipped at watermark
+    // boundaries, merged cloud-side — matches the single-process slice
+    // operator exactly, covering the decomposed `avg` and the
+    // timestamped `first`/`last` partials.
+    #[test]
+    fn split_pipeline_equals_local_window(sc in scenario_strategy()) {
+        let reg = FunctionRegistry::with_builtins();
+        let mut local = WindowOp::new("ts", &keys(), sc.spec.clone(), all_aggs(), schema(), &reg)
+            .expect("window op");
+        let expect = drive(&mut local, messages(&sc));
+
+        let mut edge = WindowPartialOp::new(
+            "ts", &keys(), sc.spec.clone(), all_aggs(), schema(), &reg,
+        ).expect("partial op");
+        let mut cloud = WindowMergeOp::new(
+            "ts", &keys(), sc.spec.clone(), all_aggs(), schema(), &reg,
+        ).expect("merge op");
+        let mut crossing = Vec::new();
+        for msg in messages(&sc) {
+            match msg {
+                StreamMessage::Data(b) => edge.process(b, &mut crossing).unwrap(),
+                StreamMessage::Watermark(w) => edge.on_watermark(w, &mut crossing).unwrap(),
+                StreamMessage::Eos => edge.on_eos(&mut crossing).unwrap(),
+            }
+        }
+        let mut out = Vec::new();
+        for msg in crossing {
+            match msg {
+                StreamMessage::Data(b) => cloud.process(b, &mut out).unwrap(),
+                StreamMessage::Watermark(w) => cloud.on_watermark(w, &mut out).unwrap(),
+                StreamMessage::Eos => cloud.on_eos(&mut out).unwrap(),
+            }
+        }
+        let mut got = Vec::new();
+        for msg in out {
+            if let StreamMessage::Data(b) = msg {
+                got.extend(b.records().iter().cloned());
+            }
+        }
+        prop_assert_eq!(normalized(got), normalized(expect));
+        prop_assert_eq!(cloud.late_partials(), 0);
+        prop_assert_eq!(edge.late_drops(), local.late_drops());
+    }
+
+    // Sharding records across two edges and merging both partial
+    // streams reproduces the union run — the multi-train fan-in.
+    #[test]
+    fn two_edge_fan_in_equals_union(sc in scenario_strategy()) {
+        let reg = FunctionRegistry::with_builtins();
+        let mut local = WindowOp::new("ts", &keys(), sc.spec.clone(), all_aggs(), schema(), &reg)
+            .expect("window op");
+        let expect = drive(&mut local, messages(&sc));
+
+        let mut edges = [
+            WindowPartialOp::new("ts", &keys(), sc.spec.clone(), all_aggs(), schema(), &reg)
+                .expect("edge 0"),
+            WindowPartialOp::new("ts", &keys(), sc.spec.clone(), all_aggs(), schema(), &reg)
+                .expect("edge 1"),
+        ];
+        let mut cloud = WindowMergeOp::new(
+            "ts", &keys(), sc.spec.clone(), all_aggs(), schema(), &reg,
+        ).expect("merge op");
+        // Key-shard the feed and broadcast watermarks. Like the cluster
+        // fan-in's min-combined watermark, the cloud only advances once
+        // BOTH edges have flushed and forwarded a given watermark — so
+        // per round, both edges' data reaches the merge before the
+        // shared watermark does.
+        let mut out = Vec::new();
+        for msg in messages(&sc) {
+            let mut crossing = Vec::new();
+            let mut is_wm = None;
+            let mut is_eos = false;
+            match msg {
+                StreamMessage::Data(b) => {
+                    let mut shards: [Vec<Record>; 2] = [Vec::new(), Vec::new()];
+                    for r in b.records() {
+                        let k = r.get(1).unwrap().as_int().unwrap();
+                        shards[(k.rem_euclid(2)) as usize].push(r.clone());
+                    }
+                    for (e, shard) in edges.iter_mut().zip(shards) {
+                        if !shard.is_empty() {
+                            e.process(RecordBuffer::new(schema(), shard), &mut crossing)
+                                .unwrap();
+                        }
+                    }
+                }
+                StreamMessage::Watermark(w) => {
+                    is_wm = Some(w);
+                    for e in &mut edges {
+                        e.on_watermark(w, &mut crossing).unwrap();
+                    }
+                }
+                StreamMessage::Eos => {
+                    is_eos = true;
+                    for e in &mut edges {
+                        e.on_eos(&mut crossing).unwrap();
+                    }
+                }
+            }
+            for m in crossing {
+                if let StreamMessage::Data(b) = m {
+                    cloud.process(b, &mut out).unwrap();
+                }
+            }
+            if let Some(w) = is_wm {
+                cloud.on_watermark(w, &mut out).unwrap();
+            }
+            if is_eos {
+                cloud.on_eos(&mut out).unwrap();
+            }
+        }
+        let mut got = Vec::new();
+        for msg in out {
+            if let StreamMessage::Data(b) = msg {
+                got.extend(b.records().iter().cloned());
+            }
+        }
+        prop_assert_eq!(normalized(got), normalized(expect));
+        prop_assert_eq!(cloud.late_partials(), 0);
+    }
+}

@@ -227,7 +227,8 @@ fn map_extend_cluster_equivalence() {
 
 #[test]
 fn tumbling_window_cluster_equivalence() {
-    // Avg is not splittable: exercises the unsplit window-at-the-edge path.
+    // Avg decomposes into a (sum, count) partial, so this splits too:
+    // the edge ships slice partials including the decomposed mean.
     let q = Query::from("s").window(
         vec![("train", col("train"))],
         WindowSpec::Tumbling {
@@ -239,8 +240,73 @@ fn tumbling_window_cluster_equivalence() {
             WindowAgg::new("max_load", AggSpec::Max(col("load"))),
         ],
     );
+    let (_, report) = cluster_run(
+        &q,
+        PlacementStrategy::EdgeFirst,
+        Feed::InOrder,
+        generous_watermark(),
+        None,
+    );
+    assert!(report.cluster.preaggregated, "avg splits via (sum, count)");
     assert_cluster_equivalent_both_feeds("tumbling", &q, generous_watermark());
     assert_cluster_equivalent("tumbling/no-wm", &q, Feed::InOrder, WatermarkStrategy::None);
+}
+
+/// A plugin aggregate that does not opt into the partial contract:
+/// `splittable()` stays false, so its window must run whole on one node
+/// (the unsplit window-at-the-edge path).
+struct OpaqueCountAgg;
+
+impl AggregatorFactory for OpaqueCountAgg {
+    fn output_type(&self, _input: &Schema, _registry: &FunctionRegistry) -> Result<DataType> {
+        Ok(DataType::Int)
+    }
+
+    fn create(&self, _input: &Schema, _registry: &FunctionRegistry) -> Result<Box<dyn Aggregator>> {
+        struct Acc(i64);
+        impl Aggregator for Acc {
+            fn update(&mut self, _rec: &Record) -> Result<()> {
+                self.0 += 1;
+                Ok(())
+            }
+            fn partial(&self) -> Result<Vec<Value>> {
+                Ok(vec![Value::Int(self.0)])
+            }
+            fn merge_partial(&mut self, partial: &[Value]) -> Result<()> {
+                self.0 += partial.first().and_then(Value::as_int).unwrap_or(0);
+                Ok(())
+            }
+            fn finish(&mut self) -> Result<Value> {
+                Ok(Value::Int(self.0))
+            }
+        }
+        Ok(Box::new(Acc(0)))
+    }
+}
+
+#[test]
+fn unsplittable_custom_window_cluster_equivalence() {
+    // The custom aggregate keeps `splittable()` false: no pre-aggregation
+    // split engages and the window runs whole at its placed node.
+    let q = Query::from("s").window(
+        vec![("train", col("train"))],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![WindowAgg::new(
+            "n",
+            AggSpec::Custom(Arc::new(OpaqueCountAgg)),
+        )],
+    );
+    let (_, report) = cluster_run(
+        &q,
+        PlacementStrategy::EdgeFirst,
+        Feed::InOrder,
+        generous_watermark(),
+        None,
+    );
+    assert!(!report.cluster.preaggregated, "split must not engage");
+    assert_cluster_equivalent("unsplittable", &q, Feed::InOrder, generous_watermark());
 }
 
 #[test]
@@ -499,13 +565,17 @@ fn multi_source_placements_report_cloud_for_the_shared_tail() {
     // With several pipelines fanning into one stateful tail, the tail
     // runs once at the cloud; the reported placements must say so even
     // though `place()` would have put the (non-splittable) window on
-    // each train's edge box.
+    // each train's edge box. The custom aggregate keeps the window
+    // unsplittable (Avg now splits via its (sum, count) partial).
     let q = Query::from("s").filter(col("load").ge(lit(0))).window(
         vec![("train", col("train"))],
         WindowSpec::Tumbling {
             size: 60 * MICROS_PER_SEC,
         },
-        vec![WindowAgg::new("avg_speed", AggSpec::Avg(col("speed")))],
+        vec![WindowAgg::new(
+            "n",
+            AggSpec::Custom(Arc::new(OpaqueCountAgg)),
+        )],
     );
     let (topo, sensors) = Topology::train_fleet(2);
     let cloud = topo.cloud().unwrap();
@@ -779,6 +849,177 @@ fn analytic_network_cost_reconciles_with_measured_wire_bytes() {
             "{strategy:?}: uplink measured {} vs estimate {} (ratio {uplink_ratio:.3})",
             report.cluster.uplink_bytes,
             analytic.cloud_uplink_bytes
+        );
+    }
+}
+
+#[test]
+fn avg_query_preaggregates_and_cuts_uplink() {
+    // Avg used to forfeit pre-aggregation (no single-column merge); the
+    // (sum, count) slice partial ships it like any other aggregate.
+    let q = Query::from("s").window(
+        vec![("train", col("train"))],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![
+            WindowAgg::new("n", AggSpec::Count),
+            WindowAgg::new("avg_speed", AggSpec::Avg(col("speed"))),
+            WindowAgg::new("avg_load", AggSpec::Avg(col("load"))),
+        ],
+    );
+    let wm = generous_watermark();
+    let (edge_recs, edge) = cluster_run(
+        &q,
+        PlacementStrategy::EdgeFirst,
+        Feed::InOrder,
+        wm.clone(),
+        None,
+    );
+    let (cloud_recs, cloud) =
+        cluster_run(&q, PlacementStrategy::CloudOnly, Feed::InOrder, wm, None);
+    assert_eq!(edge_recs, cloud_recs, "strategies agree on avg results");
+    assert!(edge.cluster.preaggregated, "avg splits at the edge");
+    assert!(!cloud.cluster.preaggregated);
+    assert!(
+        edge.cluster.uplink_bytes * 5 < cloud.cluster.uplink_bytes,
+        "avg pre-aggregation must cut measured uplink bytes >5x: edge {} vs cloud {}",
+        edge.cluster.uplink_bytes,
+        cloud.cluster.uplink_bytes
+    );
+}
+
+#[test]
+fn sliding_uplink_does_not_scale_with_overlap() {
+    // The slice refactor's uplink claim: an edge ships one partial per
+    // slice, not one per overlapping window, so a content-carrying
+    // sliding window (MEOS sequence assembly) costs about the same
+    // uplink as its tumbling counterpart instead of `size/slide` times
+    // more. 600 s of per-train float samples, windowed as tfloat
+    // sequences.
+    use nebulameos::TFloatSeqAgg;
+
+    let run_uplink = |spec: WindowSpec| -> u64 {
+        let (topo, sensors) = Topology::train_fleet(3);
+        let mut env = ClusterEnvironment::with_config(
+            topo,
+            ClusterConfig {
+                buffer_size: 32,
+                watermark_every: 2,
+                ..ClusterConfig::default()
+            },
+        );
+        nebulameos::register_meos_codecs(env.wire_registry_mut());
+        env.add_source("s", sensors[0], source(Feed::InOrder), generous_watermark());
+        let q = Query::from("s").window(
+            vec![("train", col("train"))],
+            spec,
+            vec![WindowAgg::new(
+                "speed_seq",
+                AggSpec::Custom(Arc::new(TFloatSeqAgg::linear(col("speed"), "ts"))),
+            )],
+        );
+        let (mut sink, _) = CollectingSink::new();
+        let report = env
+            .run_placed(&q, PlacementStrategy::EdgeFirst, &mut sink)
+            .expect("tfloat cluster run");
+        assert!(report.cluster.preaggregated, "sequence append splits");
+        report.cluster.uplink_bytes
+    };
+
+    let tumbling = run_uplink(WindowSpec::Tumbling {
+        size: 60 * MICROS_PER_SEC,
+    });
+    let overlap4 = run_uplink(WindowSpec::Sliding {
+        size: 60 * MICROS_PER_SEC,
+        slide: 15 * MICROS_PER_SEC,
+    });
+    let ratio = overlap4 as f64 / tumbling as f64;
+    assert!(
+        ratio < 2.0,
+        "4x-overlap sliding uplink must stay near tumbling (per-slice \
+         shipping), got {overlap4} vs {tumbling} (ratio {ratio:.2}; \
+         per-window shipping would be ~4x)"
+    );
+}
+
+#[test]
+fn late_drops_reported_identically_across_runtimes() {
+    // Jitter larger than the watermark slack forces genuinely late
+    // records. Every runtime — sync, threaded, partitioned, placed under
+    // both strategies — sees the same record/watermark interleaving, so
+    // all must report the same (at-most-once-per-record) late count
+    // through QueryMetrics.
+    let tight = WatermarkStrategy::BoundedOutOfOrder {
+        ts_field: "ts".into(),
+        slack: 2 * MICROS_PER_SEC,
+    };
+    // 64-record jitter against 2 s slack: displacements far exceed what
+    // the watermark tolerates, every runtime sees the same deterministic
+    // shuffle (seeded), and plenty of records outlive all their windows.
+    let wild = || -> Box<dyn Source> {
+        Box::new(JitterSource::new(
+            VecSource::new(schema(), records()),
+            64,
+            7,
+        ))
+    };
+    let q = splittable_window_query();
+
+    let sync_metrics = {
+        let mut env = StreamEnvironment::with_config(EnvConfig {
+            buffer_size: 32,
+            watermark_every: 2,
+            ..EnvConfig::default()
+        });
+        env.add_source("s", wild(), tight.clone());
+        let (mut sink, _) = CollectingSink::new();
+        env.run(&q, &mut sink).expect("sync run")
+    };
+    assert!(
+        sync_metrics.late_drops > 0,
+        "jitter 64 with 2 s slack must drop something"
+    );
+
+    let mut env = StreamEnvironment::with_config(EnvConfig {
+        buffer_size: 32,
+        watermark_every: 2,
+        ..EnvConfig::default()
+    });
+    env.add_source("s", wild(), tight.clone());
+    let (mut sink, _) = CollectingSink::new();
+    let threaded = env.run_threaded(&q, &mut sink).expect("threaded run");
+    assert_eq!(threaded.late_drops, sync_metrics.late_drops, "threaded");
+
+    for p in [1, 2, 4] {
+        let mut env = StreamEnvironment::with_config(EnvConfig {
+            buffer_size: 32,
+            watermark_every: 2,
+            parallelism: p,
+            ..EnvConfig::default()
+        });
+        env.add_source("s", wild(), tight.clone());
+        let (mut sink, _) = CollectingSink::new();
+        let m = env.run_partitioned(&q, &mut sink).expect("partitioned run");
+        assert_eq!(m.late_drops, sync_metrics.late_drops, "partitioned({p})");
+    }
+
+    for strategy in [PlacementStrategy::EdgeFirst, PlacementStrategy::CloudOnly] {
+        let (topo, sensors) = Topology::train_fleet(3);
+        let mut env = ClusterEnvironment::with_config(
+            topo,
+            ClusterConfig {
+                buffer_size: 32,
+                watermark_every: 2,
+                ..ClusterConfig::default()
+            },
+        );
+        env.add_source("s", sensors[0], wild(), tight.clone());
+        let (mut sink, _) = CollectingSink::new();
+        let report = env.run_placed(&q, strategy, &mut sink).expect("placed run");
+        assert_eq!(
+            report.metrics.late_drops, sync_metrics.late_drops,
+            "{strategy:?}"
         );
     }
 }
