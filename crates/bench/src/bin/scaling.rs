@@ -1,0 +1,63 @@
+//! Parallel-scaling measurement: the canonical keyed-window fleet query
+//! under `run` and `run_partitioned` at parallelism 1, 2 and 4, with the
+//! columnar batch path on (`Auto`) and off, printed as JSON on stdout.
+//!
+//! ```text
+//! cargo run --release -p nebulameos-bench --bin scaling
+//! ```
+//!
+//! Interpretation caveat: parallel speedup requires parallel hardware.
+//! On a single-core host (`cores: 1` below) the partitioned runtime adds
+//! routing and merge work on top of the same per-record work, so par-N
+//! can only approach — never beat — the single-threaded rate there.
+
+use nebula::prelude::*;
+use nebulameos_bench::{keyed_window_query, Workload};
+
+fn main() {
+    if cfg!(debug_assertions) {
+        eprintln!("note: running a debug build; use --release for meaningful rates");
+    }
+    let w = Workload::standard();
+    let q = keyed_window_query();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let one = |columnar: ColumnarMode, parallelism: usize| -> f64 {
+        let mut env = w.environment();
+        env.config_mut().columnar = columnar;
+        let (mut sink, _) = CountingSink::new();
+        let m = if parallelism == 0 {
+            env.run(&q, &mut sink).expect("single run")
+        } else {
+            env.config_mut().parallelism = parallelism;
+            env.run_partitioned(&q, &mut sink).expect("partitioned run")
+        };
+        m.events_per_sec() / 1e3
+    };
+
+    let mut modes = Vec::new();
+    // `Auto` declines the transpose for a bare window head (no vectorized
+    // kernel downstream), so it should track `row`; `Force` pins the
+    // columnar path to expose whole-buffer routing in the partitioned
+    // modes.
+    for (label, mode) in [
+        ("row", ColumnarMode::Off),
+        ("auto", ColumnarMode::Auto),
+        ("forced-columnar", ColumnarMode::Force),
+    ] {
+        modes.push(serde_json::json!({
+            "mode": label,
+            "single_keps": one(mode, 0),
+            "par1_keps": one(mode, 1),
+            "par2_keps": one(mode, 2),
+            "par4_keps": one(mode, 4),
+        }));
+    }
+    let json = serde_json::json!({
+        "query": "keyed_window_query",
+        "workload_events": w.records.len(),
+        "cores": cores,
+        "modes": modes,
+    });
+    println!("{}", serde_json::to_string_pretty(&json).unwrap());
+}

@@ -1,0 +1,1016 @@
+//! The columnar execution unit: [`TupleBuffer`].
+//!
+//! NebulaStream's runtime moves schema-typed *TupleBuffers* — fixed
+//! capacity batches laid out column-wise — task-per-buffer through its
+//! pipelines. [`TupleBuffer`] is the analogue: each field of the schema
+//! is stored as one contiguous [`Column`] (fixed-width types in typed
+//! vectors, varsized text in a side byte arena, opaque plugin payloads
+//! as refcounted handles), together with per-buffer [`BufferMeta`]
+//! (origin, sequence number, event-time bounds, watermark).
+//!
+//! The row-oriented [`crate::record::RecordBuffer`] remains the
+//! reference representation: `from_records`/`to_record_buffer` convert
+//! losslessly in both directions, which is what the differential test
+//! suites pin the batched kernels against.
+
+use crate::record::{Record, RecordBuffer};
+use crate::schema::SchemaRef;
+use crate::value::{EventTime, OpaqueValue, Value};
+use std::sync::Arc;
+
+/// One field of a [`TupleBuffer`], stored contiguously.
+///
+/// Typed variants carry an optional validity mask (`None` = no nulls;
+/// `Some(mask)` with `mask[i] == false` marks row `i` null). A column
+/// whose runtime values do not fit a single primitive type (mixed
+/// actual types, e.g. an `if` call returning different branches) falls
+/// back to the boxed [`Column::Values`] form, keeping conversion
+/// lossless for every value the row engine can produce.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// Booleans.
+    Bool {
+        /// Packed values (`false` at null rows).
+        data: Vec<bool>,
+        /// Validity mask; `None` when no row is null.
+        validity: Option<Vec<bool>>,
+    },
+    /// 64-bit integers.
+    Int {
+        /// Packed values (`0` at null rows).
+        data: Vec<i64>,
+        /// Validity mask; `None` when no row is null.
+        validity: Option<Vec<bool>>,
+    },
+    /// 64-bit floats.
+    Float {
+        /// Packed values (`0.0` at null rows).
+        data: Vec<f64>,
+        /// Validity mask; `None` when no row is null.
+        validity: Option<Vec<bool>>,
+    },
+    /// Event timestamps (microseconds).
+    Timestamp {
+        /// Packed values (`0` at null rows).
+        data: Vec<i64>,
+        /// Validity mask; `None` when no row is null.
+        validity: Option<Vec<bool>>,
+    },
+    /// 2-D points, split into coordinate planes.
+    Point {
+        /// X coordinates.
+        xs: Vec<f64>,
+        /// Y coordinates.
+        ys: Vec<f64>,
+        /// Validity mask; `None` when no row is null.
+        validity: Option<Vec<bool>>,
+    },
+    /// Varsized UTF-8 text in a side arena with per-row offsets.
+    Text {
+        /// Concatenated bytes of every non-null row.
+        arena: Vec<u8>,
+        /// `offsets[i]..offsets[i+1]` is row `i`'s slice of the arena.
+        offsets: Vec<u32>,
+        /// Validity mask; `None` when no row is null.
+        validity: Option<Vec<bool>>,
+    },
+    /// Opaque plugin payloads (MEOS temporals etc.), `None` = null.
+    Opaque(Vec<Option<Arc<dyn OpaqueValue>>>),
+    /// Fallback: boxed values for columns with mixed runtime types.
+    Values(Vec<Value>),
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Bool { data, .. } => data.len(),
+            Column::Int { data, .. } | Column::Timestamp { data, .. } => data.len(),
+            Column::Float { data, .. } => data.len(),
+            Column::Point { xs, .. } => xs.len(),
+            Column::Text { offsets, .. } => offsets.len().saturating_sub(1),
+            Column::Opaque(v) => v.len(),
+            Column::Values(v) => v.len(),
+        }
+    }
+
+    /// True iff the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes row `idx` as a [`Value`]. Panics if out of range.
+    pub fn value_at(&self, idx: usize) -> Value {
+        fn valid(validity: &Option<Vec<bool>>, idx: usize) -> bool {
+            validity.as_ref().is_none_or(|m| m[idx])
+        }
+        match self {
+            Column::Bool { data, validity } => {
+                if valid(validity, idx) {
+                    Value::Bool(data[idx])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Int { data, validity } => {
+                if valid(validity, idx) {
+                    Value::Int(data[idx])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Float { data, validity } => {
+                if valid(validity, idx) {
+                    Value::Float(data[idx])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Timestamp { data, validity } => {
+                if valid(validity, idx) {
+                    Value::Timestamp(data[idx])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Point { xs, ys, validity } => {
+                if valid(validity, idx) {
+                    Value::Point {
+                        x: xs[idx],
+                        y: ys[idx],
+                    }
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Text {
+                arena,
+                offsets,
+                validity,
+            } => {
+                if valid(validity, idx) {
+                    let s = std::str::from_utf8(
+                        &arena[offsets[idx] as usize..offsets[idx + 1] as usize],
+                    )
+                    .expect("text arena holds valid UTF-8");
+                    Value::Text(Arc::from(s))
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Opaque(v) => match &v[idx] {
+                Some(o) => Value::Opaque(o.clone()),
+                None => Value::Null,
+            },
+            Column::Values(v) => v[idx].clone(),
+        }
+    }
+
+    /// The text slice at row `idx` for [`Column::Text`] (avoids the
+    /// `Arc<str>` allocation of [`Column::value_at`]); `None` when the
+    /// row is null or the column is not text.
+    pub fn text_at(&self, idx: usize) -> Option<&str> {
+        match self {
+            Column::Text {
+                arena,
+                offsets,
+                validity,
+            } if validity.as_ref().is_none_or(|m| m[idx]) => {
+                std::str::from_utf8(&arena[offsets[idx] as usize..offsets[idx + 1] as usize]).ok()
+            }
+            _ => None,
+        }
+    }
+
+    /// True iff row `idx` is null.
+    pub fn is_null(&self, idx: usize) -> bool {
+        match self {
+            Column::Bool { validity, .. }
+            | Column::Int { validity, .. }
+            | Column::Float { validity, .. }
+            | Column::Timestamp { validity, .. }
+            | Column::Point { validity, .. }
+            | Column::Text { validity, .. } => validity.as_ref().is_some_and(|m| !m[idx]),
+            Column::Opaque(v) => v[idx].is_none(),
+            Column::Values(v) => v[idx].is_null(),
+        }
+    }
+
+    /// Estimated payload bytes, matching the row path's
+    /// [`Value::est_bytes`] sum exactly (nulls count 1 byte).
+    pub fn est_bytes(&self) -> usize {
+        let fixed = |validity: &Option<Vec<bool>>, n: usize, w: usize| -> usize {
+            match validity {
+                None => n * w,
+                Some(m) => m.iter().map(|&v| if v { w } else { 1 }).sum(),
+            }
+        };
+        match self {
+            Column::Bool { data, .. } => data.len(),
+            Column::Int { data, validity } | Column::Timestamp { data, validity } => {
+                fixed(validity, data.len(), 8)
+            }
+            Column::Float { data, validity } => fixed(validity, data.len(), 8),
+            Column::Point { xs, validity, .. } => fixed(validity, xs.len(), 16),
+            Column::Text {
+                arena,
+                offsets,
+                validity,
+            } => match validity {
+                None => arena.len() + 4 * (offsets.len().saturating_sub(1)),
+                Some(m) => {
+                    let nulls = m.iter().filter(|&&v| !v).count();
+                    arena.len() + 4 * (m.len() - nulls) + nulls
+                }
+            },
+            Column::Opaque(v) => v
+                .iter()
+                .map(|o| o.as_ref().map_or(1, |o| o.est_bytes()))
+                .sum(),
+            Column::Values(v) => v.iter().map(Value::est_bytes).sum(),
+        }
+    }
+
+    /// Keeps only rows with `mask[i] == true`.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        let keep_validity = |validity: &Option<Vec<bool>>| -> Option<Vec<bool>> {
+            validity.as_ref().map(|m| {
+                m.iter()
+                    .zip(mask)
+                    .filter(|&(_, &k)| k)
+                    .map(|(&v, _)| v)
+                    .collect()
+            })
+        };
+        let keep = |n: usize| mask.iter().take(n).filter(|&&k| k).count();
+        match self {
+            Column::Bool { data, validity } => Column::Bool {
+                data: filter_vec(data, mask),
+                validity: keep_validity(validity),
+            },
+            Column::Int { data, validity } => Column::Int {
+                data: filter_vec(data, mask),
+                validity: keep_validity(validity),
+            },
+            Column::Float { data, validity } => Column::Float {
+                data: filter_vec(data, mask),
+                validity: keep_validity(validity),
+            },
+            Column::Timestamp { data, validity } => Column::Timestamp {
+                data: filter_vec(data, mask),
+                validity: keep_validity(validity),
+            },
+            Column::Point { xs, ys, validity } => Column::Point {
+                xs: filter_vec(xs, mask),
+                ys: filter_vec(ys, mask),
+                validity: keep_validity(validity),
+            },
+            Column::Text {
+                arena,
+                offsets,
+                validity,
+            } => {
+                let n = offsets.len().saturating_sub(1);
+                let mut new_arena = Vec::with_capacity(arena.len());
+                let mut new_offsets = Vec::with_capacity(keep(n) + 1);
+                new_offsets.push(0u32);
+                for i in 0..n {
+                    if mask[i] {
+                        new_arena.extend_from_slice(
+                            &arena[offsets[i] as usize..offsets[i + 1] as usize],
+                        );
+                        new_offsets.push(new_arena.len() as u32);
+                    }
+                }
+                Column::Text {
+                    arena: new_arena,
+                    offsets: new_offsets,
+                    validity: keep_validity(validity),
+                }
+            }
+            Column::Opaque(v) => Column::Opaque(
+                v.iter()
+                    .zip(mask)
+                    .filter(|&(_, &k)| k)
+                    .map(|(o, _)| o.clone())
+                    .collect(),
+            ),
+            Column::Values(v) => Column::Values(
+                v.iter()
+                    .zip(mask)
+                    .filter(|&(_, &k)| k)
+                    .map(|(val, _)| val.clone())
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Rows at `indices`, in order (partition gather).
+    pub fn gather(&self, indices: &[usize]) -> Column {
+        let gv = |validity: &Option<Vec<bool>>| -> Option<Vec<bool>> {
+            validity
+                .as_ref()
+                .map(|m| indices.iter().map(|&i| m[i]).collect())
+        };
+        match self {
+            Column::Bool { data, validity } => Column::Bool {
+                data: indices.iter().map(|&i| data[i]).collect(),
+                validity: gv(validity),
+            },
+            Column::Int { data, validity } => Column::Int {
+                data: indices.iter().map(|&i| data[i]).collect(),
+                validity: gv(validity),
+            },
+            Column::Float { data, validity } => Column::Float {
+                data: indices.iter().map(|&i| data[i]).collect(),
+                validity: gv(validity),
+            },
+            Column::Timestamp { data, validity } => Column::Timestamp {
+                data: indices.iter().map(|&i| data[i]).collect(),
+                validity: gv(validity),
+            },
+            Column::Point { xs, ys, validity } => Column::Point {
+                xs: indices.iter().map(|&i| xs[i]).collect(),
+                ys: indices.iter().map(|&i| ys[i]).collect(),
+                validity: gv(validity),
+            },
+            Column::Text {
+                arena,
+                offsets,
+                validity,
+            } => {
+                let mut new_arena = Vec::new();
+                let mut new_offsets = Vec::with_capacity(indices.len() + 1);
+                new_offsets.push(0u32);
+                for &i in indices {
+                    new_arena
+                        .extend_from_slice(&arena[offsets[i] as usize..offsets[i + 1] as usize]);
+                    new_offsets.push(new_arena.len() as u32);
+                }
+                Column::Text {
+                    arena: new_arena,
+                    offsets: new_offsets,
+                    validity: gv(validity),
+                }
+            }
+            Column::Opaque(v) => Column::Opaque(indices.iter().map(|&i| v[i].clone()).collect()),
+            Column::Values(v) => Column::Values(indices.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+
+    /// Splits into rows `[0, at)` and `[at, len)`.
+    pub fn split_at(&self, at: usize) -> (Column, Column) {
+        let n = self.len();
+        let head: Vec<usize> = (0..at).collect();
+        let tail: Vec<usize> = (at..n).collect();
+        (self.gather(&head), self.gather(&tail))
+    }
+
+    /// Appends all rows of `other` (same logical field).
+    pub fn concat(&self, other: &Column) -> Column {
+        // Concatenation via the value fallback is simple and loss-free;
+        // re-typing keeps the result in columnar form when both sides
+        // agree.
+        let n = self.len() + other.len();
+        let mut b = ColumnBuilder::with_capacity(n);
+        for i in 0..self.len() {
+            b.push(self.value_at(i));
+        }
+        for i in 0..other.len() {
+            b.push(other.value_at(i));
+        }
+        b.finish()
+    }
+}
+
+fn filter_vec<T: Copy>(data: &[T], mask: &[bool]) -> Vec<T> {
+    data.iter()
+        .zip(mask)
+        .filter(|&(_, &k)| k)
+        .map(|(&v, _)| v)
+        .collect()
+}
+
+/// Incrementally builds a [`Column`] from row values, inferring the
+/// densest representation: the first non-null value fixes the typed
+/// layout; a later value of a different runtime type degrades the whole
+/// column to [`Column::Values`] (lossless fallback).
+pub struct ColumnBuilder {
+    col: Option<Column>,
+    /// Leading nulls seen before the type was decided.
+    leading_nulls: usize,
+    cap: usize,
+}
+
+impl ColumnBuilder {
+    /// A builder expecting about `cap` rows.
+    pub fn with_capacity(cap: usize) -> Self {
+        ColumnBuilder {
+            col: None,
+            leading_nulls: 0,
+            cap,
+        }
+    }
+
+    fn start(&self, v: &Value) -> Column {
+        let nulls = self.leading_nulls;
+        let validity = if nulls > 0 {
+            Some(vec![false; nulls])
+        } else {
+            None
+        };
+        let cap = self.cap.max(nulls + 1);
+        match v {
+            Value::Bool(_) => Column::Bool {
+                data: {
+                    let mut d = Vec::with_capacity(cap);
+                    d.resize(nulls, false);
+                    d
+                },
+                validity,
+            },
+            Value::Int(_) => Column::Int {
+                data: {
+                    let mut d = Vec::with_capacity(cap);
+                    d.resize(nulls, 0);
+                    d
+                },
+                validity,
+            },
+            Value::Float(_) => Column::Float {
+                data: {
+                    let mut d = Vec::with_capacity(cap);
+                    d.resize(nulls, 0.0);
+                    d
+                },
+                validity,
+            },
+            Value::Timestamp(_) => Column::Timestamp {
+                data: {
+                    let mut d = Vec::with_capacity(cap);
+                    d.resize(nulls, 0);
+                    d
+                },
+                validity,
+            },
+            Value::Point { .. } => Column::Point {
+                xs: {
+                    let mut d = Vec::with_capacity(cap);
+                    d.resize(nulls, 0.0);
+                    d
+                },
+                ys: {
+                    let mut d = Vec::with_capacity(cap);
+                    d.resize(nulls, 0.0);
+                    d
+                },
+                validity,
+            },
+            Value::Text(_) => Column::Text {
+                arena: Vec::new(),
+                offsets: {
+                    let mut o = Vec::with_capacity(cap + 1);
+                    o.resize(nulls + 1, 0u32);
+                    o
+                },
+                validity,
+            },
+            Value::Opaque(_) => Column::Opaque({
+                let mut d = Vec::with_capacity(cap);
+                d.resize(nulls, None);
+                d
+            }),
+            Value::Null => unreachable!("start is called with a non-null value"),
+        }
+    }
+
+    /// Degrades the current typed column (plus pending nulls) to the
+    /// boxed fallback.
+    fn degrade(&mut self) -> &mut Vec<Value> {
+        let existing = self.col.take();
+        let mut vals: Vec<Value> = match existing {
+            Some(Column::Values(v)) => v,
+            Some(c) => (0..c.len()).map(|i| c.value_at(i)).collect(),
+            None => vec![Value::Null; self.leading_nulls],
+        };
+        vals.reserve(self.cap.saturating_sub(vals.len()));
+        self.leading_nulls = 0;
+        self.col = Some(Column::Values(vals));
+        match self.col {
+            Some(Column::Values(ref mut v)) => v,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Appends one value.
+    pub fn push(&mut self, v: Value) {
+        macro_rules! typed_push {
+            ($data:expr, $validity:expr, $x:expr, $zero:expr) => {{
+                $data.push($x);
+                if let Some(m) = $validity {
+                    m.push(true);
+                }
+                let _ = $zero;
+            }};
+        }
+        macro_rules! typed_null {
+            ($data:expr, $validity:expr, $zero:expr) => {{
+                $data.push($zero);
+                match $validity {
+                    Some(m) => m.push(false),
+                    None => {
+                        let mut m = vec![true; $data.len() - 1];
+                        m.push(false);
+                        *$validity = Some(m);
+                    }
+                }
+            }};
+        }
+        if self.col.is_none() {
+            if v.is_null() {
+                self.leading_nulls += 1;
+                return;
+            }
+            self.col = Some(self.start(&v));
+        }
+        let col = self.col.as_mut().expect("column started");
+        match (col, v) {
+            (Column::Bool { data, validity }, Value::Bool(b)) => {
+                typed_push!(data, validity, b, false)
+            }
+            (Column::Bool { data, validity }, Value::Null) => typed_null!(data, validity, false),
+            (Column::Int { data, validity }, Value::Int(i)) => typed_push!(data, validity, i, 0),
+            (Column::Int { data, validity }, Value::Null) => typed_null!(data, validity, 0),
+            (Column::Float { data, validity }, Value::Float(f)) => {
+                typed_push!(data, validity, f, 0.0)
+            }
+            (Column::Float { data, validity }, Value::Null) => typed_null!(data, validity, 0.0),
+            (Column::Timestamp { data, validity }, Value::Timestamp(t)) => {
+                typed_push!(data, validity, t, 0)
+            }
+            (Column::Timestamp { data, validity }, Value::Null) => typed_null!(data, validity, 0),
+            (Column::Point { xs, ys, validity }, Value::Point { x, y }) => {
+                xs.push(x);
+                ys.push(y);
+                if let Some(m) = validity {
+                    m.push(true);
+                }
+            }
+            (Column::Point { xs, ys, validity }, Value::Null) => {
+                xs.push(0.0);
+                ys.push(0.0);
+                match validity {
+                    Some(m) => m.push(false),
+                    None => {
+                        let mut m = vec![true; xs.len() - 1];
+                        m.push(false);
+                        *validity = Some(m);
+                    }
+                }
+            }
+            (
+                Column::Text {
+                    arena,
+                    offsets,
+                    validity,
+                },
+                Value::Text(s),
+            ) => {
+                arena.extend_from_slice(s.as_bytes());
+                offsets.push(arena.len() as u32);
+                if let Some(m) = validity {
+                    m.push(true);
+                }
+            }
+            (
+                Column::Text {
+                    arena,
+                    offsets,
+                    validity,
+                },
+                Value::Null,
+            ) => {
+                offsets.push(arena.len() as u32);
+                match validity {
+                    Some(m) => m.push(false),
+                    None => {
+                        let mut m = vec![true; offsets.len() - 2];
+                        m.push(false);
+                        *validity = Some(m);
+                    }
+                }
+            }
+            (Column::Opaque(data), Value::Opaque(o)) => data.push(Some(o)),
+            (Column::Opaque(data), Value::Null) => data.push(None),
+            (Column::Values(data), v) => data.push(v),
+            // Runtime type mismatch against the inferred layout: degrade.
+            (_, v) => self.degrade().push(v),
+        }
+    }
+
+    /// Finishes the column, resolving an all-null column to the boxed
+    /// fallback.
+    pub fn finish(self) -> Column {
+        match self.col {
+            Some(c) => c,
+            None => Column::Values(vec![Value::Null; self.leading_nulls]),
+        }
+    }
+}
+
+/// Per-buffer metadata, mirroring NebulaStream's TupleBuffer header.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferMeta {
+    /// Which source/pipeline produced the buffer.
+    pub origin: u64,
+    /// Monotonic per-origin sequence number.
+    pub sequence: u64,
+    /// Smallest event time among the rows (conservative lower bound
+    /// after row-dropping transforms), `None` when unknown.
+    pub min_ts: Option<EventTime>,
+    /// Largest event time among the rows (conservative upper bound
+    /// after row-dropping transforms), `None` when unknown.
+    pub max_ts: Option<EventTime>,
+    /// The watermark in force when the buffer was emitted.
+    pub watermark: Option<EventTime>,
+}
+
+/// A schema-typed columnar batch — the batched execution unit.
+#[derive(Debug, Clone)]
+pub struct TupleBuffer {
+    schema: SchemaRef,
+    len: usize,
+    columns: Vec<Column>,
+    meta: BufferMeta,
+}
+
+impl TupleBuffer {
+    /// Builds a buffer from columns (must share one length).
+    pub fn new(schema: SchemaRef, columns: Vec<Column>, meta: BufferMeta) -> Self {
+        let len = columns.first().map_or(0, Column::len);
+        debug_assert!(columns.iter().all(|c| c.len() == len));
+        debug_assert_eq!(columns.len(), schema.len());
+        TupleBuffer {
+            schema,
+            len,
+            columns,
+            meta,
+        }
+    }
+
+    /// Transposes row records into columns. Records shorter than the
+    /// schema pad with nulls (mirroring the row path's out-of-range
+    /// column reads).
+    pub fn from_records(schema: SchemaRef, records: &[Record], meta: BufferMeta) -> Self {
+        let width = schema.len();
+        let mut builders: Vec<ColumnBuilder> = (0..width)
+            .map(|_| ColumnBuilder::with_capacity(records.len()))
+            .collect();
+        for rec in records {
+            for (i, b) in builders.iter_mut().enumerate() {
+                b.push(rec.get(i).cloned().unwrap_or(Value::Null));
+            }
+        }
+        let columns: Vec<Column> = builders.into_iter().map(ColumnBuilder::finish).collect();
+        TupleBuffer {
+            schema,
+            len: records.len(),
+            columns,
+            meta,
+        }
+    }
+
+    /// Converts a row buffer, computing event-time bounds from `ts_col`
+    /// when given.
+    pub fn from_record_buffer(
+        buf: &RecordBuffer,
+        ts_col: Option<usize>,
+        origin: u64,
+        sequence: u64,
+    ) -> Self {
+        let mut tb = TupleBuffer::from_records(
+            buf.schema().clone(),
+            buf.records(),
+            BufferMeta {
+                origin,
+                sequence,
+                ..BufferMeta::default()
+            },
+        );
+        if let Some(col) = ts_col {
+            tb.recompute_time_bounds(col);
+        }
+        tb
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// One column by index.
+    pub fn column(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// The buffer metadata.
+    pub fn meta(&self) -> &BufferMeta {
+        &self.meta
+    }
+
+    /// The buffer metadata (mutable).
+    pub fn meta_mut(&mut self) -> &mut BufferMeta {
+        &mut self.meta
+    }
+
+    /// Consumes into schema, columns and metadata.
+    pub fn into_parts(self) -> (SchemaRef, Vec<Column>, BufferMeta) {
+        (self.schema, self.columns, self.meta)
+    }
+
+    /// Materializes row `idx`.
+    pub fn row(&self, idx: usize) -> Record {
+        Record::new(self.columns.iter().map(|c| c.value_at(idx)).collect())
+    }
+
+    /// Value at `(row, col)`, `None` when out of range.
+    pub fn value_at(&self, row: usize, col: usize) -> Option<Value> {
+        if row >= self.len {
+            return None;
+        }
+        self.columns.get(col).map(|c| c.value_at(row))
+    }
+
+    /// Event time at `(row, ts_col)` with the row path's coercions
+    /// (`Timestamp` or `Int`), `None` when null/non-temporal.
+    pub fn event_time(&self, row: usize, ts_col: usize) -> Option<EventTime> {
+        match self.columns.get(ts_col)? {
+            Column::Timestamp { data, validity } | Column::Int { data, validity } => {
+                if validity.as_ref().is_none_or(|m| m[row]) {
+                    Some(data[row])
+                } else {
+                    None
+                }
+            }
+            other => other.value_at(row).as_timestamp(),
+        }
+    }
+
+    /// Maximum event time over all rows (watermark generation).
+    pub fn max_event_time(&self, ts_col: usize) -> Option<EventTime> {
+        (0..self.len)
+            .filter_map(|r| self.event_time(r, ts_col))
+            .max()
+    }
+
+    /// Minimum event time over all rows.
+    pub fn min_event_time(&self, ts_col: usize) -> Option<EventTime> {
+        (0..self.len)
+            .filter_map(|r| self.event_time(r, ts_col))
+            .min()
+    }
+
+    /// Recomputes `meta.min_ts`/`meta.max_ts` exactly from `ts_col`.
+    pub fn recompute_time_bounds(&mut self, ts_col: usize) {
+        self.meta.min_ts = self.min_event_time(ts_col);
+        self.meta.max_ts = self.max_event_time(ts_col);
+    }
+
+    /// Converts back to the row representation.
+    pub fn to_record_buffer(&self) -> RecordBuffer {
+        let mut buf = RecordBuffer::with_capacity(self.schema.clone(), self.len);
+        for r in 0..self.len {
+            buf.push(self.row(r));
+        }
+        buf
+    }
+
+    /// Estimated payload bytes; equal to the row path's estimate.
+    pub fn est_bytes(&self) -> usize {
+        self.columns.iter().map(Column::est_bytes).sum()
+    }
+
+    /// Keeps rows with `mask[i] == true`, preserving metadata (time
+    /// bounds stay as conservative bounds).
+    pub fn filter(&self, mask: &[bool]) -> TupleBuffer {
+        debug_assert_eq!(mask.len(), self.len);
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.filter(mask)).collect();
+        let len = mask.iter().filter(|&&k| k).count();
+        TupleBuffer {
+            schema: self.schema.clone(),
+            len,
+            columns,
+            meta: self.meta,
+        }
+    }
+
+    /// Rows at `indices`, in order.
+    pub fn gather(&self, indices: &[usize]) -> TupleBuffer {
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.gather(indices)).collect();
+        TupleBuffer {
+            schema: self.schema.clone(),
+            len: indices.len(),
+            columns,
+            meta: self.meta,
+        }
+    }
+
+    /// Splits into rows `[0, at)` and `[at, len)`; both halves keep the
+    /// metadata (bounds remain conservative).
+    pub fn split_at(&self, at: usize) -> (TupleBuffer, TupleBuffer) {
+        let at = at.min(self.len);
+        let mut heads = Vec::with_capacity(self.columns.len());
+        let mut tails = Vec::with_capacity(self.columns.len());
+        for c in &self.columns {
+            let (h, t) = c.split_at(at);
+            heads.push(h);
+            tails.push(t);
+        }
+        (
+            TupleBuffer {
+                schema: self.schema.clone(),
+                len: at,
+                columns: heads,
+                meta: self.meta,
+            },
+            TupleBuffer {
+                schema: self.schema.clone(),
+                len: self.len - at,
+                columns: tails,
+                meta: self.meta,
+            },
+        )
+    }
+
+    /// Concatenates buffers over one schema. Metadata: origin/sequence
+    /// from the first buffer, time bounds and watermark unioned.
+    pub fn concat(schema: SchemaRef, bufs: &[TupleBuffer]) -> TupleBuffer {
+        let width = schema.len();
+        let mut meta = bufs.first().map(|b| b.meta).unwrap_or_default();
+        for b in bufs.iter().skip(1) {
+            meta.min_ts = match (meta.min_ts, b.meta.min_ts) {
+                (Some(a), Some(c)) => Some(a.min(c)),
+                (a, c) => a.or(c),
+            };
+            meta.max_ts = match (meta.max_ts, b.meta.max_ts) {
+                (Some(a), Some(c)) => Some(a.max(c)),
+                (a, c) => a.or(c),
+            };
+            meta.watermark = match (meta.watermark, b.meta.watermark) {
+                (Some(a), Some(c)) => Some(a.max(c)),
+                (a, c) => a.or(c),
+            };
+        }
+        let mut columns = Vec::with_capacity(width);
+        let mut len = 0;
+        for i in 0..width {
+            let mut acc: Option<Column> = None;
+            for b in bufs {
+                acc = Some(match acc {
+                    None => b.columns[i].clone(),
+                    Some(a) => a.concat(&b.columns[i]),
+                });
+            }
+            let col = acc.unwrap_or(Column::Values(Vec::new()));
+            len = col.len();
+            columns.push(col);
+        }
+        TupleBuffer {
+            schema,
+            len,
+            columns,
+            meta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn schema() -> SchemaRef {
+        Schema::of(&[
+            ("ts", DataType::Timestamp),
+            ("id", DataType::Int),
+            ("v", DataType::Float),
+            ("name", DataType::Text),
+            ("ok", DataType::Bool),
+            ("pos", DataType::Point),
+        ])
+    }
+
+    fn rec(i: i64) -> Record {
+        Record::new(vec![
+            Value::Timestamp(i * 1000),
+            Value::Int(i),
+            if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::Float(i as f64 * 0.5)
+            },
+            Value::text(format!("r{i}")),
+            Value::Bool(i % 2 == 0),
+            Value::Point {
+                x: i as f64,
+                y: -i as f64,
+            },
+        ])
+    }
+
+    fn buffer(n: i64) -> TupleBuffer {
+        let records: Vec<Record> = (0..n).map(rec).collect();
+        TupleBuffer::from_record_buffer(&RecordBuffer::new(schema(), records), Some(0), 7, 42)
+    }
+
+    #[test]
+    fn round_trip_preserves_rows() {
+        let records: Vec<Record> = (0..20).map(rec).collect();
+        let tb = buffer(20);
+        assert_eq!(tb.len(), 20);
+        let back = tb.to_record_buffer();
+        assert_eq!(back.records(), &records[..]);
+    }
+
+    #[test]
+    fn metadata_bounds_and_est_bytes() {
+        let tb = buffer(10);
+        assert_eq!(tb.meta().origin, 7);
+        assert_eq!(tb.meta().sequence, 42);
+        assert_eq!(tb.meta().min_ts, Some(0));
+        assert_eq!(tb.meta().max_ts, Some(9000));
+        let rows = RecordBuffer::new(schema(), (0..10).map(rec).collect());
+        assert_eq!(tb.est_bytes(), rows.est_bytes());
+    }
+
+    #[test]
+    fn filter_and_gather_match_row_semantics() {
+        let tb = buffer(10);
+        let mask: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let filtered = tb.filter(&mask);
+        assert_eq!(filtered.len(), 5);
+        assert_eq!(filtered.row(1), rec(2));
+        let gathered = tb.gather(&[9, 0, 3]);
+        assert_eq!(gathered.row(0), rec(9));
+        assert_eq!(gathered.row(2), rec(3));
+    }
+
+    #[test]
+    fn split_concat_identity() {
+        let tb = buffer(11);
+        let (a, b) = tb.split_at(4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 7);
+        let joined = TupleBuffer::concat(schema(), &[a, b]);
+        assert_eq!(
+            joined.to_record_buffer().records(),
+            tb.to_record_buffer().records()
+        );
+    }
+
+    #[test]
+    fn mixed_type_column_degrades_losslessly() {
+        let s = Schema::of(&[("x", DataType::Int)]);
+        let recs = vec![
+            Record::new(vec![Value::Int(1)]),
+            Record::new(vec![Value::Float(2.5)]),
+            Record::new(vec![Value::Null]),
+        ];
+        let tb = TupleBuffer::from_records(s.clone(), &recs, BufferMeta::default());
+        assert!(matches!(tb.column(0), Some(Column::Values(_))));
+        assert_eq!(tb.to_record_buffer().records(), &recs[..]);
+    }
+
+    #[test]
+    fn all_null_column_round_trips() {
+        let s = Schema::of(&[("x", DataType::Int)]);
+        let recs = vec![Record::new(vec![Value::Null]); 3];
+        let tb = TupleBuffer::from_records(s, &recs, BufferMeta::default());
+        assert_eq!(tb.to_record_buffer().records(), &recs[..]);
+        assert_eq!(tb.est_bytes(), 3);
+    }
+
+    #[test]
+    fn event_time_accepts_int_column() {
+        let s = Schema::of(&[("ts", DataType::Int)]);
+        let recs = vec![Record::new(vec![Value::Int(5)])];
+        let tb = TupleBuffer::from_records(s, &recs, BufferMeta::default());
+        assert_eq!(tb.event_time(0, 0), Some(5));
+    }
+}

@@ -91,6 +91,11 @@ pub struct ClusterConfig {
     /// Split splittable windows into edge partials + cloud merge under
     /// [`PlacementStrategy::EdgeFirst`].
     pub preaggregate: bool,
+    /// Source-side columnar batching policy for each site's local
+    /// stage chain (see [`crate::runtime::ColumnarMode`]). Buffers
+    /// materialize back to rows at the wire boundary, so frame format
+    /// and byte accounting are identical either way.
+    pub columnar: crate::runtime::ColumnarMode,
 }
 
 impl Default for ClusterConfig {
@@ -101,6 +106,7 @@ impl Default for ClusterConfig {
             idle_limit: 100_000,
             channel_capacity: 8,
             preaggregate: true,
+            columnar: crate::runtime::ColumnarMode::Auto,
         }
     }
 }
@@ -741,6 +747,7 @@ fn drive(ops: &mut [Box<dyn Operator>], first: StreamMessage) -> Result<Vec<Stre
         for msg in cur.drain(..) {
             match msg {
                 StreamMessage::Data(b) => op.process(b, &mut next)?,
+                StreamMessage::Columnar(b) => op.process_columnar(b, &mut next)?,
                 StreamMessage::Watermark(w) => op.on_watermark(w, &mut next)?,
                 StreamMessage::Eos => op.on_eos(&mut next)?,
             }
@@ -763,6 +770,16 @@ fn forward(
                 let records = b.len() as u64;
                 if records > 0 {
                     let frame = Frame::Data(b.into_records());
+                    tx.send(encode_frame(&frame, out_schema, wire)?, records)?;
+                }
+            }
+            // Columnar batches materialize to rows at the wire boundary:
+            // the frame format (and its byte accounting) is unchanged, so
+            // analytic network-cost estimates keep reconciling.
+            StreamMessage::Columnar(b) => {
+                let records = b.len() as u64;
+                if records > 0 {
+                    let frame = Frame::Data(b.to_record_buffer().into_records());
                     tx.send(encode_frame(&frame, out_schema, wire)?, records)?;
                 }
             }
@@ -956,6 +973,10 @@ fn pump(
         .last()
         .map_or_else(|| st.schema.clone(), |o| o.output_schema());
     let watermark_every = cfg.watermark_every.max(1);
+    // Columnar only pays off when a local stage consumes the buffer;
+    // with no source-node stages the frame converts straight back to
+    // rows at the wire, so skip the round-trip.
+    let columnar = crate::runtime::chain_wants_columnar(cfg.columnar, &st.ops);
     loop {
         if batch_limit.is_some_and(|limit| st.batches >= limit) {
             return Ok(PumpEnd::Limit);
@@ -966,16 +987,18 @@ fn pump(
                 st.batches += 1;
                 st.stats.batches += 1;
                 st.stats.records_in += recs.len() as u64;
-                let buf = RecordBuffer::new(st.schema.clone(), recs);
-                st.stats.bytes_in += buf.est_bytes() as u64;
-                if let (Some(col), WatermarkStrategy::BoundedOutOfOrder { .. }) =
-                    (st.ts_col, &st.watermark)
-                {
-                    if let Some(t) = buf.max_event_time(col) {
-                        st.max_ts = st.max_ts.max(t);
-                    }
-                }
-                let msgs = drive(&mut st.ops, StreamMessage::Data(buf))?;
+                let track_ts = matches!(&st.watermark, WatermarkStrategy::BoundedOutOfOrder { .. });
+                let msg = crate::runtime::make_data_message(
+                    &st.schema,
+                    recs,
+                    columnar,
+                    st.ts_col,
+                    track_ts,
+                    st.batches,
+                    &mut st.max_ts,
+                );
+                st.stats.bytes_in += msg.data_bytes() as u64;
+                let msgs = drive(&mut st.ops, msg)?;
                 forward(msgs, &out_schema, wire, tx)?;
                 if let WatermarkStrategy::BoundedOutOfOrder { slack, .. } = &st.watermark {
                     if st.batches.is_multiple_of(watermark_every) && st.max_ts != EventTime::MIN {

@@ -1,0 +1,517 @@
+//! Columnar expression kernels over [`TupleBuffer`]s.
+//!
+//! Vectorized evaluation of [`BoundExpr`] against whole columns, with
+//! per-row fallbacks that reuse the scalar evaluator, so the batched
+//! path is semantically identical to the per-record reference: null
+//! propagation, the Int/Int wrapping fast path, float promotion (any
+//! Timestamp or Float operand), division-by-zero-is-null, short-circuit
+//! `And`/`Or` (errors on short-circuited rows never surface), and
+//! predicate truth (`as_bool().unwrap_or(false)`).
+
+use super::eval::eval_binary;
+use super::{BinOp, BoundExpr, UnOp};
+use crate::buffer::{Column, ColumnBuilder, TupleBuffer};
+use crate::error::{NebulaError, Result};
+use crate::value::Value;
+use std::borrow::Cow;
+
+impl BoundExpr {
+    /// True iff evaluating this expression over a column actually runs
+    /// a vectorized kernel somewhere — i.e. the tree is not *entirely*
+    /// per-row work. [`BoundExpr::eval_column`] falls back to scalar
+    /// invocation for [`BoundExpr::Call`] nodes, so a chain head whose
+    /// expressions are pure calls (e.g. an opaque-geometry predicate)
+    /// gains nothing from columnar input and should not ask the source
+    /// to transpose for it.
+    pub fn vectorizes(&self) -> bool {
+        match self {
+            BoundExpr::Literal(_) | BoundExpr::Column(_) => true,
+            BoundExpr::Binary { lhs, rhs, .. } => lhs.vectorizes() && rhs.vectorizes(),
+            BoundExpr::Unary { expr, .. } => expr.vectorizes(),
+            BoundExpr::Call { .. } => false,
+        }
+    }
+
+    /// Evaluates against row `row` of a buffer, reading columns
+    /// directly — no [`crate::record::Record`] materialization.
+    pub fn eval_row(&self, buf: &TupleBuffer, row: usize) -> Result<Value> {
+        match self {
+            BoundExpr::Literal(v) => Ok(v.clone()),
+            BoundExpr::Column(idx) => buf.value_at(row, *idx).ok_or_else(|| {
+                NebulaError::Eval(format!(
+                    "record has {} fields, column #{idx} missing",
+                    buf.columns().len()
+                ))
+            }),
+            BoundExpr::Binary { op, lhs, rhs } => {
+                match op {
+                    BinOp::And => {
+                        let l = lhs.eval_row(buf, row)?.as_bool().unwrap_or(false);
+                        if !l {
+                            return Ok(Value::Bool(false));
+                        }
+                        return Ok(Value::Bool(
+                            rhs.eval_row(buf, row)?.as_bool().unwrap_or(false),
+                        ));
+                    }
+                    BinOp::Or => {
+                        let l = lhs.eval_row(buf, row)?.as_bool().unwrap_or(false);
+                        if l {
+                            return Ok(Value::Bool(true));
+                        }
+                        return Ok(Value::Bool(
+                            rhs.eval_row(buf, row)?.as_bool().unwrap_or(false),
+                        ));
+                    }
+                    _ => {}
+                }
+                let l = lhs.eval_row(buf, row)?;
+                let r = rhs.eval_row(buf, row)?;
+                eval_binary(*op, &l, &r)
+            }
+            BoundExpr::Unary { op, expr } => {
+                let v = expr.eval_row(buf, row)?;
+                match op {
+                    UnOp::Not => Ok(Value::Bool(!v.as_bool().unwrap_or(false))),
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(i.wrapping_neg())),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        Value::Null => Ok(Value::Null),
+                        other => Err(NebulaError::Eval(format!("cannot negate {other}"))),
+                    },
+                }
+            }
+            BoundExpr::Call { func, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(a.eval_row(buf, row)?);
+                }
+                func.invoke(&values)
+            }
+        }
+    }
+
+    /// Evaluates as a predicate on one row: non-true (false/null) drops.
+    pub fn eval_predicate_row(&self, buf: &TupleBuffer, row: usize) -> Result<bool> {
+        Ok(self.eval_row(buf, row)?.as_bool().unwrap_or(false))
+    }
+
+    /// Evaluates over every row, producing one result [`Column`].
+    pub fn eval_column(&self, buf: &TupleBuffer) -> Result<Column> {
+        let n = buf.len();
+        match self {
+            BoundExpr::Literal(v) => {
+                let mut b = ColumnBuilder::with_capacity(n);
+                for _ in 0..n {
+                    b.push(v.clone());
+                }
+                Ok(b.finish())
+            }
+            BoundExpr::Column(idx) => buf.column(*idx).cloned().ok_or_else(|| {
+                NebulaError::Eval(format!(
+                    "record has {} fields, column #{idx} missing",
+                    buf.columns().len()
+                ))
+            }),
+            BoundExpr::Binary { op, lhs, rhs } => match op {
+                BinOp::And | BinOp::Or => Ok(Column::Bool {
+                    data: self.eval_mask(buf)?,
+                    validity: None,
+                }),
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                    let lc = lhs.eval_column(buf)?;
+                    let rc = rhs.eval_column(buf)?;
+                    arith_kernel(*op, &lc, &rc).unwrap_or_else(|| per_row_binary(*op, &lc, &rc, n))
+                }
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    let lc = lhs.eval_column(buf)?;
+                    let rc = rhs.eval_column(buf)?;
+                    cmp_kernel(*op, &lc, &rc).unwrap_or_else(|| per_row_binary(*op, &lc, &rc, n))
+                }
+            },
+            BoundExpr::Unary { op, expr } => {
+                let c = expr.eval_column(buf)?;
+                match op {
+                    UnOp::Not => Ok(Column::Bool {
+                        data: truth_mask(&c).iter().map(|&b| !b).collect(),
+                        validity: None,
+                    }),
+                    UnOp::Neg => neg_kernel(&c),
+                }
+            }
+            BoundExpr::Call { func, args } => {
+                // Vector-evaluate the arguments, then invoke per row with
+                // a reused scratch vector: the argument subtrees get the
+                // batched kernels even though the call itself is scalar.
+                let mut cols = Vec::with_capacity(args.len());
+                for a in args {
+                    cols.push(a.eval_column(buf)?);
+                }
+                let mut out = ColumnBuilder::with_capacity(n);
+                let mut scratch: Vec<Value> = Vec::with_capacity(cols.len());
+                for row in 0..n {
+                    scratch.clear();
+                    for c in &cols {
+                        scratch.push(c.value_at(row));
+                    }
+                    out.push(func.invoke(&scratch)?);
+                }
+                Ok(out.finish())
+            }
+        }
+    }
+
+    /// Evaluates as a predicate over every row: `mask[i]` is true iff
+    /// row `i` passes. Errors on short-circuited rows never surface,
+    /// exactly as in the scalar evaluator.
+    pub fn eval_mask(&self, buf: &TupleBuffer) -> Result<Vec<bool>> {
+        let n = buf.len();
+        match self {
+            BoundExpr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
+                let lm = lhs.eval_mask(buf)?;
+                match rhs.eval_mask(buf) {
+                    Ok(rm) => Ok(lm.iter().zip(&rm).map(|(&a, &b)| a && b).collect()),
+                    Err(_) => {
+                        // A row the reference would have short-circuited
+                        // may be the one that errored: re-evaluate only
+                        // the rows whose left side was true.
+                        let mut out = vec![false; n];
+                        for (row, o) in out.iter_mut().enumerate() {
+                            if lm[row] {
+                                *o = rhs.eval_predicate_row(buf, row)?;
+                            }
+                        }
+                        Ok(out)
+                    }
+                }
+            }
+            BoundExpr::Binary {
+                op: BinOp::Or,
+                lhs,
+                rhs,
+            } => {
+                let lm = lhs.eval_mask(buf)?;
+                match rhs.eval_mask(buf) {
+                    Ok(rm) => Ok(lm.iter().zip(&rm).map(|(&a, &b)| a || b).collect()),
+                    Err(_) => {
+                        let mut out = lm.clone();
+                        for (row, o) in out.iter_mut().enumerate() {
+                            if !lm[row] {
+                                *o = rhs.eval_predicate_row(buf, row)?;
+                            }
+                        }
+                        Ok(out)
+                    }
+                }
+            }
+            _ => Ok(truth_mask(&self.eval_column(buf)?)),
+        }
+    }
+}
+
+/// Predicate truth of a column: `Bool` rows pass when valid and true;
+/// every non-bool value (incl. null) is false, matching
+/// `as_bool().unwrap_or(false)`.
+fn truth_mask(c: &Column) -> Vec<bool> {
+    match c {
+        Column::Bool { data, validity } => match validity {
+            None => data.clone(),
+            Some(m) => data.iter().zip(m).map(|(&b, &v)| b && v).collect(),
+        },
+        Column::Values(vals) => vals.iter().map(|v| v.as_bool().unwrap_or(false)).collect(),
+        other => vec![false; other.len()],
+    }
+}
+
+/// A borrowed/widened f64 view of a numeric column with its validity.
+type NumericView<'a> = (Cow<'a, [f64]>, Option<&'a [bool]>);
+
+/// The numeric view of a column (`Int`, `Float`, `Timestamp`);
+/// `None` for anything else.
+fn numeric_view(c: &Column) -> Option<NumericView<'_>> {
+    match c {
+        Column::Float { data, validity } => Some((Cow::Borrowed(&data[..]), validity.as_deref())),
+        Column::Int { data, validity } | Column::Timestamp { data, validity } => Some((
+            Cow::Owned(data.iter().map(|&i| i as f64).collect()),
+            validity.as_deref(),
+        )),
+        _ => None,
+    }
+}
+
+fn valid_at(m: Option<&[bool]>, i: usize) -> bool {
+    m.is_none_or(|m| m[i])
+}
+
+/// Vectorized arithmetic; `None` when operand types need the scalar
+/// fallback. `Int ⊕ Int` stays integer (wrapping, `/0`→null); any
+/// `Float`/`Timestamp` operand promotes the whole kernel to f64,
+/// exactly like the scalar evaluator does per row.
+fn arith_kernel(op: BinOp, lc: &Column, rc: &Column) -> Option<Result<Column>> {
+    if let (
+        Column::Int {
+            data: la,
+            validity: lv,
+        },
+        Column::Int {
+            data: ra,
+            validity: rv,
+        },
+    ) = (lc, rc)
+    {
+        let n = la.len();
+        let mut data = vec![0i64; n];
+        let mut validity: Option<Vec<bool>> = None;
+        for i in 0..n {
+            let ok = valid_at(lv.as_deref(), i) && valid_at(rv.as_deref(), i);
+            let v = if ok {
+                let (a, b) = (la[i], ra[i]);
+                match op {
+                    BinOp::Add => Some(a.wrapping_add(b)),
+                    BinOp::Sub => Some(a.wrapping_sub(b)),
+                    BinOp::Mul => Some(a.wrapping_mul(b)),
+                    BinOp::Div => (b != 0).then(|| a / b),
+                    BinOp::Mod => (b != 0).then(|| a % b),
+                    _ => unreachable!(),
+                }
+            } else {
+                None
+            };
+            match v {
+                Some(v) => data[i] = v,
+                None => mark_null(&mut validity, n, i),
+            }
+        }
+        return Some(Ok(Column::Int { data, validity }));
+    }
+    let (la, lv) = numeric_view(lc)?;
+    let (ra, rv) = numeric_view(rc)?;
+    let n = la.len();
+    let mut data = vec![0f64; n];
+    let mut validity: Option<Vec<bool>> = None;
+    for i in 0..n {
+        let ok = valid_at(lv, i) && valid_at(rv, i);
+        let v = if ok {
+            let (a, b) = (la[i], ra[i]);
+            match op {
+                BinOp::Add => Some(a + b),
+                BinOp::Sub => Some(a - b),
+                BinOp::Mul => Some(a * b),
+                BinOp::Div => (b != 0.0).then(|| a / b),
+                BinOp::Mod => (b != 0.0).then(|| a % b),
+                _ => unreachable!(),
+            }
+        } else {
+            None
+        };
+        match v {
+            Some(v) => data[i] = v,
+            None => mark_null(&mut validity, n, i),
+        }
+    }
+    Some(Ok(Column::Float { data, validity }))
+}
+
+/// Vectorized comparison over numeric columns; `None` when either side
+/// needs the scalar fallback (text, bool, points, mixed columns).
+fn cmp_kernel(op: BinOp, lc: &Column, rc: &Column) -> Option<Result<Column>> {
+    let (la, lv) = numeric_view(lc)?;
+    let (ra, rv) = numeric_view(rc)?;
+    let n = la.len();
+    let mut data = vec![false; n];
+    let mut validity: Option<Vec<bool>> = None;
+    for i in 0..n {
+        if !(valid_at(lv, i) && valid_at(rv, i)) {
+            mark_null(&mut validity, n, i);
+            continue;
+        }
+        let (a, b) = (la[i], ra[i]);
+        let v = match op {
+            // Numeric equality mirrors `Value::eq`: plain f64 compare,
+            // so NaN != NaN is false, not null.
+            BinOp::Eq => Some(a == b),
+            BinOp::Ne => Some(a != b),
+            // Ordering mirrors `partial_cmp_num`: NaN is incomparable
+            // and yields null.
+            _ => a.partial_cmp(&b).map(|ord| {
+                use std::cmp::Ordering::*;
+                match op {
+                    BinOp::Lt => ord == Less,
+                    BinOp::Le => ord != Greater,
+                    BinOp::Gt => ord == Greater,
+                    BinOp::Ge => ord != Less,
+                    _ => unreachable!(),
+                }
+            }),
+        };
+        match v {
+            Some(v) => data[i] = v,
+            None => mark_null(&mut validity, n, i),
+        }
+    }
+    Some(Ok(Column::Bool { data, validity }))
+}
+
+fn neg_kernel(c: &Column) -> Result<Column> {
+    match c {
+        Column::Int { data, validity } => Ok(Column::Int {
+            data: data.iter().map(|&i| i.wrapping_neg()).collect(),
+            validity: validity.clone(),
+        }),
+        Column::Float { data, validity } => Ok(Column::Float {
+            data: data.iter().map(|&f| -f).collect(),
+            validity: validity.clone(),
+        }),
+        other => {
+            let mut b = ColumnBuilder::with_capacity(other.len());
+            for i in 0..other.len() {
+                match other.value_at(i) {
+                    Value::Int(v) => b.push(Value::Int(v.wrapping_neg())),
+                    Value::Float(v) => b.push(Value::Float(-v)),
+                    Value::Null => b.push(Value::Null),
+                    v => return Err(NebulaError::Eval(format!("cannot negate {v}"))),
+                }
+            }
+            Ok(b.finish())
+        }
+    }
+}
+
+/// Scalar fallback: applies `eval_binary` row by row over two
+/// materialized operand columns.
+fn per_row_binary(op: BinOp, lc: &Column, rc: &Column, n: usize) -> Result<Column> {
+    let mut b = ColumnBuilder::with_capacity(n);
+    for i in 0..n {
+        b.push(eval_binary(op, &lc.value_at(i), &rc.value_at(i))?);
+    }
+    Ok(b.finish())
+}
+
+fn mark_null(validity: &mut Option<Vec<bool>>, n: usize, i: usize) {
+    validity.get_or_insert_with(|| vec![true; n])[i] = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferMeta;
+    use crate::expr::{col, lit, Expr, FunctionRegistry};
+    use crate::record::Record;
+    use crate::schema::{Schema, SchemaRef};
+    use crate::value::DataType;
+
+    fn schema() -> SchemaRef {
+        Schema::of(&[
+            ("a", DataType::Int),
+            ("b", DataType::Float),
+            ("t", DataType::Text),
+            ("ts", DataType::Timestamp),
+        ])
+    }
+
+    fn buffer() -> TupleBuffer {
+        let recs: Vec<Record> = (0..20)
+            .map(|i| {
+                Record::new(vec![
+                    if i == 7 { Value::Null } else { Value::Int(i) },
+                    Value::Float(i as f64 * 0.5),
+                    Value::text(format!("t{}", i % 3)),
+                    Value::Timestamp(i * 1000),
+                ])
+            })
+            .collect();
+        TupleBuffer::from_records(schema(), &recs, BufferMeta::default())
+    }
+
+    fn bind(e: &Expr) -> BoundExpr {
+        let reg = FunctionRegistry::with_builtins();
+        e.bind(&schema(), &reg).unwrap().0
+    }
+
+    /// The columnar result must equal per-record scalar evaluation.
+    fn assert_matches_scalar(e: &Expr) {
+        let b = bind(e);
+        let tb = buffer();
+        let colr = b.eval_column(&tb).unwrap();
+        for i in 0..tb.len() {
+            let rec = tb.row(i);
+            let want = b.eval(&rec).unwrap();
+            assert_eq!(colr.value_at(i), want, "row {i} of {e:?}");
+            assert_eq!(b.eval_row(&tb, i).unwrap(), want, "eval_row {i}");
+        }
+        let mask = b.eval_mask(&tb).unwrap();
+        for (i, &m) in mask.iter().enumerate() {
+            assert_eq!(m, b.eval_predicate(&tb.row(i)).unwrap(), "mask {i}");
+        }
+    }
+
+    #[test]
+    fn kernels_match_scalar_reference() {
+        for e in [
+            col("a").add(lit(3i64)),
+            col("a").mul(col("a")),
+            col("a").div(lit(0i64)),
+            col("a").modulo(lit(4i64)),
+            col("b").add(col("a")),
+            col("ts").add(col("a")),
+            col("b").div(lit(0.0)),
+            col("a").ge(lit(10i64)),
+            col("b").lt(lit(5.0)),
+            col("a").eq(col("b").mul(lit(2.0))),
+            col("a").ne(lit(7i64)),
+            col("t").eq(lit("t1")),
+            col("t").lt(lit("t2")),
+            col("a").gt(lit(5i64)).and(col("b").lt(lit(8.0))),
+            col("a").gt(lit(5i64)).or(col("t").eq(lit("t0"))),
+            col("a").gt(lit(5i64)).not(),
+            col("a").neg(),
+            col("b").neg(),
+            lit(2.5).mul(col("a")),
+        ] {
+            assert_matches_scalar(&e);
+        }
+    }
+
+    #[test]
+    fn short_circuit_suppresses_rhs_errors() {
+        // rhs is a missing column: scalar short-circuit hides the error
+        // when lhs decides; the mask path must do the same.
+        let bad = BoundExpr::Column(99);
+        let and = BoundExpr::Binary {
+            op: BinOp::And,
+            lhs: Box::new(BoundExpr::Literal(Value::Bool(false))),
+            rhs: Box::new(bad.clone()),
+        };
+        let tb = buffer();
+        assert_eq!(and.eval_mask(&tb).unwrap(), vec![false; tb.len()]);
+        let or = BoundExpr::Binary {
+            op: BinOp::Or,
+            lhs: Box::new(BoundExpr::Literal(Value::Bool(true))),
+            rhs: Box::new(bad),
+        };
+        assert_eq!(or.eval_mask(&tb).unwrap(), vec![true; tb.len()]);
+    }
+
+    #[test]
+    fn non_short_circuited_error_surfaces() {
+        let bad = BoundExpr::Column(99);
+        let and = BoundExpr::Binary {
+            op: BinOp::And,
+            lhs: Box::new(BoundExpr::Literal(Value::Bool(true))),
+            rhs: Box::new(bad),
+        };
+        assert!(and.eval_mask(&buffer()).is_err());
+    }
+
+    #[test]
+    fn call_vectorizes_arguments() {
+        // if(a > 10, "hi", "lo") via the builtin registry: mixed-branch
+        // text output exercises the per-row invoke with vector args.
+        let e = crate::expr::call("if", vec![col("a").gt(lit(10i64)), lit("hi"), lit("lo")]);
+        assert_matches_scalar(&e);
+    }
+}

@@ -117,7 +117,7 @@ impl BoundExpr {
     }
 }
 
-fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }

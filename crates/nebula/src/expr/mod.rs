@@ -7,6 +7,7 @@
 //! (`edwithin`, `tpoint_at_stbox`, …) inside queries.
 
 mod builtins;
+mod columnar;
 mod eval;
 mod registry;
 

@@ -64,6 +64,7 @@
 //! assert_eq!(results.len(), 9); // speeds 51..=59
 //! ```
 
+pub mod buffer;
 pub mod cluster;
 pub mod error;
 pub mod expr;
@@ -85,6 +86,7 @@ pub use error::{NebulaError, Result};
 
 /// The types needed by almost every engine user.
 pub mod prelude {
+    pub use crate::buffer::{BufferMeta, Column, ColumnBuilder, TupleBuffer};
     pub use crate::cluster::{
         ClusterConfig, ClusterEnvironment, ClusterMetrics, ClusterReport, FailureInjection,
         LinkMetrics,
@@ -101,7 +103,7 @@ pub mod prelude {
     pub use crate::preagg::{split_window, SplitWindow, WindowMergeOp, WindowPartialOp};
     pub use crate::query::{compile, LogicalOp, PartitionScheme, Query};
     pub use crate::record::{Record, RecordBuffer, StreamMessage};
-    pub use crate::runtime::{EnvConfig, StreamEnvironment};
+    pub use crate::runtime::{ColumnarMode, EnvConfig, StreamEnvironment};
     pub use crate::schema::{Field, Schema, SchemaRef};
     pub use crate::sink::{
         merge_partitions, normalize_records, BufferSink, CallbackSink, Collected, CollectingSink,

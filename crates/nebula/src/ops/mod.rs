@@ -13,6 +13,7 @@ pub use cep::{CepOp, Pattern, PatternStep};
 pub(crate) use window_op::SliceStore;
 pub use window_op::WindowOp;
 
+use crate::buffer::TupleBuffer;
 use crate::error::{NebulaError, Result};
 use crate::expr::{BoundExpr, Expr, FunctionRegistry};
 use crate::record::{Record, RecordBuffer, StreamMessage};
@@ -29,6 +30,39 @@ pub trait Operator: Send {
 
     /// Processes one data buffer, pushing zero or more messages.
     fn process(&mut self, buf: RecordBuffer, out: &mut Vec<StreamMessage>) -> Result<()>;
+
+    /// True iff the operator has a native columnar kernel. The runtimes
+    /// only build [`TupleBuffer`]s at the source when the chain's first
+    /// operator opts in; everything else rides the default conversion.
+    fn supports_columnar(&self) -> bool {
+        false
+    }
+
+    /// Processes one columnar buffer. The default converts to the row
+    /// layout and delegates to [`Operator::process`], so the per-record
+    /// path stays the reference implementation every operator falls
+    /// back to — and the batched kernels stay differentially testable
+    /// against it.
+    fn process_columnar(&mut self, buf: TupleBuffer, out: &mut Vec<StreamMessage>) -> Result<()> {
+        self.process(buf.to_record_buffer(), out)
+    }
+
+    /// True iff columnar input actually buys this operator vectorized
+    /// work (as opposed to merely being accepted and evaluated per
+    /// row). Drives [`crate::runtime::ColumnarMode::Auto`]'s decision
+    /// whether transposing at the source pays for itself; a filter
+    /// whose predicate is one opaque-geometry call accepts buffers but
+    /// reports no benefit.
+    fn columnar_benefit(&self) -> bool {
+        false
+    }
+
+    /// Whether columnar buffers keep flowing out of this operator. Windows
+    /// accept buffers but emit row aggregates, so the `Auto` gate stops
+    /// scanning for downstream benefit past them.
+    fn propagates_columnar(&self) -> bool {
+        true
+    }
 
     /// Handles a watermark; the default forwards it downstream. Stateful
     /// operators emit closed windows/matches first.
@@ -89,6 +123,24 @@ impl GroupKey {
         Ok((GroupKey(bytes.into_boxed_slice()), values))
     }
 
+    /// Evaluates `exprs` on row `row` of a columnar buffer and encodes
+    /// the results — same key bytes as [`GroupKey::evaluate`] on the
+    /// materialized record, without building the record.
+    pub fn evaluate_row(
+        exprs: &[BoundExpr],
+        buf: &TupleBuffer,
+        row: usize,
+    ) -> Result<(GroupKey, Vec<Value>)> {
+        let mut values = Vec::with_capacity(exprs.len());
+        let mut bytes = Vec::with_capacity(exprs.len() * 9);
+        for e in exprs {
+            let v = e.eval_row(buf, row)?;
+            encode_value(&v, &mut bytes);
+            values.push(v);
+        }
+        Ok((GroupKey(bytes.into_boxed_slice()), values))
+    }
+
     /// Builds a key directly from already-evaluated values — how the
     /// cloud-side window merge regroups partial rows whose key columns
     /// arrive materialized instead of as expressions.
@@ -123,7 +175,7 @@ pub fn record_sort_key(rec: &Record) -> Vec<u8> {
     bytes
 }
 
-fn encode_value(v: &Value, out: &mut Vec<u8>) {
+pub(crate) fn encode_value(v: &Value, out: &mut Vec<u8>) {
     match v {
         Value::Null => out.push(0),
         Value::Bool(b) => {
@@ -203,6 +255,27 @@ impl Operator for FilterOp {
         }
         Ok(())
     }
+
+    fn supports_columnar(&self) -> bool {
+        true
+    }
+
+    fn columnar_benefit(&self) -> bool {
+        self.predicate.vectorizes()
+    }
+
+    fn process_columnar(&mut self, buf: TupleBuffer, out: &mut Vec<StreamMessage>) -> Result<()> {
+        let mask = self.predicate.eval_mask(&buf)?;
+        if mask.iter().any(|&k| k) {
+            let kept = if mask.iter().all(|&k| k) {
+                buf
+            } else {
+                buf.filter(&mask)
+            };
+            out.push(StreamMessage::Columnar(kept));
+        }
+        Ok(())
+    }
 }
 
 /// Projection: computes named expressions, optionally keeping the input
@@ -270,6 +343,42 @@ impl Operator for MapOp {
                 mapped,
             )));
         }
+        Ok(())
+    }
+
+    fn supports_columnar(&self) -> bool {
+        true
+    }
+
+    fn columnar_benefit(&self) -> bool {
+        self.projections.iter().any(BoundExpr::vectorizes)
+    }
+
+    fn process_columnar(&mut self, buf: TupleBuffer, out: &mut Vec<StreamMessage>) -> Result<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let mut projected = Vec::with_capacity(
+            self.projections.len() + if self.extend { buf.columns().len() } else { 0 },
+        );
+        for p in &self.projections {
+            projected.push(p.eval_column(&buf)?);
+        }
+        let (_, input_columns, meta) = buf.into_parts();
+        let columns = if self.extend {
+            // Extend mode reuses the input columns wholesale — the win
+            // over the row path's per-record value-vector clone.
+            let mut cols = input_columns;
+            cols.extend(projected);
+            cols
+        } else {
+            projected
+        };
+        out.push(StreamMessage::Columnar(TupleBuffer::new(
+            self.schema.clone(),
+            columns,
+            meta,
+        )));
         Ok(())
     }
 }

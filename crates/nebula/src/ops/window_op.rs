@@ -11,6 +11,7 @@
 //! runtime's edge/cloud pre-aggregation split (see [`crate::preagg`]).
 
 use super::{record_sort_key, GroupKey, Operator};
+use crate::buffer::TupleBuffer;
 use crate::error::{NebulaError, Result};
 use crate::expr::{BoundExpr, Expr, FunctionRegistry};
 use crate::record::{Record, RecordBuffer, StreamMessage};
@@ -137,6 +138,25 @@ impl SliceStore {
         Ok(())
     }
 
+    /// Folds row `row` of a columnar buffer into its key's slice — the
+    /// batched twin of [`SliceStore::update`], feeding the accumulators
+    /// through [`Aggregator::update_row`] so no `Record` materializes.
+    pub(crate) fn update_row(
+        &mut self,
+        key: GroupKey,
+        key_values: &[Value],
+        slice: EventTime,
+        buf: &TupleBuffer,
+        row: usize,
+    ) -> Result<()> {
+        let st = self.slice_entry(key, key_values, slice)?;
+        st.dirty = true;
+        for agg in &mut st.aggs {
+            agg.update_row(buf, row)?;
+        }
+        Ok(())
+    }
+
     /// Triages one record by event time — THE late-record policy, shared
     /// by the single-process window and the edge partial operator so the
     /// two paths cannot diverge. A record in a `slide > size` coverage
@@ -157,6 +177,31 @@ impl SliceStore {
             Some(_) => {
                 let (key, key_values) = GroupKey::evaluate(key_exprs, rec)?;
                 self.update(key, &key_values, self.layout.slice_of(ts), rec)?;
+                Ok(false)
+            }
+        }
+    }
+
+    /// Columnar twin of [`SliceStore::absorb`]: same triage decision
+    /// tree (coverage gap → ignore; every window closed → late; else
+    /// fold), evaluating the group key and the aggregates directly over
+    /// the buffer's columns. Key evaluation only happens for live rows,
+    /// so a key expression that errors on a late record stays silent —
+    /// exactly as on the row path.
+    pub(crate) fn absorb_row(
+        &mut self,
+        key_exprs: &[BoundExpr],
+        buf: &TupleBuffer,
+        row: usize,
+        ts: EventTime,
+        last_watermark: EventTime,
+    ) -> Result<bool> {
+        match self.layout.latest_close(ts) {
+            None => Ok(false),
+            Some(close) if close <= last_watermark => Ok(true),
+            Some(_) => {
+                let (key, key_values) = GroupKey::evaluate_row(key_exprs, buf, row)?;
+                self.update_row(key, &key_values, self.layout.slice_of(ts), buf, row)?;
                 Ok(false)
             }
         }
@@ -517,6 +562,34 @@ impl Operator for WindowOp {
                 self.output.clone(),
                 emitted,
             )));
+        }
+        Ok(())
+    }
+
+    /// Time-window mode folds buffers without materializing rows;
+    /// threshold windows are inherently sequential per record and keep
+    /// the row path.
+    fn supports_columnar(&self) -> bool {
+        self.slices.is_some()
+    }
+
+    fn propagates_columnar(&self) -> bool {
+        false
+    }
+
+    fn process_columnar(&mut self, buf: TupleBuffer, out: &mut Vec<StreamMessage>) -> Result<()> {
+        if self.slices.is_none() {
+            return self.process(buf.to_record_buffer(), out);
+        }
+        let last_watermark = self.last_watermark;
+        let store = self.slices.as_mut().expect("time window has slices");
+        for row in 0..buf.len() {
+            let ts = buf
+                .event_time(row, self.ts_col)
+                .ok_or_else(|| NebulaError::Eval("window: record missing event time".into()))?;
+            if store.absorb_row(&self.key_exprs, &buf, row, ts, last_watermark)? {
+                self.late_drops += 1;
+            }
         }
         Ok(())
     }

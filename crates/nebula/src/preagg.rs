@@ -454,6 +454,7 @@ mod tests {
         for msg in cloud_in {
             match msg {
                 StreamMessage::Data(b) => cloud.process(b, &mut out).unwrap(),
+                StreamMessage::Columnar(b) => cloud.process_columnar(b, &mut out).unwrap(),
                 StreamMessage::Watermark(w) => cloud.on_watermark(w, &mut out).unwrap(),
                 StreamMessage::Eos => cloud.on_eos(&mut out).unwrap(),
             }

@@ -153,16 +153,40 @@ impl RecordBuffer {
     }
 }
 
-/// Messages flowing between operators: data, watermark advances, and
-/// end-of-stream.
+/// Messages flowing between operators: data (row- or column-oriented),
+/// watermark advances, and end-of-stream.
 #[derive(Debug, Clone)]
 pub enum StreamMessage {
-    /// A batch of records.
+    /// A batch of records in row layout.
     Data(RecordBuffer),
+    /// A batch in columnar layout (see [`crate::buffer::TupleBuffer`]).
+    Columnar(crate::buffer::TupleBuffer),
     /// No record with event time `< wm` will arrive anymore.
     Watermark(EventTime),
     /// The stream has ended.
     Eos,
+}
+
+impl StreamMessage {
+    /// Number of records carried by a data message (0 otherwise).
+    pub fn record_count(&self) -> usize {
+        match self {
+            StreamMessage::Data(b) => b.len(),
+            StreamMessage::Columnar(b) => b.len(),
+            StreamMessage::Watermark(_) | StreamMessage::Eos => 0,
+        }
+    }
+
+    /// Estimated payload bytes of a data message (0 otherwise). The
+    /// columnar estimate equals the row estimate for the same rows, so
+    /// byte-based metrics agree across both layouts.
+    pub fn data_bytes(&self) -> usize {
+        match self {
+            StreamMessage::Data(b) => b.est_bytes(),
+            StreamMessage::Columnar(b) => b.est_bytes(),
+            StreamMessage::Watermark(_) | StreamMessage::Eos => 0,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 //!   per-worker metrics merged into one report (NebulaStream's
 //!   worker-parallel execution model).
 
+use crate::buffer::TupleBuffer;
 use crate::error::{NebulaError, Result};
 use crate::expr::{BoundExpr, FunctionRegistry, Plugin};
 use crate::metrics::QueryMetrics;
@@ -43,6 +44,28 @@ pub struct EnvConfig {
     /// Worker count for partitioned execution
     /// ([`StreamEnvironment::run_partitioned`]).
     pub parallelism: usize,
+    /// Whether sources build columnar [`TupleBuffer`]s for the operator
+    /// chain. `buffer_size = 1` degenerates to record-at-a-time in any
+    /// mode.
+    pub columnar: ColumnarMode,
+}
+
+/// Source-side batching policy: when to transpose polled records into
+/// columnar [`TupleBuffer`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ColumnarMode {
+    /// Transpose when some operator in the chain's columnar-capable
+    /// prefix actually runs a vectorized kernel (see
+    /// [`crate::ops::Operator::columnar_benefit`]) — chains that would
+    /// only pay the transpose (e.g. an opaque-geometry predicate
+    /// straight into a window) keep the row path.
+    #[default]
+    Auto,
+    /// Never transpose: every mode runs the per-record reference path.
+    Off,
+    /// Transpose whenever the chain head accepts buffers, benefit or
+    /// not — pins the columnar kernels in differential tests.
+    Force,
 }
 
 impl Default for EnvConfig {
@@ -53,6 +76,7 @@ impl Default for EnvConfig {
             idle_limit: 100_000,
             channel_capacity: 8,
             parallelism: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+            columnar: ColumnarMode::Auto,
         }
     }
 }
@@ -174,6 +198,7 @@ impl StreamEnvironment {
     /// compile error leaves the source registered).
     pub fn run(&mut self, query: &Query, sink: &mut dyn Sink) -> Result<QueryMetrics> {
         let (ts_col, mut ops) = self.prepare(query)?;
+        let columnar = chain_wants_columnar(self.config.columnar, &ops);
         let RegisteredSource {
             mut source,
             watermark,
@@ -190,18 +215,19 @@ impl StreamEnvironment {
                 SourceBatch::Data(recs) => {
                     idle = 0;
                     metrics.batches += 1;
-                    let buf = RecordBuffer::new(schema.clone(), recs);
-                    metrics.records_in += buf.len() as u64;
-                    metrics.bytes_in += buf.est_bytes() as u64;
-                    if let (Some(col), WatermarkStrategy::BoundedOutOfOrder { .. }) =
-                        (ts_col, &watermark)
-                    {
-                        if let Some(t) = buf.max_event_time(col) {
-                            max_ts = max_ts.max(t);
-                        }
-                    }
+                    let msg = make_data_message(
+                        &schema,
+                        recs,
+                        columnar,
+                        ts_col,
+                        matches!(watermark, WatermarkStrategy::BoundedOutOfOrder { .. }),
+                        metrics.batches,
+                        &mut max_ts,
+                    );
+                    metrics.records_in += msg.record_count() as u64;
+                    metrics.bytes_in += msg.data_bytes() as u64;
                     let t0 = Instant::now();
-                    feed(&mut ops, StreamMessage::Data(buf), sink, &mut metrics)?;
+                    feed(&mut ops, msg, sink, &mut metrics)?;
                     metrics.latency.record(t0.elapsed().as_secs_f64() * 1e6);
                     if let WatermarkStrategy::BoundedOutOfOrder { slack, .. } = &watermark {
                         if metrics.batches % self.config.watermark_every == 0
@@ -237,6 +263,7 @@ impl StreamEnvironment {
     /// operator chain by a bounded channel — pipeline parallelism.
     pub fn run_threaded(&mut self, query: &Query, sink: &mut dyn Sink) -> Result<QueryMetrics> {
         let (ts_col, mut ops) = self.prepare(query)?;
+        let columnar = chain_wants_columnar(self.config.columnar, &ops);
         let RegisteredSource {
             mut source,
             watermark,
@@ -261,15 +288,16 @@ impl StreamEnvironment {
                         SourceBatch::Data(recs) => {
                             idle = 0;
                             batches += 1;
-                            let buf = RecordBuffer::new(schema.clone(), recs);
-                            if let (Some(col), WatermarkStrategy::BoundedOutOfOrder { .. }) =
-                                (ts_col, &watermark)
-                            {
-                                if let Some(t) = buf.max_event_time(col) {
-                                    max_ts = max_ts.max(t);
-                                }
-                            }
-                            tx.send(StreamMessage::Data(buf))
+                            let msg = make_data_message(
+                                &schema,
+                                recs,
+                                columnar,
+                                ts_col,
+                                matches!(watermark, WatermarkStrategy::BoundedOutOfOrder { .. }),
+                                batches,
+                                &mut max_ts,
+                            );
+                            tx.send(msg)
                                 .map_err(|_| NebulaError::Eval("consumer hung up".into()))?;
                             if let WatermarkStrategy::BoundedOutOfOrder { slack, .. } = &watermark {
                                 if batches.is_multiple_of(watermark_every)
@@ -299,10 +327,10 @@ impl StreamEnvironment {
             for msg in rx.iter() {
                 let is_eos = matches!(msg, StreamMessage::Eos);
                 match &msg {
-                    StreamMessage::Data(b) => {
+                    StreamMessage::Data(_) | StreamMessage::Columnar(_) => {
                         metrics.batches += 1;
-                        metrics.records_in += b.len() as u64;
-                        metrics.bytes_in += b.est_bytes() as u64;
+                        metrics.records_in += msg.record_count() as u64;
+                        metrics.bytes_in += msg.data_bytes() as u64;
                     }
                     StreamMessage::Watermark(_) => metrics.watermarks += 1,
                     StreamMessage::Eos => {}
@@ -379,6 +407,9 @@ impl StreamEnvironment {
             chains.push(plan.operators);
         }
         let output_schema = output_schema.expect("parallelism >= 1");
+        let columnar = chains
+            .first()
+            .is_some_and(|c| chain_wants_columnar(self.config.columnar, c));
         let RegisteredSource {
             mut source,
             watermark,
@@ -406,12 +437,13 @@ impl StreamEnvironment {
                         let mut local = BufferSink::new();
                         for msg in rx.iter() {
                             let is_eos = matches!(msg, StreamMessage::Eos);
-                            let is_data = matches!(msg, StreamMessage::Data(_));
+                            let is_data =
+                                matches!(msg, StreamMessage::Data(_) | StreamMessage::Columnar(_));
                             match &msg {
-                                StreamMessage::Data(b) => {
+                                StreamMessage::Data(_) | StreamMessage::Columnar(_) => {
                                     metrics.batches += 1;
-                                    metrics.records_in += b.len() as u64;
-                                    metrics.bytes_in += b.est_bytes() as u64;
+                                    metrics.records_in += msg.record_count() as u64;
+                                    metrics.bytes_in += msg.data_bytes() as u64;
                                 }
                                 StreamMessage::Watermark(_) => metrics.watermarks += 1,
                                 StreamMessage::Eos => {}
@@ -450,48 +482,107 @@ impl StreamEnvironment {
                         SourceBatch::Data(recs) => {
                             idle = 0;
                             batches += 1;
-                            if let (Some(col), WatermarkStrategy::BoundedOutOfOrder { .. }) =
-                                (ts_col, &watermark)
-                            {
-                                for rec in &recs {
-                                    if let Some(t) =
-                                        rec.get(col).and_then(crate::value::Value::as_timestamp)
-                                    {
-                                        max_ts = max_ts.max(t);
-                                    }
-                                }
-                            }
-                            let mut shards: Vec<Vec<Record>> = vec![Vec::new(); n];
-                            for rec in recs {
-                                let w = match &route {
-                                    Route::Single => 0,
+                            if columnar {
+                                let msg = make_data_message(
+                                    &schema,
+                                    recs,
+                                    true,
+                                    ts_col,
+                                    matches!(
+                                        watermark,
+                                        WatermarkStrategy::BoundedOutOfOrder { .. }
+                                    ),
+                                    batches,
+                                    &mut max_ts,
+                                );
+                                let tb = match msg {
+                                    StreamMessage::Columnar(tb) => tb,
+                                    _ => unreachable!("columnar build requested"),
+                                };
+                                match &route {
+                                    // Whole-buffer transfer: the router
+                                    // stays O(1) per buffer instead of
+                                    // per record, which is where the
+                                    // stateless par4 win comes from.
+                                    Route::Single => txs[0]
+                                        .send(StreamMessage::Columnar(tb))
+                                        .map_err(|_| hung())?,
                                     Route::RoundRobin => {
                                         let w = rr % n;
                                         rr += 1;
-                                        w
+                                        txs[w]
+                                            .send(StreamMessage::Columnar(tb))
+                                            .map_err(|_| hung())?;
                                     }
-                                    Route::Key(exprs) => match GroupKey::evaluate(exprs, &rec) {
-                                        Ok((key, _)) => (fnv1a(key.bytes()) % n as u64) as usize,
-                                        // A record whose key fails to
-                                        // evaluate has no group; route it
-                                        // to worker 0. If it survives the
-                                        // plan's filters the stateful
-                                        // operator raises the same error
-                                        // `run` would; if it is filtered
-                                        // out, placement never mattered.
-                                        Err(_) => 0,
-                                    },
-                                };
-                                shards[w].push(rec);
-                            }
-                            for (w, shard) in shards.into_iter().enumerate() {
-                                if !shard.is_empty() {
-                                    txs[w]
-                                        .send(StreamMessage::Data(RecordBuffer::new(
-                                            schema.clone(),
-                                            shard,
-                                        )))
-                                        .map_err(|_| hung())?;
+                                    Route::Key(exprs) => {
+                                        let assign = columnar_partition_of(exprs, &tb, n);
+                                        let mut rows: Vec<Vec<usize>> = vec![Vec::new(); n];
+                                        for (row, &w) in assign.iter().enumerate() {
+                                            rows[w].push(row);
+                                        }
+                                        for (w, rows) in rows.iter().enumerate() {
+                                            if rows.is_empty() {
+                                                continue;
+                                            }
+                                            let shard = if rows.len() == tb.len() {
+                                                tb.clone()
+                                            } else {
+                                                tb.gather(rows)
+                                            };
+                                            txs[w]
+                                                .send(StreamMessage::Columnar(shard))
+                                                .map_err(|_| hung())?;
+                                        }
+                                    }
+                                }
+                            } else {
+                                if let (Some(col), WatermarkStrategy::BoundedOutOfOrder { .. }) =
+                                    (ts_col, &watermark)
+                                {
+                                    for rec in &recs {
+                                        if let Some(t) =
+                                            rec.get(col).and_then(crate::value::Value::as_timestamp)
+                                        {
+                                            max_ts = max_ts.max(t);
+                                        }
+                                    }
+                                }
+                                let mut shards: Vec<Vec<Record>> = vec![Vec::new(); n];
+                                for rec in recs {
+                                    let w = match &route {
+                                        Route::Single => 0,
+                                        Route::RoundRobin => {
+                                            let w = rr % n;
+                                            rr += 1;
+                                            w
+                                        }
+                                        Route::Key(exprs) => {
+                                            match GroupKey::evaluate(exprs, &rec) {
+                                                Ok((key, _)) => {
+                                                    (fnv1a(key.bytes()) % n as u64) as usize
+                                                }
+                                                // A record whose key fails to
+                                                // evaluate has no group; route it
+                                                // to worker 0. If it survives the
+                                                // plan's filters the stateful
+                                                // operator raises the same error
+                                                // `run` would; if it is filtered
+                                                // out, placement never mattered.
+                                                Err(_) => 0,
+                                            }
+                                        }
+                                    };
+                                    shards[w].push(rec);
+                                }
+                                for (w, shard) in shards.into_iter().enumerate() {
+                                    if !shard.is_empty() {
+                                        txs[w]
+                                            .send(StreamMessage::Data(RecordBuffer::new(
+                                                schema.clone(),
+                                                shard,
+                                            )))
+                                            .map_err(|_| hung())?;
+                                    }
                                 }
                             }
                             if let WatermarkStrategy::BoundedOutOfOrder { slack, .. } = &watermark {
@@ -582,6 +673,120 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The source-side gate for building [`TupleBuffer`]s. Columnar flow
+/// ends at the first row-only operator (CEP, threshold windows,
+/// plugins — their buffers materialize back to rows), so under
+/// [`ColumnarMode::Auto`] the transpose is worth paying only if some
+/// operator *before* that point runs a vectorized kernel.
+pub(crate) fn chain_wants_columnar(mode: ColumnarMode, ops: &[Box<dyn Operator>]) -> bool {
+    match mode {
+        ColumnarMode::Off => false,
+        ColumnarMode::Force => ops.first().is_some_and(|op| op.supports_columnar()),
+        ColumnarMode::Auto => {
+            for op in ops {
+                if !op.supports_columnar() {
+                    return false;
+                }
+                if op.columnar_benefit() {
+                    return true;
+                }
+                if !op.propagates_columnar() {
+                    // Columnar flow ends here (e.g. a window emits row
+                    // aggregates) and nothing so far wanted vectors.
+                    return false;
+                }
+            }
+            false
+        }
+    }
+}
+
+/// Converts one polled source batch into the runtime's data message —
+/// columnar when the batched path is on — updating the event-time
+/// clock used for watermark generation.
+pub(crate) fn make_data_message(
+    schema: &crate::schema::SchemaRef,
+    recs: Vec<Record>,
+    columnar: bool,
+    ts_col: Option<usize>,
+    track_ts: bool,
+    sequence: u64,
+    max_ts: &mut EventTime,
+) -> StreamMessage {
+    if columnar {
+        let mut tb = TupleBuffer::from_records(
+            schema.clone(),
+            &recs,
+            crate::buffer::BufferMeta {
+                origin: 0,
+                sequence,
+                ..crate::buffer::BufferMeta::default()
+            },
+        );
+        if let Some(col) = ts_col {
+            tb.recompute_time_bounds(col);
+            if track_ts {
+                if let Some(t) = tb.meta().max_ts {
+                    *max_ts = (*max_ts).max(t);
+                }
+            }
+        }
+        StreamMessage::Columnar(tb)
+    } else {
+        let buf = RecordBuffer::new(schema.clone(), recs);
+        if track_ts {
+            if let Some(col) = ts_col {
+                if let Some(t) = buf.max_event_time(col) {
+                    *max_ts = (*max_ts).max(t);
+                }
+            }
+        }
+        StreamMessage::Data(buf)
+    }
+}
+
+/// Assigns each row of a columnar buffer to a partition by hashing its
+/// evaluated grouping key. Key evaluation is vectorized when possible;
+/// rows whose key fails to evaluate route to worker 0, exactly like
+/// the per-record router.
+fn columnar_partition_of(exprs: &[BoundExpr], tb: &TupleBuffer, n: usize) -> Vec<usize> {
+    let mut cols = Vec::with_capacity(exprs.len());
+    let vectorized = exprs.iter().all(|e| match e.eval_column(tb) {
+        Ok(c) => {
+            cols.push(c);
+            true
+        }
+        Err(_) => false,
+    });
+    let mut out = Vec::with_capacity(tb.len());
+    let mut bytes: Vec<u8> = Vec::with_capacity(exprs.len() * 9);
+    for row in 0..tb.len() {
+        bytes.clear();
+        let ok = if vectorized {
+            for c in &cols {
+                crate::ops::encode_value(&c.value_at(row), &mut bytes);
+            }
+            true
+        } else {
+            // Some row errored during vector evaluation; redo this row
+            // scalar so only the failing rows fall back to worker 0.
+            exprs.iter().all(|e| match e.eval_row(tb, row) {
+                Ok(v) => {
+                    crate::ops::encode_value(&v, &mut bytes);
+                    true
+                }
+                Err(_) => false,
+            })
+        };
+        out.push(if ok {
+            (fnv1a(&bytes) % n as u64) as usize
+        } else {
+            0
+        });
+    }
+    out
+}
+
 pub(crate) fn resolve_ts_col(
     watermark: &WatermarkStrategy,
     schema: &crate::schema::Schema,
@@ -613,6 +818,7 @@ fn feed(
         for msg in cur.drain(..) {
             match msg {
                 StreamMessage::Data(b) => op.process(b, &mut next)?,
+                StreamMessage::Columnar(b) => op.process_columnar(b, &mut next)?,
                 StreamMessage::Watermark(w) => op.on_watermark(w, &mut next)?,
                 StreamMessage::Eos => op.on_eos(&mut next)?,
             }
@@ -620,10 +826,18 @@ fn feed(
         std::mem::swap(&mut cur, &mut next);
     }
     for msg in cur.drain(..) {
-        if let StreamMessage::Data(b) = msg {
-            metrics.records_out += b.len() as u64;
-            metrics.bytes_out += b.est_bytes() as u64;
-            sink.consume(&b)?;
+        match msg {
+            StreamMessage::Data(b) => {
+                metrics.records_out += b.len() as u64;
+                metrics.bytes_out += b.est_bytes() as u64;
+                sink.consume(&b)?;
+            }
+            StreamMessage::Columnar(b) => {
+                metrics.records_out += b.len() as u64;
+                metrics.bytes_out += b.est_bytes() as u64;
+                sink.consume_columnar(&b)?;
+            }
+            StreamMessage::Watermark(_) | StreamMessage::Eos => {}
         }
     }
     Ok(())

@@ -12,6 +12,12 @@ use std::sync::Arc;
 pub trait Sink: Send {
     /// Consumes one buffer.
     fn consume(&mut self, buf: &RecordBuffer) -> Result<()>;
+    /// Consumes one columnar buffer. The default materializes rows and
+    /// delegates to [`Sink::consume`]; counting-style sinks override to
+    /// skip the conversion.
+    fn consume_columnar(&mut self, buf: &crate::buffer::TupleBuffer) -> Result<()> {
+        self.consume(&buf.to_record_buffer())
+    }
     /// Called once after end-of-stream.
     fn finish(&mut self) -> Result<()> {
         Ok(())
@@ -107,6 +113,16 @@ impl Sink for CountingSink {
             .fetch_add(buf.est_bytes() as u64, Ordering::Relaxed);
         Ok(())
     }
+
+    fn consume_columnar(&mut self, buf: &crate::buffer::TupleBuffer) -> Result<()> {
+        self.counters
+            .records
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.counters
+            .bytes
+            .fetch_add(buf.est_bytes() as u64, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 /// Collects result buffers wholesale — the per-worker sink behind
@@ -173,6 +189,10 @@ pub struct NullSink;
 
 impl Sink for NullSink {
     fn consume(&mut self, _buf: &RecordBuffer) -> Result<()> {
+        Ok(())
+    }
+
+    fn consume_columnar(&mut self, _buf: &crate::buffer::TupleBuffer) -> Result<()> {
         Ok(())
     }
 }

@@ -301,15 +301,14 @@ pub fn measure_stage_bytes(
             for msg in cur.drain(..) {
                 match msg {
                     StreamMessage::Data(b) => op.process(b, &mut next)?,
+                    StreamMessage::Columnar(b) => op.process_columnar(b, &mut next)?,
                     StreamMessage::Watermark(w) => op.on_watermark(w, &mut next)?,
                     StreamMessage::Eos => op.on_eos(&mut next)?,
                 }
             }
             for m in &next {
-                if let StreamMessage::Data(b) = m {
-                    bytes[i + 1] += b.est_bytes() as u64;
-                    records[i + 1] += b.len() as u64;
-                }
+                bytes[i + 1] += m.data_bytes() as u64;
+                records[i + 1] += m.record_count() as u64;
             }
             std::mem::swap(&mut cur, &mut next);
         }

@@ -173,6 +173,14 @@ impl SliceLayout {
 pub trait Aggregator: Send {
     /// Folds one record in.
     fn update(&mut self, rec: &Record) -> Result<()>;
+    /// Folds row `row` of a columnar buffer in. The default
+    /// materializes the row as a [`Record`] and delegates to
+    /// [`Aggregator::update`]; implementations (the built-ins do)
+    /// override to evaluate their expressions directly over the
+    /// columns without the materialization.
+    fn update_row(&mut self, buf: &crate::buffer::TupleBuffer, row: usize) -> Result<()> {
+        self.update(&buf.row(row))
+    }
     /// Snapshots the accumulated state as partial values. The arity is
     /// fixed per aggregate (see [`AggSpec::partial_types`]); an empty
     /// accumulator snapshots as nulls.
@@ -439,13 +447,12 @@ impl BuiltinAgg {
     }
 }
 
-impl Aggregator for BuiltinAgg {
-    fn update(&mut self, rec: &Record) -> Result<()> {
-        if self.kind == AggKind::Count {
-            self.count += 1;
-            return Ok(());
-        }
-        let v = self.expr.as_ref().expect("non-count has expr").eval(rec)?;
+impl BuiltinAgg {
+    /// The shared fold body behind [`Aggregator::update`] and
+    /// [`Aggregator::update_row`]: absorbs one already-evaluated value,
+    /// pulling the event time lazily (first/last only) through
+    /// `eval_ts` so both evaluation paths stay byte-identical.
+    fn fold(&mut self, v: Value, eval_ts: impl FnOnce(&BoundExpr) -> Result<Value>) -> Result<()> {
         if v.is_null() {
             return Ok(());
         }
@@ -478,11 +485,7 @@ impl Aggregator for BuiltinAgg {
                 }
             }
             AggKind::First | AggKind::Last => {
-                let ts = self
-                    .ts
-                    .as_ref()
-                    .expect("first/last track event time")
-                    .eval(rec)?
+                let ts = eval_ts(self.ts.as_ref().expect("first/last track event time"))?
                     .as_timestamp()
                     .ok_or_else(|| {
                         NebulaError::Eval("first/last: record missing event time".into())
@@ -492,6 +495,30 @@ impl Aggregator for BuiltinAgg {
             AggKind::Count => unreachable!(),
         }
         Ok(())
+    }
+}
+
+impl Aggregator for BuiltinAgg {
+    fn update(&mut self, rec: &Record) -> Result<()> {
+        if self.kind == AggKind::Count {
+            self.count += 1;
+            return Ok(());
+        }
+        let v = self.expr.as_ref().expect("non-count has expr").eval(rec)?;
+        self.fold(v, |ts| ts.eval(rec))
+    }
+
+    fn update_row(&mut self, buf: &crate::buffer::TupleBuffer, row: usize) -> Result<()> {
+        if self.kind == AggKind::Count {
+            self.count += 1;
+            return Ok(());
+        }
+        let v = self
+            .expr
+            .as_ref()
+            .expect("non-count has expr")
+            .eval_row(buf, row)?;
+        self.fold(v, |ts| ts.eval_row(buf, row))
     }
 
     fn partial(&self) -> Result<Vec<Value>> {

@@ -111,6 +111,7 @@ fn drive(op: &mut dyn Operator, feed: Vec<StreamMessage>) -> Vec<Record> {
     for msg in feed {
         match msg {
             StreamMessage::Data(b) => op.process(b, &mut out).unwrap(),
+            StreamMessage::Columnar(b) => op.process_columnar(b, &mut out).unwrap(),
             StreamMessage::Watermark(w) => op.on_watermark(w, &mut out).unwrap(),
             StreamMessage::Eos => op.on_eos(&mut out).unwrap(),
         }
@@ -233,6 +234,7 @@ fn run_naive(sc: &Scenario) -> (Vec<Record>, u64) {
                     );
                 }
             }
+            StreamMessage::Columnar(_) => unreachable!("messages() emits row buffers only"),
             StreamMessage::Watermark(w) => naive.watermark(w),
             StreamMessage::Eos => naive.eos(),
         }
@@ -282,6 +284,7 @@ proptest! {
         for msg in messages(&sc) {
             match msg {
                 StreamMessage::Data(b) => edge.process(b, &mut crossing).unwrap(),
+                StreamMessage::Columnar(b) => edge.process_columnar(b, &mut crossing).unwrap(),
                 StreamMessage::Watermark(w) => edge.on_watermark(w, &mut crossing).unwrap(),
                 StreamMessage::Eos => edge.on_eos(&mut crossing).unwrap(),
             }
@@ -290,6 +293,7 @@ proptest! {
         for msg in crossing {
             match msg {
                 StreamMessage::Data(b) => cloud.process(b, &mut out).unwrap(),
+                StreamMessage::Columnar(b) => cloud.process_columnar(b, &mut out).unwrap(),
                 StreamMessage::Watermark(w) => cloud.on_watermark(w, &mut out).unwrap(),
                 StreamMessage::Eos => cloud.on_eos(&mut out).unwrap(),
             }
@@ -346,6 +350,9 @@ proptest! {
                                 .unwrap();
                         }
                     }
+                }
+                StreamMessage::Columnar(_) => {
+                    unreachable!("messages() emits row buffers only")
                 }
                 StreamMessage::Watermark(w) => {
                     is_wm = Some(w);

@@ -1023,3 +1023,259 @@ fn late_drops_reported_identically_across_runtimes() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Batched (columnar) wire-path coverage
+// ---------------------------------------------------------------------------
+
+/// [`cluster_run`] with explicit batch size and columnar mode: buffers
+/// flow through node-local chains and materialize to rows at the wire
+/// boundary, so the frame stream a peer sees must be unchanged.
+fn cluster_run_cfg(
+    query: &Query,
+    strategy: PlacementStrategy,
+    feed: Feed,
+    watermark: WatermarkStrategy,
+    buffer_size: usize,
+    columnar: ColumnarMode,
+    failure: Option<FailureInjection>,
+) -> (Vec<Record>, ClusterReport) {
+    let (topo, sensors) = Topology::train_fleet(3);
+    let mut env = ClusterEnvironment::with_config(
+        topo,
+        ClusterConfig {
+            buffer_size,
+            columnar,
+            watermark_every: 2,
+            ..ClusterConfig::default()
+        },
+    );
+    env.add_source("s", sensors[0], source(feed), watermark);
+    let (mut sink, got) = CollectingSink::new();
+    let report = match failure {
+        None => env.run_placed(query, strategy, &mut sink),
+        Some(f) => env.run_placed_with_failure(query, strategy, f, &mut sink),
+    }
+    .unwrap_or_else(|e| {
+        panic!("{strategy:?}/{feed:?}/batch={buffer_size}/{columnar:?} cluster run failed: {e}")
+    });
+    let mut recs = got.records();
+    normalize_records(&mut recs);
+    (recs, report)
+}
+
+/// Batched cluster execution vs the per-record sync reference, across
+/// batch sizes, columnar modes, placement strategies and jittered feeds.
+fn assert_batched_cluster_equivalent(
+    name: &str,
+    query: &Query,
+    feed: Feed,
+    watermark: WatermarkStrategy,
+) {
+    let (reference, ref_metrics) = sync_reference(query, feed, watermark.clone());
+    for batch in [7, 64] {
+        for columnar in [ColumnarMode::Off, ColumnarMode::Force] {
+            for strategy in [PlacementStrategy::EdgeFirst, PlacementStrategy::CloudOnly] {
+                let (got, report) = cluster_run_cfg(
+                    query,
+                    strategy,
+                    feed,
+                    watermark.clone(),
+                    batch,
+                    columnar,
+                    None,
+                );
+                assert_eq!(
+                    got, reference,
+                    "{name}: {strategy:?}/{feed:?}/batch={batch}/{columnar:?} diverges"
+                );
+                assert_eq!(
+                    report.metrics.records_in, ref_metrics.records_in,
+                    "{name}: {strategy:?}/batch={batch}/{columnar:?} records_in"
+                );
+                assert_eq!(
+                    report.metrics.records_out, ref_metrics.records_out,
+                    "{name}: {strategy:?}/batch={batch}/{columnar:?} records_out"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_stateless_cluster_equivalence() {
+    let q = Query::from("s")
+        .filter(col("load").gt(lit(50)))
+        .map_extend(vec![("over", col("speed").sub(lit(40.0)))]);
+    assert_batched_cluster_equivalent("stateless", &q, Feed::InOrder, WatermarkStrategy::None);
+    assert_batched_cluster_equivalent("stateless", &q, Feed::Jittered(7), WatermarkStrategy::None);
+}
+
+#[test]
+fn batched_splittable_window_cluster_equivalence() {
+    // Exact (order-independent) aggregates, so jittered feeds compare
+    // bit-for-bit across batch sizes despite per-batch watermark cadence.
+    let q = splittable_window_query();
+    assert_batched_cluster_equivalent("splittable", &q, Feed::InOrder, generous_watermark());
+    assert_batched_cluster_equivalent("splittable", &q, Feed::Jittered(99), generous_watermark());
+}
+
+#[test]
+fn batched_failure_replanning_equivalence() {
+    // Mid-run edge failure under forced-columnar execution: migration
+    // snapshots window state after buffers were absorbed columnar-side,
+    // and the re-planned cloud chain continues from it losslessly.
+    let q = splittable_window_query();
+    let (reference, ref_metrics) = sync_reference(&q, Feed::InOrder, generous_watermark());
+    for after_batches in [0, 3, 11] {
+        let (topo, sensors) = Topology::train_fleet(3);
+        let failed = {
+            let probe = ClusterEnvironment::new(topo.clone());
+            probe
+                .topology()
+                .first_ancestor_of_kind(sensors[0], NodeKind::Edge)
+                .expect("edge exists")
+        };
+        let (got, report) = cluster_run_cfg(
+            &q,
+            PlacementStrategy::EdgeFirst,
+            Feed::InOrder,
+            generous_watermark(),
+            32,
+            ColumnarMode::Force,
+            Some(FailureInjection {
+                node: failed,
+                after_batches,
+            }),
+        );
+        assert_eq!(
+            got, reference,
+            "columnar failure run diverges (failed at batch {after_batches})"
+        );
+        assert_eq!(report.metrics.records_in, ref_metrics.records_in);
+        assert_eq!(report.metrics.records_out, ref_metrics.records_out);
+        assert_eq!(report.cluster.replans, 1);
+    }
+}
+
+#[test]
+fn batched_wire_bytes_match_row_wire_bytes() {
+    // Columnar execution is node-local: buffers materialize to row
+    // frames at the wire boundary, so per-link traffic must be
+    // byte-identical to the per-record path, keeping the analytic
+    // `network_cost` reconciliation valid for batched runs too.
+    let q = Query::from("s").filter(col("speed").ge(lit(40.0))).window(
+        vec![("train", col("train"))],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![
+            WindowAgg::new("n", AggSpec::Count),
+            WindowAgg::new("max_speed", AggSpec::Max(col("speed"))),
+        ],
+    );
+    for strategy in [PlacementStrategy::EdgeFirst, PlacementStrategy::CloudOnly] {
+        let (row_recs, row) = cluster_run_cfg(
+            &q,
+            strategy,
+            Feed::InOrder,
+            WatermarkStrategy::None,
+            32,
+            ColumnarMode::Off,
+            None,
+        );
+        let (col_recs, col) = cluster_run_cfg(
+            &q,
+            strategy,
+            Feed::InOrder,
+            WatermarkStrategy::None,
+            32,
+            ColumnarMode::Force,
+            None,
+        );
+        assert_eq!(col_recs, row_recs, "{strategy:?}: results");
+        assert_eq!(
+            col.cluster.uplink_bytes, row.cluster.uplink_bytes,
+            "{strategy:?}: uplink bytes"
+        );
+        assert_eq!(
+            col.cluster.links.len(),
+            row.cluster.links.len(),
+            "{strategy:?}: link count"
+        );
+        for (i, (lc, lr)) in col
+            .cluster
+            .links
+            .iter()
+            .zip(row.cluster.links.iter())
+            .enumerate()
+        {
+            assert_eq!(lc.bytes, lr.bytes, "{strategy:?} link {i}: bytes");
+            assert_eq!(lc.records, lr.records, "{strategy:?} link {i}: records");
+        }
+    }
+}
+
+#[test]
+fn batched_wire_bytes_reconcile_with_analytic_network_cost() {
+    // The analytic estimator was validated against the per-record wire
+    // path; the batched path must land inside the same stated tolerance.
+    let q = Query::from("s").filter(col("speed").ge(lit(40.0))).window(
+        vec![("train", col("train"))],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![
+            WindowAgg::new("n", AggSpec::Count),
+            WindowAgg::new("max_speed", AggSpec::Max(col("speed"))),
+        ],
+    );
+    let reg = FunctionRegistry::with_builtins();
+    let stages = measure_stage_bytes(Box::new(VecSource::new(schema(), records())), &q, &reg, 32)
+        .expect("stage measurement");
+
+    for strategy in [PlacementStrategy::CloudOnly, PlacementStrategy::EdgeFirst] {
+        let (topo, sensors) = Topology::train_fleet(3);
+        let placement = place(&q, &topo, sensors[0], strategy).expect("placement");
+        let analytic = network_cost(&topo, &placement, &stages).expect("network cost");
+
+        let mut env = ClusterEnvironment::with_config(
+            topo,
+            ClusterConfig {
+                buffer_size: 32,
+                watermark_every: 2,
+                columnar: ColumnarMode::Force,
+                preaggregate: false,
+                ..ClusterConfig::default()
+            },
+        );
+        env.add_source(
+            "s",
+            sensors[0],
+            source(Feed::InOrder),
+            WatermarkStrategy::None,
+        );
+        let (mut sink, _) = CollectingSink::new();
+        let report = env
+            .run_placed(&q, strategy, &mut sink)
+            .expect("columnar cluster run");
+
+        for (i, link) in report.cluster.links.iter().enumerate() {
+            let estimate = analytic.bytes_per_link[i];
+            let measured = link.bytes;
+            if estimate == 0 {
+                assert!(
+                    measured < 64,
+                    "{strategy:?} link {i}: {measured} bytes on a zero-estimate link"
+                );
+                continue;
+            }
+            let ratio = measured as f64 / estimate as f64;
+            assert!(
+                (0.95..=1.15).contains(&ratio),
+                "{strategy:?} link {i}: columnar measured {measured} vs estimate {estimate} \
+                 (ratio {ratio:.3}) outside the stated 15% tolerance"
+            );
+        }
+    }
+}

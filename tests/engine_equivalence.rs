@@ -72,8 +72,24 @@ fn execute(
     feed: Feed,
     watermark: WatermarkStrategy,
 ) -> (Vec<Record>, QueryMetrics) {
+    execute_cfg(query, mode, feed, watermark, 32, ColumnarMode::Auto)
+}
+
+/// [`execute`] with explicit source batch size and columnar mode, for the
+/// batched-vs-per-record differential matrix. `ColumnarMode::Off` is the
+/// per-record reference path; `Force` pins the columnar kernels on even
+/// where the `Auto` cost gate would decline them.
+fn execute_cfg(
+    query: &Query,
+    mode: Mode,
+    feed: Feed,
+    watermark: WatermarkStrategy,
+    buffer_size: usize,
+    columnar: ColumnarMode,
+) -> (Vec<Record>, QueryMetrics) {
     let mut env = StreamEnvironment::with_config(EnvConfig {
-        buffer_size: 32,
+        buffer_size,
+        columnar,
         watermark_every: 2,
         parallelism: match mode {
             Mode::Partitioned(p) => p,
@@ -88,7 +104,7 @@ fn execute(
         Mode::Threaded => env.run_threaded(query, &mut sink),
         Mode::Partitioned(_) => env.run_partitioned(query, &mut sink),
     }
-    .unwrap_or_else(|e| panic!("{mode:?}/{feed:?} failed: {e}"));
+    .unwrap_or_else(|e| panic!("{mode:?}/{feed:?}/batch={buffer_size}/{columnar:?} failed: {e}"));
     let mut recs = got.records();
     normalize_records(&mut recs);
     (recs, metrics)
@@ -350,5 +366,292 @@ fn partitioned_output_is_deterministic_across_parallelism() {
     let p1 = raw(1);
     for p in [2, 4, 8] {
         assert_eq!(raw(p), p1, "parallelism {p} delivery order");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched (columnar) vs per-record differential matrix
+// ---------------------------------------------------------------------------
+
+/// Batch sizes crossing every interesting boundary: degenerate single-record
+/// buffers, a prime that never divides the stream, the watermark-cadence
+/// default, and one larger than the whole 600-record stream.
+const BATCH_SIZES: [usize; 4] = [1, 7, 64, 1024];
+
+/// Runs `query` through every batch size x columnar mode x execution mode
+/// and asserts each cell agrees with one per-record sync reference.
+///
+/// Valid whenever no record is late under `watermark`: watermark *cadence*
+/// varies with batch size (one clock update per polled batch), but with
+/// nothing dropped the final flush makes results batch-size independent.
+fn assert_batch_matrix(name: &str, query: &Query, feed: Feed, watermark: WatermarkStrategy) {
+    let (reference, ref_metrics) = execute_cfg(
+        query,
+        Mode::Sync,
+        feed,
+        watermark.clone(),
+        32,
+        ColumnarMode::Off,
+    );
+    for batch in BATCH_SIZES {
+        for columnar in [ColumnarMode::Off, ColumnarMode::Force] {
+            for mode in ALL_MODES {
+                let (got, metrics) =
+                    execute_cfg(query, mode, feed, watermark.clone(), batch, columnar);
+                assert_eq!(
+                    got, reference,
+                    "{name}: {mode:?}/{feed:?}/batch={batch}/{columnar:?} diverges from \
+                     per-record sync reference"
+                );
+                assert_eq!(
+                    metrics.records_in, ref_metrics.records_in,
+                    "{name}: {mode:?}/{feed:?}/batch={batch}/{columnar:?} records_in"
+                );
+                assert_eq!(
+                    metrics.records_out, ref_metrics.records_out,
+                    "{name}: {mode:?}/{feed:?}/batch={batch}/{columnar:?} records_out"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_filter_matrix() {
+    let q = Query::from("s").filter(col("speed").ge(lit(40.0)));
+    assert_batch_matrix("filter", &q, Feed::InOrder, WatermarkStrategy::None);
+    assert_batch_matrix("filter", &q, Feed::Jittered(7), WatermarkStrategy::None);
+}
+
+#[test]
+fn batched_map_matrix() {
+    let q = Query::from("s").map(vec![
+        ("train", col("train")),
+        ("kmh", col("speed").mul(lit(3.6))),
+    ]);
+    assert_batch_matrix("map", &q, Feed::InOrder, WatermarkStrategy::None);
+    assert_batch_matrix("map", &q, Feed::Jittered(99), WatermarkStrategy::None);
+}
+
+#[test]
+fn batched_filter_map_matrix() {
+    // Filter shrinks buffers in place; the map after it must see the
+    // compacted columns, not the original row indexes.
+    let q = Query::from("s")
+        .filter(col("load").gt(lit(50)))
+        .map_extend(vec![("over", col("speed").sub(lit(40.0)))]);
+    assert_batch_matrix("filter+map", &q, Feed::InOrder, WatermarkStrategy::None);
+    assert_batch_matrix("filter+map", &q, Feed::Jittered(7), WatermarkStrategy::None);
+}
+
+#[test]
+fn batched_tumbling_window_matrix() {
+    let q = Query::from("s").window(
+        vec![("train", col("train"))],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![
+            WindowAgg::new("n", AggSpec::Count),
+            WindowAgg::new("avg_speed", AggSpec::Avg(col("speed"))),
+            WindowAgg::new("max_load", AggSpec::Max(col("load"))),
+        ],
+    );
+    assert_batch_matrix("tumbling", &q, Feed::InOrder, generous_watermark());
+    // Jittered arrival order varies WITH BATCH SIZE (the jitter buffer
+    // drains per poll), and float Avg is not associative, so the jittered
+    // matrix sticks to order-independent aggregates for exact equality.
+    let q = Query::from("s").window(
+        vec![("train", col("train"))],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![
+            WindowAgg::new("n", AggSpec::Count),
+            WindowAgg::new("min_speed", AggSpec::Min(col("speed"))),
+            WindowAgg::new("max_load", AggSpec::Max(col("load"))),
+            WindowAgg::new("sum_load", AggSpec::Sum(col("load"))),
+        ],
+    );
+    assert_batch_matrix(
+        "tumbling/jitter",
+        &q,
+        Feed::Jittered(7),
+        generous_watermark(),
+    );
+}
+
+#[test]
+fn batched_sliding_window_matrix() {
+    let q = Query::from("s").window(
+        vec![("train", col("train"))],
+        WindowSpec::Sliding {
+            size: 60 * MICROS_PER_SEC,
+            slide: 20 * MICROS_PER_SEC,
+        },
+        vec![
+            WindowAgg::new("n", AggSpec::Count),
+            WindowAgg::new("first_speed", AggSpec::First(col("speed"))),
+            WindowAgg::new("last_load", AggSpec::Last(col("load"))),
+        ],
+    );
+    assert_batch_matrix("sliding", &q, Feed::InOrder, generous_watermark());
+    assert_batch_matrix("sliding", &q, Feed::Jittered(99), generous_watermark());
+}
+
+#[test]
+fn batched_keyless_window_matrix() {
+    let q = Query::from("s").window(
+        vec![],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![WindowAgg::new("n", AggSpec::Count)],
+    );
+    assert_batch_matrix("keyless", &q, Feed::InOrder, generous_watermark());
+}
+
+#[test]
+fn batched_threshold_window_matrix() {
+    // Threshold windows take the row fallback inside process_columnar;
+    // the matrix proves the fallback is exact, not merely similar.
+    let q = Query::from("s").window(
+        vec![("train", col("train"))],
+        WindowSpec::Threshold {
+            predicate: col("speed").gt(lit(80.0 * 0.7)),
+            min_count: 2,
+        },
+        vec![
+            WindowAgg::new("n", AggSpec::Count),
+            WindowAgg::new("peak", AggSpec::Max(col("speed"))),
+        ],
+    );
+    assert_batch_matrix("threshold", &q, Feed::InOrder, WatermarkStrategy::None);
+}
+
+#[test]
+fn batched_cep_matrix() {
+    // CEP heads reject buffers entirely (`supports_columnar` = false), so
+    // Force must degrade to the per-record path instead of erroring.
+    let pattern = Pattern::new(
+        "speed-drop",
+        vec![
+            PatternStep::new("fast", col("speed").gt(lit(60.0))),
+            PatternStep::new("slow", col("speed").lt(lit(10.0))),
+        ],
+        120 * MICROS_PER_SEC,
+    )
+    .keyed_by(col("train"));
+    let q = Query::from("s").cep(pattern);
+    assert_batch_matrix("cep", &q, Feed::InOrder, WatermarkStrategy::None);
+}
+
+#[test]
+fn batched_plugin_matrix() {
+    let q = Query::from("s").apply(Arc::new(DuplicateHighSpeed));
+    assert_batch_matrix("plugin", &q, Feed::InOrder, WatermarkStrategy::None);
+    assert_batch_matrix("plugin", &q, Feed::Jittered(7), WatermarkStrategy::None);
+}
+
+#[test]
+fn batched_composite_matrix() {
+    let q = Query::from("s")
+        .filter(col("load").ge(lit(20)))
+        .map_extend(vec![("kmh", col("speed").mul(lit(3.6)))])
+        .window(
+            vec![("train", col("train"))],
+            WindowSpec::Tumbling {
+                size: 120 * MICROS_PER_SEC,
+            },
+            vec![
+                WindowAgg::new("n", AggSpec::Count),
+                WindowAgg::new("avg_kmh", AggSpec::Avg(col("kmh"))),
+            ],
+        );
+    assert_batch_matrix("composite", &q, Feed::InOrder, generous_watermark());
+    // Same composite shape, order-independent aggregates for the jittered
+    // cross-batch comparison (see batched_tumbling_window_matrix).
+    let q = Query::from("s")
+        .filter(col("load").ge(lit(20)))
+        .map_extend(vec![("kmh", col("speed").mul(lit(3.6)))])
+        .window(
+            vec![("train", col("train"))],
+            WindowSpec::Tumbling {
+                size: 120 * MICROS_PER_SEC,
+            },
+            vec![
+                WindowAgg::new("n", AggSpec::Count),
+                WindowAgg::new("max_kmh", AggSpec::Max(col("kmh"))),
+                WindowAgg::new("sum_load", AggSpec::Sum(col("load"))),
+            ],
+        );
+    assert_batch_matrix(
+        "composite/jitter",
+        &q,
+        Feed::Jittered(99),
+        generous_watermark(),
+    );
+}
+
+#[test]
+fn columnar_matches_row_under_late_drops() {
+    // Tight slack + jitter makes some records genuinely late. At a FIXED
+    // batch size the watermark clock advances identically on both paths,
+    // so the columnar absorb must drop exactly the same records as the
+    // per-record reference — including the late-drop triage inside the
+    // window operator's batched absorb loop.
+    let tight = WatermarkStrategy::BoundedOutOfOrder {
+        ts_field: "ts".into(),
+        slack: 4 * MICROS_PER_SEC,
+    };
+    let q = Query::from("s")
+        .filter(col("load").ge(lit(10)))
+        .map_extend(vec![("kmh", col("speed").mul(lit(3.6)))])
+        .window(
+            vec![("train", col("train"))],
+            WindowSpec::Tumbling {
+                size: 30 * MICROS_PER_SEC,
+            },
+            vec![
+                WindowAgg::new("n", AggSpec::Count),
+                WindowAgg::new("avg_kmh", AggSpec::Avg(col("kmh"))),
+            ],
+        );
+    for seed in [7, 99] {
+        let feed = Feed::Jittered(seed);
+        for mode in ALL_MODES {
+            let (row, row_m) = execute_cfg(&q, mode, feed, tight.clone(), 32, ColumnarMode::Off);
+            let (col, col_m) = execute_cfg(&q, mode, feed, tight.clone(), 32, ColumnarMode::Force);
+            assert_eq!(col, row, "late-drop: {mode:?}/seed={seed} results");
+            assert_eq!(col_m.records_in, row_m.records_in, "late-drop: {mode:?} in");
+            assert_eq!(
+                col_m.records_out, row_m.records_out,
+                "late-drop: {mode:?} out"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_mode_matches_forced_paths() {
+    // `Auto` picks per-query; whatever it picks must be observationally
+    // identical to both pinned paths.
+    let q = Query::from("s")
+        .filter(col("load").ge(lit(20)))
+        .map_extend(vec![("kmh", col("speed").mul(lit(3.6)))]);
+    for mode in ALL_MODES {
+        let (auto, _) = execute_cfg(
+            &q,
+            mode,
+            Feed::InOrder,
+            WatermarkStrategy::None,
+            64,
+            ColumnarMode::Auto,
+        );
+        for pinned in [ColumnarMode::Off, ColumnarMode::Force] {
+            let (got, _) =
+                execute_cfg(&q, mode, Feed::InOrder, WatermarkStrategy::None, 64, pinned);
+            assert_eq!(got, auto, "auto-vs-{pinned:?}: {mode:?}");
+        }
     }
 }

@@ -1,0 +1,61 @@
+//! Throughput-floor smoke test: on multi-core hardware, the partitioned
+//! runtime at parallelism 4 must not fall below the single-threaded rate
+//! on the canonical keyed-window query. This is the regression guard for
+//! the buffer-granularity routing path — per-record routing historically
+//! cost par4 ~30% of the single-threaded rate in added router work.
+//!
+//! The comparison only makes sense where parallel hardware exists and
+//! timings mean something:
+//! - **Debug builds skip.** Unoptimized rates are dominated by overhead
+//!   the release path doesn't have, so the floor would test noise.
+//! - **Single-core hosts skip.** With one core, par4's five threads
+//!   time-slice the same CPU while adding routing + merge work on top of
+//!   the identical per-record work; par4 > single is physically
+//!   impossible there (see docs/execution.md). BENCH_6.json records the
+//!   measured par4/single ratios for this hardware instead.
+
+use nebula::prelude::*;
+use nebulameos_bench::{keyed_window_query, Workload};
+
+#[test]
+fn par4_sustains_single_threaded_rate() {
+    if cfg!(debug_assertions) {
+        eprintln!("skipping throughput floor: debug build (run with --release)");
+        return;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    if cores < 2 {
+        eprintln!("skipping throughput floor: single-core host ({cores} core)");
+        return;
+    }
+
+    let w = Workload::standard();
+    let q = keyed_window_query();
+    let rate = |parallelism: usize| -> f64 {
+        // Best of 3 runs: the floor guards against structural regressions,
+        // not scheduler noise.
+        (0..3)
+            .map(|_| {
+                let mut env = w.environment();
+                let (mut sink, _) = CountingSink::new();
+                let m = if parallelism == 0 {
+                    env.run(&q, &mut sink).expect("single run")
+                } else {
+                    env.config_mut().parallelism = parallelism;
+                    env.run_partitioned(&q, &mut sink).expect("partitioned run")
+                };
+                m.events_per_sec()
+            })
+            .fold(0.0, f64::max)
+    };
+
+    let single = rate(0);
+    let par4 = rate(4);
+    assert!(
+        par4 >= single,
+        "par4 throughput floor violated on a {cores}-core host: \
+         par4 {:.1} Ke/s < single-threaded {:.1} Ke/s",
+        par4 / 1e3,
+        single / 1e3
+    );
+}
