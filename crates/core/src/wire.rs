@@ -540,6 +540,46 @@ mod tests {
     }
 
     #[test]
+    fn meos_frames_survive_the_resilient_envelope() {
+        // The chaos-hardened link wraps frames in a CRC32 + sequence
+        // envelope. MEOS opaque payloads must pass through untouched —
+        // the envelope carries the exact frame bytes — and any
+        // corruption is caught at the envelope layer before the codec
+        // ever sees the payload.
+        use nebula::prelude::{decode_envelope, encode_envelope};
+
+        let reg = meos_wire_registry();
+        let schema = Schema::of(&[("o", DataType::Opaque)]);
+        let frame = encode_frame(
+            &Frame::Data(vec![Record::new(vec![tpoint_value(seq_point())])]),
+            &schema,
+            &reg,
+        )
+        .unwrap();
+
+        let env = encode_envelope(0, 7, &frame);
+        let back = decode_envelope(&env).unwrap();
+        assert_eq!(back.seq, 7);
+        assert_eq!(back.payload, frame, "envelope must not alter codec bytes");
+        match decode_frame(&back.payload, &schema, &reg).unwrap() {
+            Frame::Data(recs) => {
+                assert_eq!(recs[0].get(0), Some(&tpoint_value(seq_point())));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Flip one byte anywhere in the envelope: the CRC rejects it.
+        for pos in [0, 5, env.len() / 2, env.len() - 1] {
+            let mut bad = env.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                decode_envelope(&bad).is_err(),
+                "corruption at byte {pos} must fail the checksum"
+            );
+        }
+    }
+
+    #[test]
     fn corrupted_payloads_error_not_panic() {
         let reg = meos_wire_registry();
         let schema = Schema::of(&[("o", DataType::Opaque)]);

@@ -55,26 +55,61 @@
 //! parent, and the pipeline is rebuilt with the preserved state and
 //! resumed. Because state moves losslessly at a quiesced point, results
 //! are identical to an undisturbed run.
+//!
+//! ## Chaos hardening
+//!
+//! [`ClusterEnvironment::run_placed_chaos`] runs the same placed plan
+//! under a seeded [`FaultPlan`]: every inter-site channel drops,
+//! duplicates, reorders, corrupts and delays frames deterministically,
+//! and one non-source node may be killed *abruptly* — mid-batch, with
+//! no cooperative handoff. Three mechanisms keep the output
+//! byte-identical to an undisturbed [`crate::runtime::StreamEnvironment::run`]:
+//!
+//! - every link speaks the resilient wire protocol of the internal
+//!   `reliable` module (CRC32 envelopes, per-link sequence numbers,
+//!   cumulative acks, NACK/timeout retransmission, heartbeats), so the
+//!   operator pipeline sees a perfect in-order exactly-once stream;
+//! - pumps emit [`Frame::Barrier`] markers every
+//!   [`ClusterConfig::checkpoint_every`] batches; operator snapshots
+//!   flow into an internal `CheckpointStore` as the barrier passes
+//!   each site,
+//!   and the cloud seals the epoch once the barrier has aligned across
+//!   all live pipelines;
+//! - after a crash, the topology re-plans around the dead node
+//!   ([`Topology::fail_node`]), operator state restores from the newest
+//!   sealed checkpoint (or everything recompiles for an epoch-0 full
+//!   replay when some operator cannot snapshot), sources rewind via
+//!   [`crate::source::ReplaySource`], and the run resumes — re-emitting
+//!   exactly the records the crash swallowed.
 
-use crate::error::{NebulaError, Result};
+use crate::chaos::{ChaosStats, CrashSwitch, FaultPlan, LinkChaos};
+use crate::checkpoint::{CheckpointStore, CloudPart, PumpPart, SitePart};
+use crate::error::{ClusterError, NebulaError, Result};
 use crate::expr::{FunctionRegistry, Plugin};
 use crate::metrics::{Histogram, QueryMetrics};
 use crate::ops::{chain_late_drops, Operator};
-use crate::preagg::{split_window, WindowMergeOp, WindowPartialOp};
+use crate::preagg::{split_window, SplitWindow, WindowMergeOp, WindowPartialOp};
 use crate::query::{compile_ops, LogicalOp, Query};
 use crate::record::{RecordBuffer, StreamMessage};
+use crate::reliable::{AckMsg, ReliableRx, ReliableTx, RxEvent};
 use crate::runtime::resolve_ts_col;
 use crate::schema::SchemaRef;
 use crate::sink::{merge_partitions, Sink};
-use crate::source::{Source, SourceBatch, WatermarkStrategy};
+use crate::source::{ReplaySource, Source, SourceBatch, WatermarkStrategy};
 use crate::topology::{place, NodeId, NodeKind, Placement, PlacementStrategy, Topology};
 use crate::value::EventTime;
 use crate::wire::{decode_frame, encode_frame, Frame, WireRegistry};
-use crossbeam::channel::{bounded, Receiver, Sender};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Shorthand for coordinator-side bookkeeping invariants that used to
+/// be `expect()` panics on cluster hot paths.
+fn internal(msg: &str) -> NebulaError {
+    ClusterError::Internal(msg.into()).into()
+}
 
 /// Cluster runtime tuning knobs (the distributed analogue of
 /// [`crate::runtime::EnvConfig`]).
@@ -96,6 +131,10 @@ pub struct ClusterConfig {
     /// materialize back to rows at the wire boundary, so frame format
     /// and byte accounting are identical either way.
     pub columnar: crate::runtime::ColumnarMode,
+    /// Chaos runs: emit a checkpoint barrier every N source batches
+    /// per pipeline (crash recovery restores from the newest epoch the
+    /// cloud sealed).
+    pub checkpoint_every: u64,
 }
 
 impl Default for ClusterConfig {
@@ -107,6 +146,7 @@ impl Default for ClusterConfig {
             channel_capacity: 8,
             preaggregate: true,
             columnar: crate::runtime::ColumnarMode::Auto,
+            checkpoint_every: 4,
         }
     }
 }
@@ -159,6 +199,24 @@ pub struct ClusterMetrics {
     pub sites: usize,
     /// True when the run split a window into edge partials + cloud merge.
     pub preaggregated: bool,
+    /// Chaos runs: envelopes retransmitted after a NACK or ack timeout.
+    pub retransmits: u64,
+    /// Chaos runs: envelopes dropped by receivers for CRC mismatch.
+    pub corrupt_dropped: u64,
+    /// Chaos runs: duplicate envelopes suppressed by receivers.
+    pub duplicates_suppressed: u64,
+    /// Chaos runs: checkpoints the cloud sealed (complete epochs).
+    pub checkpoints_taken: u64,
+    /// Chaos runs: heartbeats sent over quiet links.
+    pub heartbeats: u64,
+    /// Chaos runs: bytes of ack/nack traffic on reverse channels.
+    pub ack_bytes: u64,
+    /// Chaos runs: faults the plan actually injected (drops +
+    /// duplicates + corruptions + reorders across all links).
+    pub faults_injected: u64,
+    /// Crash recovery time: detection of the dead node to completion
+    /// of the state restore (0 when no crash happened).
+    pub recovery_ms: f64,
 }
 
 /// Everything a placed run reports.
@@ -275,12 +333,14 @@ impl ClusterEnvironment {
         strategy: PlacementStrategy,
         sink: &mut dyn Sink,
     ) -> Result<ClusterReport> {
-        self.run_inner(query, strategy, None, sink)
+        self.run_inner(query, strategy, None, None, sink)
     }
 
     /// Like [`Self::run_placed`], but fails `failure.node` after
-    /// `failure.after_batches` source batches and re-plans mid-run
-    /// (single hosted source only).
+    /// `failure.after_batches` source batches and re-plans mid-run.
+    /// Works with any number of hosted sources: every pump pauses at
+    /// its own batch limit and the cloud waits for a handoff (or
+    /// end-of-stream) from each pipeline before the migration phase.
     pub fn run_placed_with_failure(
         &mut self,
         query: &Query,
@@ -288,7 +348,29 @@ impl ClusterEnvironment {
         failure: FailureInjection,
         sink: &mut dyn Sink,
     ) -> Result<ClusterReport> {
-        self.run_inner(query, strategy, Some(failure), sink)
+        self.run_inner(query, strategy, Some(failure), None, sink)
+    }
+
+    /// Like [`Self::run_placed`], but under a seeded [`FaultPlan`]:
+    /// every link deterministically drops, duplicates, reorders,
+    /// corrupts and delays frames, and the plan's crash target (if any)
+    /// dies abruptly mid-batch. The resilient wire protocol and
+    /// checkpointed crash recovery keep the delivered results identical
+    /// to an undisturbed run; the extra work shows up in
+    /// [`ClusterMetrics::retransmits`], [`ClusterMetrics::corrupt_dropped`],
+    /// [`ClusterMetrics::duplicates_suppressed`],
+    /// [`ClusterMetrics::checkpoints_taken`] and
+    /// [`ClusterMetrics::recovery_ms`]. Fault plans are validated up
+    /// front: naming the cloud root or a source host as the crash
+    /// target fails fast with [`ClusterError::IneligibleFault`].
+    pub fn run_placed_chaos(
+        &mut self,
+        query: &Query,
+        strategy: PlacementStrategy,
+        plan: &FaultPlan,
+        sink: &mut dyn Sink,
+    ) -> Result<ClusterReport> {
+        self.run_inner(query, strategy, None, Some(plan), sink)
     }
 
     fn run_inner(
@@ -296,6 +378,7 @@ impl ClusterEnvironment {
         query: &Query,
         strategy: PlacementStrategy,
         failure: Option<FailureInjection>,
+        chaos_plan: Option<&FaultPlan>,
         sink: &mut dyn Sink,
     ) -> Result<ClusterReport> {
         let start = Instant::now();
@@ -313,11 +396,6 @@ impl ClusterEnvironment {
             .get(query.source())
             .ok_or_else(|| NebulaError::Plan(format!("unknown source '{}'", query.source())))?;
         let n_pipes = hosted_ref.len();
-        if failure.is_some() && n_pipes != 1 {
-            return Err(NebulaError::Plan(
-                "failure injection requires exactly one hosted source".into(),
-            ));
-        }
         let schema = hosted_ref[0].source.schema();
         for h in &hosted_ref[1..] {
             if !schema.same_layout(&h.source.schema()) {
@@ -328,6 +406,13 @@ impl ClusterEnvironment {
                     h.source.schema()
                 )));
             }
+        }
+        // Validate the fault plan before any thread spawns (and before
+        // the sources are consumed): the crash target must exist and
+        // must be neither the cloud root nor a source host.
+        if let Some(plan) = chaos_plan {
+            let src_nodes: Vec<NodeId> = hosted_ref.iter().map(|h| h.node).collect();
+            plan.validate(&self.topo, &src_nodes)?;
         }
         // Validate watermark fields and compute placements before taking
         // the sources, so a plan error leaves them registered.
@@ -374,74 +459,28 @@ impl ClusterEnvironment {
             }
         }
 
-        // Compile per-pipeline chains (one operator instance set each).
-        // A split window compiles as the stateless prefix plus an edge
-        // [`WindowPartialOp`] shipping one partial row per slice.
-        let mut pipe_chains = Vec::with_capacity(n_pipes);
-        let mut pipe_out_schema = schema.clone();
-        let mut pre_window_schema = schema.clone();
-        for _ in 0..n_pipes {
-            let prefix_end = split.as_ref().map_or(pipe_op_end, |sw| sw.window_idx);
-            let plan = compile_ops(
-                &ops[..prefix_end],
-                query.ts_field(),
-                schema.clone(),
-                &self.registry,
-            )?;
-            let mut operators = plan.operators;
-            pre_window_schema = plan.output_schema.clone();
-            pipe_out_schema = plan.output_schema;
-            if let Some(sw) = &split {
-                let partial = WindowPartialOp::new(
-                    query.ts_field(),
-                    &sw.keys,
-                    sw.spec.clone(),
-                    sw.aggs.clone(),
-                    pre_window_schema.clone(),
-                    &self.registry,
-                )?;
-                pipe_out_schema = partial.output_schema();
-                operators.push(Box::new(partial));
-            }
-            pipe_chains.push(operators);
-        }
-        // Compile the shared cloud tail once.
-        let mut cloud_ops: Vec<Box<dyn Operator>> = Vec::new();
-        match shared {
-            SharedTail::Merge => {
-                let sw = split.as_ref().expect("merge implies split");
-                let merge = WindowMergeOp::new(
-                    query.ts_field(),
-                    &sw.keys,
-                    sw.spec.clone(),
-                    sw.aggs.clone(),
-                    pre_window_schema.clone(),
-                    &self.registry,
-                )?;
-                let merge_out = merge.output_schema();
-                cloud_ops.push(Box::new(merge));
-                let suffix = compile_ops(
-                    &ops[pipe_op_end..],
-                    query.ts_field(),
-                    merge_out,
-                    &self.registry,
-                )?;
-                cloud_ops.extend(suffix.operators);
-            }
-            SharedTail::Plain => {
-                let tail = compile_ops(
-                    &ops[pipe_op_end..],
-                    query.ts_field(),
-                    pipe_out_schema.clone(),
-                    &self.registry,
-                )?;
-                cloud_ops.extend(tail.operators);
-            }
-            SharedTail::None => {}
-        }
+        // Compile per-pipeline chains and the shared cloud tail (the
+        // chaos epoch-0 recovery fallback recompiles the same way).
+        let CompiledChains {
+            pipe_chains,
+            mut cloud_ops,
+            pipe_out_schema,
+        } = compile_chains(
+            &self.registry,
+            query,
+            &schema,
+            n_pipes,
+            &split,
+            pipe_op_end,
+            shared,
+        )?;
 
-        // The plan is valid: consume the sources.
-        let hosted = self.sources.remove(query.source()).expect("checked above");
+        // The plan is valid: consume the sources. Chaos runs wrap each
+        // in a replay log so crash recovery can rewind the stream.
+        let hosted = self
+            .sources
+            .remove(query.source())
+            .ok_or_else(|| internal("hosted sources vanished mid-plan"))?;
 
         // Per-pipeline node assignment for each compiled operator, from
         // the placement (stage 0 is the source, stage i+1 operator i).
@@ -462,11 +501,16 @@ impl ClusterEnvironment {
                 cloud_ops.extend(tail);
             }
             let (group0, sites) = regroup(h.node, flat, &assign);
+            let source: Box<dyn Source> = if chaos_plan.is_some() {
+                Box::new(ReplaySource::new(h.source))
+            } else {
+                h.source
+            };
             pipelines.push(PipelinePlan {
                 node: h.node,
                 assign,
                 pump: PumpState {
-                    source: h.source,
+                    source,
                     watermark: h.watermark,
                     ts_col: ts_cols[p],
                     schema: schema.clone(),
@@ -475,6 +519,7 @@ impl ClusterEnvironment {
                     batches: 0,
                     idle: 0,
                     stats: QueryMetrics::default(),
+                    eos_sent: false,
                 },
                 sites,
             });
@@ -502,6 +547,19 @@ impl ClusterEnvironment {
             ..ClusterMetrics::default()
         };
 
+        // The cloud's input schema is fixed by the plan; compute it once
+        // (after a recovery skips finished pipelines, pipeline 0 may no
+        // longer be available to ask).
+        let cloud_in_schema = pipeline_out_schema(&pipelines[0]);
+        let chaos_run =
+            chaos_plan.map(|plan| ChaosRun::new(plan, n_pipes, &self.topo, &self.config));
+        // Site counts per pipe, captured while the pipelines still own
+        // their sites (a crashed phase loses them with its threads).
+        let phase1_sites: Vec<usize> = pipelines.iter().map(|p| p.sites.len()).collect();
+        if let Some(c) = &chaos_run {
+            c.store.set_expected_sites(phase1_sites.clone());
+        }
+
         // Phase 1: run until the failure trigger (or to completion).
         let batch_limit = failure.as_ref().map(|f| f.after_batches);
         let io = PhaseIo {
@@ -511,14 +569,204 @@ impl ClusterEnvironment {
             accounts: &accounts,
             cloud_node,
         };
-        let (st, finished, spawned) = run_phase(&io, &mut pipelines, cloud_state, batch_limit)?;
-        cloud_state = st;
-        cluster.sites += spawned;
+        let finished = match run_phase(
+            &io,
+            &mut pipelines,
+            cloud_state,
+            batch_limit,
+            &cloud_in_schema,
+            chaos_run.as_ref(),
+        ) {
+            Ok((st, fin, spawned)) => {
+                cloud_state = st;
+                cluster.sites += spawned;
+                fin
+            }
+            Err(e) => {
+                // An error with the crash switch tripped IS the injected
+                // abrupt node death: detect, re-plan, restore, resume.
+                let crashed = chaos_run
+                    .as_ref()
+                    .and_then(|c| c.switch.as_ref())
+                    .is_some_and(|s| s.tripped());
+                if !crashed {
+                    return Err(e);
+                }
+                let c = chaos_run
+                    .as_ref()
+                    .ok_or_else(|| internal("crash without a chaos run"))?;
+                let switch = c
+                    .switch
+                    .as_ref()
+                    .ok_or_else(|| internal("crash without a crash switch"))?;
+                let recovery_t0 = Instant::now();
+                let failed = switch.node;
+                let parent = self
+                    .topo
+                    .links()
+                    .iter()
+                    .find(|l| l.from == failed)
+                    .map(|l| l.to)
+                    .ok_or_else(|| {
+                        NebulaError::Plan(format!(
+                            "cannot fail node '{}': it has no parent to migrate to",
+                            self.topo.node(failed).name
+                        ))
+                    })?;
+                self.topo.fail_node(failed);
+                cluster.replans += 1;
+                for (p, pipe) in pipelines.iter_mut().enumerate() {
+                    let mut migrated = 0;
+                    for node in &mut pipe.assign {
+                        if *node == failed {
+                            *node = parent;
+                            migrated += 1;
+                        }
+                    }
+                    cluster.migrated_stages += migrated;
+                    let (new_pl, _) = crate::topology::replace_after_failure(
+                        &self.topo,
+                        &placements[p],
+                        failed,
+                        parent,
+                    );
+                    placements[p] = new_pl;
+                }
+                match c.store.take_for_restore() {
+                    // Restore the newest sealed epoch: pump counters and
+                    // operator state per live pipeline, cloud tail state,
+                    // and a source rewind to the checkpointed batch.
+                    Some((_epoch, mut snap)) => {
+                        let cloud_part = snap
+                            .cloud
+                            .take()
+                            .ok_or_else(|| internal("usable epoch lacks its cloud part"))?;
+                        for (p, pipe) in pipelines.iter_mut().enumerate() {
+                            if cloud_part.done.get(p).copied().unwrap_or(false) {
+                                // This pipeline finished before the cut:
+                                // nothing to re-run (its totals live on
+                                // in the store's finals).
+                                pipe.pump.eos_sent = true;
+                                pipe.pump.ops = Vec::new();
+                                pipe.sites = Vec::new();
+                                continue;
+                            }
+                            let pp = snap
+                                .pumps
+                                .remove(&p)
+                                .ok_or_else(|| internal("usable epoch lacks a pump part"))?;
+                            let mut flat = pp.ops.ok_or_else(|| {
+                                internal("usable epoch has an unsnapshotted pump")
+                            })?;
+                            for s in 0..phase1_sites[p] {
+                                let part = snap
+                                    .sites
+                                    .remove(&(p, s))
+                                    .ok_or_else(|| internal("usable epoch lacks a site part"))?;
+                                flat.extend(part.ops.ok_or_else(|| {
+                                    internal("usable epoch has an unsnapshotted site")
+                                })?);
+                            }
+                            let (group0, sites) = regroup(pipe.node, flat, &pipe.assign);
+                            pipe.pump.ops = group0;
+                            pipe.sites = sites;
+                            pipe.pump.batches = pp.batches;
+                            pipe.pump.max_ts = pp.max_ts;
+                            pipe.pump.stats = pp.stats;
+                            pipe.pump.idle = 0;
+                            pipe.pump.eos_sent = false;
+                            if !pipe.pump.source.rewind(pp.batches as usize) {
+                                return Err(internal("chaos source lost its replay log"));
+                            }
+                        }
+                        cloud_state = CloudState {
+                            ops: cloud_part.ops.ok_or_else(|| {
+                                internal("usable epoch has an unsnapshotted cloud")
+                            })?,
+                            buffers: cloud_part.buffers,
+                            wms: cloud_part.wms,
+                            done: cloud_part.done,
+                            combined: cloud_part.combined,
+                            latency: cloud_part.latency,
+                        };
+                    }
+                    // Epoch-0 fallback: no usable checkpoint (some
+                    // operator cannot snapshot). Recompile everything and
+                    // replay the whole stream from the start.
+                    None => {
+                        c.store.reset();
+                        let fresh = compile_chains(
+                            &self.registry,
+                            query,
+                            &schema,
+                            n_pipes,
+                            &split,
+                            pipe_op_end,
+                            shared,
+                        )?;
+                        let mut fresh_cloud = fresh.cloud_ops;
+                        for (pipe, chain) in pipelines.iter_mut().zip(fresh.pipe_chains) {
+                            let mut flat = chain;
+                            let tail = flat.split_off(pipe.assign.len().min(flat.len()));
+                            fresh_cloud.extend(tail);
+                            let (group0, sites) = regroup(pipe.node, flat, &pipe.assign);
+                            pipe.pump.ops = group0;
+                            pipe.sites = sites;
+                            pipe.pump.batches = 0;
+                            pipe.pump.max_ts = EventTime::MIN;
+                            pipe.pump.stats = QueryMetrics::default();
+                            pipe.pump.idle = 0;
+                            pipe.pump.eos_sent = false;
+                            if !pipe.pump.source.rewind(0) {
+                                return Err(internal("chaos source lost its replay log"));
+                            }
+                        }
+                        cloud_state = CloudState {
+                            ops: fresh_cloud,
+                            buffers: Vec::new(),
+                            wms: vec![EventTime::MIN; n_pipes],
+                            done: vec![false; n_pipes],
+                            combined: EventTime::MIN,
+                            latency: Histogram::new(),
+                        };
+                    }
+                }
+                cluster.recovery_ms = recovery_t0.elapsed().as_secs_f64() * 1e3;
+
+                // Phase 2: chaos continues on the surviving links, but
+                // the crash switch is disarmed (the node is dead).
+                let resumed = c.next_phase();
+                resumed
+                    .store
+                    .set_expected_sites(pipelines.iter().map(|p| p.sites.len()).collect());
+                let io = PhaseIo {
+                    topo: &self.topo,
+                    cfg: &self.config,
+                    wire: &self.wire,
+                    accounts: &accounts,
+                    cloud_node,
+                };
+                let (st, fin, spawned) = run_phase(
+                    &io,
+                    &mut pipelines,
+                    cloud_state,
+                    None,
+                    &cloud_in_schema,
+                    Some(&resumed),
+                )?;
+                cloud_state = st;
+                cluster.sites += spawned;
+                if !fin {
+                    return Err(internal("chaos resume paused unexpectedly"));
+                }
+                true
+            }
+        };
 
         if !finished {
             // Migration: fail the node, move its stages to its former
             // parent, rebuild the pipeline from the preserved state.
-            let failure = failure.expect("handoff implies failure injection");
+            let failure = failure.ok_or_else(|| internal("handoff without a failure injection"))?;
             let failed = failure.node;
             if pipelines.iter().any(|p| p.node == failed) {
                 return Err(NebulaError::Plan(format!(
@@ -572,7 +820,14 @@ impl ClusterEnvironment {
                 accounts: &accounts,
                 cloud_node,
             };
-            let (st, finished, spawned) = run_phase(&io, &mut pipelines, cloud_state, None)?;
+            let (st, finished, spawned) = run_phase(
+                &io,
+                &mut pipelines,
+                cloud_state,
+                None,
+                &cloud_in_schema,
+                None,
+            )?;
             debug_assert!(finished, "no batch limit, phase must finish");
             cloud_state = st;
             cluster.sites += spawned;
@@ -581,11 +836,28 @@ impl ClusterEnvironment {
         // Deliver order-normalized, like `run_partitioned`.
         let merged = merge_partitions(output_schema, vec![cloud_state.buffers]);
         let mut metrics = QueryMetrics::default();
-        for pipe in &pipelines {
-            metrics.merge(&pipe.pump.stats);
-            metrics.late_drops += chain_late_drops(&pipe.pump.ops);
-            for (_, ops) in &pipe.sites {
-                metrics.late_drops += chain_late_drops(ops);
+        match &chaos_run {
+            // Chaos runs: a pipeline finished before a crash no longer
+            // owns live operators, so totals come from the finals each
+            // pipe deposited at its end-of-stream.
+            Some(c) => {
+                for p in 0..n_pipes {
+                    let fin = c
+                        .store
+                        .final_for(p)
+                        .ok_or_else(|| internal("pipeline finished without final totals"))?;
+                    metrics.merge(&fin.stats);
+                    metrics.late_drops += fin.pump_late + fin.site_late;
+                }
+            }
+            None => {
+                for pipe in &pipelines {
+                    metrics.merge(&pipe.pump.stats);
+                    metrics.late_drops += chain_late_drops(&pipe.pump.ops);
+                    for (_, ops) in &pipe.sites {
+                        metrics.late_drops += chain_late_drops(ops);
+                    }
+                }
             }
         }
         metrics.late_drops += chain_late_drops(&cloud_state.ops);
@@ -612,6 +884,22 @@ impl ClusterEnvironment {
         cluster.uplink_bytes = accounts.uplink.bytes.load(Ordering::Relaxed);
         cluster.uplink_records = accounts.uplink.records.load(Ordering::Relaxed);
         cluster.uplink_frames = accounts.uplink.frames.load(Ordering::Relaxed);
+        if let Some(c) = &chaos_run {
+            let o = Ordering::Relaxed;
+            cluster.retransmits = c.stats.retransmits.load(o);
+            cluster.corrupt_dropped = c.stats.corrupt_dropped.load(o);
+            cluster.duplicates_suppressed = c.stats.duplicates_suppressed.load(o);
+            cluster.heartbeats = c.stats.heartbeats.load(o);
+            cluster.ack_bytes = c.stats.ack_bytes.load(o);
+            cluster.faults_injected = c.stats.injected_drops.load(o)
+                + c.stats.injected_dups.load(o)
+                + c.stats.injected_corruptions.load(o)
+                + c.stats.injected_reorders.load(o);
+            cluster.checkpoints_taken = c.store.checkpoints_taken();
+            // A crashed phase's thread count never returned normally;
+            // the shared counter has the true total.
+            cluster.sites = c.stats.sites_spawned.load(o) as usize;
+        }
         Ok(ClusterReport {
             metrics,
             cluster,
@@ -629,6 +917,158 @@ enum SharedTail {
     Plain,
     /// A [`WindowMergeOp`] plus the post-window tail (pre-aggregation).
     Merge,
+}
+
+/// The operator instances a plan split compiles into.
+struct CompiledChains {
+    pipe_chains: Vec<Vec<Box<dyn Operator>>>,
+    cloud_ops: Vec<Box<dyn Operator>>,
+    pipe_out_schema: SchemaRef,
+}
+
+/// Compiles per-pipeline chains (one operator instance set each) and
+/// the shared cloud tail. A split window compiles as the stateless
+/// prefix plus an edge [`WindowPartialOp`] shipping one partial row per
+/// slice, merged by a [`WindowMergeOp`] at the cloud. Free-standing so
+/// the chaos epoch-0 recovery can recompile without re-borrowing the
+/// environment.
+fn compile_chains(
+    registry: &FunctionRegistry,
+    query: &Query,
+    schema: &SchemaRef,
+    n_pipes: usize,
+    split: &Option<SplitWindow>,
+    pipe_op_end: usize,
+    shared: SharedTail,
+) -> Result<CompiledChains> {
+    let ops = query.ops();
+    let mut pipe_chains = Vec::with_capacity(n_pipes);
+    let mut pipe_out_schema = schema.clone();
+    let mut pre_window_schema = schema.clone();
+    for _ in 0..n_pipes {
+        let prefix_end = split.as_ref().map_or(pipe_op_end, |sw| sw.window_idx);
+        let plan = compile_ops(
+            &ops[..prefix_end],
+            query.ts_field(),
+            schema.clone(),
+            registry,
+        )?;
+        let mut operators = plan.operators;
+        pre_window_schema = plan.output_schema.clone();
+        pipe_out_schema = plan.output_schema;
+        if let Some(sw) = split {
+            let partial = WindowPartialOp::new(
+                query.ts_field(),
+                &sw.keys,
+                sw.spec.clone(),
+                sw.aggs.clone(),
+                pre_window_schema.clone(),
+                registry,
+            )?;
+            pipe_out_schema = partial.output_schema();
+            operators.push(Box::new(partial));
+        }
+        pipe_chains.push(operators);
+    }
+    let mut cloud_ops: Vec<Box<dyn Operator>> = Vec::new();
+    match shared {
+        SharedTail::Merge => {
+            let sw = split
+                .as_ref()
+                .ok_or_else(|| internal("merge tail without a split window"))?;
+            let merge = WindowMergeOp::new(
+                query.ts_field(),
+                &sw.keys,
+                sw.spec.clone(),
+                sw.aggs.clone(),
+                pre_window_schema.clone(),
+                registry,
+            )?;
+            let merge_out = merge.output_schema();
+            cloud_ops.push(Box::new(merge));
+            let suffix = compile_ops(&ops[pipe_op_end..], query.ts_field(), merge_out, registry)?;
+            cloud_ops.extend(suffix.operators);
+        }
+        SharedTail::Plain => {
+            let tail = compile_ops(
+                &ops[pipe_op_end..],
+                query.ts_field(),
+                pipe_out_schema.clone(),
+                registry,
+            )?;
+            cloud_ops.extend(tail.operators);
+        }
+        SharedTail::None => {}
+    }
+    Ok(CompiledChains {
+        pipe_chains,
+        cloud_ops,
+        pipe_out_schema,
+    })
+}
+
+/// Coordinator-side context for one chaos run: the plan, the shared
+/// fault/recovery counters, the checkpoint store, and the crash switch
+/// (armed in phase 1, disarmed after recovery).
+struct ChaosRun {
+    plan: FaultPlan,
+    stats: Arc<ChaosStats>,
+    store: Arc<CheckpointStore>,
+    switch: Option<Arc<CrashSwitch>>,
+    /// Set by any thread that errors, so threads blocked on quiet
+    /// channels (the cloud between frames, pumps between polls) notice
+    /// the phase is dying and wind down instead of hanging.
+    abort: Arc<AtomicBool>,
+    phase: u64,
+    checkpoint_every: u64,
+    doomed_name: String,
+}
+
+impl ChaosRun {
+    fn new(plan: &FaultPlan, n_pipes: usize, topo: &Topology, cfg: &ClusterConfig) -> ChaosRun {
+        let switch = plan.crash.map(|c| Arc::new(CrashSwitch::new(c)));
+        let doomed_name = plan
+            .crash
+            .map(|c| topo.node(c.node).name.clone())
+            .unwrap_or_default();
+        ChaosRun {
+            plan: plan.clone(),
+            stats: Arc::new(ChaosStats::default()),
+            store: Arc::new(CheckpointStore::new(n_pipes)),
+            switch,
+            abort: Arc::new(AtomicBool::new(false)),
+            phase: 1,
+            checkpoint_every: cfg.checkpoint_every.max(1),
+            doomed_name,
+        }
+    }
+
+    /// The post-recovery continuation: same plan, counters and store,
+    /// fresh abort flag, crash switch disarmed (the node already died).
+    fn next_phase(&self) -> ChaosRun {
+        ChaosRun {
+            plan: self.plan.clone(),
+            stats: Arc::clone(&self.stats),
+            store: Arc::clone(&self.store),
+            switch: None,
+            abort: Arc::new(AtomicBool::new(false)),
+            phase: self.phase + 1,
+            checkpoint_every: self.checkpoint_every,
+            doomed_name: String::new(),
+        }
+    }
+
+    /// A stable per-(phase, pipeline, hop) link id, so each link's fault
+    /// stream is independent and each phase faults afresh.
+    fn link_id(&self, pipe: usize, level: usize) -> u64 {
+        self.phase * 1_000_000 + (pipe as u64) * 1_000 + level as u64
+    }
+}
+
+/// Snapshots a whole operator chain; `None` if any operator cannot
+/// capture its state (forcing the epoch-0 full-replay fallback).
+fn snapshot_chain(ops: &[Box<dyn Operator>]) -> Option<Vec<Box<dyn Operator>>> {
+    ops.iter().map(|o| o.snapshot()).collect()
 }
 
 /// Splits a pipeline's operators into the pump group (stages on the
@@ -738,6 +1178,138 @@ impl WireTx {
     }
 }
 
+/// A site's downstream sender: the accounting [`WireTx`] plus, in chaos
+/// mode, the resilient-delivery layer wrapped around it (envelopes,
+/// acks, retransmission, the chaos injector itself).
+struct TxLink {
+    wire: WireTx,
+    rel: Option<Box<ReliableTx>>,
+}
+
+impl TxLink {
+    fn plain(wire: WireTx) -> TxLink {
+        TxLink { wire, rel: None }
+    }
+
+    fn reliable(wire: WireTx, rel: ReliableTx) -> TxLink {
+        TxLink {
+            wire,
+            rel: Some(Box::new(rel)),
+        }
+    }
+
+    fn send(&mut self, bytes: Vec<u8>, records: u64) -> Result<()> {
+        let TxLink { wire, rel } = self;
+        match rel {
+            Some(r) => r.send(&bytes, records, &mut |b, n| wire.send(b, n)),
+            None => wire.send(bytes, records),
+        }
+    }
+
+    /// Chaos mode: an unsequenced liveness beacon. No-op on plain links
+    /// (a plain channel cannot lose frames, so silence is unambiguous).
+    fn heartbeat(&mut self) -> Result<()> {
+        let TxLink { wire, rel } = self;
+        if let Some(r) = rel {
+            r.heartbeat(&mut |b, n| wire.send(b, n))?;
+        }
+        Ok(())
+    }
+
+    /// Chaos mode: block until every sent envelope is acknowledged (the
+    /// link-level end-of-stream guarantee), then fold this link's
+    /// injected-fault counters into the run's stats. No-op on plain
+    /// links.
+    fn flush(&mut self) -> Result<()> {
+        let TxLink { wire, rel } = self;
+        if let Some(r) = rel {
+            r.flush(&mut |b, n| wire.send(b, n))?;
+            r.merge_chaos_counters();
+        }
+        Ok(())
+    }
+}
+
+/// A site's upstream receiver: a plain channel, or the resilient layer
+/// reassembling an exactly-once in-order stream from chaos-injected
+/// arrivals.
+enum RxLink {
+    Plain(Receiver<Vec<u8>>),
+    Reliable {
+        rx: Receiver<Vec<u8>>,
+        rel: ReliableRx,
+        abort: Arc<AtomicBool>,
+    },
+}
+
+impl RxLink {
+    /// The next in-order payload. On a reliable link this loops over raw
+    /// arrivals (absorbing corruption, duplicates and reordering) and
+    /// polls the abort flag while idle, so a dying phase never hangs a
+    /// site on a quiet channel.
+    fn recv(&mut self, depth: &AtomicU64) -> Result<Vec<u8>> {
+        let hung = || NebulaError::Eval("cluster: upstream site hung up".into());
+        match self {
+            RxLink::Plain(rx) => {
+                let bytes = rx.recv().map_err(|_| hung())?;
+                depth.fetch_sub(1, Ordering::Relaxed);
+                Ok(bytes)
+            }
+            RxLink::Reliable { rx, rel, abort } => loop {
+                if let Some(payload) = rel.next_buffered() {
+                    return Ok(payload);
+                }
+                match rx.recv_timeout(Duration::from_millis(2)) {
+                    Ok(raw) => {
+                        depth.fetch_sub(1, Ordering::Relaxed);
+                        if let RxEvent::Payload(payload) = rel.on_bytes(&raw) {
+                            return Ok(payload);
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if abort.load(Ordering::Relaxed) {
+                            return Err(ClusterError::Aborted.into());
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(if abort.load(Ordering::Relaxed) {
+                            ClusterError::Aborted.into()
+                        } else {
+                            hung()
+                        });
+                    }
+                }
+            },
+        }
+    }
+
+    /// Chaos mode: after end-of-stream, keep absorbing (and re-acking)
+    /// stray retransmissions and duplicates until the upstream sender
+    /// hangs up, so its flush never emits into a dropped channel. The
+    /// reliable layer already delivered every genuine payload in order,
+    /// so anything arriving now classifies as bookkeeping. No-op on
+    /// plain links (they cannot duplicate).
+    fn linger(&mut self, depth: &AtomicU64) {
+        if let RxLink::Reliable { rx, rel, abort } = self {
+            loop {
+                match rx.recv_timeout(Duration::from_millis(2)) {
+                    Ok(raw) => {
+                        depth.fetch_sub(1, Ordering::Relaxed);
+                        let _ = rel.on_bytes(&raw);
+                        while rel.next_buffered().is_some() {}
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if abort.load(Ordering::Relaxed) {
+                            return;
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+        }
+    }
+}
+
 /// Pushes one message through a sub-chain, returning the terminal
 /// messages in order (what crosses to the next site).
 fn drive(ops: &mut [Box<dyn Operator>], first: StreamMessage) -> Result<Vec<StreamMessage>> {
@@ -762,7 +1334,7 @@ fn forward(
     msgs: Vec<StreamMessage>,
     out_schema: &SchemaRef,
     wire: &WireRegistry,
-    tx: &WireTx,
+    tx: &mut TxLink,
 ) -> Result<()> {
     for msg in msgs {
         match msg {
@@ -794,37 +1366,78 @@ fn forward(
     Ok(())
 }
 
+/// Chaos-mode context for one site thread: where its checkpoint parts
+/// go, and — on the doomed node — the crash switch that kills it.
+struct SiteChaos {
+    store: Arc<CheckpointStore>,
+    pipe: usize,
+    site_idx: usize,
+    doom: Option<Arc<CrashSwitch>>,
+    doom_name: String,
+}
+
 /// One edge site: decode, drive the sub-chain, re-encode downstream.
 /// Returns the operator state on end-of-stream or handoff.
 fn run_site(
     mut ops: Vec<Box<dyn Operator>>,
     in_schema: SchemaRef,
-    rx: Receiver<Vec<u8>>,
+    mut rx: RxLink,
     depth: Arc<AtomicU64>,
-    tx: WireTx,
+    mut tx: TxLink,
     wire: WireRegistry,
+    chaos: Option<SiteChaos>,
 ) -> Result<Vec<Box<dyn Operator>>> {
     let out_schema = ops
         .last()
         .map_or_else(|| in_schema.clone(), |o| o.output_schema());
     loop {
-        let bytes = rx
-            .recv()
-            .map_err(|_| NebulaError::Eval("cluster: upstream site hung up".into()))?;
-        depth.fetch_sub(1, Ordering::Relaxed);
+        let bytes = rx.recv(&depth)?;
+        if let Some(c) = &chaos {
+            if let Some(switch) = &c.doom {
+                if switch.observe() {
+                    // Abrupt death: all operator state and every channel
+                    // drop mid-batch, with no Eos and no Handoff.
+                    return Err(ClusterError::NodeDown {
+                        node: c.doom_name.clone(),
+                    }
+                    .into());
+                }
+            }
+        }
         match decode_frame(&bytes, &in_schema, &wire)? {
             Frame::Data(recs) => {
                 let buf = RecordBuffer::new(in_schema.clone(), recs);
                 let msgs = drive(&mut ops, StreamMessage::Data(buf))?;
-                forward(msgs, &out_schema, &wire, &tx)?;
+                forward(msgs, &out_schema, &wire, &mut tx)?;
             }
             Frame::Watermark(w) => {
                 let msgs = drive(&mut ops, StreamMessage::Watermark(w))?;
-                forward(msgs, &out_schema, &wire, &tx)?;
+                forward(msgs, &out_schema, &wire, &mut tx)?;
+            }
+            Frame::Barrier(epoch) => {
+                let Some(c) = &chaos else {
+                    return Err(internal("checkpoint barrier outside a chaos run"));
+                };
+                // Snapshot at the cut and pass the barrier on; it is a
+                // pipeline-level marker, never driven through operators.
+                c.store.put_site(
+                    epoch,
+                    c.pipe,
+                    c.site_idx,
+                    SitePart {
+                        ops: snapshot_chain(&ops),
+                    },
+                );
+                tx.send(encode_frame(&Frame::Barrier(epoch), &out_schema, &wire)?, 0)?;
             }
             Frame::Eos => {
                 let msgs = drive(&mut ops, StreamMessage::Eos)?;
-                forward(msgs, &out_schema, &wire, &tx)?;
+                forward(msgs, &out_schema, &wire, &mut tx)?;
+                tx.flush()?;
+                if let Some(c) = &chaos {
+                    c.store.add_site_final_late(c.pipe, chain_late_drops(&ops));
+                }
+                rx.linger(&depth);
                 return Ok(ops);
             }
             Frame::Handoff => {
@@ -886,6 +1499,9 @@ fn run_cloud(
     depths: Vec<Arc<AtomicU64>>,
     wire: WireRegistry,
 ) -> Result<(CloudState, bool)> {
+    // Handoff seen per input pipeline this phase (failure injection
+    // pauses every live pipeline, each at its own batch limit).
+    let mut handed = vec![false; st.done.len()];
     loop {
         let (p, bytes) = rx
             .recv()
@@ -924,8 +1540,234 @@ fn run_cloud(
                         collect_data(&mut st.buffers, msgs);
                     }
                 }
+                if handed.iter().any(|h| *h) && handed.iter().zip(&st.done).all(|(h, d)| *h || *d) {
+                    return Ok((st, false));
+                }
             }
-            Frame::Handoff => return Ok((st, false)),
+            Frame::Barrier(_) => {
+                return Err(internal("checkpoint barrier outside a chaos run"));
+            }
+            Frame::Handoff => {
+                handed[p] = true;
+                if handed.iter().zip(&st.done).all(|(h, d)| *h || *d) {
+                    return Ok((st, false));
+                }
+            }
+        }
+    }
+}
+
+/// The chaos cloud's working state: the legacy [`CloudState`] plus
+/// barrier-alignment bookkeeping (Chandy–Lamport style: once a barrier
+/// arrives from one pipeline, that pipeline's further frames are held
+/// back until every live pipeline has presented the same barrier; the
+/// epoch seals at the aligned cut).
+struct CloudChaosState {
+    st: CloudState,
+    in_schema: SchemaRef,
+    wire: WireRegistry,
+    /// Frames held back per pipeline during alignment.
+    held: Vec<VecDeque<Vec<u8>>>,
+    /// The epoch currently aligning, if any.
+    aligning: Option<u64>,
+    /// Pipelines that have presented the aligning barrier.
+    seen: Vec<bool>,
+    store: Arc<CheckpointStore>,
+    finished: bool,
+}
+
+impl CloudChaosState {
+    /// Routes one in-order payload: held back if its pipeline is past
+    /// the aligning barrier, applied otherwise.
+    fn ingest(&mut self, p: usize, payload: Vec<u8>) -> Result<()> {
+        if self.aligning.is_some() && self.seen[p] {
+            self.held[p].push_back(payload);
+            Ok(())
+        } else {
+            self.apply(p, payload)
+        }
+    }
+
+    fn apply(&mut self, p: usize, bytes: Vec<u8>) -> Result<()> {
+        match decode_frame(&bytes, &self.in_schema, &self.wire)? {
+            Frame::Data(recs) => {
+                let buf = RecordBuffer::new(self.in_schema.clone(), recs);
+                let t0 = Instant::now();
+                let msgs = drive(&mut self.st.ops, StreamMessage::Data(buf))?;
+                self.st.latency.record(t0.elapsed().as_secs_f64() * 1e6);
+                collect_data(&mut self.st.buffers, msgs);
+            }
+            Frame::Watermark(w) => {
+                self.st.wms[p] = self.st.wms[p].max(w);
+                self.advance_watermark()?;
+            }
+            Frame::Barrier(epoch) => {
+                if self.aligning.is_none() {
+                    self.aligning = Some(epoch);
+                }
+                self.seen[p] = true;
+            }
+            Frame::Eos => {
+                self.st.done[p] = true;
+                if self.st.done.iter().all(|d| *d) {
+                    let msgs = drive(&mut self.st.ops, StreamMessage::Eos)?;
+                    collect_data(&mut self.st.buffers, msgs);
+                    self.finished = true;
+                    return Ok(());
+                }
+                self.advance_watermark()?;
+            }
+            Frame::Handoff => {
+                return Err(internal("handoff frame in a chaos run"));
+            }
+        }
+        Ok(())
+    }
+
+    fn advance_watermark(&mut self) -> Result<()> {
+        if let Some(c) = combined_watermark(&self.st.wms, &self.st.done) {
+            if c > self.st.combined {
+                self.st.combined = c;
+                let msgs = drive(&mut self.st.ops, StreamMessage::Watermark(c))?;
+                collect_data(&mut self.st.buffers, msgs);
+            }
+        }
+        Ok(())
+    }
+
+    /// Seals the aligning epoch once every live pipeline has presented
+    /// its barrier (done pipelines are exempt — their streams ended).
+    fn try_align(&mut self) -> Result<bool> {
+        let Some(epoch) = self.aligning else {
+            return Ok(false);
+        };
+        let aligned = (0..self.seen.len()).all(|p| self.seen[p] || self.st.done[p]);
+        if !aligned {
+            return Ok(false);
+        }
+        self.store.put_cloud(
+            epoch,
+            CloudPart {
+                ops: snapshot_chain(&self.st.ops),
+                buffers: self.st.buffers.clone(),
+                wms: self.st.wms.clone(),
+                done: self.st.done.clone(),
+                combined: self.st.combined,
+                latency: self.st.latency.clone(),
+            },
+        );
+        self.aligning = None;
+        self.seen.iter_mut().for_each(|s| *s = false);
+        Ok(true)
+    }
+
+    /// Processes everything currently processable: seals an aligned
+    /// epoch, then replays held-back frames until each pipeline is
+    /// either drained or blocked by the next alignment.
+    fn drain(&mut self) -> Result<()> {
+        loop {
+            if self.finished {
+                return Ok(());
+            }
+            let mut progressed = self.try_align()?;
+            for p in 0..self.held.len() {
+                while !(self.aligning.is_some() && self.seen[p]) {
+                    let Some(payload) = self.held[p].pop_front() else {
+                        break;
+                    };
+                    self.apply(p, payload)?;
+                    progressed = true;
+                    if self.finished {
+                        return Ok(());
+                    }
+                }
+            }
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// The chaos-mode cloud site: resilient per-pipeline links, barrier
+/// alignment with held-back frames, epoch sealing, and abort-aware
+/// timeouts (a silently dead upstream cannot hang the fan-in).
+#[allow(clippy::too_many_arguments)]
+fn run_cloud_chaos(
+    st: CloudState,
+    in_schema: SchemaRef,
+    rx: Receiver<(usize, Vec<u8>)>,
+    depths: Vec<Arc<AtomicU64>>,
+    wire: WireRegistry,
+    mut rel: Vec<ReliableRx>,
+    store: Arc<CheckpointStore>,
+    abort: Arc<AtomicBool>,
+) -> Result<(CloudState, bool)> {
+    let n = st.done.len();
+    let mut cc = CloudChaosState {
+        st,
+        in_schema,
+        wire,
+        held: (0..n).map(|_| VecDeque::new()).collect(),
+        aligning: None,
+        seen: vec![false; n],
+        store,
+        finished: false,
+    };
+    loop {
+        cc.drain()?;
+        if cc.finished {
+            // Linger: keep absorbing (and re-acking) stray
+            // retransmissions and duplicates until every uplink sender
+            // hangs up, so no sender's flush emits into a dropped inbox.
+            loop {
+                match rx.recv_timeout(Duration::from_millis(2)) {
+                    Ok((p, raw)) => {
+                        depths[p].fetch_sub(1, Ordering::Relaxed);
+                        let _ = rel[p].on_bytes(&raw);
+                        while rel[p].next_buffered().is_some() {}
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            return Ok((cc.st, true));
+        }
+        match rx.recv_timeout(Duration::from_millis(5)) {
+            Ok((p, raw)) => {
+                depths[p].fetch_sub(1, Ordering::Relaxed);
+                if let RxEvent::Payload(payload) = rel[p].on_bytes(&raw) {
+                    cc.ingest(p, payload)?;
+                }
+                while let Some(payload) = rel[p].next_buffered() {
+                    cc.ingest(p, payload)?;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if abort.load(Ordering::Relaxed) {
+                    return Err(ClusterError::Aborted.into());
+                }
+                // Silent-death backstop: in-process links normally fail
+                // by disconnecting, but a peer wedged with its channel
+                // open (e.g. a link flapped down indefinitely) only
+                // shows up as missing heartbeats.
+                for (p, r) in rel.iter().enumerate() {
+                    if !cc.st.done[p] {
+                        r.check_liveness(&format!("pipe{p}/uplink"), Duration::from_secs(10))?;
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(if abort.load(Ordering::Relaxed) {
+                    ClusterError::Aborted.into()
+                } else {
+                    NebulaError::Eval("cluster: all pipelines hung up".into())
+                });
+            }
         }
     }
 }
@@ -942,6 +1784,9 @@ struct PumpState {
     batches: u64,
     idle: u64,
     stats: QueryMetrics,
+    /// This pipeline's stream already ended (its Eos reached the
+    /// cloud); later phases spawn nothing for it.
+    eos_sent: bool,
 }
 
 struct PipelinePlan {
@@ -957,16 +1802,47 @@ enum PumpEnd {
     Limit,
 }
 
+/// Chaos-mode context for one pump thread.
+struct PumpChaos {
+    store: Arc<CheckpointStore>,
+    pipe: usize,
+    /// Emit a checkpoint barrier every this many data batches.
+    every: u64,
+    abort: Arc<AtomicBool>,
+    /// Set when the doomed node is a pass-through hop on this pump's
+    /// route (it hosts no site thread anywhere): the pump observes the
+    /// crash switch on its frames and dies when it trips, severing the
+    /// path exactly as the node's crash would.
+    doom: Option<Arc<CrashSwitch>>,
+    doom_name: String,
+}
+
+impl PumpChaos {
+    /// Kills the pump if the pass-through crash switch trips.
+    fn check_doom(&self) -> Result<()> {
+        if let Some(doom) = &self.doom {
+            if doom.observe() {
+                return Err(ClusterError::NodeDown {
+                    node: self.doom_name.clone(),
+                }
+                .into());
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Polls the source, drives the source-node stages, generates
 /// watermarks, and pushes frames downstream — mirroring
 /// `StreamEnvironment::run`'s ingest loop. Stops at `batch_limit`
 /// without flushing (handoff follows); otherwise flushes end-of-stream.
 fn pump(
     st: &mut PumpState,
-    tx: &WireTx,
+    tx: &mut TxLink,
     wire: &WireRegistry,
     cfg: &ClusterConfig,
     batch_limit: Option<u64>,
+    chaos: Option<&PumpChaos>,
 ) -> Result<PumpEnd> {
     let out_schema = st
         .ops
@@ -980,6 +1856,11 @@ fn pump(
     loop {
         if batch_limit.is_some_and(|limit| st.batches >= limit) {
             return Ok(PumpEnd::Limit);
+        }
+        if let Some(c) = chaos {
+            if c.abort.load(Ordering::Relaxed) {
+                return Err(ClusterError::Aborted.into());
+            }
         }
         match st.source.poll(cfg.buffer_size)? {
             SourceBatch::Data(recs) => {
@@ -1007,11 +1888,35 @@ fn pump(
                         forward(msgs, &out_schema, wire, tx)?;
                     }
                 }
+                if let Some(c) = chaos {
+                    c.check_doom()?;
+                    if st.batches.is_multiple_of(c.every) {
+                        // Snapshot the pump's cut and send the barrier
+                        // after it: everything up to `batches` is ahead
+                        // of the marker on every downstream link.
+                        let epoch = st.batches / c.every;
+                        c.store.put_pump(
+                            epoch,
+                            c.pipe,
+                            PumpPart {
+                                ops: snapshot_chain(&st.ops),
+                                batches: st.batches,
+                                max_ts: st.max_ts,
+                                stats: st.stats.clone(),
+                            },
+                        );
+                        tx.send(encode_frame(&Frame::Barrier(epoch), &out_schema, wire)?, 0)?;
+                    }
+                }
             }
             SourceBatch::Idle => {
                 st.idle += 1;
                 if st.idle > cfg.idle_limit {
                     break;
+                }
+                if chaos.is_some() && st.idle.is_multiple_of(1024) {
+                    // Keep a quiet link observably alive.
+                    tx.heartbeat()?;
                 }
                 std::thread::yield_now();
             }
@@ -1020,10 +1925,36 @@ fn pump(
     }
     let msgs = drive(&mut st.ops, StreamMessage::Eos)?;
     forward(msgs, &out_schema, wire, tx)?;
+    tx.flush()?;
+    if let Some(c) = chaos {
+        c.store
+            .record_pump_final(c.pipe, st.stats.clone(), chain_late_drops(&st.ops));
+    }
+    st.eos_sent = true;
     Ok(PumpEnd::Exhausted)
 }
 
 /// Shared phase context.
+/// Whether `node` lies on the frame route `src → sites… → cloud` of a
+/// pipeline — as any hop endpoint, including pass-through relays that
+/// host no operators.
+fn route_crosses(io: &PhaseIo<'_>, src: NodeId, sites: &[NodeId], node: NodeId) -> Result<bool> {
+    let mut stops = Vec::with_capacity(sites.len() + 2);
+    stops.push(src);
+    stops.extend_from_slice(sites);
+    stops.push(io.cloud_node);
+    for leg in stops.windows(2) {
+        let crosses = io.topo.path_up(leg[0], leg[1])?.into_iter().any(|idx| {
+            let l = &io.topo.links()[idx];
+            l.from == node || l.to == node
+        });
+        if crosses {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
 struct PhaseIo<'a> {
     topo: &'a Topology,
     cfg: &'a ClusterConfig,
@@ -1075,17 +2006,22 @@ fn pipeline_out_schema(p: &PipelinePlan) -> SchemaRef {
 /// Spawns the sites and cloud for every pipeline, runs the pumps, and
 /// joins everything, restoring operator state into `pipelines`. Returns
 /// the cloud state, whether the run finished (vs paused for handoff),
-/// and how many site threads were spawned.
+/// and how many site threads were spawned. Pipelines whose stream
+/// already ended (`eos_sent`) spawn nothing. In chaos mode every hop
+/// gets a fault injector, a resilient link, and a reverse ack channel,
+/// and the cloud runs the barrier-aligning variant.
 fn run_phase(
     io: &PhaseIo<'_>,
     pipelines: &mut [PipelinePlan],
     cloud_state: CloudState,
     batch_limit: Option<u64>,
+    cloud_in_schema: &SchemaRef,
+    chaos: Option<&ChaosRun>,
 ) -> Result<(CloudState, bool, usize)> {
     let cap = io.cfg.channel_capacity.max(1);
     let n_pipes = pipelines.len();
-    let cloud_in_schema = pipeline_out_schema(&pipelines[0]);
     let mut sites_spawned = 0usize;
+    let participated: Vec<bool> = pipelines.iter().map(|p| !p.pump.eos_sent).collect();
 
     // Site node lists, to restore `pipe.sites` after the scope ends
     // (the scoped `&mut` borrows release only at the scope boundary).
@@ -1093,6 +2029,12 @@ fn run_phase(
         .iter()
         .map(|p| p.sites.iter().map(|(n, _)| *n).collect())
         .collect();
+    // When the doomed node hosts a site somewhere, that site thread
+    // observes the crash switch; otherwise the node is a pass-through
+    // hop and the pump whose route crosses it plays the victim.
+    let doomed_site_hosted = chaos
+        .and_then(|c| c.switch.as_ref())
+        .is_some_and(|s| site_nodes.iter().any(|ns| ns.contains(&s.node)));
 
     type SiteOps = Vec<Vec<Box<dyn Operator>>>;
     let scoped: Result<(CloudState, bool, Vec<SiteOps>)> = std::thread::scope(|scope| {
@@ -1100,11 +2042,18 @@ fn run_phase(
         let mut inbox_depths = Vec::with_capacity(n_pipes);
         let mut site_handles = Vec::with_capacity(n_pipes);
         let mut pump_handles = Vec::new();
-        let mut coord_pump = None;
+        // Per-pipeline reverse ack channel for the hop into the cloud
+        // (chaos mode only).
+        let mut cloud_acks: Vec<Option<Sender<AckMsg>>> = Vec::with_capacity(n_pipes);
 
         for (p, pipe) in pipelines.iter_mut().enumerate() {
             let inbox_depth = Arc::new(AtomicU64::new(0));
             inbox_depths.push(Arc::clone(&inbox_depth));
+            if pipe.pump.eos_sent {
+                site_handles.push(Vec::new());
+                cloud_acks.push(None);
+                continue;
+            }
             let PipelinePlan {
                 node,
                 pump: pump_state,
@@ -1116,27 +2065,63 @@ fn run_phase(
             let nodes = &site_nodes[p];
             let n_sites = taken.len();
 
-            // One channel per hop into a site; hop i feeds site i.
+            // One channel per hop into a site; hop i feeds site i. In
+            // chaos mode each hop level (0..=n_sites; level n_sites is
+            // the hop into the cloud) also gets a reverse ack channel.
             let mut hops: Vec<Hop> = (0..n_sites)
                 .map(|_| {
                     let (tx, rx) = bounded::<Vec<u8>>(cap);
                     (tx, Some(rx), Arc::new(AtomicU64::new(0)))
                 })
                 .collect();
+            let mut ack_txs: Vec<Option<Sender<AckMsg>>> = Vec::new();
+            let mut ack_rxs: Vec<Option<Receiver<AckMsg>>> = Vec::new();
+            if chaos.is_some() {
+                for _ in 0..=n_sites {
+                    let (t, r) = bounded::<AckMsg>(cap * 64);
+                    ack_txs.push(Some(t));
+                    ack_rxs.push(Some(r));
+                }
+            }
+            let mut mk_tx = |level: usize, wire_tx: WireTx| -> Result<TxLink> {
+                match chaos {
+                    Some(c) => {
+                        let ack_rx = ack_rxs[level]
+                            .take()
+                            .ok_or_else(|| internal("ack channel consumed twice"))?;
+                        Ok(TxLink::reliable(
+                            wire_tx,
+                            ReliableTx::new(
+                                format!("pipe{p}/hop{level}"),
+                                ack_rx,
+                                LinkChaos::new(&c.plan, c.link_id(p, level)),
+                                Arc::clone(&c.stats),
+                            ),
+                        ))
+                    }
+                    None => Ok(TxLink::plain(wire_tx)),
+                }
+            };
 
             let pump_tx = if n_sites == 0 {
-                io.wire_tx(
-                    src_node,
-                    io.cloud_node,
-                    TxTarget::Inbox(inbox_tx.clone(), p),
-                    Arc::clone(&inbox_depth),
+                mk_tx(
+                    0,
+                    io.wire_tx(
+                        src_node,
+                        io.cloud_node,
+                        TxTarget::Inbox(inbox_tx.clone(), p),
+                        Arc::clone(&inbox_depth),
+                    )?,
                 )?
             } else {
-                io.wire_tx(
-                    src_node,
-                    nodes[0],
-                    TxTarget::Direct(hops[0].0.clone()),
-                    Arc::clone(&hops[0].2),
+                mk_tx(
+                    0,
+                    io.wire_tx(
+                        src_node,
+                        nodes[0],
+                        TxTarget::Direct(hops[0].0.clone()),
+                        Arc::clone(&hops[0].2),
+                    )?,
                 )?
             };
 
@@ -1148,73 +2133,173 @@ fn run_phase(
             let mut handles = Vec::with_capacity(n_sites);
             for (i, (site_node, ops)) in taken.into_iter().enumerate() {
                 let out_tx = if i + 1 < n_sites {
-                    io.wire_tx(
-                        site_node,
-                        nodes[i + 1],
-                        TxTarget::Direct(hops[i + 1].0.clone()),
-                        Arc::clone(&hops[i + 1].2),
+                    mk_tx(
+                        i + 1,
+                        io.wire_tx(
+                            site_node,
+                            nodes[i + 1],
+                            TxTarget::Direct(hops[i + 1].0.clone()),
+                            Arc::clone(&hops[i + 1].2),
+                        )?,
                     )?
                 } else {
-                    io.wire_tx(
-                        site_node,
-                        io.cloud_node,
-                        TxTarget::Inbox(inbox_tx.clone(), p),
-                        Arc::clone(&inbox_depth),
+                    mk_tx(
+                        i + 1,
+                        io.wire_tx(
+                            site_node,
+                            io.cloud_node,
+                            TxTarget::Inbox(inbox_tx.clone(), p),
+                            Arc::clone(&inbox_depth),
+                        )?,
                     )?
                 };
-                let rx = hops[i].1.take().expect("each hop rx consumed once");
+                let rx = hops[i]
+                    .1
+                    .take()
+                    .ok_or_else(|| internal("hop receiver consumed twice"))?;
+                let rx_link = match chaos {
+                    Some(c) => RxLink::Reliable {
+                        rx,
+                        rel: ReliableRx::new(
+                            ack_txs[i]
+                                .take()
+                                .ok_or_else(|| internal("ack sender consumed twice"))?,
+                            Arc::clone(&c.stats),
+                        ),
+                        abort: Arc::clone(&c.abort),
+                    },
+                    None => RxLink::Plain(rx),
+                };
+                let site_chaos = chaos.map(|c| SiteChaos {
+                    store: Arc::clone(&c.store),
+                    pipe: p,
+                    site_idx: i,
+                    doom: c
+                        .switch
+                        .as_ref()
+                        .filter(|s| s.node == site_node)
+                        .map(Arc::clone),
+                    doom_name: c.doomed_name.clone(),
+                });
+                let abort_flag = chaos.map(|c| Arc::clone(&c.abort));
                 let depth_in = Arc::clone(&hops[i].2);
                 let out_schema = ops
                     .last()
                     .map_or_else(|| in_schema.clone(), |o| o.output_schema());
                 let wire = io.wire.clone();
                 let schema = in_schema.clone();
-                handles
-                    .push(scope.spawn(move || run_site(ops, schema, rx, depth_in, out_tx, wire)));
+                handles.push(scope.spawn(move || {
+                    let r = run_site(ops, schema, rx_link, depth_in, out_tx, wire, site_chaos);
+                    if r.is_err() {
+                        if let Some(a) = &abort_flag {
+                            a.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    r
+                }));
                 sites_spawned += 1;
+                if let Some(c) = chaos {
+                    c.stats.sites_spawned.fetch_add(1, Ordering::Relaxed);
+                }
                 in_schema = out_schema;
             }
             site_handles.push(handles);
+            cloud_acks.push(match chaos {
+                Some(_) => Some(
+                    ack_txs[n_sites]
+                        .take()
+                        .ok_or_else(|| internal("cloud ack sender consumed twice"))?,
+                ),
+                None => None,
+            });
             // The hop senders were cloned into the WireTx values; drop
             // the originals so channels disconnect when sites finish.
             drop(hops);
 
-            if batch_limit.is_some() {
-                coord_pump = Some((pump_state, pump_tx));
-            } else {
-                let wire = io.wire.clone();
-                let cfg = io.cfg;
-                pump_handles.push(scope.spawn(move || -> Result<()> {
-                    pump(pump_state, &pump_tx, &wire, cfg, None)?;
+            let wire = io.wire.clone();
+            let cfg = io.cfg;
+            let handoff_schema = pump_state.schema.clone();
+            let pump_doom = match chaos.and_then(|c| c.switch.as_ref()) {
+                Some(s) if !doomed_site_hosted && route_crosses(io, src_node, nodes, s.node)? => {
+                    Some(Arc::clone(s))
+                }
+                _ => None,
+            };
+            let pump_chaos = chaos.map(|c| PumpChaos {
+                store: Arc::clone(&c.store),
+                pipe: p,
+                every: c.checkpoint_every,
+                abort: Arc::clone(&c.abort),
+                doom: pump_doom,
+                doom_name: c.doomed_name.clone(),
+            });
+            let abort_flag = chaos.map(|c| Arc::clone(&c.abort));
+            pump_handles.push(scope.spawn(move || -> Result<()> {
+                let mut tx = pump_tx;
+                let r = (|| -> Result<()> {
+                    match pump(
+                        pump_state,
+                        &mut tx,
+                        &wire,
+                        cfg,
+                        batch_limit,
+                        pump_chaos.as_ref(),
+                    )? {
+                        PumpEnd::Limit => {
+                            // Quiesce: the marker drains behind all data
+                            // frames still in the pipeline.
+                            tx.send(encode_frame(&Frame::Handoff, &handoff_schema, &wire)?, 0)?;
+                        }
+                        PumpEnd::Exhausted => {}
+                    }
                     Ok(())
-                }));
-            }
+                })();
+                if r.is_err() {
+                    if let Some(a) = &abort_flag {
+                        a.store(true, Ordering::Relaxed);
+                    }
+                }
+                r
+            }));
         }
 
         let wire = io.wire.clone();
         let schema = cloud_in_schema.clone();
         let depths = inbox_depths;
-        let cloud_handle =
-            scope.spawn(move || run_cloud(cloud_state, schema, inbox_rx, depths, wire));
+        let cloud_handle = match chaos {
+            Some(c) => {
+                let rel: Vec<ReliableRx> = cloud_acks
+                    .into_iter()
+                    .map(|opt| {
+                        // Skipped pipelines get a dead-end ack channel.
+                        let tx = opt.unwrap_or_else(|| bounded::<AckMsg>(1).0);
+                        ReliableRx::new(tx, Arc::clone(&c.stats))
+                    })
+                    .collect();
+                let store = Arc::clone(&c.store);
+                let abort = Arc::clone(&c.abort);
+                scope.spawn(move || {
+                    let r = run_cloud_chaos(
+                        cloud_state,
+                        schema,
+                        inbox_rx,
+                        depths,
+                        wire,
+                        rel,
+                        store,
+                        Arc::clone(&abort),
+                    );
+                    if r.is_err() {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    r
+                })
+            }
+            None => scope.spawn(move || run_cloud(cloud_state, schema, inbox_rx, depths, wire)),
+        };
         drop(inbox_tx);
 
-        // Pump on the coordinator when a handoff may be needed.
         let mut pump_err: Option<NebulaError> = None;
-        if let Some((st, tx)) = coord_pump {
-            let schema = st.schema.clone();
-            match pump(st, &tx, io.wire, io.cfg, batch_limit) {
-                Ok(PumpEnd::Limit) => {
-                    // Quiesce: the marker drains behind all data frames.
-                    let res = encode_frame(&Frame::Handoff, &schema, io.wire)
-                        .and_then(|bytes| tx.send(bytes, 0));
-                    if let Err(e) = res {
-                        pump_err = Some(e);
-                    }
-                }
-                Ok(PumpEnd::Exhausted) => {}
-                Err(e) => pump_err = Some(e),
-            }
-        }
         for handle in pump_handles {
             match handle.join() {
                 Ok(Ok(())) => {}
@@ -1269,15 +2354,20 @@ fn run_phase(
         if let Some(e) = site_err.or(pump_err) {
             return Err(e);
         }
-        let (state, finished) = cloud.expect("no error implies cloud result");
+        let (state, finished) =
+            cloud.ok_or_else(|| internal("cloud thread vanished without an error"))?;
         Ok((state, finished, all_ops))
     });
 
     let (state, finished, all_ops) = scoped?;
-    for (pipe, (nodes, ops)) in pipelines
+    for (i, (pipe, (nodes, ops))) in pipelines
         .iter_mut()
         .zip(site_nodes.into_iter().zip(all_ops))
+        .enumerate()
     {
+        if !participated[i] {
+            continue;
+        }
         pipe.sites = nodes.into_iter().zip(ops).collect();
     }
     Ok((state, finished, sites_spawned))

@@ -17,6 +17,59 @@ pub enum NebulaError {
     /// Wire-format encode/decode failure (unknown opaque codec, type
     /// mismatch against the channel schema, corrupted frame).
     Wire(String),
+    /// Distributed-runtime failure (see [`ClusterError`]).
+    Cluster(ClusterError),
+}
+
+/// Typed failures raised by the distributed cluster runtime. Replaces
+/// the `unwrap()`/`expect()` calls that used to sit on node-thread hot
+/// paths, so an injected fault surfaces as an error (and possibly a
+/// recovery) instead of a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A node stopped responding (abrupt crash, silent link death).
+    /// Recoverable: the coordinator re-plans around it.
+    NodeDown {
+        /// Name of the dead node.
+        node: String,
+    },
+    /// A link exhausted its retransmit budget and is considered dead.
+    LinkDown {
+        /// `from->to` description of the link.
+        link: String,
+    },
+    /// A fault plan references nodes that may not be failed. Detected
+    /// up front, before any thread spawns.
+    IneligibleFault {
+        /// The offending nodes and why each is ineligible.
+        detail: String,
+    },
+    /// The run was cancelled because another node reported a failure.
+    Aborted,
+    /// An internal invariant did not hold (coordinator-side bookkeeping).
+    Internal(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NodeDown { node } => write!(f, "node '{node}' is down"),
+            ClusterError::LinkDown { link } => {
+                write!(f, "link {link} exhausted its retransmit budget")
+            }
+            ClusterError::IneligibleFault { detail } => {
+                write!(f, "fault plan names ineligible nodes: {detail}")
+            }
+            ClusterError::Aborted => write!(f, "run aborted after a node failure"),
+            ClusterError::Internal(m) => write!(f, "internal invariant violated: {m}"),
+        }
+    }
+}
+
+impl From<ClusterError> for NebulaError {
+    fn from(e: ClusterError) -> Self {
+        NebulaError::Cluster(e)
+    }
 }
 
 impl fmt::Display for NebulaError {
@@ -27,6 +80,7 @@ impl fmt::Display for NebulaError {
             NebulaError::Eval(m) => write!(f, "evaluation error: {m}"),
             NebulaError::Io(m) => write!(f, "io error: {m}"),
             NebulaError::Wire(m) => write!(f, "wire error: {m}"),
+            NebulaError::Cluster(e) => write!(f, "cluster error: {e}"),
         }
     }
 }

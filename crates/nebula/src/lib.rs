@@ -28,6 +28,12 @@
 //!   watermark propagation, edge pre-aggregation of splittable window
 //!   aggregates, and pause-and-migrate failure re-planning ([`cluster`],
 //!   [`wire`], [`preagg`]).
+//! - **Chaos-hardened fault tolerance** — seeded fault injection over
+//!   every cluster link (drops, duplicates, reordering, corruption,
+//!   flaps, abrupt crashes), a resilient wire protocol (CRC32 envelopes,
+//!   sequence numbers, ack/retransmit, heartbeats), and barrier-based
+//!   checkpointing with source replay for exactly-once crash recovery
+//!   ([`chaos`], [`checkpoint`], [`cluster`]).
 //!
 //! [NebulaStream]: https://nebula.stream
 //!
@@ -65,6 +71,8 @@
 //! ```
 
 pub mod buffer;
+pub mod chaos;
+pub mod checkpoint;
 pub mod cluster;
 pub mod error;
 pub mod expr;
@@ -73,6 +81,7 @@ pub mod ops;
 pub mod preagg;
 pub mod query;
 pub mod record;
+pub(crate) mod reliable;
 pub mod runtime;
 pub mod schema;
 pub mod sink;
@@ -87,11 +96,12 @@ pub use error::{NebulaError, Result};
 /// The types needed by almost every engine user.
 pub mod prelude {
     pub use crate::buffer::{BufferMeta, Column, ColumnBuilder, TupleBuffer};
+    pub use crate::chaos::{CrashFault, FaultPlan, LinkFlap};
     pub use crate::cluster::{
         ClusterConfig, ClusterEnvironment, ClusterMetrics, ClusterReport, FailureInjection,
         LinkMetrics,
     };
-    pub use crate::error::{NebulaError, Result};
+    pub use crate::error::{ClusterError, NebulaError, Result};
     pub use crate::expr::{
         call, col, lit, BoundExpr, ClosureFunction, Expr, FunctionRegistry, Plugin, ScalarFunction,
     };
@@ -110,8 +120,8 @@ pub mod prelude {
         CountingSink, CsvSink, NullSink, Sink, SinkCounters,
     };
     pub use crate::source::{
-        CsvSource, GapSource, GeneratorSource, JitterSource, Source, SourceBatch, VecSource,
-        WatermarkStrategy, XorShift,
+        CsvSource, GapSource, GeneratorSource, JitterSource, ReplaySource, Source, SourceBatch,
+        VecSource, WatermarkStrategy, XorShift,
     };
     pub use crate::topology::{
         measure_stage_bytes, network_cost, place, replace_after_failure, NetworkCost, Node, NodeId,
@@ -121,5 +131,8 @@ pub mod prelude {
     pub use crate::window::{
         AggSpec, Aggregator, AggregatorFactory, SliceLayout, WindowAgg, WindowSpec,
     };
-    pub use crate::wire::{decode_frame, encode_frame, Frame, OpaqueWireCodec, WireRegistry};
+    pub use crate::wire::{
+        crc32, decode_envelope, decode_frame, encode_envelope, encode_frame, Envelope, Frame,
+        OpaqueWireCodec, WireRegistry, ENVELOPE_OVERHEAD,
+    };
 }

@@ -242,6 +242,36 @@ impl Operator for CepOp {
         out.push(StreamMessage::Watermark(wm));
         Ok(())
     }
+
+    fn snapshot(&self) -> Option<Box<dyn Operator>> {
+        let state = self
+            .state
+            .iter()
+            .map(|(k, partials)| {
+                (
+                    k.clone(),
+                    partials
+                        .iter()
+                        .map(|p| Partial {
+                            next_step: p.next_step,
+                            first_ts: p.first_ts,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Some(Box::new(CepOp {
+            pattern_name: self.pattern_name.clone(),
+            steps: self.steps.clone(),
+            within: self.within,
+            key_expr: self.key_expr.clone(),
+            max_partials: self.max_partials,
+            ts_col: self.ts_col,
+            output: self.output.clone(),
+            state,
+            matches: self.matches,
+        }))
+    }
 }
 
 #[cfg(test)]

@@ -86,6 +86,16 @@ pub trait Operator: Send {
     fn late_drops(&self) -> u64 {
         0
     }
+
+    /// A deep copy of this operator including all mutable state, used by
+    /// the cluster runtime's checkpoint barriers. `None` (the default)
+    /// means the operator cannot be snapshotted — e.g. it owns an
+    /// arbitrary closure — in which case crash recovery falls back to a
+    /// full replay from the start of the stream instead of resuming from
+    /// the last checkpoint.
+    fn snapshot(&self) -> Option<Box<dyn Operator>> {
+        None
+    }
 }
 
 /// Sums the late-record drops of a compiled operator chain — how every
@@ -276,6 +286,14 @@ impl Operator for FilterOp {
         }
         Ok(())
     }
+
+    fn snapshot(&self) -> Option<Box<dyn Operator>> {
+        // Stateless: a field-by-field copy is a complete snapshot.
+        Some(Box::new(FilterOp {
+            predicate: self.predicate.clone(),
+            schema: self.schema.clone(),
+        }))
+    }
 }
 
 /// Projection: computes named expressions, optionally keeping the input
@@ -380,6 +398,14 @@ impl Operator for MapOp {
             meta,
         )));
         Ok(())
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(MapOp {
+            projections: self.projections.clone(),
+            extend: self.extend,
+            schema: self.schema.clone(),
+        }))
     }
 }
 

@@ -52,6 +52,27 @@ impl AggFactory {
             .map(|a| a.spec.create(&self.input, &self.registry, &self.ts_field))
             .collect()
     }
+
+    fn clone_parts(&self) -> AggFactory {
+        AggFactory {
+            ts_field: self.ts_field.clone(),
+            specs: self.specs.clone(),
+            input: self.input.clone(),
+            registry: self.registry.clone(),
+        }
+    }
+
+    /// Deep-copies a set of live accumulators: fresh aggregators from
+    /// the factory, each absorbing the original through the core
+    /// [`Aggregator::merge`] contract — state duplication without
+    /// requiring `Clone` on every aggregator implementation.
+    fn copy_aggs(&self, aggs: &[Box<dyn Aggregator>]) -> Result<Vec<Box<dyn Aggregator>>> {
+        let mut fresh = self.make()?;
+        for (copy, orig) in fresh.iter_mut().zip(aggs) {
+            copy.merge(orig.as_ref())?;
+        }
+        Ok(fresh)
+    }
 }
 
 /// Deterministic emission order: by the row's leading timestamp (window
@@ -298,6 +319,38 @@ impl SliceStore {
     /// See [`sort_emission`].
     fn sort_emission(&self, records: &mut [Record]) {
         sort_emission(records, self.key_count);
+    }
+
+    /// A deep copy of the whole store — every key's every slice's
+    /// accumulators — for checkpointing. Fails only if an aggregator
+    /// cannot merge (which would equally fail window materialization).
+    pub(crate) fn snapshot(&self) -> Result<SliceStore> {
+        let mut keys = HashMap::with_capacity(self.keys.len());
+        for (key, ks) in &self.keys {
+            let mut slices = BTreeMap::new();
+            for (&slice, st) in &ks.slices {
+                slices.insert(
+                    slice,
+                    SliceState {
+                        aggs: self.factory.copy_aggs(&st.aggs)?,
+                        dirty: st.dirty,
+                    },
+                );
+            }
+            keys.insert(
+                key.clone(),
+                KeySlices {
+                    key_values: ks.key_values.clone(),
+                    slices,
+                },
+            );
+        }
+        Ok(SliceStore {
+            layout: self.layout,
+            key_count: self.key_count,
+            factory: self.factory.clone_parts(),
+            keys,
+        })
     }
 
     /// Drops slices whose last covering window has closed: no record or
@@ -642,6 +695,57 @@ impl Operator for WindowOp {
 
     fn late_drops(&self) -> u64 {
         self.late_drops
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn Operator>> {
+        self.try_snapshot().ok().map(|op| Box::new(op) as _)
+    }
+}
+
+impl WindowOp {
+    /// Deep copy for checkpointing: configuration is cloned, slice and
+    /// threshold state is duplicated through the aggregator merge
+    /// contract.
+    fn try_snapshot(&self) -> Result<WindowOp> {
+        let factory = AggFactory {
+            ts_field: self.ts_field.clone(),
+            specs: self.agg_specs.clone(),
+            input: self.input.clone(),
+            registry: self.registry.clone(),
+        };
+        let slices = match &self.slices {
+            Some(store) => Some(store.snapshot()?),
+            None => None,
+        };
+        let mut threshold_state = HashMap::with_capacity(self.threshold_state.len());
+        for (key, st) in &self.threshold_state {
+            threshold_state.insert(
+                key.clone(),
+                ThresholdState {
+                    key_values: st.key_values.clone(),
+                    start: st.start,
+                    end: st.end,
+                    count: st.count,
+                    aggs: factory.copy_aggs(&st.aggs)?,
+                },
+            );
+        }
+        Ok(WindowOp {
+            ts_col: self.ts_col,
+            ts_field: self.ts_field.clone(),
+            key_exprs: self.key_exprs.clone(),
+            key_count: self.key_count,
+            spec: self.spec.clone(),
+            threshold_pred: self.threshold_pred.clone(),
+            agg_specs: self.agg_specs.clone(),
+            input: self.input.clone(),
+            output: self.output.clone(),
+            registry: self.registry.clone(),
+            slices,
+            threshold_state,
+            last_watermark: self.last_watermark,
+            late_drops: self.late_drops,
+        })
     }
 }
 

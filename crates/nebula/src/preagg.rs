@@ -161,6 +161,20 @@ impl SplitPlan {
             store,
         })
     }
+
+    /// Deep copy for checkpointing (see [`SliceStore::snapshot`]).
+    fn snapshot(&self) -> Result<SplitPlan> {
+        Ok(SplitPlan {
+            ts_col: self.ts_col,
+            key_exprs: self.key_exprs.clone(),
+            key_count: self.key_count,
+            layout: self.layout,
+            arities: self.arities.clone(),
+            partial_schema: self.partial_schema.clone(),
+            final_schema: self.final_schema.clone(),
+            store: self.store.snapshot()?,
+        })
+    }
 }
 
 /// Edge-side partial window: aggregates records into shared slices and
@@ -257,6 +271,15 @@ impl Operator for WindowPartialOp {
 
     fn late_drops(&self) -> u64 {
         self.late_drops
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn Operator>> {
+        let plan = self.plan.snapshot().ok()?;
+        Some(Box::new(WindowPartialOp {
+            plan,
+            last_watermark: self.last_watermark,
+            late_drops: self.late_drops,
+        }))
     }
 }
 
@@ -379,6 +402,15 @@ impl Operator for WindowMergeOp {
         }
         out.push(StreamMessage::Eos);
         Ok(())
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn Operator>> {
+        let plan = self.plan.snapshot().ok()?;
+        Some(Box::new(WindowMergeOp {
+            plan,
+            last_watermark: self.last_watermark,
+            late_partials: self.late_partials,
+        }))
     }
 }
 

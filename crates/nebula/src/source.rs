@@ -26,6 +26,14 @@ pub trait Source: Send {
     fn schema(&self) -> SchemaRef;
     /// Produces up to `max` records.
     fn poll(&mut self, max: usize) -> Result<SourceBatch>;
+    /// Repositions the stream at data batch `to_batch`, if the source
+    /// supports replay. Returns `false` (the default) when it cannot;
+    /// [`ReplaySource`] overrides this for the cluster runtime's crash
+    /// recovery.
+    fn rewind(&mut self, to_batch: usize) -> bool {
+        let _ = to_batch;
+        false
+    }
 }
 
 /// How the runtime derives watermarks from a source.
@@ -342,6 +350,78 @@ impl<S: Source> Source for GapSource<S> {
     }
 }
 
+/// Wraps a source, logging every emitted batch so the stream can be
+/// rewound and replayed deterministically — the source-side half of the
+/// cluster runtime's crash recovery. After a checkpoint restore,
+/// [`ReplaySource::rewind_to`] repositions the cursor at the restored
+/// batch count and subsequent polls re-emit the logged batches with
+/// their original boundaries, reproducing the exact frame and watermark
+/// cadence of the first run.
+pub struct ReplaySource {
+    inner: Box<dyn Source>,
+    log: Vec<Vec<Record>>,
+    cursor: usize,
+    inner_exhausted: bool,
+}
+
+impl ReplaySource {
+    /// Wraps `inner` with an initially empty replay log.
+    pub fn new(inner: Box<dyn Source>) -> Self {
+        ReplaySource {
+            inner,
+            log: Vec::new(),
+            cursor: 0,
+            inner_exhausted: false,
+        }
+    }
+
+    /// Number of data batches emitted so far (the replay cursor).
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+
+    /// Repositions the stream at batch `cursor` (0 = start of stream).
+    /// Only positions at or before the current one are meaningful.
+    pub fn rewind_to(&mut self, cursor: usize) {
+        self.cursor = cursor.min(self.log.len());
+    }
+}
+
+impl Source for ReplaySource {
+    fn schema(&self) -> SchemaRef {
+        self.inner.schema()
+    }
+
+    fn rewind(&mut self, to_batch: usize) -> bool {
+        self.rewind_to(to_batch);
+        true
+    }
+
+    fn poll(&mut self, max: usize) -> Result<SourceBatch> {
+        if self.cursor < self.log.len() {
+            // Replaying: original batch boundaries, regardless of `max`.
+            let batch = self.log[self.cursor].clone();
+            self.cursor += 1;
+            return Ok(SourceBatch::Data(batch));
+        }
+        if self.inner_exhausted {
+            return Ok(SourceBatch::Exhausted);
+        }
+        match self.inner.poll(max)? {
+            SourceBatch::Data(recs) => {
+                self.log.push(recs.clone());
+                self.cursor += 1;
+                Ok(SourceBatch::Data(recs))
+            }
+            SourceBatch::Idle => Ok(SourceBatch::Idle),
+            SourceBatch::Exhausted => {
+                self.inner_exhausted = true;
+                Ok(SourceBatch::Exhausted)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,6 +447,42 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(matches!(s.poll(2).unwrap(), SourceBatch::Exhausted));
+    }
+
+    #[test]
+    fn replay_source_rewinds_with_original_batch_boundaries() {
+        let recs: Vec<Record> = (0..10).map(|i| rec(i, i as f64)).collect();
+        let mut s = ReplaySource::new(Box::new(VecSource::new(schema(), recs.clone())));
+        // First pass: batches of 3 (3, 3, 3, 1).
+        let mut first = Vec::new();
+        loop {
+            match s.poll(3).unwrap() {
+                SourceBatch::Data(d) => first.push(d),
+                SourceBatch::Exhausted => break,
+                SourceBatch::Idle => {}
+            }
+        }
+        assert_eq!(first.len(), 4);
+        assert_eq!(s.position(), 4);
+        // Rewind to batch 1 and replay with a different max: boundaries
+        // must match the first pass, not the new max.
+        s.rewind_to(1);
+        let mut replayed = Vec::new();
+        loop {
+            match s.poll(100).unwrap() {
+                SourceBatch::Data(d) => replayed.push(d),
+                SourceBatch::Exhausted => break,
+                SourceBatch::Idle => {}
+            }
+        }
+        assert_eq!(replayed, first[1..].to_vec());
+        // Rewind to the very start reproduces the whole stream.
+        s.rewind_to(0);
+        let mut all = Vec::new();
+        while let SourceBatch::Data(d) = s.poll(1).unwrap() {
+            all.extend(d);
+        }
+        assert_eq!(all, recs);
     }
 
     #[test]

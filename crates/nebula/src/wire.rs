@@ -60,12 +60,18 @@ pub enum Frame {
     /// Control: pause for migration — the upstream pipeline is about to
     /// be re-planned; sites forward the marker and return their state.
     Handoff,
+    /// Control: checkpoint barrier — everything before this marker
+    /// belongs to checkpoint epoch `.0`. Sites snapshot their operator
+    /// state when the barrier passes; the cloud aligns barriers across
+    /// pipes before snapshotting (Chandy–Lamport style consistent cut).
+    Barrier(u64),
 }
 
 const FRAME_DATA: u8 = 0;
 const FRAME_WATERMARK: u8 = 1;
 const FRAME_EOS: u8 = 2;
 const FRAME_HANDOFF: u8 = 3;
+const FRAME_BARRIER: u8 = 4;
 
 /// Serializes one plugin type for wire transport — the codec counterpart
 /// of [`OpaqueValue`]. Implementations live with the plugin that owns
@@ -133,6 +139,10 @@ pub fn encode_frame(frame: &Frame, schema: &Schema, registry: &WireRegistry) -> 
         }
         Frame::Eos => body.push(FRAME_EOS),
         Frame::Handoff => body.push(FRAME_HANDOFF),
+        Frame::Barrier(epoch) => {
+            body.push(FRAME_BARRIER);
+            body.extend_from_slice(&epoch.to_le_bytes());
+        }
     }
     let mut out = Vec::with_capacity(body.len() + 4);
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -287,6 +297,12 @@ impl<'a> Cursor<'a> {
         ))
     }
 
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
     fn f64(&mut self) -> Result<f64> {
         Ok(f64::from_bits(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
@@ -338,6 +354,7 @@ pub fn decode_frame(bytes: &[u8], schema: &Schema, registry: &WireRegistry) -> R
         FRAME_WATERMARK => Frame::Watermark(c.i64()?),
         FRAME_EOS => Frame::Eos,
         FRAME_HANDOFF => Frame::Handoff,
+        FRAME_BARRIER => Frame::Barrier(c.u64()?),
         t => return Err(corrupt(format!("unknown frame type {t}"))),
     };
     if c.remaining() != 0 {
@@ -404,6 +421,125 @@ fn decode_record(c: &mut Cursor<'_>, schema: &Schema, registry: &WireRegistry) -
     Ok(Record::new(values))
 }
 
+// ---------------------------------------------------------------------------
+// Resilient link envelope
+// ---------------------------------------------------------------------------
+//
+// Chaos-hardened cluster links wrap every transmission in an *envelope*
+// carrying a per-link sequence number and a CRC32 checksum:
+//
+// ```text
+// [kind u8][seq u64 le][crc u32 le][payload ...]
+// ```
+//
+// `crc` covers the kind byte, the sequence number, and the payload, so
+// corruption anywhere in the envelope is detected. The envelope is
+// opt-in: legacy (non-chaos) cluster runs ship bare frames and their
+// byte accounting is unchanged.
+
+/// Envelope kind: a data-bearing frame (payload = encoded [`Frame`]).
+pub const ENV_PAYLOAD: u8 = 0;
+/// Envelope kind: cumulative acknowledgement (`seq` = highest delivered).
+pub const ENV_ACK: u8 = 1;
+/// Envelope kind: negative ack (`seq` = first missing sequence number).
+pub const ENV_NACK: u8 = 2;
+/// Envelope kind: liveness heartbeat (`seq` = sender's next sequence).
+pub const ENV_HEARTBEAT: u8 = 3;
+
+/// Fixed envelope overhead in bytes (kind + seq + crc).
+pub const ENVELOPE_OVERHEAD: usize = 1 + 8 + 4;
+
+/// CRC32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 checksum (IEEE polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+fn crc32_parts(kind: u8, seq: u64, payload: &[u8]) -> u32 {
+    let mut head = [0u8; 9];
+    head[0] = kind;
+    head[1..9].copy_from_slice(&seq.to_le_bytes());
+    let mut crc = !0u32;
+    for &b in head.iter().chain(payload) {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// A decoded resilient-link envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// One of [`ENV_PAYLOAD`], [`ENV_ACK`], [`ENV_NACK`], [`ENV_HEARTBEAT`].
+    pub kind: u8,
+    /// Per-link sequence number (meaning depends on `kind`).
+    pub seq: u64,
+    /// Encoded frame bytes for [`ENV_PAYLOAD`]; empty for control kinds.
+    pub payload: Vec<u8>,
+}
+
+/// Wraps `payload` in a checksummed, sequence-numbered envelope.
+pub fn encode_envelope(kind: u8, seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ENVELOPE_OVERHEAD + payload.len());
+    out.push(kind);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&crc32_parts(kind, seq, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes and verifies an envelope; a checksum mismatch (bit corruption
+/// anywhere in the transmission) is a [`NebulaError::Wire`] error.
+pub fn decode_envelope(bytes: &[u8]) -> Result<Envelope> {
+    if bytes.len() < ENVELOPE_OVERHEAD {
+        return Err(corrupt(format!(
+            "envelope too short: {} bytes, need {ENVELOPE_OVERHEAD}",
+            bytes.len()
+        )));
+    }
+    let kind = bytes[0];
+    let seq = u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes"));
+    let declared = u32::from_le_bytes(bytes[9..13].try_into().expect("4 bytes"));
+    let payload = &bytes[ENVELOPE_OVERHEAD..];
+    let actual = crc32_parts(kind, seq, payload);
+    if declared != actual {
+        return Err(corrupt(format!(
+            "envelope checksum mismatch: declared {declared:#010x}, computed {actual:#010x}"
+        )));
+    }
+    if kind > ENV_HEARTBEAT {
+        return Err(corrupt(format!("unknown envelope kind {kind}")));
+    }
+    Ok(Envelope {
+        kind,
+        seq,
+        payload: payload.to_vec(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,14 +588,59 @@ mod tests {
     fn control_round_trips() {
         let reg = WireRegistry::new();
         let s = schema();
-        for frame in [Frame::Watermark(-5), Frame::Eos, Frame::Handoff] {
+        for frame in [
+            Frame::Watermark(-5),
+            Frame::Eos,
+            Frame::Handoff,
+            Frame::Barrier(7),
+        ] {
             let bytes = encode_frame(&frame, &s, &reg).unwrap();
             let back = decode_frame(&bytes, &s, &reg).unwrap();
             match (&frame, &back) {
                 (Frame::Watermark(a), Frame::Watermark(b)) => assert_eq!(a, b),
                 (Frame::Eos, Frame::Eos) | (Frame::Handoff, Frame::Handoff) => {}
+                (Frame::Barrier(a), Frame::Barrier(b)) => assert_eq!(a, b),
                 other => panic!("{other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn envelope_round_trips_and_rejects_corruption() {
+        let payload = b"hello frames".to_vec();
+        let bytes = encode_envelope(ENV_PAYLOAD, 42, &payload);
+        let env = decode_envelope(&bytes).unwrap();
+        assert_eq!(env.kind, ENV_PAYLOAD);
+        assert_eq!(env.seq, 42);
+        assert_eq!(env.payload, payload);
+        // Every single-bit flip anywhere in the envelope is detected.
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[i] ^= 1 << bit;
+                assert!(decode_envelope(&bad).is_err(), "flip at byte {i} bit {bit}");
+            }
+        }
+        // Truncations never panic.
+        for cut in 0..bytes.len() {
+            let _ = decode_envelope(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn control_envelopes_round_trip() {
+        for kind in [ENV_ACK, ENV_NACK, ENV_HEARTBEAT] {
+            let bytes = encode_envelope(kind, 9, &[]);
+            let env = decode_envelope(&bytes).unwrap();
+            assert_eq!((env.kind, env.seq), (kind, 9));
+            assert!(env.payload.is_empty());
         }
     }
 

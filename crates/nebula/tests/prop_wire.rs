@@ -137,6 +137,80 @@ proptest! {
     }
 
     #[test]
+    fn envelope_rejects_any_corruption(
+        payload in proptest::collection::vec(0u8..255, 0..256),
+        seq in 0u64..u64::MAX,
+        pos in 0usize..4096,
+        xor in 1u8..255,
+        cut in 0usize..4096,
+    ) {
+        // The resilient link's integrity floor: CRC32 over kind + seq +
+        // payload detects every single-byte corruption (burst errors up
+        // to 32 bits are guaranteed caught), and truncation at any
+        // length short of the full envelope never decodes.
+        let env = encode_envelope(0, seq, &payload);
+        let back = decode_envelope(&env).expect("clean envelope decodes");
+        prop_assert_eq!(back.seq, seq);
+        prop_assert_eq!(&back.payload, &payload);
+
+        let mut bad = env.clone();
+        let pos = pos % bad.len();
+        bad[pos] ^= xor;
+        prop_assert!(
+            decode_envelope(&bad).is_err(),
+            "flipped byte {} must fail the checksum", pos
+        );
+
+        let cut = cut % env.len();
+        prop_assert!(
+            decode_envelope(&env[..cut]).is_err(),
+            "truncated envelope ({} of {} bytes) must not decode", cut, env.len()
+        );
+    }
+
+    #[test]
+    fn sequence_reassembly_is_dedup_idempotent(
+        payloads in proptest::collection::vec(proptest::collection::vec(0u8..255, 0..32), 1..24),
+        dup_picks in proptest::collection::vec(0usize..24, 0..24),
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        // The exactly-once delivery contract the receiver builds on:
+        // envelopes carry unique sequence numbers, so an arrival stream
+        // with arbitrary duplication and reordering reassembles (keyed
+        // by seq, first write wins) into exactly the original payload
+        // sequence — reprocessing a duplicate is a no-op.
+        let envelopes: Vec<Vec<u8>> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| encode_envelope(0, i as u64, p))
+            .collect();
+        let mut deliveries: Vec<Vec<u8>> = envelopes.clone();
+        for pick in dup_picks {
+            deliveries.push(envelopes[pick % envelopes.len()].clone());
+        }
+        // Deterministic shuffle.
+        let mut state = shuffle_seed | 1;
+        for i in (1..deliveries.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            deliveries.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut slots: std::collections::BTreeMap<u64, Vec<u8>> = std::collections::BTreeMap::new();
+        let mut duplicates = 0usize;
+        for raw in &deliveries {
+            let env = decode_envelope(raw).expect("uncorrupted envelope");
+            if let Some(prev) = slots.get(&env.seq) {
+                prop_assert_eq!(prev, &env.payload, "duplicate must carry identical bytes");
+                duplicates += 1;
+            } else {
+                slots.insert(env.seq, env.payload);
+            }
+        }
+        prop_assert_eq!(duplicates, deliveries.len() - payloads.len());
+        let reassembled: Vec<Vec<u8>> = slots.into_values().collect();
+        prop_assert_eq!(reassembled, payloads);
+    }
+
+    #[test]
     fn corrupted_frames_error_instead_of_panicking(
         records in batch_strategy(),
         flips in proptest::collection::vec((0usize..4096, 1u8..255), 1..8),

@@ -205,5 +205,43 @@ fn main() -> nebula::Result<()> {
     normalize_records(&mut b);
     assert_eq!(a, b, "failure re-planning must not change results");
     println!("  results identical to an undisturbed run — state migrated losslessly");
+
+    // Chaos drill: the hostile version of the same failover. Seeded
+    // faults mangle every link — drops, duplicates, reordering, bit
+    // corruption — and the edge box dies abruptly mid-batch, with no
+    // cooperative handoff. CRC envelopes, ack/retransmit, barrier
+    // checkpoints and source replay must make all of it invisible.
+    println!("\nchaos drill: lossy links + abrupt edge kill after 4 batches (seed 41)...");
+    let (mut env, _) = fleet_env(&records);
+    let edge_box = env
+        .topology()
+        .nodes()
+        .iter()
+        .find(|n| n.kind == NodeKind::Edge)
+        .map(|n| n.id)
+        .expect("edge exists");
+    let plan = FaultPlan::seeded(41)
+        .drop_frames(0.05)
+        .duplicate_frames(0.02)
+        .reorder_frames(0.02)
+        .corrupt_frames(0.02)
+        .crash_node(edge_box, 4);
+    let (mut sink, chaos_results) = CollectingSink::new();
+    let chaos = env.run_placed_chaos(&query, PlacementStrategy::EdgeFirst, &plan, &mut sink)?;
+    let m = &chaos.cluster;
+    println!(
+        "  {} faults injected: {} retransmits, {} corrupt dropped, {} duplicates suppressed",
+        m.faults_injected, m.retransmits, m.corrupt_dropped, m.duplicates_suppressed
+    );
+    println!(
+        "  {} checkpoints; crash recovered in {:.2} ms ({} re-plan)",
+        m.checkpoints_taken, m.recovery_ms, m.replans
+    );
+    let mut c = chaos_results.records();
+    normalize_records(&mut c);
+    let mut clean = edge_results.records();
+    normalize_records(&mut clean);
+    assert_eq!(c, clean, "chaos must not change results");
+    println!("  results identical to the clean run — exactly-once under chaos");
     Ok(())
 }

@@ -8,6 +8,7 @@
 /// Bounded blocking channels (`crossbeam::channel` API subset).
 pub mod channel {
     use std::sync::mpsc;
+    use std::time::Duration;
 
     /// Error returned by [`Sender::send`] when the receiver hung up.
     #[derive(Debug, PartialEq, Eq)]
@@ -16,6 +17,33 @@ pub mod channel {
     /// Error returned by [`Receiver::recv`] when all senders hung up.
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the message is handed back.
+        Full(T),
+        /// The receiver hung up; the message is handed back.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and all senders hung up.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the deadline.
+        Timeout,
+        /// The channel is empty and all senders hung up.
+        Disconnected,
+    }
 
     /// Sending half of a bounded channel.
     pub struct Sender<T>(mpsc::SyncSender<T>);
@@ -34,6 +62,14 @@ pub mod channel {
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
         }
+
+        /// Enqueues without blocking, or reports why it could not.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(msg).map_err(|e| match e {
+                mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+            })
+        }
     }
 
     impl<T> Receiver<T> {
@@ -41,6 +77,22 @@ pub mod channel {
         /// empty and disconnected.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Receives without blocking, or reports why it could not.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocks for at most `timeout` waiting for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
 
         /// A blocking iterator that ends when the channel disconnects.
