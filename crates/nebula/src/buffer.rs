@@ -858,7 +858,13 @@ impl TupleBuffer {
     }
 
     /// Concatenates buffers over one schema. Metadata: origin/sequence
-    /// from the first buffer, time bounds and watermark unioned.
+    /// from the first buffer, time bounds unioned, watermark
+    /// min-combined — a merged buffer can only promise the progress
+    /// that *every* input promised, so two watermarks fold to the
+    /// smaller one and any input without a watermark leaves the merge
+    /// without one. (Max-combining here would let a fast input's
+    /// punctuation close windows that still await the slow input's
+    /// rows.)
     pub fn concat(schema: SchemaRef, bufs: &[TupleBuffer]) -> TupleBuffer {
         let width = schema.len();
         let mut meta = bufs.first().map(|b| b.meta).unwrap_or_default();
@@ -872,8 +878,8 @@ impl TupleBuffer {
                 (a, c) => a.or(c),
             };
             meta.watermark = match (meta.watermark, b.meta.watermark) {
-                (Some(a), Some(c)) => Some(a.max(c)),
-                (a, c) => a.or(c),
+                (Some(a), Some(c)) => Some(a.min(c)),
+                _ => None,
             };
         }
         let mut columns = Vec::with_capacity(width);
@@ -982,6 +988,32 @@ mod tests {
             joined.to_record_buffer().records(),
             tb.to_record_buffer().records()
         );
+    }
+
+    #[test]
+    fn concat_watermark_is_conservative_min() {
+        // Regression: the merged watermark used to take the max of the
+        // inputs. With a fast shard punctuated at t=100s and a slow
+        // shard at t=50s, a max-combined watermark of 100s would let a
+        // downstream window over (50s, 100s] close before the slow
+        // shard's in-flight rows arrive — silently dropping them as
+        // late. The merge may only promise what every input promised.
+        let sec = 1_000_000;
+        let mk = |wm: Option<i64>| {
+            let mut tb = buffer(4);
+            tb.meta_mut().watermark = wm;
+            tb
+        };
+        let fast = mk(Some(100 * sec));
+        let slow = mk(Some(50 * sec));
+        let merged = TupleBuffer::concat(schema(), &[fast.clone(), slow]);
+        assert_eq!(merged.meta().watermark, Some(50 * sec));
+
+        // An input with no watermark makes no promise at all, so the
+        // merge must not carry one either.
+        let silent = mk(None);
+        let merged = TupleBuffer::concat(schema(), &[fast, silent]);
+        assert_eq!(merged.meta().watermark, None);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use crate::metrics::{Histogram, QueryMetrics};
 use crate::ops::Operator;
 use crate::record::RecordBuffer;
+use crate::runtime::ProgressTracker;
 use crate::value::EventTime;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
@@ -54,12 +55,9 @@ pub(crate) struct CloudPart {
     pub ops: Option<Vec<Box<dyn Operator>>>,
     /// Results collected so far.
     pub buffers: Vec<RecordBuffer>,
-    /// Last watermark per input pipeline.
-    pub wms: Vec<EventTime>,
-    /// End-of-stream seen per input pipeline at the cut.
-    pub done: Vec<bool>,
-    /// Last combined watermark fed into the shared tail.
-    pub combined: EventTime,
+    /// Per-pipeline progress (frontiers, finished flags, combined
+    /// clock) at the cut.
+    pub progress: ProgressTracker,
     /// Per-buffer processing latency samples.
     pub latency: Histogram,
 }
@@ -80,7 +78,7 @@ impl EpochState {
             return false;
         };
         expected_sites.iter().enumerate().all(|(p, n_sites)| {
-            cloud.done.get(p).copied().unwrap_or(false)
+            cloud.progress.is_done(p as u64)
                 || (self.pumps.contains_key(&p)
                     && (0..*n_sites).all(|s| self.sites.contains_key(&(p, s))))
         })
@@ -203,8 +201,8 @@ impl CheckpointStore {
         let st = g.epochs.remove(&epoch)?;
         g.epochs.clear();
         if let Some(cloud) = &st.cloud {
-            for (p, done) in cloud.done.iter().enumerate() {
-                if !done {
+            for p in 0..g.finals.len() {
+                if !cloud.progress.is_done(p as u64) {
                     g.finals[p] = None;
                 }
             }
@@ -259,12 +257,16 @@ mod tests {
     }
 
     fn cloud_part(done: Vec<bool>) -> CloudPart {
+        let mut progress = ProgressTracker::with_origins(done.len() as u64);
+        for (p, d) in done.iter().enumerate() {
+            if *d {
+                progress.finish(p as u64);
+            }
+        }
         CloudPart {
             ops: Some(Vec::new()),
             buffers: Vec::new(),
-            wms: vec![EventTime::MIN; done.len()],
-            done,
-            combined: EventTime::MIN,
+            progress,
             latency: Histogram::new(),
         }
     }
@@ -297,7 +299,7 @@ mod tests {
         store.put_cloud(3, cloud_part(vec![false, true]));
         let (epoch, st) = store.take_for_restore().expect("pipe 1 exempt");
         assert_eq!(epoch, 3);
-        assert!(st.cloud.unwrap().done[1]);
+        assert!(st.cloud.unwrap().progress.is_done(1));
     }
 
     #[test]

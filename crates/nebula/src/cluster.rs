@@ -92,7 +92,7 @@ use crate::preagg::{split_window, SplitWindow, WindowMergeOp, WindowPartialOp};
 use crate::query::{compile_ops, LogicalOp, Query};
 use crate::record::{RecordBuffer, StreamMessage};
 use crate::reliable::{AckMsg, ReliableRx, ReliableTx, RxEvent};
-use crate::runtime::resolve_ts_col;
+use crate::runtime::{resolve_ts_col, ProgressTracker};
 use crate::schema::SchemaRef;
 use crate::sink::{merge_partitions, Sink};
 use crate::source::{ReplaySource, Source, SourceBatch, WatermarkStrategy};
@@ -520,6 +520,8 @@ impl ClusterEnvironment {
                     idle: 0,
                     stats: QueryMetrics::default(),
                     eos_sent: false,
+                    origin: p as u64,
+                    progress: ProgressTracker::new(),
                 },
                 sites,
             });
@@ -537,9 +539,7 @@ impl ClusterEnvironment {
         let mut cloud_state = CloudState {
             ops: cloud_ops,
             buffers: Vec::new(),
-            wms: vec![EventTime::MIN; n_pipes],
-            done: vec![false; n_pipes],
-            combined: EventTime::MIN,
+            progress: ProgressTracker::with_origins(n_pipes as u64),
             latency: Histogram::new(),
         };
         let mut cluster = ClusterMetrics {
@@ -642,7 +642,7 @@ impl ClusterEnvironment {
                             .take()
                             .ok_or_else(|| internal("usable epoch lacks its cloud part"))?;
                         for (p, pipe) in pipelines.iter_mut().enumerate() {
-                            if cloud_part.done.get(p).copied().unwrap_or(false) {
+                            if cloud_part.progress.is_done(p as u64) {
                                 // This pipeline finished before the cut:
                                 // nothing to re-run (its totals live on
                                 // in the store's finals).
@@ -675,6 +675,10 @@ impl ClusterEnvironment {
                             pipe.pump.stats = pp.stats;
                             pipe.pump.idle = 0;
                             pipe.pump.eos_sent = false;
+                            // Replay re-derives pump-local punctuation
+                            // from scratch; a stale tracker would dedup
+                            // the re-observed sequences.
+                            pipe.pump.progress = ProgressTracker::new();
                             if !pipe.pump.source.rewind(pp.batches as usize) {
                                 return Err(internal("chaos source lost its replay log"));
                             }
@@ -684,9 +688,7 @@ impl ClusterEnvironment {
                                 internal("usable epoch has an unsnapshotted cloud")
                             })?,
                             buffers: cloud_part.buffers,
-                            wms: cloud_part.wms,
-                            done: cloud_part.done,
-                            combined: cloud_part.combined,
+                            progress: cloud_part.progress,
                             latency: cloud_part.latency,
                         };
                     }
@@ -717,6 +719,7 @@ impl ClusterEnvironment {
                             pipe.pump.stats = QueryMetrics::default();
                             pipe.pump.idle = 0;
                             pipe.pump.eos_sent = false;
+                            pipe.pump.progress = ProgressTracker::new();
                             if !pipe.pump.source.rewind(0) {
                                 return Err(internal("chaos source lost its replay log"));
                             }
@@ -724,9 +727,7 @@ impl ClusterEnvironment {
                         cloud_state = CloudState {
                             ops: fresh_cloud,
                             buffers: Vec::new(),
-                            wms: vec![EventTime::MIN; n_pipes],
-                            done: vec![false; n_pipes],
-                            combined: EventTime::MIN,
+                            progress: ProgressTracker::with_origins(n_pipes as u64),
                             latency: Histogram::new(),
                         };
                     }
@@ -864,6 +865,11 @@ impl ClusterEnvironment {
         metrics.records_out = merged.len() as u64;
         metrics.bytes_out = merged.est_bytes() as u64;
         metrics.latency.merge(&cloud_state.latency);
+        // How far the fastest pipeline's clock ran ahead of the cloud's
+        // combined frontier — the fan-in skew the report promises.
+        metrics.frontier_lag_max_us = metrics
+            .frontier_lag_max_us
+            .max(cloud_state.progress.frontier_lag_us());
         if !merged.is_empty() {
             sink.consume(&merged)?;
         }
@@ -1452,31 +1458,13 @@ fn run_site(
 struct CloudState {
     ops: Vec<Box<dyn Operator>>,
     buffers: Vec<RecordBuffer>,
-    /// Last watermark per input pipeline.
-    wms: Vec<EventTime>,
-    /// End-of-stream seen per input pipeline.
-    done: Vec<bool>,
-    /// Last watermark fed into the cloud chain.
-    combined: EventTime,
+    /// Per-pipeline progress (origin = pipeline index): each input's
+    /// frontier, which inputs have ended, and the min-combined global
+    /// frontier fed into the cloud chain. Centralizing the min/monotone
+    /// rules in the tracker means an input that finishes mid-epoch can
+    /// only *raise* the combined clock, never regress it.
+    progress: ProgressTracker,
     latency: Histogram,
-}
-
-/// The min-combined watermark across live inputs, or `None` while some
-/// live input has not reported yet (no safe advance).
-fn combined_watermark(wms: &[EventTime], done: &[bool]) -> Option<EventTime> {
-    let mut min = EventTime::MAX;
-    let mut any = false;
-    for (w, d) in wms.iter().zip(done) {
-        if *d {
-            continue;
-        }
-        if *w == EventTime::MIN {
-            return None;
-        }
-        any = true;
-        min = min.min(*w);
-    }
-    any.then_some(min)
 }
 
 fn collect_data(buffers: &mut Vec<RecordBuffer>, msgs: Vec<StreamMessage>) {
@@ -1501,7 +1489,13 @@ fn run_cloud(
 ) -> Result<(CloudState, bool)> {
     // Handoff seen per input pipeline this phase (failure injection
     // pauses every live pipeline, each at its own batch limit).
-    let mut handed = vec![false; st.done.len()];
+    let mut handed = vec![false; st.progress.len()];
+    let paused = |handed: &[bool], st: &CloudState| -> bool {
+        handed
+            .iter()
+            .enumerate()
+            .all(|(q, h)| *h || st.progress.is_done(q as u64))
+    };
     loop {
         let (p, bytes) = rx
             .recv()
@@ -1516,31 +1510,27 @@ fn run_cloud(
                 collect_data(&mut st.buffers, msgs);
             }
             Frame::Watermark(w) => {
-                st.wms[p] = st.wms[p].max(w);
-                if let Some(c) = combined_watermark(&st.wms, &st.done) {
-                    if c > st.combined {
-                        st.combined = c;
-                        let msgs = drive(&mut st.ops, StreamMessage::Watermark(c))?;
-                        collect_data(&mut st.buffers, msgs);
-                    }
+                // The tracker owns the fan-in rules: min across live
+                // origins, monotone, silent until every live origin has
+                // reported.
+                if let Some(c) = st.progress.advance_origin(p as u64, w) {
+                    let msgs = drive(&mut st.ops, StreamMessage::Watermark(c))?;
+                    collect_data(&mut st.buffers, msgs);
                 }
             }
             Frame::Eos => {
-                st.done[p] = true;
-                if st.done.iter().all(|d| *d) {
+                // Removing a finished input can only raise the minimum.
+                let advanced = st.progress.finish(p as u64);
+                if st.progress.all_done() {
                     let msgs = drive(&mut st.ops, StreamMessage::Eos)?;
                     collect_data(&mut st.buffers, msgs);
                     return Ok((st, true));
                 }
-                // Removing a finished input can only raise the minimum.
-                if let Some(c) = combined_watermark(&st.wms, &st.done) {
-                    if c > st.combined {
-                        st.combined = c;
-                        let msgs = drive(&mut st.ops, StreamMessage::Watermark(c))?;
-                        collect_data(&mut st.buffers, msgs);
-                    }
+                if let Some(c) = advanced {
+                    let msgs = drive(&mut st.ops, StreamMessage::Watermark(c))?;
+                    collect_data(&mut st.buffers, msgs);
                 }
-                if handed.iter().any(|h| *h) && handed.iter().zip(&st.done).all(|(h, d)| *h || *d) {
+                if handed.iter().any(|h| *h) && paused(&handed, &st) {
                     return Ok((st, false));
                 }
             }
@@ -1549,7 +1539,7 @@ fn run_cloud(
             }
             Frame::Handoff => {
                 handed[p] = true;
-                if handed.iter().zip(&st.done).all(|(h, d)| *h || *d) {
+                if paused(&handed, &st) {
                     return Ok((st, false));
                 }
             }
@@ -1598,8 +1588,8 @@ impl CloudChaosState {
                 collect_data(&mut self.st.buffers, msgs);
             }
             Frame::Watermark(w) => {
-                self.st.wms[p] = self.st.wms[p].max(w);
-                self.advance_watermark()?;
+                let advanced = self.st.progress.advance_origin(p as u64, w);
+                self.emit_frontier(advanced)?;
             }
             Frame::Barrier(epoch) => {
                 if self.aligning.is_none() {
@@ -1608,14 +1598,14 @@ impl CloudChaosState {
                 self.seen[p] = true;
             }
             Frame::Eos => {
-                self.st.done[p] = true;
-                if self.st.done.iter().all(|d| *d) {
+                let advanced = self.st.progress.finish(p as u64);
+                if self.st.progress.all_done() {
                     let msgs = drive(&mut self.st.ops, StreamMessage::Eos)?;
                     collect_data(&mut self.st.buffers, msgs);
                     self.finished = true;
                     return Ok(());
                 }
-                self.advance_watermark()?;
+                self.emit_frontier(advanced)?;
             }
             Frame::Handoff => {
                 return Err(internal("handoff frame in a chaos run"));
@@ -1624,13 +1614,12 @@ impl CloudChaosState {
         Ok(())
     }
 
-    fn advance_watermark(&mut self) -> Result<()> {
-        if let Some(c) = combined_watermark(&self.st.wms, &self.st.done) {
-            if c > self.st.combined {
-                self.st.combined = c;
-                let msgs = drive(&mut self.st.ops, StreamMessage::Watermark(c))?;
-                collect_data(&mut self.st.buffers, msgs);
-            }
+    /// Drives the tail chain with the new global frontier, if the
+    /// tracker reported a strict advance.
+    fn emit_frontier(&mut self, advanced: Option<EventTime>) -> Result<()> {
+        if let Some(c) = advanced {
+            let msgs = drive(&mut self.st.ops, StreamMessage::Watermark(c))?;
+            collect_data(&mut self.st.buffers, msgs);
         }
         Ok(())
     }
@@ -1641,7 +1630,8 @@ impl CloudChaosState {
         let Some(epoch) = self.aligning else {
             return Ok(false);
         };
-        let aligned = (0..self.seen.len()).all(|p| self.seen[p] || self.st.done[p]);
+        let aligned =
+            (0..self.seen.len()).all(|p| self.seen[p] || self.st.progress.is_done(p as u64));
         if !aligned {
             return Ok(false);
         }
@@ -1650,9 +1640,7 @@ impl CloudChaosState {
             CloudPart {
                 ops: snapshot_chain(&self.st.ops),
                 buffers: self.st.buffers.clone(),
-                wms: self.st.wms.clone(),
-                done: self.st.done.clone(),
-                combined: self.st.combined,
+                progress: self.st.progress.clone(),
                 latency: self.st.latency.clone(),
             },
         );
@@ -1703,7 +1691,7 @@ fn run_cloud_chaos(
     store: Arc<CheckpointStore>,
     abort: Arc<AtomicBool>,
 ) -> Result<(CloudState, bool)> {
-    let n = st.done.len();
+    let n = st.progress.len();
     let mut cc = CloudChaosState {
         st,
         in_schema,
@@ -1756,7 +1744,7 @@ fn run_cloud_chaos(
                 // open (e.g. a link flapped down indefinitely) only
                 // shows up as missing heartbeats.
                 for (p, r) in rel.iter().enumerate() {
-                    if !cc.st.done[p] {
+                    if !cc.st.progress.is_done(p as u64) {
                         r.check_liveness(&format!("pipe{p}/uplink"), Duration::from_secs(10))?;
                     }
                 }
@@ -1787,6 +1775,12 @@ struct PumpState {
     /// This pipeline's stream already ended (its Eos reached the
     /// cloud); later phases spawn nothing for it.
     eos_sent: bool,
+    /// This pipeline's index — the punctuation origin stamped on every
+    /// buffer it emits.
+    origin: u64,
+    /// Pump-local progress over the source's per-buffer punctuation;
+    /// its frontier is what crosses the wire as `Frame::Watermark`.
+    progress: ProgressTracker,
 }
 
 struct PipelinePlan {
@@ -1868,23 +1862,30 @@ fn pump(
                 st.batches += 1;
                 st.stats.batches += 1;
                 st.stats.records_in += recs.len() as u64;
-                let track_ts = matches!(&st.watermark, WatermarkStrategy::BoundedOutOfOrder { .. });
-                let msg = crate::runtime::make_data_message(
+                let (msg, punctuation) = crate::runtime::make_data_message(
                     &st.schema,
                     recs,
                     columnar,
                     st.ts_col,
-                    track_ts,
+                    st.origin,
                     st.batches,
+                    &st.watermark,
+                    watermark_every,
                     &mut st.max_ts,
                 );
                 st.stats.bytes_in += msg.data_bytes() as u64;
                 let msgs = drive(&mut st.ops, msg)?;
                 forward(msgs, &out_schema, wire, tx)?;
-                if let WatermarkStrategy::BoundedOutOfOrder { slack, .. } = &st.watermark {
-                    if st.batches.is_multiple_of(watermark_every) && st.max_ts != EventTime::MIN {
+                // The per-buffer punctuation stamp is the source of
+                // truth; the wire watermark is the pump tracker's
+                // frontier over it. Every sequence feeds the tracker —
+                // unpunctuated buffers close gaps — but only punctuated
+                // ones emit.
+                st.progress.observe(st.origin, st.batches, punctuation);
+                if punctuation.is_some() {
+                    if let Some(w) = st.progress.frontier() {
                         st.stats.watermarks += 1;
-                        let msgs = drive(&mut st.ops, StreamMessage::Watermark(st.max_ts - slack))?;
+                        let msgs = drive(&mut st.ops, StreamMessage::Watermark(w))?;
                         forward(msgs, &out_schema, wire, tx)?;
                     }
                 }

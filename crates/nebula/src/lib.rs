@@ -28,6 +28,14 @@
 //!   watermark propagation, edge pre-aggregation of splittable window
 //!   aggregates, and pause-and-migrate failure re-planning ([`cluster`],
 //!   [`wire`], [`preagg`]).
+//! - **Per-origin punctuated progress tracking** — every buffer is
+//!   stamped with its origin, sequence number and watermark
+//!   punctuation; [`runtime::ProgressTracker`] folds the stamps into a
+//!   gap-aware per-origin frontier (min across live origins, monotone)
+//!   that drives window close and late-record decisions identically in
+//!   every mode — including the work-stealing partitioned executor,
+//!   whose out-of-order task completions are re-serialized in frontier
+//!   order with no post-hoc sort ([`buffer`], [`runtime`]).
 //! - **Chaos-hardened fault tolerance** — seeded fault injection over
 //!   every cluster link (drops, duplicates, reordering, corruption,
 //!   flaps, abrupt crashes), a resilient wire protocol (CRC32 envelopes,
@@ -113,7 +121,7 @@ pub mod prelude {
     pub use crate::preagg::{split_window, SplitWindow, WindowMergeOp, WindowPartialOp};
     pub use crate::query::{compile, LogicalOp, PartitionScheme, Query};
     pub use crate::record::{Record, RecordBuffer, StreamMessage};
-    pub use crate::runtime::{ColumnarMode, EnvConfig, StreamEnvironment};
+    pub use crate::runtime::{ColumnarMode, EnvConfig, ProgressTracker, StreamEnvironment};
     pub use crate::schema::{Field, Schema, SchemaRef};
     pub use crate::sink::{
         merge_partitions, normalize_records, BufferSink, CallbackSink, Collected, CollectingSink,

@@ -23,6 +23,12 @@ pub struct QueryMetrics {
     /// closed every window that could have held them. Each record
     /// counts at most once, however many of its windows were closed.
     pub late_drops: u64,
+    /// Largest observed per-origin frontier lag (µs): how far the
+    /// fastest input's punctuation ran ahead of the progress frontier
+    /// actually applied — bounded lag means a skewed hot key is not
+    /// stalling the clock for everyone else
+    /// (see [`crate::runtime::ProgressTracker`]).
+    pub frontier_lag_max_us: u64,
     /// Wall-clock execution time.
     pub wall: Duration,
     /// Per-buffer processing latency samples (µs from ingest to sink).
@@ -88,6 +94,9 @@ impl QueryMetrics {
         self.watermarks += other.watermarks;
         self.batches += other.batches;
         self.late_drops += other.late_drops;
+        // A high-water mark, not a rate: the merged report keeps the
+        // worst lag any participant observed.
+        self.frontier_lag_max_us = self.frontier_lag_max_us.max(other.frontier_lag_max_us);
         self.wall = self.wall.max(other.wall);
         self.latency.merge(&other.latency);
     }
@@ -241,6 +250,8 @@ mod tests {
             wall: Duration::from_secs(2),
             ..QueryMetrics::default()
         };
+        a.frontier_lag_max_us = 250;
+        b.frontier_lag_max_us = 40;
         b.latency.record(1.0);
         b.latency.record(9.0);
         a.merge(&b);
@@ -251,6 +262,7 @@ mod tests {
         assert_eq!(a.watermarks, 3);
         assert_eq!(a.batches, 5);
         assert_eq!(a.late_drops, 3);
+        assert_eq!(a.frontier_lag_max_us, 250, "max, not sum");
         assert_eq!(a.wall, Duration::from_secs(3), "max, not sum");
         assert_eq!(a.latency.len(), 3);
         assert_eq!(a.latency.percentile(100.0), Some(9.0));

@@ -80,7 +80,7 @@ impl AggFactory {
 /// canonical record encoding — same-start multi-key output must not
 /// depend on hash-map iteration order. The single definition serves
 /// watermark, end-of-stream and partial-flush emission alike.
-fn sort_emission(records: &mut [Record], key_count: usize) {
+pub(crate) fn sort_emission(records: &mut [Record], key_count: usize) {
     records.sort_by_cached_key(|r| {
         let start = r.get(key_count).and_then(Value::as_timestamp).unwrap_or(0);
         (start, record_sort_key(r))

@@ -1,6 +1,6 @@
 //! The execution runtime: registers sources, compiles queries, drives
-//! buffers through operator chains, generates watermarks, and reports
-//! throughput metrics.
+//! buffers through operator chains, tracks per-origin punctuated
+//! progress, and reports throughput metrics.
 //!
 //! Three execution modes:
 //! - [`StreamEnvironment::run`] — synchronous single-threaded loop
@@ -8,12 +8,19 @@
 //! - [`StreamEnvironment::run_threaded`] — pipeline-parallel via a bounded
 //!   crossbeam channel between the source and the operator chain
 //!   (the shape of NebulaStream's worker threads),
-//! - [`StreamEnvironment::run_partitioned`] — data-parallel: records are
+//! - [`StreamEnvironment::run_partitioned`] — data-parallel: buffers are
 //!   hash-partitioned by the plan's grouping key across
-//!   [`EnvConfig::parallelism`] workers, each running its own compiled
-//!   operator chain, with watermarks broadcast to every partition and
-//!   per-worker metrics merged into one report (NebulaStream's
-//!   worker-parallel execution model).
+//!   [`EnvConfig::parallelism`] partitions executed by a work-stealing
+//!   worker pool. Tasks complete out of order; an emission ledger
+//!   releases results in dispatch order once the progress frontier
+//!   passes them, so no end-of-run global sort is needed
+//!   (NebulaStream's task-based worker execution model).
+//!
+//! Progress is *punctuated*: sources stamp every buffer with an
+//! origin/sequence/watermark header ([`crate::buffer::BufferMeta`]) and
+//! a [`ProgressTracker`] folds those stamps into the event-time
+//! frontier that closes windows — there is no global clock besides the
+//! per-origin frontiers.
 
 use crate::buffer::TupleBuffer;
 use crate::error::{NebulaError, Result};
@@ -22,11 +29,13 @@ use crate::metrics::QueryMetrics;
 use crate::ops::{chain_late_drops, GroupKey};
 use crate::query::{compile, PartitionScheme, Query};
 use crate::record::{Record, RecordBuffer, StreamMessage};
-use crate::sink::{merge_partitions, BufferSink, Sink};
+use crate::sink::{BufferSink, Sink};
 use crate::source::{Source, SourceBatch, WatermarkStrategy};
 use crate::value::EventTime;
-use std::collections::HashMap;
-use std::time::Instant;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Runtime tuning knobs.
 #[derive(Debug, Clone)]
@@ -78,6 +87,212 @@ impl Default for EnvConfig {
             parallelism: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
             columnar: ColumnarMode::Auto,
         }
+    }
+}
+
+/// The origin id used by the single-source local execution modes.
+pub(crate) const LOCAL_ORIGIN: u64 = 0;
+
+/// Per-origin state inside a [`ProgressTracker`].
+#[derive(Debug, Clone, Default)]
+struct OriginProgress {
+    /// Highest sequence number of the contiguous processed prefix
+    /// (sequences start at 1; 0 means nothing processed yet).
+    processed: u64,
+    /// Punctuations of buffers observed ahead of the prefix, keyed by
+    /// sequence number, waiting for the gap to close.
+    pending: BTreeMap<u64, Option<EventTime>>,
+    /// Largest punctuation over the contiguous prefix — this origin's
+    /// frontier.
+    watermark: Option<EventTime>,
+    done: bool,
+}
+
+/// Per-origin punctuated progress: the engine-wide event-time clock.
+///
+/// Each source pipeline (an *origin*) stamps every buffer it emits with
+/// a monotonically increasing sequence number and, periodically, a
+/// punctuation watermark (the [`crate::buffer::BufferMeta`] header).
+/// The tracker folds those per-buffer stamps into frontiers:
+///
+/// - **Origin frontier** — the largest punctuation seen over the
+///   *contiguous* processed-sequence prefix of that origin. Buffers
+///   observed out of order park in a pending set until the gap closes,
+///   so reordering can neither advance the clock early nor regress it.
+/// - **Global frontier** — the minimum origin frontier across live
+///   (not-yet-finished) origins, clamped monotone. `None` until every
+///   live origin has reported a punctuation, because an origin that
+///   has promised nothing may still hold arbitrarily old records.
+///
+/// Finishing an origin removes it from the minimum — its silence no
+/// longer holds progress back — which can only *raise* the frontier: a
+/// finished input never moves the clock backwards.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressTracker {
+    origins: BTreeMap<u64, OriginProgress>,
+    frontier: Option<EventTime>,
+    lag_max_us: u64,
+}
+
+impl ProgressTracker {
+    /// An empty tracker; origins register lazily or via
+    /// [`Self::register`].
+    pub fn new() -> Self {
+        ProgressTracker::default()
+    }
+
+    /// A tracker with origins `0..n` pre-registered.
+    pub fn with_origins(n: u64) -> Self {
+        let mut t = ProgressTracker::default();
+        for origin in 0..n {
+            t.register(origin);
+        }
+        t
+    }
+
+    /// Registers an origin so the global minimum waits for it.
+    pub fn register(&mut self, origin: u64) {
+        self.origins.entry(origin).or_default();
+    }
+
+    /// Number of registered origins.
+    pub fn len(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// True iff no origin is registered.
+    pub fn is_empty(&self) -> bool {
+        self.origins.is_empty()
+    }
+
+    /// The global frontier: every record at or before this event time
+    /// has been promised complete by all live origins.
+    pub fn frontier(&self) -> Option<EventTime> {
+        self.frontier
+    }
+
+    /// One origin's own frontier.
+    pub fn origin_frontier(&self, origin: u64) -> Option<EventTime> {
+        self.origins.get(&origin).and_then(|o| o.watermark)
+    }
+
+    /// Whether an origin has finished.
+    pub fn is_done(&self, origin: u64) -> bool {
+        self.origins.get(&origin).is_some_and(|o| o.done)
+    }
+
+    /// Whether every registered origin has finished.
+    pub fn all_done(&self) -> bool {
+        self.origins.values().all(|o| o.done)
+    }
+
+    /// Largest observed gap (µs) between the fastest live origin's
+    /// frontier and the global frontier — how far one skewed input has
+    /// run ahead of the clock.
+    pub fn frontier_lag_us(&self) -> u64 {
+        self.lag_max_us
+    }
+
+    /// Feeds one buffer's punctuation stamp. Out-of-order sequences
+    /// park until the gap closes; duplicates and stale sequences are
+    /// ignored. Returns the new global frontier iff it strictly
+    /// advanced.
+    pub fn observe(
+        &mut self,
+        origin: u64,
+        sequence: u64,
+        punctuation: Option<EventTime>,
+    ) -> Option<EventTime> {
+        {
+            let o = self.origins.entry(origin).or_default();
+            if o.done || sequence <= o.processed || o.pending.contains_key(&sequence) {
+                return None;
+            }
+            o.pending.insert(sequence, punctuation);
+            while let Some(p) = o.pending.remove(&(o.processed + 1)) {
+                o.processed += 1;
+                if let Some(w) = p {
+                    o.watermark = Some(o.watermark.map_or(w, |cur| cur.max(w)));
+                }
+            }
+        }
+        self.advance()
+    }
+
+    /// Advances one origin's frontier directly — for in-order
+    /// transports (e.g. cluster watermark frames) that carry the
+    /// punctuation value without sequence numbers. Regressions clamp.
+    /// Returns the new global frontier iff it strictly advanced.
+    pub fn advance_origin(&mut self, origin: u64, watermark: EventTime) -> Option<EventTime> {
+        {
+            let o = self.origins.entry(origin).or_default();
+            if o.done {
+                return None;
+            }
+            o.watermark = Some(o.watermark.map_or(watermark, |cur| cur.max(watermark)));
+        }
+        self.advance()
+    }
+
+    /// Marks an origin finished, removing it from the global minimum.
+    /// Returns the new global frontier iff dropping the origin strictly
+    /// advanced it (`None` in particular once *no* live origin remains:
+    /// the frontier freezes and end-of-stream carries the rest).
+    pub fn finish(&mut self, origin: u64) -> Option<EventTime> {
+        {
+            let o = self.origins.entry(origin).or_default();
+            o.done = true;
+            o.pending.clear();
+        }
+        if self.all_done() {
+            return None;
+        }
+        self.advance()
+    }
+
+    /// Recomputes the global frontier (min across live origins, clamped
+    /// monotone) and the lag high-water mark.
+    fn advance(&mut self) -> Option<EventTime> {
+        let mut candidate: Option<EventTime> = None;
+        for o in self.origins.values() {
+            if o.done {
+                continue;
+            }
+            match o.watermark {
+                // A live origin with no promise yet blocks the clock.
+                None => {
+                    candidate = None;
+                    break;
+                }
+                Some(w) => candidate = Some(candidate.map_or(w, |c| c.min(w))),
+            }
+        }
+        let advanced = match (candidate, self.frontier) {
+            (Some(c), Some(f)) if c > f => {
+                self.frontier = Some(c);
+                Some(c)
+            }
+            (Some(c), None) => {
+                self.frontier = Some(c);
+                Some(c)
+            }
+            _ => None,
+        };
+        if let Some(f) = self.frontier {
+            let newest = self
+                .origins
+                .values()
+                .filter(|o| !o.done)
+                .filter_map(|o| o.watermark)
+                .max();
+            if let Some(newest) = newest {
+                let lag = newest.saturating_sub(f);
+                if lag > 0 {
+                    self.lag_max_us = self.lag_max_us.max(lag as u64);
+                }
+            }
+        }
+        advanced
     }
 }
 
@@ -209,19 +424,23 @@ impl StreamEnvironment {
         let start = Instant::now();
         let mut max_ts: EventTime = EventTime::MIN;
         let mut idle: u64 = 0;
+        let mut tracker = ProgressTracker::new();
+        tracker.register(LOCAL_ORIGIN);
 
         loop {
             match source.poll(self.config.buffer_size)? {
                 SourceBatch::Data(recs) => {
                     idle = 0;
                     metrics.batches += 1;
-                    let msg = make_data_message(
+                    let (msg, punctuation) = make_data_message(
                         &schema,
                         recs,
                         columnar,
                         ts_col,
-                        matches!(watermark, WatermarkStrategy::BoundedOutOfOrder { .. }),
+                        LOCAL_ORIGIN,
                         metrics.batches,
+                        &watermark,
+                        self.config.watermark_every,
                         &mut max_ts,
                     );
                     metrics.records_in += msg.record_count() as u64;
@@ -229,17 +448,14 @@ impl StreamEnvironment {
                     let t0 = Instant::now();
                     feed(&mut ops, msg, sink, &mut metrics)?;
                     metrics.latency.record(t0.elapsed().as_secs_f64() * 1e6);
-                    if let WatermarkStrategy::BoundedOutOfOrder { slack, .. } = &watermark {
-                        if metrics.batches % self.config.watermark_every == 0
-                            && max_ts != EventTime::MIN
-                        {
+                    // The buffer's punctuation stamp, not a global
+                    // clock, drives window progress: the tracker folds
+                    // it into the frontier delivered to the chain.
+                    tracker.observe(LOCAL_ORIGIN, metrics.batches, punctuation);
+                    if punctuation.is_some() {
+                        if let Some(w) = tracker.frontier() {
                             metrics.watermarks += 1;
-                            feed(
-                                &mut ops,
-                                StreamMessage::Watermark(max_ts - slack),
-                                sink,
-                                &mut metrics,
-                            )?;
+                            feed(&mut ops, StreamMessage::Watermark(w), sink, &mut metrics)?;
                         }
                     }
                 }
@@ -252,9 +468,11 @@ impl StreamEnvironment {
                 SourceBatch::Exhausted => break,
             }
         }
+        tracker.finish(LOCAL_ORIGIN);
         feed(&mut ops, StreamMessage::Eos, sink, &mut metrics)?;
         sink.finish()?;
         metrics.late_drops = chain_late_drops(&ops);
+        metrics.frontier_lag_max_us = tracker.frontier_lag_us();
         metrics.wall = start.elapsed();
         Ok(metrics)
     }
@@ -270,15 +488,22 @@ impl StreamEnvironment {
         } = self.take_source(query.source())?;
         let schema = source.schema();
 
-        let (tx, rx) = crossbeam::channel::bounded::<StreamMessage>(self.config.channel_capacity);
+        let (tx, rx) = crossbeam::channel::bounded::<Task>(self.config.channel_capacity);
         let buffer_size = self.config.buffer_size;
         let watermark_every = self.config.watermark_every;
         let idle_limit = self.config.idle_limit;
 
         let mut metrics = QueryMetrics::default();
         let start = Instant::now();
+        let mut tracker = ProgressTracker::new();
+        tracker.register(LOCAL_ORIGIN);
 
         let result: Result<()> = std::thread::scope(|scope| {
+            // The producer only *stamps* punctuation (riding on the
+            // task, like BufferMeta on a columnar buffer); the
+            // consumer's tracker turns stamps into watermark feeds, so
+            // progress decisions live with the executor, not the
+            // transport.
             let producer = scope.spawn(move || -> Result<()> {
                 let mut max_ts: EventTime = EventTime::MIN;
                 let mut batches: u64 = 0;
@@ -288,26 +513,23 @@ impl StreamEnvironment {
                         SourceBatch::Data(recs) => {
                             idle = 0;
                             batches += 1;
-                            let msg = make_data_message(
+                            let (msg, punctuation) = make_data_message(
                                 &schema,
                                 recs,
                                 columnar,
                                 ts_col,
-                                matches!(watermark, WatermarkStrategy::BoundedOutOfOrder { .. }),
+                                LOCAL_ORIGIN,
                                 batches,
+                                &watermark,
+                                watermark_every,
                                 &mut max_ts,
                             );
-                            tx.send(msg)
-                                .map_err(|_| NebulaError::Eval("consumer hung up".into()))?;
-                            if let WatermarkStrategy::BoundedOutOfOrder { slack, .. } = &watermark {
-                                if batches.is_multiple_of(watermark_every)
-                                    && max_ts != EventTime::MIN
-                                {
-                                    tx.send(StreamMessage::Watermark(max_ts - slack)).map_err(
-                                        |_| NebulaError::Eval("consumer hung up".into()),
-                                    )?;
-                                }
-                            }
+                            tx.send(Task {
+                                msg,
+                                sequence: batches,
+                                punctuation,
+                            })
+                            .map_err(|_| NebulaError::Eval("consumer hung up".into()))?;
                         }
                         SourceBatch::Idle => {
                             idle += 1;
@@ -319,25 +541,38 @@ impl StreamEnvironment {
                         SourceBatch::Exhausted => break,
                     }
                 }
-                tx.send(StreamMessage::Eos)
-                    .map_err(|_| NebulaError::Eval("consumer hung up".into()))?;
+                tx.send(Task {
+                    msg: StreamMessage::Eos,
+                    sequence: 0,
+                    punctuation: None,
+                })
+                .map_err(|_| NebulaError::Eval("consumer hung up".into()))?;
                 Ok(())
             });
 
-            for msg in rx.iter() {
+            for Task {
+                msg,
+                sequence,
+                punctuation,
+            } in rx.iter()
+            {
                 let is_eos = matches!(msg, StreamMessage::Eos);
-                match &msg {
-                    StreamMessage::Data(_) | StreamMessage::Columnar(_) => {
-                        metrics.batches += 1;
-                        metrics.records_in += msg.record_count() as u64;
-                        metrics.bytes_in += msg.data_bytes() as u64;
-                    }
-                    StreamMessage::Watermark(_) => metrics.watermarks += 1,
-                    StreamMessage::Eos => {}
+                if matches!(msg, StreamMessage::Data(_) | StreamMessage::Columnar(_)) {
+                    metrics.batches += 1;
+                    metrics.records_in += msg.record_count() as u64;
+                    metrics.bytes_in += msg.data_bytes() as u64;
                 }
                 feed(&mut ops, msg, sink, &mut metrics)?;
                 if is_eos {
+                    tracker.finish(LOCAL_ORIGIN);
                     break;
+                }
+                tracker.observe(LOCAL_ORIGIN, sequence, punctuation);
+                if punctuation.is_some() {
+                    if let Some(w) = tracker.frontier() {
+                        metrics.watermarks += 1;
+                        feed(&mut ops, StreamMessage::Watermark(w), sink, &mut metrics)?;
+                    }
                 }
             }
             producer
@@ -348,27 +583,36 @@ impl StreamEnvironment {
         result?;
         sink.finish()?;
         metrics.late_drops = chain_late_drops(&ops);
+        metrics.frontier_lag_max_us = tracker.frontier_lag_us();
         metrics.wall = start.elapsed();
         Ok(metrics)
     }
 
     /// Runs a query data-parallel across [`EnvConfig::parallelism`]
-    /// worker threads — NebulaStream's worker-parallel execution model.
+    /// partitions executed by a work-stealing worker pool —
+    /// NebulaStream's task-based worker execution model.
     ///
-    /// The caller thread polls the source and routes each record to a
-    /// worker according to the plan's [`Query::partition_scheme`]:
-    /// hash of the grouping key (keyed windows / CEP), round-robin
-    /// (stateless plans), or everything to worker 0 (keyless stateful
-    /// plans, plugin operators, or keys that don't bind against the
-    /// source schema). Watermarks are broadcast to every partition, so
-    /// each worker's event-time clock advances exactly as in a
-    /// single-worker run. Each worker drives its own compiled operator
-    /// chain behind a bounded channel and collects results locally;
-    /// after end-of-stream the partitions are merged order-normalized
-    /// (canonically sorted, so output is deterministic and independent
-    /// of the parallelism degree) and delivered to `sink` as one buffer.
-    /// Per-worker metrics — including latency histograms — merge into
-    /// the returned report.
+    /// The caller thread polls the source and routes each buffer to a
+    /// partition queue according to the plan's
+    /// [`Query::partition_scheme`]: hash of the grouping key (keyed
+    /// windows / CEP), whole-buffer round-robin (stateless plans), or
+    /// everything to partition 0 (keyless stateful plans, plugin
+    /// operators, or keys that don't bind against the source schema).
+    /// Any idle worker may claim any partition with queued tasks, so
+    /// tasks complete out of order and a skewed hot key no longer
+    /// serializes the pool behind one slow worker.
+    ///
+    /// Progress is punctuated: the router stamps each buffer's
+    /// origin/sequence/watermark, a [`ProgressTracker`] folds the
+    /// stamps into the frontier, and frontier punctuations are queued
+    /// to every partition so each chain's event-time clock advances
+    /// exactly as in a single-worker run. An emission ledger releases
+    /// each dispatch step's outputs to `sink` once all of its owning
+    /// partitions have executed it and every earlier step has been
+    /// released — results stream out in deterministic dispatch order
+    /// *without* the old end-of-run global sort. Per-partition metrics
+    /// — including latency histograms and the frontier-lag high-water
+    /// mark — merge into the returned report.
     pub fn run_partitioned(&mut self, query: &Query, sink: &mut dyn Sink) -> Result<QueryMetrics> {
         let (schema, ts_col) = {
             let src = self
@@ -418,101 +662,97 @@ impl StreamEnvironment {
         let buffer_size = self.config.buffer_size;
         let watermark_every = self.config.watermark_every;
         let idle_limit = self.config.idle_limit;
-        let channel_capacity = self.config.channel_capacity;
+        let channel_capacity = self.config.channel_capacity.max(1);
 
         let start = Instant::now();
-        let mut merged = QueryMetrics::default();
-        let mut parts: Vec<Vec<RecordBuffer>> = Vec::with_capacity(parallelism);
+        let n = parallelism;
+
+        // One slot per partition: a task queue plus the partition's
+        // chain, separately locked so any worker can claim whichever
+        // partition has work.
+        let slots: Vec<PartitionSlot> = chains
+            .into_iter()
+            .map(|ops| PartitionSlot {
+                queue: Mutex::new(VecDeque::new()),
+                depth: AtomicUsize::new(0),
+                exec: Mutex::new(PartitionExec {
+                    ops,
+                    metrics: QueryMetrics::default(),
+                }),
+            })
+            .collect();
+        let key_count = match &route {
+            Route::Key(exprs) => exprs.len(),
+            _ => 0,
+        };
+        let ledger = Mutex::new(EmissionLedger::new(output_schema, key_count));
+        let finished = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let first_err: Mutex<Option<NebulaError>> = Mutex::new(None);
 
         let result: Result<()> = std::thread::scope(|scope| {
-            let mut txs = Vec::with_capacity(parallelism);
-            let mut workers = Vec::with_capacity(parallelism);
-            for mut ops in chains {
-                let (tx, rx) =
-                    crossbeam::channel::bounded::<StreamMessage>(channel_capacity.max(1));
-                txs.push(tx);
-                workers.push(
-                    scope.spawn(move || -> Result<(QueryMetrics, Vec<RecordBuffer>)> {
-                        let mut metrics = QueryMetrics::default();
-                        let mut local = BufferSink::new();
-                        for msg in rx.iter() {
-                            let is_eos = matches!(msg, StreamMessage::Eos);
-                            let is_data =
-                                matches!(msg, StreamMessage::Data(_) | StreamMessage::Columnar(_));
-                            match &msg {
-                                StreamMessage::Data(_) | StreamMessage::Columnar(_) => {
-                                    metrics.batches += 1;
-                                    metrics.records_in += msg.record_count() as u64;
-                                    metrics.bytes_in += msg.data_bytes() as u64;
-                                }
-                                StreamMessage::Watermark(_) => metrics.watermarks += 1,
-                                StreamMessage::Eos => {}
-                            }
-                            let t0 = Instant::now();
-                            feed(&mut ops, msg, &mut local, &mut metrics)?;
-                            // Like `run`, the latency histogram samples
-                            // only data buffers — watermark and Eos
-                            // feeds would skew the profile and make it
-                            // incomparable with single-threaded runs.
-                            if is_data {
-                                metrics.latency.record(t0.elapsed().as_secs_f64() * 1e6);
-                            }
-                            if is_eos {
-                                break;
-                            }
-                        }
-                        metrics.late_drops = chain_late_drops(&ops);
-                        Ok((metrics, local.into_buffers()))
-                    }),
-                );
+            let mut handles = Vec::with_capacity(n);
+            for wid in 0..n {
+                let (slots, ledger) = (&slots, &ledger);
+                let (finished, abort, first_err) = (&finished, &abort, &first_err);
+                handles.push(scope.spawn(move || {
+                    partition_worker(wid, slots, ledger, finished, abort, first_err)
+                }));
             }
 
-            // Route records on the caller thread. A send fails only when
-            // a worker errored and dropped its receiver; the join below
-            // surfaces the worker's own error, which is the useful one.
-            let n = txs.len();
-            let hung = || NebulaError::Eval("partition worker hung up".into());
+            // Queues a task to one partition, bounded: wait while the
+            // target queue is at capacity — workers drain concurrently,
+            // stealing the partition if its last executor is busy.
+            let push_task = |p: usize, step: u64, msg: StreamMessage| {
+                while slots[p].depth.load(Ordering::Acquire) >= channel_capacity {
+                    if abort.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+                slots[p].queue.lock().push_back(PartTask { step, msg });
+                slots[p].depth.fetch_add(1, Ordering::AcqRel);
+            };
+
+            let mut tracker = ProgressTracker::new();
+            tracker.register(LOCAL_ORIGIN);
+
             let route_result: Result<()> = (|| {
                 let mut max_ts: EventTime = EventTime::MIN;
                 let mut batches: u64 = 0;
                 let mut idle: u64 = 0;
                 let mut rr: usize = 0;
                 loop {
+                    if abort.load(Ordering::Acquire) {
+                        break;
+                    }
                     match source.poll(buffer_size)? {
                         SourceBatch::Data(recs) => {
                             idle = 0;
                             batches += 1;
-                            if columnar {
-                                let msg = make_data_message(
-                                    &schema,
-                                    recs,
-                                    true,
-                                    ts_col,
-                                    matches!(
-                                        watermark,
-                                        WatermarkStrategy::BoundedOutOfOrder { .. }
-                                    ),
-                                    batches,
-                                    &mut max_ts,
-                                );
-                                let tb = match msg {
-                                    StreamMessage::Columnar(tb) => tb,
-                                    _ => unreachable!("columnar build requested"),
-                                };
-                                match &route {
-                                    // Whole-buffer transfer: the router
-                                    // stays O(1) per buffer instead of
-                                    // per record, which is where the
-                                    // stateless par4 win comes from.
-                                    Route::Single => txs[0]
-                                        .send(StreamMessage::Columnar(tb))
-                                        .map_err(|_| hung())?,
+                            let (msg, punctuation) = make_data_message(
+                                &schema,
+                                recs,
+                                columnar,
+                                ts_col,
+                                LOCAL_ORIGIN,
+                                batches,
+                                &watermark,
+                                watermark_every,
+                                &mut max_ts,
+                            );
+                            // Shard the buffer to its owning partitions.
+                            // Whole-buffer transfer wherever possible:
+                            // the router stays O(1) per buffer, and a
+                            // single-owner step preserves source order
+                            // through the ledger untouched.
+                            let shards: Vec<(usize, StreamMessage)> = match msg {
+                                StreamMessage::Columnar(tb) => match &route {
+                                    Route::Single => vec![(0, StreamMessage::Columnar(tb))],
                                     Route::RoundRobin => {
                                         let w = rr % n;
                                         rr += 1;
-                                        txs[w]
-                                            .send(StreamMessage::Columnar(tb))
-                                            .map_err(|_| hung())?;
+                                        vec![(w, StreamMessage::Columnar(tb))]
                                     }
                                     Route::Key(exprs) => {
                                         let assign = columnar_partition_of(exprs, &tb, n);
@@ -520,80 +760,87 @@ impl StreamEnvironment {
                                         for (row, &w) in assign.iter().enumerate() {
                                             rows[w].push(row);
                                         }
-                                        for (w, rows) in rows.iter().enumerate() {
-                                            if rows.is_empty() {
-                                                continue;
-                                            }
-                                            let shard = if rows.len() == tb.len() {
-                                                tb.clone()
-                                            } else {
-                                                tb.gather(rows)
-                                            };
-                                            txs[w]
-                                                .send(StreamMessage::Columnar(shard))
-                                                .map_err(|_| hung())?;
-                                        }
+                                        rows.iter()
+                                            .enumerate()
+                                            .filter(|(_, rows)| !rows.is_empty())
+                                            .map(|(w, rows)| {
+                                                let shard = if rows.len() == tb.len() {
+                                                    tb.clone()
+                                                } else {
+                                                    tb.gather(rows)
+                                                };
+                                                (w, StreamMessage::Columnar(shard))
+                                            })
+                                            .collect()
                                     }
-                                }
-                            } else {
-                                if let (Some(col), WatermarkStrategy::BoundedOutOfOrder { .. }) =
-                                    (ts_col, &watermark)
-                                {
-                                    for rec in &recs {
-                                        if let Some(t) =
-                                            rec.get(col).and_then(crate::value::Value::as_timestamp)
-                                        {
-                                            max_ts = max_ts.max(t);
-                                        }
+                                },
+                                StreamMessage::Data(buf) => match &route {
+                                    Route::Single => vec![(0, StreamMessage::Data(buf))],
+                                    Route::RoundRobin => {
+                                        let w = rr % n;
+                                        rr += 1;
+                                        vec![(w, StreamMessage::Data(buf))]
                                     }
-                                }
-                                let mut shards: Vec<Vec<Record>> = vec![Vec::new(); n];
-                                for rec in recs {
-                                    let w = match &route {
-                                        Route::Single => 0,
-                                        Route::RoundRobin => {
-                                            let w = rr % n;
-                                            rr += 1;
-                                            w
-                                        }
-                                        Route::Key(exprs) => {
-                                            match GroupKey::evaluate(exprs, &rec) {
+                                    Route::Key(exprs) => {
+                                        let mut shard_recs: Vec<Vec<Record>> = vec![Vec::new(); n];
+                                        for rec in buf.into_records() {
+                                            let w = match GroupKey::evaluate(exprs, &rec) {
                                                 Ok((key, _)) => {
                                                     (fnv1a(key.bytes()) % n as u64) as usize
                                                 }
                                                 // A record whose key fails to
                                                 // evaluate has no group; route it
-                                                // to worker 0. If it survives the
-                                                // plan's filters the stateful
+                                                // to partition 0. If it survives
+                                                // the plan's filters the stateful
                                                 // operator raises the same error
                                                 // `run` would; if it is filtered
                                                 // out, placement never mattered.
                                                 Err(_) => 0,
-                                            }
+                                            };
+                                            shard_recs[w].push(rec);
                                         }
-                                    };
-                                    shards[w].push(rec);
+                                        shard_recs
+                                            .into_iter()
+                                            .enumerate()
+                                            .filter(|(_, recs)| !recs.is_empty())
+                                            .map(|(w, recs)| {
+                                                (
+                                                    w,
+                                                    StreamMessage::Data(RecordBuffer::new(
+                                                        schema.clone(),
+                                                        recs,
+                                                    )),
+                                                )
+                                            })
+                                            .collect()
+                                    }
+                                },
+                                _ => unreachable!("make_data_message returns data"),
+                            };
+                            if !shards.is_empty() {
+                                let step = ledger.lock().open(shards.len(), None);
+                                for (w, m) in shards {
+                                    push_task(w, step, m);
                                 }
-                                for (w, shard) in shards.into_iter().enumerate() {
-                                    if !shard.is_empty() {
-                                        txs[w]
-                                            .send(StreamMessage::Data(RecordBuffer::new(
-                                                schema.clone(),
-                                                shard,
-                                            )))
-                                            .map_err(|_| hung())?;
+                            }
+                            // Punctuation rides the buffer stamp; the
+                            // tracker turns it into a frontier step
+                            // owned by every partition, so each chain's
+                            // clock advances exactly as in `run`.
+                            tracker.observe(LOCAL_ORIGIN, batches, punctuation);
+                            if punctuation.is_some() {
+                                if let Some(w) = tracker.frontier() {
+                                    let step = ledger.lock().open(n, Some(w));
+                                    for p in 0..n {
+                                        push_task(p, step, StreamMessage::Watermark(w));
                                     }
                                 }
                             }
-                            if let WatermarkStrategy::BoundedOutOfOrder { slack, .. } = &watermark {
-                                if batches.is_multiple_of(watermark_every)
-                                    && max_ts != EventTime::MIN
-                                {
-                                    for tx in &txs {
-                                        tx.send(StreamMessage::Watermark(max_ts - slack))
-                                            .map_err(|_| hung())?;
-                                    }
-                                }
+                            // Stream out whatever the frontier has
+                            // already released.
+                            let released = { ledger.lock().take_released() };
+                            for b in released {
+                                sink.consume(&b)?;
                             }
                         }
                         SourceBatch::Idle => {
@@ -606,47 +853,50 @@ impl StreamEnvironment {
                         SourceBatch::Exhausted => break,
                     }
                 }
-                for tx in &txs {
-                    tx.send(StreamMessage::Eos).map_err(|_| hung())?;
+                if !abort.load(Ordering::Acquire) {
+                    let step = ledger.lock().open(n, None);
+                    for p in 0..n {
+                        push_task(p, step, StreamMessage::Eos);
+                    }
                 }
+                tracker.finish(LOCAL_ORIGIN);
                 Ok(())
             })();
 
-            // Disconnect channels so no worker can block on a dead
-            // producer, then join them all.
-            drop(txs);
-            let mut worker_err: Option<NebulaError> = None;
-            for worker in workers {
-                match worker.join() {
-                    Err(_) => {
-                        if worker_err.is_none() {
-                            worker_err =
-                                Some(NebulaError::Eval("partition worker panicked".into()));
-                        }
-                    }
-                    Ok(Err(e)) => {
-                        if worker_err.is_none() {
-                            worker_err = Some(e);
-                        }
-                    }
-                    Ok(Ok((m, buffers))) => {
-                        merged.merge(&m);
-                        parts.push(buffers);
-                    }
+            if route_result.is_err() {
+                // Unblock the pool: workers exit on the abort flag.
+                abort.store(true, Ordering::Release);
+            }
+            let mut panicked = false;
+            for handle in handles {
+                if handle.join().is_err() {
+                    panicked = true;
                 }
             }
-            match worker_err {
+            // A worker's own error is the useful one; a routing error
+            // matters only if no worker failed first.
+            match first_err.lock().take() {
                 Some(e) => Err(e),
+                None if panicked => Err(NebulaError::Eval("partition worker panicked".into())),
                 None => route_result,
             }
         });
         result?;
 
-        let merged_buf = merge_partitions(output_schema, parts);
-        if !merged_buf.is_empty() {
-            sink.consume(&merged_buf)?;
+        // Every step completed: drain the ledger's remainder in
+        // dispatch order — no post-hoc global sort.
+        let mut ledger = ledger.into_inner();
+        for b in ledger.take_released() {
+            sink.consume(&b)?;
         }
+        debug_assert!(ledger.steps.is_empty(), "all steps released");
         sink.finish()?;
+
+        let mut merged = QueryMetrics::default();
+        for slot in slots {
+            merged.merge(&slot.exec.into_inner().metrics);
+        }
+        merged.frontier_lag_max_us = merged.frontier_lag_max_us.max(ledger.lag_max_us);
         merged.wall = start.elapsed();
         Ok(merged)
     }
@@ -656,10 +906,282 @@ impl StreamEnvironment {
 enum Route {
     /// Hash-partition by these key expressions over source records.
     Key(Vec<BoundExpr>),
-    /// Distribute records evenly (stateless plans).
+    /// Distribute buffers evenly (stateless plans).
     RoundRobin,
     /// Everything to worker 0 (stateful keyless / opaque plans).
     Single,
+}
+
+/// One punctuated transport unit between a source loop and an
+/// executor: the payload plus the origin-relative sequence and
+/// punctuation stamps that row messages cannot carry inline (columnar
+/// buffers also carry them in their [`crate::buffer::BufferMeta`]).
+struct Task {
+    msg: StreamMessage,
+    sequence: u64,
+    punctuation: Option<EventTime>,
+}
+
+/// A unit of work queued to one partition of the work-stealing pool:
+/// the payload plus the emission-ledger step that orders its output.
+struct PartTask {
+    step: u64,
+    msg: StreamMessage,
+}
+
+/// A partition's operator chain and metrics, owned by whichever worker
+/// currently executes the partition.
+struct PartitionExec {
+    ops: OperatorChain,
+    metrics: QueryMetrics,
+}
+
+/// One partition of the work-stealing pool. The queue and the chain
+/// are separately locked: the router pushes to the queue while a
+/// worker executes the chain, but a partition's tasks always run under
+/// the `exec` lock — in queue order, one executor at a time — which
+/// keeps per-key state and watermark application sequential even
+/// though *which* worker runs the partition changes from task to task.
+struct PartitionSlot {
+    queue: Mutex<VecDeque<PartTask>>,
+    /// Queue-depth mirror readable without the lock (router
+    /// backpressure and fast skip during work stealing).
+    depth: AtomicUsize,
+    exec: Mutex<PartitionExec>,
+}
+
+/// Orders out-of-order task completions back into a deterministic
+/// emission stream — the replacement for the old end-of-run global
+/// sort.
+///
+/// The router assigns every dispatched unit of work a global *step*
+/// index: a data buffer is one step even when sharded across several
+/// partitions, and a broadcast punctuation is one step owned by all of
+/// them. A step's outputs are released to the sink only when every
+/// owner has completed it *and* all earlier steps have been released,
+/// so the sink observes results in dispatch order no matter how the
+/// pool interleaved execution. Multi-owner steps (sharded keyed
+/// buffers; punctuations closing windows on several partitions) merge
+/// their outputs in window emission order — each owner's rows arrive
+/// already emission-sorted over a disjoint key subset, so re-sorting
+/// the union with the same comparator reconstructs exactly the
+/// sequence a single-partition run emits for that step. Single-owner
+/// steps pass through untouched, preserving source order for
+/// stateless plans. Either way the released stream is identical
+/// across parallelism degrees — and identical to `run`'s.
+struct EmissionLedger {
+    schema: crate::schema::SchemaRef,
+    /// Leading key-column count of keyed-window output rows — the
+    /// emission comparator reads the window-start timestamp right
+    /// after them (0 for unkeyed plans).
+    key_count: usize,
+    next_step: u64,
+    next_release: u64,
+    steps: BTreeMap<u64, LedgerStep>,
+    released: Vec<RecordBuffer>,
+    /// Punctuation value of the newest fully-released punctuation step.
+    released_wm: Option<EventTime>,
+    /// Max observed distance (µs) between a newly dispatched
+    /// punctuation and the newest released one — how far execution
+    /// trails dispatch under skew.
+    lag_max_us: u64,
+}
+
+struct LedgerStep {
+    owners_remaining: usize,
+    multi_owner: bool,
+    outputs: Vec<RecordBuffer>,
+    punctuation: Option<EventTime>,
+}
+
+impl EmissionLedger {
+    fn new(schema: crate::schema::SchemaRef, key_count: usize) -> Self {
+        EmissionLedger {
+            schema,
+            key_count,
+            next_step: 0,
+            next_release: 0,
+            steps: BTreeMap::new(),
+            released: Vec::new(),
+            released_wm: None,
+            lag_max_us: 0,
+        }
+    }
+
+    /// Opens the next step with `owners` pending completions.
+    fn open(&mut self, owners: usize, punctuation: Option<EventTime>) -> u64 {
+        debug_assert!(owners > 0, "a step needs at least one owner");
+        let step = self.next_step;
+        self.next_step += 1;
+        if let (Some(w), Some(r)) = (punctuation, self.released_wm) {
+            let lag = w.saturating_sub(r);
+            if lag > 0 {
+                self.lag_max_us = self.lag_max_us.max(lag as u64);
+            }
+        }
+        self.steps.insert(
+            step,
+            LedgerStep {
+                owners_remaining: owners,
+                multi_owner: owners > 1,
+                outputs: Vec::new(),
+                punctuation,
+            },
+        );
+        step
+    }
+
+    /// Banks one owner's completion with its outputs, then releases
+    /// every fully-completed step at the front of the dispatch order.
+    fn complete(&mut self, step: u64, outputs: Vec<RecordBuffer>) {
+        if let Some(s) = self.steps.get_mut(&step) {
+            s.outputs.extend(outputs);
+            s.owners_remaining = s.owners_remaining.saturating_sub(1);
+        }
+        while self
+            .steps
+            .get(&self.next_release)
+            .is_some_and(|s| s.owners_remaining == 0)
+        {
+            let s = self.steps.remove(&self.next_release).expect("checked");
+            self.next_release += 1;
+            if let Some(w) = s.punctuation {
+                self.released_wm = Some(self.released_wm.map_or(w, |r| r.max(w)));
+            }
+            if s.multi_owner {
+                let mut recs: Vec<Record> = Vec::new();
+                for b in &s.outputs {
+                    recs.extend_from_slice(b.records());
+                }
+                if !recs.is_empty() {
+                    // Re-establish the window emission order over the
+                    // union of the owners' outputs: bounded, per-step —
+                    // not the old whole-run sort.
+                    crate::ops::sort_emission(&mut recs, self.key_count);
+                    self.released
+                        .push(RecordBuffer::new(self.schema.clone(), recs));
+                }
+            } else {
+                self.released
+                    .extend(s.outputs.into_iter().filter(|b| !b.is_empty()));
+            }
+        }
+    }
+
+    /// Takes everything released so far, in dispatch order.
+    fn take_released(&mut self) -> Vec<RecordBuffer> {
+        std::mem::take(&mut self.released)
+    }
+}
+
+/// A pool worker: repeatedly claims any partition that has queued
+/// tasks and no current executor, then drains its queue. Partitions
+/// are scanned starting at the worker's own index, so each worker
+/// prefers "its" partition and steals only when otherwise idle.
+fn partition_worker(
+    wid: usize,
+    slots: &[PartitionSlot],
+    ledger: &Mutex<EmissionLedger>,
+    finished: &AtomicUsize,
+    abort: &AtomicBool,
+    first_err: &Mutex<Option<NebulaError>>,
+) {
+    let n = slots.len();
+    let mut spins: u32 = 0;
+    loop {
+        if abort.load(Ordering::Acquire) || finished.load(Ordering::Acquire) == n {
+            return;
+        }
+        let mut progressed = false;
+        for k in 0..n {
+            let p = (wid + k) % n;
+            let slot = &slots[p];
+            if slot.depth.load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            let Some(mut exec) = slot.exec.try_lock() else {
+                // Another worker owns this partition right now; its
+                // queue is their problem. Steal elsewhere.
+                continue;
+            };
+            loop {
+                let task = { slot.queue.lock().pop_front() };
+                let Some(task) = task else { break };
+                slot.depth.fetch_sub(1, Ordering::AcqRel);
+                progressed = true;
+                match run_partition_task(&mut exec, task, ledger) {
+                    Ok(was_eos) => {
+                        if was_eos {
+                            finished.fetch_add(1, Ordering::AcqRel);
+                        }
+                    }
+                    Err(e) => {
+                        {
+                            let mut first = first_err.lock();
+                            if first.is_none() {
+                                *first = Some(e);
+                            }
+                        }
+                        abort.store(true, Ordering::Release);
+                        return;
+                    }
+                }
+                if abort.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+        if progressed {
+            spins = 0;
+        } else {
+            // Idle: yield briefly, then back off to a short sleep so an
+            // empty pool doesn't burn the core the router needs.
+            spins += 1;
+            if spins < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+}
+
+/// Executes one task against a partition's chain, banking the outputs
+/// in the emission ledger. Returns `true` when the task was this
+/// partition's end-of-stream.
+fn run_partition_task(
+    exec: &mut PartitionExec,
+    task: PartTask,
+    ledger: &Mutex<EmissionLedger>,
+) -> Result<bool> {
+    let PartTask { step, msg } = task;
+    let is_eos = matches!(msg, StreamMessage::Eos);
+    let is_data = matches!(msg, StreamMessage::Data(_) | StreamMessage::Columnar(_));
+    match &msg {
+        StreamMessage::Data(_) | StreamMessage::Columnar(_) => {
+            exec.metrics.batches += 1;
+            exec.metrics.records_in += msg.record_count() as u64;
+            exec.metrics.bytes_in += msg.data_bytes() as u64;
+        }
+        StreamMessage::Watermark(_) => exec.metrics.watermarks += 1,
+        StreamMessage::Eos => {}
+    }
+    let mut local = BufferSink::new();
+    let t0 = Instant::now();
+    feed(&mut exec.ops, msg, &mut local, &mut exec.metrics)?;
+    // Like `run`, the latency histogram samples only data buffers —
+    // watermark and Eos feeds would skew the profile and make it
+    // incomparable with single-threaded runs.
+    if is_data {
+        exec.metrics
+            .latency
+            .record(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    if is_eos {
+        exec.metrics.late_drops = chain_late_drops(&exec.ops);
+    }
+    ledger.lock().complete(step, local.into_buffers());
+    Ok(is_eos)
 }
 
 /// FNV-1a over the canonical key bytes: deterministic across runs and
@@ -702,23 +1224,34 @@ pub(crate) fn chain_wants_columnar(mode: ColumnarMode, ops: &[Box<dyn Operator>]
 }
 
 /// Converts one polled source batch into the runtime's data message —
-/// columnar when the batched path is on — updating the event-time
-/// clock used for watermark generation.
+/// columnar when the batched path is on — updating the origin's
+/// event-time clock and stamping the buffer's punctuation header.
+///
+/// Returns the message plus the punctuation generated for this batch:
+/// every `watermark_every`-th sequence under
+/// [`WatermarkStrategy::BoundedOutOfOrder`] promises `max_ts - slack`.
+/// Columnar buffers carry origin/sequence/punctuation inline in their
+/// [`crate::buffer::BufferMeta`] (the NebulaStream TupleBuffer
+/// header); for row buffers the stamps ride the surrounding transport.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn make_data_message(
     schema: &crate::schema::SchemaRef,
     recs: Vec<Record>,
     columnar: bool,
     ts_col: Option<usize>,
-    track_ts: bool,
+    origin: u64,
     sequence: u64,
+    watermark: &WatermarkStrategy,
+    watermark_every: u64,
     max_ts: &mut EventTime,
-) -> StreamMessage {
-    if columnar {
+) -> (StreamMessage, Option<EventTime>) {
+    let track_ts = matches!(watermark, WatermarkStrategy::BoundedOutOfOrder { .. });
+    let msg = if columnar {
         let mut tb = TupleBuffer::from_records(
             schema.clone(),
             &recs,
             crate::buffer::BufferMeta {
-                origin: 0,
+                origin,
                 sequence,
                 ..crate::buffer::BufferMeta::default()
             },
@@ -742,7 +1275,23 @@ pub(crate) fn make_data_message(
             }
         }
         StreamMessage::Data(buf)
-    }
+    };
+    let punctuation = match watermark {
+        WatermarkStrategy::BoundedOutOfOrder { slack, .. }
+            if sequence.is_multiple_of(watermark_every) && *max_ts != EventTime::MIN =>
+        {
+            Some(*max_ts - *slack)
+        }
+        _ => None,
+    };
+    let msg = match msg {
+        StreamMessage::Columnar(mut tb) => {
+            tb.meta_mut().watermark = punctuation;
+            StreamMessage::Columnar(tb)
+        }
+        other => other,
+    };
+    (msg, punctuation)
 }
 
 /// Assigns each row of a columnar buffer to a partition by hashing its
@@ -1055,7 +1604,10 @@ mod tests {
         (got.records(), m)
     }
 
-    fn run_sync_normalized(query: &Query, watermark: WatermarkStrategy) -> Vec<Record> {
+    /// `run`'s output in its native emission order: the partitioned
+    /// executor's ledger must reproduce it exactly — no normalization
+    /// on either side.
+    fn run_sync_raw(query: &Query, watermark: WatermarkStrategy) -> Vec<Record> {
         let mut env = StreamEnvironment::with_config(EnvConfig {
             buffer_size: 16,
             watermark_every: 2,
@@ -1068,9 +1620,7 @@ mod tests {
         );
         let (mut sink, got) = CollectingSink::new();
         env.run(query, &mut sink).unwrap();
-        let mut recs = got.records();
-        crate::sink::normalize_records(&mut recs);
-        recs
+        got.records()
     }
 
     #[test]
@@ -1078,7 +1628,7 @@ mod tests {
         let q = Query::from("trains")
             .filter(col("speed").ge(lit(25.0)))
             .map_extend(vec![("kmh", col("speed").mul(lit(3.6)))]);
-        let expect = run_sync_normalized(&q, WatermarkStrategy::None);
+        let expect = run_sync_raw(&q, WatermarkStrategy::None);
         for p in [1, 2, 4] {
             let (got, m) = run_partitioned_with(&q, p, WatermarkStrategy::None);
             assert_eq!(got, expect, "parallelism {p}");
@@ -1103,7 +1653,7 @@ mod tests {
                 WindowAgg::new("avg_speed", AggSpec::Avg(col("speed"))),
             ],
         );
-        let expect = run_sync_normalized(&q, wm());
+        let expect = run_sync_raw(&q, wm());
         assert_eq!(expect.len(), 15, "300 s / 60 s windows x 3 keys");
         for p in [1, 2, 4] {
             let (got, m) = run_partitioned_with(&q, p, wm());
@@ -1124,7 +1674,7 @@ mod tests {
             },
             vec![WindowAgg::new("n", AggSpec::Count)],
         );
-        let expect = run_sync_normalized(&q, WatermarkStrategy::None);
+        let expect = run_sync_raw(&q, WatermarkStrategy::None);
         assert_eq!(expect.len(), 5);
         let (got, m) = run_partitioned_with(&q, 4, WatermarkStrategy::None);
         assert_eq!(got, expect);
@@ -1295,5 +1845,88 @@ mod tests {
         assert!(plan.contains("Source[trains]"));
         assert!(plan.contains("filter"));
         assert!(plan.contains("map"));
+    }
+
+    // -- ProgressTracker ---------------------------------------------------
+
+    #[test]
+    fn tracker_frontier_is_min_across_origins() {
+        let mut t = ProgressTracker::with_origins(2);
+        assert_eq!(
+            t.observe(0, 1, Some(100)),
+            None,
+            "origin 1 silent: clock blocked"
+        );
+        assert_eq!(t.frontier(), None);
+        assert_eq!(t.observe(1, 1, Some(40)), Some(40), "min of 100 and 40");
+        assert_eq!(t.observe(1, 2, Some(70)), Some(70));
+        assert_eq!(t.observe(1, 3, Some(90)), Some(90), "still capped by 100");
+        assert_eq!(
+            t.observe(1, 4, Some(130)),
+            Some(100),
+            "origin 0 now slowest"
+        );
+        assert_eq!(t.frontier(), Some(100));
+    }
+
+    #[test]
+    fn tracker_parks_sequence_gaps() {
+        let mut t = ProgressTracker::with_origins(1);
+        // Sequence 2 arrives before 1: its punctuation must not count
+        // yet — a reordered buffer cannot advance the clock past data
+        // still in flight.
+        assert_eq!(t.observe(0, 2, Some(200)), None);
+        assert_eq!(t.frontier(), None);
+        // The gap closes; both parked punctuations apply at once.
+        assert_eq!(t.observe(0, 1, Some(100)), Some(200));
+        // Duplicates and stale sequences are ignored.
+        assert_eq!(t.observe(0, 1, Some(999)), None);
+        assert_eq!(t.frontier(), Some(200));
+    }
+
+    #[test]
+    fn tracker_finish_removes_origin_from_min() {
+        let mut t = ProgressTracker::with_origins(2);
+        t.observe(0, 1, Some(50));
+        t.observe(1, 1, Some(300));
+        assert_eq!(t.frontier(), Some(50));
+        // Dropping the slow origin can only raise the frontier.
+        assert_eq!(t.finish(0), Some(300));
+        assert!(t.is_done(0));
+        assert!(!t.all_done());
+        // The last origin finishing freezes the clock: end-of-stream
+        // carries the rest.
+        assert_eq!(t.finish(1), None);
+        assert!(t.all_done());
+        assert_eq!(t.frontier(), Some(300));
+    }
+
+    #[test]
+    fn tracker_frontier_never_regresses() {
+        let mut t = ProgressTracker::new();
+        t.advance_origin(0, 500);
+        assert_eq!(t.frontier(), Some(500));
+        // A regressing report clamps; the frontier holds.
+        assert_eq!(t.advance_origin(0, 100), None);
+        assert_eq!(t.frontier(), Some(500));
+        // A late-registered origin with no report blocks further
+        // advances but cannot pull the frontier back.
+        t.register(1);
+        assert_eq!(t.advance_origin(0, 900), None);
+        assert_eq!(t.frontier(), Some(500));
+        assert_eq!(t.advance_origin(1, 600), Some(600));
+    }
+
+    #[test]
+    fn tracker_tracks_frontier_lag() {
+        let mut t = ProgressTracker::with_origins(2);
+        t.observe(0, 1, Some(1_000));
+        t.observe(1, 1, Some(9_000));
+        // Frontier 1000, fastest origin 9000: lag 8000 µs.
+        assert_eq!(t.frontier(), Some(1_000));
+        assert_eq!(t.frontier_lag_us(), 8_000);
+        t.observe(0, 2, Some(9_000));
+        // Catching up does not erase the high-water mark.
+        assert_eq!(t.frontier_lag_us(), 8_000);
     }
 }

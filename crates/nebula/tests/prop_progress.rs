@@ -1,0 +1,212 @@
+//! Property suite for the per-origin punctuated progress model
+//! ([`ProgressTracker`]): under random origin counts, sequence gaps,
+//! duplicated deliveries and arbitrary cross-origin interleavings, the
+//! global frontier must stay monotone, never outrun what any live
+//! origin has contiguously promised, and — once every buffer has
+//! arrived — agree exactly with an in-order single-pass reference.
+//! The tracker is the engine's only clock: a violation here silently
+//! closes windows over data still in flight in *every* execution mode.
+
+use nebula::prelude::*;
+use proptest::prelude::*;
+
+/// One origin's punctuated feed: the per-sequence watermark stamps a
+/// source would emit (`None` = an unpunctuated buffer).
+#[derive(Debug, Clone)]
+struct OriginFeed {
+    punctuation: Vec<Option<EventTime>>,
+}
+
+/// Roughly one buffer in four goes unpunctuated.
+fn origin_feed(max_len: usize) -> impl Strategy<Value = OriginFeed> {
+    proptest::collection::vec(
+        (0i64..500, 0u32..4).prop_map(|(w, tag)| (tag > 0).then_some(w * MICROS_PER_SEC)),
+        1..=max_len,
+    )
+    .prop_map(|punctuation| OriginFeed { punctuation })
+}
+
+/// What the frontier must converge to once all feeds are fully
+/// delivered: min over origins of each origin's max punctuation
+/// (`None` if any origin never punctuates).
+fn reference_frontier(feeds: &[OriginFeed]) -> Option<EventTime> {
+    feeds
+        .iter()
+        .map(|f| f.punctuation.iter().flatten().copied().max())
+        .reduce(|a, b| match (a, b) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            _ => None,
+        })
+        .flatten()
+}
+
+/// Seeded Fisher–Yates over an index schedule.
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut rng = XorShift::new(seed | 1);
+    for i in (1..items.len()).rev() {
+        let j = rng.next_below(i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// Replays every (origin, sequence) pair in `order`, asserting frontier
+/// monotonicity at each step, and returns the final frontier.
+fn replay(
+    feeds: &[OriginFeed],
+    order: &[(usize, usize)],
+    duplicate_every: usize,
+) -> std::result::Result<Option<EventTime>, String> {
+    let mut t = ProgressTracker::with_origins(feeds.len() as u64);
+    let mut last = None;
+    for (i, &(origin, idx)) in order.iter().enumerate() {
+        let p = feeds[origin].punctuation[idx];
+        // Sequences are 1-based: the tracker drains from processed+1.
+        t.observe(origin as u64, idx as u64 + 1, p);
+        if duplicate_every > 0 && i % duplicate_every == 0 {
+            // Redelivery of the same sequence must be a no-op.
+            prop_assert_eq!(t.observe(origin as u64, idx as u64 + 1, p), None);
+        }
+        let f = t.frontier();
+        prop_assert!(
+            f >= last,
+            "frontier regressed: {:?} after {:?} at step {}",
+            f,
+            last,
+            i
+        );
+        // No intermediate frontier may exceed the final converged
+        // value: punctuation for parked (gapped) sequences must not
+        // leak into the clock early.
+        if let (Some(f), Some(bound)) = (f, reference_frontier(feeds)) {
+            prop_assert!(f <= bound, "frontier {} beyond final bound {}", f, bound);
+        }
+        last = f;
+    }
+    Ok(t.frontier())
+}
+
+proptest! {
+    // Any delivery interleaving — per-origin reorderings interleaved
+    // arbitrarily across origins, with duplicated deliveries — ends at
+    // exactly the in-order single-pass reference frontier, and the
+    // frontier is monotone throughout.
+    #[test]
+    fn frontier_converges_and_is_monotone(
+        feeds in proptest::collection::vec(origin_feed(12), 1..5),
+        seed in 0u64..u64::MAX,
+        duplicate_every in 0usize..4,
+    ) {
+        let mut order: Vec<(usize, usize)> = feeds
+            .iter()
+            .enumerate()
+            .flat_map(|(o, f)| (0..f.punctuation.len()).map(move |i| (o, i)))
+            .collect();
+        shuffle(&mut order, seed);
+        let final_frontier = replay(&feeds, &order, duplicate_every)?;
+        prop_assert_eq!(final_frontier, reference_frontier(&feeds));
+    }
+
+    // A sequence gap freezes the clock: however loud later sequences
+    // punctuate, the frontier holds until the missing buffer lands.
+    #[test]
+    fn gap_holds_the_frontier(
+        pre in 1usize..5,
+        gap_len in 1usize..5,
+        loud in 1_000i64..100_000,
+    ) {
+        let mut t = ProgressTracker::with_origins(1);
+        for s in 1..=pre {
+            t.observe(0, s as u64, Some(s as i64));
+        }
+        prop_assert_eq!(t.frontier(), Some(pre as i64));
+        // Deliver sequences pre+2 .. pre+1+gap_len (skipping pre+1),
+        // each punctuating far ahead.
+        for k in 0..gap_len {
+            t.observe(0, (pre + 2 + k) as u64, Some(loud));
+            prop_assert_eq!(t.frontier(), Some(pre as i64), "gap must hold the clock");
+        }
+        // The straggler closes the gap: everything parked applies.
+        t.observe(0, pre as u64 + 1, None);
+        prop_assert_eq!(t.frontier(), Some(loud));
+    }
+
+    // With a single origin fed in order, the tracker is exactly the
+    // old scalar watermark clock: frontier = running max punctuation.
+    #[test]
+    fn single_origin_in_order_matches_scalar_clock(
+        feed in origin_feed(24),
+    ) {
+        let mut t = ProgressTracker::with_origins(1);
+        let mut scalar: Option<EventTime> = None;
+        for (i, p) in feed.punctuation.iter().enumerate() {
+            t.observe(0, i as u64 + 1, *p);
+            if let Some(w) = p {
+                scalar = Some(scalar.map_or(*w, |s: i64| s.max(*w)));
+            }
+            prop_assert_eq!(t.frontier(), scalar);
+        }
+    }
+
+    // Finishing origins only ever raises the frontier, and finishing
+    // the last live origin freezes it (end-of-stream carries the
+    // rest) — the idle-input regression the cluster fan-in fixed.
+    #[test]
+    fn finish_is_monotone_in_any_order(
+        feeds in proptest::collection::vec(origin_feed(8), 2..5),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut t = ProgressTracker::with_origins(feeds.len() as u64);
+        for (o, f) in feeds.iter().enumerate() {
+            for (i, p) in f.punctuation.iter().enumerate() {
+                t.observe(o as u64, i as u64 + 1, *p);
+            }
+        }
+        let mut finish_order: Vec<usize> = (0..feeds.len()).collect();
+        shuffle(&mut finish_order, seed);
+        let mut last = t.frontier();
+        for (k, &o) in finish_order.iter().enumerate() {
+            let advanced = t.finish(o as u64);
+            let f = t.frontier();
+            prop_assert!(f >= last, "finish({}) regressed {:?} -> {:?}", o, last, f);
+            if k + 1 == finish_order.len() {
+                prop_assert_eq!(advanced, None, "last finish freezes the clock");
+                prop_assert_eq!(f, last, "no live origin may move the frontier");
+            } else if let Some(a) = advanced {
+                prop_assert_eq!(Some(a), f);
+                prop_assert!(Some(a) > last, "advance must be strict");
+            }
+            last = f;
+        }
+        prop_assert!(t.all_done());
+    }
+}
+
+/// Deterministic companion to the suite: the satellite-1 scenario end
+/// to end. Concatenating a fast chunk (watermark 100 s) with a slow one
+/// (watermark 50 s) must yield a buffer whose stamp cannot close the
+/// window (50 s, 100 s] — under the old max-combining, feeding the
+/// merged stamp to the tracker closed it with the slow chunk's records
+/// still in flight.
+#[test]
+fn concat_stamp_cannot_close_straddled_window() {
+    let schema = Schema::of(&[("ts", DataType::Timestamp)]);
+    let chunk = |ts: EventTime, wm: EventTime, sequence: u64| {
+        let rb = RecordBuffer::new(
+            schema.clone(),
+            vec![Record::new(vec![Value::Timestamp(ts)])],
+        );
+        let mut tb = TupleBuffer::from_record_buffer(&rb, Some(0), 0, sequence);
+        tb.meta_mut().watermark = Some(wm);
+        tb
+    };
+    let fast = chunk(99 * MICROS_PER_SEC, 100 * MICROS_PER_SEC, 1);
+    let slow = chunk(51 * MICROS_PER_SEC, 50 * MICROS_PER_SEC, 2);
+    let merged = TupleBuffer::concat(schema.clone(), &[fast, slow]);
+    assert_eq!(merged.meta().watermark, Some(50 * MICROS_PER_SEC));
+
+    let mut t = ProgressTracker::with_origins(1);
+    t.observe(0, 1, merged.meta().watermark);
+    // A tumbling window [60 s, 120 s) holding the slow chunk's record
+    // must stay open: frontier 50 s < 120 s.
+    assert!(t.frontier().unwrap() < 120 * MICROS_PER_SEC);
+}

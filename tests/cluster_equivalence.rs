@@ -644,6 +644,66 @@ fn multi_source_fleet_merges_at_cloud() {
 }
 
 #[test]
+fn early_finished_source_does_not_stall_or_regress_the_fleet_clock() {
+    // One train's slice is tiny — its pipeline reaches end-of-stream
+    // within the first couple of epochs while the other two keep
+    // feeding for the whole run. The cloud fan-in must drop the
+    // finished origin out of its frontier min (a finished input
+    // promises everything) instead of letting its last small watermark
+    // pin the fleet clock, and the frontier handed downstream must
+    // never regress — either failure mode leaves windows open or
+    // double-closes them, diverging from the union reference.
+    let q = splittable_window_query();
+    let (reference, ref_metrics) = sync_reference(&q, Feed::InOrder, generous_watermark());
+
+    let (topo, sensors) = Topology::train_fleet(3);
+    let mut env = ClusterEnvironment::with_config(
+        topo,
+        ClusterConfig {
+            buffer_size: 32,
+            watermark_every: 2,
+            ..ClusterConfig::default()
+        },
+    );
+    let all = records();
+    let slices: [Vec<Record>; 3] = [
+        // Exhausts mid-run: only the first 40 of 600 records.
+        all[..40].to_vec(),
+        all[40..].iter().step_by(2).cloned().collect(),
+        all[41..].iter().step_by(2).cloned().collect(),
+    ];
+    for (sensor, slice) in sensors.iter().zip(slices) {
+        assert!(!slice.is_empty());
+        env.add_source(
+            "s",
+            *sensor,
+            Box::new(VecSource::new(schema(), slice)),
+            generous_watermark(),
+        );
+    }
+    let (mut sink, got) = CollectingSink::new();
+    let report = env
+        .run_placed(&q, PlacementStrategy::EdgeFirst, &mut sink)
+        .expect("early-finish run");
+    let mut recs = got.records();
+    normalize_records(&mut recs);
+    assert_eq!(
+        recs, reference,
+        "early finish diverges from union reference"
+    );
+    assert_eq!(report.metrics.records_in, ref_metrics.records_in);
+    assert_eq!(report.metrics.records_out, ref_metrics.records_out);
+    // The long pipelines kept punctuating after the short one finished,
+    // so the fleet clock must have kept advancing (watermarks crossed
+    // the wire well beyond the short slice's two epochs).
+    assert!(
+        report.metrics.watermarks > 6,
+        "fleet clock stalled after early finish: only {} watermarks",
+        report.metrics.watermarks
+    );
+}
+
+#[test]
 fn meos_sequence_append_crosses_the_wire() {
     // A trajectory-assembling window: the MEOS sequence payload must
     // survive the wire via the plugin codec, and per-edge sub-sequences
@@ -946,10 +1006,12 @@ fn sliding_uplink_does_not_scale_with_overlap() {
 #[test]
 fn late_drops_reported_identically_across_runtimes() {
     // Jitter larger than the watermark slack forces genuinely late
-    // records. Every runtime — sync, threaded, partitioned, placed under
-    // both strategies — sees the same record/watermark interleaving, so
-    // all must report the same (at-most-once-per-record) late count
-    // through QueryMetrics.
+    // records. Every runtime — sync, threaded, the work-stealing
+    // partitioned executor at several widths, placed under both
+    // strategies — sees the same record/watermark interleaving, so all
+    // must report the same (at-most-once-per-record) late count through
+    // QueryMetrics. Out-of-order task completion must not double-count
+    // a record that is late in more than one partition step.
     let tight = WatermarkStrategy::BoundedOutOfOrder {
         ts_field: "ts".into(),
         slack: 2 * MICROS_PER_SEC,
@@ -991,7 +1053,7 @@ fn late_drops_reported_identically_across_runtimes() {
     let threaded = env.run_threaded(&q, &mut sink).expect("threaded run");
     assert_eq!(threaded.late_drops, sync_metrics.late_drops, "threaded");
 
-    for p in [1, 2, 4] {
+    for p in [1, 2, 4, 8] {
         let mut env = StreamEnvironment::with_config(EnvConfig {
             buffer_size: 32,
             watermark_every: 2,

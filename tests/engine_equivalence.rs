@@ -1,12 +1,16 @@
 //! Differential engine-equivalence suite: every query shape the engine
 //! supports (filter, map, map_extend, tumbling/sliding/threshold window,
 //! CEP, plugin operator, and composites) is run through all three
-//! execution modes — `run`, `run_threaded`, and `run_partitioned` at
-//! parallelism 1, 2 and 4 — over both an in-order `VecSource` and a
-//! seeded out-of-order `JitterSource`. Order-normalized results and the
-//! `records_in` / `records_out` counters must agree exactly across every
-//! mode: the parallel executor is only correct if it is observationally
-//! identical to the single-threaded reference loop.
+//! execution modes — `run`, `run_threaded`, and the work-stealing
+//! `run_partitioned` at parallelism 1, 2 and 4 — over both an in-order
+//! `VecSource` and a seeded out-of-order `JitterSource`.
+//! Order-normalized results and the `records_in` / `records_out`
+//! counters must agree exactly across every mode: the parallel executor
+//! is only correct if it is observationally identical to the
+//! single-threaded reference loop. The partitioned executor completes
+//! tasks out of order and releases output in frontier order through its
+//! emission ledger, with no post-hoc global sort — so beyond normalized
+//! equality, its *raw* delivery order is pinned to the sync run's.
 
 use nebula::prelude::*;
 use std::sync::Arc;
@@ -341,9 +345,12 @@ fn composite_pipeline_equivalence() {
 
 #[test]
 fn partitioned_output_is_deterministic_across_parallelism() {
-    // Beyond matching the sync reference: the partitioned mode's own
-    // delivered order must be identical at every parallelism degree
-    // (the merge is canonical, not arrival-ordered).
+    // Beyond matching the sync reference after normalization: the
+    // partitioned mode's *raw* delivered order must equal the sync
+    // run's at every parallelism degree. The emission ledger releases
+    // steps in frontier order and merges concurrent owners with the
+    // window emission comparator — there is no post-hoc global sort to
+    // hide arrival-order nondeterminism behind.
     let q = Query::from("s").window(
         vec![("train", col("train"))],
         WindowSpec::Tumbling {
@@ -351,6 +358,17 @@ fn partitioned_output_is_deterministic_across_parallelism() {
         },
         vec![WindowAgg::new("n", AggSpec::Count)],
     );
+    let sync_raw = {
+        let mut env = StreamEnvironment::with_config(EnvConfig {
+            buffer_size: 32,
+            watermark_every: 2,
+            ..EnvConfig::default()
+        });
+        env.add_source("s", source(Feed::InOrder), generous_watermark());
+        let (mut sink, got) = CollectingSink::new();
+        env.run(&q, &mut sink).unwrap();
+        got.records() // NOT normalized: raw delivery order
+    };
     let raw = |p: usize| {
         let mut env = StreamEnvironment::with_config(EnvConfig {
             buffer_size: 32,
@@ -361,11 +379,10 @@ fn partitioned_output_is_deterministic_across_parallelism() {
         env.add_source("s", source(Feed::InOrder), generous_watermark());
         let (mut sink, got) = CollectingSink::new();
         env.run_partitioned(&q, &mut sink).unwrap();
-        got.records() // NOT normalized: raw delivery order
+        got.records()
     };
-    let p1 = raw(1);
-    for p in [2, 4, 8] {
-        assert_eq!(raw(p), p1, "parallelism {p} delivery order");
+    for p in [1, 2, 4, 8] {
+        assert_eq!(raw(p), sync_raw, "parallelism {p} delivery order");
     }
 }
 
