@@ -1,0 +1,198 @@
+//! Telemetry overhead benchmark: the eight paper queries (Q1–Q8) run
+//! with the runtime telemetry subsystem disabled, enabled at the
+//! production sampling cadence (100 ms), and enabled at an aggressive
+//! 1 ms cadence — plus a post-bench sweep writing `BENCH_9.json` at the
+//! workspace root with per-query wall times and overhead ratios. The
+//! headline claim: per-operator instrumentation plus periodic sampling
+//! costs at most 5% of throughput.
+//!
+//! ```text
+//! cargo bench -p nebulameos-bench --bench telemetry_overhead
+//! ```
+//!
+//! Set `NEBULA_BENCH_QUICK=1` (CI) for a reduced sweep.
+
+use criterion::{criterion_group, Criterion};
+use nebula::prelude::*;
+use nebulameos_bench::{demo_queries, Workload, PAPER_RESULTS};
+use std::time::{Duration, Instant};
+
+/// One timed pass over the workload with a given telemetry setup;
+/// returns the wall time of the run itself (environment construction
+/// excluded) plus the report when telemetry was on.
+fn timed_run(
+    workload: &Workload,
+    query: &Query,
+    telemetry: Option<Duration>,
+) -> (f64, QueryMetrics, Option<QueryReport>) {
+    let mut env = workload.environment();
+    match telemetry {
+        None => env.config_mut().telemetry.enabled = false,
+        Some(every) => {
+            env.config_mut().telemetry.enabled = true;
+            env.config_mut().telemetry.sample_every = every;
+        }
+    }
+    let (mut sink, _) = CountingSink::new();
+    let started = Instant::now();
+    let metrics = env.run(query, &mut sink).expect("query runs");
+    let secs = started.elapsed().as_secs_f64();
+    (secs, metrics, env.take_report())
+}
+
+/// Best-of-`reps` wall time — the minimum is the least noise-sensitive
+/// location statistic for a short, allocation-heavy run.
+fn best_of(
+    workload: &Workload,
+    query: &Query,
+    telemetry: Option<Duration>,
+    reps: usize,
+) -> (f64, QueryMetrics, Option<QueryReport>) {
+    let mut best = f64::INFINITY;
+    let (mut metrics, mut report) = (QueryMetrics::default(), None);
+    for _ in 0..reps {
+        let (secs, m, r) = timed_run(workload, query, telemetry);
+        if secs < best {
+            best = secs;
+            metrics = m;
+            report = r;
+        }
+    }
+    (best, metrics, report)
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let workload = Workload::small();
+    let query = &demo_queries()[0]; // Q1 Alert Filtering: the cheapest per-record work, worst case for fixed per-buffer instrumentation cost.
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.bench_function("q1_telemetry_off", |b| {
+        b.iter(|| timed_run(&workload, query, None).1.records_out)
+    });
+    group.bench_function("q1_telemetry_100ms", |b| {
+        b.iter(|| {
+            timed_run(&workload, query, Some(Duration::from_millis(100)))
+                .1
+                .records_out
+        })
+    });
+    group.finish();
+}
+
+/// The machine-readable companion: Q1–Q8 wall time with telemetry off,
+/// at the production cadence, and at an aggressive cadence.
+fn write_bench9() {
+    let quick = std::env::var_os("NEBULA_BENCH_QUICK").is_some();
+    let workload = if quick {
+        Workload::small()
+    } else {
+        Workload::standard()
+    };
+    let reps = if quick { 3 } else { 5 };
+    let events = workload.records.len() as u64;
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut per_query = Vec::new();
+    let mut log_ratio_sum = 0.0;
+    for (row, query) in PAPER_RESULTS.iter().zip(demo_queries()) {
+        // Interleaving the configurations per query (rather than one
+        // long off-pass then one long on-pass) keeps slow thermal or
+        // allocator drift from biasing the ratio.
+        let (off_s, off_m, _) = best_of(&workload, &query, None, reps);
+        let (on_s, on_m, report) =
+            best_of(&workload, &query, Some(Duration::from_millis(100)), reps);
+        let (fast_s, _, fast_report) =
+            best_of(&workload, &query, Some(Duration::from_millis(1)), reps);
+        assert_eq!(
+            off_m.records_in, events,
+            "Q{} must ingest everything",
+            row.id
+        );
+        assert_eq!(
+            off_m.records_out, on_m.records_out,
+            "telemetry must not change Q{} results",
+            row.id
+        );
+        let report = report.expect("telemetry on yields a report");
+        let fast_report = fast_report.expect("aggressive telemetry yields a report");
+        let ratio = on_s / off_s;
+        log_ratio_sum += ratio.ln();
+        per_query.push(serde_json::json!({
+            "id": row.id,
+            "name": row.name,
+            "events": events,
+            "off_ms": off_s * 1e3,
+            "on_ms": on_s * 1e3,
+            "aggressive_1ms_ms": fast_s * 1e3,
+            "overhead_ratio": ratio,
+            "keps_off": events as f64 / off_s / 1e3,
+            "keps_on": events as f64 / on_s / 1e3,
+            "operators": report.operators.len(),
+            "samples": report.samples.len(),
+            "samples_aggressive": fast_report.samples.len(),
+            "events_traced": report.events.len(),
+        }));
+        eprintln!(
+            "Q{}: off {:.1} ms, on {:.1} ms ({:+.2}%), 1ms-sampling {:.1} ms, \
+             {} operator(s), {} sample(s)",
+            row.id,
+            off_s * 1e3,
+            on_s * 1e3,
+            (ratio - 1.0) * 100.0,
+            fast_s * 1e3,
+            report.operators.len(),
+            report.samples.len(),
+        );
+    }
+    let geomean = (log_ratio_sum / PAPER_RESULTS.len() as f64).exp();
+    // The acceptance gate. Individual queries may jitter either way on
+    // a loaded CI box; the geometric mean across all eight runs, each
+    // taken as a best-of-`reps`, is the stable statistic — with a small
+    // measurement-noise allowance on top of the 5% budget.
+    assert!(
+        geomean <= 1.07,
+        "telemetry overhead geomean {:.2}% exceeds the 5% budget (+2% noise allowance)",
+        (geomean - 1.0) * 100.0
+    );
+    eprintln!(
+        "telemetry overhead geomean across Q1-Q8: {:+.2}%",
+        (geomean - 1.0) * 100.0
+    );
+
+    let json = serde_json::json!({
+        "issue": 9,
+        "hardware": { "cores": cores },
+        "workload_events": events,
+        "reps": reps,
+        "quick": quick,
+        "sampling": {
+            "production_ms": 100,
+            "aggressive_ms": 1,
+        },
+        "per_query": per_query,
+        "overhead_geomean": geomean,
+        "under_5_percent": geomean <= 1.05,
+        "note": "off_ms runs with TelemetryConfig.enabled=false (operator chain left \
+                 uninstrumented, no sampler, no trace ring); on_ms wraps every operator \
+                 in the instrumented shell and samples at the production 100 ms cadence; \
+                 aggressive_1ms_ms samples at 1 ms to expose the sampler's marginal cost. \
+                 Each figure is best-of-reps wall time of the run itself, environment \
+                 construction excluded. The gate is the geometric mean of on/off ratios \
+                 across all eight queries.",
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
+    std::fs::write(path, serde_json::to_string_pretty(&json).unwrap()).expect("write BENCH_9.json");
+    eprintln!("wrote {path}");
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+
+fn main() {
+    benches();
+    // `--test` is cargo's smoke-run of bench targets; keep it fast.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    write_bench9();
+}

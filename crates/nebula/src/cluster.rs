@@ -96,6 +96,10 @@ use crate::runtime::{resolve_ts_col, ProgressTracker};
 use crate::schema::SchemaRef;
 use crate::sink::{merge_partitions, Sink};
 use crate::source::{ReplaySource, Source, SourceBatch, WatermarkStrategy};
+use crate::telemetry::{
+    build_report, instrument_chain, ChainTelemetry, Gauges, NodeSnapshot, QueryReport,
+    TelemetryConfig, TelemetrySampler, TraceKind, TraceRing, COORDINATOR_ORIGIN,
+};
 use crate::topology::{place, NodeId, NodeKind, Placement, PlacementStrategy, Topology};
 use crate::value::EventTime;
 use crate::wire::{decode_frame, encode_frame, Frame, WireRegistry};
@@ -135,6 +139,10 @@ pub struct ClusterConfig {
     /// per pipeline (crash recovery restores from the newest epoch the
     /// cloud sealed).
     pub checkpoint_every: u64,
+    /// Runtime telemetry knobs: per-operator instrumentation, the
+    /// cloud-side sampling cadence, per-node snapshot shipping over the
+    /// wire, and trace-event retention.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ClusterConfig {
@@ -147,6 +155,7 @@ impl Default for ClusterConfig {
             preaggregate: true,
             columnar: crate::runtime::ColumnarMode::Auto,
             checkpoint_every: 4,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -229,6 +238,11 @@ pub struct ClusterReport {
     pub cluster: ClusterMetrics,
     /// The placement used per hosted source (post-re-planning).
     pub placements: Vec<Placement>,
+    /// Runtime telemetry: the merged per-operator breakdown, the
+    /// cloud-side sampled time series, per-node snapshots fanned in
+    /// over the wire, and the trace-event log. Empty (no operators, no
+    /// samples) when [`TelemetryConfig::enabled`] is off.
+    pub telemetry: QueryReport,
 }
 
 struct HostedSource {
@@ -463,7 +477,7 @@ impl ClusterEnvironment {
         // chaos epoch-0 recovery fallback recompiles the same way).
         let CompiledChains {
             pipe_chains,
-            mut cloud_ops,
+            cloud_ops,
             pipe_out_schema,
         } = compile_chains(
             &self.registry,
@@ -474,6 +488,25 @@ impl ClusterEnvironment {
             pipe_op_end,
             shared,
         )?;
+
+        // Instrument every chain. The shared cloud tail's operator ids
+        // start past the pipeline chain so edge `op0..` and cloud
+        // `opN..` positions never collide; the single-pipe fold below
+        // moves already-wrapped tail operators into the cloud chain,
+        // keeping their pipeline-relative ids (and their registry
+        // handles, which stay with the pipe's `ChainTelemetry`).
+        let tel_on = self.config.telemetry.enabled;
+        let cloud_base = pipe_chains.first().map_or(0, Vec::len);
+        let (mut cloud_ops, mut cloud_tel) = instrument_chain(cloud_ops, tel_on, cloud_base);
+        let mut pipe_tels: Vec<ChainTelemetry> = Vec::with_capacity(n_pipes);
+        let trace = Arc::new(TraceRing::new(self.config.telemetry.max_events));
+        if tel_on {
+            trace.push(
+                COORDINATOR_ORIGIN,
+                TraceKind::QueryDeployed,
+                format!("{n_pipes} pipeline(s), {strategy:?} placement"),
+            );
+        }
 
         // The plan is valid: consume the sources. Chaos runs wrap each
         // in a replay log so crash recovery can rewind the stream.
@@ -487,7 +520,8 @@ impl ClusterEnvironment {
         let mut pipelines = Vec::with_capacity(n_pipes);
         for (p, (h, chain)) in hosted.into_iter().zip(pipe_chains).enumerate() {
             let mut assign: Vec<NodeId> = placements[p].stages[1..=pipe_op_end].to_vec();
-            let mut flat = chain;
+            let (mut flat, tel) = instrument_chain(chain, tel_on, 0);
+            pipe_tels.push(tel);
             // A single pipeline with no shared tail may still end at the
             // cloud (CloudOnly): fold the trailing cloud-placed run into
             // the cloud site instead of a one-node relay hop.
@@ -522,6 +556,9 @@ impl ClusterEnvironment {
                     eos_sent: false,
                     origin: p as u64,
                     progress: ProgressTracker::new(),
+                    node_name: self.topo.node(h.node).name.clone(),
+                    sent_records: 0,
+                    snap_seq: 0,
                 },
                 sites,
             });
@@ -541,6 +578,11 @@ impl ClusterEnvironment {
             buffers: Vec::new(),
             progress: ProgressTracker::with_origins(n_pipes as u64),
             latency: Histogram::new(),
+            tel: CloudTel::new(
+                &self.config.telemetry,
+                all_chains(&pipe_tels, &cloud_tel),
+                Arc::clone(&trace),
+            ),
         };
         let mut cluster = ClusterMetrics {
             preaggregated: split.is_some(),
@@ -601,6 +643,13 @@ impl ClusterEnvironment {
                     .ok_or_else(|| internal("crash without a crash switch"))?;
                 let recovery_t0 = Instant::now();
                 let failed = switch.node;
+                if tel_on {
+                    trace.push(
+                        COORDINATOR_ORIGIN,
+                        TraceKind::NodeDown,
+                        format!("node '{}' crashed", self.topo.node(failed).name),
+                    );
+                }
                 let parent = self
                     .topo
                     .links()
@@ -631,6 +680,17 @@ impl ClusterEnvironment {
                         parent,
                     );
                     placements[p] = new_pl;
+                }
+                if tel_on {
+                    trace.push(
+                        COORDINATOR_ORIGIN,
+                        TraceKind::Replan,
+                        format!(
+                            "{} stage(s) migrated to '{}'",
+                            cluster.migrated_stages,
+                            self.topo.node(parent).name
+                        ),
+                    );
                 }
                 match c.store.take_for_restore() {
                     // Restore the newest sealed epoch: pump counters and
@@ -683,6 +743,14 @@ impl ClusterEnvironment {
                                 return Err(internal("chaos source lost its replay log"));
                             }
                         }
+                        // Restored operators are snapshots of the
+                        // instrumented chain: they keep reporting into
+                        // the original registries, so per-operator
+                        // counters survive the crash (including the
+                        // pre-crash work the replay re-runs — see
+                        // docs/observability.md). The cloud sampler and
+                        // snapshot retention restart fresh: the sampled
+                        // series is best-effort under crashes.
                         cloud_state = CloudState {
                             ops: cloud_part.ops.ok_or_else(|| {
                                 internal("usable epoch has an unsnapshotted cloud")
@@ -690,6 +758,11 @@ impl ClusterEnvironment {
                             buffers: cloud_part.buffers,
                             progress: cloud_part.progress,
                             latency: cloud_part.latency,
+                            tel: CloudTel::new(
+                                &self.config.telemetry,
+                                all_chains(&pipe_tels, &cloud_tel),
+                                Arc::clone(&trace),
+                            ),
                         };
                     }
                     // Epoch-0 fallback: no usable checkpoint (some
@@ -706,9 +779,18 @@ impl ClusterEnvironment {
                             pipe_op_end,
                             shared,
                         )?;
-                        let mut fresh_cloud = fresh.cloud_ops;
-                        for (pipe, chain) in pipelines.iter_mut().zip(fresh.pipe_chains) {
-                            let mut flat = chain;
+                        // Fresh operators need fresh instrumentation:
+                        // replacing the registries discards the dead
+                        // phase's counters, which the full replay
+                        // re-derives from batch zero.
+                        let (mut fresh_cloud, fresh_cloud_tel) =
+                            instrument_chain(fresh.cloud_ops, tel_on, cloud_base);
+                        cloud_tel = fresh_cloud_tel;
+                        for (p, (pipe, chain)) in
+                            pipelines.iter_mut().zip(fresh.pipe_chains).enumerate()
+                        {
+                            let (mut flat, tel) = instrument_chain(chain, tel_on, 0);
+                            pipe_tels[p] = tel;
                             let tail = flat.split_off(pipe.assign.len().min(flat.len()));
                             fresh_cloud.extend(tail);
                             let (group0, sites) = regroup(pipe.node, flat, &pipe.assign);
@@ -729,6 +811,11 @@ impl ClusterEnvironment {
                             buffers: Vec::new(),
                             progress: ProgressTracker::with_origins(n_pipes as u64),
                             latency: Histogram::new(),
+                            tel: CloudTel::new(
+                                &self.config.telemetry,
+                                all_chains(&pipe_tels, &cloud_tel),
+                                Arc::clone(&trace),
+                            ),
                         };
                     }
                 }
@@ -789,6 +876,13 @@ impl ClusterEnvironment {
                 })?;
             self.topo.fail_node(failed);
             cluster.replans += 1;
+            if tel_on {
+                trace.push(
+                    COORDINATOR_ORIGIN,
+                    TraceKind::NodeDown,
+                    format!("node '{}' failed by injection", self.topo.node(failed).name),
+                );
+            }
             for (p, pipe) in pipelines.iter_mut().enumerate() {
                 let mut migrated = 0;
                 for node in &mut pipe.assign {
@@ -812,6 +906,17 @@ impl ClusterEnvironment {
                     parent,
                 );
                 placements[p] = new_pl;
+            }
+            if tel_on {
+                trace.push(
+                    COORDINATOR_ORIGIN,
+                    TraceKind::Replan,
+                    format!(
+                        "{} stage(s) migrated to '{}'",
+                        cluster.migrated_stages,
+                        self.topo.node(parent).name
+                    ),
+                );
             }
             // Phase 2: resume to completion on the re-planned pipeline.
             let io = PhaseIo {
@@ -906,10 +1011,42 @@ impl ClusterEnvironment {
             // the shared counter has the true total.
             cluster.sites = c.stats.sites_spawned.load(o) as usize;
         }
+        // One forced sample so even sub-interval runs record a point,
+        // then fold every registry, series, snapshot and event into the
+        // run's telemetry report.
+        let mut tel = cloud_state.tel;
+        let final_gauges = Gauges {
+            records_in: tel.records_in,
+            records_out: tel.records_out,
+            queue_depth: 0,
+            frontier: cloud_state.progress.frontier(),
+            frontier_lag_us: metrics.frontier_lag_max_us,
+            stalls: 0,
+        };
+        tel.sampler.force_sample(
+            &final_gauges,
+            &tel.chains,
+            Some((&tel.trace, COORDINATOR_ORIGIN)),
+        );
+        let mode = if chaos_run.is_some() {
+            "run_placed_chaos"
+        } else {
+            "run_placed"
+        };
+        let telemetry = build_report(
+            mode,
+            &metrics,
+            &tel.chains,
+            tel.sampler,
+            &tel.trace,
+            tel.snaps,
+            tel.snaps_dropped,
+        );
         Ok(ClusterReport {
             metrics,
             cluster,
             placements,
+            telemetry,
         })
     }
 }
@@ -1212,6 +1349,11 @@ impl TxLink {
         }
     }
 
+    /// Frames currently queued on this link's downstream channel.
+    fn queue_depth(&self) -> u64 {
+        self.wire.depth.load(Ordering::Relaxed)
+    }
+
     /// Chaos mode: an unsequenced liveness beacon. No-op on plain links
     /// (a plain channel cannot lose frames, so silence is unambiguous).
     fn heartbeat(&mut self) -> Result<()> {
@@ -1382,8 +1524,17 @@ struct SiteChaos {
     doom_name: String,
 }
 
+/// Telemetry context for one site thread: ship a [`NodeSnapshot`]
+/// downstream at most once per `every`.
+struct SiteTel {
+    node: String,
+    origin: u64,
+    every: Duration,
+}
+
 /// One edge site: decode, drive the sub-chain, re-encode downstream.
 /// Returns the operator state on end-of-stream or handoff.
+#[allow(clippy::too_many_arguments)]
 fn run_site(
     mut ops: Vec<Box<dyn Operator>>,
     in_schema: SchemaRef,
@@ -1392,10 +1543,14 @@ fn run_site(
     mut tx: TxLink,
     wire: WireRegistry,
     chaos: Option<SiteChaos>,
+    tel: Option<SiteTel>,
 ) -> Result<Vec<Box<dyn Operator>>> {
     let out_schema = ops
         .last()
         .map_or_else(|| in_schema.clone(), |o| o.output_schema());
+    let started = Instant::now();
+    let mut last_snap = Instant::now();
+    let (mut records_in, mut records_out, mut snap_seq) = (0u64, 0u64, 0u64);
     loop {
         let bytes = rx.recv(&depth)?;
         if let Some(c) = &chaos {
@@ -1412,12 +1567,39 @@ fn run_site(
         }
         match decode_frame(&bytes, &in_schema, &wire)? {
             Frame::Data(recs) => {
+                records_in += recs.len() as u64;
                 let buf = RecordBuffer::new(in_schema.clone(), recs);
                 let msgs = drive(&mut ops, StreamMessage::Data(buf))?;
+                records_out += records_of(&msgs);
                 forward(msgs, &out_schema, &wire, &mut tx)?;
+                if let Some(t) = &tel {
+                    if last_snap.elapsed() >= t.every {
+                        // Sites have no progress tracker of their own:
+                        // the frontier fields stay empty and the cloud
+                        // reads lag off the pump's snapshots instead.
+                        snap_seq += 1;
+                        let snap = NodeSnapshot {
+                            origin: t.origin,
+                            node: t.node.clone(),
+                            seq: snap_seq,
+                            at_us: started.elapsed().as_micros() as u64,
+                            records_in,
+                            records_out,
+                            queue_depth: depth.load(Ordering::Relaxed),
+                            frontier: None,
+                            frontier_lag_us: 0,
+                        };
+                        tx.send(
+                            encode_frame(&Frame::Telemetry(snap), &out_schema, &wire)?,
+                            0,
+                        )?;
+                        last_snap = Instant::now();
+                    }
+                }
             }
             Frame::Watermark(w) => {
                 let msgs = drive(&mut ops, StreamMessage::Watermark(w))?;
+                records_out += records_of(&msgs);
                 forward(msgs, &out_schema, &wire, &mut tx)?;
             }
             Frame::Barrier(epoch) => {
@@ -1436,7 +1618,15 @@ fn run_site(
                 );
                 tx.send(encode_frame(&Frame::Barrier(epoch), &out_schema, &wire)?, 0)?;
             }
+            Frame::Telemetry(_) => {
+                // Upstream snapshots relay unchanged toward the cloud
+                // fan-in (the frame needs no re-encode: its layout is
+                // schema-independent).
+                tx.send(bytes, 0)?;
+            }
             Frame::Eos => {
+                // No snapshot ships after end-of-stream, so the local
+                // counters need no final update.
                 let msgs = drive(&mut ops, StreamMessage::Eos)?;
                 forward(msgs, &out_schema, &wire, &mut tx)?;
                 tx.flush()?;
@@ -1465,16 +1655,114 @@ struct CloudState {
     /// only *raise* the combined clock, never regress it.
     progress: ProgressTracker,
     latency: Histogram,
+    /// Cloud-side telemetry riding along the fan-in: the periodic
+    /// sampler, retained per-node snapshots, and the run's trace ring.
+    tel: CloudTel,
 }
 
-fn collect_data(buffers: &mut Vec<RecordBuffer>, msgs: Vec<StreamMessage>) {
+/// Cloud-side telemetry state. Rebuilt fresh on crash recovery — the
+/// sampled series is best-effort under crashes, while per-operator
+/// counters survive through the shared [`ChainTelemetry`] handles and
+/// trace events through the shared ring.
+struct CloudTel {
+    enabled: bool,
+    sampler: TelemetrySampler,
+    /// Every chain registry of the run (pipelines, then the shared
+    /// cloud tail) — cloned handles, safe to read from the cloud thread
+    /// while the chains execute elsewhere.
+    chains: Vec<ChainTelemetry>,
+    trace: Arc<TraceRing>,
+    snaps: Vec<NodeSnapshot>,
+    snaps_dropped: u64,
+    max_snaps: usize,
+    /// Records the cloud fan-in has consumed (all pipelines).
+    records_in: u64,
+    /// Records the cloud chain has emitted toward the sink.
+    records_out: u64,
+}
+
+impl CloudTel {
+    fn new(cfg: &TelemetryConfig, chains: Vec<ChainTelemetry>, trace: Arc<TraceRing>) -> CloudTel {
+        CloudTel {
+            enabled: cfg.enabled,
+            sampler: TelemetrySampler::new(cfg),
+            chains,
+            trace,
+            snaps: Vec::new(),
+            snaps_dropped: 0,
+            max_snaps: cfg.max_node_snapshots.max(1),
+            records_in: 0,
+            records_out: 0,
+        }
+    }
+
+    /// Retains a fanned-in node snapshot under the configured bound
+    /// (oldest out first).
+    fn keep(&mut self, snap: NodeSnapshot) {
+        if !self.enabled {
+            return;
+        }
+        if self.snaps.len() >= self.max_snaps {
+            self.snaps.remove(0);
+            self.snaps_dropped += 1;
+        }
+        self.snaps.push(snap);
+    }
+
+    /// Takes an interval-gated sample of the cloud fan-in.
+    fn maybe_sample(&mut self, progress: &ProgressTracker, queue_depth: u64) {
+        let gauges = Gauges {
+            records_in: self.records_in,
+            records_out: self.records_out,
+            queue_depth,
+            frontier: progress.frontier(),
+            frontier_lag_us: progress.frontier_lag_us(),
+            stalls: 0,
+        };
+        self.sampler.maybe_sample(
+            &gauges,
+            &self.chains,
+            Some((&self.trace, COORDINATOR_ORIGIN)),
+        );
+    }
+
+    /// Notes a sealed checkpoint epoch in the trace ring.
+    fn checkpoint_sealed(&self, epoch: u64) {
+        if self.enabled {
+            self.trace.push(
+                COORDINATOR_ORIGIN,
+                TraceKind::CheckpointSealed,
+                format!("epoch {epoch}"),
+            );
+        }
+    }
+}
+
+/// Clones every chain registry of the run (pipelines, then the shared
+/// cloud tail) for the cloud-side sampler and the final report.
+fn all_chains(pipe_tels: &[ChainTelemetry], cloud_tel: &ChainTelemetry) -> Vec<ChainTelemetry> {
+    let mut chains = pipe_tels.to_vec();
+    chains.push(cloud_tel.clone());
+    chains
+}
+
+/// Sums the records carried by a batch of terminal messages.
+fn records_of(msgs: &[StreamMessage]) -> u64 {
+    msgs.iter().map(|m| m.record_count() as u64).sum()
+}
+
+/// Collects data messages into `buffers`, returning the record count.
+fn collect_data(buffers: &mut Vec<RecordBuffer>, msgs: Vec<StreamMessage>) -> u64 {
+    let mut collected = 0;
     for msg in msgs {
         if let StreamMessage::Data(b) = msg {
             if !b.is_empty() {
+                collected += b.len() as u64;
                 buffers.push(b);
             }
         }
     }
+    collected
 }
 
 /// The cloud site: fans in every pipeline, min-combines watermarks,
@@ -1497,17 +1785,20 @@ fn run_cloud(
             .all(|(q, h)| *h || st.progress.is_done(q as u64))
     };
     loop {
+        let queue_depth: u64 = depths.iter().map(|d| d.load(Ordering::Relaxed)).sum();
+        st.tel.maybe_sample(&st.progress, queue_depth);
         let (p, bytes) = rx
             .recv()
             .map_err(|_| NebulaError::Eval("cluster: all pipelines hung up".into()))?;
         depths[p].fetch_sub(1, Ordering::Relaxed);
         match decode_frame(&bytes, &in_schema, &wire)? {
             Frame::Data(recs) => {
+                st.tel.records_in += recs.len() as u64;
                 let buf = RecordBuffer::new(in_schema.clone(), recs);
                 let t0 = Instant::now();
                 let msgs = drive(&mut st.ops, StreamMessage::Data(buf))?;
                 st.latency.record(t0.elapsed().as_secs_f64() * 1e6);
-                collect_data(&mut st.buffers, msgs);
+                st.tel.records_out += collect_data(&mut st.buffers, msgs);
             }
             Frame::Watermark(w) => {
                 // The tracker owns the fan-in rules: min across live
@@ -1515,7 +1806,7 @@ fn run_cloud(
                 // reported.
                 if let Some(c) = st.progress.advance_origin(p as u64, w) {
                     let msgs = drive(&mut st.ops, StreamMessage::Watermark(c))?;
-                    collect_data(&mut st.buffers, msgs);
+                    st.tel.records_out += collect_data(&mut st.buffers, msgs);
                 }
             }
             Frame::Eos => {
@@ -1523,12 +1814,12 @@ fn run_cloud(
                 let advanced = st.progress.finish(p as u64);
                 if st.progress.all_done() {
                     let msgs = drive(&mut st.ops, StreamMessage::Eos)?;
-                    collect_data(&mut st.buffers, msgs);
+                    st.tel.records_out += collect_data(&mut st.buffers, msgs);
                     return Ok((st, true));
                 }
                 if let Some(c) = advanced {
                     let msgs = drive(&mut st.ops, StreamMessage::Watermark(c))?;
-                    collect_data(&mut st.buffers, msgs);
+                    st.tel.records_out += collect_data(&mut st.buffers, msgs);
                 }
                 if handed.iter().any(|h| *h) && paused(&handed, &st) {
                     return Ok((st, false));
@@ -1537,6 +1828,7 @@ fn run_cloud(
             Frame::Barrier(_) => {
                 return Err(internal("checkpoint barrier outside a chaos run"));
             }
+            Frame::Telemetry(snap) => st.tel.keep(snap),
             Frame::Handoff => {
                 handed[p] = true;
                 if paused(&handed, &st) {
@@ -1581,11 +1873,12 @@ impl CloudChaosState {
     fn apply(&mut self, p: usize, bytes: Vec<u8>) -> Result<()> {
         match decode_frame(&bytes, &self.in_schema, &self.wire)? {
             Frame::Data(recs) => {
+                self.st.tel.records_in += recs.len() as u64;
                 let buf = RecordBuffer::new(self.in_schema.clone(), recs);
                 let t0 = Instant::now();
                 let msgs = drive(&mut self.st.ops, StreamMessage::Data(buf))?;
                 self.st.latency.record(t0.elapsed().as_secs_f64() * 1e6);
-                collect_data(&mut self.st.buffers, msgs);
+                self.st.tel.records_out += collect_data(&mut self.st.buffers, msgs);
             }
             Frame::Watermark(w) => {
                 let advanced = self.st.progress.advance_origin(p as u64, w);
@@ -1601,12 +1894,13 @@ impl CloudChaosState {
                 let advanced = self.st.progress.finish(p as u64);
                 if self.st.progress.all_done() {
                     let msgs = drive(&mut self.st.ops, StreamMessage::Eos)?;
-                    collect_data(&mut self.st.buffers, msgs);
+                    self.st.tel.records_out += collect_data(&mut self.st.buffers, msgs);
                     self.finished = true;
                     return Ok(());
                 }
                 self.emit_frontier(advanced)?;
             }
+            Frame::Telemetry(snap) => self.st.tel.keep(snap),
             Frame::Handoff => {
                 return Err(internal("handoff frame in a chaos run"));
             }
@@ -1619,7 +1913,7 @@ impl CloudChaosState {
     fn emit_frontier(&mut self, advanced: Option<EventTime>) -> Result<()> {
         if let Some(c) = advanced {
             let msgs = drive(&mut self.st.ops, StreamMessage::Watermark(c))?;
-            collect_data(&mut self.st.buffers, msgs);
+            self.st.tel.records_out += collect_data(&mut self.st.buffers, msgs);
         }
         Ok(())
     }
@@ -1644,6 +1938,7 @@ impl CloudChaosState {
                 latency: self.st.latency.clone(),
             },
         );
+        self.st.tel.checkpoint_sealed(epoch);
         self.aligning = None;
         self.seen.iter_mut().for_each(|s| *s = false);
         Ok(true)
@@ -1704,6 +1999,8 @@ fn run_cloud_chaos(
     };
     loop {
         cc.drain()?;
+        let queue_depth: u64 = depths.iter().map(|d| d.load(Ordering::Relaxed)).sum();
+        cc.st.tel.maybe_sample(&cc.st.progress, queue_depth);
         if cc.finished {
             // Linger: keep absorbing (and re-acking) stray
             // retransmissions and duplicates until every uplink sender
@@ -1781,6 +2078,13 @@ struct PumpState {
     /// Pump-local progress over the source's per-buffer punctuation;
     /// its frontier is what crosses the wire as `Frame::Watermark`.
     progress: ProgressTracker,
+    /// The hosting topology node's name, stamped on telemetry
+    /// snapshots this pump ships.
+    node_name: String,
+    /// Records forwarded downstream (post source-node stages).
+    sent_records: u64,
+    /// Monotone sequence for shipped [`NodeSnapshot`]s.
+    snap_seq: u64,
 }
 
 struct PipelinePlan {
@@ -1847,6 +2151,8 @@ fn pump(
     // with no source-node stages the frame converts straight back to
     // rows at the wire, so skip the round-trip.
     let columnar = crate::runtime::chain_wants_columnar(cfg.columnar, &st.ops);
+    let started = Instant::now();
+    let mut last_snap = Instant::now();
     loop {
         if batch_limit.is_some_and(|limit| st.batches >= limit) {
             return Ok(PumpEnd::Limit);
@@ -1875,6 +2181,7 @@ fn pump(
                 );
                 st.stats.bytes_in += msg.data_bytes() as u64;
                 let msgs = drive(&mut st.ops, msg)?;
+                st.sent_records += records_of(&msgs);
                 forward(msgs, &out_schema, wire, tx)?;
                 // The per-buffer punctuation stamp is the source of
                 // truth; the wire watermark is the pump tracker's
@@ -1886,8 +2193,28 @@ fn pump(
                     if let Some(w) = st.progress.frontier() {
                         st.stats.watermarks += 1;
                         let msgs = drive(&mut st.ops, StreamMessage::Watermark(w))?;
+                        st.sent_records += records_of(&msgs);
                         forward(msgs, &out_schema, wire, tx)?;
                     }
+                }
+                if cfg.telemetry.enabled && last_snap.elapsed() >= cfg.telemetry.sample_every {
+                    // Ship a node snapshot downstream; it rides the
+                    // same route (and, in chaos mode, the same
+                    // resilient link) as the data it describes.
+                    st.snap_seq += 1;
+                    let snap = NodeSnapshot {
+                        origin: st.origin,
+                        node: st.node_name.clone(),
+                        seq: st.snap_seq,
+                        at_us: started.elapsed().as_micros() as u64,
+                        records_in: st.stats.records_in,
+                        records_out: st.sent_records,
+                        queue_depth: tx.queue_depth(),
+                        frontier: st.progress.frontier(),
+                        frontier_lag_us: st.progress.frontier_lag_us(),
+                    };
+                    tx.send(encode_frame(&Frame::Telemetry(snap), &out_schema, wire)?, 0)?;
+                    last_snap = Instant::now();
                 }
                 if let Some(c) = chaos {
                     c.check_doom()?;
@@ -1925,6 +2252,7 @@ fn pump(
         }
     }
     let msgs = drive(&mut st.ops, StreamMessage::Eos)?;
+    st.sent_records += records_of(&msgs);
     forward(msgs, &out_schema, wire, tx)?;
     tx.flush()?;
     if let Some(c) = chaos {
@@ -2182,6 +2510,11 @@ fn run_phase(
                         .map(Arc::clone),
                     doom_name: c.doomed_name.clone(),
                 });
+                let site_tel = io.cfg.telemetry.enabled.then(|| SiteTel {
+                    node: io.topo.node(site_node).name.clone(),
+                    origin: p as u64,
+                    every: io.cfg.telemetry.sample_every,
+                });
                 let abort_flag = chaos.map(|c| Arc::clone(&c.abort));
                 let depth_in = Arc::clone(&hops[i].2);
                 let out_schema = ops
@@ -2190,7 +2523,9 @@ fn run_phase(
                 let wire = io.wire.clone();
                 let schema = in_schema.clone();
                 handles.push(scope.spawn(move || {
-                    let r = run_site(ops, schema, rx_link, depth_in, out_tx, wire, site_chaos);
+                    let r = run_site(
+                        ops, schema, rx_link, depth_in, out_tx, wire, site_chaos, site_tel,
+                    );
                     if r.is_err() {
                         if let Some(a) = &abort_flag {
                             a.store(true, Ordering::Relaxed);

@@ -36,6 +36,14 @@
 //!   every mode — including the work-stealing partitioned executor,
 //!   whose out-of-order task completions are re-serialized in frontier
 //!   order with no post-hoc sort ([`buffer`], [`runtime`]).
+//! - **Runtime telemetry** — per-operator metrics (records, buffers,
+//!   selectivity, service-time histograms, state size), periodic
+//!   sampling of throughput/queue depth/frontier lag into a bounded
+//!   time series, a bounded trace-event ring (deploys, checkpoints,
+//!   failures, replans, late-drop bursts, backpressure stalls), and a
+//!   JSON-exportable [`telemetry::QueryReport`] — collected uniformly
+//!   across all four execution modes, with cluster nodes shipping
+//!   per-node snapshots over the wire ([`telemetry`]).
 //! - **Chaos-hardened fault tolerance** — seeded fault injection over
 //!   every cluster link (drops, duplicates, reordering, corruption,
 //!   flaps, abrupt crashes), a resilient wire protocol (CRC32 envelopes,
@@ -94,6 +102,7 @@ pub mod runtime;
 pub mod schema;
 pub mod sink;
 pub mod source;
+pub mod telemetry;
 pub mod topology;
 pub mod value;
 pub mod window;
@@ -130,6 +139,10 @@ pub mod prelude {
     pub use crate::source::{
         CsvSource, GapSource, GeneratorSource, JitterSource, ReplaySource, Source, SourceBatch,
         VecSource, WatermarkStrategy, XorShift,
+    };
+    pub use crate::telemetry::{
+        NodeSnapshot, OperatorReport, QueryReport, TelemetryConfig, TelemetrySample, TraceEvent,
+        TraceKind,
     };
     pub use crate::topology::{
         measure_stage_bytes, network_cost, place, replace_after_failure, NetworkCost, Node, NodeId,

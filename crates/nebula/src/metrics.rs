@@ -77,8 +77,9 @@ impl QueryMetrics {
 
 impl QueryMetrics {
     /// Per-buffer latency percentile in microseconds (`None` when no
-    /// buffers were processed).
-    pub fn latency_us(&mut self, percentile: f64) -> Option<f64> {
+    /// buffers were processed). Read-only: the histogram stores bucket
+    /// counts, so percentile queries never need to sort in place.
+    pub fn latency_us(&self, percentile: f64) -> Option<f64> {
         self.latency.percentile(percentile)
     }
 
@@ -106,22 +107,53 @@ impl fmt::Display for QueryMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} events in ({:.2} MB) -> {} out in {:.3}s | {:.0} e/s, {:.2} MB/s",
+            "{} events in ({:.2} MB) -> {} out in {:.3}s | {:.0} e/s, {:.2} MB/s | {} late drops, frontier lag max {} µs",
             self.records_in,
             self.bytes_in as f64 / 1_000_000.0,
             self.records_out,
             self.wall.as_secs_f64(),
             self.events_per_sec(),
             self.mb_per_sec(),
+            self.late_drops,
+            self.frontier_lag_max_us,
         )
     }
 }
 
-/// A simple percentile-capable sample collection (latency profiling).
+/// Log-spaced buckets per octave (factor-of-two range). Eight buckets
+/// per octave gives a bucket width of 2^(1/8) ≈ 1.09, i.e. percentile
+/// estimates within ~9% of the exact sample.
+const BUCKETS_PER_OCTAVE: f64 = 8.0;
+
+/// Bucket 0 absorbs everything below 1.0 (including zero and any
+/// non-positive input); the remaining buckets cover 64 octaves — up to
+/// 2^64, far beyond any latency in µs this engine will ever record.
+const NUM_BUCKETS: usize = 1 + 8 * 64;
+
+/// A bounded, percentile-capable latency histogram.
+///
+/// Samples land in fixed log-spaced buckets (eight per octave, so each
+/// bucket spans a 2^(1/8) ≈ 1.09× range) instead of being retained
+/// individually: memory is a constant ~4 KB however many samples are
+/// recorded, and merging two histograms is a lossless element-wise add
+/// at bucket granularity. Percentiles are answered by a cumulative walk
+/// over the bucket counts and are therefore accurate to within one
+/// bucket width of the exact nearest-rank sample; `min`, `max`, `mean`,
+/// and the sample count are tracked exactly on the side, and percentile
+/// answers are clamped into `[min, max]` so p0/p100 stay exact.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
-    samples: Vec<f64>,
-    sorted: bool,
+    /// Per-bucket sample counts; allocated lazily on the first record
+    /// so empty histograms stay a few machine words.
+    counts: Vec<u64>,
+    /// Exact number of samples recorded.
+    count: u64,
+    /// Exact sum of all samples (for an exact mean).
+    sum: f64,
+    /// Exact minimum sample; meaningful only when `count > 0`.
+    min: f64,
+    /// Exact maximum sample; meaningful only when `count > 0`.
+    max: f64,
 }
 
 impl Histogram {
@@ -130,65 +162,138 @@ impl Histogram {
         Histogram::default()
     }
 
+    /// The bucket index for a sample. Everything below 1.0 (and any
+    /// non-finite or negative input) lands in bucket 0; from 1.0 up the
+    /// buckets are log-spaced with eight per octave.
+    fn bucket_of(v: f64) -> usize {
+        if v.is_nan() || v < 1.0 {
+            return 0;
+        }
+        let idx = 1 + (v.log2() * BUCKETS_PER_OCTAVE).floor() as usize;
+        idx.min(NUM_BUCKETS - 1)
+    }
+
+    /// The representative value reported for a bucket: its geometric
+    /// midpoint (callers clamp it into the exact observed `[min, max]`).
+    fn representative(bucket: usize) -> f64 {
+        if bucket == 0 {
+            0.5
+        } else {
+            2f64.powf((bucket as f64 - 0.5) / BUCKETS_PER_OCTAVE)
+        }
+    }
+
     /// Records a sample.
     pub fn record(&mut self, v: f64) {
-        self.samples.push(v);
-        self.sorted = false;
+        if !v.is_finite() {
+            debug_assert!(false, "non-finite histogram sample: {v}");
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; NUM_BUCKETS];
+        }
+        self.counts[Self::bucket_of(v)] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.count as usize
     }
 
-    /// The raw samples (unsorted unless a percentile was queried).
-    pub fn samples(&self) -> &[f64] {
-        &self.samples
-    }
-
-    /// Absorbs another histogram's samples. Percentiles over the merged
-    /// histogram equal percentiles over the concatenated sample multiset,
-    /// so per-worker latency profiles combine losslessly.
+    /// Absorbs another histogram. Bucket counts add element-wise, so the
+    /// merge is lossless at bucket granularity: percentiles over the
+    /// merged histogram equal percentiles over the histogram that would
+    /// have recorded both sample streams directly. Per-worker latency
+    /// profiles therefore combine without bias.
     pub fn merge(&mut self, other: &Histogram) {
-        self.samples.extend_from_slice(&other.samples);
-        self.sorted = false;
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; NUM_BUCKETS];
+        }
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += *src;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
     }
 
     /// True iff no samples.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.count == 0
     }
 
-    /// The `p`-th percentile (0–100) by nearest-rank; `None` when empty.
-    pub fn percentile(&mut self, p: f64) -> Option<f64> {
-        if self.samples.is_empty() {
+    /// The `p`-th percentile (0–100) by nearest-rank over the bucket
+    /// counts; `None` when empty. The answer is the representative value
+    /// of the bucket holding the nearest-rank sample, clamped into the
+    /// exact observed `[min, max]` — within one bucket width (~9%) of
+    /// the exact nearest-rank sample, and exact at p0 and p100.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
             return None;
         }
-        if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-            self.sorted = true;
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        // The rank-1 sample IS the minimum and the rank-count sample IS
+        // the maximum, both tracked exactly — answer them directly.
+        if rank == 1 {
+            return Some(self.min);
         }
-        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
-        let idx = rank.clamp(1, self.samples.len()) - 1;
-        Some(self.samples[idx])
+        if rank == self.count {
+            return Some(self.max);
+        }
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(Self::representative(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
     }
 
-    /// Mean of the samples.
+    /// Mean of the samples (exact: sum and count are tracked directly).
     pub fn mean(&self) -> Option<f64> {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             None
         } else {
-            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+            Some(self.sum / self.count as f64)
         }
     }
 
-    /// Maximum sample.
+    /// Minimum sample (exact).
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Maximum sample (exact).
     pub fn max(&self) -> Option<f64> {
-        self.samples
-            .iter()
-            .copied()
-            .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.max(v))))
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
     }
 }
 
@@ -214,6 +319,23 @@ mod tests {
         assert!((m.selectivity() - 0.005).abs() < 1e-12);
         let s = m.to_string();
         assert!(s.contains("20000 events"));
+    }
+
+    #[test]
+    fn display_includes_late_drops_and_frontier_lag() {
+        let m = QueryMetrics {
+            records_in: 10,
+            late_drops: 3,
+            frontier_lag_max_us: 1_500,
+            wall: Duration::from_secs(1),
+            ..QueryMetrics::default()
+        };
+        let s = m.to_string();
+        assert!(s.contains("3 late drops"), "missing late drops: {s}");
+        assert!(
+            s.contains("frontier lag max 1500 µs"),
+            "missing frontier lag: {s}"
+        );
     }
 
     #[test]
@@ -265,6 +387,8 @@ mod tests {
         assert_eq!(a.frontier_lag_max_us, 250, "max, not sum");
         assert_eq!(a.wall, Duration::from_secs(3), "max, not sum");
         assert_eq!(a.latency.len(), 3);
+        // p100 is exact: the walk lands in the max's bucket and the
+        // representative clamps to the exact tracked maximum.
         assert_eq!(a.latency.percentile(100.0), Some(9.0));
     }
 
@@ -286,22 +410,64 @@ mod tests {
         for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
             assert_eq!(left.percentile(p), all.percentile(p), "p{p}");
         }
-        assert_eq!(left.samples().len(), 50);
+        assert_eq!(left.len(), 50);
+        assert_eq!(left.mean(), all.mean());
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
     }
 
     #[test]
-    fn histogram_percentiles() {
+    fn histogram_percentiles_within_one_bucket() {
         let mut h = Histogram::new();
         for i in 1..=100 {
             h.record(i as f64);
         }
         assert_eq!(h.len(), 100);
-        assert_eq!(h.percentile(50.0), Some(50.0));
-        assert_eq!(h.percentile(99.0), Some(99.0));
+        // Bucketed answers are within one bucket width (2^(1/8)) of the
+        // exact nearest-rank sample.
+        let width = 2f64.powf(1.0 / BUCKETS_PER_OCTAVE);
+        for (p, exact) in [(25.0, 25.0), (50.0, 50.0), (90.0, 90.0), (99.0, 99.0)] {
+            let got = h.percentile(p).unwrap();
+            assert!(
+                got <= exact * width && got >= exact / width,
+                "p{p}: got {got}, exact {exact}"
+            );
+        }
+        // Extremes and the mean are exact.
+        assert_eq!(h.percentile(0.0), Some(1.0));
         assert_eq!(h.percentile(100.0), Some(100.0));
         assert_eq!(h.mean(), Some(50.5));
+        assert_eq!(h.min(), Some(1.0));
         assert_eq!(h.max(), Some(100.0));
         assert_eq!(Histogram::new().percentile(50.0), None);
         assert_eq!(Histogram::new().mean(), None);
+    }
+
+    #[test]
+    fn histogram_sub_unit_samples_share_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(0.25);
+        h.record(0.999);
+        // All three land in bucket 0; the representative is clamped into
+        // the exact observed range.
+        let p50 = h.percentile(50.0).unwrap();
+        assert!((0.0..1.0).contains(&p50), "p50 {p50} outside bucket 0");
+        assert_eq!(h.min(), Some(0.0));
+        assert_eq!(h.max(), Some(0.999));
+        assert_eq!(h.percentile(0.0), Some(0.0));
+        assert_eq!(h.percentile(100.0), Some(0.999));
+    }
+
+    #[test]
+    fn histogram_memory_is_bounded() {
+        let mut h = Histogram::new();
+        for i in 0..1_000_000u64 {
+            h.record((i % 10_000) as f64);
+        }
+        assert_eq!(h.len(), 1_000_000);
+        // Storage is the fixed bucket array regardless of sample count.
+        assert_eq!(h.counts.len(), NUM_BUCKETS);
+        assert_eq!(h.counts.capacity(), NUM_BUCKETS);
     }
 }

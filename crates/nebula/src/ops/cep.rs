@@ -243,6 +243,15 @@ impl Operator for CepOp {
         Ok(())
     }
 
+    fn state_bytes(&self) -> usize {
+        // Open partials: key map entries plus 16 bytes per partial
+        // (step index + first timestamp).
+        self.state
+            .values()
+            .map(|partials| 64 + partials.len() * 16)
+            .sum()
+    }
+
     fn snapshot(&self) -> Option<Box<dyn Operator>> {
         let state = self
             .state

@@ -87,6 +87,15 @@ pub trait Operator: Send {
         0
     }
 
+    /// An estimate of the bytes of mutable state this operator currently
+    /// holds (window slice stores, open CEP partials, …). Stateless
+    /// operators report 0. The telemetry layer polls this as a gauge, so
+    /// it should be cheap — an O(state entries) walk over container
+    /// lengths, not a deep serialization.
+    fn state_bytes(&self) -> usize {
+        0
+    }
+
     /// A deep copy of this operator including all mutable state, used by
     /// the cluster runtime's checkpoint barriers. `None` (the default)
     /// means the operator cannot be snapshotted — e.g. it owns an

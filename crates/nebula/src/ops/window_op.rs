@@ -122,6 +122,18 @@ impl SliceStore {
         }
     }
 
+    /// Estimated bytes of live slice state: key entries plus per-slice
+    /// accumulator sets, costed at nominal per-container constants. A
+    /// telemetry gauge, not an allocator audit — O(keys + slices).
+    pub(crate) fn est_state_bytes(&self) -> usize {
+        let per_agg = 48;
+        let per_slice = 48 + self.factory.specs.len() * per_agg;
+        self.keys
+            .values()
+            .map(|ks| 64 + ks.key_values.len() * 24 + ks.slices.len() * per_slice)
+            .sum()
+    }
+
     /// The key's slice state, created on first touch.
     fn slice_entry(
         &mut self,
@@ -695,6 +707,17 @@ impl Operator for WindowOp {
 
     fn late_drops(&self) -> u64 {
         self.late_drops
+    }
+
+    fn state_bytes(&self) -> usize {
+        let slices = self.slices.as_ref().map_or(0, SliceStore::est_state_bytes);
+        let per_agg = 48;
+        let threshold = self
+            .threshold_state
+            .values()
+            .map(|st| 64 + st.key_values.len() * 24 + st.aggs.len() * per_agg)
+            .sum::<usize>();
+        slices + threshold
     }
 
     fn snapshot(&self) -> Option<Box<dyn Operator>> {

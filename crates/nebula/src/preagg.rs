@@ -273,6 +273,10 @@ impl Operator for WindowPartialOp {
         self.late_drops
     }
 
+    fn state_bytes(&self) -> usize {
+        self.plan.store.est_state_bytes()
+    }
+
     fn snapshot(&self) -> Option<Box<dyn Operator>> {
         let plan = self.plan.snapshot().ok()?;
         Some(Box::new(WindowPartialOp {
@@ -402,6 +406,10 @@ impl Operator for WindowMergeOp {
         }
         out.push(StreamMessage::Eos);
         Ok(())
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.plan.store.est_state_bytes()
     }
 
     fn snapshot(&self) -> Option<Box<dyn Operator>> {

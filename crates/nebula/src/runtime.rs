@@ -31,10 +31,14 @@ use crate::query::{compile, PartitionScheme, Query};
 use crate::record::{Record, RecordBuffer, StreamMessage};
 use crate::sink::{BufferSink, Sink};
 use crate::source::{Source, SourceBatch, WatermarkStrategy};
+use crate::telemetry::{
+    build_report, instrument_chain, ChainTelemetry, Gauges, QueryReport, TelemetryConfig,
+    TelemetrySampler, TraceKind, TraceRing, COORDINATOR_ORIGIN,
+};
 use crate::value::EventTime;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Runtime tuning knobs.
@@ -57,6 +61,11 @@ pub struct EnvConfig {
     /// chain. `buffer_size = 1` degenerates to record-at-a-time in any
     /// mode.
     pub columnar: ColumnarMode,
+    /// Runtime telemetry: per-operator metrics, periodic sampling, and
+    /// trace events (see [`crate::telemetry`]). Collected in every
+    /// execution mode; the report of the most recent run is available
+    /// via [`StreamEnvironment::last_report`].
+    pub telemetry: TelemetryConfig,
 }
 
 /// Source-side batching policy: when to transpose polled records into
@@ -86,6 +95,7 @@ impl Default for EnvConfig {
             channel_capacity: 8,
             parallelism: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
             columnar: ColumnarMode::Auto,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -310,6 +320,9 @@ pub struct StreamEnvironment {
     registry: FunctionRegistry,
     sources: HashMap<String, RegisteredSource>,
     config: EnvConfig,
+    /// Telemetry report of the most recent run (any mode), kept until
+    /// the next run replaces it or [`Self::take_report`] takes it.
+    report: Option<QueryReport>,
 }
 
 impl Default for StreamEnvironment {
@@ -325,6 +338,7 @@ impl StreamEnvironment {
             registry: FunctionRegistry::with_builtins(),
             sources: HashMap::new(),
             config: EnvConfig::default(),
+            report: None,
         }
     }
 
@@ -360,6 +374,17 @@ impl StreamEnvironment {
     /// Loads a plugin's functions into the registry.
     pub fn load_plugin(&mut self, plugin: &dyn Plugin) -> Result<()> {
         self.registry.load_plugin(plugin)
+    }
+
+    /// The telemetry report of the most recent run, if telemetry was
+    /// enabled ([`TelemetryConfig::enabled`]). Each run replaces it.
+    pub fn last_report(&self) -> Option<&QueryReport> {
+        self.report.as_ref()
+    }
+
+    /// Takes ownership of the most recent run's telemetry report.
+    pub fn take_report(&mut self) -> Option<QueryReport> {
+        self.report.take()
     }
 
     /// Registers a named source with its watermark strategy.
@@ -412,8 +437,20 @@ impl StreamEnvironment {
     /// `sink`. Consumes the registered source (only on a valid plan; a
     /// compile error leaves the source registered).
     pub fn run(&mut self, query: &Query, sink: &mut dyn Sink) -> Result<QueryMetrics> {
-        let (ts_col, mut ops) = self.prepare(query)?;
+        let (ts_col, ops) = self.prepare(query)?;
         let columnar = chain_wants_columnar(self.config.columnar, &ops);
+        let tel_on = self.config.telemetry.enabled;
+        let (mut ops, tel) = instrument_chain(ops, tel_on, 0);
+        let chains = [tel];
+        let trace = TraceRing::new(self.config.telemetry.max_events);
+        if tel_on {
+            trace.push(
+                COORDINATOR_ORIGIN,
+                TraceKind::QueryDeployed,
+                format!("synchronous run, {} operator(s)", ops.len()),
+            );
+        }
+        let mut sampler = TelemetrySampler::new(&self.config.telemetry);
         let RegisteredSource {
             mut source,
             watermark,
@@ -458,6 +495,20 @@ impl StreamEnvironment {
                             feed(&mut ops, StreamMessage::Watermark(w), sink, &mut metrics)?;
                         }
                     }
+                    // Synchronous mode has no channels, so queue depth
+                    // and stalls are structurally zero.
+                    sampler.maybe_sample(
+                        &Gauges {
+                            records_in: metrics.records_in,
+                            records_out: metrics.records_out,
+                            queue_depth: 0,
+                            frontier: tracker.frontier(),
+                            frontier_lag_us: tracker.frontier_lag_us(),
+                            stalls: 0,
+                        },
+                        &chains,
+                        Some((&trace, COORDINATOR_ORIGIN)),
+                    );
                 }
                 SourceBatch::Idle => {
                     idle += 1;
@@ -474,14 +525,40 @@ impl StreamEnvironment {
         metrics.late_drops = chain_late_drops(&ops);
         metrics.frontier_lag_max_us = tracker.frontier_lag_us();
         metrics.wall = start.elapsed();
+        sampler.force_sample(
+            &Gauges {
+                records_in: metrics.records_in,
+                records_out: metrics.records_out,
+                queue_depth: 0,
+                frontier: tracker.frontier(),
+                frontier_lag_us: metrics.frontier_lag_max_us,
+                stalls: 0,
+            },
+            &chains,
+            Some((&trace, COORDINATOR_ORIGIN)),
+        );
+        self.report =
+            tel_on.then(|| build_report("run", &metrics, &chains, sampler, &trace, Vec::new(), 0));
         Ok(metrics)
     }
 
     /// Runs a query with the source on its own thread, connected to the
     /// operator chain by a bounded channel — pipeline parallelism.
     pub fn run_threaded(&mut self, query: &Query, sink: &mut dyn Sink) -> Result<QueryMetrics> {
-        let (ts_col, mut ops) = self.prepare(query)?;
+        let (ts_col, ops) = self.prepare(query)?;
         let columnar = chain_wants_columnar(self.config.columnar, &ops);
+        let tel_on = self.config.telemetry.enabled;
+        let (mut ops, tel) = instrument_chain(ops, tel_on, 0);
+        let chains = [tel];
+        let trace = TraceRing::new(self.config.telemetry.max_events);
+        if tel_on {
+            trace.push(
+                COORDINATOR_ORIGIN,
+                TraceKind::QueryDeployed,
+                format!("pipeline-parallel run, {} operator(s)", ops.len()),
+            );
+        }
+        let mut sampler = TelemetrySampler::new(&self.config.telemetry);
         let RegisteredSource {
             mut source,
             watermark,
@@ -492,6 +569,12 @@ impl StreamEnvironment {
         let buffer_size = self.config.buffer_size;
         let watermark_every = self.config.watermark_every;
         let idle_limit = self.config.idle_limit;
+        // Depth mirrors the channel occupancy (the vendored channel has
+        // no len()); stalls count producer blocks on a full channel.
+        // The producer increments depth *before* sending, so the
+        // consumer's decrement after a receive can never underflow.
+        let depth = AtomicU64::new(0);
+        let stalls = AtomicU64::new(0);
 
         let mut metrics = QueryMetrics::default();
         let start = Instant::now();
@@ -499,12 +582,34 @@ impl StreamEnvironment {
         tracker.register(LOCAL_ORIGIN);
 
         let result: Result<()> = std::thread::scope(|scope| {
+            let (depth, stalls) = (&depth, &stalls);
             // The producer only *stamps* punctuation (riding on the
             // task, like BufferMeta on a columnar buffer); the
             // consumer's tracker turns stamps into watermark feeds, so
             // progress decisions live with the executor, not the
             // transport.
             let producer = scope.spawn(move || -> Result<()> {
+                // Try the non-blocking path first so a full channel is
+                // observable: each fallback to the blocking send counts
+                // one backpressure stall for the sampler.
+                let send_task = |task: Task| -> Result<()> {
+                    depth.fetch_add(1, Ordering::Relaxed);
+                    let task = match tx.try_send(task) {
+                        Ok(()) => return Ok(()),
+                        Err(crossbeam::channel::TrySendError::Full(t)) => {
+                            stalls.fetch_add(1, Ordering::Relaxed);
+                            t
+                        }
+                        Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                            depth.fetch_sub(1, Ordering::Relaxed);
+                            return Err(NebulaError::Eval("consumer hung up".into()));
+                        }
+                    };
+                    tx.send(task).map_err(|_| {
+                        depth.fetch_sub(1, Ordering::Relaxed);
+                        NebulaError::Eval("consumer hung up".into())
+                    })
+                };
                 let mut max_ts: EventTime = EventTime::MIN;
                 let mut batches: u64 = 0;
                 let mut idle: u64 = 0;
@@ -524,12 +629,11 @@ impl StreamEnvironment {
                                 watermark_every,
                                 &mut max_ts,
                             );
-                            tx.send(Task {
+                            send_task(Task {
                                 msg,
                                 sequence: batches,
                                 punctuation,
-                            })
-                            .map_err(|_| NebulaError::Eval("consumer hung up".into()))?;
+                            })?;
                         }
                         SourceBatch::Idle => {
                             idle += 1;
@@ -541,12 +645,11 @@ impl StreamEnvironment {
                         SourceBatch::Exhausted => break,
                     }
                 }
-                tx.send(Task {
+                send_task(Task {
                     msg: StreamMessage::Eos,
                     sequence: 0,
                     punctuation: None,
-                })
-                .map_err(|_| NebulaError::Eval("consumer hung up".into()))?;
+                })?;
                 Ok(())
             });
 
@@ -556,6 +659,7 @@ impl StreamEnvironment {
                 punctuation,
             } in rx.iter()
             {
+                depth.fetch_sub(1, Ordering::Relaxed);
                 let is_eos = matches!(msg, StreamMessage::Eos);
                 if matches!(msg, StreamMessage::Data(_) | StreamMessage::Columnar(_)) {
                     metrics.batches += 1;
@@ -574,6 +678,18 @@ impl StreamEnvironment {
                         feed(&mut ops, StreamMessage::Watermark(w), sink, &mut metrics)?;
                     }
                 }
+                sampler.maybe_sample(
+                    &Gauges {
+                        records_in: metrics.records_in,
+                        records_out: metrics.records_out,
+                        queue_depth: depth.load(Ordering::Relaxed),
+                        frontier: tracker.frontier(),
+                        frontier_lag_us: tracker.frontier_lag_us(),
+                        stalls: stalls.load(Ordering::Relaxed),
+                    },
+                    &chains,
+                    Some((&trace, COORDINATOR_ORIGIN)),
+                );
             }
             producer
                 .join()
@@ -585,6 +701,29 @@ impl StreamEnvironment {
         metrics.late_drops = chain_late_drops(&ops);
         metrics.frontier_lag_max_us = tracker.frontier_lag_us();
         metrics.wall = start.elapsed();
+        sampler.force_sample(
+            &Gauges {
+                records_in: metrics.records_in,
+                records_out: metrics.records_out,
+                queue_depth: 0,
+                frontier: tracker.frontier(),
+                frontier_lag_us: metrics.frontier_lag_max_us,
+                stalls: stalls.load(Ordering::Relaxed),
+            },
+            &chains,
+            Some((&trace, COORDINATOR_ORIGIN)),
+        );
+        self.report = tel_on.then(|| {
+            build_report(
+                "run_threaded",
+                &metrics,
+                &chains,
+                sampler,
+                &trace,
+                Vec::new(),
+                0,
+            )
+        });
         Ok(metrics)
     }
 
@@ -667,18 +806,36 @@ impl StreamEnvironment {
         let start = Instant::now();
         let n = parallelism;
 
+        let tel_on = self.config.telemetry.enabled;
+        let trace = TraceRing::new(self.config.telemetry.max_events);
+        if tel_on {
+            trace.push(
+                COORDINATOR_ORIGIN,
+                TraceKind::QueryDeployed,
+                format!("partitioned run, {n} partition(s)"),
+            );
+        }
+        let mut sampler = TelemetrySampler::new(&self.config.telemetry);
+
         // One slot per partition: a task queue plus the partition's
         // chain, separately locked so any worker can claim whichever
-        // partition has work.
+        // partition has work. Each partition's chain gets its own
+        // instrumentation registry; the per-operator reports merge at
+        // the end exactly like the partition QueryMetrics.
+        let mut part_tels: Vec<ChainTelemetry> = Vec::with_capacity(n);
         let slots: Vec<PartitionSlot> = chains
             .into_iter()
-            .map(|ops| PartitionSlot {
-                queue: Mutex::new(VecDeque::new()),
-                depth: AtomicUsize::new(0),
-                exec: Mutex::new(PartitionExec {
-                    ops,
-                    metrics: QueryMetrics::default(),
-                }),
+            .map(|ops| {
+                let (ops, tel) = instrument_chain(ops, tel_on, 0);
+                part_tels.push(tel);
+                PartitionSlot {
+                    queue: Mutex::new(VecDeque::new()),
+                    depth: AtomicUsize::new(0),
+                    exec: Mutex::new(PartitionExec {
+                        ops,
+                        metrics: QueryMetrics::default(),
+                    }),
+                }
             })
             .collect();
         let key_count = match &route {
@@ -688,7 +845,10 @@ impl StreamEnvironment {
         let ledger = Mutex::new(EmissionLedger::new(output_schema, key_count));
         let finished = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
+        let stalls = AtomicU64::new(0);
         let first_err: Mutex<Option<NebulaError>> = Mutex::new(None);
+        let mut tracker = ProgressTracker::new();
+        tracker.register(LOCAL_ORIGIN);
 
         let result: Result<()> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
@@ -702,9 +862,15 @@ impl StreamEnvironment {
 
             // Queues a task to one partition, bounded: wait while the
             // target queue is at capacity — workers drain concurrently,
-            // stealing the partition if its last executor is busy.
+            // stealing the partition if its last executor is busy. Each
+            // wait episode counts one backpressure stall.
             let push_task = |p: usize, step: u64, msg: StreamMessage| {
+                let mut stalled = false;
                 while slots[p].depth.load(Ordering::Acquire) >= channel_capacity {
+                    if !stalled {
+                        stalled = true;
+                        stalls.fetch_add(1, Ordering::Relaxed);
+                    }
                     if abort.load(Ordering::Acquire) {
                         return;
                     }
@@ -714,14 +880,15 @@ impl StreamEnvironment {
                 slots[p].depth.fetch_add(1, Ordering::AcqRel);
             };
 
-            let mut tracker = ProgressTracker::new();
-            tracker.register(LOCAL_ORIGIN);
-
+            let tracker = &mut tracker;
+            let sampler = &mut sampler;
             let route_result: Result<()> = (|| {
                 let mut max_ts: EventTime = EventTime::MIN;
                 let mut batches: u64 = 0;
                 let mut idle: u64 = 0;
                 let mut rr: usize = 0;
+                let mut routed_records: u64 = 0;
+                let mut released_records: u64 = 0;
                 loop {
                     if abort.load(Ordering::Acquire) {
                         break;
@@ -741,6 +908,7 @@ impl StreamEnvironment {
                                 watermark_every,
                                 &mut max_ts,
                             );
+                            routed_records += msg.record_count() as u64;
                             // Shard the buffer to its owning partitions.
                             // Whole-buffer transfer wherever possible:
                             // the router stays O(1) per buffer, and a
@@ -840,8 +1008,29 @@ impl StreamEnvironment {
                             // already released.
                             let released = { ledger.lock().take_released() };
                             for b in released {
+                                released_records += b.len() as u64;
                                 sink.consume(&b)?;
                             }
+                            // The router samples: records routed in,
+                            // records released out, total queued tasks
+                            // across the pool — the registries are
+                            // atomic, so reading them races nothing.
+                            let queue_depth: u64 = slots
+                                .iter()
+                                .map(|s| s.depth.load(Ordering::Acquire) as u64)
+                                .sum();
+                            sampler.maybe_sample(
+                                &Gauges {
+                                    records_in: routed_records,
+                                    records_out: released_records,
+                                    queue_depth,
+                                    frontier: tracker.frontier(),
+                                    frontier_lag_us: tracker.frontier_lag_us(),
+                                    stalls: stalls.load(Ordering::Relaxed),
+                                },
+                                &part_tels,
+                                Some((&trace, COORDINATOR_ORIGIN)),
+                            );
                         }
                         SourceBatch::Idle => {
                             idle += 1;
@@ -898,6 +1087,29 @@ impl StreamEnvironment {
         }
         merged.frontier_lag_max_us = merged.frontier_lag_max_us.max(ledger.lag_max_us);
         merged.wall = start.elapsed();
+        sampler.force_sample(
+            &Gauges {
+                records_in: merged.records_in,
+                records_out: merged.records_out,
+                queue_depth: 0,
+                frontier: tracker.frontier(),
+                frontier_lag_us: merged.frontier_lag_max_us,
+                stalls: stalls.load(Ordering::Relaxed),
+            },
+            &part_tels,
+            Some((&trace, COORDINATOR_ORIGIN)),
+        );
+        self.report = tel_on.then(|| {
+            build_report(
+                "run_partitioned",
+                &merged,
+                &part_tels,
+                sampler,
+                &trace,
+                Vec::new(),
+                0,
+            )
+        });
         Ok(merged)
     }
 }

@@ -65,6 +65,10 @@ pub enum Frame {
     /// state when the barrier passes; the cloud aligns barriers across
     /// pipes before snapshotting (Chandy–Lamport style consistent cut).
     Barrier(u64),
+    /// Out-of-band telemetry: a periodic per-node snapshot shipped to
+    /// the cloud for fan-in next to the query results. Relay sites
+    /// forward it unchanged; it never affects data or progress.
+    Telemetry(crate::telemetry::NodeSnapshot),
 }
 
 const FRAME_DATA: u8 = 0;
@@ -72,6 +76,7 @@ const FRAME_WATERMARK: u8 = 1;
 const FRAME_EOS: u8 = 2;
 const FRAME_HANDOFF: u8 = 3;
 const FRAME_BARRIER: u8 = 4;
+const FRAME_TELEMETRY: u8 = 5;
 
 /// Serializes one plugin type for wire transport — the codec counterpart
 /// of [`OpaqueValue`]. Implementations live with the plugin that owns
@@ -142,6 +147,25 @@ pub fn encode_frame(frame: &Frame, schema: &Schema, registry: &WireRegistry) -> 
         Frame::Barrier(epoch) => {
             body.push(FRAME_BARRIER);
             body.extend_from_slice(&epoch.to_le_bytes());
+        }
+        Frame::Telemetry(snap) => {
+            body.push(FRAME_TELEMETRY);
+            body.extend_from_slice(&snap.origin.to_le_bytes());
+            body.extend_from_slice(&snap.seq.to_le_bytes());
+            body.extend_from_slice(&snap.at_us.to_le_bytes());
+            body.extend_from_slice(&snap.records_in.to_le_bytes());
+            body.extend_from_slice(&snap.records_out.to_le_bytes());
+            body.extend_from_slice(&snap.queue_depth.to_le_bytes());
+            body.extend_from_slice(&snap.frontier_lag_us.to_le_bytes());
+            match snap.frontier {
+                Some(f) => {
+                    body.push(1);
+                    body.extend_from_slice(&f.to_le_bytes());
+                }
+                None => body.push(0),
+            }
+            body.extend_from_slice(&(snap.node.len() as u32).to_le_bytes());
+            body.extend_from_slice(snap.node.as_bytes());
         }
     }
     let mut out = Vec::with_capacity(body.len() + 4);
@@ -355,6 +379,35 @@ pub fn decode_frame(bytes: &[u8], schema: &Schema, registry: &WireRegistry) -> R
         FRAME_EOS => Frame::Eos,
         FRAME_HANDOFF => Frame::Handoff,
         FRAME_BARRIER => Frame::Barrier(c.u64()?),
+        FRAME_TELEMETRY => {
+            let origin = c.u64()?;
+            let seq = c.u64()?;
+            let at_us = c.u64()?;
+            let records_in = c.u64()?;
+            let records_out = c.u64()?;
+            let queue_depth = c.u64()?;
+            let frontier_lag_us = c.u64()?;
+            let frontier = match c.u8()? {
+                0 => None,
+                1 => Some(c.i64()?),
+                b => return Err(corrupt(format!("invalid frontier presence byte {b}"))),
+            };
+            let node_len = c.checked_len()?;
+            let node = std::str::from_utf8(c.take(node_len)?)
+                .map_err(|_| corrupt("node name is not valid UTF-8"))?
+                .to_string();
+            Frame::Telemetry(crate::telemetry::NodeSnapshot {
+                origin,
+                node,
+                seq,
+                at_us,
+                records_in,
+                records_out,
+                queue_depth,
+                frontier,
+                frontier_lag_us,
+            })
+        }
         t => return Err(corrupt(format!("unknown frame type {t}"))),
     };
     if c.remaining() != 0 {
@@ -601,6 +654,34 @@ mod tests {
                 (Frame::Eos, Frame::Eos) | (Frame::Handoff, Frame::Handoff) => {}
                 (Frame::Barrier(a), Frame::Barrier(b)) => assert_eq!(a, b),
                 other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_frame_round_trips() {
+        let reg = WireRegistry::new();
+        let s = schema();
+        for frontier in [None, Some(12_345_678i64), Some(-1)] {
+            let snap = crate::telemetry::NodeSnapshot {
+                origin: 3,
+                node: "edge-α".to_string(),
+                seq: 17,
+                at_us: 250_000,
+                records_in: 1_000,
+                records_out: 900,
+                queue_depth: 4,
+                frontier,
+                frontier_lag_us: 777,
+            };
+            let bytes = encode_frame(&Frame::Telemetry(snap.clone()), &s, &reg).unwrap();
+            match decode_frame(&bytes, &s, &reg).unwrap() {
+                Frame::Telemetry(back) => assert_eq!(back, snap),
+                other => panic!("{other:?}"),
+            }
+            // Truncations never panic.
+            for cut in 0..bytes.len() {
+                let _ = decode_frame(&bytes[..cut], &s, &reg);
             }
         }
     }

@@ -1,0 +1,148 @@
+//! Property-based tests for the bounded log-bucketed [`Histogram`]:
+//! bucketed percentiles stay within one bucket width (2^(1/8) ≈ 1.09×)
+//! of the exact nearest-rank sample, merging partial histograms is
+//! lossless at bucket granularity, and the exact sidecars (count, sum,
+//! min, max) survive any split of the sample stream.
+
+use nebula::prelude::*;
+use proptest::prelude::*;
+
+/// One bucket spans a 2^(1/8) factor; a bucketed percentile may be off
+/// by at most that ratio (plus float fuzz) for samples >= 1.0.
+const BUCKET_WIDTH: f64 = 1.090507732665258; // 2^(1/8)
+
+/// Exact nearest-rank percentile over the raw samples — the reference
+/// the bucketed answer is compared against.
+fn exact_percentile(sorted: &[f64], p: f64) -> f64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Samples spanning bucket 0 (sub-1.0 values), the realistic latency
+/// range in µs, and the far octaves — the selector die picks the band,
+/// the mantissa draw places the sample inside it.
+fn sample_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        (0u8..10, 0.0..1.0f64).prop_map(|(band, m)| match band {
+            // Bucket 0: everything below 1.0 collapses together.
+            0 | 1 => m,
+            // The latency range the engine actually records (µs).
+            2..=7 => 1.0 + m * 1e7,
+            // Far octaves, exercising the index clamp.
+            _ => 1e7 + m * 1e15,
+        }),
+        1..200,
+    )
+}
+
+proptest! {
+    // For every percentile, the bucketed answer is within one bucket
+    // width of the exact nearest-rank sample — and exact at p0/p100.
+    #[test]
+    fn percentile_within_one_bucket_width(samples in sample_strategy()) {
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        prop_assert_eq!(h.percentile(0.0).unwrap(), sorted[0]);
+        prop_assert_eq!(
+            h.percentile(100.0).unwrap(),
+            *sorted.last().unwrap()
+        );
+        for p in [10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0] {
+            let exact = exact_percentile(&sorted, p);
+            let got = h.percentile(p).unwrap();
+            if exact < 1.0 {
+                // Bucket 0 holds every sub-1.0 sample; the answer must
+                // stay inside the exact observed range, which is all
+                // the bucket can promise below the log-spaced floor.
+                prop_assert!(
+                    got >= sorted[0] && got <= *sorted.last().unwrap(),
+                    "p{p}: {got} outside observed range"
+                );
+            } else {
+                let ratio = got / exact;
+                prop_assert!(
+                    (1.0 / BUCKET_WIDTH - 1e-9..=BUCKET_WIDTH + 1e-9).contains(&ratio),
+                    "p{p}: bucketed {got} vs exact {exact} (ratio {ratio})"
+                );
+            }
+        }
+    }
+
+    // Splitting the sample stream across any number of partial
+    // histograms and merging is indistinguishable from recording
+    // everything into one histogram directly — the property that makes
+    // per-partition and per-site service profiles safe to combine.
+    #[test]
+    fn merge_is_lossless_at_bucket_granularity(
+        samples in sample_strategy(),
+        cut in 0usize..200,
+        parts in 2usize..5,
+    ) {
+        let mut whole = Histogram::new();
+        for &v in &samples {
+            whole.record(v);
+        }
+
+        // A two-way split at an arbitrary cut...
+        let cut = cut.min(samples.len());
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for &v in &samples[..cut] {
+            left.record(v);
+        }
+        for &v in &samples[cut..] {
+            right.record(v);
+        }
+        left.merge(&right);
+
+        // ...and a round-robin split across `parts` histograms.
+        let mut shards = vec![Histogram::new(); parts];
+        for (i, &v) in samples.iter().enumerate() {
+            shards[i % parts].record(v);
+        }
+        let mut rr = Histogram::new();
+        for shard in &shards {
+            rr.merge(shard);
+        }
+
+        for merged in [&left, &rr] {
+            prop_assert_eq!(merged.len(), whole.len());
+            prop_assert_eq!(merged.min(), whole.min());
+            prop_assert_eq!(merged.max(), whole.max());
+            let (m, w) = (merged.mean().unwrap(), whole.mean().unwrap());
+            prop_assert!((m - w).abs() <= 1e-6 * w.abs().max(1.0), "mean {m} vs {w}");
+            for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+                prop_assert_eq!(
+                    merged.percentile(p),
+                    whole.percentile(p),
+                    "p{} diverges after merge",
+                    p
+                );
+            }
+        }
+    }
+
+    // Merging into an empty histogram copies, merging an empty one is
+    // a no-op, and percentiles never step outside the observed range.
+    #[test]
+    fn merge_identities_and_range(samples in sample_strategy()) {
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut from_empty = Histogram::new();
+        from_empty.merge(&h);
+        prop_assert_eq!(from_empty.percentile(50.0), h.percentile(50.0));
+        let before = h.percentile(50.0);
+        h.merge(&Histogram::new());
+        prop_assert_eq!(h.percentile(50.0), before);
+        for p in [0.0, 33.3, 66.6, 100.0] {
+            let v = h.percentile(p).unwrap();
+            prop_assert!(v >= h.min().unwrap() && v <= h.max().unwrap());
+        }
+    }
+}

@@ -64,10 +64,7 @@ fn main() -> nebula::Result<()> {
     }
     println!(
         "\nmerged p99 worker latency: {:.1} µs over {} buffer feeds",
-        {
-            let mut m4 = m4.clone();
-            m4.latency_us(99.0).unwrap_or(0.0)
-        },
+        m4.latency_us(99.0).unwrap_or(0.0),
         m4.latency.len(),
     );
     Ok(())

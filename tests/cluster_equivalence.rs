@@ -1341,3 +1341,103 @@ fn batched_wire_bytes_reconcile_with_analytic_network_cost() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Telemetry: cluster-side conservation and node snapshot fan-in
+// ---------------------------------------------------------------------------
+
+/// Runs one placed query with sub-interval sampling so every node ships
+/// snapshots, returning the full cluster report.
+fn telemetry_cluster_run(query: &Query, strategy: PlacementStrategy) -> ClusterReport {
+    let (topo, sensors) = Topology::train_fleet(3);
+    let mut env = ClusterEnvironment::with_config(
+        topo,
+        ClusterConfig {
+            buffer_size: 32,
+            watermark_every: 2,
+            telemetry: TelemetryConfig {
+                sample_every: std::time::Duration::ZERO,
+                ..TelemetryConfig::default()
+            },
+            ..ClusterConfig::default()
+        },
+    );
+    env.add_source("s", sensors[0], source(Feed::InOrder), generous_watermark());
+    let (mut sink, _got) = CollectingSink::new();
+    env.run_placed(query, strategy, &mut sink)
+        .unwrap_or_else(|e| panic!("{strategy:?} telemetry run failed: {e}"))
+}
+
+#[test]
+fn cluster_telemetry_reports_operators_and_snapshots() {
+    // Under both placements the distributed run must account for every
+    // source record at the chain head, attribute late drops
+    // per-operator, sample the coordinator series, fan in node
+    // snapshots over the wire, and log the deployment event.
+    let q = Query::from("s").filter(col("load").ge(lit(20))).window(
+        vec![("train", col("train"))],
+        WindowSpec::Tumbling {
+            size: 120 * MICROS_PER_SEC,
+        },
+        vec![WindowAgg::new("n", AggSpec::Count)],
+    );
+    for strategy in [PlacementStrategy::EdgeFirst, PlacementStrategy::CloudOnly] {
+        let report = telemetry_cluster_run(&q, strategy);
+        let tel = &report.telemetry;
+        assert_eq!(tel.mode, "run_placed", "{strategy:?} mode label");
+        assert!(!tel.operators.is_empty(), "{strategy:?} has operators");
+        assert_eq!(
+            tel.operators[0].records_in, report.metrics.records_in,
+            "{strategy:?} chain head consumes every source record"
+        );
+        let late: u64 = tel.operators.iter().map(|op| op.late_drops).sum();
+        assert_eq!(
+            late, report.metrics.late_drops,
+            "{strategy:?} per-operator late drops sum to the aggregate"
+        );
+        assert!(!tel.samples.is_empty(), "{strategy:?} sampled the series");
+        assert!(
+            !tel.node_snapshots.is_empty(),
+            "{strategy:?} nodes shipped snapshots to the cloud"
+        );
+        assert!(
+            tel.events
+                .iter()
+                .any(|e| e.kind == TraceKind::QueryDeployed),
+            "{strategy:?} logged the deployment event"
+        );
+    }
+}
+
+#[test]
+fn cluster_cloud_only_chain_telescopes() {
+    // CloudOnly keeps the whole chain at the cloud in plan order, so
+    // the strict single-process invariant carries over: consecutive
+    // operators telescope and the tail's output is what the sink saw.
+    let q = Query::from("s")
+        .filter(col("load").ge(lit(20)))
+        .map_extend(vec![("kmh", col("speed").mul(lit(3.6)))])
+        .window(
+            vec![("train", col("train"))],
+            WindowSpec::Tumbling {
+                size: 120 * MICROS_PER_SEC,
+            },
+            vec![WindowAgg::new("n", AggSpec::Count)],
+        );
+    let report = telemetry_cluster_run(&q, PlacementStrategy::CloudOnly);
+    let tel = &report.telemetry;
+    for pair in tel.operators.windows(2) {
+        assert_eq!(
+            pair[0].records_out,
+            pair[1].records_in,
+            "cloud-only {} out -> {} in telescopes",
+            pair[0].id(),
+            pair[1].id()
+        );
+    }
+    assert_eq!(
+        tel.operators.last().unwrap().records_out,
+        report.metrics.records_out,
+        "cloud-only chain tail produced the delivered records"
+    );
+}

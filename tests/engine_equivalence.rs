@@ -672,3 +672,235 @@ fn auto_mode_matches_forced_paths() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Telemetry conservation invariants
+// ---------------------------------------------------------------------------
+
+/// Runs `query` in one mode and returns the metrics, the telemetry
+/// report, and the raw count of records the sink received.
+fn execute_with_report(
+    query: &Query,
+    mode: Mode,
+    feed: Feed,
+    watermark: WatermarkStrategy,
+) -> (QueryMetrics, QueryReport, u64) {
+    let mut env = StreamEnvironment::with_config(EnvConfig {
+        buffer_size: 32,
+        watermark_every: 2,
+        parallelism: match mode {
+            Mode::Partitioned(p) => p,
+            _ => 1,
+        },
+        ..EnvConfig::default()
+    });
+    env.add_source("s", source(feed), watermark);
+    let (mut sink, got) = CollectingSink::new();
+    let metrics = match mode {
+        Mode::Sync => env.run(query, &mut sink),
+        Mode::Threaded => env.run_threaded(query, &mut sink),
+        Mode::Partitioned(_) => env.run_partitioned(query, &mut sink),
+    }
+    .unwrap_or_else(|e| panic!("{mode:?}/{feed:?} failed: {e}"));
+    let report = env.take_report().expect("telemetry enabled by default");
+    let sink_records = got.records().len() as u64;
+    (metrics, report, sink_records)
+}
+
+/// Asserts record conservation through an instrumented chain:
+/// `records_in` entering the chain equals sink records plus every drop
+/// the chain accounted for, and consecutive operators telescope —
+/// operator N's `records_out` is exactly operator N+1's `records_in`.
+fn assert_conserved(
+    name: &str,
+    mode: Mode,
+    metrics: &QueryMetrics,
+    report: &QueryReport,
+    sink_records: u64,
+) {
+    assert!(
+        !report.operators.is_empty(),
+        "{name}: {mode:?} report has operators"
+    );
+    let first = &report.operators[0];
+    let last = report.operators.last().unwrap();
+    assert_eq!(
+        first.records_in, metrics.records_in,
+        "{name}: {mode:?} chain head consumes every source record"
+    );
+    assert_eq!(
+        last.records_out, metrics.records_out,
+        "{name}: {mode:?} chain tail produced the delivered records"
+    );
+    assert_eq!(
+        metrics.records_out, sink_records,
+        "{name}: {mode:?} metrics.records_out matches the sink"
+    );
+    for pair in report.operators.windows(2) {
+        assert_eq!(
+            pair[0].records_out,
+            pair[1].records_in,
+            "{name}: {mode:?} {} out -> {} in telescopes",
+            pair[0].id(),
+            pair[1].id()
+        );
+    }
+    let report_late: u64 = report.operators.iter().map(|op| op.late_drops).sum();
+    assert_eq!(
+        report_late, metrics.late_drops,
+        "{name}: {mode:?} per-operator late drops sum to the aggregate"
+    );
+    // Exact conservation: every record entering the chain either
+    // reaches the sink or is attributable to a specific operator — a
+    // filter rejection (records_in - records_out on a 1:1 operator) or
+    // a late drop. Stateful operators change cardinality, so the
+    // general form telescopes per-operator deltas instead of assuming
+    // pass-through.
+    let stateless_dropped: u64 = report
+        .operators
+        .iter()
+        .filter(|op| op.name == "filter")
+        .map(|op| op.records_in - op.records_out)
+        .sum();
+    if report
+        .operators
+        .iter()
+        .all(|op| matches!(op.name.as_str(), "filter" | "map"))
+    {
+        assert_eq!(
+            metrics.records_in,
+            sink_records + stateless_dropped + metrics.late_drops,
+            "{name}: {mode:?} records_in == sink + filter-dropped + late_drops"
+        );
+    }
+}
+
+#[test]
+fn conservation_stateless_chain_all_modes() {
+    // filter -> map: nothing is stateful, so conservation is exact in
+    // every mode — source records either reach the sink or were
+    // rejected by the filter.
+    let q = Query::from("s")
+        .filter(col("load").ge(lit(20)))
+        .map_extend(vec![("kmh", col("speed").mul(lit(3.6)))]);
+    for mode in ALL_MODES {
+        let (metrics, report, sink_records) =
+            execute_with_report(&q, mode, Feed::InOrder, WatermarkStrategy::None);
+        assert_conserved("stateless", mode, &metrics, &report, sink_records);
+        assert_eq!(metrics.late_drops, 0, "stateless: {mode:?} no late drops");
+    }
+}
+
+#[test]
+fn conservation_windowed_chain_all_modes() {
+    // filter -> map -> keyed tumbling window under a generous watermark:
+    // the window changes cardinality but the telescoping invariant must
+    // still hold through it, and late drops stay zero.
+    let q = Query::from("s")
+        .filter(col("load").ge(lit(20)))
+        .map_extend(vec![("kmh", col("speed").mul(lit(3.6)))])
+        .window(
+            vec![("train", col("train"))],
+            WindowSpec::Tumbling {
+                size: 120 * MICROS_PER_SEC,
+            },
+            vec![
+                WindowAgg::new("n", AggSpec::Count),
+                WindowAgg::new("avg_kmh", AggSpec::Avg(col("kmh"))),
+            ],
+        );
+    for mode in ALL_MODES {
+        let (metrics, report, sink_records) =
+            execute_with_report(&q, mode, Feed::InOrder, generous_watermark());
+        assert_conserved("windowed", mode, &metrics, &report, sink_records);
+    }
+}
+
+#[test]
+fn conservation_accounts_late_drops() {
+    // Tight slack + jitter forces genuine late drops; the window
+    // operator's per-op late_drops must account for every record the
+    // chain consumed but never aggregated, in every mode.
+    let tight = WatermarkStrategy::BoundedOutOfOrder {
+        ts_field: "ts".into(),
+        slack: 4 * MICROS_PER_SEC,
+    };
+    let q = Query::from("s").window(
+        vec![("train", col("train"))],
+        WindowSpec::Tumbling {
+            size: 30 * MICROS_PER_SEC,
+        },
+        vec![WindowAgg::new("n", AggSpec::Count)],
+    );
+    let mut saw_drops = false;
+    for mode in ALL_MODES {
+        // A jitter window far wider than the slack guarantees genuinely
+        // late records (the shared `source` helper's window of 8 is too
+        // tame for a 4 s slack).
+        let mut env = StreamEnvironment::with_config(EnvConfig {
+            buffer_size: 32,
+            watermark_every: 2,
+            parallelism: match mode {
+                Mode::Partitioned(p) => p,
+                _ => 1,
+            },
+            ..EnvConfig::default()
+        });
+        env.add_source(
+            "s",
+            Box::new(JitterSource::new(
+                VecSource::new(schema(), records()),
+                64,
+                7,
+            )),
+            tight.clone(),
+        );
+        let (mut sink, got) = CollectingSink::new();
+        let metrics = match mode {
+            Mode::Sync => env.run(&q, &mut sink),
+            Mode::Threaded => env.run_threaded(&q, &mut sink),
+            Mode::Partitioned(_) => env.run_partitioned(&q, &mut sink),
+        }
+        .unwrap_or_else(|e| panic!("late/{mode:?} failed: {e}"));
+        let report = env.take_report().expect("telemetry enabled by default");
+        let sink_records = got.records().len() as u64;
+        assert_conserved("late", mode, &metrics, &report, sink_records);
+        saw_drops |= metrics.late_drops > 0;
+    }
+    assert!(saw_drops, "tight slack produced at least one late drop");
+}
+
+#[test]
+fn report_modes_and_sampling_are_labelled() {
+    // Every mode stamps its own label, records at least the forced
+    // end-of-run sample, and logs the deployment trace event.
+    let q = Query::from("s").filter(col("load").ge(lit(20)));
+    for (mode, label) in [
+        (Mode::Sync, "run"),
+        (Mode::Threaded, "run_threaded"),
+        (Mode::Partitioned(2), "run_partitioned"),
+    ] {
+        let (_, report, _) = execute_with_report(&q, mode, Feed::InOrder, WatermarkStrategy::None);
+        assert_eq!(report.mode, label, "{mode:?} mode label");
+        assert!(
+            !report.samples.is_empty(),
+            "{mode:?} records the forced final sample"
+        );
+        assert!(
+            report
+                .events
+                .iter()
+                .any(|e| e.kind == TraceKind::QueryDeployed),
+            "{mode:?} logs the deployment event"
+        );
+        let final_sample = report.samples.last().unwrap();
+        assert_eq!(
+            final_sample.records_in, report.metrics.records_in,
+            "{mode:?} final sample carries the final counters"
+        );
+        // The JSON export round-trips the whole report without panicking
+        // and names the mode.
+        let json = serde_json::to_string(&report.to_json()).unwrap();
+        assert!(json.contains(label), "{mode:?} JSON names the mode");
+    }
+}
