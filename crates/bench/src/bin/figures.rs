@@ -71,19 +71,19 @@ fn main() {
             "length_km".into(),
             json!((route.length_m() / 1000.0).round()),
         );
-        features.push(viz::feature(viz::line_geometry(&route.track), props));
+        features.push(viz::feature(&viz::line_geometry(&route.track), &props));
     }
     // Zones as polygons.
     for zone in &workload.net.zones {
         let mut props = Map::new();
         props.insert("zone".into(), json!(zone.name));
         props.insert("kind".into(), json!(format!("{:?}", zone.kind)));
-        features.push(viz::feature(viz::zone_geometry(&zone.geometry), props));
+        features.push(viz::feature(&viz::zone_geometry(&zone.geometry), &props));
     }
     // Train positions sampled every 30 s.
     let sampled: Vec<Record> = workload.records.iter().step_by(30 * 6).cloned().collect();
     features.extend(viz::records_to_features(&sampled, &schema, "pos"));
-    let fig2 = viz::feature_collection(features);
+    let fig2 = viz::feature_collection(&features);
     viz::write_json(out.join("fig2_fleet.geojson"), &fig2).unwrap();
     println!(
         "Figure 2 — fleet map: {} routes, {} zones, {} position samples",
@@ -125,7 +125,7 @@ fn main() {
             "query": PAPER_RESULTS[i].name,
             "records_in": metrics.records_in,
             "alerts": records.len(),
-            "geojson": viz::feature_collection(features),
+            "geojson": viz::feature_collection(&features),
         });
         let path = out.join(format!("fig3{}_{}.json", letters[i], slugs[i]));
         viz::write_json(&path, &doc).unwrap();

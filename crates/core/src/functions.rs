@@ -24,7 +24,8 @@ use meos::geo::{Geometry, Metric};
 use meos::time::{Period, TimestampTz};
 use meos::tpoint;
 use nebula::prelude::{
-    ClosureFunction, DataType, Expr, FunctionRegistry, NebulaError, Plugin, Value,
+    CapabilityRegistry, ClosureFunction, DataType, Expr, FunctionRegistry, NebulaError, Plugin,
+    Value,
 };
 
 /// Geometry literal expression (fences, zones in query text).
@@ -50,6 +51,10 @@ pub struct MeosPlugin;
 impl Plugin for MeosPlugin {
     fn name(&self) -> &str {
         "nebula-meos"
+    }
+
+    fn capabilities(&self) -> CapabilityRegistry {
+        meos_capabilities()
     }
 
     fn register(&self, reg: &mut FunctionRegistry) -> nebula::Result<()> {
@@ -385,6 +390,30 @@ impl Plugin for MeosPlugin {
     }
 }
 
+/// The MEOS extension's static-analysis capabilities: which plugin
+/// functions produce opaque spatiotemporal values (with their type
+/// tags), and which tags the extension ships wire codecs for (see
+/// [`crate::wire::register_meos_codecs`]). Environments pick this up
+/// automatically when they load [`MeosPlugin`]; standalone analyzer
+/// users pass it to `AnalysisContext::with_capabilities`.
+pub fn meos_capabilities() -> CapabilityRegistry {
+    let mut caps = CapabilityRegistry::new();
+    caps.register_opaque_fn("tpoint_at_stbox", "meos.tgeompoint");
+    caps.register_opaque_fn("tpoint_at_geometry", "meos.tgeompoint");
+    caps.register_opaque_fn("tpoint_simplify", "meos.tgeompoint");
+    caps.register_opaque_fn("make_stbox", "meos.stbox");
+    caps.register_opaque_fn("make_circle", "meos.geometry");
+    for tag in [
+        "meos.tgeompoint",
+        "meos.tfloat",
+        "meos.geometry",
+        "meos.stbox",
+    ] {
+        caps.register_wire_tag(tag);
+    }
+    caps
+}
+
 /// Convenience: a registry with builtins + the MEOS plugin loaded.
 pub fn meos_registry() -> FunctionRegistry {
     let mut reg = FunctionRegistry::with_builtins();
@@ -452,7 +481,7 @@ mod tests {
         };
         let outside = Value::Point { x: 4.50, y: 50.85 };
         assert_eq!(
-            invoke("st_contains", &[fence.clone(), inside.clone()]),
+            invoke("st_contains", &[fence.clone(), inside]),
             Value::Bool(true)
         );
         assert_eq!(

@@ -64,7 +64,7 @@ pub mod values;
 pub mod viz;
 pub mod wire;
 
-pub use functions::{geom, meos_registry, point_lit, stbox, MeosPlugin};
+pub use functions::{geom, meos_capabilities, meos_registry, point_lit, stbox, MeosPlugin};
 pub use geofence::{Geofence, GeofenceEventsFactory, GeofenceSet};
 pub use knearest::KNearestFactory;
 pub use queries::{

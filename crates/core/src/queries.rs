@@ -436,7 +436,7 @@ pub fn all_demo_queries() -> Vec<(&'static str, Query)> {
 /// A ready demo expression: is the train currently inside the stbox's
 /// spatial footprint? (The paper's `MeosAtStbox_Expression` as a filter
 /// predicate over point streams.)
-pub fn within_stbox(pos_field: &str, bx: meos::boxes::STBox) -> Expr {
+pub fn within_stbox(pos_field: &str, bx: &meos::boxes::STBox) -> Expr {
     call(
         "st_contains",
         vec![
@@ -654,7 +654,7 @@ mod tests {
         let reg = registry();
         let schema = fleet_schema();
         let bx = meos::boxes::STBox::from_coords(4.0, 5.0, 50.0, 51.0, None).unwrap();
-        let e = within_stbox("pos", bx);
+        let e = within_stbox("pos", &bx);
         let (bound, t) = e.bind(&schema, &reg).unwrap();
         assert_eq!(t, DataType::Bool);
         let mk = |x: f64| {

@@ -99,12 +99,14 @@ struct TrajectoryBuilderOp {
 impl TrajectoryBuilderOp {
     fn emit(&self, key: &Value, seq: TSequence<Point>) -> Record {
         let length = meos::tpoint::length_with(&seq, Metric::Haversine);
+        let end = seq.end_timestamp().micros();
+        let n = seq.num_instants() as i64;
         Record::new(vec![
             key.clone(),
-            Value::Timestamp(seq.end_timestamp().micros()),
-            tpoint_value(Temporal::Sequence(seq.clone())),
+            Value::Timestamp(end),
+            tpoint_value(Temporal::Sequence(seq)),
             Value::Float(length),
-            Value::Int(seq.num_instants() as i64),
+            Value::Int(n),
         ])
     }
 }

@@ -56,13 +56,13 @@ pub fn zone_geometry(g: &Geometry) -> Json {
 }
 
 /// A GeoJSON Feature.
-pub fn feature(geometry: Json, props: Map<String, Json>) -> Json {
+pub fn feature(geometry: &Json, props: &Map<String, Json>) -> Json {
     json!({ "type": "Feature", "geometry": geometry, "properties": props })
 }
 
 /// A GeoJSON FeatureCollection.
-pub fn feature_collection(features: Vec<Json>) -> Json {
-    json!({ "type": "FeatureCollection", "features": features })
+pub fn feature_collection(features: &[Json]) -> Json {
+    json!({ "type": "FeatureCollection", "features": features.to_vec() })
 }
 
 fn value_to_json(v: &Value) -> Json {
@@ -97,14 +97,14 @@ pub fn records_to_features(records: &[Record], schema: &SchemaRef, pos_field: &s
                     props.insert(f.name.clone(), value_to_json(v));
                 }
             }
-            Some(feature(point_geometry(&Point::new(x, y)), props))
+            Some(feature(&point_geometry(&Point::new(x, y)), &props))
         })
         .collect()
 }
 
 /// A trajectory (temporal point) as a timestamped LineString feature —
 /// the Deck.gl `TripsLayer` input shape.
-pub fn trajectory_feature(tp: &Temporal<Point>, props: Map<String, Json>) -> Json {
+pub fn trajectory_feature(tp: &Temporal<Point>, props: &Map<String, Json>) -> Json {
     let seqs = tp.to_sequences();
     let coords: Vec<Json> = seqs
         .iter()
@@ -186,7 +186,7 @@ mod tests {
         assert_eq!(feats[0]["properties"]["train_id"], 3);
         assert_eq!(feats[0]["properties"]["alert"], "speeding");
         assert!(feats[0]["properties"].get("pos").is_none());
-        let fc = feature_collection(feats);
+        let fc = feature_collection(&feats);
         assert_eq!(fc["features"].as_array().unwrap().len(), 1);
     }
 
@@ -198,7 +198,7 @@ mod tests {
         ])
         .unwrap()
         .into();
-        let f = trajectory_feature(&tp, Map::new());
+        let f = trajectory_feature(&tp, &Map::new());
         let coords = f["geometry"]["coordinates"].as_array().unwrap();
         assert_eq!(coords.len(), 2);
         assert_eq!(coords[0][3], 10);

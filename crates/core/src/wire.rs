@@ -592,7 +592,7 @@ mod tests {
         for cut in 0..good.len() {
             let _ = decode_frame(&good[..cut], &schema, &reg);
         }
-        let mut bad = good.clone();
+        let mut bad = good;
         let variant_at = bad.len() - (3 * 24) - 4 - 3 - 1;
         bad[variant_at] = 9; // invalid temporal variant
         assert!(decode_frame(&bad, &schema, &reg).is_err());

@@ -518,7 +518,7 @@ mod tests {
         assert!(poly.contains(&Point::new(5.0, 5.0)));
         assert!(!poly.contains(&Point::new(15.0, 5.0)));
         let with_hole = Polygon::new(
-            poly.exterior.clone(),
+            poly.exterior,
             vec![vec![
                 Point::new(4.0, 4.0),
                 Point::new(6.0, 4.0),

@@ -1,0 +1,418 @@
+//! The diagnostics engine behind [`crate::analysis`]: stable codes,
+//! severities, span-like operator paths, lint-level overrides, and the
+//! rendered / JSON-exportable report.
+
+use crate::schema::SchemaRef;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A stable diagnostic code. `E` codes reject the plan (the runtime
+/// would fail on it); `W` codes describe accepted-but-degraded plans
+/// (silent fallbacks, end-of-stream-only emission, missing codecs).
+///
+/// Codes are append-only: a code never changes meaning and is never
+/// reused, so tooling may match on the string form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// `E001`: an expression references a column the schema at that
+    /// point does not contain.
+    UnknownColumn,
+    /// `E002`: an expression calls a function the registry does not
+    /// know.
+    UnknownFunction,
+    /// `E003`: operand/operator or function argument types do not
+    /// match (e.g. arithmetic over TEXT).
+    TypeMismatch,
+    /// `E004`: a function is called with the wrong number of
+    /// arguments.
+    BadArity,
+    /// `E005`: a filter, threshold-window or CEP-step predicate does
+    /// not evaluate to BOOL.
+    PredicateNotBool,
+    /// `E006`: the plan has no operators at all.
+    EmptyPlan,
+    /// `E007`: degenerate window/pattern geometry — non-positive
+    /// window size or slide, a pattern with no steps, or a
+    /// non-positive `within` bound.
+    BadWindowGeometry,
+    /// `E008`: a time-sensitive operator (or the watermark strategy)
+    /// names an event-time field the schema at that point does not
+    /// contain.
+    MissingTimeField,
+    /// `E009`: a plugin operator or aggregate factory refused to
+    /// instantiate against the inferred input schema.
+    OperatorInstantiation,
+    /// `W010`: `run_partitioned` would route every record to a single
+    /// worker (keyless/opaque stateful plan, or a partition key that
+    /// does not bind against the source schema), silently ignoring the
+    /// requested parallelism.
+    PartitionFallback,
+    /// `W011`: the first stateful operator cannot be pre-aggregated at
+    /// the edge (unsplittable aggregate or threshold window), so raw
+    /// records ship to the cloud under an edge-first placement.
+    UnsplittableAggregate,
+    /// `W012`: an opaque-typed column may cross a node boundary with
+    /// no wire codec registered for its type.
+    MissingWireCodec,
+    /// `W013`: a projection redefines the event-time field upstream of
+    /// a time-sensitive operator — output timestamps could regress the
+    /// frontier.
+    TimestampRedefined,
+    /// `W014`: a sliding window with `slide > size` leaves coverage
+    /// gaps; records falling in a gap belong to no window.
+    SlideCoverageGap,
+    /// `W015`: a time-sensitive operator under
+    /// `WatermarkStrategy::None` — windows/patterns only emit at
+    /// end-of-stream.
+    NoWatermarkStrategy,
+}
+
+/// Every code, in code order (for docs and the CLI's code table).
+pub const ALL_CODES: &[Code] = &[
+    Code::UnknownColumn,
+    Code::UnknownFunction,
+    Code::TypeMismatch,
+    Code::BadArity,
+    Code::PredicateNotBool,
+    Code::EmptyPlan,
+    Code::BadWindowGeometry,
+    Code::MissingTimeField,
+    Code::OperatorInstantiation,
+    Code::PartitionFallback,
+    Code::UnsplittableAggregate,
+    Code::MissingWireCodec,
+    Code::TimestampRedefined,
+    Code::SlideCoverageGap,
+    Code::NoWatermarkStrategy,
+];
+
+impl Code {
+    /// The stable string form (`"E001"`, `"W010"`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnknownColumn => "E001",
+            Code::UnknownFunction => "E002",
+            Code::TypeMismatch => "E003",
+            Code::BadArity => "E004",
+            Code::PredicateNotBool => "E005",
+            Code::EmptyPlan => "E006",
+            Code::BadWindowGeometry => "E007",
+            Code::MissingTimeField => "E008",
+            Code::OperatorInstantiation => "E009",
+            Code::PartitionFallback => "W010",
+            Code::UnsplittableAggregate => "W011",
+            Code::MissingWireCodec => "W012",
+            Code::TimestampRedefined => "W013",
+            Code::SlideCoverageGap => "W014",
+            Code::NoWatermarkStrategy => "W015",
+        }
+    }
+
+    /// A short kebab-case label (for docs and rendered output).
+    pub fn label(self) -> &'static str {
+        match self {
+            Code::UnknownColumn => "unknown-column",
+            Code::UnknownFunction => "unknown-function",
+            Code::TypeMismatch => "type-mismatch",
+            Code::BadArity => "bad-arity",
+            Code::PredicateNotBool => "predicate-not-bool",
+            Code::EmptyPlan => "empty-plan",
+            Code::BadWindowGeometry => "bad-window-geometry",
+            Code::MissingTimeField => "missing-time-field",
+            Code::OperatorInstantiation => "operator-instantiation",
+            Code::PartitionFallback => "partition-fallback",
+            Code::UnsplittableAggregate => "unsplittable-aggregate",
+            Code::MissingWireCodec => "missing-wire-codec",
+            Code::TimestampRedefined => "timestamp-redefined",
+            Code::SlideCoverageGap => "slide-coverage-gap",
+            Code::NoWatermarkStrategy => "no-watermark-strategy",
+        }
+    }
+
+    /// The code's intrinsic severity: `E` codes are errors, `W` codes
+    /// warnings.
+    pub fn default_severity(self) -> Severity {
+        if self.as_str().starts_with('E') {
+            Severity::Error
+        } else {
+            Severity::Warning
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How serious a diagnostic is. Errors reject the plan before it
+/// touches the runtime; warnings ride along in the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The plan is accepted but degraded; see the message.
+    Warning,
+    /// The plan is rejected; the runtime would fail on it.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label for rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Per-code lint-level override. `E` codes cannot be demoted (they
+/// mirror real runtime failures, so allowing them would only trade a
+/// diagnostic for a runtime error); `W` codes may be silenced
+/// (`Allow`) or promoted to plan-rejecting errors (`Deny`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintLevel {
+    /// Suppress the diagnostic entirely.
+    Allow,
+    /// Report at the code's default severity.
+    Warn,
+    /// Treat as a plan-rejecting error.
+    Deny,
+}
+
+/// Analyzer options: lint-level overrides for warning codes.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisOptions {
+    levels: BTreeMap<Code, LintLevel>,
+}
+
+impl AnalysisOptions {
+    /// Default options: every code at its intrinsic level.
+    pub fn new() -> Self {
+        AnalysisOptions::default()
+    }
+
+    /// Sets a lint level for a warning code. Overrides on `E` codes
+    /// are ignored — errors always deny.
+    pub fn set(mut self, code: Code, level: LintLevel) -> Self {
+        if code.default_severity() == Severity::Warning {
+            self.levels.insert(code, level);
+        }
+        self
+    }
+
+    /// The effective level for `code`.
+    pub fn level(&self, code: Code) -> LintLevel {
+        if code.default_severity() == Severity::Error {
+            return LintLevel::Deny;
+        }
+        self.levels.get(&code).copied().unwrap_or(LintLevel::Warn)
+    }
+}
+
+/// One finding: a stable code, the effective severity, a span-like
+/// operator path (`op3:window`, `source`, `plan`) and a message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Effective severity (after lint-level overrides).
+    pub severity: Severity,
+    /// Where in the plan: `source`, `plan`, or `op<i>:<name>` with
+    /// optional detail suffixes (`op2:window/agg[1]`).
+    pub path: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic at the code's default severity.
+    pub fn new(code: Code, path: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// One-line rendering: `error[E001] op0:filter: unknown column 'x'`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}[{}] {}: {}",
+            self.severity.as_str(),
+            self.code,
+            self.path,
+            self.message
+        )
+    }
+
+    /// JSON form (vendored `serde_json`).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "code": self.code.as_str(),
+            "label": self.code.label(),
+            "severity": self.severity.as_str(),
+            "path": self.path.as_str(),
+            "message": self.message.as_str(),
+        })
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// The typed rejection carried by [`crate::NebulaError::Analysis`]:
+/// every error-severity diagnostic the analyzer produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisError {
+    /// The plan-rejecting diagnostics (severity [`Severity::Error`]).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "plan rejected by static analysis ({} error(s)): ",
+            self.diagnostics.len()
+        )?;
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{} {}: {}", d.code, d.path, d.message)?;
+        }
+        Ok(())
+    }
+}
+
+/// The analyzer's output: all findings plus what the passes learned
+/// about the plan (output schema, routing, timing).
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Every finding, in pass order then plan order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The inferred output schema, when inference reached the end of
+    /// the plan.
+    pub output_schema: Option<SchemaRef>,
+    /// Wall-clock cost of the analysis, µs.
+    pub elapsed_us: u64,
+}
+
+impl AnalysisReport {
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// True when any finding rejects the plan.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// True when the analyzer found nothing at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Splits into the pre-flight decision: `Err` with a typed
+    /// [`AnalysisError`] when any error-severity finding exists,
+    /// otherwise `Ok` with the warnings (for the run's
+    /// [`crate::telemetry::QueryReport`]).
+    pub fn into_accepted(self) -> crate::error::Result<Vec<Diagnostic>> {
+        if self.has_errors() {
+            let diagnostics = self
+                .diagnostics
+                .into_iter()
+                .filter(|d| d.severity == Severity::Error)
+                .collect();
+            Err(crate::error::NebulaError::Analysis(AnalysisError {
+                diagnostics,
+            }))
+        } else {
+            Ok(self.diagnostics)
+        }
+    }
+
+    /// Compact human-readable rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let errors = self.errors().count();
+        let warnings = self.warnings().count();
+        let _ = writeln!(
+            s,
+            "analysis: {} error(s), {} warning(s) in {} µs",
+            errors, warnings, self.elapsed_us
+        );
+        for d in &self.diagnostics {
+            let _ = writeln!(s, "  {}", d.render());
+        }
+        if let Some(schema) = &self.output_schema {
+            let _ = writeln!(s, "  output schema: {schema}");
+        }
+        s
+    }
+
+    /// The full report as JSON (vendored `serde_json`).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "errors": self.errors().count() as u64,
+            "warnings": self.warnings().count() as u64,
+            "elapsed_us": self.elapsed_us,
+            "output_schema": self.output_schema.as_ref().map(|s| s.to_string()),
+            "diagnostics": self
+                .diagnostics
+                .iter()
+                .map(Diagnostic::to_json)
+                .collect::<Vec<_>>(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in ALL_CODES {
+            assert!(seen.insert(c.as_str()), "duplicate code {c}");
+            let s = c.as_str();
+            assert_eq!(s.len(), 4);
+            assert!(s.starts_with('E') || s.starts_with('W'));
+        }
+    }
+
+    #[test]
+    fn options_cannot_demote_errors() {
+        let opts = AnalysisOptions::new().set(Code::UnknownColumn, LintLevel::Allow);
+        assert_eq!(opts.level(Code::UnknownColumn), LintLevel::Deny);
+        let opts = AnalysisOptions::new().set(Code::PartitionFallback, LintLevel::Deny);
+        assert_eq!(opts.level(Code::PartitionFallback), LintLevel::Deny);
+        assert_eq!(opts.level(Code::NoWatermarkStrategy), LintLevel::Warn);
+    }
+
+    #[test]
+    fn diagnostic_renders_code_and_path() {
+        let d = Diagnostic::new(Code::UnknownColumn, "op0:filter", "unknown column 'x'");
+        assert_eq!(d.render(), "error[E001] op0:filter: unknown column 'x'");
+        let j = d.to_json();
+        assert_eq!(j["code"], serde_json::json!("E001"));
+        assert_eq!(j["severity"], serde_json::json!("error"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Pass 3: partitioning & placement capability analysis.
+//!
+//! Computes per-operator capabilities — keyed-partitionable,
+//! edge-splittable aggregate, wire-codec availability for every
+//! cross-boundary type — and checks them against the requested
+//! execution target. The silent degradations this pass surfaces are
+//! real runtime behavior today: `run_partitioned` falls back to one
+//! worker for keyless/opaque plans (`W010`), the cluster runtime ships
+//! raw records to the cloud when a window cannot pre-aggregate at the
+//! edge (`W011`), and opaque values without a registered wire codec
+//! only fail once a record actually crosses a node boundary (`W012`).
+
+use super::diagnostics::{Code, Diagnostic};
+use super::schema_pass::PlanFacts;
+use super::{AnalysisContext, Target};
+use crate::expr::FunctionRegistry;
+use crate::preagg::split_window;
+use crate::query::{LogicalOp, PartitionScheme, Query};
+use crate::value::DataType;
+use crate::window::WindowSpec;
+use std::collections::BTreeSet;
+
+/// Runs the pass for the context's execution target.
+pub(super) fn run(
+    query: &Query,
+    facts: &PlanFacts,
+    registry: &FunctionRegistry,
+    ctx: &AnalysisContext,
+    diags: &mut Vec<Diagnostic>,
+) {
+    match &ctx.target {
+        Target::Local => {}
+        Target::Partitioned { parallelism } if *parallelism > 1 => {
+            check_partitioning(query, facts, registry, *parallelism, diags);
+        }
+        Target::Partitioned { .. } => {}
+        Target::Placed {
+            edge_first,
+            preaggregate,
+            ..
+        } => {
+            if *edge_first && *preaggregate {
+                check_edge_split(query, diags);
+            }
+            check_wire_codecs(facts, ctx, diags);
+        }
+    }
+}
+
+/// Mirrors `run_partitioned`'s routing decision and warns when the
+/// requested parallelism silently collapses to a single worker.
+fn check_partitioning(
+    query: &Query,
+    facts: &PlanFacts,
+    registry: &FunctionRegistry,
+    parallelism: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    match query.partition_scheme() {
+        PartitionScheme::RoundRobin => {}
+        PartitionScheme::Key(exprs) => {
+            // The runtime binds key expressions against the *source*
+            // schema and falls back to Single when any fails to bind.
+            let mut scratch = Vec::new();
+            for e in &exprs {
+                super::schema_pass::infer_expr(e, &facts.input, registry, "key", &mut scratch);
+            }
+            if !scratch.is_empty() {
+                diags.push(Diagnostic::new(
+                    Code::PartitionFallback,
+                    partition_path(query),
+                    format!(
+                        "requested parallelism {parallelism}, but the partition key does \
+                         not bind against the source schema; all records route to a \
+                         single worker"
+                    ),
+                ));
+            }
+        }
+        PartitionScheme::Single => {
+            diags.push(Diagnostic::new(
+                Code::PartitionFallback,
+                partition_path(query),
+                format!(
+                    "requested parallelism {parallelism}, but {}; all records route to a \
+                     single worker",
+                    single_reason(query)
+                ),
+            ));
+        }
+    }
+}
+
+/// The path of the operator that forces single-worker routing.
+fn partition_path(query: &Query) -> String {
+    for (i, op) in query.ops().iter().enumerate() {
+        match op {
+            LogicalOp::Window { .. } => return format!("op{i}:window"),
+            LogicalOp::Cep(_) => return format!("op{i}:cep"),
+            LogicalOp::Custom(f) => return format!("op{i}:{}", f.name()),
+            _ => {}
+        }
+    }
+    "plan".into()
+}
+
+/// Why `partition_scheme()` chose `Single`, mirroring its walk.
+fn single_reason(query: &Query) -> &'static str {
+    let mut prefix_preserves_columns = true;
+    let mut stateful_seen = false;
+    for op in query.ops() {
+        match op {
+            LogicalOp::Filter(_) => {}
+            LogicalOp::Map { extend, .. } => {
+                if !extend {
+                    prefix_preserves_columns = false;
+                }
+            }
+            LogicalOp::Custom(_) => {
+                return if stateful_seen {
+                    "a second stateful operator follows the keyed stage"
+                } else {
+                    "a plugin operator's state is opaque to key analysis"
+                };
+            }
+            LogicalOp::Window { keys, .. } => {
+                if stateful_seen {
+                    return "a second stateful operator follows the keyed stage";
+                }
+                stateful_seen = true;
+                if keys.is_empty() {
+                    return "the window is keyless";
+                }
+                if !prefix_preserves_columns {
+                    return "a narrowing projection upstream may redefine the key columns";
+                }
+            }
+            LogicalOp::Cep(p) => {
+                if stateful_seen {
+                    return "a second stateful operator follows the keyed stage";
+                }
+                stateful_seen = true;
+                if p.key.is_none() {
+                    return "the pattern is keyless";
+                }
+                if !prefix_preserves_columns {
+                    return "a narrowing projection upstream may redefine the key columns";
+                }
+            }
+        }
+    }
+    "the plan is stateful but keyless"
+}
+
+/// Warns when an edge-first placement cannot pre-aggregate the first
+/// stateful window at the edge, so raw records ship to the cloud.
+fn check_edge_split(query: &Query, diags: &mut Vec<Diagnostic>) {
+    let first_stateful = query.ops().iter().enumerate().find(|(_, op)| {
+        matches!(
+            op,
+            LogicalOp::Window { .. } | LogicalOp::Cep(_) | LogicalOp::Custom(_)
+        )
+    });
+    let Some((i, LogicalOp::Window { spec, aggs, .. })) = first_stateful else {
+        return; // CEP/plugin stages are not aggregates; nothing to split.
+    };
+    if split_window(query).is_some() {
+        return;
+    }
+    let message = if matches!(spec, WindowSpec::Threshold { .. }) {
+        "threshold windows close on predicate transitions and cannot pre-aggregate \
+         at the edge; raw records ship to the cloud"
+            .to_string()
+    } else {
+        let unsplittable: Vec<&str> = aggs
+            .iter()
+            .filter(|a| !a.spec.splittable())
+            .map(|a| a.name.as_str())
+            .collect();
+        format!(
+            "window aggregate(s) [{}] cannot split across node boundaries; the whole \
+             window runs at the cloud and raw records ship over the uplink",
+            unsplittable.join(", ")
+        )
+    };
+    diags.push(Diagnostic::new(
+        Code::UnsplittableAggregate,
+        format!("op{i}:window"),
+        message,
+    ));
+}
+
+/// Warns when opaque-typed columns may cross a node boundary without a
+/// registered wire codec. Known columns (from the capability registry)
+/// are checked tag-by-tag; unknown opaque columns warn only when no
+/// codec is registered at all.
+fn check_wire_codecs(facts: &PlanFacts, ctx: &AnalysisContext, diags: &mut Vec<Diagnostic>) {
+    let tags = ctx.capabilities.wire_tags();
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for col in &facts.opaque_cols {
+        let path = if col.after_op == usize::MAX {
+            "source".to_string()
+        } else {
+            format!("op{}:map", col.after_op)
+        };
+        match &col.tag {
+            Some(tag) if !tags.contains(tag) && reported.insert(col.column.clone()) => {
+                diags.push(Diagnostic::new(
+                    Code::MissingWireCodec,
+                    path,
+                    format!(
+                        "opaque column '{}' carries type '{tag}' but no wire codec \
+                             for it is registered; values cannot cross node boundaries",
+                        col.column
+                    ),
+                ));
+            }
+            None if tags.is_empty() && reported.insert(col.column.clone()) => {
+                diags.push(Diagnostic::new(
+                    Code::MissingWireCodec,
+                    path,
+                    format!(
+                        "opaque column '{}' may cross a node boundary but no wire \
+                             codecs are registered",
+                        col.column
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+    // Opaque columns produced by plugin operators or aggregates are
+    // invisible to provenance tracking; sweep the inferred schemas so
+    // they are covered by the codec-registry presence check too.
+    if tags.is_empty() {
+        for (i, schema) in facts.after.iter().enumerate() {
+            let Some(schema) = schema else { continue };
+            for f in schema.fields() {
+                if f.dtype == DataType::Opaque && reported.insert(f.name.clone()) {
+                    diags.push(Diagnostic::new(
+                        Code::MissingWireCodec,
+                        format!("op{i}"),
+                        format!(
+                            "opaque column '{}' may cross a node boundary but no wire \
+                             codecs are registered",
+                            f.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1024,7 +1024,7 @@ mod tests {
             Record::new(vec![Value::Float(2.5)]),
             Record::new(vec![Value::Null]),
         ];
-        let tb = TupleBuffer::from_records(s.clone(), &recs, BufferMeta::default());
+        let tb = TupleBuffer::from_records(s, &recs, BufferMeta::default());
         assert!(matches!(tb.column(0), Some(Column::Values(_))));
         assert_eq!(tb.to_record_buffer().records(), &recs[..]);
     }

@@ -256,7 +256,7 @@ mod tests {
         }
     }
 
-    fn cloud_part(done: Vec<bool>) -> CloudPart {
+    fn cloud_part(done: &[bool]) -> CloudPart {
         let mut progress = ProgressTracker::with_origins(done.len() as u64);
         for (p, d) in done.iter().enumerate() {
             if *d {
@@ -277,11 +277,11 @@ mod tests {
         store.set_expected_sites(vec![1, 1]);
         store.put_pump(1, 0, pump_part(true));
         store.put_site(1, 0, 0, SitePart { ops: Some(vec![]) });
-        store.put_cloud(1, cloud_part(vec![false, false]));
+        store.put_cloud(1, cloud_part(&[false, false]));
         assert!(store.take_for_restore().is_none(), "pipe 1 parts missing");
         store.put_pump(1, 0, pump_part(true));
         store.put_site(1, 0, 0, SitePart { ops: Some(vec![]) });
-        store.put_cloud(1, cloud_part(vec![false, false]));
+        store.put_cloud(1, cloud_part(&[false, false]));
         store.put_pump(1, 1, pump_part(true));
         store.put_site(1, 1, 0, SitePart { ops: Some(vec![]) });
         let (epoch, _) = store.take_for_restore().expect("complete now");
@@ -296,7 +296,7 @@ mod tests {
         store.put_pump(3, 0, pump_part(true));
         store.put_site(3, 0, 0, SitePart { ops: Some(vec![]) });
         // Pipe 1 already finished at the cloud's cut.
-        store.put_cloud(3, cloud_part(vec![false, true]));
+        store.put_cloud(3, cloud_part(&[false, true]));
         let (epoch, st) = store.take_for_restore().expect("pipe 1 exempt");
         assert_eq!(epoch, 3);
         assert!(st.cloud.unwrap().progress.is_done(1));
@@ -307,7 +307,7 @@ mod tests {
         let store = CheckpointStore::new(1);
         store.set_expected_sites(vec![0]);
         store.put_pump(1, 0, pump_part(false));
-        store.put_cloud(1, cloud_part(vec![false]));
+        store.put_cloud(1, cloud_part(&[false]));
         assert!(
             store.take_for_restore().is_none(),
             "complete but not usable: epoch-0 fallback required"
@@ -324,7 +324,7 @@ mod tests {
         for epoch in 1..=3 {
             store.put_pump(epoch, 0, pump_part(true));
             store.put_pump(epoch, 1, pump_part(true));
-            store.put_cloud(epoch, cloud_part(vec![false, true]));
+            store.put_cloud(epoch, cloud_part(&[false, true]));
         }
         let (epoch, _) = store.take_for_restore().expect("usable");
         assert_eq!(epoch, 3, "newest usable epoch wins");

@@ -82,6 +82,7 @@
 //!   [`crate::source::ReplaySource`], and the run resumes — re-emitting
 //!   exactly the records the crash swallowed.
 
+use crate::analysis::{self, AnalysisContext, AnalysisOptions, AnalysisReport, CapabilityRegistry};
 use crate::chaos::{ChaosStats, CrashSwitch, FaultPlan, LinkChaos};
 use crate::checkpoint::{CheckpointStore, CloudPart, PumpPart, SitePart};
 use crate::error::{ClusterError, NebulaError, Result};
@@ -143,6 +144,9 @@ pub struct ClusterConfig {
     /// cloud-side sampling cadence, per-node snapshot shipping over the
     /// wire, and trace-event retention.
     pub telemetry: TelemetryConfig,
+    /// Lint-level overrides for the pre-flight static analyzer (see
+    /// [`crate::analysis`]).
+    pub analysis: AnalysisOptions,
 }
 
 impl Default for ClusterConfig {
@@ -156,6 +160,7 @@ impl Default for ClusterConfig {
             columnar: crate::runtime::ColumnarMode::Auto,
             checkpoint_every: 4,
             telemetry: TelemetryConfig::default(),
+            analysis: AnalysisOptions::new(),
         }
     }
 }
@@ -258,6 +263,10 @@ pub struct ClusterEnvironment {
     wire: WireRegistry,
     config: ClusterConfig,
     sources: HashMap<String, Vec<HostedSource>>,
+    /// Static-analysis capabilities (opaque-type producers), merged
+    /// from loaded plugins; live wire-codec tags are added at analysis
+    /// time from [`Self::wire`].
+    capabilities: CapabilityRegistry,
 }
 
 impl ClusterEnvironment {
@@ -269,6 +278,7 @@ impl ClusterEnvironment {
             wire: WireRegistry::new(),
             config: ClusterConfig::default(),
             sources: HashMap::new(),
+            capabilities: CapabilityRegistry::new(),
         }
     }
 
@@ -310,9 +320,49 @@ impl ClusterEnvironment {
         &mut self.config
     }
 
-    /// Loads a plugin's functions into the registry.
+    /// Loads a plugin's functions into the registry and merges its
+    /// static-analysis capabilities.
     pub fn load_plugin(&mut self, plugin: &dyn Plugin) -> Result<()> {
-        self.registry.load_plugin(plugin)
+        self.registry.load_plugin(plugin)?;
+        self.capabilities.merge(&plugin.capabilities());
+        Ok(())
+    }
+
+    /// The static-analysis capability registry (for manual additions
+    /// beyond what loaded plugins declare).
+    pub fn capabilities_mut(&mut self) -> &mut CapabilityRegistry {
+        &mut self.capabilities
+    }
+
+    /// Analyzes `query` for placed execution under `strategy` without
+    /// running it — the same pre-flight [`Self::run_placed`] performs.
+    /// The analyzer sees the hosted sources' watermark strategies, the
+    /// loaded plugins' capabilities, and the live wire-codec tags.
+    pub fn analyze(&self, query: &Query, strategy: PlacementStrategy) -> Result<AnalysisReport> {
+        let hosted = self
+            .sources
+            .get(query.source())
+            .ok_or_else(|| NebulaError::Plan(format!("unknown source '{}'", query.source())))?;
+        let mut capabilities = self.capabilities.clone();
+        for tag in self.wire.tags() {
+            capabilities.register_wire_tag(tag);
+        }
+        let ctx = AnalysisContext {
+            target: analysis::Target::Placed {
+                edge_first: strategy == PlacementStrategy::EdgeFirst,
+                preaggregate: self.config.preaggregate,
+                pipelines: hosted.len(),
+            },
+            watermarks: hosted.iter().map(|h| h.watermark.clone()).collect(),
+            capabilities,
+            options: self.config.analysis.clone(),
+        };
+        Ok(analysis::analyze(
+            query,
+            hosted[0].source.schema(),
+            &self.registry,
+            &ctx,
+        ))
     }
 
     /// Hosts a source for stream `name` on `node`. A stream may be
@@ -428,6 +478,10 @@ impl ClusterEnvironment {
             let src_nodes: Vec<NodeId> = hosted_ref.iter().map(|h| h.node).collect();
             plan.validate(&self.topo, &src_nodes)?;
         }
+        // Pre-flight static analysis: errors reject the plan before any
+        // thread spawns (the sources stay registered); warnings ride
+        // along into the telemetry report.
+        let analysis_warnings = self.analyze(query, strategy)?.into_accepted()?;
         // Validate watermark fields and compute placements before taking
         // the sources, so a plan error leaves them registered.
         let mut ts_cols = Vec::with_capacity(n_pipes);
@@ -1041,6 +1095,7 @@ impl ClusterEnvironment {
             &tel.trace,
             tel.snaps,
             tel.snaps_dropped,
+            analysis_warnings,
         );
         Ok(ClusterReport {
             metrics,
@@ -1103,7 +1158,7 @@ fn compile_chains(
             let partial = WindowPartialOp::new(
                 query.ts_field(),
                 &sw.keys,
-                sw.spec.clone(),
+                &sw.spec,
                 sw.aggs.clone(),
                 pre_window_schema.clone(),
                 registry,
@@ -1122,9 +1177,9 @@ fn compile_chains(
             let merge = WindowMergeOp::new(
                 query.ts_field(),
                 &sw.keys,
-                sw.spec.clone(),
+                &sw.spec,
                 sw.aggs.clone(),
-                pre_window_schema.clone(),
+                pre_window_schema,
                 registry,
             )?;
             let merge_out = merge.output_schema();
@@ -1534,7 +1589,10 @@ struct SiteTel {
 
 /// One edge site: decode, drive the sub-chain, re-encode downstream.
 /// Returns the operator state on end-of-stream or handoff.
-#[allow(clippy::too_many_arguments)]
+///
+/// Thread entry point: every argument is moved out of the spawning
+/// closure and owned until the site shuts down.
+#[allow(clippy::too_many_arguments, clippy::needless_pass_by_value)]
 fn run_site(
     mut ops: Vec<Box<dyn Operator>>,
     in_schema: SchemaRef,
@@ -1768,6 +1826,10 @@ fn collect_data(buffers: &mut Vec<RecordBuffer>, msgs: Vec<StreamMessage>) -> u6
 /// The cloud site: fans in every pipeline, min-combines watermarks,
 /// drives the shared tail, and collects results. Returns `true` when
 /// the run finished (`false`: handoff, resume in the next phase).
+///
+/// Thread entry point: arguments are moved out of the spawning closure
+/// and owned until the phase ends.
+#[allow(clippy::needless_pass_by_value)]
 fn run_cloud(
     mut st: CloudState,
     in_schema: SchemaRef,
@@ -1866,12 +1928,12 @@ impl CloudChaosState {
             self.held[p].push_back(payload);
             Ok(())
         } else {
-            self.apply(p, payload)
+            self.apply(p, &payload)
         }
     }
 
-    fn apply(&mut self, p: usize, bytes: Vec<u8>) -> Result<()> {
-        match decode_frame(&bytes, &self.in_schema, &self.wire)? {
+    fn apply(&mut self, p: usize, bytes: &[u8]) -> Result<()> {
+        match decode_frame(bytes, &self.in_schema, &self.wire)? {
             Frame::Data(recs) => {
                 self.st.tel.records_in += recs.len() as u64;
                 let buf = RecordBuffer::new(self.in_schema.clone(), recs);
@@ -1958,7 +2020,7 @@ impl CloudChaosState {
                     let Some(payload) = self.held[p].pop_front() else {
                         break;
                     };
-                    self.apply(p, payload)?;
+                    self.apply(p, &payload)?;
                     progressed = true;
                     if self.finished {
                         return Ok(());
@@ -1975,7 +2037,7 @@ impl CloudChaosState {
 /// The chaos-mode cloud site: resilient per-pipeline links, barrier
 /// alignment with held-back frames, epoch sealing, and abort-aware
 /// timeouts (a silently dead upstream cannot hang the fan-in).
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::needless_pass_by_value)]
 fn run_cloud_chaos(
     st: CloudState,
     in_schema: SchemaRef,

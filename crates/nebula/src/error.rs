@@ -19,6 +19,9 @@ pub enum NebulaError {
     Wire(String),
     /// Distributed-runtime failure (see [`ClusterError`]).
     Cluster(ClusterError),
+    /// The plan was rejected by pre-flight static analysis; carries the
+    /// full diagnostic list (see [`crate::analysis`]).
+    Analysis(crate::analysis::AnalysisError),
 }
 
 /// Typed failures raised by the distributed cluster runtime. Replaces
@@ -81,6 +84,7 @@ impl fmt::Display for NebulaError {
             NebulaError::Io(m) => write!(f, "io error: {m}"),
             NebulaError::Wire(m) => write!(f, "wire error: {m}"),
             NebulaError::Cluster(e) => write!(f, "cluster error: {e}"),
+            NebulaError::Analysis(e) => write!(f, "analysis error: {e}"),
         }
     }
 }

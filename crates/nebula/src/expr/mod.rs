@@ -52,14 +52,14 @@ pub enum BinOp {
 }
 
 impl BinOp {
-    fn is_arith(self) -> bool {
+    pub(crate) fn is_arith(self) -> bool {
         matches!(
             self,
             BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
         )
     }
 
-    fn is_cmp(self) -> bool {
+    pub(crate) fn is_cmp(self) -> bool {
         matches!(
             self,
             BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge

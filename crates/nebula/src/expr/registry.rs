@@ -171,6 +171,13 @@ pub trait Plugin {
     fn name(&self) -> &str;
     /// Registers the plugin's functions.
     fn register(&self, registry: &mut FunctionRegistry) -> Result<()>;
+    /// Static-analysis capabilities the plugin contributes: which of
+    /// its functions produce opaque values (and their type tags), and
+    /// which tags it ships wire codecs for. Environments merge this
+    /// into their [`crate::analysis::CapabilityRegistry`] on load.
+    fn capabilities(&self) -> crate::analysis::CapabilityRegistry {
+        crate::analysis::CapabilityRegistry::new()
+    }
 }
 
 #[cfg(test)]

@@ -44,6 +44,13 @@
 //!   JSON-exportable [`telemetry::QueryReport`] — collected uniformly
 //!   across all four execution modes, with cluster nodes shipping
 //!   per-node snapshots over the wire ([`telemetry`]).
+//! - **Pre-flight static query analysis** — every run entry point first
+//!   passes the plan through a multi-pass analyzer: typed schema
+//!   inference over the whole operator chain, watermark-safety checks,
+//!   and partitioning/placement capability analysis. Findings carry
+//!   stable `E0xx`/`W0xx` codes and operator paths; errors reject the
+//!   plan before any thread spawns, warnings land in the
+//!   [`telemetry::QueryReport`] ([`analysis`]).
 //! - **Chaos-hardened fault tolerance** — seeded fault injection over
 //!   every cluster link (drops, duplicates, reordering, corruption,
 //!   flaps, abrupt crashes), a resilient wire protocol (CRC32 envelopes,
@@ -86,6 +93,7 @@
 //! assert_eq!(results.len(), 9); // speeds 51..=59
 //! ```
 
+pub mod analysis;
 pub mod buffer;
 pub mod chaos;
 pub mod checkpoint;
@@ -112,6 +120,10 @@ pub use error::{NebulaError, Result};
 
 /// The types needed by almost every engine user.
 pub mod prelude {
+    pub use crate::analysis::{
+        analyze, AnalysisContext, AnalysisError, AnalysisOptions, AnalysisReport,
+        CapabilityRegistry, Code, Diagnostic, LintLevel, Severity, Target,
+    };
     pub use crate::buffer::{BufferMeta, Column, ColumnBuilder, TupleBuffer};
     pub use crate::chaos::{CrashFault, FaultPlan, LinkFlap};
     pub use crate::cluster::{

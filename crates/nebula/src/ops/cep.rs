@@ -100,7 +100,7 @@ impl CepOp {
     pub fn new(
         pattern: &Pattern,
         ts_field: &str,
-        input: SchemaRef,
+        input: &SchemaRef,
         registry: &FunctionRegistry,
     ) -> Result<Self> {
         if pattern.steps.is_empty() {
@@ -116,7 +116,7 @@ impl CepOp {
             .ok_or_else(|| NebulaError::Plan(format!("cep: unknown ts field '{ts_field}'")))?;
         let mut steps = Vec::with_capacity(pattern.steps.len());
         for s in &pattern.steps {
-            let (b, t) = s.predicate.bind(&input, registry)?;
+            let (b, t) = s.predicate.bind(input, registry)?;
             if t != DataType::Bool {
                 return Err(NebulaError::Type(format!(
                     "pattern step '{}' predicate must be BOOL, got {t}",
@@ -126,7 +126,7 @@ impl CepOp {
             steps.push(b);
         }
         let key_expr = match &pattern.key {
-            Some(k) => Some(k.bind(&input, registry)?.0),
+            Some(k) => Some(k.bind(input, registry)?.0),
             None => None,
         };
         let output = input.extend(vec![
@@ -334,7 +334,7 @@ mod tests {
     #[test]
     fn detects_two_step_sequence() {
         let reg = FunctionRegistry::with_builtins();
-        let mut op = CepOp::new(&high_low_pattern(60), "ts", schema(), &reg).unwrap();
+        let mut op = CepOp::new(&high_low_pattern(60), "ts", &schema(), &reg).unwrap();
         let got = run(
             &mut op,
             vec![rec(1, 1, 20.0), rec(2, 1, 5.0), rec(3, 1, 0.5)],
@@ -350,7 +350,7 @@ mod tests {
     #[test]
     fn skip_till_next_match_ignores_noise() {
         let reg = FunctionRegistry::with_builtins();
-        let mut op = CepOp::new(&high_low_pattern(60), "ts", schema(), &reg).unwrap();
+        let mut op = CepOp::new(&high_low_pattern(60), "ts", &schema(), &reg).unwrap();
         // Noise (v=5) records between the high and the low don't kill it.
         let got = run(
             &mut op,
@@ -367,7 +367,7 @@ mod tests {
     #[test]
     fn within_bound_expires_partials() {
         let reg = FunctionRegistry::with_builtins();
-        let mut op = CepOp::new(&high_low_pattern(10), "ts", schema(), &reg).unwrap();
+        let mut op = CepOp::new(&high_low_pattern(10), "ts", &schema(), &reg).unwrap();
         let got = run(&mut op, vec![rec(1, 1, 20.0), rec(100, 1, 0.5)]);
         assert!(got.is_empty(), "low arrived past the within bound");
     }
@@ -375,7 +375,7 @@ mod tests {
     #[test]
     fn keys_partition_matching() {
         let reg = FunctionRegistry::with_builtins();
-        let mut op = CepOp::new(&high_low_pattern(60), "ts", schema(), &reg).unwrap();
+        let mut op = CepOp::new(&high_low_pattern(60), "ts", &schema(), &reg).unwrap();
         // High on train 1, low on train 2: no match.
         let got = run(&mut op, vec![rec(1, 1, 20.0), rec(2, 2, 0.5)]);
         assert!(got.is_empty());
@@ -393,7 +393,7 @@ mod tests {
             vec![PatternStep::new("hot", col("v").gt(lit(10.0)))],
             MICROS_PER_SEC,
         );
-        let mut op = CepOp::new(&p, "ts", schema(), &reg).unwrap();
+        let mut op = CepOp::new(&p, "ts", &schema(), &reg).unwrap();
         let got = run(
             &mut op,
             vec![rec(1, 1, 20.0), rec(2, 1, 5.0), rec(3, 1, 30.0)],
@@ -413,7 +413,7 @@ mod tests {
             ],
             60 * MICROS_PER_SEC,
         );
-        let mut op = CepOp::new(&p, "ts", schema(), &reg).unwrap();
+        let mut op = CepOp::new(&p, "ts", &schema(), &reg).unwrap();
         let got = run(
             &mut op,
             vec![
@@ -433,7 +433,7 @@ mod tests {
     fn watermark_gc_and_cap() {
         let reg = FunctionRegistry::with_builtins();
         let p = high_low_pattern(10).with_max_partials(2);
-        let mut op = CepOp::new(&p, "ts", schema(), &reg).unwrap();
+        let mut op = CepOp::new(&p, "ts", &schema(), &reg).unwrap();
         // 5 highs but cap 2 partials.
         let rows: Vec<Record> = (0..5).map(|i| rec(i, 1, 20.0)).collect();
         run(&mut op, rows);
@@ -446,14 +446,14 @@ mod tests {
     fn rejects_bad_patterns() {
         let reg = FunctionRegistry::with_builtins();
         let empty = Pattern::new("x", vec![], MICROS_PER_SEC);
-        assert!(CepOp::new(&empty, "ts", schema(), &reg).is_err());
+        assert!(CepOp::new(&empty, "ts", &schema(), &reg).is_err());
         let nonbool = Pattern::new(
             "x",
             vec![PatternStep::new("s", col("v").add(lit(1.0)))],
             MICROS_PER_SEC,
         );
-        assert!(CepOp::new(&nonbool, "ts", schema(), &reg).is_err());
+        assert!(CepOp::new(&nonbool, "ts", &schema(), &reg).is_err());
         let badwithin = Pattern::new("x", vec![PatternStep::new("s", col("v").gt(lit(1.0)))], 0);
-        assert!(CepOp::new(&badwithin, "ts", schema(), &reg).is_err());
+        assert!(CepOp::new(&badwithin, "ts", &schema(), &reg).is_err());
     }
 }

@@ -318,7 +318,7 @@ impl MapOp {
     pub fn new(
         projections: &[(String, Expr)],
         extend: bool,
-        input: SchemaRef,
+        input: &SchemaRef,
         registry: &FunctionRegistry,
     ) -> Result<Self> {
         let mut bound = Vec::with_capacity(projections.len());
@@ -328,7 +328,7 @@ impl MapOp {
             Vec::new()
         };
         for (name, e) in projections {
-            let (b, t) = e.bind(&input, registry)?;
+            let (b, t) = e.bind(input, registry)?;
             bound.push(b);
             fields.push(Field::new(name.clone(), t));
         }
@@ -528,7 +528,7 @@ mod tests {
         let mut op = MapOp::new(
             &[("double".into(), col("v").mul(lit(2.0)))],
             false,
-            schema(),
+            &schema(),
             &reg,
         )
         .unwrap();
@@ -546,7 +546,7 @@ mod tests {
         let mut op = MapOp::new(
             &[("flag".into(), col("v").gt(lit(1.0)))],
             true,
-            schema(),
+            &schema(),
             &reg,
         )
         .unwrap();

@@ -103,13 +103,13 @@ impl SplitPlan {
     fn new(
         ts_field: &str,
         keys: &[(String, Expr)],
-        spec: WindowSpec,
+        spec: &WindowSpec,
         aggs: Vec<WindowAgg>,
         input: SchemaRef,
         registry: &FunctionRegistry,
     ) -> Result<Self> {
         spec.validate()?;
-        let layout = SliceLayout::of(&spec)
+        let layout = SliceLayout::of(spec)
             .ok_or_else(|| NebulaError::Plan("threshold windows cannot pre-aggregate".into()))?;
         let ts_col = input.index_of(ts_field).ok_or_else(|| {
             NebulaError::Plan(format!("window split: unknown ts field '{ts_field}'"))
@@ -194,7 +194,7 @@ impl WindowPartialOp {
     pub fn new(
         ts_field: &str,
         keys: &[(String, Expr)],
-        spec: WindowSpec,
+        spec: &WindowSpec,
         aggs: Vec<WindowAgg>,
         input: SchemaRef,
         registry: &FunctionRegistry,
@@ -313,7 +313,7 @@ impl WindowMergeOp {
     pub fn new(
         ts_field: &str,
         keys: &[(String, Expr)],
-        spec: WindowSpec,
+        spec: &WindowSpec,
         aggs: Vec<WindowAgg>,
         input: SchemaRef,
         registry: &FunctionRegistry,
@@ -475,13 +475,12 @@ mod tests {
     /// Drives records through one edge partial op and the cloud merge,
     /// with a watermark after every batch and Eos at the end.
     fn split_run(
-        spec: WindowSpec,
+        spec: &WindowSpec,
         batches: Vec<Vec<Record>>,
         watermarks: Vec<EventTime>,
     ) -> Vec<Record> {
         let reg = FunctionRegistry::with_builtins();
-        let mut edge =
-            WindowPartialOp::new("ts", &keys(), spec.clone(), aggs(), schema(), &reg).unwrap();
+        let mut edge = WindowPartialOp::new("ts", &keys(), spec, aggs(), schema(), &reg).unwrap();
         let mut cloud = WindowMergeOp::new("ts", &keys(), spec, aggs(), schema(), &reg).unwrap();
         let mut cloud_in = Vec::new();
         for (batch, wm) in batches.into_iter().zip(watermarks) {
@@ -541,7 +540,7 @@ mod tests {
                 .map(|i| rec(i, i % 3, ((i * 7) % 80) as f64, (i * 13) % 200))
                 .collect();
             let split = split_run(
-                spec.clone(),
+                &spec,
                 records.chunks(60).map(<[Record]>::to_vec).collect(),
                 vec![
                     20 * MICROS_PER_SEC,
@@ -573,7 +572,7 @@ mod tests {
             size: 60 * MICROS_PER_SEC,
             slide: 15 * MICROS_PER_SEC,
         };
-        let mut edge = WindowPartialOp::new("ts", &keys(), spec, aggs(), schema(), &reg).unwrap();
+        let mut edge = WindowPartialOp::new("ts", &keys(), &spec, aggs(), schema(), &reg).unwrap();
         let mut out = Vec::new();
         let records: Vec<Record> = (0..240).map(|i| rec(i, 0, 1.0, 1)).collect();
         edge.process(RecordBuffer::new(schema(), records), &mut out)
@@ -615,7 +614,7 @@ mod tests {
             40 * MICROS_PER_SEC,
             100 * MICROS_PER_SEC,
         ];
-        let split = split_run(spec.clone(), batches.clone(), wms.clone());
+        let split = split_run(&spec, batches.clone(), wms.clone());
         let local = {
             let reg = FunctionRegistry::with_builtins();
             let mut op =
@@ -646,9 +645,8 @@ mod tests {
         let spec = WindowSpec::Tumbling {
             size: 60 * MICROS_PER_SEC,
         };
-        let mut edge =
-            WindowPartialOp::new("ts", &keys(), spec.clone(), aggs(), schema(), &reg).unwrap();
-        let mut cloud = WindowMergeOp::new("ts", &keys(), spec, aggs(), schema(), &reg).unwrap();
+        let mut edge = WindowPartialOp::new("ts", &keys(), &spec, aggs(), schema(), &reg).unwrap();
+        let mut cloud = WindowMergeOp::new("ts", &keys(), &spec, aggs(), schema(), &reg).unwrap();
         // Produce one partial row, then deliver it after the cloud's
         // watermark has already passed the slice's last window.
         let mut edge_out = Vec::new();
@@ -676,7 +674,7 @@ mod tests {
         let op = WindowPartialOp::new(
             "ts",
             &keys(),
-            WindowSpec::Tumbling {
+            &WindowSpec::Tumbling {
                 size: 60 * MICROS_PER_SEC,
             },
             aggs(),

@@ -282,7 +282,7 @@ pub(crate) fn compile_ops(
             LogicalOp::Map {
                 projections,
                 extend,
-            } => Box::new(MapOp::new(projections, *extend, schema.clone(), registry)?),
+            } => Box::new(MapOp::new(projections, *extend, &schema, registry)?),
             LogicalOp::Window { keys, spec, aggs } => Box::new(WindowOp::new(
                 ts_field,
                 keys,
@@ -291,9 +291,7 @@ pub(crate) fn compile_ops(
                 schema.clone(),
                 registry,
             )?),
-            LogicalOp::Cep(pattern) => {
-                Box::new(CepOp::new(pattern, ts_field, schema.clone(), registry)?)
-            }
+            LogicalOp::Cep(pattern) => Box::new(CepOp::new(pattern, ts_field, &schema, registry)?),
             LogicalOp::Custom(factory) => factory.create(schema.clone(), registry)?,
         };
         schema = physical.output_schema();

@@ -367,7 +367,7 @@ mod tests {
     /// flush is driven as explicit retransmission rounds interleaved
     /// with receiver drains (a blocking [`ReliableTx::flush`] would
     /// starve its own receiver here).
-    fn loopback(plan: FaultPlan, n: u32) -> (Vec<Vec<u8>>, Arc<ChaosStats>) {
+    fn loopback(plan: &FaultPlan, n: u32) -> (Vec<Vec<u8>>, Arc<ChaosStats>) {
         use std::cell::RefCell;
         use std::rc::Rc;
         let stats = Arc::new(ChaosStats::default());
@@ -375,7 +375,7 @@ mod tests {
         let mut tx = ReliableTx::new(
             "test-link",
             ack_rx,
-            LinkChaos::new(&plan, 7),
+            LinkChaos::new(plan, 7),
             Arc::clone(&stats),
         );
         let mut rx = ReliableRx::new(ack_tx, Arc::clone(&stats));
@@ -424,7 +424,7 @@ mod tests {
 
     #[test]
     fn perfect_link_delivers_in_order() {
-        let (got, _) = loopback(FaultPlan::seeded(1), 100);
+        let (got, _) = loopback(&FaultPlan::seeded(1), 100);
         assert_eq!(got.len(), 100);
         for (i, p) in got.iter().enumerate() {
             assert_eq!(p, &(i as u32).to_le_bytes().to_vec());
@@ -438,7 +438,7 @@ mod tests {
             .duplicate_frames(0.1)
             .reorder_frames(0.1)
             .corrupt_frames(0.05);
-        let (got, stats) = loopback(plan, 300);
+        let (got, stats) = loopback(&plan, 300);
         assert_eq!(got.len(), 300, "exactly once despite chaos");
         for (i, p) in got.iter().enumerate() {
             assert_eq!(p, &(i as u32).to_le_bytes().to_vec(), "in order");

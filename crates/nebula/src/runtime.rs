@@ -22,6 +22,9 @@
 //! frontier that closes windows — there is no global clock besides the
 //! per-origin frontiers.
 
+use crate::analysis::{
+    self, AnalysisContext, AnalysisOptions, AnalysisReport, CapabilityRegistry, Diagnostic,
+};
 use crate::buffer::TupleBuffer;
 use crate::error::{NebulaError, Result};
 use crate::expr::{BoundExpr, FunctionRegistry, Plugin};
@@ -66,6 +69,10 @@ pub struct EnvConfig {
     /// execution mode; the report of the most recent run is available
     /// via [`StreamEnvironment::last_report`].
     pub telemetry: TelemetryConfig,
+    /// Lint-level overrides for the pre-flight static analyzer (see
+    /// [`crate::analysis`]). Errors are always deny; warnings can be
+    /// silenced or promoted per code.
+    pub analysis: AnalysisOptions,
 }
 
 /// Source-side batching policy: when to transpose polled records into
@@ -96,6 +103,7 @@ impl Default for EnvConfig {
             parallelism: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
             columnar: ColumnarMode::Auto,
             telemetry: TelemetryConfig::default(),
+            analysis: AnalysisOptions::new(),
         }
     }
 }
@@ -320,6 +328,9 @@ pub struct StreamEnvironment {
     registry: FunctionRegistry,
     sources: HashMap<String, RegisteredSource>,
     config: EnvConfig,
+    /// Static-analysis capabilities (opaque-type producers), merged
+    /// from loaded plugins.
+    capabilities: CapabilityRegistry,
     /// Telemetry report of the most recent run (any mode), kept until
     /// the next run replaces it or [`Self::take_report`] takes it.
     report: Option<QueryReport>,
@@ -338,6 +349,7 @@ impl StreamEnvironment {
             registry: FunctionRegistry::with_builtins(),
             sources: HashMap::new(),
             config: EnvConfig::default(),
+            capabilities: CapabilityRegistry::new(),
             report: None,
         }
     }
@@ -371,9 +383,18 @@ impl StreamEnvironment {
         &mut self.config
     }
 
-    /// Loads a plugin's functions into the registry.
+    /// Loads a plugin's functions into the registry and merges its
+    /// static-analysis capabilities.
     pub fn load_plugin(&mut self, plugin: &dyn Plugin) -> Result<()> {
-        self.registry.load_plugin(plugin)
+        self.registry.load_plugin(plugin)?;
+        self.capabilities.merge(&plugin.capabilities());
+        Ok(())
+    }
+
+    /// The static-analysis capability registry (for manual additions
+    /// beyond what loaded plugins declare).
+    pub fn capabilities_mut(&mut self) -> &mut CapabilityRegistry {
+        &mut self.capabilities
     }
 
     /// The telemetry report of the most recent run, if telemetry was
@@ -418,11 +439,44 @@ impl StreamEnvironment {
             .ok_or_else(|| NebulaError::Plan(format!("unknown source '{name}'")))
     }
 
-    /// Compiles `query` against the registered (still-owned) source's
-    /// schema. Compiling *before* [`Self::take_source`] means a plan
-    /// error leaves the source registered, so the caller can fix the
-    /// query and run again.
-    fn prepare(&self, query: &Query) -> Result<(Option<usize>, OperatorChain)> {
+    /// Analyzes `query` for the given execution target without running
+    /// it. The same pre-flight every run entry point performs; useful
+    /// for inspecting diagnostics (including warnings) up front.
+    pub fn analyze_for(&self, query: &Query, target: analysis::Target) -> Result<AnalysisReport> {
+        let src = self
+            .sources
+            .get(query.source())
+            .ok_or_else(|| NebulaError::Plan(format!("unknown source '{}'", query.source())))?;
+        let ctx = AnalysisContext {
+            target,
+            watermarks: vec![src.watermark.clone()],
+            capabilities: self.capabilities.clone(),
+            options: self.config.analysis.clone(),
+        };
+        Ok(analysis::analyze(
+            query,
+            src.source.schema(),
+            &self.registry,
+            &ctx,
+        ))
+    }
+
+    /// Analyzes `query` for local execution (see [`Self::analyze_for`]).
+    pub fn analyze(&self, query: &Query) -> Result<AnalysisReport> {
+        self.analyze_for(query, analysis::Target::Local)
+    }
+
+    /// Pre-flight + compile for `query` against the registered
+    /// (still-owned) source's schema. Analyzing and compiling *before*
+    /// [`Self::take_source`] means a rejected plan leaves the source
+    /// registered, so the caller can fix the query and run again.
+    /// Returns the analyzer's warnings for the telemetry report.
+    fn prepare(
+        &self,
+        query: &Query,
+        target: analysis::Target,
+    ) -> Result<(Option<usize>, OperatorChain, Vec<Diagnostic>)> {
+        let warnings = self.analyze_for(query, target)?.into_accepted()?;
         let src = self
             .sources
             .get(query.source())
@@ -430,14 +484,14 @@ impl StreamEnvironment {
         let schema = src.source.schema();
         let ts_col = resolve_ts_col(&src.watermark, &schema)?;
         let plan = compile(query, schema, &self.registry)?;
-        Ok((ts_col, plan.operators))
+        Ok((ts_col, plan.operators, warnings))
     }
 
     /// Runs a query to completion, synchronously, delivering results to
     /// `sink`. Consumes the registered source (only on a valid plan; a
     /// compile error leaves the source registered).
     pub fn run(&mut self, query: &Query, sink: &mut dyn Sink) -> Result<QueryMetrics> {
-        let (ts_col, ops) = self.prepare(query)?;
+        let (ts_col, ops, warnings) = self.prepare(query, analysis::Target::Local)?;
         let columnar = chain_wants_columnar(self.config.columnar, &ops);
         let tel_on = self.config.telemetry.enabled;
         let (mut ops, tel) = instrument_chain(ops, tel_on, 0);
@@ -537,15 +591,25 @@ impl StreamEnvironment {
             &chains,
             Some((&trace, COORDINATOR_ORIGIN)),
         );
-        self.report =
-            tel_on.then(|| build_report("run", &metrics, &chains, sampler, &trace, Vec::new(), 0));
+        self.report = tel_on.then(|| {
+            build_report(
+                "run",
+                &metrics,
+                &chains,
+                sampler,
+                &trace,
+                Vec::new(),
+                0,
+                warnings,
+            )
+        });
         Ok(metrics)
     }
 
     /// Runs a query with the source on its own thread, connected to the
     /// operator chain by a bounded channel — pipeline parallelism.
     pub fn run_threaded(&mut self, query: &Query, sink: &mut dyn Sink) -> Result<QueryMetrics> {
-        let (ts_col, ops) = self.prepare(query)?;
+        let (ts_col, ops, warnings) = self.prepare(query, analysis::Target::Local)?;
         let columnar = chain_wants_columnar(self.config.columnar, &ops);
         let tel_on = self.config.telemetry.enabled;
         let (mut ops, tel) = instrument_chain(ops, tel_on, 0);
@@ -722,6 +786,7 @@ impl StreamEnvironment {
                 &trace,
                 Vec::new(),
                 0,
+                warnings,
             )
         });
         Ok(metrics)
@@ -753,6 +818,14 @@ impl StreamEnvironment {
     /// — including latency histograms and the frontier-lag high-water
     /// mark — merge into the returned report.
     pub fn run_partitioned(&mut self, query: &Query, sink: &mut dyn Sink) -> Result<QueryMetrics> {
+        let warnings = self
+            .analyze_for(
+                query,
+                analysis::Target::Partitioned {
+                    parallelism: self.config.parallelism.max(1),
+                },
+            )?
+            .into_accepted()?;
         let (schema, ts_col) = {
             let src = self
                 .sources
@@ -1108,6 +1181,7 @@ impl StreamEnvironment {
                 &trace,
                 Vec::new(),
                 0,
+                warnings,
             )
         });
         Ok(merged)

@@ -829,6 +829,9 @@ pub struct QueryReport {
     pub events: Vec<TraceEvent>,
     /// Events dropped to the ring bound.
     pub events_dropped: u64,
+    /// Warnings from the pre-flight static analyzer (errors reject the
+    /// plan before a report exists, so only warnings appear here).
+    pub analysis: Vec<crate::analysis::Diagnostic>,
 }
 
 impl QueryReport {
@@ -862,6 +865,7 @@ impl QueryReport {
             "node_snapshots_dropped": self.snapshots_dropped,
             "events": self.events.iter().map(TraceEvent::to_json).collect::<Vec<_>>(),
             "events_dropped": self.events_dropped,
+            "analysis": self.analysis.iter().map(crate::analysis::Diagnostic::to_json).collect::<Vec<_>>(),
         })
     }
 
@@ -871,6 +875,9 @@ impl QueryReport {
         use std::fmt::Write as _;
         let mut s = String::new();
         let _ = writeln!(s, "[{}] {}", self.mode, self.metrics);
+        for d in &self.analysis {
+            let _ = writeln!(s, "  {}", d.render());
+        }
         for op in &self.operators {
             let _ = writeln!(
                 s,
@@ -923,6 +930,7 @@ pub(crate) fn build_report(
     trace: &TraceRing,
     node_snapshots: Vec<NodeSnapshot>,
     snapshots_dropped: u64,
+    analysis: Vec<crate::analysis::Diagnostic>,
 ) -> QueryReport {
     let (samples, samples_dropped) = sampler.into_series();
     let (events, events_dropped) = trace.snapshot();
@@ -936,6 +944,7 @@ pub(crate) fn build_report(
         snapshots_dropped,
         events,
         events_dropped,
+        analysis,
     }
 }
 
@@ -1093,6 +1102,7 @@ mod tests {
             &ring,
             Vec::new(),
             0,
+            Vec::new(),
         );
         let text = report.render();
         assert!(text.contains("op0:filter"), "{text}");

@@ -745,7 +745,7 @@ mod tests {
             .collect()
     }
 
-    fn run_agg(spec: AggSpec, vals: &[Value]) -> Value {
+    fn run_agg(spec: &AggSpec, vals: &[Value]) -> Value {
         let reg = FunctionRegistry::with_builtins();
         let mut agg = spec.create(&agg_schema(), &reg, "ts").unwrap();
         for rec in agg_recs(vals) {
@@ -757,21 +757,24 @@ mod tests {
     #[test]
     fn builtin_aggregates() {
         let vals = [Value::Float(1.0), Value::Float(3.0), Value::Float(2.0)];
-        assert_eq!(run_agg(AggSpec::Count, &vals), Value::Int(3));
-        assert_eq!(run_agg(AggSpec::Sum(col("v")), &vals), Value::Float(6.0));
-        assert_eq!(run_agg(AggSpec::Min(col("v")), &vals), Value::Float(1.0));
-        assert_eq!(run_agg(AggSpec::Max(col("v")), &vals), Value::Float(3.0));
-        assert_eq!(run_agg(AggSpec::Avg(col("v")), &vals), Value::Float(2.0));
-        assert_eq!(run_agg(AggSpec::First(col("v")), &vals), Value::Float(1.0));
-        assert_eq!(run_agg(AggSpec::Last(col("v")), &vals), Value::Float(2.0));
+        assert_eq!(run_agg(&AggSpec::Count, &vals), Value::Int(3));
+        assert_eq!(run_agg(&AggSpec::Sum(col("v")), &vals), Value::Float(6.0));
+        assert_eq!(run_agg(&AggSpec::Min(col("v")), &vals), Value::Float(1.0));
+        assert_eq!(run_agg(&AggSpec::Max(col("v")), &vals), Value::Float(3.0));
+        assert_eq!(run_agg(&AggSpec::Avg(col("v")), &vals), Value::Float(2.0));
+        assert_eq!(run_agg(&AggSpec::First(col("v")), &vals), Value::Float(1.0));
+        assert_eq!(run_agg(&AggSpec::Last(col("v")), &vals), Value::Float(2.0));
     }
 
     #[test]
     fn aggregates_skip_nulls() {
         let vals = [Value::Null, Value::Float(4.0), Value::Null];
-        assert_eq!(run_agg(AggSpec::Avg(col("v")), &vals), Value::Float(4.0));
-        assert_eq!(run_agg(AggSpec::Min(col("v")), &vals), Value::Float(4.0));
-        assert_eq!(run_agg(AggSpec::Sum(col("v")), &[Value::Null]), Value::Null);
+        assert_eq!(run_agg(&AggSpec::Avg(col("v")), &vals), Value::Float(4.0));
+        assert_eq!(run_agg(&AggSpec::Min(col("v")), &vals), Value::Float(4.0));
+        assert_eq!(
+            run_agg(&AggSpec::Sum(col("v")), &[Value::Null]),
+            Value::Null
+        );
     }
 
     #[test]
@@ -809,7 +812,7 @@ mod tests {
 
     /// Split the values across two accumulators, merge the partials into
     /// a third, and compare with single-accumulator folding.
-    fn assert_partials_merge(spec: AggSpec, vals: &[Value]) {
+    fn assert_partials_merge(spec: &AggSpec, vals: &[Value]) {
         let reg = FunctionRegistry::with_builtins();
         let schema = agg_schema();
         let make = || spec.create(&schema, &reg, "ts").unwrap();
@@ -833,17 +836,17 @@ mod tests {
     #[test]
     fn every_builtin_aggregate_merges_partials() {
         let vals: Vec<Value> = [1.5, -3.0, 2.0, 2.0, 8.25].map(Value::Float).to_vec();
-        assert_partials_merge(AggSpec::Count, &vals);
-        assert_partials_merge(AggSpec::Sum(col("v")), &vals);
-        assert_partials_merge(AggSpec::Min(col("v")), &vals);
-        assert_partials_merge(AggSpec::Max(col("v")), &vals);
-        assert_partials_merge(AggSpec::Avg(col("v")), &vals);
-        assert_partials_merge(AggSpec::First(col("v")), &vals);
-        assert_partials_merge(AggSpec::Last(col("v")), &vals);
+        assert_partials_merge(&AggSpec::Count, &vals);
+        assert_partials_merge(&AggSpec::Sum(col("v")), &vals);
+        assert_partials_merge(&AggSpec::Min(col("v")), &vals);
+        assert_partials_merge(&AggSpec::Max(col("v")), &vals);
+        assert_partials_merge(&AggSpec::Avg(col("v")), &vals);
+        assert_partials_merge(&AggSpec::First(col("v")), &vals);
+        assert_partials_merge(&AggSpec::Last(col("v")), &vals);
         // Empty partials merge as no-ops.
-        assert_partials_merge(AggSpec::Avg(col("v")), &[]);
-        assert_partials_merge(AggSpec::Sum(col("v")), &[Value::Null]);
-        assert_partials_merge(AggSpec::First(col("v")), &[]);
+        assert_partials_merge(&AggSpec::Avg(col("v")), &[]);
+        assert_partials_merge(&AggSpec::Sum(col("v")), &[Value::Null]);
+        assert_partials_merge(&AggSpec::First(col("v")), &[]);
     }
 
     #[test]

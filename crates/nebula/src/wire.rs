@@ -107,6 +107,13 @@ impl WireRegistry {
         self.codecs.insert(codec.tag(), codec);
     }
 
+    /// The tags with registered codecs, sorted (capability reporting).
+    pub fn tags(&self) -> Vec<&str> {
+        let mut tags: Vec<&str> = self.codecs.keys().copied().collect();
+        tags.sort_unstable();
+        tags
+    }
+
     /// The codec for `tag`, or a wire error naming the missing tag.
     fn get(&self, tag: &str) -> Result<&Arc<dyn OpaqueWireCodec>> {
         self.codecs.get(tag).ok_or_else(|| {

@@ -44,7 +44,7 @@ proptest! {
         for &v in &samples {
             h.record(v);
         }
-        let mut sorted = samples.clone();
+        let mut sorted = samples;
         sorted.sort_by(f64::total_cmp);
         prop_assert_eq!(h.percentile(0.0).unwrap(), sorted[0]);
         prop_assert_eq!(

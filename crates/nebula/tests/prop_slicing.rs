@@ -275,10 +275,10 @@ proptest! {
         let expect = drive(&mut local, messages(&sc));
 
         let mut edge = WindowPartialOp::new(
-            "ts", &keys(), sc.spec.clone(), all_aggs(), schema(), &reg,
+            "ts", &keys(), &sc.spec, all_aggs(), schema(), &reg,
         ).expect("partial op");
         let mut cloud = WindowMergeOp::new(
-            "ts", &keys(), sc.spec.clone(), all_aggs(), schema(), &reg,
+            "ts", &keys(), &sc.spec, all_aggs(), schema(), &reg,
         ).expect("merge op");
         let mut crossing = Vec::new();
         for msg in messages(&sc) {
@@ -319,13 +319,13 @@ proptest! {
         let expect = drive(&mut local, messages(&sc));
 
         let mut edges = [
-            WindowPartialOp::new("ts", &keys(), sc.spec.clone(), all_aggs(), schema(), &reg)
+            WindowPartialOp::new("ts", &keys(), &sc.spec, all_aggs(), schema(), &reg)
                 .expect("edge 0"),
-            WindowPartialOp::new("ts", &keys(), sc.spec.clone(), all_aggs(), schema(), &reg)
+            WindowPartialOp::new("ts", &keys(), &sc.spec, all_aggs(), schema(), &reg)
                 .expect("edge 1"),
         ];
         let mut cloud = WindowMergeOp::new(
-            "ts", &keys(), sc.spec.clone(), all_aggs(), schema(), &reg,
+            "ts", &keys(), &sc.spec, all_aggs(), schema(), &reg,
         ).expect("merge op");
         // Key-shard the feed and broadcast watermarks. Like the cluster
         // fan-in's min-combined watermark, the cloud only advances once

@@ -228,7 +228,7 @@ proptest! {
         // Byte flips: decode must return (any) result without panicking,
         // and an intact length prefix with a mangled body must never be
         // accepted as a *different-length* record batch.
-        let mut bad = good.clone();
+        let mut bad = good;
         for (pos, xor) in flips {
             let pos = pos % bad.len();
             bad[pos] ^= xor;

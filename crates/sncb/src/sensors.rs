@@ -199,7 +199,7 @@ mod tests {
         }
     }
 
-    fn run_train(faults: FaultPlan, secs: i64, seed: u64) -> Vec<SensorReading> {
+    fn run_train(faults: &FaultPlan, secs: i64, seed: u64) -> Vec<SensorReading> {
         let net = Arc::new(RailNetwork::belgium());
         let mut sim = TrainSim::new(
             net,
@@ -213,14 +213,14 @@ mod tests {
         (0..secs)
             .map(|_| {
                 let st = sim.step(TimeDelta::from_secs(1));
-                suite.sample(&st, &w, &faults, 1.0)
+                suite.sample(&st, &w, faults, 1.0)
             })
             .collect()
     }
 
     #[test]
     fn healthy_battery_stays_in_range() {
-        let readings = run_train(FaultPlan::default(), 1_800, 1);
+        let readings = run_train(&FaultPlan::default(), 1_800, 1);
         for r in &readings {
             assert!((60.0..82.0).contains(&r.battery_v), "{}", r.battery_v);
             assert!((0.0..45.0).contains(&r.battery_temp_c));
@@ -233,7 +233,7 @@ mod tests {
             battery_fault_after: Some(start() + TimeDelta::from_minutes(5)),
             ..FaultPlan::default()
         };
-        let readings = run_train(faults, 2_400, 2);
+        let readings = run_train(&faults, 2_400, 2);
         let early_v: f64 = readings[..300].iter().map(|r| r.battery_v).sum::<f64>() / 300.0;
         let late = &readings[readings.len() - 300..];
         let late_v: f64 = late.iter().map(|r| r.battery_v).sum::<f64>() / 300.0;
@@ -248,7 +248,7 @@ mod tests {
             emergency_brakes: vec![start() + TimeDelta::from_minutes(5)],
             ..FaultPlan::default()
         };
-        let readings = run_train(faults, 900, 3);
+        let readings = run_train(&faults, 900, 3);
         let min_bar = readings.iter().map(|r| r.brake_bar).fold(10.0, f64::min);
         assert!(min_bar < 3.5, "emergency dip visible: {min_bar}");
         // Normal running pressure dominates.
@@ -262,7 +262,7 @@ mod tests {
             brake_leak_after: Some(start() + TimeDelta::from_minutes(2)),
             ..FaultPlan::default()
         };
-        let readings = run_train(faults, 3_600, 4);
+        let readings = run_train(&faults, 3_600, 4);
         let early: f64 = readings[..100].iter().map(|r| r.brake_bar).sum::<f64>() / 100.0;
         let late: f64 = readings[readings.len() - 100..]
             .iter()
@@ -274,7 +274,7 @@ mod tests {
 
     #[test]
     fn noise_grows_with_speed() {
-        let readings = run_train(FaultPlan::default(), 1_200, 5);
+        let readings = run_train(&FaultPlan::default(), 1_200, 5);
         let slow: Vec<&SensorReading> = readings.iter().filter(|r| r.speed_kmh < 5.0).collect();
         let fast: Vec<&SensorReading> = readings.iter().filter(|r| r.speed_kmh > 80.0).collect();
         assert!(!slow.is_empty() && !fast.is_empty());

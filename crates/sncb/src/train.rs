@@ -486,13 +486,7 @@ mod tests {
             ..FaultPlan::default()
         };
         let network = net();
-        let mut sim = TrainSim::new(
-            network.clone(),
-            TrainConfig::standard(3, 1),
-            faults,
-            start(),
-            4,
-        );
+        let mut sim = TrainSim::new(network, TrainConfig::standard(3, 1), faults, start(), 4);
         let states = run_sim(&mut sim, 900);
         let holds: Vec<&TrainState> = states.iter().filter(|s| s.unscheduled_hold).collect();
         assert!(holds.len() >= 150, "held ~3 min, got {}", holds.len());

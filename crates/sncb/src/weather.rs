@@ -221,13 +221,13 @@ mod tests {
         assert_eq!(clear.speed_factor(), 1.0);
         let rain = WeatherSample {
             rain_mmh: 6.0,
-            ..clear.clone()
+            ..clear
         };
         assert_eq!(rain.condition(), WeatherCondition::HeavyRain);
         let snow = WeatherSample {
             temp_c: -2.0,
             snow_mmh: 3.0,
-            ..clear.clone()
+            ..clear
         };
         assert_eq!(snow.condition(), WeatherCondition::HeavySnow);
         let fog = WeatherSample {

@@ -32,7 +32,11 @@ fn main() -> nebula::Result<()> {
             ("speed_kmh", col("speed_kmh")),
         ]);
 
-    println!("\nphysical plan:\n{}", env.explain(&query)?);
+    // Pre-flight static analysis — the same check `run` performs before
+    // instantiating any operator (a broken plan is rejected here with
+    // typed E0xx diagnostics instead of failing mid-stream).
+    println!("\npre-flight analysis:\n{}", env.analyze(&query)?.render());
+    println!("physical plan:\n{}", env.explain(&query)?);
 
     let (mut sink, results) = CollectingSink::new();
     let metrics = env.run(&query, &mut sink)?;

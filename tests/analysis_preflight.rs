@@ -1,0 +1,196 @@
+//! Integration coverage for the mandatory pre-flight analyzer: the
+//! demo suite Q1–Q8 must stay free of error-severity diagnostics under
+//! every execution target (local, partitioned, placed on the cluster),
+//! the analysis itself must stay cheap (well under a millisecond per
+//! plan), and a rejected plan must be refused identically by every
+//! entry point before any operator is instantiated.
+
+use nebula::prelude::*;
+use nebulameos_bench::Workload;
+
+/// Analysis needs only schemas and registries, not data volume.
+fn workload() -> Workload {
+    Workload::generate(1, 1_000)
+}
+
+#[test]
+fn demo_queries_are_error_free_under_every_target() {
+    let w = workload();
+    let env = w.environment();
+    let cluster = w.cluster_environment();
+    for (name, query) in nebulameos::all_demo_queries() {
+        let reports = [
+            ("local", env.analyze(&query).expect("source registered")),
+            (
+                "partitioned",
+                env.analyze_for(&query, Target::Partitioned { parallelism: 4 })
+                    .expect("source registered"),
+            ),
+            (
+                "placed",
+                cluster
+                    .analyze(&query, PlacementStrategy::EdgeFirst)
+                    .expect("source hosted"),
+            ),
+            (
+                "placed-cloud",
+                cluster
+                    .analyze(&query, PlacementStrategy::CloudOnly)
+                    .expect("source hosted"),
+            ),
+        ];
+        for (target, report) in reports {
+            assert!(
+                !report.has_errors(),
+                "{name} under {target} must be error-free:\n{}",
+                report.render()
+            );
+            // The acceptance bound is 1 ms; assert with headroom so a
+            // slow CI machine cannot flake the suite.
+            assert!(
+                report.elapsed_us < 5_000,
+                "{name} under {target} took {} µs",
+                report.elapsed_us
+            );
+            assert!(
+                report.output_schema.is_some(),
+                "{name} under {target} infers an output schema"
+            );
+        }
+    }
+}
+
+#[test]
+fn rejected_plan_is_refused_by_every_entry_point() {
+    let w = workload();
+    let bad = Query::from("fleet").filter(col("no_such_column").gt(lit(0)));
+
+    let mut env = w.environment();
+    let report = env.analyze(&bad).expect("source registered");
+    assert!(report.has_errors(), "unknown column is an error");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::UnknownColumn),
+        "E001 names the missing column: {}",
+        report.render()
+    );
+
+    let (mut sink, collected) = CollectingSink::new();
+    for mode in ["run", "run_threaded", "run_partitioned"] {
+        let result = match mode {
+            "run" => env.run(&bad, &mut sink),
+            "run_threaded" => env.run_threaded(&bad, &mut sink),
+            _ => env.run_partitioned(&bad, &mut sink),
+        };
+        match result {
+            Err(NebulaError::Analysis(e)) => {
+                assert!(
+                    e.diagnostics.iter().any(|d| d.code == Code::UnknownColumn),
+                    "{mode} rejection carries E001"
+                );
+            }
+            other => panic!("{mode} must reject with AnalysisError, got {other:?}"),
+        }
+    }
+    assert!(
+        collected.records().is_empty(),
+        "a rejected plan never reaches the sink"
+    );
+
+    let mut cluster = w.cluster_environment();
+    let (mut csink, _) = CollectingSink::new();
+    match cluster.run_placed(&bad, PlacementStrategy::EdgeFirst, &mut csink) {
+        Err(NebulaError::Analysis(e)) => assert!(!e.diagnostics.is_empty()),
+        other => panic!("cluster must reject with AnalysisError, got {other:?}"),
+    }
+}
+
+#[test]
+fn warning_severity_is_configurable_per_environment() {
+    let w = workload();
+    let keyless = Query::from("fleet").window(
+        vec![],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![WindowAgg::new("n", AggSpec::Count)],
+    );
+
+    // Default: W010 is a warning, plan accepted.
+    let env = w.environment();
+    let report = env
+        .analyze_for(&keyless, Target::Partitioned { parallelism: 4 })
+        .expect("source registered");
+    assert!(!report.has_errors());
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == Code::PartitionFallback));
+
+    // Promoted to deny: the same plan is rejected.
+    let mut strict = w.environment();
+    strict.config_mut().analysis =
+        AnalysisOptions::new().set(Code::PartitionFallback, LintLevel::Deny);
+    let report = strict
+        .analyze_for(&keyless, Target::Partitioned { parallelism: 4 })
+        .expect("source registered");
+    assert!(report.has_errors(), "denied W010 rejects the plan");
+
+    // Allowed: the diagnostic disappears entirely.
+    let mut lax = w.environment();
+    lax.config_mut().analysis =
+        AnalysisOptions::new().set(Code::PartitionFallback, LintLevel::Allow);
+    let report = lax
+        .analyze_for(&keyless, Target::Partitioned { parallelism: 4 })
+        .expect("source registered");
+    assert!(report.is_clean(), "allowed W010 is silenced");
+}
+
+#[test]
+fn meos_capabilities_type_opaque_plans_for_the_wire() {
+    // A plan producing an opaque MEOS value (`tpoint_simplify` returns
+    // a temporal point) crosses node boundaries when placed. The
+    // MeosPlugin's capability registry tags the column as
+    // `meos.tgeompoint` and the cluster has a codec for that tag, so
+    // the placed analysis stays completely clean — no W012.
+    let w = workload();
+    let cluster = w.cluster_environment();
+    let q = Query::from("fleet").map_extend(vec![(
+        "traj",
+        call("tpoint_simplify", vec![col("pos"), lit(5.0)]),
+    )]);
+    let report = cluster
+        .analyze(&q, PlacementStrategy::EdgeFirst)
+        .expect("source hosted");
+    assert!(
+        report.is_clean(),
+        "known opaque tag with a registered codec is clean:\n{}",
+        report.render()
+    );
+    let schema = report.output_schema.expect("schema inferred");
+    assert_eq!(
+        schema.field("traj").map(|f| f.dtype),
+        Some(DataType::Opaque),
+        "opaque MEOS output is typed, not guessed"
+    );
+
+    // The same plan through an environment with no MEOS capabilities
+    // fails fast at E002: the function itself is unknown there.
+    let mut bare = StreamEnvironment::new();
+    bare.add_source(
+        "fleet",
+        Box::new(VecSource::new(sncb::fleet_schema(), Vec::new())),
+        WatermarkStrategy::None,
+    );
+    let report = bare.analyze(&q).expect("source registered");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::UnknownFunction),
+        "without the plugin the call is E002: {}",
+        report.render()
+    );
+}

@@ -122,7 +122,7 @@ fn chaos_run(
 /// Both strategies, seeded lossy links, and (EdgeFirst) an abrupt
 /// mid-run kill of the edge box: all must match the sync reference,
 /// including the late-drop total.
-fn assert_chaos_equivalent(name: &str, query: &Query, watermark: WatermarkStrategy) {
+fn assert_chaos_equivalent(name: &str, query: &Query, watermark: &WatermarkStrategy) {
     let (reference, ref_metrics) = sync_reference(query, watermark.clone());
     for seed in chaos_seeds() {
         for strategy in [PlacementStrategy::EdgeFirst, PlacementStrategy::CloudOnly] {
@@ -176,7 +176,7 @@ fn assert_chaos_equivalent(name: &str, query: &Query, watermark: WatermarkStrate
 #[test]
 fn q1_filter_chaos_equivalence() {
     let q = Query::from("s").filter(col("speed").ge(lit(40.0)));
-    assert_chaos_equivalent("q1/filter", &q, WatermarkStrategy::None);
+    assert_chaos_equivalent("q1/filter", &q, &WatermarkStrategy::None);
 }
 
 #[test]
@@ -185,7 +185,7 @@ fn q2_map_chaos_equivalence() {
         ("train", col("train")),
         ("kmh", col("speed").mul(lit(3.6))),
     ]);
-    assert_chaos_equivalent("q2/map", &q, WatermarkStrategy::None);
+    assert_chaos_equivalent("q2/map", &q, &WatermarkStrategy::None);
 }
 
 #[test]
@@ -193,7 +193,7 @@ fn q3_filter_map_extend_chaos_equivalence() {
     let q = Query::from("s")
         .filter(col("load").gt(lit(50)))
         .map_extend(vec![("over", col("speed").sub(lit(40.0)))]);
-    assert_chaos_equivalent("q3/map_extend", &q, WatermarkStrategy::None);
+    assert_chaos_equivalent("q3/map_extend", &q, &WatermarkStrategy::None);
 }
 
 fn splittable_window_query() -> Query {
@@ -216,7 +216,7 @@ fn q4_splittable_window_chaos_equivalence() {
     assert_chaos_equivalent(
         "q4/splittable",
         &splittable_window_query(),
-        generous_watermark(),
+        &generous_watermark(),
     );
 }
 
@@ -230,7 +230,7 @@ fn q5_sliding_window_chaos_equivalence() {
         },
         vec![WindowAgg::new("n", AggSpec::Count)],
     );
-    assert_chaos_equivalent("q5/sliding", &q, generous_watermark());
+    assert_chaos_equivalent("q5/sliding", &q, &generous_watermark());
 }
 
 #[test]
@@ -242,7 +242,7 @@ fn q6_keyless_window_chaos_equivalence() {
         },
         vec![WindowAgg::new("n", AggSpec::Count)],
     );
-    assert_chaos_equivalent("q6/keyless", &q, generous_watermark());
+    assert_chaos_equivalent("q6/keyless", &q, &generous_watermark());
 }
 
 #[test]
@@ -258,7 +258,7 @@ fn q7_threshold_window_chaos_equivalence() {
             WindowAgg::new("peak", AggSpec::Max(col("speed"))),
         ],
     );
-    assert_chaos_equivalent("q7/threshold", &q, WatermarkStrategy::None);
+    assert_chaos_equivalent("q7/threshold", &q, &WatermarkStrategy::None);
 }
 
 #[test]
@@ -275,7 +275,7 @@ fn q8_cep_chaos_equivalence() {
     assert_chaos_equivalent(
         "q8/cep",
         &Query::from("s").cep(pattern),
-        WatermarkStrategy::None,
+        &WatermarkStrategy::None,
     );
 }
 

@@ -113,7 +113,7 @@ fn cluster_run(
 }
 
 /// Both strategies, one feed, must agree with the sync reference.
-fn assert_cluster_equivalent(name: &str, query: &Query, feed: Feed, watermark: WatermarkStrategy) {
+fn assert_cluster_equivalent(name: &str, query: &Query, feed: Feed, watermark: &WatermarkStrategy) {
     let (reference, ref_metrics) = sync_reference(query, feed, watermark.clone());
     for strategy in [PlacementStrategy::EdgeFirst, PlacementStrategy::CloudOnly] {
         let (got, report) = cluster_run(query, strategy, feed, watermark.clone(), None);
@@ -132,10 +132,10 @@ fn assert_cluster_equivalent(name: &str, query: &Query, feed: Feed, watermark: W
     }
 }
 
-fn assert_cluster_equivalent_both_feeds(name: &str, query: &Query, watermark: WatermarkStrategy) {
-    assert_cluster_equivalent(name, query, Feed::InOrder, watermark.clone());
+fn assert_cluster_equivalent_both_feeds(name: &str, query: &Query, watermark: &WatermarkStrategy) {
+    assert_cluster_equivalent(name, query, Feed::InOrder, watermark);
     for seed in [7, 99] {
-        assert_cluster_equivalent(name, query, Feed::Jittered(seed), watermark.clone());
+        assert_cluster_equivalent(name, query, Feed::Jittered(seed), watermark);
     }
 }
 
@@ -148,7 +148,7 @@ fn edge_node(env: &ClusterEnvironment, sensor: NodeId) -> NodeId {
 
 /// Mid-run failure of the edge box must be invisible in the results:
 /// state migrates losslessly to the cloud at a quiesced handoff point.
-fn assert_failure_equivalent(name: &str, query: &Query, watermark: WatermarkStrategy) {
+fn assert_failure_equivalent(name: &str, query: &Query, watermark: &WatermarkStrategy) {
     let (reference, ref_metrics) = sync_reference(query, Feed::InOrder, watermark.clone());
     for after_batches in [0, 3, 11] {
         let (mut env, sensor) = fleet_env(Feed::InOrder, watermark.clone());
@@ -205,7 +205,7 @@ fn splittable_window_query() -> Query {
 #[test]
 fn filter_cluster_equivalence() {
     let q = Query::from("s").filter(col("speed").ge(lit(40.0)));
-    assert_cluster_equivalent_both_feeds("filter", &q, WatermarkStrategy::None);
+    assert_cluster_equivalent_both_feeds("filter", &q, &WatermarkStrategy::None);
 }
 
 #[test]
@@ -214,7 +214,7 @@ fn map_cluster_equivalence() {
         ("train", col("train")),
         ("kmh", col("speed").mul(lit(3.6))),
     ]);
-    assert_cluster_equivalent_both_feeds("map", &q, WatermarkStrategy::None);
+    assert_cluster_equivalent_both_feeds("map", &q, &WatermarkStrategy::None);
 }
 
 #[test]
@@ -222,7 +222,7 @@ fn map_extend_cluster_equivalence() {
     let q = Query::from("s")
         .filter(col("load").gt(lit(50)))
         .map_extend(vec![("over", col("speed").sub(lit(40.0)))]);
-    assert_cluster_equivalent_both_feeds("map_extend", &q, WatermarkStrategy::None);
+    assert_cluster_equivalent_both_feeds("map_extend", &q, &WatermarkStrategy::None);
 }
 
 #[test]
@@ -248,8 +248,13 @@ fn tumbling_window_cluster_equivalence() {
         None,
     );
     assert!(report.cluster.preaggregated, "avg splits via (sum, count)");
-    assert_cluster_equivalent_both_feeds("tumbling", &q, generous_watermark());
-    assert_cluster_equivalent("tumbling/no-wm", &q, Feed::InOrder, WatermarkStrategy::None);
+    assert_cluster_equivalent_both_feeds("tumbling", &q, &generous_watermark());
+    assert_cluster_equivalent(
+        "tumbling/no-wm",
+        &q,
+        Feed::InOrder,
+        &WatermarkStrategy::None,
+    );
 }
 
 /// A plugin aggregate that does not opt into the partial contract:
@@ -306,7 +311,7 @@ fn unsplittable_custom_window_cluster_equivalence() {
         None,
     );
     assert!(!report.cluster.preaggregated, "split must not engage");
-    assert_cluster_equivalent("unsplittable", &q, Feed::InOrder, generous_watermark());
+    assert_cluster_equivalent("unsplittable", &q, Feed::InOrder, &generous_watermark());
 }
 
 #[test]
@@ -321,12 +326,12 @@ fn splittable_window_cluster_equivalence() {
         None,
     );
     assert!(report.cluster.preaggregated, "split must engage");
-    assert_cluster_equivalent_both_feeds("splittable", &q, generous_watermark());
+    assert_cluster_equivalent_both_feeds("splittable", &q, &generous_watermark());
     assert_cluster_equivalent(
         "splittable/no-wm",
         &q,
         Feed::InOrder,
-        WatermarkStrategy::None,
+        &WatermarkStrategy::None,
     );
 }
 
@@ -340,7 +345,7 @@ fn sliding_window_cluster_equivalence() {
         },
         vec![WindowAgg::new("n", AggSpec::Count)],
     );
-    assert_cluster_equivalent_both_feeds("sliding", &q, generous_watermark());
+    assert_cluster_equivalent_both_feeds("sliding", &q, &generous_watermark());
 }
 
 #[test]
@@ -352,7 +357,7 @@ fn keyless_window_cluster_equivalence() {
         },
         vec![WindowAgg::new("n", AggSpec::Count)],
     );
-    assert_cluster_equivalent_both_feeds("keyless", &q, generous_watermark());
+    assert_cluster_equivalent_both_feeds("keyless", &q, &generous_watermark());
 }
 
 #[test]
@@ -368,7 +373,7 @@ fn threshold_window_cluster_equivalence() {
             WindowAgg::new("peak", AggSpec::Max(col("speed"))),
         ],
     );
-    assert_cluster_equivalent("threshold", &q, Feed::InOrder, WatermarkStrategy::None);
+    assert_cluster_equivalent("threshold", &q, Feed::InOrder, &WatermarkStrategy::None);
 }
 
 fn cep_query() -> Query {
@@ -386,7 +391,7 @@ fn cep_query() -> Query {
 
 #[test]
 fn cep_cluster_equivalence() {
-    assert_cluster_equivalent("cep", &cep_query(), Feed::InOrder, WatermarkStrategy::None);
+    assert_cluster_equivalent("cep", &cep_query(), Feed::InOrder, &WatermarkStrategy::None);
 }
 
 #[test]
@@ -398,7 +403,7 @@ fn cep_then_keyless_window_cluster_equivalence() {
         },
         vec![WindowAgg::new("n", AggSpec::Count)],
     );
-    assert_cluster_equivalent("cep+window", &q, Feed::InOrder, WatermarkStrategy::None);
+    assert_cluster_equivalent("cep+window", &q, Feed::InOrder, &WatermarkStrategy::None);
 }
 
 /// A plugin operator crossing node boundaries (opaque state: the chain
@@ -435,7 +440,7 @@ impl OperatorFactory for DuplicateHighSpeed {
 #[test]
 fn plugin_operator_cluster_equivalence() {
     let q = Query::from("s").apply(Arc::new(DuplicateHighSpeed));
-    assert_cluster_equivalent_both_feeds("plugin", &q, WatermarkStrategy::None);
+    assert_cluster_equivalent_both_feeds("plugin", &q, &WatermarkStrategy::None);
 }
 
 #[test]
@@ -453,7 +458,7 @@ fn composite_pipeline_cluster_equivalence() {
                 WindowAgg::new("top_kmh", AggSpec::Max(col("kmh"))),
             ],
         );
-    assert_cluster_equivalent_both_feeds("composite", &q, generous_watermark());
+    assert_cluster_equivalent_both_feeds("composite", &q, &generous_watermark());
 }
 
 #[test]
@@ -461,12 +466,12 @@ fn failure_replanning_mid_run_equivalence() {
     assert_failure_equivalent(
         "filter",
         &Query::from("s").filter(col("speed").ge(lit(40.0))),
-        WatermarkStrategy::None,
+        &WatermarkStrategy::None,
     );
     assert_failure_equivalent(
         "splittable",
         &splittable_window_query(),
-        generous_watermark(),
+        &generous_watermark(),
     );
     assert_failure_equivalent(
         "tumbling-avg",
@@ -480,9 +485,9 @@ fn failure_replanning_mid_run_equivalence() {
                 WindowAgg::new("avg_speed", AggSpec::Avg(col("speed"))),
             ],
         ),
-        generous_watermark(),
+        &generous_watermark(),
     );
-    assert_failure_equivalent("cep", &cep_query(), WatermarkStrategy::None);
+    assert_failure_equivalent("cep", &cep_query(), &WatermarkStrategy::None);
     assert_failure_equivalent(
         "threshold",
         &Query::from("s").window(
@@ -493,7 +498,7 @@ fn failure_replanning_mid_run_equivalence() {
             },
             vec![WindowAgg::new("n", AggSpec::Count)],
         ),
-        WatermarkStrategy::None,
+        &WatermarkStrategy::None,
     );
 }
 
@@ -1132,7 +1137,7 @@ fn assert_batched_cluster_equivalent(
     name: &str,
     query: &Query,
     feed: Feed,
-    watermark: WatermarkStrategy,
+    watermark: &WatermarkStrategy,
 ) {
     let (reference, ref_metrics) = sync_reference(query, feed, watermark.clone());
     for batch in [7, 64] {
@@ -1169,8 +1174,8 @@ fn batched_stateless_cluster_equivalence() {
     let q = Query::from("s")
         .filter(col("load").gt(lit(50)))
         .map_extend(vec![("over", col("speed").sub(lit(40.0)))]);
-    assert_batched_cluster_equivalent("stateless", &q, Feed::InOrder, WatermarkStrategy::None);
-    assert_batched_cluster_equivalent("stateless", &q, Feed::Jittered(7), WatermarkStrategy::None);
+    assert_batched_cluster_equivalent("stateless", &q, Feed::InOrder, &WatermarkStrategy::None);
+    assert_batched_cluster_equivalent("stateless", &q, Feed::Jittered(7), &WatermarkStrategy::None);
 }
 
 #[test]
@@ -1178,8 +1183,8 @@ fn batched_splittable_window_cluster_equivalence() {
     // Exact (order-independent) aggregates, so jittered feeds compare
     // bit-for-bit across batch sizes despite per-batch watermark cadence.
     let q = splittable_window_query();
-    assert_batched_cluster_equivalent("splittable", &q, Feed::InOrder, generous_watermark());
-    assert_batched_cluster_equivalent("splittable", &q, Feed::Jittered(99), generous_watermark());
+    assert_batched_cluster_equivalent("splittable", &q, Feed::InOrder, &generous_watermark());
+    assert_batched_cluster_equivalent("splittable", &q, Feed::Jittered(99), &generous_watermark());
 }
 
 #[test]

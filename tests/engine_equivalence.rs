@@ -116,7 +116,7 @@ fn execute_cfg(
 
 /// Asserts that every execution mode agrees with the synchronous
 /// reference on normalized results and in/out counters.
-fn assert_equivalent(name: &str, query: &Query, feed: Feed, watermark: WatermarkStrategy) {
+fn assert_equivalent(name: &str, query: &Query, feed: Feed, watermark: &WatermarkStrategy) {
     let (reference, ref_metrics) = execute(query, Mode::Sync, feed, watermark.clone());
     for mode in ALL_MODES {
         let (got, metrics) = execute(query, mode, feed, watermark.clone());
@@ -137,10 +137,10 @@ fn assert_equivalent(name: &str, query: &Query, feed: Feed, watermark: Watermark
 
 /// In-order and jittered feeds for shapes that are order-insensitive
 /// under the given watermark strategy.
-fn assert_equivalent_both_feeds(name: &str, query: &Query, watermark: WatermarkStrategy) {
-    assert_equivalent(name, query, Feed::InOrder, watermark.clone());
+fn assert_equivalent_both_feeds(name: &str, query: &Query, watermark: &WatermarkStrategy) {
+    assert_equivalent(name, query, Feed::InOrder, watermark);
     for seed in [7, 99] {
-        assert_equivalent(name, query, Feed::Jittered(seed), watermark.clone());
+        assert_equivalent(name, query, Feed::Jittered(seed), watermark);
     }
 }
 
@@ -156,7 +156,7 @@ fn generous_watermark() -> WatermarkStrategy {
 #[test]
 fn filter_equivalence() {
     let q = Query::from("s").filter(col("speed").ge(lit(40.0)));
-    assert_equivalent_both_feeds("filter", &q, WatermarkStrategy::None);
+    assert_equivalent_both_feeds("filter", &q, &WatermarkStrategy::None);
 }
 
 #[test]
@@ -165,7 +165,7 @@ fn map_equivalence() {
         ("train", col("train")),
         ("kmh", col("speed").mul(lit(3.6))),
     ]);
-    assert_equivalent_both_feeds("map", &q, WatermarkStrategy::None);
+    assert_equivalent_both_feeds("map", &q, &WatermarkStrategy::None);
 }
 
 #[test]
@@ -173,7 +173,7 @@ fn map_extend_equivalence() {
     let q = Query::from("s")
         .filter(col("load").gt(lit(50)))
         .map_extend(vec![("over", col("speed").sub(lit(40.0)))]);
-    assert_equivalent_both_feeds("map_extend", &q, WatermarkStrategy::None);
+    assert_equivalent_both_feeds("map_extend", &q, &WatermarkStrategy::None);
 }
 
 #[test]
@@ -189,8 +189,13 @@ fn tumbling_window_equivalence() {
             WindowAgg::new("max_load", AggSpec::Max(col("load"))),
         ],
     );
-    assert_equivalent_both_feeds("tumbling", &q, generous_watermark());
-    assert_equivalent("tumbling/no-wm", &q, Feed::InOrder, WatermarkStrategy::None);
+    assert_equivalent_both_feeds("tumbling", &q, &generous_watermark());
+    assert_equivalent(
+        "tumbling/no-wm",
+        &q,
+        Feed::InOrder,
+        &WatermarkStrategy::None,
+    );
 }
 
 #[test]
@@ -203,7 +208,7 @@ fn sliding_window_equivalence() {
         },
         vec![WindowAgg::new("n", AggSpec::Count)],
     );
-    assert_equivalent_both_feeds("sliding", &q, generous_watermark());
+    assert_equivalent_both_feeds("sliding", &q, &generous_watermark());
 }
 
 #[test]
@@ -217,7 +222,7 @@ fn keyless_window_equivalence() {
         },
         vec![WindowAgg::new("n", AggSpec::Count)],
     );
-    assert_equivalent_both_feeds("keyless", &q, generous_watermark());
+    assert_equivalent_both_feeds("keyless", &q, &generous_watermark());
 }
 
 #[test]
@@ -235,7 +240,7 @@ fn threshold_window_equivalence() {
             WindowAgg::new("peak", AggSpec::Max(col("speed"))),
         ],
     );
-    assert_equivalent("threshold", &q, Feed::InOrder, WatermarkStrategy::None);
+    assert_equivalent("threshold", &q, Feed::InOrder, &WatermarkStrategy::None);
 }
 
 #[test]
@@ -252,7 +257,7 @@ fn cep_equivalence() {
     )
     .keyed_by(col("train"));
     let q = Query::from("s").cep(pattern);
-    assert_equivalent("cep", &q, Feed::InOrder, WatermarkStrategy::None);
+    assert_equivalent("cep", &q, Feed::InOrder, &WatermarkStrategy::None);
 }
 
 /// A plugin operator: stateless record expansion via [`FlatMapOp`],
@@ -292,7 +297,7 @@ fn plugin_operator_equivalence() {
     // Plugin operators route Single (opaque state), so all modes agree
     // even though the engine cannot prove the operator stateless.
     let q = Query::from("s").apply(Arc::new(DuplicateHighSpeed));
-    assert_equivalent_both_feeds("plugin", &q, WatermarkStrategy::None);
+    assert_equivalent_both_feeds("plugin", &q, &WatermarkStrategy::None);
 }
 
 #[test]
@@ -316,7 +321,7 @@ fn keyed_cep_then_keyless_window_equivalence() {
         },
         vec![WindowAgg::new("n", AggSpec::Count)],
     );
-    assert_equivalent("cep+keyless", &q, Feed::InOrder, WatermarkStrategy::None);
+    assert_equivalent("cep+keyless", &q, Feed::InOrder, &WatermarkStrategy::None);
 }
 
 #[test]
@@ -340,7 +345,7 @@ fn composite_pipeline_equivalence() {
         matches!(q.partition_scheme(), PartitionScheme::Key(_)),
         "safe prefix keeps key routing"
     );
-    assert_equivalent_both_feeds("composite", &q, generous_watermark());
+    assert_equivalent_both_feeds("composite", &q, &generous_watermark());
 }
 
 #[test]
@@ -401,7 +406,7 @@ const BATCH_SIZES: [usize; 4] = [1, 7, 64, 1024];
 /// Valid whenever no record is late under `watermark`: watermark *cadence*
 /// varies with batch size (one clock update per polled batch), but with
 /// nothing dropped the final flush makes results batch-size independent.
-fn assert_batch_matrix(name: &str, query: &Query, feed: Feed, watermark: WatermarkStrategy) {
+fn assert_batch_matrix(name: &str, query: &Query, feed: Feed, watermark: &WatermarkStrategy) {
     let (reference, ref_metrics) = execute_cfg(
         query,
         Mode::Sync,
@@ -436,8 +441,8 @@ fn assert_batch_matrix(name: &str, query: &Query, feed: Feed, watermark: Waterma
 #[test]
 fn batched_filter_matrix() {
     let q = Query::from("s").filter(col("speed").ge(lit(40.0)));
-    assert_batch_matrix("filter", &q, Feed::InOrder, WatermarkStrategy::None);
-    assert_batch_matrix("filter", &q, Feed::Jittered(7), WatermarkStrategy::None);
+    assert_batch_matrix("filter", &q, Feed::InOrder, &WatermarkStrategy::None);
+    assert_batch_matrix("filter", &q, Feed::Jittered(7), &WatermarkStrategy::None);
 }
 
 #[test]
@@ -446,8 +451,8 @@ fn batched_map_matrix() {
         ("train", col("train")),
         ("kmh", col("speed").mul(lit(3.6))),
     ]);
-    assert_batch_matrix("map", &q, Feed::InOrder, WatermarkStrategy::None);
-    assert_batch_matrix("map", &q, Feed::Jittered(99), WatermarkStrategy::None);
+    assert_batch_matrix("map", &q, Feed::InOrder, &WatermarkStrategy::None);
+    assert_batch_matrix("map", &q, Feed::Jittered(99), &WatermarkStrategy::None);
 }
 
 #[test]
@@ -457,8 +462,13 @@ fn batched_filter_map_matrix() {
     let q = Query::from("s")
         .filter(col("load").gt(lit(50)))
         .map_extend(vec![("over", col("speed").sub(lit(40.0)))]);
-    assert_batch_matrix("filter+map", &q, Feed::InOrder, WatermarkStrategy::None);
-    assert_batch_matrix("filter+map", &q, Feed::Jittered(7), WatermarkStrategy::None);
+    assert_batch_matrix("filter+map", &q, Feed::InOrder, &WatermarkStrategy::None);
+    assert_batch_matrix(
+        "filter+map",
+        &q,
+        Feed::Jittered(7),
+        &WatermarkStrategy::None,
+    );
 }
 
 #[test]
@@ -474,7 +484,7 @@ fn batched_tumbling_window_matrix() {
             WindowAgg::new("max_load", AggSpec::Max(col("load"))),
         ],
     );
-    assert_batch_matrix("tumbling", &q, Feed::InOrder, generous_watermark());
+    assert_batch_matrix("tumbling", &q, Feed::InOrder, &generous_watermark());
     // Jittered arrival order varies WITH BATCH SIZE (the jitter buffer
     // drains per poll), and float Avg is not associative, so the jittered
     // matrix sticks to order-independent aggregates for exact equality.
@@ -494,7 +504,7 @@ fn batched_tumbling_window_matrix() {
         "tumbling/jitter",
         &q,
         Feed::Jittered(7),
-        generous_watermark(),
+        &generous_watermark(),
     );
 }
 
@@ -512,8 +522,8 @@ fn batched_sliding_window_matrix() {
             WindowAgg::new("last_load", AggSpec::Last(col("load"))),
         ],
     );
-    assert_batch_matrix("sliding", &q, Feed::InOrder, generous_watermark());
-    assert_batch_matrix("sliding", &q, Feed::Jittered(99), generous_watermark());
+    assert_batch_matrix("sliding", &q, Feed::InOrder, &generous_watermark());
+    assert_batch_matrix("sliding", &q, Feed::Jittered(99), &generous_watermark());
 }
 
 #[test]
@@ -525,7 +535,7 @@ fn batched_keyless_window_matrix() {
         },
         vec![WindowAgg::new("n", AggSpec::Count)],
     );
-    assert_batch_matrix("keyless", &q, Feed::InOrder, generous_watermark());
+    assert_batch_matrix("keyless", &q, Feed::InOrder, &generous_watermark());
 }
 
 #[test]
@@ -543,7 +553,7 @@ fn batched_threshold_window_matrix() {
             WindowAgg::new("peak", AggSpec::Max(col("speed"))),
         ],
     );
-    assert_batch_matrix("threshold", &q, Feed::InOrder, WatermarkStrategy::None);
+    assert_batch_matrix("threshold", &q, Feed::InOrder, &WatermarkStrategy::None);
 }
 
 #[test]
@@ -560,14 +570,14 @@ fn batched_cep_matrix() {
     )
     .keyed_by(col("train"));
     let q = Query::from("s").cep(pattern);
-    assert_batch_matrix("cep", &q, Feed::InOrder, WatermarkStrategy::None);
+    assert_batch_matrix("cep", &q, Feed::InOrder, &WatermarkStrategy::None);
 }
 
 #[test]
 fn batched_plugin_matrix() {
     let q = Query::from("s").apply(Arc::new(DuplicateHighSpeed));
-    assert_batch_matrix("plugin", &q, Feed::InOrder, WatermarkStrategy::None);
-    assert_batch_matrix("plugin", &q, Feed::Jittered(7), WatermarkStrategy::None);
+    assert_batch_matrix("plugin", &q, Feed::InOrder, &WatermarkStrategy::None);
+    assert_batch_matrix("plugin", &q, Feed::Jittered(7), &WatermarkStrategy::None);
 }
 
 #[test]
@@ -585,7 +595,7 @@ fn batched_composite_matrix() {
                 WindowAgg::new("avg_kmh", AggSpec::Avg(col("kmh"))),
             ],
         );
-    assert_batch_matrix("composite", &q, Feed::InOrder, generous_watermark());
+    assert_batch_matrix("composite", &q, Feed::InOrder, &generous_watermark());
     // Same composite shape, order-independent aggregates for the jittered
     // cross-batch comparison (see batched_tumbling_window_matrix).
     let q = Query::from("s")
@@ -606,7 +616,7 @@ fn batched_composite_matrix() {
         "composite/jitter",
         &q,
         Feed::Jittered(99),
-        generous_watermark(),
+        &generous_watermark(),
     );
 }
 
@@ -903,4 +913,75 @@ fn report_modes_and_sampling_are_labelled() {
         let json = serde_json::to_string(&report.to_json()).unwrap();
         assert!(json.contains(label), "{mode:?} JSON names the mode");
     }
+}
+
+#[test]
+fn partition_fallback_warning_lands_in_report_without_changing_results() {
+    // A keyless window has no partitioning key: `run_partitioned`
+    // degrades to a single worker and the pre-flight analyzer says so
+    // (W010). The warning must land in the telemetry report, must not
+    // reject the plan, and the degraded run must still match the sync
+    // reference exactly.
+    let q = Query::from("s").window(
+        vec![],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![
+            WindowAgg::new("n", AggSpec::Count),
+            WindowAgg::new("top", AggSpec::Max(col("speed"))),
+        ],
+    );
+    let (reference, _) = execute(&q, Mode::Sync, Feed::InOrder, generous_watermark());
+    let (_, report, _) = execute_with_report(
+        &q,
+        Mode::Partitioned(4),
+        Feed::InOrder,
+        generous_watermark(),
+    );
+    assert!(
+        report
+            .analysis
+            .iter()
+            .any(|d| d.code == nebula::analysis::Code::PartitionFallback),
+        "keyless plan under run_partitioned reports W010: {:?}",
+        report.analysis
+    );
+    assert!(
+        report
+            .analysis
+            .iter()
+            .all(|d| d.severity == nebula::analysis::Severity::Warning),
+        "fallback is a warning, not an error"
+    );
+    let (got, _) = execute(
+        &q,
+        Mode::Partitioned(4),
+        Feed::InOrder,
+        generous_watermark(),
+    );
+    assert_eq!(got, reference, "degraded plan still matches sync results");
+
+    // A keyed sibling of the same plan stays W010-free.
+    let keyed = Query::from("s").window(
+        vec![("train", col("train"))],
+        WindowSpec::Tumbling {
+            size: 60 * MICROS_PER_SEC,
+        },
+        vec![WindowAgg::new("n", AggSpec::Count)],
+    );
+    let (_, keyed_report, _) = execute_with_report(
+        &keyed,
+        Mode::Partitioned(4),
+        Feed::InOrder,
+        generous_watermark(),
+    );
+    assert!(
+        keyed_report
+            .analysis
+            .iter()
+            .all(|d| d.code != nebula::analysis::Code::PartitionFallback),
+        "keyed plan does not warn W010: {:?}",
+        keyed_report.analysis
+    );
 }

@@ -49,7 +49,7 @@ fn zones_from(net: &RailNetwork) -> DemoZones {
 /// One fully wired environment over a fresh simulated stream.
 fn demo_env(minutes: i64) -> (StreamEnvironment, SchemaRef) {
     let cfg = FleetConfig::test_minutes(minutes);
-    let sim = FleetSimulator::new(cfg.clone());
+    let sim = FleetSimulator::new(cfg);
     let net = sim.network();
     let weather = Arc::new(FieldWeather(sim.weather().clone()));
     let records = sim.into_records();

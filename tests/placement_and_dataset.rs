@@ -9,7 +9,7 @@ use sncb::FleetConfig;
 #[test]
 fn edge_placement_beats_cloud_on_every_query_with_reduction() {
     let cfg = FleetConfig::test_minutes(20);
-    let sim = sncb::FleetSimulator::new(cfg.clone());
+    let sim = sncb::FleetSimulator::new(cfg);
     let net = sim.network();
     let weather = sim.weather().clone();
     let records = sim.into_records();
@@ -75,13 +75,13 @@ fn failure_replacement_keeps_query_placeable() {
 #[test]
 fn csv_export_replay_gives_identical_query_results() {
     let cfg = FleetConfig::test_minutes(10);
-    let sim = sncb::FleetSimulator::new(cfg.clone());
+    let sim = sncb::FleetSimulator::new(cfg);
     let net = sim.network();
     let weather = sim.weather().clone();
     let records = sim.into_records();
 
     // In-memory run.
-    let mut env1 = sncb::demo::demo_environment_with(&net, weather.clone(), records.clone());
+    let mut env1 = sncb::demo::demo_environment_with(&net, weather, records.clone());
     let q = q1_alert_filtering(160.0);
     let (mut s1, mem_results) = CollectingSink::new();
     env1.run(&q, &mut s1).unwrap();
